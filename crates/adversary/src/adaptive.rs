@@ -1,0 +1,107 @@
+//! The adaptive-adversary interface (Section 2 of the paper).
+//!
+//! An adaptive adversary builds the demand profile on the fly. When the
+//! current profile is `D = (d₁, …, dᵢ)` it may:
+//!
+//! * **activate** a dormant instance (append a 1 to `D`),
+//! * **request** another ID from an existing instance (increment `dⱼ`), or
+//! * **stop** the game.
+//!
+//! Crucially it observes every ID produced so far, and it knows the
+//! algorithm it is playing against — the structs implementing this trait
+//! are each tailored to defeat a specific algorithm.
+
+use uuidp_core::id::{Id, IdSpace};
+
+/// One move of the adaptive adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Activate a dormant instance and request its first ID. The new
+    /// instance receives the next index (`= number of instances so far`).
+    Activate,
+    /// Request another ID from instance `i` (0-based).
+    Request(usize),
+    /// End the game with the current demand profile.
+    Stop,
+}
+
+/// What the adversary sees before each move: the full transcript.
+#[derive(Debug)]
+pub struct GameView<'a> {
+    /// The universe being played over.
+    pub space: IdSpace,
+    /// Per-instance emitted IDs, in emission order. `histories.len()` is
+    /// the number of activated instances; `histories[i].len()` is `dᵢ`.
+    pub histories: &'a [Vec<Id>],
+    /// Whether a collision has occurred (the adversary has already won).
+    pub collision: bool,
+    /// Total IDs requested so far (`‖D‖₁`).
+    pub total_requests: u128,
+}
+
+impl GameView<'_> {
+    /// Number of activated instances.
+    pub fn n(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// The first ID instance `i` produced, if activated.
+    pub fn first_id(&self, i: usize) -> Option<Id> {
+        self.histories.get(i).and_then(|h| h.first().copied())
+    }
+
+    /// The most recent ID instance `i` produced, if activated.
+    pub fn last_id(&self, i: usize) -> Option<Id> {
+        self.histories.get(i).and_then(|h| h.last().copied())
+    }
+}
+
+/// A live adversary: a stateful strategy for one game.
+pub trait AdaptiveAdversary: Send {
+    /// Chooses the next move given the transcript so far.
+    ///
+    /// The engine calls this repeatedly; returning [`Action::Stop`] (or an
+    /// invalid move, e.g. `Request` on a non-existent instance) ends the
+    /// game. A well-formed adversary should stop promptly once
+    /// `view.collision` is true — the game is already won and further
+    /// requests only dilute the competitive denominator.
+    fn next_action(&mut self, view: &GameView<'_>) -> Action;
+}
+
+/// A named, reusable adversary configuration that spawns fresh strategies
+/// per Monte-Carlo trial (mirror of `uuidp_core::traits::Algorithm`).
+pub trait AdversarySpec: Send + Sync {
+    /// Short, stable, human-readable name.
+    fn name(&self) -> String;
+
+    /// Spawns a fresh strategy. `seed` drives any internal randomization.
+    fn spawn(&self, seed: u64) -> Box<dyn AdaptiveAdversary>;
+}
+
+impl std::fmt::Debug for dyn AdversarySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AdversarySpec({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_accessors() {
+        let space = IdSpace::new(100).unwrap();
+        let histories = vec![vec![Id(5), Id(6)], vec![Id(80)]];
+        let view = GameView {
+            space,
+            histories: &histories,
+            collision: false,
+            total_requests: 3,
+        };
+        assert_eq!(view.n(), 2);
+        assert_eq!(view.first_id(0), Some(Id(5)));
+        assert_eq!(view.last_id(0), Some(Id(6)));
+        assert_eq!(view.first_id(1), Some(Id(80)));
+        assert_eq!(view.first_id(2), None);
+    }
+}

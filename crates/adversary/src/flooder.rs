@@ -1,0 +1,193 @@
+//! Flooding adversaries: simple request-volume attacks.
+//!
+//! These strategies ignore the produced IDs except to stop when a
+//! collision appears (stop-on-collision is what separates them from plain
+//! oblivious profiles in the competitive analysis — see Theorem 11's
+//! semi-adaptive reduction). They serve as baselines in the adaptive
+//! experiments:
+//!
+//! * [`BalancedFlood`] — spread `d` requests over `n` instances evenly;
+//!   realizes the uniform profile, the worst case for Cluster obliviously.
+//! * [`SkewedFlood`] — activate `n` instances, then pour the rest of the
+//!   budget into one of them; realizes `(d−n+1, 1, …, 1)`, the profile on
+//!   which Cluster's competitive ratio degenerates.
+
+use crate::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+
+/// Round-robin flood of `d` requests across `n` instances.
+#[derive(Debug, Clone)]
+pub struct BalancedFlood {
+    n: usize,
+    d: u128,
+    stop_on_collision: bool,
+}
+
+impl BalancedFlood {
+    /// A flood of `d ≥ n` total requests over `n ≥ 2` instances that stops
+    /// as soon as a collision occurs.
+    pub fn new(n: usize, d: u128) -> Self {
+        assert!(n >= 2 && d >= n as u128);
+        BalancedFlood {
+            n,
+            d,
+            stop_on_collision: true,
+        }
+    }
+
+    /// Same flood, but plays out the full budget regardless of collisions
+    /// (useful when measuring worst-case rather than competitive metrics).
+    pub fn ignoring_collisions(n: usize, d: u128) -> Self {
+        assert!(n >= 2 && d >= n as u128);
+        BalancedFlood {
+            n,
+            d,
+            stop_on_collision: false,
+        }
+    }
+}
+
+impl AdversarySpec for BalancedFlood {
+    fn name(&self) -> String {
+        format!("balanced-flood(n={}, d={})", self.n, self.d)
+    }
+
+    fn spawn(&self, _seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(BalancedFloodRun {
+            n: self.n,
+            budget: self.d,
+            stop_on_collision: self.stop_on_collision,
+            cursor: 0,
+        })
+    }
+}
+
+struct BalancedFloodRun {
+    n: usize,
+    budget: u128,
+    stop_on_collision: bool,
+    cursor: usize,
+}
+
+impl AdaptiveAdversary for BalancedFloodRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        if (self.stop_on_collision && view.collision) || view.total_requests >= self.budget {
+            return Action::Stop;
+        }
+        if view.n() < self.n {
+            return Action::Activate;
+        }
+        let i = self.cursor % self.n;
+        self.cursor += 1;
+        Action::Request(i)
+    }
+}
+
+/// Activate `n` instances, then pour the remaining budget into instance 0.
+#[derive(Debug, Clone)]
+pub struct SkewedFlood {
+    n: usize,
+    d: u128,
+}
+
+impl SkewedFlood {
+    /// A skewed flood with `n ≥ 2` instances and total budget `d ≥ n`.
+    pub fn new(n: usize, d: u128) -> Self {
+        assert!(n >= 2 && d >= n as u128);
+        SkewedFlood { n, d }
+    }
+}
+
+impl AdversarySpec for SkewedFlood {
+    fn name(&self) -> String {
+        format!("skewed-flood(n={}, d={})", self.n, self.d)
+    }
+
+    fn spawn(&self, _seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(SkewedFloodRun {
+            n: self.n,
+            budget: self.d,
+        })
+    }
+}
+
+struct SkewedFloodRun {
+    n: usize,
+    budget: u128,
+}
+
+impl AdaptiveAdversary for SkewedFloodRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        if view.collision || view.total_requests >= self.budget {
+            return Action::Stop;
+        }
+        if view.n() < self.n {
+            return Action::Activate;
+        }
+        Action::Request(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::{Id, IdSpace};
+
+    fn drive(adv: &mut dyn AdaptiveAdversary, collide_at: Option<u128>) -> Vec<u128> {
+        let space = IdSpace::new(1 << 20).unwrap();
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        let mut total = 0u128;
+        loop {
+            let collision = collide_at.is_some_and(|c| total >= c);
+            let view = GameView {
+                space,
+                histories: &histories,
+                collision,
+                total_requests: total,
+            };
+            match adv.next_action(&view) {
+                Action::Activate => histories.push(vec![Id(total)]),
+                Action::Request(i) => histories[i].push(Id(total)),
+                Action::Stop => break,
+            }
+            total += 1;
+            assert!(total < 1 << 16, "runaway adversary");
+        }
+        histories.iter().map(|h| h.len() as u128).collect()
+    }
+
+    #[test]
+    fn balanced_flood_realizes_uniform_profile() {
+        let spec = BalancedFlood::new(4, 20);
+        let profile = drive(spec.spawn(0).as_mut(), None);
+        assert_eq!(profile, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn balanced_flood_uneven_budget() {
+        let spec = BalancedFlood::new(3, 10);
+        let profile = drive(spec.spawn(0).as_mut(), None);
+        assert_eq!(profile, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn balanced_flood_stops_on_collision() {
+        let spec = BalancedFlood::new(3, 1000);
+        let profile = drive(spec.spawn(0).as_mut(), Some(10));
+        let total: u128 = profile.iter().sum();
+        assert_eq!(total, 10, "must stop at the collision");
+    }
+
+    #[test]
+    fn ignoring_collisions_plays_out_budget() {
+        let spec = BalancedFlood::ignoring_collisions(2, 12);
+        let profile = drive(spec.spawn(0).as_mut(), Some(4));
+        assert_eq!(profile.iter().sum::<u128>(), 12);
+    }
+
+    #[test]
+    fn skewed_flood_realizes_skewed_profile() {
+        let spec = SkewedFlood::new(4, 20);
+        let profile = drive(spec.spawn(0).as_mut(), None);
+        assert_eq!(profile, vec![17, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The Lemma 7 adversary: defeats Cluster by a factor of `n`.
+//!
+//! > *Consider an adversary Z that behaves as follows:
+//! > 1. Request an ID from each of the `n` instances.
+//! > 2. Pick the two closest IDs; say they were produced by instances `i`
+//! >    and `j`. Without loss of generality, assume instance `i` produced
+//! >    the smaller ID of the two.
+//! > 3. Request `d − n` IDs from instance `i`.*
+//!
+//! Against Cluster this forces `p = Ω(min(1, n²d/m))` — a factor `n` worse
+//! than the oblivious bound `Θ(nd/m)` — because among `n` uniform starting
+//! points, the closest pair is at distance about `m/n²`, and pumping the
+//! trailing instance marches straight into the leading one.
+//!
+//! "Smaller" means *behind on the cycle*: we pump the instance from which
+//! the forward (increasing, wrapping) walk reaches the other starting
+//! point soonest.
+
+use uuidp_core::id::Id;
+
+use crate::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+
+/// Configuration for the Lemma 7 attack: probe `n` instances, then pump
+/// the trailing instance of the closest pair with the remaining budget.
+#[derive(Debug, Clone)]
+pub struct NearestPair {
+    n: usize,
+    d: u128,
+}
+
+impl NearestPair {
+    /// An attack with `n ≥ 2` probes and total budget `d ≥ n`.
+    pub fn new(n: usize, d: u128) -> Self {
+        assert!(n >= 2, "need at least two instances to collide");
+        assert!(d >= n as u128, "budget must cover the probe phase");
+        NearestPair { n, d }
+    }
+}
+
+impl AdversarySpec for NearestPair {
+    fn name(&self) -> String {
+        format!("nearest-pair(n={}, d={})", self.n, self.d)
+    }
+
+    fn spawn(&self, _seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(NearestPairRun {
+            n: self.n,
+            budget: self.d,
+            target: None,
+        })
+    }
+}
+
+struct NearestPairRun {
+    n: usize,
+    budget: u128,
+    target: Option<usize>,
+}
+
+impl AdaptiveAdversary for NearestPairRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        if view.collision {
+            return Action::Stop;
+        }
+        if view.total_requests >= self.budget {
+            return Action::Stop;
+        }
+        // Phase 1: activate all n instances.
+        if view.n() < self.n {
+            return Action::Activate;
+        }
+        // Phase 2: lock onto the trailing instance of the closest pair.
+        let target = *self.target.get_or_insert_with(|| {
+            let firsts: Vec<Id> = (0..self.n)
+                .map(|i| view.first_id(i).expect("probed instance"))
+                .collect();
+            let mut best = (u128::MAX, 0usize);
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    if i == j {
+                        continue;
+                    }
+                    // Forward distance: how far instance i must march to
+                    // reach instance j's starting ID.
+                    let gap = view.space.forward_distance(firsts[i], firsts[j]);
+                    if gap < best.0 {
+                        best = (gap, i);
+                    }
+                }
+            }
+            best.1
+        });
+        Action::Request(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::IdSpace;
+
+    fn view_of(histories: &[Vec<Id>], space: IdSpace, collision: bool) -> GameView<'_> {
+        GameView {
+            space,
+            histories,
+            collision,
+            total_requests: histories.iter().map(|h| h.len() as u128).sum(),
+        }
+    }
+
+    #[test]
+    fn activates_then_pumps_trailing_instance_of_closest_pair() {
+        let space = IdSpace::new(100).unwrap();
+        let spec = NearestPair::new(3, 20);
+        let mut adv = spec.spawn(0);
+
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        // Probe phase: three activations.
+        for start in [10u128, 90, 13] {
+            let view = view_of(&histories, space, false);
+            assert_eq!(adv.next_action(&view), Action::Activate);
+            histories.push(vec![Id(start)]);
+        }
+        // Closest forward pair: 10 → 13 (gap 3, instance 0 trails).
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+        // Keeps pumping the same target.
+        histories[0].push(Id(11));
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+    }
+
+    #[test]
+    fn wrapping_gap_is_considered() {
+        let space = IdSpace::new(100).unwrap();
+        let spec = NearestPair::new(2, 10);
+        let mut adv = spec.spawn(0);
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        for start in [98u128, 1] {
+            let view = view_of(&histories, space, false);
+            assert_eq!(adv.next_action(&view), Action::Activate);
+            histories.push(vec![Id(start)]);
+        }
+        // 98 → 1 wraps with gap 3; 1 → 98 has gap 97. Pump instance 0.
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+    }
+
+    #[test]
+    fn stops_on_collision_and_on_budget() {
+        let space = IdSpace::new(100).unwrap();
+        let spec = NearestPair::new(2, 3);
+        let mut adv = spec.spawn(0);
+        let histories = vec![vec![Id(1)], vec![Id(50)]];
+        let view = view_of(&histories, space, true);
+        assert_eq!(adv.next_action(&view), Action::Stop);
+
+        // Fresh run: budget 3 allows only one post-probe request.
+        let mut adv = spec.spawn(0);
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        for start in [1u128, 50] {
+            let view = view_of(&histories, space, false);
+            adv.next_action(&view);
+            histories.push(vec![Id(start)]);
+        }
+        let view = view_of(&histories, space, false);
+        assert!(matches!(adv.next_action(&view), Action::Request(_)));
+        histories[0].push(Id(2));
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Stop);
+    }
+}

@@ -1,0 +1,226 @@
+//! Oblivious adversaries: a demand profile fixed before the game begins.
+//!
+//! The oblivious setting is a special case of the adaptive game where the
+//! adversary ignores the produced IDs. The *order* in which a fixed
+//! profile's requests are interleaved cannot affect the collision
+//! probability (instances are independent and memoryless of each other),
+//! but the engine still needs an order to run the game — and exposing
+//! several orders lets tests verify the order-invariance that the model
+//! promises.
+
+use uuidp_core::rng::{uniform_below, Xoshiro256pp};
+
+use crate::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+use crate::profile::DemandProfile;
+
+/// How a fixed profile's requests are interleaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestOrder {
+    /// All of instance 0's requests, then all of instance 1's, ….
+    #[default]
+    Sequential,
+    /// One request per instance per pass, skipping satisfied instances.
+    RoundRobin,
+    /// Each step picks uniformly among all outstanding requests.
+    RandomInterleave,
+}
+
+/// An oblivious adversary: a fixed [`DemandProfile`] plus an interleaving.
+#[derive(Debug, Clone)]
+pub struct Oblivious {
+    profile: DemandProfile,
+    order: RequestOrder,
+}
+
+impl Oblivious {
+    /// The adversary that requests exactly `profile`, sequentially.
+    pub fn new(profile: DemandProfile) -> Self {
+        Oblivious {
+            profile,
+            order: RequestOrder::Sequential,
+        }
+    }
+
+    /// The adversary that requests exactly `profile` in `order`.
+    pub fn with_order(profile: DemandProfile, order: RequestOrder) -> Self {
+        Oblivious { profile, order }
+    }
+
+    /// The profile this adversary will realize.
+    pub fn profile(&self) -> &DemandProfile {
+        &self.profile
+    }
+}
+
+impl AdversarySpec for Oblivious {
+    fn name(&self) -> String {
+        format!(
+            "oblivious({:?}, n={}, d={})",
+            self.order,
+            self.profile.n(),
+            self.profile.l1()
+        )
+    }
+
+    fn spawn(&self, seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(ObliviousRun {
+            targets: self.profile.demands().to_vec(),
+            issued: vec![0; self.profile.n()],
+            order: self.order,
+            rng: Xoshiro256pp::new(seed),
+            cursor: 0,
+        })
+    }
+}
+
+struct ObliviousRun {
+    targets: Vec<u128>,
+    issued: Vec<u128>,
+    order: RequestOrder,
+    rng: Xoshiro256pp,
+    /// Round-robin cursor / sequential cursor.
+    cursor: usize,
+}
+
+impl ObliviousRun {
+    fn remaining_total(&self) -> u128 {
+        self.targets
+            .iter()
+            .zip(&self.issued)
+            .map(|(t, i)| t - i)
+            .sum()
+    }
+
+    fn emit_for(&mut self, i: usize, view: &GameView<'_>) -> Action {
+        self.issued[i] += 1;
+        if i >= view.n() {
+            debug_assert_eq!(i, view.n(), "activation must be in index order");
+            Action::Activate
+        } else {
+            Action::Request(i)
+        }
+    }
+}
+
+impl AdaptiveAdversary for ObliviousRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        // Oblivious: never look at the produced IDs or the collision flag.
+        if self.remaining_total() == 0 {
+            return Action::Stop;
+        }
+        match self.order {
+            RequestOrder::Sequential => {
+                while self.cursor < self.targets.len()
+                    && self.issued[self.cursor] >= self.targets[self.cursor]
+                {
+                    self.cursor += 1;
+                }
+                let i = self.cursor;
+                self.emit_for(i, view)
+            }
+            RequestOrder::RoundRobin => {
+                // Activation must happen in index order, so the first pass
+                // touches 0, 1, 2, … naturally.
+                loop {
+                    let i = self.cursor % self.targets.len();
+                    self.cursor += 1;
+                    if self.issued[i] < self.targets[i] {
+                        return self.emit_for(i, view);
+                    }
+                }
+            }
+            RequestOrder::RandomInterleave => {
+                // Activation-order constraint: an instance may only receive
+                // its first request after all lower-indexed instances have
+                // been activated. Pick uniformly among *eligible*
+                // outstanding requests (instances beyond the activation
+                // frontier contribute their demand to the frontier
+                // instance's activation being chosen first, which keeps the
+                // realized profile exact while staying well-defined).
+                let activated = view.n();
+                let eligible_upper = (activated + 1).min(self.targets.len());
+                let pool: u128 = self.targets[..eligible_upper]
+                    .iter()
+                    .zip(&self.issued[..eligible_upper])
+                    .map(|(t, i)| t - i)
+                    .sum();
+                debug_assert!(pool > 0, "outstanding requests exist");
+                let mut r = uniform_below(&mut self.rng, pool);
+                for i in 0..eligible_upper {
+                    let rem = self.targets[i] - self.issued[i];
+                    if r < rem {
+                        return self.emit_for(i, view);
+                    }
+                    r -= rem;
+                }
+                unreachable!("random interleave index out of range")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::{Id, IdSpace};
+
+    /// Drives an adversary through a fake game, recording how many requests
+    /// each instance receives; returns the realized profile.
+    fn realize(spec: &Oblivious, seed: u64) -> Vec<u128> {
+        let mut adv = spec.spawn(seed);
+        let space = IdSpace::new(1 << 20).unwrap();
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        let mut total = 0u128;
+        loop {
+            let view = GameView {
+                space,
+                histories: &histories,
+                collision: false,
+                total_requests: total,
+            };
+            match adv.next_action(&view) {
+                Action::Activate => {
+                    histories.push(vec![Id(total)]);
+                }
+                Action::Request(i) => {
+                    histories[i].push(Id(total));
+                }
+                Action::Stop => break,
+            }
+            total += 1;
+            assert!(total < 1 << 20, "runaway adversary");
+        }
+        histories.iter().map(|h| h.len() as u128).collect()
+    }
+
+    #[test]
+    fn sequential_realizes_exact_profile() {
+        let p = DemandProfile::new(vec![3, 1, 4]);
+        let spec = Oblivious::with_order(p.clone(), RequestOrder::Sequential);
+        assert_eq!(realize(&spec, 1), p.demands());
+    }
+
+    #[test]
+    fn round_robin_realizes_exact_profile() {
+        let p = DemandProfile::new(vec![5, 2, 2, 1]);
+        let spec = Oblivious::with_order(p.clone(), RequestOrder::RoundRobin);
+        assert_eq!(realize(&spec, 2), p.demands());
+    }
+
+    #[test]
+    fn random_interleave_realizes_exact_profile() {
+        let p = DemandProfile::new(vec![2, 7, 1, 3]);
+        let spec = Oblivious::with_order(p.clone(), RequestOrder::RandomInterleave);
+        for seed in 0..20 {
+            assert_eq!(realize(&spec, seed), p.demands());
+        }
+    }
+
+    #[test]
+    fn names_mention_shape() {
+        let p = DemandProfile::new(vec![2, 2]);
+        let spec = Oblivious::new(p);
+        assert!(spec.name().contains("n=2"));
+        assert!(spec.name().contains("d=4"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Demand profiles and the profile families used throughout the paper.
+//!
+//! A demand profile `D = (d₁, …, dₙ)` says how many IDs the adversary
+//! requests from each of `n` instances. The paper's analyses quantify over
+//! structured families:
+//!
+//! * `D1(n, d)` — profiles with `n` entries summing to `d` (L1 ball);
+//! * `D∞(n, h)` — profiles with at most `n` entries, each at most `h`;
+//! * uniform profiles `(h, …, h)` — where Bins(h) is optimal (Lemma 16);
+//! * the rounding `D⁻` and rank distributions of Section 7.2;
+//! * ε-good/ε-bad profiles of Section 5.2 (Lemma 18);
+//! * the hard distribution `Φ` over `(2^i, 2^j)` of Theorem 10.
+
+use uuidp_core::id::IdSpace;
+use uuidp_core::rng::{uniform_below, Xoshiro256pp};
+
+/// A demand profile `(d₁, …, dₙ)`: entry `i` is the number of IDs requested
+/// from instance `i`. Entries are positive (instances that receive no
+/// request simply don't appear, as in the paper's model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandProfile {
+    demands: Vec<u128>,
+}
+
+impl DemandProfile {
+    /// Builds a profile from per-instance demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is zero.
+    pub fn new(demands: Vec<u128>) -> Self {
+        assert!(
+            demands.iter().all(|&d| d > 0),
+            "demand profile entries must be positive"
+        );
+        DemandProfile { demands }
+    }
+
+    /// The uniform profile `(h, …, h)` with `n` entries.
+    pub fn uniform(n: usize, h: u128) -> Self {
+        assert!(h > 0);
+        DemandProfile {
+            demands: vec![h; n],
+        }
+    }
+
+    /// The two-instance profile `(i, j)` from the competitive-analysis
+    /// lower bounds.
+    pub fn pair(i: u128, j: u128) -> Self {
+        DemandProfile::new(vec![i, j])
+    }
+
+    /// The maximally skewed profile `(d − 1, 1)` from Section 3.4.
+    pub fn skewed_pair(d: u128) -> Self {
+        assert!(d >= 2);
+        DemandProfile::new(vec![d - 1, 1])
+    }
+
+    /// Number of instances `n`.
+    pub fn n(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The entries.
+    pub fn demands(&self) -> &[u128] {
+        &self.demands
+    }
+
+    /// Demand of instance `i`.
+    pub fn demand(&self, i: usize) -> u128 {
+        self.demands[i]
+    }
+
+    /// `‖D‖₁` — total demand `d`.
+    pub fn l1(&self) -> u128 {
+        self.demands.iter().sum()
+    }
+
+    /// `‖D‖₂²` — sum of squared demands. Saturates at `u128::MAX`, which
+    /// only matters for profiles no simulation could run anyway.
+    pub fn l2_squared(&self) -> u128 {
+        self.demands
+            .iter()
+            .fold(0u128, |acc, &d| acc.saturating_add(d.saturating_mul(d)))
+    }
+
+    /// `‖D‖∞` — maximum per-instance demand `h`.
+    pub fn linf(&self) -> u128 {
+        self.demands.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the profile is *trivial* (fewer than two instances), in
+    /// which case collisions are impossible.
+    pub fn is_trivial(&self) -> bool {
+        self.demands.len() < 2
+    }
+
+    /// Membership in `D1(n, d)`.
+    pub fn in_l1_family(&self, n: usize, d: u128) -> bool {
+        self.n() == n && self.l1() == d
+    }
+
+    /// Membership in `D∞(n, h)` (at most `n` instances, each demand ≤ `h`).
+    pub fn in_linf_family(&self, n: usize, h: u128) -> bool {
+        self.n() <= n && self.linf() <= h
+    }
+
+    /// The paper's rounding `D⁻` (Section 7.2): round every entry down to a
+    /// power of two; then, if there is a unique largest entry, reduce it to
+    /// the second-largest entry.
+    ///
+    /// Example from the paper: `D = (9, 5, 4, 42) → D⁻ = (8, 4, 4, 8)`.
+    pub fn rounded(&self) -> DemandProfile {
+        let mut rounded: Vec<u128> = self
+            .demands
+            .iter()
+            .map(|&d| prev_power_of_two(d))
+            .collect();
+        if rounded.len() >= 2 {
+            let mut sorted = rounded.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let (largest, second) = (sorted[0], sorted[1]);
+            if largest > second {
+                // Unique largest entry: the heavy instance is clipped.
+                for r in rounded.iter_mut() {
+                    if *r == largest {
+                        *r = second;
+                        break;
+                    }
+                }
+            }
+        }
+        DemandProfile { demands: rounded }
+    }
+
+    /// The *rank distribution* `(s₁, …, s_k)` of a rounded profile: `sᵢ` is
+    /// the number of times `2^(i−1)` occurs, and `2^(k−1)` is the largest
+    /// entry. Entries must be powers of two (call [`rounded`](Self::rounded)
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not a power of two.
+    pub fn rank_distribution(&self) -> Vec<u128> {
+        let k = self
+            .demands
+            .iter()
+            .map(|&d| {
+                assert!(d.is_power_of_two(), "rank distribution needs a rounded profile");
+                d.trailing_zeros() as usize + 1
+            })
+            .max()
+            .unwrap_or(0);
+        let mut s = vec![0u128; k];
+        for &d in &self.demands {
+            s[d.trailing_zeros() as usize] += 1;
+        }
+        s
+    }
+
+    /// Whether the profile is ε-good (Section 5.2): at least `εn` entries
+    /// exceed `εd/n`.
+    pub fn is_epsilon_good(&self, epsilon: f64) -> bool {
+        assert!((0.0..=1.0).contains(&epsilon));
+        let n = self.n() as f64;
+        let d = self.l1() as f64;
+        let threshold = epsilon * d / n;
+        let large = self
+            .demands
+            .iter()
+            .filter(|&&di| di as f64 > threshold)
+            .count() as f64;
+        large >= epsilon * n
+    }
+}
+
+/// Largest power of two ≤ `d` (`d ≥ 1`).
+pub fn prev_power_of_two(d: u128) -> u128 {
+    assert!(d >= 1);
+    1u128 << (127 - d.leading_zeros())
+}
+
+/// Samples a uniformly random *composition* of `d` into `n` positive parts
+/// — i.e. a uniform element of `D1(n, d)`.
+///
+/// Uses the stars-and-bars bijection: choose `n − 1` distinct cut points
+/// from `{1, …, d − 1}` and take consecutive differences. Rejection-samples
+/// the cut set, which is fast while `n ≪ d` (the regime of every experiment
+/// here; for `n` close to `d` the profile is essentially all-ones anyway).
+pub fn sample_composition(rng: &mut Xoshiro256pp, n: usize, d: u128) -> DemandProfile {
+    assert!(n >= 1);
+    assert!(d >= n as u128, "need d >= n for positive parts");
+    if n == 1 {
+        return DemandProfile::new(vec![d]);
+    }
+    let mut cuts: Vec<u128> = Vec::with_capacity(n - 1);
+    let mut seen = std::collections::HashSet::with_capacity(n - 1);
+    while cuts.len() < n - 1 {
+        let c = 1 + uniform_below(rng, d - 1);
+        if seen.insert(c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut demands = Vec::with_capacity(n);
+    let mut prev = 0u128;
+    for &c in &cuts {
+        demands.push(c - prev);
+        prev = c;
+    }
+    demands.push(d - prev);
+    DemandProfile::new(demands)
+}
+
+/// A power-law (Zipf-like) profile: demands proportional to `i^(−alpha)`,
+/// scaled so the total is approximately `d`, every entry at least 1.
+///
+/// Models the skewed load the competitive analysis targets: a few hot
+/// instances and a long tail of cold ones.
+pub fn power_law(n: usize, d: u128, alpha: f64) -> DemandProfile {
+    assert!(n >= 1 && d >= n as u128);
+    assert!(alpha >= 0.0);
+    let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut demands: Vec<u128> = weights
+        .iter()
+        .map(|w| (((w / total) * d as f64).floor() as u128).max(1))
+        .collect();
+    // Fix up rounding drift on the largest entry, keeping entries positive.
+    let sum: u128 = demands.iter().sum();
+    if sum < d {
+        demands[0] += d - sum;
+    } else {
+        let mut excess = sum - d;
+        for entry in demands.iter_mut() {
+            let cut = excess.min(entry.saturating_sub(1));
+            *entry -= cut;
+            excess -= cut;
+            if excess == 0 {
+                break;
+            }
+        }
+    }
+    DemandProfile::new(demands)
+}
+
+/// The hard distribution `Φ` of Theorem 10 over profiles `(2^i, 2^j)`,
+/// `0 ≤ i, j ≤ k = ⌊½ log₂ m⌋`, with `Pr[(2^i, 2^j)] ∝ 2^(−max(i,j))`.
+///
+/// Every algorithm satisfies `E_Φ[p_A(D)] = Ω(log²m / m)` (Lemma 25),
+/// while `E_Φ[p*(D)] = O(log m / m)` — which forces the `Ω(log m)`
+/// competitive-ratio lower bound.
+#[derive(Debug, Clone)]
+pub struct PhiDistribution {
+    k: u32,
+    /// Cumulative weights for sampling, aligned with `support`.
+    cumulative: Vec<f64>,
+    support: Vec<(u32, u32)>,
+    total_weight: f64,
+}
+
+impl PhiDistribution {
+    /// Φ for the universe `space`.
+    pub fn new(space: IdSpace) -> Self {
+        let k = space.log2_floor() / 2;
+        let mut support = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0f64;
+        for i in 0..=k {
+            for j in 0..=k {
+                let w = 2f64.powi(-(i.max(j) as i32));
+                acc += w;
+                support.push((i, j));
+                cumulative.push(acc);
+            }
+        }
+        PhiDistribution {
+            k,
+            cumulative,
+            support,
+            total_weight: acc,
+        }
+    }
+
+    /// The exponent cap `k = ⌊½ log₂ m⌋`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The support with normalized probabilities, for exact expectations.
+    pub fn enumerate(&self) -> impl Iterator<Item = (DemandProfile, f64)> + '_ {
+        self.support.iter().enumerate().map(|(idx, &(i, j))| {
+            let prev = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+            let p = (self.cumulative[idx] - prev) / self.total_weight;
+            (DemandProfile::pair(1 << i, 1 << j), p)
+        })
+    }
+
+    /// Samples a profile from Φ.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> DemandProfile {
+        let u = (uniform_below(rng, 1 << 53) as f64 / (1u64 << 53) as f64) * self.total_weight;
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        let (i, j) = self.support[idx.min(self.support.len() - 1)];
+        DemandProfile::pair(1 << i, 1 << j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let p = DemandProfile::new(vec![3, 4, 5]);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.l1(), 12);
+        assert_eq!(p.l2_squared(), 9 + 16 + 25);
+        assert_eq!(p.linf(), 5);
+        assert!(!p.is_trivial());
+        assert!(DemandProfile::new(vec![7]).is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_entries_rejected() {
+        DemandProfile::new(vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn family_membership() {
+        let p = DemandProfile::new(vec![2, 2, 4]);
+        assert!(p.in_l1_family(3, 8));
+        assert!(!p.in_l1_family(3, 9));
+        assert!(p.in_linf_family(3, 4));
+        assert!(p.in_linf_family(5, 10));
+        assert!(!p.in_linf_family(3, 3));
+    }
+
+    #[test]
+    fn paper_rounding_example() {
+        // The paper: D = (9, 5, 4, 42) → D⁻ = (8, 4, 4, 8).
+        let p = DemandProfile::new(vec![9, 5, 4, 42]);
+        assert_eq!(p.rounded().demands(), &[8, 4, 4, 8]);
+    }
+
+    #[test]
+    fn rounding_without_unique_max_keeps_powers() {
+        let p = DemandProfile::new(vec![8, 8, 3]);
+        assert_eq!(p.rounded().demands(), &[8, 8, 2]);
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for demands in [vec![9u128, 5, 4, 42], vec![1, 1], vec![100, 2, 77]] {
+            let once = DemandProfile::new(demands).rounded();
+            assert_eq!(once.rounded(), once);
+        }
+    }
+
+    #[test]
+    fn rank_distribution_counts_powers() {
+        // (8, 4, 4, 8): s = [0, 0, 2, 2] (1s, 2s, 4s, 8s).
+        let p = DemandProfile::new(vec![8, 4, 4, 8]);
+        assert_eq!(p.rank_distribution(), vec![0, 0, 2, 2]);
+        let q = DemandProfile::new(vec![1, 1, 2]);
+        assert_eq!(q.rank_distribution(), vec![2, 1]);
+    }
+
+    #[test]
+    fn epsilon_goodness() {
+        // Uniform profile: every entry equals d/n, so all exceed εd/n.
+        let p = DemandProfile::uniform(10, 100);
+        assert!(p.is_epsilon_good(0.5));
+        // Extreme skew: only 1 of 10 entries above the threshold.
+        let q = DemandProfile::new(vec![991, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(!q.is_epsilon_good(0.5));
+    }
+
+    #[test]
+    fn composition_is_valid_and_covers_extremes() {
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..200 {
+            let p = sample_composition(&mut rng, 5, 50);
+            assert!(p.in_l1_family(5, 50));
+            assert!(p.demands().iter().all(|&x| x >= 1));
+        }
+        // n == d forces the all-ones profile.
+        let p = sample_composition(&mut rng, 7, 7);
+        assert_eq!(p.demands(), &[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn composition_is_uniform_for_tiny_case() {
+        // D1(2, 4) = {(1,3), (2,2), (3,1)}: each should appear 1/3 of the time.
+        let mut rng = Xoshiro256pp::new(2);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let p = sample_composition(&mut rng, 2, 4);
+            *counts.entry(p.demands().to_vec()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for (profile, c) in counts {
+            let dev = (c as f64 - trials as f64 / 3.0).abs() / (trials as f64 / 3.0);
+            assert!(dev < 0.05, "{profile:?}: dev {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn power_law_totals_and_skew() {
+        let p = power_law(10, 1000, 1.0);
+        assert_eq!(p.l1(), 1000);
+        assert!(p.demand(0) > p.demand(9), "head must be heavier than tail");
+        let flat = power_law(10, 1000, 0.0);
+        assert!(flat.demand(0) <= 101, "alpha = 0 should be near-uniform");
+    }
+
+    #[test]
+    fn phi_support_and_probabilities() {
+        let space = IdSpace::new(1 << 16).unwrap();
+        let phi = PhiDistribution::new(space);
+        assert_eq!(phi.k(), 8);
+        let entries: Vec<_> = phi.enumerate().collect();
+        assert_eq!(entries.len(), 81);
+        let total: f64 = entries.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Pr[(1,1)] ∝ 2^0 = 1 is the single most likely profile.
+        let p11 = entries
+            .iter()
+            .find(|(d, _)| d.demands() == [1, 1])
+            .unwrap()
+            .1;
+        for (d, p) in &entries {
+            assert!(p11 >= *p - 1e-12, "{:?} more likely than (1,1)", d.demands());
+        }
+    }
+
+    #[test]
+    fn phi_sampling_matches_enumeration() {
+        let space = IdSpace::new(1 << 8).unwrap();
+        let phi = PhiDistribution::new(space);
+        let mut rng = Xoshiro256pp::new(3);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 100_000;
+        for _ in 0..trials {
+            let d = phi.sample(&mut rng);
+            *counts.entry(d.demands().to_vec()).or_insert(0u64) += 1;
+        }
+        for (d, p) in phi.enumerate() {
+            let observed =
+                *counts.get(d.demands()).unwrap_or(&0) as f64 / trials as f64;
+            assert!(
+                (observed - p).abs() < 0.01 + 0.2 * p,
+                "{:?}: observed {observed:.4}, expected {p:.4}",
+                d.demands()
+            );
+        }
+    }
+
+    #[test]
+    fn prev_power_of_two_values() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(42), 32);
+        assert_eq!(prev_power_of_two(64), 64);
+        assert_eq!(prev_power_of_two(u128::MAX), 1 << 127);
+    }
+}

@@ -1,0 +1,207 @@
+//! RunHunter: a retargeting attacker for run-structured algorithms.
+//!
+//! The Lemma 7 adversary commits to one target after the probe phase.
+//! Against Cluster★ that is too rigid: the pumped instance's run ends
+//! (runs double, but the *current* run may be short) and the instance
+//! teleports to a fresh uniform location, stranding the attack.
+//!
+//! RunHunter generalizes the attack: at every step it assumes each
+//! instance will continue sequentially from its last emitted ID (true
+//! within a run for Cluster and Cluster★), finds the instance whose
+//! *predicted next ID* is closest — walking forward — to any ID already
+//! emitted by a different instance, and pumps it. When the pumped instance
+//! jumps (emission ≠ prediction, i.e. a new run opened), the gap landscape
+//! changed and the next step simply re-evaluates.
+//!
+//! Against Cluster, RunHunter is at least as strong as Lemma 7's adversary
+//! (it makes the same initial choice and never needs to retarget). Against
+//! Cluster★ it is the natural adaptive threat model that Theorem 8's
+//! `O((nd/m)·log(1 + d/n))` upper bound must (and does) withstand —
+//! experiment E8 measures exactly this.
+
+use std::collections::BTreeMap;
+
+use crate::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+
+/// Configuration: probe `n` instances, then greedily hunt with budget `d`.
+#[derive(Debug, Clone)]
+pub struct RunHunter {
+    n: usize,
+    d: u128,
+}
+
+impl RunHunter {
+    /// An attack with `n ≥ 2` probes and total budget `d ≥ n`.
+    pub fn new(n: usize, d: u128) -> Self {
+        assert!(n >= 2, "need at least two instances to collide");
+        assert!(d >= n as u128, "budget must cover the probe phase");
+        RunHunter { n, d }
+    }
+}
+
+impl AdversarySpec for RunHunter {
+    fn name(&self) -> String {
+        format!("run-hunter(n={}, d={})", self.n, self.d)
+    }
+
+    fn spawn(&self, _seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(RunHunterRun {
+            n: self.n,
+            budget: self.d,
+            emitted: BTreeMap::new(),
+            indexed_upto: Vec::new(),
+        })
+    }
+}
+
+struct RunHunterRun {
+    n: usize,
+    budget: u128,
+    /// All emitted IDs → owning instance, for nearest-ahead queries.
+    emitted: BTreeMap<u128, usize>,
+    /// How many IDs per instance are already in `emitted`.
+    indexed_upto: Vec<usize>,
+}
+
+impl RunHunterRun {
+    /// Folds newly emitted IDs into the index.
+    fn refresh(&mut self, view: &GameView<'_>) {
+        self.indexed_upto.resize(view.n(), 0);
+        for (i, history) in view.histories.iter().enumerate() {
+            for id in &history[self.indexed_upto[i]..] {
+                self.emitted.insert(id.value(), i);
+            }
+            self.indexed_upto[i] = history.len();
+        }
+    }
+
+    /// Forward distance from `from` to the nearest ID emitted by an
+    /// instance other than `owner`, wrapping around the cycle.
+    fn nearest_foreign_ahead(&self, from: u128, owner: usize, m: u128) -> Option<u128> {
+        // Scan forward from `from`; the index is small (adaptive games are
+        // materialized), and typically the first few keys suffice.
+        let ahead = self
+            .emitted
+            .range(from..)
+            .find(|(_, &o)| o != owner)
+            .map(|(&v, _)| v - from);
+        if let Some(gap) = ahead {
+            return Some(gap);
+        }
+        // Wrap around.
+        self.emitted
+            .iter()
+            .find(|(_, &o)| o != owner)
+            .map(|(&v, _)| m - from + v)
+    }
+}
+
+impl AdaptiveAdversary for RunHunterRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        if view.collision {
+            return Action::Stop;
+        }
+        if view.total_requests >= self.budget {
+            return Action::Stop;
+        }
+        if view.n() < self.n {
+            return Action::Activate;
+        }
+        self.refresh(view);
+        let m = view.space.size();
+        let mut best: Option<(u128, usize)> = None;
+        for i in 0..view.n() {
+            let last = match view.last_id(i) {
+                Some(id) => id,
+                None => continue,
+            };
+            // Predicted next emission if instance i stays in its run.
+            let pred = view.space.next(last).value();
+            if let Some(gap) = self.nearest_foreign_ahead(pred, i, m) {
+                if best.map_or(true, |(g, _)| gap < g) {
+                    best = Some((gap, i));
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => Action::Request(i),
+            None => Action::Stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::{Id, IdSpace};
+
+    fn view_of(histories: &[Vec<Id>], space: IdSpace, collision: bool) -> GameView<'_> {
+        GameView {
+            space,
+            histories,
+            collision,
+            total_requests: histories.iter().map(|h| h.len() as u128).sum(),
+        }
+    }
+
+    #[test]
+    fn pumps_the_instance_with_smallest_forward_gap() {
+        let space = IdSpace::new(1000).unwrap();
+        let spec = RunHunter::new(3, 100);
+        let mut adv = spec.spawn(0);
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        for start in [100u128, 110, 500] {
+            let view = view_of(&histories, space, false);
+            assert_eq!(adv.next_action(&view), Action::Activate);
+            histories.push(vec![Id(start)]);
+        }
+        // Instance 0 predicts 101; nearest foreign ahead is 110 (gap 9).
+        // Instance 1 predicts 111; nearest foreign is 500 (gap 389).
+        // Instance 2 predicts 501; nearest foreign is 100 (gap 599).
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+    }
+
+    #[test]
+    fn retargets_after_a_jump() {
+        let space = IdSpace::new(1000).unwrap();
+        let spec = RunHunter::new(2, 100);
+        let mut adv = spec.spawn(0);
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        for start in [100u128, 105] {
+            let view = view_of(&histories, space, false);
+            adv.next_action(&view);
+            histories.push(vec![Id(start)]);
+        }
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+        // Instance 0 jumps to 900 (its run ended): instance 1's gap to the
+        // cluster at 100..=105 region... instance 1 predicts 106, nearest
+        // foreign ahead is 900 (gap 794); instance 0 predicts 901, nearest
+        // foreign wrapping is 105 (gap 204). Target switches to 0 still.
+        histories[0].push(Id(900));
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+        // Now instance 0 walks to 903; bring instance 1 close behind it:
+        histories[0].push(Id(901));
+        histories[0].push(Id(902));
+        // Re-evaluate: instance 1 predicts 106 → nearest foreign 900? gap
+        // 794. Instance 0 predicts 903 → nearest foreign wraps to 105, gap
+        // 202. Still instance 0.
+        let view = view_of(&histories, space, false);
+        assert_eq!(adv.next_action(&view), Action::Request(0));
+    }
+
+    #[test]
+    fn stops_on_collision_and_budget() {
+        let space = IdSpace::new(100).unwrap();
+        let spec = RunHunter::new(2, 2);
+        let mut adv = spec.spawn(0);
+        let histories = vec![vec![Id(1)], vec![Id(2)]];
+        let view = view_of(&histories, space, true);
+        assert_eq!(adv.next_action(&view), Action::Stop);
+        let view = view_of(&histories, space, false);
+        // Budget of 2 is already spent by the probes.
+        assert_eq!(adv.next_action(&view), Action::Stop);
+    }
+}

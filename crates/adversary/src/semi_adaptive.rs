@@ -1,0 +1,223 @@
+//! Semi-adaptive adversaries `fol(S)` (Section 9).
+//!
+//! A *demand sequence* `S = (D₀, D₁, …, D_k)` starts from the empty
+//! profile and grows by one request at a time. The semi-adaptive adversary
+//! `fol(S)` follows `S` as long as no collision has occurred, and stops as
+//! soon as one does (for downward-closed profile families the paper's
+//! footnote 6 notes stopping immediately is exactly the right move — all
+//! the families used in our experiments are downward closed).
+//!
+//! Theorem 11's reduction shows these are essentially the *strongest*
+//! adaptive adversaries against bin-symmetric algorithms (Bins(k), Bins★):
+//! since every game state with the same profile and no collision is
+//! equivalent under bin relabeling, the only useful adaptive signal is the
+//! collision flag itself — hence adaptivity buys at most a factor 4 in the
+//! competitive ratio. Experiment E11 measures this.
+
+use crate::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+use crate::profile::DemandProfile;
+
+/// One growth step of a demand sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Append a 1 to the profile (activate a dormant instance).
+    Activate,
+    /// Increment entry `i` of the profile.
+    Increment(usize),
+}
+
+/// The semi-adaptive adversary `fol(S)`: follow a fixed demand sequence,
+/// stop on the first collision.
+#[derive(Debug, Clone)]
+pub struct FollowSequence {
+    steps: Vec<Step>,
+    label: String,
+}
+
+impl FollowSequence {
+    /// `fol(S)` for an explicit step sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step increments an instance that has not been activated
+    /// by an earlier step.
+    pub fn new(steps: Vec<Step>) -> Self {
+        let mut n = 0usize;
+        for (at, s) in steps.iter().enumerate() {
+            match s {
+                Step::Activate => n += 1,
+                Step::Increment(i) => {
+                    assert!(*i < n, "step {at} increments unactivated instance {i}");
+                }
+            }
+        }
+        FollowSequence {
+            label: format!("fol(|S|={})", steps.len()),
+            steps,
+        }
+    }
+
+    /// The demand sequence that grows to `profile`, filling instance 0
+    /// first, then instance 1, and so on (the canonical sequential growth).
+    pub fn growing_to(profile: &DemandProfile) -> Self {
+        let mut steps = Vec::new();
+        for (i, &d) in profile.demands().iter().enumerate() {
+            steps.push(Step::Activate);
+            for _ in 1..d {
+                steps.push(Step::Increment(i));
+            }
+        }
+        let mut s = FollowSequence::new(steps);
+        s.label = format!(
+            "fol(seq → n={}, d={})",
+            profile.n(),
+            profile.l1()
+        );
+        s
+    }
+
+    /// The demand sequence that grows to `profile` breadth-first: activate
+    /// all instances, then add one request per pass. This is the sequence
+    /// whose prefixes stay closest to uniform.
+    pub fn growing_breadth_first(profile: &DemandProfile) -> Self {
+        let mut steps: Vec<Step> = (0..profile.n()).map(|_| Step::Activate).collect();
+        let max_d = profile.linf();
+        for level in 1..max_d {
+            for (i, &d) in profile.demands().iter().enumerate() {
+                if d > level {
+                    steps.push(Step::Increment(i));
+                }
+            }
+        }
+        let mut s = FollowSequence::new(steps);
+        s.label = format!("fol(bfs → n={}, d={})", profile.n(), profile.l1());
+        s
+    }
+
+    /// Number of steps in `S`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl AdversarySpec for FollowSequence {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn spawn(&self, _seed: u64) -> Box<dyn AdaptiveAdversary> {
+        Box::new(FollowRun {
+            steps: self.steps.clone(),
+            cursor: 0,
+        })
+    }
+}
+
+struct FollowRun {
+    steps: Vec<Step>,
+    cursor: usize,
+}
+
+impl AdaptiveAdversary for FollowRun {
+    fn next_action(&mut self, view: &GameView<'_>) -> Action {
+        if view.collision {
+            return Action::Stop;
+        }
+        match self.steps.get(self.cursor) {
+            None => Action::Stop,
+            Some(step) => {
+                self.cursor += 1;
+                match step {
+                    Step::Activate => Action::Activate,
+                    Step::Increment(i) => Action::Request(*i),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::{Id, IdSpace};
+
+    fn drive(adv: &mut dyn AdaptiveAdversary, collide_at: Option<u128>) -> Vec<u128> {
+        let space = IdSpace::new(1 << 16).unwrap();
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        let mut total = 0u128;
+        loop {
+            let view = GameView {
+                space,
+                histories: &histories,
+                collision: collide_at.is_some_and(|c| total >= c),
+                total_requests: total,
+            };
+            match adv.next_action(&view) {
+                Action::Activate => histories.push(vec![Id(total)]),
+                Action::Request(i) => histories[i].push(Id(total)),
+                Action::Stop => break,
+            }
+            total += 1;
+        }
+        histories.iter().map(|h| h.len() as u128).collect()
+    }
+
+    #[test]
+    fn sequential_growth_realizes_profile() {
+        let p = DemandProfile::new(vec![3, 2, 1]);
+        let spec = FollowSequence::growing_to(&p);
+        assert_eq!(spec.len(), 6);
+        assert_eq!(drive(spec.spawn(0).as_mut(), None), p.demands());
+    }
+
+    #[test]
+    fn breadth_first_growth_realizes_profile() {
+        let p = DemandProfile::new(vec![3, 1, 2]);
+        let spec = FollowSequence::growing_breadth_first(&p);
+        assert_eq!(drive(spec.spawn(0).as_mut(), None), p.demands());
+    }
+
+    #[test]
+    fn stops_at_first_collision() {
+        let p = DemandProfile::new(vec![10, 10]);
+        let spec = FollowSequence::growing_to(&p);
+        let realized = drive(spec.spawn(0).as_mut(), Some(5));
+        assert_eq!(realized.iter().sum::<u128>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unactivated")]
+    fn invalid_sequences_rejected() {
+        FollowSequence::new(vec![Step::Activate, Step::Increment(1)]);
+    }
+
+    #[test]
+    fn breadth_first_prefixes_stay_balanced() {
+        let p = DemandProfile::new(vec![4, 4]);
+        let spec = FollowSequence::growing_breadth_first(&p);
+        // After the first four steps, demands are (2, 2) — never (3, 1).
+        let mut adv = spec.spawn(0);
+        let space = IdSpace::new(1 << 10).unwrap();
+        let mut histories: Vec<Vec<Id>> = Vec::new();
+        for t in 0..4u128 {
+            let view = GameView {
+                space,
+                histories: &histories,
+                collision: false,
+                total_requests: t,
+            };
+            match adv.next_action(&view) {
+                Action::Activate => histories.push(vec![Id(t)]),
+                Action::Request(i) => histories[i].push(Id(t)),
+                Action::Stop => panic!("premature stop"),
+            }
+        }
+        let demands: Vec<usize> = histories.iter().map(|h| h.len()).collect();
+        assert_eq!(demands, vec![2, 2]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Competitive analysis machinery: concrete bounds on `p*(D)` and ratio
+//! computation.
+//!
+//! The competitive ratio compares `p_A(D)` against the best achievable
+//! `p*(D) = min_{A'} p_{A'}(D)`. `p*` has no general closed form, but the
+//! paper pins it down for the profile families the experiments use:
+//!
+//! * uniform profiles — exactly (Lemma 16: `p* = p_Bins(h)`);
+//! * two-instance profiles `(i, j)` — within constants (Lemma 24), with
+//!   explicit upper/lower witnesses;
+//! * rounded profiles — from below via the rank decomposition (Lemma 20).
+
+use uuidp_adversary::profile::{DemandProfile, PhiDistribution};
+use uuidp_core::id::IdSpace;
+
+use crate::exact::{bins_exact, uniform_p_star};
+use crate::math::union_of_independent;
+
+/// Two-sided bounds on a quantity known within constant factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Certified lower bound.
+    pub lower: f64,
+    /// Certified upper bound.
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// Whether `x` lies within the bounds (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+/// Bounds on `p*((i, j)))` for `1 ≤ i ≤ j` (Lemma 24 made concrete).
+///
+/// * Lower: `p*((i,j)) ≥ p*((i,i)) = p_Bins(i)((i,i))` on `[m]`
+///   (monotonicity in demand + Lemma 16), computed exactly.
+/// * Upper: the SetAside(i, j) witness — Bins(i) on `m − (j − i)` IDs plus
+///   a hard-wired tail — collides exactly like Bins(i) on the reduced
+///   space.
+pub fn pair_p_star_bounds(i: u128, j: u128, m: u128) -> Bounds {
+    assert!(i >= 1 && i <= j && j <= m);
+    let lower = uniform_p_star(2, i, m);
+    let reduced = m - (j - i);
+    let upper = if reduced >= i {
+        bins_exact(&DemandProfile::uniform(2, i), i, reduced)
+    } else {
+        1.0
+    };
+    Bounds { lower, upper }
+}
+
+/// Lower bound on `p*(D)` via the rank decomposition of `D⁻` (Lemma 20
+/// with exact per-rank optima instead of Θ-envelopes).
+///
+/// For each rank `i` with `sᵢ ≥ 2` instances of demand `2^(i−1)`, any
+/// algorithm collides among them with probability at least
+/// `p_Bins(2^(i−1))` on the uniform sub-profile; ranks involve disjoint
+/// instance sets, so the events are independent.
+pub fn rounded_p_star_lower(profile: &DemandProfile, m: u128) -> f64 {
+    let rounded = profile.rounded();
+    let ranks = rounded.rank_distribution();
+    let per_rank: Vec<f64> = ranks
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s >= 2)
+        .map(|(idx, &s)| uniform_p_star(s as usize, 1u128 << idx, m))
+        .collect();
+    union_of_independent(&per_rank)
+}
+
+/// `p_A(D) / p*(D)`-style ratio with care at the degenerate ends.
+pub fn competitive_ratio(p_measured: f64, p_star: f64) -> f64 {
+    if p_star <= 0.0 {
+        if p_measured <= 0.0 {
+            f64::NAN
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        p_measured / p_star
+    }
+}
+
+/// Upper bound on `E_Φ[p*(D)]` under the Theorem 10 hard distribution:
+/// term-by-term SetAside witnesses. Lemma 25 + Theorem 10 show every
+/// algorithm's `E_Φ[p_A]` exceeds this by `Ω(log m)`.
+pub fn phi_p_star_upper(space: IdSpace) -> f64 {
+    let phi = PhiDistribution::new(space);
+    let m = space.size();
+    phi.enumerate()
+        .map(|(d, prob)| {
+            let (i, j) = (d.demand(0).min(d.demand(1)), d.demand(0).max(d.demand(1)));
+            prob * pair_p_star_bounds(i, j, m).upper
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_bounds_are_ordered_and_tightish() {
+        let m = 1u128 << 16;
+        for (i, j) in [(1u128, 1u128), (1, 100), (8, 8), (16, 1024), (64, 4096)] {
+            let b = pair_p_star_bounds(i, j, m);
+            assert!(b.lower <= b.upper + 1e-15, "({i},{j}): {b:?}");
+            // Lemma 24 says both are Θ(i/m): within a small constant.
+            let theta = i as f64 / m as f64;
+            assert!(b.lower >= theta * 0.2, "({i},{j}): lower {:.3e}", b.lower);
+            assert!(b.upper <= theta * 3.0, "({i},{j}): upper {:.3e}", b.upper);
+        }
+    }
+
+    #[test]
+    fn pair_bounds_contains() {
+        let b = Bounds {
+            lower: 0.1,
+            upper: 0.2,
+        };
+        assert!(b.contains(0.15));
+        assert!(!b.contains(0.3));
+    }
+
+    #[test]
+    fn rounded_lower_bound_monotone_in_load() {
+        let m = 1u128 << 20;
+        let light = DemandProfile::new(vec![4, 4, 4, 4]);
+        let heavy = DemandProfile::new(vec![64, 64, 64, 64]);
+        let pl = rounded_p_star_lower(&light, m);
+        let ph = rounded_p_star_lower(&heavy, m);
+        assert!(ph > pl, "heavier uniform load must have larger p*: {pl} vs {ph}");
+    }
+
+    #[test]
+    fn rounded_lower_bound_counts_only_paired_ranks() {
+        // (1, 2, 4, 8) rounds to (1, 2, 4, 4): the unique largest entry is
+        // clipped to the runner-up, so the only rank with a pair is 4.
+        let m = 1u128 << 20;
+        let p = DemandProfile::new(vec![1, 2, 4, 8]);
+        let got = rounded_p_star_lower(&p, m);
+        let expected = crate::exact::uniform_p_star(2, 4, m);
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got:.3e}, expected {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn competitive_ratio_edge_cases() {
+        assert!((competitive_ratio(0.2, 0.1) - 2.0).abs() < 1e-12);
+        assert!(competitive_ratio(0.1, 0.0).is_infinite());
+        assert!(competitive_ratio(0.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn phi_p_star_upper_is_order_log_m_over_m() {
+        // Theorem 10's proof: E_Φ[p*] = O(log m / m).
+        let space = IdSpace::new(1 << 20).unwrap();
+        let v = phi_p_star_upper(space);
+        let m = (1u128 << 20) as f64;
+        let log_m = m.log2();
+        assert!(v > 0.0);
+        assert!(
+            v <= 4.0 * log_m / m,
+            "E_Φ[p*] = {v:.3e} should be O(log m / m) = {:.3e}",
+            log_m / m
+        );
+    }
+}

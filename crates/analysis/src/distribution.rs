@@ -1,0 +1,193 @@
+//! Collision-*time* distributions: when does the first collision happen?
+//!
+//! The paper bounds the collision *probability* of a fixed demand; an
+//! operator watching a live fleet cares about the distribution of the
+//! first-collision time `T` under steady traffic. For balanced
+//! round-robin traffic over `n` instances these are computable:
+//!
+//! * **Random** — exact: after `t` total requests under round-robin, the
+//!   requesting instance has drawn `⌊t/n⌋` IDs and the others hold
+//!   `t − ⌊t/n⌋` distinct IDs (conditioned on no collision yet), so
+//!   `P(T > t) = Π_{i<t} (1 − other(i)/(m − own(i)))`.
+//! * **Cluster** — continuous-spacing approximation: the first collision
+//!   happens when some instance's arc reaches the next start clockwise;
+//!   with all arcs at length `ℓ = ⌈t/n⌉`, all `n` spacings of a uniform
+//!   circle split must exceed `ℓ`, giving
+//!   `P(T > t) ≈ (1 − nℓ/m)₊^(n−1)` (exact in the continuum limit).
+//!
+//! Both are validated against simulation in the integration tests.
+
+/// Classic birthday survival: `P(T > t)` when every request is a fresh
+/// uniform draw (the `n → ∞` limit of Random), `Π_{i<t}(1 − i/m)`.
+pub fn birthday_survival(t: u64, m: u128) -> f64 {
+    if t as u128 > m {
+        return 0.0;
+    }
+    let mut ln_p = 0.0f64;
+    for i in 0..t {
+        ln_p += (1.0 - i as f64 / m as f64).ln();
+    }
+    ln_p.exp()
+}
+
+/// Expected first-collision time of the classic birthday process,
+/// `E[T] = Σ_t P(T > t)` (≈ `√(πm/2)` for large `m`).
+pub fn birthday_expected_time(m: u128) -> f64 {
+    let mut total = 0.0f64;
+    let mut ln_p = 0.0f64;
+    let mut t = 0u64;
+    loop {
+        let p = ln_p.exp();
+        total += p;
+        if p < 1e-12 || t as u128 >= m {
+            break;
+        }
+        ln_p += (1.0 - t as f64 / m as f64).ln();
+        t += 1;
+    }
+    total
+}
+
+/// Exact survival of Random under round-robin over `n` instances:
+/// `P(T > t)`.
+pub fn random_round_robin_survival(t: u64, n: u64, m: u128) -> f64 {
+    assert!(n >= 1);
+    let m = m as f64;
+    let mut ln_p = 0.0f64;
+    for i in 0..t {
+        let own = (i / n) as f64; // IDs already drawn by the requester
+        let others = i as f64 - own; // distinct IDs held elsewhere
+        let avail = m - own;
+        if others >= avail {
+            return 0.0;
+        }
+        ln_p += (1.0 - others / avail).ln();
+    }
+    ln_p.exp()
+}
+
+/// Expected first-collision time of Random under round-robin.
+pub fn random_expected_time(n: u64, m: u128) -> f64 {
+    let mut total = 0.0f64;
+    let mut t = 0u64;
+    loop {
+        let p = random_round_robin_survival(t, n, m);
+        total += p;
+        t += 1;
+        if p < 1e-9 {
+            break;
+        }
+    }
+    total
+}
+
+/// Continuum approximation of Cluster's survival under round-robin:
+/// `P(T > t) ≈ (1 − n·⌈t/n⌉/m)₊^(n−1)`.
+pub fn cluster_round_robin_survival(t: u64, n: u64, m: u128) -> f64 {
+    assert!(n >= 1);
+    let ell = t.div_ceil(n) as f64;
+    let x = 1.0 - (n as f64 * ell) / m as f64;
+    if x <= 0.0 {
+        0.0
+    } else {
+        x.powi(n as i32 - 1)
+    }
+}
+
+/// Expected first-collision time of Cluster under round-robin (continuum
+/// approximation): `E[T] ≈ m/(n·n) · n = m/n` scaled by the spacing
+/// integral; computed by summing the survival curve.
+pub fn cluster_expected_time(n: u64, m: u128) -> f64 {
+    // Sum in per-round steps of n requests to keep this O(m/n) at worst,
+    // with early exit once survival is negligible.
+    let mut total = 0.0f64;
+    let mut t = 0u64;
+    loop {
+        let p = cluster_round_robin_survival(t, n, m);
+        total += p * n as f64; // survival is flat within a round
+        t += n;
+        if p < 1e-9 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birthday_survival_landmarks() {
+        // P(T > 23) on 365 days ≈ 0.4927 (complement of the paradox).
+        let p = birthday_survival(23, 365);
+        assert!((p - 0.4927).abs() < 1e-3, "p = {p}");
+        assert_eq!(birthday_survival(366, 365), 0.0);
+        assert_eq!(birthday_survival(0, 365), 1.0);
+    }
+
+    #[test]
+    fn birthday_expected_time_matches_asymptotic() {
+        // E[T] → √(πm/2) + 2/3.
+        for m in [1u128 << 10, 1 << 16, 1 << 20] {
+            let exact = birthday_expected_time(m);
+            let asym = (std::f64::consts::PI * m as f64 / 2.0).sqrt() + 2.0 / 3.0;
+            let rel = (exact - asym).abs() / asym;
+            assert!(rel < 0.01, "m = {m}: exact {exact}, asym {asym}");
+        }
+    }
+
+    #[test]
+    fn random_round_robin_approaches_birthday_for_large_n() {
+        // With n ≥ t, round-robin Random *is* the birthday process.
+        let m = 1u128 << 16;
+        for t in [10u64, 100, 300] {
+            let a = random_round_robin_survival(t, 1 << 20, m);
+            let b = birthday_survival(t, m);
+            assert!((a - b).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn random_small_n_survives_longer_than_birthday() {
+        // Fewer instances ⇒ more of the drawn IDs are "own" (can't
+        // collide) ⇒ survival is higher.
+        let m = 1u128 << 16;
+        let t = 400u64;
+        let few = random_round_robin_survival(t, 2, m);
+        let many = random_round_robin_survival(t, 1 << 20, m);
+        assert!(few > many);
+    }
+
+    #[test]
+    fn cluster_survival_shape() {
+        let m = 1u128 << 20;
+        let n = 16u64;
+        assert_eq!(cluster_round_robin_survival(0, n, m), 1.0);
+        // Monotone nonincreasing in t.
+        let mut prev = 1.0;
+        for t in (0..100_000).step_by(5000) {
+            let p = cluster_round_robin_survival(t, n, m);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+        // Certain collision once the arcs cover the circle.
+        assert_eq!(cluster_round_robin_survival((m as u64) + 1, n, m), 0.0);
+    }
+
+    #[test]
+    fn cluster_outlives_random_by_the_capacity_factor() {
+        // E[T_cluster]/E[T_random] ≈ (m/n)/√m = √m/n, the paper's
+        // capacity story in expectation form.
+        let m = 1u128 << 20;
+        let n = 8u64;
+        let tc = cluster_expected_time(n, m);
+        let tr = random_expected_time(n, m);
+        let predicted = (m as f64).sqrt() / n as f64;
+        let ratio = tc / tr;
+        assert!(
+            ratio > predicted * 0.2 && ratio < predicted * 5.0,
+            "ratio {ratio:.1} vs predicted scale {predicted:.1}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Exact collision probabilities for structured cases.
+//!
+//! Where the paper's proofs yield closed forms with *no* hidden constants,
+//! we implement them exactly; they anchor the Monte-Carlo engine (the
+//! simulator must land inside the confidence interval of these values) and
+//! serve as `p*` references in the competitive experiments.
+//!
+//! | Case | Source | Function |
+//! |------|--------|----------|
+//! | Cluster, any pair `(d₁, d₂)` | Thm 1 proof: `(d₁+d₂−1)/m` | [`cluster_pair`] |
+//! | Cluster, union bounds | Thm 1 proof + Bonferroni | [`cluster_union_bounds`] |
+//! | Cluster, `n ≤ 3`, small `m` | brute-force enumeration | [`cluster_enumerated`] |
+//! | Random, any profile | disjoint-subset counting | [`random_exact`] |
+//! | Bins(k), any profile | disjoint-bin counting | [`bins_exact`] |
+//! | Uniform profile optimum | Lemma 16: `p* = p_Bins(h)` | [`uniform_p_star`] |
+
+use uuidp_adversary::profile::DemandProfile;
+
+use crate::math::{ln_binomial_ratio, one_minus_exp};
+
+/// Exact Cluster collision probability for two instances (Theorem 1's
+/// proof): `Pr[C₁₂] = (d₁ + d₂ − 1)/m`.
+pub fn cluster_pair(d1: u128, d2: u128, m: u128) -> f64 {
+    assert!(d1 >= 1 && d2 >= 1);
+    if d1 + d2 > m {
+        return 1.0;
+    }
+    ((d1 + d2 - 1) as f64 / m as f64).min(1.0)
+}
+
+/// Sandwich bounds on the exact Cluster collision probability for any
+/// profile, from the pairwise-independence argument in Theorem 1's proof.
+///
+/// Upper: union bound `S₁ = Σ_{i<j} (dᵢ+dⱼ−1)/m`. Lower: the Bonferroni
+/// inequality with pairwise-independent events, `S₁ − S₁²/2` (clamped at
+/// 0) — tight when `S₁` is small, which is the regime of interest.
+pub fn cluster_union_bounds(profile: &DemandProfile, m: u128) -> (f64, f64) {
+    let d = profile.demands();
+    let mut s1 = 0.0f64;
+    for i in 0..d.len() {
+        for j in (i + 1)..d.len() {
+            s1 += cluster_pair(d[i], d[j], m);
+        }
+    }
+    let upper = s1.min(1.0);
+    let lower = (s1 - s1 * s1 / 2.0).max(0.0);
+    (lower, upper)
+}
+
+/// Exact Cluster collision probability by brute force over all start
+/// tuples. Exponential in `n`; restricted to `n ≤ 3` and `mⁿ ≤ 2²⁴`.
+pub fn cluster_enumerated(profile: &DemandProfile, m: u128) -> f64 {
+    let d = profile.demands();
+    let n = d.len();
+    assert!((2..=3).contains(&n), "enumeration supports n in {{2, 3}}");
+    let states = (m as f64).powi(n as i32);
+    assert!(states <= (1 << 24) as f64, "state space too large");
+    let overlap = |xi: u128, di: u128, xj: u128, dj: u128| -> bool {
+        // Arcs [xi, xi+di) and [xj, xj+dj) intersect mod m iff the forward
+        // distance from xi to xj is < di or from xj to xi is < dj.
+        let fwd = |a: u128, b: u128| if b >= a { b - a } else { m - a + b };
+        fwd(xi, xj) < di || fwd(xj, xi) < dj
+    };
+    let mut collisions = 0u64;
+    let mut total = 0u64;
+    if n == 2 {
+        // By symmetry, fix x₀ = 0 and scan x₁.
+        for x1 in 0..m {
+            total += 1;
+            if overlap(0, d[0], x1, d[1]) {
+                collisions += 1;
+            }
+        }
+    } else {
+        for x1 in 0..m {
+            for x2 in 0..m {
+                total += 1;
+                if overlap(0, d[0], x1, d[1])
+                    || overlap(0, d[0], x2, d[2])
+                    || overlap(x1, d[1], x2, d[2])
+                {
+                    collisions += 1;
+                }
+            }
+        }
+    }
+    collisions as f64 / total as f64
+}
+
+/// Exact Random collision probability: the `n` instances draw uniform
+/// random subsets (of sizes `d₁, …, dₙ`) without replacement, and
+///
+/// ```text
+/// Pr[no collision] = Π_i  C(m − Σ_{j<i} dⱼ, dᵢ) / C(m, dᵢ)
+/// ```
+///
+/// computed in log space.
+pub fn random_exact(profile: &DemandProfile, m: u128) -> f64 {
+    if profile.l1() > m {
+        return 1.0;
+    }
+    let mut ln_no_collision = 0.0f64;
+    let mut used = 0u128;
+    for &di in profile.demands() {
+        ln_no_collision += ln_binomial_ratio(m - used, m, di);
+        used += di;
+    }
+    one_minus_exp(ln_no_collision)
+}
+
+/// Exact Bins(k) collision probability for profiles that stay within the
+/// bins (`dᵢ ≤ ⌊m/k⌋·k`): instance `i` occupies `⌈dᵢ/k⌉` uniform random
+/// distinct bins, every shared bin is a collision (both instances emit the
+/// bin's first ID), so
+///
+/// ```text
+/// Pr[no collision] = Π_i  C(B − Σ_{j<i} bⱼ, bᵢ) / C(B, bᵢ),   B = ⌊m/k⌋.
+/// ```
+pub fn bins_exact(profile: &DemandProfile, k: u128, m: u128) -> f64 {
+    assert!(k >= 1 && k <= m);
+    let bins_total = m / k;
+    let needs: Vec<u128> = profile.demands().iter().map(|&d| d.div_ceil(k)).collect();
+    if profile.demands().iter().any(|&d| d > bins_total * k) {
+        // Some instance spills into the leftover region after using every
+        // bin; any second instance then shares a bin with it for certain.
+        return 1.0;
+    }
+    if needs.iter().sum::<u128>() > bins_total {
+        return 1.0;
+    }
+    let mut ln_no_collision = 0.0f64;
+    let mut used = 0u128;
+    for &bi in &needs {
+        ln_no_collision += ln_binomial_ratio(bins_total - used, bins_total, bi);
+        used += bi;
+    }
+    one_minus_exp(ln_no_collision)
+}
+
+/// **Lemma 16**: on the uniform profile `(h, …, h)` the optimum is
+/// achieved by Bins(h); this is its exact collision probability — the
+/// exact `p*` for uniform profiles.
+pub fn uniform_p_star(n: usize, h: u128, m: u128) -> f64 {
+    bins_exact(&DemandProfile::uniform(n, h), h, m)
+}
+
+/// The generalized birthday probability: `d` instances with one request
+/// each (`1 − Π_{i<d} (1 − i/m)`), the paper's touchstone for Random.
+pub fn birthday(d: u128, m: u128) -> f64 {
+    if d > m {
+        return 1.0;
+    }
+    let mut ln_no = 0.0f64;
+    for i in 1..d {
+        ln_no += (1.0 - i as f64 / m as f64).ln();
+    }
+    one_minus_exp(ln_no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_pair_saturates_and_scales() {
+        assert!((cluster_pair(5, 3, 100) - 0.07).abs() < 1e-12);
+        assert_eq!(cluster_pair(60, 60, 100), 1.0);
+        assert!((cluster_pair(1, 1, 100) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_enumerated_matches_pair_formula() {
+        for (d1, d2, m) in [(1u128, 1u128, 32u128), (3, 5, 64), (10, 2, 100)] {
+            let p = DemandProfile::pair(d1, d2);
+            let exact = cluster_enumerated(&p, m);
+            let formula = cluster_pair(d1, d2, m);
+            assert!(
+                (exact - formula).abs() < 1e-12,
+                "({d1},{d2},m={m}): {exact} vs {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_union_bounds_bracket_enumeration_for_n3() {
+        let m = 128u128;
+        let p = DemandProfile::new(vec![4, 6, 3]);
+        let exact = cluster_enumerated(&p, m);
+        let (lo, hi) = cluster_union_bounds(&p, m);
+        assert!(
+            lo <= exact + 1e-12 && exact <= hi + 1e-12,
+            "exact {exact} outside [{lo}, {hi}]"
+        );
+        // The sandwich must be reasonably tight at small probabilities.
+        assert!(hi - lo < 0.02);
+    }
+
+    #[test]
+    fn random_exact_matches_birthday_for_singletons() {
+        let m = 365u128;
+        for d in [2u128, 10, 23, 50] {
+            let p = DemandProfile::new(vec![1; d as usize]);
+            let a = random_exact(&p, m);
+            let b = birthday(d, m);
+            assert!((a - b).abs() < 1e-10, "d = {d}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn birthday_paradox_landmark() {
+        // 23 people, 365 days: ≈ 0.507.
+        let p = birthday(23, 365);
+        assert!((p - 0.5073).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn random_exact_certain_beyond_universe() {
+        let p = DemandProfile::new(vec![5, 6]);
+        assert_eq!(random_exact(&p, 10), 1.0);
+    }
+
+    #[test]
+    fn bins_exact_reduces_to_random_at_k1() {
+        let m = 100u128;
+        for demands in [vec![3u128, 4], vec![2, 2, 2], vec![10, 1, 5]] {
+            let p = DemandProfile::new(demands);
+            let a = bins_exact(&p, 1, m);
+            let b = random_exact(&p, m);
+            assert!((a - b).abs() < 1e-10, "{:?}: {a} vs {b}", p.demands());
+        }
+    }
+
+    #[test]
+    fn bins_exact_two_instances_one_bin_each() {
+        // Each instance occupies exactly 1 of B bins: collision = 1/B.
+        let m = 100u128;
+        let k = 10u128;
+        let p = DemandProfile::new(vec![10, 10]);
+        assert!((bins_exact(&p, k, m) - 0.1).abs() < 1e-10);
+        // Partially filled bins share the same formula.
+        let q = DemandProfile::new(vec![3, 7]);
+        assert!((bins_exact(&q, k, m) - 0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bins_exact_saturates_when_bins_run_out() {
+        let m = 100u128;
+        let k = 10u128; // 10 bins
+        let p = DemandProfile::new(vec![60, 50]); // 6 + 5 bins > 10
+        assert_eq!(bins_exact(&p, k, m), 1.0);
+    }
+
+    #[test]
+    fn uniform_p_star_decreases_in_m_increases_in_n() {
+        let p1 = uniform_p_star(4, 16, 1 << 12);
+        let p2 = uniform_p_star(4, 16, 1 << 16);
+        assert!(p2 < p1);
+        let p3 = uniform_p_star(8, 16, 1 << 12);
+        assert!(p3 > p1);
+    }
+
+    #[test]
+    fn uniform_p_star_tracks_eq4_shape() {
+        // Equation (4): Θ(min(1, n²h/m)). Check the ratio stays bounded
+        // over a sweep.
+        for (n, h, m) in [(2usize, 8u128, 1u128 << 16), (8, 32, 1 << 20), (16, 4, 1 << 18)] {
+            let exact = uniform_p_star(n, h, m);
+            let theta = (n * n) as f64 * h as f64 / m as f64;
+            let ratio = exact / theta;
+            assert!(
+                (0.2..=1.5).contains(&ratio),
+                "(n={n}, h={h}, m={m}): exact {exact:.3e}, theta {theta:.3e}"
+            );
+        }
+    }
+}

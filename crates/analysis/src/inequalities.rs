@@ -1,0 +1,153 @@
+//! Numeric verification helpers for the paper's auxiliary lemmas.
+//!
+//! These lemmas carry the probabilistic machinery of the main theorems.
+//! We implement them as *checkable* numeric statements so property tests
+//! can hammer them across their whole domains — a reproduction of the
+//! paper's internal consistency, not just its headlines.
+
+use crate::math::choose2;
+
+/// **Lemma 13** (pairwise-independent union): for pairwise independent
+/// events with probabilities `probs`, the probability of the union lies in
+/// the returned `(lower, upper)` sandwich:
+///
+/// * upper: the union bound `min(1, Σpᵢ)`;
+/// * lower: the Bonferroni step from the proof. With `S = Σpᵢ`:
+///   if `S ≤ 2/3` the proof gives `(1 − S)·S ≥ S/3`; otherwise the proof's
+///   case analysis guarantees at least `1/9`.
+pub fn lemma13_bounds(probs: &[f64]) -> (f64, f64) {
+    let s: f64 = probs.iter().copied().sum();
+    let upper = s.min(1.0);
+    let lower = if s <= 2.0 / 3.0 {
+        ((1.0 - s) * s).max(0.0)
+    } else {
+        1.0 / 9.0
+    };
+    (lower.min(upper), upper)
+}
+
+/// Exact probability that `n` balls thrown independently into bins with
+/// probabilities `probs` all land in distinct bins:
+/// `n! · e_n(p₁, …, p_ℓ)` where `e_n` is the elementary symmetric
+/// polynomial, computed by the standard DP in `O(ℓ·n)`.
+///
+/// This is the quantity **Lemma 15** says is maximized by the uniform
+/// distribution.
+pub fn all_distinct_probability(n: usize, probs: &[f64]) -> f64 {
+    assert!(n >= 1);
+    let total: f64 = probs.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1 (got {total})"
+    );
+    if n > probs.len() {
+        return 0.0;
+    }
+    // e[k] after processing a prefix = elementary symmetric poly of degree k.
+    let mut e = vec![0.0f64; n + 1];
+    e[0] = 1.0;
+    for &p in probs {
+        for k in (1..=n).rev() {
+            e[k] += e[k - 1] * p;
+        }
+    }
+    let n_factorial: f64 = (1..=n).map(|i| i as f64).product();
+    (n_factorial * e[n]).clamp(0.0, 1.0)
+}
+
+/// **Lemma 15** restated as a checkable predicate: the uniform
+/// distribution maximizes [`all_distinct_probability`]. Returns the pair
+/// `(uniform_value, given_value)` for callers to assert on.
+pub fn lemma15_compare(n: usize, probs: &[f64]) -> (f64, f64) {
+    let uniform = vec![1.0 / probs.len() as f64; probs.len()];
+    (
+        all_distinct_probability(n, &uniform),
+        all_distinct_probability(n, probs),
+    )
+}
+
+/// **Lemma 21(i)**: `C(x+y, 2) ≤ 3·C(x,2) + 2x + (3/2)·C(y,2) + y/2` for
+/// all `x, y ≥ 0`. Returns `(lhs, rhs)`.
+pub fn lemma21_sides(x: u128, y: u128) -> (f64, f64) {
+    let lhs = choose2(x + y);
+    let rhs = 3.0 * choose2(x) + 2.0 * x as f64 + 1.5 * choose2(y) + y as f64 / 2.0;
+    (lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma13_bounds_are_ordered_and_sane() {
+        let cases: &[&[f64]] = &[
+            &[0.01, 0.02, 0.03],
+            &[0.2, 0.2, 0.2],
+            &[0.5, 0.5, 0.5],
+            &[1e-9; 5],
+        ];
+        for probs in cases {
+            let (lo, hi) = lemma13_bounds(probs);
+            assert!(lo <= hi, "{probs:?}");
+            assert!(lo >= 0.0 && hi <= 1.0);
+            // For pairwise independent events, inclusion-exclusion truth:
+            // P(∪) ≥ S − Σ_{i<j} pᵢpⱼ ≥ lower in the small-S regime.
+            let s: f64 = probs.iter().sum();
+            if s <= 2.0 / 3.0 {
+                let pair_sum: f64 = {
+                    let mut acc = 0.0;
+                    for i in 0..probs.len() {
+                        for j in (i + 1)..probs.len() {
+                            acc += probs[i] * probs[j];
+                        }
+                    }
+                    acc
+                };
+                assert!(s - pair_sum >= lo - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_distinct_matches_birthday_for_uniform() {
+        // n balls into ℓ uniform bins: ∏ (1 − i/ℓ).
+        let l = 20usize;
+        let probs = vec![1.0 / l as f64; l];
+        for n in 1..=6usize {
+            let expected: f64 = (0..n).map(|i| 1.0 - i as f64 / l as f64).product();
+            let got = all_distinct_probability(n, &probs);
+            assert!((got - expected).abs() < 1e-10, "n = {n}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn all_distinct_zero_when_more_balls_than_bins() {
+        let probs = vec![0.5, 0.5];
+        assert_eq!(all_distinct_probability(3, &probs), 0.0);
+    }
+
+    #[test]
+    fn lemma15_uniform_beats_skewed() {
+        // A deliberately skewed distribution over 4 bins, 3 balls.
+        let skewed = [0.7, 0.1, 0.1, 0.1];
+        let (uniform, given) = lemma15_compare(3, &skewed);
+        assert!(
+            uniform > given,
+            "uniform {uniform} must beat skewed {given}"
+        );
+        // And the uniform case is a fixed point.
+        let flat = [0.25; 4];
+        let (u2, g2) = lemma15_compare(3, &flat);
+        assert!((u2 - g2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma21_holds_on_a_grid() {
+        for x in 0..50u128 {
+            for y in 0..50u128 {
+                let (lhs, rhs) = lemma21_sides(x, y);
+                assert!(lhs <= rhs + 1e-9, "violated at x={x}, y={y}: {lhs} > {rhs}");
+            }
+        }
+    }
+}

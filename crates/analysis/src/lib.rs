@@ -1,0 +1,42 @@
+//! # uuidp-analysis — the paper's mathematics, executable
+//!
+//! Three layers of predictions against which simulations are compared:
+//!
+//! * [`theory`] — every Θ/O/Ω bound from the paper as a formula (shape
+//!   predictors; the paper's constants are not specified);
+//! * [`exact`] — closed forms with *no* hidden constants (Cluster pairs,
+//!   Random/Bins disjointness counting, the uniform-profile optimum of
+//!   Lemma 16, brute-force enumeration for tiny cases);
+//! * [`competitive`] — concrete `p*(D)` bounds for the profile families of
+//!   the competitive analysis (Lemmas 16, 20, 24; Theorem 10's Φ).
+//!
+//! [`inequalities`] exposes the auxiliary lemmas (13, 15, 21) as checkable
+//! numeric statements for property tests, and [`math`] holds the log-space
+//! numerics underneath it all.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod competitive;
+pub mod distribution;
+pub mod exact;
+pub mod inequalities;
+pub mod math;
+pub mod planning;
+pub mod theory;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::competitive::{
+        competitive_ratio, pair_p_star_bounds, phi_p_star_upper, rounded_p_star_lower, Bounds,
+    };
+    pub use crate::exact::{
+        bins_exact, birthday, cluster_enumerated, cluster_pair, cluster_union_bounds,
+        random_exact, uniform_p_star,
+    };
+    pub use crate::distribution;
+    pub use crate::planning::{
+        cluster_advantage, crossover_demand, required_bits, safe_demand, Scheme,
+    };
+    pub use crate::theory;
+}

@@ -1,0 +1,194 @@
+//! Numeric building blocks: log-gamma, log-binomials, and safe
+//! probability combinators, all in log space so that quantities like
+//! `C(2^40, 2^20) / C(2^64, 2^20)` are representable.
+
+use std::f64::consts::PI;
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, 9
+/// coefficients). Absolute error below 1e-13 for `x > 0.5`; the reflection
+/// formula covers the rest. Accurate far beyond what collision-probability
+/// comparisons need.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_81,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x.is_finite(), "ln_gamma needs finite input");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        return (PI / (PI * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)`.
+pub fn ln_factorial(n: u128) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+///
+/// For small `k` (or small `n − k`) uses the direct product
+/// `Σᵢ ln(n − i) − ln k!`, which stays accurate even at `n = 2¹²⁷` where
+/// the difference-of-lgammas form loses everything to cancellation.
+pub fn ln_binomial(n: u128, k: u128) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 0.0;
+    }
+    const DIRECT_LIMIT: u128 = 1 << 16;
+    if k <= DIRECT_LIMIT {
+        let mut acc = 0.0f64;
+        for i in 0..k {
+            acc += ((n - i) as f64).ln();
+        }
+        return acc - ln_factorial(k);
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln [C(a, d) / C(m, d)]` for `a ≤ m`, computed stably as
+/// `Σ_{t<d} ln((a − t)/(m − t))`.
+///
+/// The two binomials individually can be astronomically large while their
+/// ratio is a perfectly ordinary probability; differencing lgammas would
+/// cancel catastrophically. `-inf` when `d > a` (the numerator vanishes).
+pub fn ln_binomial_ratio(a: u128, m: u128, d: u128) -> f64 {
+    assert!(a <= m, "ratio requires a <= m");
+    if d > a {
+        return f64::NEG_INFINITY;
+    }
+    if d == 0 || a == m {
+        return 0.0;
+    }
+    const DIRECT_LIMIT: u128 = 1 << 22;
+    if d <= DIRECT_LIMIT {
+        let mut acc = 0.0f64;
+        for t in 0..d {
+            acc += (((a - t) as f64) / ((m - t) as f64)).ln();
+        }
+        return acc.min(0.0);
+    }
+    // Fallback for gigantic d: lgamma form (reduced precision, still
+    // monotone enough for shape checks).
+    (ln_binomial(a, d) - ln_binomial(m, d)).min(0.0)
+}
+
+/// `C(n, 2)` as f64 (saturating conversion for astronomically large `n`).
+pub fn choose2(n: u128) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) / 2.0
+}
+
+/// `1 − exp(x)` computed accurately for `x ≤ 0` (complement of a
+/// log-probability).
+pub fn one_minus_exp(x: f64) -> f64 {
+    debug_assert!(x <= 0.0);
+    -x.exp_m1()
+}
+
+/// Combines independent event probabilities: `1 − ∏(1 − pᵢ)`, computed in
+/// log space to avoid catastrophic cancellation at tiny probabilities.
+pub fn union_of_independent(probs: &[f64]) -> f64 {
+    let mut log_none = 0.0f64;
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p >= 1.0 {
+            return 1.0;
+        }
+        log_none += (-p).ln_1p();
+    }
+    one_minus_exp(log_none)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn ln_factorial_small_cases() {
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, f) in facts.iter().enumerate() {
+            assert!(
+                (ln_factorial(n as u128) - f.ln()).abs() < 1e-10,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_pascal() {
+        for n in 0..20u128 {
+            let mut row = vec![1u128];
+            for _ in 0..n {
+                let mut next = vec![1];
+                for w in row.windows(2) {
+                    next.push(w[0] + w[1]);
+                }
+                next.push(1);
+                row = next;
+            }
+            for (k, &c) in row.iter().enumerate() {
+                let got = ln_binomial(n, k as u128);
+                assert!(
+                    (got - (c as f64).ln()).abs() < 1e-9,
+                    "C({n},{k}) = {c}, got ln = {got}"
+                );
+            }
+        }
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_binomial_handles_huge_arguments() {
+        // C(2^64, 2) = 2^64·(2^64−1)/2; check against the direct formula.
+        let n = 1u128 << 64;
+        let direct = ((n as f64) * ((n - 1) as f64) / 2.0).ln();
+        assert!((ln_binomial(n, 2) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_of_independent_sanity() {
+        assert!((union_of_independent(&[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert_eq!(union_of_independent(&[0.3, 1.0, 0.2]), 1.0);
+        assert_eq!(union_of_independent(&[]), 0.0);
+        // Tiny probabilities: union ≈ sum.
+        let tiny = [1e-12, 2e-12, 3e-12];
+        let u = union_of_independent(&tiny);
+        assert!((u - 6e-12).abs() / 6e-12 < 1e-6);
+    }
+
+    #[test]
+    fn choose2_values() {
+        assert_eq!(choose2(0), 0.0);
+        assert_eq!(choose2(1), 0.0);
+        assert_eq!(choose2(2), 1.0);
+        assert_eq!(choose2(10), 45.0);
+    }
+}

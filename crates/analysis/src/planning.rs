@@ -1,0 +1,150 @@
+//! Capacity planning: the practitioner-facing inverse of the paper's
+//! bounds.
+//!
+//! The theorems answer "given `n`, `d`, `m`, how likely is a collision?".
+//! Deployments ask the inverse questions:
+//!
+//! * *How many IDs can my fleet draw before exceeding a collision
+//!   budget?* — [`safe_demand`]
+//! * *How many ID bits do I need for a target workload?* —
+//!   [`required_bits`]
+//! * *When do the schemes cross over?* — [`crossover_demand`]
+//!
+//! All answers use the paper's leading-order expressions (Corollaries 3
+//! and 5): Random `p ≈ d²/m`, Cluster `p ≈ nd/m`. They are planning
+//! figures, not guarantees — the hidden Θ-constants are ≈ 1/2 to 1 in our
+//! measurements (experiments E2/E3), so these estimates are mildly
+//! conservative when used as upper limits on demand.
+
+/// The scheme being planned for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// GUID-style uniform sampling: the birthday regime, `p ≈ d²/m`.
+    Random,
+    /// RocksDB-style sequential-from-random-start: `p ≈ n·d/m`.
+    Cluster,
+}
+
+/// Maximum total demand `d` keeping the collision probability within
+/// `budget`, for `n` instances over a `m`-sized universe.
+///
+/// # Panics
+///
+/// Panics unless `0 < budget < 1`, `n ≥ 1`, and `m ≥ 2`.
+pub fn safe_demand(scheme: Scheme, budget: f64, n: u128, m_bits: u32) -> f64 {
+    validate(budget, n, m_bits);
+    let m = 2f64.powi(m_bits as i32);
+    match scheme {
+        Scheme::Random => (budget * m).sqrt(),
+        Scheme::Cluster => budget * m / n as f64,
+    }
+}
+
+/// Minimum ID width in bits so that `d` total IDs across `n` instances
+/// stay within `budget`.
+pub fn required_bits(scheme: Scheme, budget: f64, n: u128, d: f64) -> u32 {
+    assert!(budget > 0.0 && budget < 1.0, "budget must be in (0, 1)");
+    assert!(n >= 1 && d >= 1.0);
+    let m = match scheme {
+        Scheme::Random => d * d / budget,
+        Scheme::Cluster => n as f64 * d / budget,
+    };
+    m.log2().ceil().max(1.0) as u32
+}
+
+/// The demand at which Cluster's collision probability overtakes
+/// Random's is `d = n` (below it the all-singleton profiles make the two
+/// coincide; above it Random loses by `d/n`). Returns `n` as f64 for
+/// symmetry with the other planning functions.
+pub fn crossover_demand(n: u128) -> f64 {
+    n as f64
+}
+
+/// The capacity advantage of Cluster over Random at a fixed budget:
+/// `d_cluster / d_random = √(budget·m)/n`. This is the paper's "orders of
+/// magnitude beyond Random's capacity" quantified.
+pub fn cluster_advantage(budget: f64, n: u128, m_bits: u32) -> f64 {
+    validate(budget, n, m_bits);
+    safe_demand(Scheme::Cluster, budget, n, m_bits)
+        / safe_demand(Scheme::Random, budget, n, m_bits)
+}
+
+fn validate(budget: f64, n: u128, m_bits: u32) {
+    assert!(budget > 0.0 && budget < 1.0, "budget must be in (0, 1)");
+    assert!(n >= 1, "at least one instance");
+    // Pure f64 arithmetic: unlike `IdSpace`, planning happily covers the
+    // full 128-bit GUID width and beyond.
+    assert!((1..=192).contains(&m_bits), "1..=192 ID bits");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_demand_formulas() {
+        // Random at 128 bits, budget 1e-6: √(1e-6 · 2^128) = 2^(64 − ~10).
+        let d = safe_demand(Scheme::Random, 1e-6, 1024, 128);
+        assert!((d.log2() - (128.0 - 19.93) / 2.0).abs() < 0.1, "{}", d.log2());
+        // Cluster at the same point: 1e-6 · 2^128 / 2^10 = 2^(128−20−10).
+        let d = safe_demand(Scheme::Cluster, 1e-6, 1024, 128);
+        assert!((d.log2() - (128.0 - 19.93 - 10.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn cluster_beats_random_at_scale() {
+        // The paper's headline: at 128 bits Cluster's capacity advantage
+        // is astronomical for any realistic fleet size.
+        let adv = cluster_advantage(1e-9, 1 << 16, 128);
+        assert!(adv.log2() > 30.0, "advantage 2^{:.1}", adv.log2());
+        // At tiny m and huge n the advantage can invert (Random wins
+        // below the d = n crossover).
+        let adv = cluster_advantage(0.5, 1 << 20, 24);
+        assert!(adv < 1.0);
+    }
+
+    #[test]
+    fn required_bits_roundtrips_safe_demand() {
+        for scheme in [Scheme::Random, Scheme::Cluster] {
+            let (budget, n) = (1e-6, 256u128);
+            let bits = 96u32;
+            let d = safe_demand(scheme, budget, n, bits);
+            let back = required_bits(scheme, budget, n, d);
+            assert!(
+                (back as i64 - bits as i64).abs() <= 1,
+                "{scheme:?}: {bits} → d {d:.3e} → {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn required_bits_monotone_in_demand() {
+        let a = required_bits(Scheme::Random, 1e-6, 16, 1e6);
+        let b = required_bits(Scheme::Random, 1e-6, 16, 1e12);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn crossover_is_n() {
+        assert_eq!(crossover_demand(1024), 1024.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn rejects_invalid_budget() {
+        safe_demand(Scheme::Random, 1.5, 4, 64);
+    }
+
+    #[test]
+    fn guid_inadequacy_headline() {
+        // §1: "with companies operating at exabyte scales we are not far
+        // from a world where Random with 128-bit IDs sees collisions."
+        // At d = 2^64 objects, Random's p ≈ 1; Cluster with n = 2^20
+        // instances still has p ≈ 2^(64+20−128) = 2^−44.
+        let d = 2f64.powi(64);
+        let p_random = d * d / 2f64.powi(128);
+        assert!(p_random >= 1.0);
+        let p_cluster = (1u128 << 20) as f64 * d / 2f64.powi(128);
+        assert!(p_cluster < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! The paper's collision-probability bounds as executable formulas.
+//!
+//! Every Θ/O/Ω statement is reproduced with its inner expression and
+//! constant 1 (the paper's constants are not stated); experiments compare
+//! *shape* — slopes, ratios across sweeps, crossovers — never absolute
+//! values. Each function cites its source theorem.
+
+use uuidp_adversary::profile::DemandProfile;
+
+use crate::math::choose2;
+
+/// Clamps an intensity to a probability: the paper's recurring
+/// `min(1, ·)` safeguard.
+#[inline]
+pub fn clamp_prob(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// **Theorem 1**: `p_Cluster(D) = Θ(min(1, n‖D‖₁/m))`.
+pub fn cluster(profile: &DemandProfile, m: u128) -> f64 {
+    let n = profile.n() as f64;
+    let l1 = profile.l1() as f64;
+    clamp_prob(n * l1 / m as f64)
+}
+
+/// **Theorem 2**: `p_Bins(k)(D) = Θ(min(1, (‖D‖₁²−‖D‖₂²)/(km) + n‖D‖₁/m +
+/// n²k/m))`.
+pub fn bins(profile: &DemandProfile, k: u128, m: u128) -> f64 {
+    let n = profile.n() as f64;
+    let l1 = profile.l1() as f64;
+    let l2sq = profile.l2_squared() as f64;
+    let (k, m) = (k as f64, m as f64);
+    clamp_prob((l1 * l1 - l2sq) / (k * m) + n * l1 / m + n * n * k / m)
+}
+
+/// **Corollary 3**: `p_Random(D) = Θ(min(1, (‖D‖₁²−‖D‖₂²)/m))`.
+pub fn random(profile: &DemandProfile, m: u128) -> f64 {
+    let l1 = profile.l1() as f64;
+    let l2sq = profile.l2_squared() as f64;
+    clamp_prob((l1 * l1 - l2sq) / m as f64)
+}
+
+/// **Corollary 5** (worst case over `D1(n, d)`): Cluster side,
+/// `Θ(min(1, nd/m))`.
+pub fn cluster_worst_case(n: usize, d: u128, m: u128) -> f64 {
+    clamp_prob(n as f64 * d as f64 / m as f64)
+}
+
+/// **Corollary 5** (worst case over `D1(n, d)`): Random side,
+/// `Θ(min(1, d²/m))`.
+pub fn random_worst_case(d: u128, m: u128) -> f64 {
+    let d = d as f64;
+    clamp_prob(d * d / m as f64)
+}
+
+/// **Theorem 6**: for all but an `exp(−Θ(n))` fraction of `D ∈ D1(n, d)`,
+/// `p*(D) = Ω(min(1, nd/m))` — the oblivious worst-case lower bound.
+pub fn oblivious_lower_bound(n: usize, d: u128, m: u128) -> f64 {
+    cluster_worst_case(n, d, m)
+}
+
+/// **Equation (4)** / Lemma 16: on the uniform profile `(h)ⁿ` the optimal
+/// algorithm (Bins(h)) collides with probability `Θ(min(1, n²h/m))`.
+pub fn uniform_optimum(n: usize, h: u128, m: u128) -> f64 {
+    let n = n as f64;
+    clamp_prob(n * n * h as f64 / m as f64)
+}
+
+/// **Lemma 7**: the adaptive nearest-pair adversary forces Cluster to
+/// `Ω(min(1, n²d/m))`.
+pub fn cluster_adaptive_lower_bound(n: usize, d: u128, m: u128) -> f64 {
+    let n = n as f64;
+    clamp_prob(n * n * d as f64 / m as f64)
+}
+
+/// **Theorem 8**: Cluster★ against any adaptive adversary in
+/// `D1(d) ∩ D∞(n, m/(2 log m))`: `O(min(1, (nd/m)·log₂(1 + d/n)))`.
+pub fn cluster_star_adaptive_bound(n: usize, d: u128, m: u128) -> f64 {
+    let n = n as f64;
+    let d = d as f64;
+    clamp_prob((n * d / m as f64) * (1.0 + d / n).log2())
+}
+
+/// **Lemma 20**: for a rounded profile with rank distribution `s`,
+/// `p*(D⁻) = Ω(min(1, (1/m)·Σᵢ C(sᵢ,2)·2ⁱ))`.
+pub fn rank_lower_bound(rank_distribution: &[u128], m: u128) -> f64 {
+    let sum: f64 = rank_distribution
+        .iter()
+        .enumerate()
+        .map(|(idx, &s)| choose2(s) * 2f64.powi(idx as i32 + 1))
+        .sum();
+    clamp_prob(sum / m as f64)
+}
+
+/// **Lemma 22**: `p_Bins★(D⁻) = O((log m / m)·Σᵢ C(sᵢ,2)·2ⁱ)`.
+pub fn bins_star_upper_bound(rank_distribution: &[u128], m: u128) -> f64 {
+    let log_m = (m as f64).log2();
+    clamp_prob(rank_lower_bound(rank_distribution, m) * log_m)
+}
+
+/// **Lemma 24**: `p*((i, j)) = Θ(i/m)` for `1 ≤ i ≤ j ≤ m/2`.
+pub fn pair_optimum(i: u128, j: u128, m: u128) -> f64 {
+    assert!(i >= 1 && i <= j, "requires 1 <= i <= j");
+    assert!(j <= m / 2, "requires j <= m/2");
+    clamp_prob(i as f64 / m as f64)
+}
+
+/// **Theorem 9 / Corollary 12**: Bins★'s competitive ratio bound,
+/// `O(log₂ m)` — the quantity experiments compare measured ratios against.
+pub fn bins_star_competitive_bound(m: u128) -> f64 {
+    (m as f64).log2()
+}
+
+/// **Theorem 10 / Lemma 25**: under the hard distribution Φ every
+/// algorithm has `E_Φ[p_A] = Ω(log²m / m)`.
+pub fn phi_expected_lower_bound(m: u128) -> f64 {
+    let lg = (m as f64).log2();
+    clamp_prob(lg * lg / m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(v: &[u128]) -> DemandProfile {
+        DemandProfile::new(v.to_vec())
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(clamp_prob(2.5), 1.0);
+        assert_eq!(clamp_prob(-0.1), 0.0);
+        assert_eq!(clamp_prob(0.25), 0.25);
+    }
+
+    #[test]
+    fn cluster_formula() {
+        // n=2, d=30, m=1000 → 2·30/1000.
+        let p = profile(&[20, 10]);
+        assert!((cluster(&p, 1000) - 0.06).abs() < 1e-12);
+        // Saturation.
+        assert_eq!(cluster(&p, 10), 1.0);
+    }
+
+    #[test]
+    fn random_formula_is_birthdayish() {
+        // (l1² − l2²)/m = (900 − 500)/1000.
+        let p = profile(&[20, 10]);
+        assert!((random(&p, 1000) - 0.4).abs() < 1e-12);
+        // Singletons (1,1): (4 − 2)/m = 2/m, the birthday pair term.
+        let q = profile(&[1, 1]);
+        assert!((random(&q, 1000) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bins_interpolates_random_and_coarse() {
+        let p = profile(&[100, 100]);
+        let m = 1 << 20;
+        // k = 1 reduces to random + lower-order terms.
+        let b1 = bins(&p, 1, m);
+        let r = random(&p, m);
+        assert!(b1 >= r && b1 <= r + 5e-4, "b1 = {b1}, r = {r}");
+        // Larger k shrinks the pair term until the n²k/m term dominates.
+        let b100 = bins(&p, 100, m);
+        assert!(b100 < b1);
+    }
+
+    #[test]
+    fn dominance_cluster_le_bins() {
+        // Corollary 4: Cluster ≤ O(Bins(k)) for all k — with constant-1
+        // formulas the inequality holds directly since n·l1/m is one of
+        // Bins' three terms.
+        for demands in [vec![5u128, 5], vec![100, 3, 1], vec![7, 7, 7, 7]] {
+            let p = profile(&demands);
+            let m = 1 << 24;
+            for k in [1u128, 4, 64, 1024] {
+                assert!(cluster(&p, m) <= bins(&p, k, m) + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_bounds_ordering() {
+        // The adaptive lower bound for Cluster exceeds its oblivious bound
+        // by the factor n; Cluster★'s bound sits in between for small n.
+        let (n, d, m) = (16usize, 1u128 << 12, 1u128 << 30);
+        let obl = cluster_worst_case(n, d, m);
+        let adp = cluster_adaptive_lower_bound(n, d, m);
+        assert!((adp / obl - n as f64).abs() < 1e-9);
+        let cs = cluster_star_adaptive_bound(n, d, m);
+        assert!(cs > obl && cs < adp);
+    }
+
+    #[test]
+    fn rank_bound_matches_uniform_case() {
+        // Uniform rounded profile (2^(i-1))^s: single rank term.
+        let s = [0u128, 0, 4]; // four instances of demand 4
+        let m = 1 << 20;
+        let got = rank_lower_bound(&s, m);
+        let expected = choose2(4) * 8.0 / m as f64;
+        assert!((got - expected).abs() < 1e-15);
+        let upper = bins_star_upper_bound(&s, m);
+        assert!((upper / got - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_optimum_guards() {
+        assert!((pair_optimum(4, 100, 1000) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "j <= m/2")]
+    fn pair_optimum_rejects_large_j() {
+        pair_optimum(4, 600, 1000);
+    }
+
+    #[test]
+    fn phi_bound_scales_as_log_squared_over_m() {
+        let m = 1u128 << 20;
+        let got = phi_expected_lower_bound(m);
+        assert!((got - 400.0 / m as f64).abs() < 1e-12);
+    }
+}

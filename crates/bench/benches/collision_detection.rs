@@ -1,0 +1,126 @@
+//! Collision-detection and interval-set benchmarks, including the
+//! symbolic-vs-materialized ablation called out in DESIGN.md.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::{Arc, IntervalSet};
+use uuidp_core::rng::{SeedTree, Xoshiro256pp};
+use uuidp_sim::collision::{footprints_collide, OnlineDetector};
+use uuidp_sim::game::run_oblivious_symbolic;
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    let space = IdSpace::with_bits(64).unwrap();
+
+    group.bench_function("insert_1k_arcs", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        let arcs: Vec<Arc> = (0..1000)
+            .map(|_| {
+                Arc::new(
+                    space,
+                    Id(uuidp_core::rng::uniform_below(&mut rng, space.size())),
+                    1 + uuidp_core::rng::uniform_below(&mut rng, 1 << 20),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut set = IntervalSet::new(space);
+            for &arc in &arcs {
+                set.insert(arc);
+            }
+            black_box(set.measure())
+        });
+    });
+
+    group.bench_function("sample_fitting_start_fragmented", |b| {
+        // A fragmented set (256 runs): the Cluster★ hot path.
+        let mut set = IntervalSet::new(space);
+        let mut rng = Xoshiro256pp::new(2);
+        for _ in 0..256 {
+            if let Some(start) = set.sample_fitting_start(&mut rng, 1 << 16) {
+                set.insert(Arc::new(space, start, 1 << 16));
+            }
+        }
+        b.iter(|| black_box(set.sample_fitting_start(&mut rng, 1 << 12)));
+    });
+
+    group.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors");
+    let space = IdSpace::with_bits(40).unwrap();
+    let n = 16usize;
+    let per_instance = 1u128 << 12;
+
+    // Symbolic: footprints from bulk-skipped Cluster instances.
+    group.bench_function("symbolic_cluster_16x4096", |b| {
+        let alg = AlgorithmKind::Cluster.build(space);
+        let gens: Vec<_> = (0..n)
+            .map(|i| {
+                let mut g = alg.spawn(i as u64);
+                g.skip(per_instance).unwrap();
+                g
+            })
+            .collect();
+        b.iter(|| {
+            let fps: Vec<_> = gens.iter().map(|g| g.footprint()).collect();
+            black_box(footprints_collide(&fps))
+        });
+    });
+
+    // Materialized: the same volume through the online detector.
+    group.bench_function("materialized_cluster_16x4096", |b| {
+        let alg = AlgorithmKind::Cluster.build(space);
+        b.iter(|| {
+            let mut det = OnlineDetector::new();
+            for i in 0..n {
+                let mut g = alg.spawn(i as u64);
+                for _ in 0..per_instance {
+                    det.record(i, g.next_id().unwrap());
+                }
+            }
+            black_box(det.collided())
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_full_symbolic_trial(c: &mut Criterion) {
+    // One Monte-Carlo trial of the E2-style experiment, per algorithm:
+    // this is the unit the repro harness repeats hundreds of thousands of
+    // times.
+    let mut group = c.benchmark_group("symbolic_trial_n16_d4096");
+    let space = IdSpace::with_bits(40).unwrap();
+    let profile = DemandProfile::uniform(16, 256);
+    for (name, kind) in [
+        ("cluster", AlgorithmKind::Cluster),
+        ("bins_1024", AlgorithmKind::Bins { k: 1024 }),
+        ("cluster_star", AlgorithmKind::ClusterStar),
+        ("bins_star", AlgorithmKind::BinsStar),
+    ] {
+        let alg = kind.build(space);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial = trial.wrapping_add(1);
+                let seeds = SeedTree::new(9).trial(trial);
+                black_box(run_oblivious_symbolic(alg.as_ref(), &profile, &seeds).collided)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interval_set,
+    bench_detectors,
+    bench_full_symbolic_trial
+);
+criterion_main!(benches);

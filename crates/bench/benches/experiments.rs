@@ -1,0 +1,133 @@
+//! Bench-per-experiment wrappers: the unit work item of each paper
+//! experiment, timed. `cargo bench` thus regenerates the performance
+//! profile of the whole reproduction harness; the full-fidelity results
+//! themselves come from `cargo run --release --bin repro -- all`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uuidp_adversary::adaptive::AdversarySpec;
+use uuidp_adversary::nearest_pair::NearestPair;
+use uuidp_adversary::profile::{DemandProfile, PhiDistribution};
+use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_adversary::semi_adaptive::FollowSequence;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_core::rng::{SeedDomain, SeedTree};
+use uuidp_sim::game::{run_adaptive, run_oblivious_symbolic, GameLimits};
+
+use uuidp_analysis::competitive::{pair_p_star_bounds, rounded_p_star_lower};
+use uuidp_analysis::exact::{bins_exact, cluster_union_bounds, random_exact};
+
+/// E2/E3/E5-style unit: one symbolic oblivious trial.
+fn bench_oblivious_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_e3_e5_oblivious_trial");
+    let space = IdSpace::with_bits(24).unwrap();
+    let profile = DemandProfile::uniform(8, 1 << 9);
+    for (name, kind) in [
+        ("e2_cluster", AlgorithmKind::Cluster),
+        ("e3_bins256", AlgorithmKind::Bins { k: 256 }),
+        ("e5_random", AlgorithmKind::Random),
+    ] {
+        let alg = kind.build(space);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t = t.wrapping_add(1);
+                let seeds = SeedTree::new(2).trial(t);
+                black_box(run_oblivious_symbolic(alg.as_ref(), &profile, &seeds).collided)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E4/E6-style unit: the exact formulas on a realistic profile.
+fn bench_exact_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_e6_exact_formulas");
+    let m = 1u128 << 24;
+    let profile = DemandProfile::uniform(32, 1 << 10);
+    group.bench_function("cluster_union_bounds_n32", |b| {
+        b.iter(|| black_box(cluster_union_bounds(&profile, m)));
+    });
+    group.bench_function("random_exact_n32_d32k", |b| {
+        b.iter(|| black_box(random_exact(&profile, m)));
+    });
+    group.bench_function("bins_exact_n32", |b| {
+        b.iter(|| black_box(bins_exact(&profile, 1 << 10, m)));
+    });
+    group.bench_function("rounded_p_star_lower_n32", |b| {
+        b.iter(|| black_box(rounded_p_star_lower(&profile, m)));
+    });
+    group.finish();
+}
+
+/// E7/E8-style unit: one adaptive game.
+fn bench_adaptive_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_e8_adaptive_game");
+    let space = IdSpace::with_bits(20).unwrap();
+    let (n, d) = (16usize, 1u128 << 10);
+    let cases: Vec<(&str, AlgorithmKind, Box<dyn AdversarySpec>)> = vec![
+        (
+            "e7_nearest_pair_vs_cluster",
+            AlgorithmKind::Cluster,
+            Box::new(NearestPair::new(n, d)),
+        ),
+        (
+            "e8_run_hunter_vs_cluster_star",
+            AlgorithmKind::ClusterStar,
+            Box::new(RunHunter::new(n, d)),
+        ),
+        (
+            "e11_fol_vs_bins_star",
+            AlgorithmKind::BinsStar,
+            Box::new(FollowSequence::growing_to(&DemandProfile::uniform(4, 64))),
+        ),
+    ];
+    for (name, kind, spec) in cases {
+        let alg = kind.build(space);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t = t.wrapping_add(1);
+                let seeds = SeedTree::new(3).trial(t);
+                let mut adv = spec.spawn(seeds.seed(SeedDomain::Adversary));
+                black_box(
+                    run_adaptive(alg.as_ref(), adv.as_mut(), &seeds, GameLimits::default())
+                        .collided,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E9/E10-style unit: competitive machinery (p* witnesses, Φ expectation).
+fn bench_competitive_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_e10_competitive");
+    let m = 1u128 << 12;
+    group.bench_function("pair_p_star_bounds", |b| {
+        b.iter(|| black_box(pair_p_star_bounds(16, 1 << 10, m)));
+    });
+    let space = IdSpace::new(m).unwrap();
+    group.bench_function("phi_enumerate_expectation", |b| {
+        let phi = PhiDistribution::new(space);
+        b.iter(|| {
+            let total: f64 = phi
+                .enumerate()
+                .map(|(d, w)| w * (d.l1() as f64 / m as f64))
+                .sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oblivious_trials,
+    bench_exact_formulas,
+    bench_adaptive_games,
+    bench_competitive_machinery
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Generator micro-benchmarks: ns/ID for every algorithm, spawn cost, and
+//! the bulk-skip fast path that powers the symbolic experiments.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_core::traits::Algorithm;
+
+fn suite() -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    let space = IdSpace::with_bits(64).unwrap();
+    vec![
+        ("random", AlgorithmKind::Random.build(space)),
+        ("cluster", AlgorithmKind::Cluster.build(space)),
+        ("bins_1024", AlgorithmKind::Bins { k: 1024 }.build(space)),
+        ("cluster_star", AlgorithmKind::ClusterStar.build(space)),
+        ("bins_star", AlgorithmKind::BinsStar.build(space)),
+        (
+            "session_counter",
+            AlgorithmKind::SessionCounter {
+                session_bits: 40,
+                counter_bits: 24,
+            }
+            .build(space),
+        ),
+    ]
+}
+
+fn bench_next_id(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_id");
+    let batch = 1024u128;
+    group.throughput(Throughput::Elements(batch as u64));
+    for (name, alg) in suite() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || alg.spawn(42),
+                |mut gen| {
+                    for _ in 0..batch {
+                        black_box(gen.next_id().unwrap());
+                    }
+                    gen
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn");
+    for (name, alg) in suite() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(alg.spawn(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_skip(c: &mut Criterion) {
+    // The ablation behind the symbolic engine: skipping 2^20 IDs must be
+    // orders of magnitude cheaper than materializing them for the
+    // arc-structured algorithms.
+    let mut group = c.benchmark_group("skip_2e20");
+    let count = 1u128 << 20;
+    for (name, alg) in suite() {
+        if name == "random" {
+            continue; // O(count) by necessity; covered by next_id.
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || alg.spawn(7),
+                |mut gen| {
+                    gen.skip(count).unwrap();
+                    gen
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_next_id, bench_spawn, bench_bulk_skip);
+criterion_main!(benches);

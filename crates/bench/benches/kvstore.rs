@@ -1,0 +1,101 @@
+//! KV-store substrate benchmarks (E13's unit costs): cache operations and
+//! end-to-end workload throughput per ID algorithm.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_kvstore::cache::BlockCache;
+use uuidp_kvstore::sst::{BlockPayload, CacheKey, FileIdentity};
+use uuidp_kvstore::workload::{run_workload, WorkloadConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_cache");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("insert_evicting", |b| {
+        let cache = BlockCache::new(1 << 12);
+        let mut i = 0u128;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.insert(
+                CacheKey {
+                    sst_unique_id: i,
+                    block: 0,
+                },
+                BlockPayload {
+                    origin: FileIdentity {
+                        origin_instance: 0,
+                        file_number: i as u64,
+                    },
+                    block: 0,
+                },
+            );
+        });
+    });
+
+    group.bench_function("get_hit", |b| {
+        let cache = BlockCache::new(1 << 12);
+        for i in 0..(1u128 << 12) {
+            cache.insert(
+                CacheKey {
+                    sst_unique_id: i,
+                    block: 0,
+                },
+                BlockPayload {
+                    origin: FileIdentity {
+                        origin_instance: 0,
+                        file_number: i as u64,
+                    },
+                    block: 0,
+                },
+            );
+        }
+        let mut i = 0u128;
+        b.iter(|| {
+            i = (i + 1) & ((1 << 12) - 1);
+            black_box(cache.get(CacheKey {
+                sst_unique_id: i,
+                block: 0,
+            }))
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_workload_4k_ops");
+    let space = IdSpace::with_bits(24).unwrap();
+    let config = WorkloadConfig {
+        instances: 8,
+        operations: 4_000,
+        ..WorkloadConfig::default()
+    };
+    group.throughput(Throughput::Elements(config.operations));
+    for (name, kind) in [
+        ("random", AlgorithmKind::Random),
+        ("cluster", AlgorithmKind::Cluster),
+        (
+            "session_counter",
+            AlgorithmKind::SessionCounter {
+                session_bits: 14,
+                counter_bits: 10,
+            },
+        ),
+    ] {
+        let alg = kind.build(space);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_workload(alg.as_ref(), config, seed).files_created)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E2 — Theorem 1: `p_Cluster(D) = Θ(min(1, n‖D‖₁/m))`.
+//!
+//! Sweeps `n` and `d` over uniform and power-law profiles at `m = 2²⁴`,
+//! measures the collision probability by symbolic Monte-Carlo, and
+//! compares against the Θ-expression. Shape checks: the measured/theory
+//! ratio stays within a constant band across the entire sweep (the Θ
+//! claim) and the log–log slope of `p` against `d` is ≈ 1 (linearity in
+//! total demand, Cluster's defining advantage over Random's slope-2).
+
+use uuidp_adversary::profile::{power_law, DemandProfile};
+use uuidp_core::algorithms::Cluster;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_count, fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+use uuidp_sim::stats::loglog_slope;
+
+use uuidp_analysis::theory;
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E2.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let m = 1u128 << 24;
+    let space = IdSpace::new(m).unwrap();
+    let alg = Cluster::new(space);
+
+    let mut table = Table::new(
+        "Cluster vs Theorem 1 (m = 2^24, adaptive trial counts)",
+        &["n", "d", "skew", "trials", "measured p", "theta(nd/m)", "ratio"],
+    );
+
+    let mut ratios = Vec::new();
+    let mut slope_points = Vec::new();
+    for n in [2usize, 8, 32] {
+        for log_d in [12u32, 14, 16] {
+            let d = 1u128 << log_d;
+            for (skew, profile) in [
+                ("uniform", DemandProfile::uniform(n, d / n as u128)),
+                ("zipf(1)", power_law(n, d, 1.0)),
+            ] {
+                let d = profile.l1();
+                let theta = theory::cluster(&profile, m);
+                let trials = ctx.trials_for(theta, 400_000);
+                let (est, diag) =
+                    estimate_oblivious(&alg, &profile, TrialConfig::new(trials, ctx.seed));
+                assert_eq!(diag.exhausted_trials, 0);
+                let ratio = est.p_hat / theta;
+                ratios.push(ratio);
+                if skew == "uniform" && n == 8 {
+                    slope_points.push((d as f64, est.p_hat.max(1e-12)));
+                }
+                table.push_row(vec![
+                    n.to_string(),
+                    fmt_count(d),
+                    skew.to_string(),
+                    trials.to_string(),
+                    fmt_prob(est.p_hat),
+                    fmt_prob(theta),
+                    fmt_ratio(ratio),
+                ]);
+            }
+        }
+    }
+
+    let (min_r, max_r) = (
+        ratios.iter().copied().fold(f64::INFINITY, f64::min),
+        ratios.iter().copied().fold(0.0f64, f64::max),
+    );
+    let fit = loglog_slope(&slope_points);
+
+    let checks = vec![
+        Check::new(
+            "Θ-band: measured/theory ratio bounded across sweep",
+            min_r > 0.2 && max_r < 3.0,
+            format!("ratios in [{min_r:.2}, {max_r:.2}]"),
+        ),
+        Check::new(
+            "slope: p_Cluster grows linearly in d",
+            (fit.slope - 1.0).abs() < 0.2,
+            format!("log-log slope {:.3} (R² = {:.3})", fit.slope, fit.r_squared),
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E2",
+        title: "Theorem 1 — Cluster's collision probability",
+        sections: vec![table.markdown()],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

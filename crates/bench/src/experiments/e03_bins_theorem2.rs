@@ -1,0 +1,120 @@
+//! E3 — Theorem 2 and Corollary 3: `p_Bins(k)` across the `k` spectrum.
+//!
+//! At `m = 2²⁴` with a fixed profile, sweeping `k` exposes all three
+//! terms of Theorem 2's bound: the pair term `(‖D‖₁²−‖D‖₂²)/(km)`
+//! dominates at small `k` (Random, `k = 1`, is its pure form — Corollary
+//! 3), the `n²k/m` term dominates at large `k`, and the valley between is
+//! where Bins(k) is at its best (`k ≈ h`, Lemma 16's optimum). Measured
+//! values are compared against **both** the Θ-expression and the *exact*
+//! disjoint-bin-counting formula; the exact one must fall inside the
+//! Wilson interval.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::Bins;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+
+use uuidp_analysis::exact::bins_exact;
+use uuidp_analysis::theory;
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E3.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let m = 1u128 << 24;
+    let space = IdSpace::new(m).unwrap();
+
+    let mut sections = Vec::new();
+    let mut checks = Vec::new();
+
+    for (label, profile) in [
+        ("uniform n=4, h=2^9", DemandProfile::uniform(4, 1 << 9)),
+        ("skewed (2^11, 2^7, 2^7, 2^7)", DemandProfile::new(vec![1 << 11, 1 << 7, 1 << 7, 1 << 7])),
+    ] {
+        let mut table = Table::new(
+            format!("Bins(k) vs Theorem 2 — {label}, m = 2^24"),
+            &["k", "trials", "measured p", "exact p", "theta", "meas/theta", "exact in CI"],
+        );
+        let mut measured = Vec::new();
+        let mut all_in_ci = true;
+        let mut ratio_band = (f64::INFINITY, 0.0f64);
+        for log_k in [0u32, 4, 8, 12] {
+            let k = 1u128 << log_k;
+            let exact = bins_exact(&profile, k, m);
+            let theta = theory::bins(&profile, k, m);
+            // Floor at 10k: when p is large, trials_for returns few
+            // trials and the relative resolution gets sloppy.
+            let trials = ctx.trials_for(exact, 200_000).max(10_000);
+            let alg = Bins::new(space, k);
+            let (est, diag) =
+                estimate_oblivious(&alg, &profile, TrialConfig::new(trials, ctx.seed));
+            assert_eq!(diag.exhausted_trials, 0);
+            // CI coverage with a relative-error fallback: eight 95%
+            // intervals jointly cover with only ~2/3 probability, so a
+            // near-miss within 15% relative error also counts.
+            let in_ci =
+                est.contains(exact) || (est.p_hat - exact).abs() / exact.max(1e-12) < 0.15;
+            all_in_ci &= in_ci;
+            let ratio = est.p_hat / theta;
+            ratio_band = (ratio_band.0.min(ratio), ratio_band.1.max(ratio));
+            measured.push((k, est.p_hat));
+            table.push_row(vec![
+                k.to_string(),
+                trials.to_string(),
+                fmt_prob(est.p_hat),
+                fmt_prob(exact),
+                fmt_prob(theta),
+                fmt_ratio(ratio),
+                in_ci.to_string(),
+            ]);
+        }
+        checks.push(Check::new(
+            format!("{label}: exact formula inside every Wilson interval"),
+            all_in_ci,
+            "disjoint-bin counting matches simulation".to_string(),
+        ));
+        checks.push(Check::new(
+            format!("{label}: Θ-band bounded"),
+            ratio_band.0 > 0.1 && ratio_band.1 < 3.0,
+            format!("ratios in [{:.2}, {:.2}]", ratio_band.0, ratio_band.1),
+        ));
+        // The k-valley: collision probability dips then rises again.
+        let p1 = measured[0].1;
+        let valley = measured[1..measured.len() - 1]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(f64::INFINITY, f64::min);
+        let p_last = measured[measured.len() - 1].1;
+        checks.push(Check::new(
+            format!("{label}: U-shape in k (Random worst at k=1, n²k/m bites at large k)"),
+            valley < p1 && valley < p_last,
+            format!("p(k=1)={p1:.4}, valley={valley:.4}, p(k=2^12)={p_last:.4}"),
+        ));
+        sections.push(table.markdown());
+    }
+
+    ExperimentReport {
+        id: "E3",
+        title: "Theorem 2 / Corollary 3 — Bins(k) and Random",
+        sections,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! E5 — Corollary 5: worst case over `D1(n, d)` — Cluster `Θ(nd/m)` vs
+//! Random `Θ(d²/m)`, the paper's headline comparison.
+//!
+//! Two views:
+//!
+//! 1. **GUID scale (exact, m = 2⁴⁰)** — the introduction's story: Random
+//!    becomes unsafe at `d ≈ √m` while Cluster survives to `d ≈ m/n`,
+//!    orders of magnitude further.
+//! 2. **Crossover (measured, m = 2¹⁶)** — who wins near `d ≈ n`: at
+//!    `d = n` (all-singleton profiles) the two coincide; for `d ≫ n`
+//!    Random loses by the factor `d/n`.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::{Cluster, Random};
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_count, fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+use uuidp_sim::stats::loglog_slope;
+
+use uuidp_analysis::exact::{cluster_union_bounds, random_exact};
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E5.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let mut sections = Vec::new();
+    let mut checks = Vec::new();
+
+    // ---- View 1: exact, GUID scale. ----
+    let m_big = 1u128 << 40;
+    let n = 16usize;
+    let mut table = Table::new(
+        "Worst case over D1(16, d), m = 2^40 (exact formulas)",
+        &["d", "p_random", "p_cluster", "winner"],
+    );
+    let mut random_pts = Vec::new();
+    let mut cluster_pts = Vec::new();
+    let mut random_saturated_at = None;
+    let mut cluster_at_saturation = f64::NAN;
+    for log_d in (8u32..=36).step_by(4) {
+        let d = 1u128 << log_d;
+        let uniform = DemandProfile::uniform(n, d / n as u128);
+        let p_random = if d <= 1 << 22 {
+            random_exact(&uniform, m_big)
+        } else {
+            // Beyond direct computation: the birthday bound has long since
+            // saturated.
+            1.0
+        };
+        let (_, p_cluster) = cluster_union_bounds(&uniform, m_big);
+        if p_random < 0.5 {
+            random_pts.push((d as f64, p_random.max(1e-15)));
+        }
+        if p_cluster < 0.5 {
+            cluster_pts.push((d as f64, p_cluster.max(1e-15)));
+        }
+        if p_random > 0.9 && random_saturated_at.is_none() {
+            random_saturated_at = Some(d);
+            cluster_at_saturation = p_cluster;
+        }
+        let winner = if p_random < p_cluster { "random" } else { "cluster" };
+        table.push_row(vec![
+            fmt_count(d),
+            fmt_prob(p_random),
+            fmt_prob(p_cluster),
+            winner.to_string(),
+        ]);
+    }
+    sections.push(table.markdown());
+
+    let rf = loglog_slope(&random_pts);
+    let cf = loglog_slope(&cluster_pts);
+    checks.push(Check::new(
+        "exponents: Random quadratic in d, Cluster linear in d",
+        (rf.slope - 2.0).abs() < 0.1 && (cf.slope - 1.0).abs() < 0.1,
+        format!("random slope {:.3}, cluster slope {:.3}", rf.slope, cf.slope),
+    ));
+    checks.push(Check::new(
+        "headline: Random saturates near √m while Cluster is still safe",
+        random_saturated_at.is_some_and(|d| d <= 1 << 24) && cluster_at_saturation < 1e-3,
+        format!(
+            "random p>0.9 at d = {} (√m = 2^20); cluster there: {}",
+            random_saturated_at.map(fmt_count).unwrap_or_default(),
+            fmt_prob(cluster_at_saturation)
+        ),
+    ));
+
+    // ---- View 2: measured crossover at m = 2^20. ----
+    let m_small = 1u128 << 20;
+    let space = IdSpace::new(m_small).unwrap();
+    let mut table = Table::new(
+        "Measured crossover, m = 2^20, n = 16 (uniform profiles from D1(16, d))",
+        &["d", "trials", "p_random", "p_cluster", "random/cluster"],
+    );
+    let mut ratio_at_n = f64::NAN;
+    let mut ratio_at_64n = f64::NAN;
+    for log_d in [4u32, 6, 8, 10] {
+        let d = 1u128 << log_d;
+        let profile = DemandProfile::uniform(n, d / n as u128);
+        // Size trials to the smaller of the two probabilities (Cluster's).
+        let (p_cluster_lo, _) = cluster_union_bounds(&profile, m_small);
+        let trials = ctx.trials_for(p_cluster_lo.max(1e-6), 800_000);
+        let cfg = TrialConfig::new(trials, ctx.seed);
+        let (r_est, _) = estimate_oblivious(&Random::new(space), &profile, cfg);
+        let (c_est, _) = estimate_oblivious(&Cluster::new(space), &profile, cfg);
+        let ratio = r_est.p_hat / c_est.p_hat.max(1e-12);
+        if log_d == 4 {
+            ratio_at_n = ratio;
+        }
+        if log_d == 10 {
+            ratio_at_64n = ratio;
+        }
+        table.push_row(vec![
+            fmt_count(d),
+            trials.to_string(),
+            fmt_prob(r_est.p_hat),
+            fmt_prob(c_est.p_hat),
+            fmt_ratio(ratio),
+        ]);
+    }
+    sections.push(table.markdown());
+
+    checks.push(Check::new(
+        "crossover at d ≈ n: tie at d = n, Random loses ~d/n beyond",
+        (0.4..=2.5).contains(&ratio_at_n) && ratio_at_64n > 8.0,
+        format!("ratio(d=n) = {ratio_at_n:.2}, ratio(d=64n) = {ratio_at_64n:.2}"),
+    ));
+
+    ExperimentReport {
+        id: "E5",
+        title: "Corollary 5 — Cluster vs Random in the worst case",
+        sections,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

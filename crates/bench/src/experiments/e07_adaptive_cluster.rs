@@ -1,0 +1,96 @@
+//! E7 — Lemma 7: adaptivity costs Cluster a factor of `n`.
+//!
+//! The nearest-pair adversary probes all `n` instances, then pumps the
+//! trailing instance of the closest pair. Against Cluster this yields
+//! `Ω(min(1, n²d/m))` versus the oblivious `Θ(nd/m)` — we measure both
+//! and check the gap grows linearly with `n`.
+
+use uuidp_adversary::nearest_pair::NearestPair;
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::Cluster;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_adaptive, estimate_oblivious, TrialConfig};
+
+use uuidp_analysis::theory;
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E7.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let m = 1u128 << 20;
+    let space = IdSpace::new(m).unwrap();
+    let alg = Cluster::new(space);
+    let d = 1u128 << 10;
+
+    let mut table = Table::new(
+        "Lemma 7 — nearest-pair attack vs oblivious uniform, Cluster, m = 2^20, d = 2^10",
+        &[
+            "n",
+            "p adaptive",
+            "p oblivious",
+            "adaptive/oblivious",
+            "theory gap (~n)",
+        ],
+    );
+
+    let mut gap_ok = true;
+    let mut details = Vec::new();
+    for n in [4usize, 8, 16] {
+        let theta_adaptive = theory::cluster_adaptive_lower_bound(n, d, m);
+        let trials = ctx.trials_for(theta_adaptive, 60_000);
+        let cfg = TrialConfig::new(trials, ctx.seed);
+
+        let attack = NearestPair::new(n, d);
+        let (adaptive, diag) = estimate_adaptive(&alg, &attack, cfg);
+        assert_eq!(diag.exhausted_trials, 0);
+
+        let uniform = DemandProfile::uniform(n, d / n as u128);
+        let obl_trials = ctx.trials_for(theory::cluster(&uniform, m), 400_000);
+        let (oblivious, _) =
+            estimate_oblivious(&alg, &uniform, TrialConfig::new(obl_trials, ctx.seed));
+
+        let gap = adaptive.p_hat / oblivious.p_hat.max(1e-12);
+        let n_f = n as f64;
+        let ok = gap > 0.3 * n_f && gap < 2.5 * n_f;
+        gap_ok &= ok;
+        details.push(format!("n={n}: gap {gap:.1}"));
+        table.push_row(vec![
+            n.to_string(),
+            fmt_prob(adaptive.p_hat),
+            fmt_prob(oblivious.p_hat),
+            fmt_ratio(gap),
+            n.to_string(),
+        ]);
+    }
+
+    let checks = vec![Check::new(
+        "adaptivity gap scales linearly with n",
+        gap_ok,
+        details.join(", "),
+    )];
+
+    ExperimentReport {
+        id: "E7",
+        title: "Lemma 7 — adaptive adversaries defeat Cluster by a factor n",
+        sections: vec![table.markdown()],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

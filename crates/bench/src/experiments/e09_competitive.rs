@@ -1,0 +1,148 @@
+//! E9 — Theorem 9 and the Section 3.4 example: competitive ratios on
+//! skewed profiles.
+//!
+//! On the maximally skewed profile `(d−1, 1)`, Cluster pays `Θ(d/m)`
+//! against an optimum of `Θ(1/m)` — a competitive ratio that *grows
+//! linearly in `d`*. Bins★'s chunked layout pins low-demand instances to
+//! the small-bin region, keeping its ratio at `O(log m)` no matter the
+//! skew. Both effects are measured here, against the certified `p*((i,j))`
+//! bounds of Lemma 24, plus a `(2^i, 2^j)` grid.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::{BinsStar, Cluster};
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_count, fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+use uuidp_sim::stats::loglog_slope;
+
+use uuidp_analysis::competitive::pair_p_star_bounds;
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E9.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let m = 1u128 << 12;
+    let space = IdSpace::new(m).unwrap();
+    let log_m = (m as f64).log2();
+    let cluster = Cluster::new(space);
+    let bins_star = BinsStar::new(space);
+
+    let mut sections = Vec::new();
+    let mut checks = Vec::new();
+
+    // ---- The (d−1, 1) family. ----
+    let mut table = Table::new(
+        "Skewed profiles (d−1, 1), m = 2^12: competitive ratios vs Lemma 24 p*",
+        &[
+            "d",
+            "p* (upper)",
+            "p cluster",
+            "ratio cluster",
+            "p bins*",
+            "ratio bins*",
+        ],
+    );
+    let mut cluster_ratio_points = Vec::new();
+    let mut bins_star_ratios = Vec::new();
+    for log_d in [6u32, 7, 8, 9] {
+        let d = 1u128 << log_d;
+        let profile = DemandProfile::skewed_pair(d);
+        let p_star = pair_p_star_bounds(1, d - 1, m).upper;
+        let trials = ctx.trials_for(2.0 / m as f64, 500_000);
+        let cfg = TrialConfig::new(trials, ctx.seed);
+        let (cl, _) = estimate_oblivious(&cluster, &profile, cfg);
+        let (bs, diag) = estimate_oblivious(&bins_star, &profile, cfg);
+        assert_eq!(diag.exhausted_trials, 0);
+        let r_cl = cl.p_hat / p_star;
+        let r_bs = bs.p_hat / p_star;
+        cluster_ratio_points.push((d as f64, r_cl.max(1e-9)));
+        bins_star_ratios.push(r_bs);
+        table.push_row(vec![
+            fmt_count(d),
+            fmt_prob(p_star),
+            fmt_prob(cl.p_hat),
+            fmt_ratio(r_cl),
+            fmt_prob(bs.p_hat),
+            fmt_ratio(r_bs),
+        ]);
+    }
+    sections.push(table.markdown());
+
+    let fit = loglog_slope(&cluster_ratio_points);
+    let max_bs = bins_star_ratios.iter().copied().fold(0.0f64, f64::max);
+    let min_bs = bins_star_ratios
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    checks.push(Check::new(
+        "Cluster's competitive ratio grows linearly in d",
+        (fit.slope - 1.0).abs() < 0.2,
+        format!("slope {:.3} (R² = {:.3})", fit.slope, fit.r_squared),
+    ));
+    checks.push(Check::new(
+        "Bins★'s competitive ratio is O(log m) and flat in d",
+        max_bs < 4.0 * log_m && max_bs / min_bs < 3.0,
+        format!(
+            "bins* ratios in [{min_bs:.1}, {max_bs:.1}], 4·log2(m) = {:.0}",
+            4.0 * log_m
+        ),
+    ));
+    let last_cluster = cluster_ratio_points.last().unwrap().1;
+    checks.push(Check::new(
+        "at maximum skew, Bins★ beats Cluster decisively",
+        last_cluster > 4.0 * max_bs,
+        format!("cluster ratio {last_cluster:.0} vs bins* max {max_bs:.1}"),
+    ));
+
+    // ---- The (2^i, 2^j) grid. ----
+    let mut grid = Table::new(
+        "Pair grid (2^i, 2^j), m = 2^12: Bins★ ratio vs Lemma 24 p*",
+        &["i", "j", "p* (upper)", "p bins*", "ratio bins*"],
+    );
+    let mut grid_max = 0.0f64;
+    for (i, j) in [(0u32, 4u32), (0, 8), (2, 6), (4, 8), (2, 8)] {
+        let profile = DemandProfile::pair(1 << i, 1 << j);
+        let p_star = pair_p_star_bounds(1 << i, 1 << j, m).upper;
+        let trials = ctx.trials_for(p_star.max(2.0 / m as f64), 500_000);
+        let (bs, _) = estimate_oblivious(&bins_star, &profile, TrialConfig::new(trials, ctx.seed));
+        let r = bs.p_hat / p_star;
+        grid_max = grid_max.max(r);
+        grid.push_row(vec![
+            i.to_string(),
+            j.to_string(),
+            fmt_prob(p_star),
+            fmt_prob(bs.p_hat),
+            fmt_ratio(r),
+        ]);
+    }
+    sections.push(grid.markdown());
+    checks.push(Check::new(
+        "grid-wide Bins★ ratio stays below O(log m)",
+        grid_max < 4.0 * log_m,
+        format!("max grid ratio {grid_max:.1}, 4·log2(m) = {:.0}", 4.0 * log_m),
+    ));
+
+    ExperimentReport {
+        id: "E9",
+        title: "Theorem 9 / §3.4 — Bins★'s O(log m) competitive ratio",
+        sections,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! E12 — Table 1: the {worst-case, competitive} × {oblivious, adaptive}
+//! matrix, instantiated empirically for every algorithm.
+//!
+//! The paper's Table 1 defines the four evaluation settings; this
+//! experiment fills in the matrix with measurements at reference
+//! parameters. Worst-case columns use `m = 2²⁰, n = 8, d = 2⁹` (uniform
+//! profile obliviously, the strongest of our attacks adaptively);
+//! competitive columns use `m = 2¹², D = (127, 1)` (the skew that
+//! separates the algorithms) against the Lemma 24 `p*` witnesses,
+//! stop-on-collision for the adaptive variant.
+//!
+//! Checks assert the paper's qualitative story: Cluster optimal oblivious
+//! worst-case but n-fold worse adaptively; Cluster★ repairing that;
+//! Bins★ alone achieving a small competitive ratio; Random's worst case
+//! dominating everyone's.
+
+use uuidp_adversary::adaptive::AdversarySpec;
+use uuidp_adversary::nearest_pair::NearestPair;
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_adversary::semi_adaptive::FollowSequence;
+use uuidp_core::algorithms::{Bins, BinsStar, Cluster, ClusterStar, Random};
+use uuidp_core::id::IdSpace;
+use uuidp_core::rng::SeedTree;
+use uuidp_core::traits::Algorithm;
+use uuidp_sim::experiment::{fmt_prob, fmt_ratio, Table};
+use uuidp_sim::game::{run_adaptive, GameLimits};
+use uuidp_sim::montecarlo::{estimate_adaptive, estimate_oblivious, TrialConfig};
+
+use uuidp_analysis::competitive::{pair_p_star_bounds, rounded_p_star_lower};
+
+use super::{Check, Ctx, ExperimentReport};
+
+struct MatrixRow {
+    name: String,
+    worst_oblivious: f64,
+    worst_adaptive: f64,
+    comp_oblivious: f64,
+    comp_adaptive: f64,
+}
+
+/// Runs E12.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    // Worst-case setting.
+    let m_wc = 1u128 << 20;
+    let space_wc = IdSpace::new(m_wc).unwrap();
+    let (n, d) = (8usize, 1u128 << 9);
+    let uniform = DemandProfile::uniform(n, d / n as u128);
+
+    // Competitive setting.
+    let m_cp = 1u128 << 12;
+    let space_cp = IdSpace::new(m_cp).unwrap();
+    let pair = DemandProfile::pair(127, 1);
+    let p_star_pair = pair_p_star_bounds(1, 127, m_cp).upper;
+
+    let wc_algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(Random::new(space_wc)),
+        Box::new(Cluster::new(space_wc)),
+        Box::new(Bins::new(space_wc, 64)),
+        Box::new(ClusterStar::new(space_wc)),
+        Box::new(BinsStar::new(space_wc)),
+    ];
+    let cp_algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(Random::new(space_cp)),
+        Box::new(Cluster::new(space_cp)),
+        Box::new(Bins::new(space_cp, 16)),
+        Box::new(ClusterStar::new(space_cp)),
+        Box::new(BinsStar::new(space_cp)),
+    ];
+
+    let trials_wc = ctx.trials(20_000);
+    let trials_cp = ctx.trials(60_000);
+    let adaptive_trials = ctx.trials(4_000);
+
+    let mut rows = Vec::new();
+    for (wc, cp) in wc_algorithms.iter().zip(&cp_algorithms) {
+        // Worst-case oblivious: uniform profile.
+        let (wo, _) =
+            estimate_oblivious(wc.as_ref(), &uniform, TrialConfig::new(trials_wc, ctx.seed));
+
+        // Worst-case adaptive: strongest of our attacks.
+        let attacks: Vec<Box<dyn AdversarySpec>> = vec![
+            Box::new(NearestPair::new(n, d)),
+            Box::new(RunHunter::new(n, d)),
+        ];
+        let mut wa = 0.0f64;
+        for attack in &attacks {
+            let (est, _) = estimate_adaptive(
+                wc.as_ref(),
+                attack.as_ref(),
+                TrialConfig::new(adaptive_trials, ctx.seed),
+            );
+            wa = wa.max(est.p_hat);
+        }
+
+        // Competitive oblivious: skewed pair vs Lemma 24 witness.
+        let (co, _) =
+            estimate_oblivious(cp.as_ref(), &pair, TrialConfig::new(trials_cp, ctx.seed));
+        let comp_oblivious = co.p_hat / p_star_pair;
+
+        // Competitive adaptive: fol(S) growing to the pair, stop on
+        // collision, denominator E[p*(realized)].
+        let spec = FollowSequence::growing_to(&pair);
+        let mut collisions = 0u64;
+        let mut p_star_sum = 0.0f64;
+        for t in 0..trials_cp {
+            let seeds = SeedTree::new(ctx.seed ^ 0x12).trial(t);
+            let mut adv = spec.spawn(0);
+            let out = run_adaptive(cp.as_ref(), adv.as_mut(), &seeds, GameLimits::default());
+            collisions += out.collided as u64;
+            if let Some(profile) = out.profile() {
+                if !profile.is_trivial() {
+                    p_star_sum += rounded_p_star_lower(&profile, m_cp).max(1.0 / m_cp as f64);
+                }
+            }
+        }
+        let comp_adaptive =
+            (collisions as f64 / trials_cp as f64) / (p_star_sum / trials_cp as f64).max(1e-12);
+
+        rows.push(MatrixRow {
+            name: wc.name(),
+            worst_oblivious: wo.p_hat,
+            worst_adaptive: wa,
+            comp_oblivious,
+            comp_adaptive,
+        });
+    }
+
+    let mut table = Table::new(
+        "Table 1 instantiated — worst case at (m=2^20, n=8, d=2^9), competitive at (m=2^12, D=(127,1))",
+        &[
+            "algorithm",
+            "worst-case obl.",
+            "worst-case adpt.",
+            "competitive obl.",
+            "competitive adpt.",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.name.clone(),
+            fmt_prob(r.worst_oblivious),
+            fmt_prob(r.worst_adaptive),
+            fmt_ratio(r.comp_oblivious),
+            fmt_ratio(r.comp_adaptive),
+        ]);
+    }
+
+    let get = |name: &str| rows.iter().find(|r| r.name.starts_with(name)).unwrap();
+    let random = get("random");
+    let cluster = get("cluster");
+    let cluster_star = get("cluster*");
+    let bins_star = get("bins*");
+    let log_m_cp = (m_cp as f64).log2();
+
+    let checks = vec![
+        Check::new(
+            "Random's oblivious worst case dominates every other algorithm's",
+            rows.iter().all(|r| random.worst_oblivious >= r.worst_oblivious * 0.9),
+            format!("random {:.3}", random.worst_oblivious),
+        ),
+        Check::new(
+            "Cluster: optimal obliviously, n-fold worse adaptively",
+            cluster.worst_adaptive > 3.0 * cluster.worst_oblivious,
+            format!(
+                "oblivious {:.4}, adaptive {:.4}",
+                cluster.worst_oblivious, cluster.worst_adaptive
+            ),
+        ),
+        Check::new(
+            // At (n, d/n) = (8, 64) the predicted separation is only
+            // n / log2(1 + d/n) ≈ 1.3×; E8 covers the regimes where it is
+            // large. Here we check the ordering holds at all.
+            "Cluster★ improves on Cluster's adaptive worst case",
+            cluster_star.worst_adaptive < 0.85 * cluster.worst_adaptive,
+            format!(
+                "cluster* {:.4} vs cluster {:.4} (predicted separation ~1.3x at d/n = 64)",
+                cluster_star.worst_adaptive, cluster.worst_adaptive
+            ),
+        ),
+        Check::new(
+            "Bins★ alone is O(log m) competitive in both settings",
+            bins_star.comp_oblivious < 4.0 * log_m_cp
+                && bins_star.comp_adaptive < 16.0 * log_m_cp
+                && cluster.comp_oblivious > 2.0 * bins_star.comp_oblivious,
+            format!(
+                "bins* ({:.1}, {:.1}) vs cluster ({:.1}, {:.1}), log2 m = {log_m_cp}",
+                bins_star.comp_oblivious,
+                bins_star.comp_adaptive,
+                cluster.comp_oblivious,
+                cluster.comp_adaptive
+            ),
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E12",
+        title: "Table 1 — the four settings, measured",
+        sections: vec![table.markdown()],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

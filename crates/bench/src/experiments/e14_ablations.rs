@@ -1,0 +1,144 @@
+//! E14 — ablations of the two design choices the paper fixes implicitly.
+//!
+//! **EA1 — Bins★ chunk count.** Section 7.1 sets `C = ⌈log m − log log m⌉`;
+//! the largest fitting `C` (our `MaxFit`) uses more of the universe. More
+//! chunks means more (and therefore smaller-probability) bins in every
+//! chunk *and* more per-instance capacity; the competitive ratio should
+//! only improve. Measured at `m = 2¹⁰` where the two rules differ
+//! (C = 7 vs 8).
+//!
+//! **EA2 — Cluster★ run growth.** The paper doubles runs. Growing faster
+//! (×4, ×8) means *fewer* runs — fewer arcs, so a lower oblivious
+//! collision probability — but each opened run exposes a longer
+//! predictable tail to an adaptive adversary. The experiment measures
+//! both sides of that trade at `m = 2²⁰, n = 16, d = 2¹⁰`.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_core::algorithms::{BinsStar, BinsStarGeometry, ChunkRule, ClusterStar};
+use uuidp_core::id::IdSpace;
+use uuidp_sim::experiment::{fmt_prob, fmt_ratio, Table};
+use uuidp_sim::montecarlo::{estimate_adaptive, estimate_oblivious, TrialConfig};
+
+use uuidp_analysis::competitive::pair_p_star_bounds;
+use uuidp_analysis::theory;
+
+use super::{Check, Ctx, ExperimentReport};
+
+/// Runs E14.
+pub fn run(ctx: &Ctx) -> ExperimentReport {
+    let mut sections = Vec::new();
+    let mut checks = Vec::new();
+
+    // ---- EA1: chunk rule. ----
+    let m = 1u128 << 10;
+    let space = IdSpace::new(m).unwrap();
+    let mut table = Table::new(
+        "EA1 — Bins★ chunk rule on the skewed pair (127, 1), m = 2^10",
+        &["rule", "chunks C", "capacity", "p bins*", "competitive ratio"],
+    );
+    let p_star = pair_p_star_bounds(1, 127, m).upper;
+    let mut ratios = Vec::new();
+    for (label, rule) in [
+        ("paper ⌈log m − log log m⌉", ChunkRule::PaperFormula),
+        ("max-fit", ChunkRule::MaxFit),
+    ] {
+        let geometry = BinsStarGeometry::compute(space, rule);
+        let alg = BinsStar::with_rule(space, rule);
+        let profile = DemandProfile::pair(126, 1);
+        let trials = ctx.trials_for(1.0 / 64.0, 300_000);
+        let (est, diag) = estimate_oblivious(&alg, &profile, TrialConfig::new(trials, ctx.seed));
+        assert_eq!(diag.exhausted_trials, 0);
+        let ratio = est.p_hat / p_star;
+        ratios.push(ratio);
+        table.push_row(vec![
+            label.to_string(),
+            geometry.chunks.to_string(),
+            geometry.capacity().to_string(),
+            fmt_prob(est.p_hat),
+            fmt_ratio(ratio),
+        ]);
+    }
+    sections.push(table.markdown());
+    let log_m = (m as f64).log2();
+    checks.push(Check::new(
+        "EA1: more chunks (max-fit) can only help the competitive ratio",
+        ratios[1] <= ratios[0] * 1.15 && ratios.iter().all(|&r| r < 6.0 * log_m),
+        format!(
+            "paper-rule ratio {:.1}, max-fit ratio {:.1} (both O(log m) = {:.0})",
+            ratios[0], ratios[1], log_m
+        ),
+    ));
+
+    // ---- EA2: run growth factor. ----
+    let m = 1u128 << 20;
+    let space = IdSpace::new(m).unwrap();
+    let (n, d) = (16usize, 1u128 << 10);
+    let uniform = DemandProfile::uniform(n, d / n as u128);
+    let mut table = Table::new(
+        "EA2 — Cluster★ run growth factor, m = 2^20, n = 16, d = 2^10",
+        &[
+            "growth",
+            "p oblivious",
+            "p adaptive (run-hunter)",
+            "adaptive overhead",
+        ],
+    );
+    let mut oblivious_ps = Vec::new();
+    let mut overheads = Vec::new();
+    for growth in [2u32, 4, 8] {
+        let alg = ClusterStar::with_growth(space, growth);
+        let obl_trials = ctx.trials_for(theory::cluster_star_adaptive_bound(n, d, m), 400_000);
+        let (obl, _) = estimate_oblivious(&alg, &uniform, TrialConfig::new(obl_trials, ctx.seed));
+        let attack = RunHunter::new(n, d);
+        let adv_trials = ctx.trials_for(theory::cluster_adaptive_lower_bound(n, d, m), 40_000);
+        let (adp, _) = estimate_adaptive(&alg, &attack, TrialConfig::new(adv_trials, ctx.seed));
+        let overhead = adp.p_hat / obl.p_hat.max(1e-12);
+        oblivious_ps.push(obl.p_hat);
+        overheads.push(overhead);
+        table.push_row(vec![
+            format!("×{growth}"),
+            fmt_prob(obl.p_hat),
+            fmt_prob(adp.p_hat),
+            fmt_ratio(overhead),
+        ]);
+    }
+    sections.push(table.markdown());
+    checks.push(Check::new(
+        "EA2: faster growth means fewer runs, lower oblivious probability",
+        oblivious_ps.windows(2).all(|w| w[1] <= w[0] * 1.1),
+        format!("oblivious p by growth: {oblivious_ps:?}"),
+    ));
+    checks.push(Check::new(
+        "EA2: every growth factor keeps the adaptive overhead logarithmic",
+        overheads.iter().all(|&o| o < 3.0 * (1.0 + d as f64 / n as f64).log2()),
+        format!(
+            "overheads {overheads:?} vs 3·log2(1+d/n) = {:.1}",
+            3.0 * (1.0 + d as f64 / n as f64).log2()
+        ),
+    ));
+
+    ExperimentReport {
+        id: "E14",
+        title: "Ablations — Bins★ chunk rule and Cluster★ run growth",
+        sections,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_quick_passes() {
+        let ctx = Ctx {
+            quick: true,
+            ..Ctx::default()
+        };
+        let report = run(&ctx);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

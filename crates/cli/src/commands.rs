@@ -1,0 +1,362 @@
+//! The `uuidp` subcommand implementations.
+//!
+//! Each command is a plain function from a typed options struct to a
+//! `Result<String>` (the rendered output), so the whole surface is unit
+//! tested without process spawning.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_analysis::exact::{cluster_union_bounds, random_exact};
+use uuidp_analysis::planning::{self, Scheme};
+use uuidp_analysis::theory;
+use uuidp_core::diagram::render_captioned;
+use uuidp_core::id::IdSpace;
+use uuidp_core::rng::{SplitMix64, Xoshiro256pp};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+
+use crate::spec::{parse_algorithm, IdFormat, ParseError};
+
+/// Options for `uuidp generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateOpts {
+    /// Algorithm spec (see [`crate::spec`]).
+    pub algorithm: String,
+    /// Universe width in bits.
+    pub bits: u32,
+    /// Number of IDs to mint.
+    pub count: u64,
+    /// Seed; `None` uses OS entropy.
+    pub seed: Option<u64>,
+    /// Output encoding.
+    pub format: IdFormat,
+}
+
+/// Runs `uuidp generate`.
+pub fn generate(opts: &GenerateOpts) -> Result<String, ParseError> {
+    let space = IdSpace::with_bits(opts.bits)
+        .map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let alg = parse_algorithm(&opts.algorithm, space)?;
+    let seed = opts.seed.unwrap_or_else(entropy_seed);
+    let mut gen = alg.spawn(seed);
+    let mut out = String::new();
+    for i in 0..opts.count {
+        match gen.next_id() {
+            Ok(id) => {
+                out.push_str(&opts.format.render(id, space));
+                out.push('\n');
+            }
+            Err(e) => {
+                return Err(ParseError(format!(
+                    "generator exhausted after {i} IDs: {e}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Options for `uuidp simulate`.
+#[derive(Debug, Clone)]
+pub struct SimulateOpts {
+    /// Algorithm spec.
+    pub algorithm: String,
+    /// Universe width in bits.
+    pub bits: u32,
+    /// Number of uncoordinated instances.
+    pub instances: usize,
+    /// IDs drawn per instance.
+    pub per_instance: u128,
+    /// Monte-Carlo trials.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Runs `uuidp simulate`: measured collision probability plus the
+/// matching paper prediction.
+pub fn simulate(opts: &SimulateOpts) -> Result<String, ParseError> {
+    if opts.instances < 2 {
+        return Err(ParseError("need at least 2 instances to collide".into()));
+    }
+    let space = IdSpace::with_bits(opts.bits)
+        .map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let alg = parse_algorithm(&opts.algorithm, space)?;
+    let profile = DemandProfile::uniform(opts.instances, opts.per_instance);
+    let (est, diag) = estimate_oblivious(
+        alg.as_ref(),
+        &profile,
+        TrialConfig::new(opts.trials.max(1), opts.seed),
+    );
+    let m = space.size();
+    let prediction = match opts.algorithm.to_ascii_lowercase().as_str() {
+        "random" => Some(("exact (Cor. 3)", random_exact(&profile, m))),
+        "cluster" => Some(("union bound (Thm. 1)", cluster_union_bounds(&profile, m).1)),
+        s if s.starts_with("bins:") => Some(("theta (Thm. 2)", {
+            let k: u128 = s[5..].parse().unwrap_or(1);
+            theory::bins(&profile, k, m)
+        })),
+        _ => None,
+    };
+    let mut out = format!(
+        "algorithm:   {}\nuniverse:    m = 2^{}\nworkload:    {} instances × {} IDs\n\
+         measured:    p = {}\n",
+        alg.name(),
+        opts.bits,
+        opts.instances,
+        opts.per_instance,
+        est
+    );
+    if let Some((label, p)) = prediction {
+        out.push_str(&format!("prediction:  {p:.6e} ({label})\n"));
+    }
+    if diag.exhausted_trials > 0 {
+        out.push_str(&format!(
+            "warning:     {} trials exhausted the generator\n",
+            diag.exhausted_trials
+        ));
+    }
+    Ok(out)
+}
+
+/// Options for `uuidp plan`.
+#[derive(Debug, Clone)]
+pub struct PlanOpts {
+    /// `random` or `cluster`.
+    pub scheme: String,
+    /// Collision budget, e.g. `1e-6`.
+    pub budget: f64,
+    /// Fleet size.
+    pub instances: u128,
+    /// ID width in bits.
+    pub bits: u32,
+}
+
+/// Runs `uuidp plan`.
+pub fn plan(opts: &PlanOpts) -> Result<String, ParseError> {
+    let scheme = match opts.scheme.to_ascii_lowercase().as_str() {
+        "random" => Scheme::Random,
+        "cluster" => Scheme::Cluster,
+        other => {
+            return Err(ParseError(format!(
+                "unknown scheme `{other}` (random | cluster)"
+            )))
+        }
+    };
+    if !(opts.budget > 0.0 && opts.budget < 1.0) {
+        return Err(ParseError("budget must be in (0, 1)".into()));
+    }
+    let d = planning::safe_demand(scheme, opts.budget, opts.instances, opts.bits);
+    let advantage = planning::cluster_advantage(opts.budget, opts.instances, opts.bits);
+    Ok(format!(
+        "scheme:      {:?}\nbudget:      {:.1e}\nfleet:       {} instances\nIDs:         {} bits\n\
+         safe demand: ~2^{:.1} total IDs\ncluster advantage at this point: {:.1e}×\n",
+        scheme,
+        opts.budget,
+        opts.instances,
+        opts.bits,
+        d.log2(),
+        advantage
+    ))
+}
+
+/// Options for `uuidp diagram`.
+#[derive(Debug, Clone)]
+pub struct DiagramOpts {
+    /// Algorithm spec.
+    pub algorithm: String,
+    /// Universe size (not bits — diagrams are figure-sized).
+    pub m: u128,
+    /// Requests to draw.
+    pub requests: u128,
+    /// Seed; `None` searches for one whose layout serves all requests.
+    pub seed: Option<u64>,
+}
+
+/// Runs `uuidp diagram`.
+pub fn diagram(opts: &DiagramOpts) -> Result<String, ParseError> {
+    if opts.m > 1 << 14 {
+        return Err(ParseError("diagrams are for m ≤ 2^14".into()));
+    }
+    let space = IdSpace::new(opts.m).map_err(|e| ParseError(format!("bad -m: {e}")))?;
+    let alg = parse_algorithm(&opts.algorithm, space)?;
+    let seed = match opts.seed {
+        Some(s) => s,
+        None => (0..1000)
+            .find(|&s| alg.spawn(s).skip(opts.requests).is_ok())
+            .ok_or_else(|| {
+                ParseError(format!(
+                    "no seed serves {} requests on m = {}",
+                    opts.requests, opts.m
+                ))
+            })?,
+    };
+    let mut gen = alg.spawn(seed);
+    Ok(render_captioned(
+        &alg.name(),
+        gen.as_mut(),
+        opts.requests,
+        opts.m.min(64) as usize,
+    ))
+}
+
+fn entropy_seed() -> u64 {
+    // OS entropy via rand, folded through SplitMix64. Keeps the CLI's
+    // default mode non-deterministic while --seed stays reproducible.
+    let mut bytes = [0u8; 8];
+    rand::rng().fill_bytes(&mut bytes);
+    SplitMix64::new(u64::from_le_bytes(bytes)).next_value()
+}
+
+// Re-export used by `generate`'s entropy path.
+use rand::RngCore as _;
+
+/// Quick self-check used by `uuidp doctor`: mints a few IDs with every
+/// algorithm and verifies uniqueness within each instance.
+pub fn doctor() -> Result<String, ParseError> {
+    let space = IdSpace::with_bits(32).expect("32-bit space");
+    let mut report = String::from("self-check over m = 2^32:\n");
+    for spec in ["random", "cluster", "bins:1024", "cluster*", "bins*"] {
+        let alg = parse_algorithm(spec, space)?;
+        let mut gen = alg.spawn(0xD0C);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = gen
+                .next_id()
+                .map_err(|e| ParseError(format!("{spec}: {e}")))?;
+            if !seen.insert(id) {
+                return Err(ParseError(format!("{spec}: duplicate ID {id}")));
+            }
+        }
+        report.push_str(&format!("  {:<12} ok (1000 IDs, all distinct)\n", alg.name()));
+    }
+    // A tiny statistical check: two Cluster instances on a small universe
+    // should collide at roughly the predicted rate.
+    let small = IdSpace::new(1 << 16).expect("small space");
+    let alg = parse_algorithm("cluster", small)?;
+    let profile = DemandProfile::uniform(2, 64);
+    let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(20_000, 0xD0C));
+    let exact = (64 + 64 - 1) as f64 / (1u128 << 16) as f64;
+    if (est.p_hat - exact).abs() / exact > 0.5 {
+        return Err(ParseError(format!(
+            "statistical self-check failed: measured {} vs exact {exact}",
+            est.p_hat
+        )));
+    }
+    report.push_str("  statistics   ok (cluster pair probability matches Theorem 1)\n");
+    Ok(report)
+}
+
+/// A lightweight RNG sanity utility for `doctor` exposure in tests.
+pub fn rng_smoke() -> bool {
+    let mut rng = Xoshiro256pp::new(1);
+    let a = rng.next_value();
+    let b = rng.next_value();
+    a != b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_mints_the_requested_count() {
+        let opts = GenerateOpts {
+            algorithm: "cluster".into(),
+            bits: 64,
+            count: 5,
+            seed: Some(1),
+            format: IdFormat::Hex,
+        };
+        let out = generate(&opts).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.starts_with("0x")));
+        // Reproducible with the same seed.
+        assert_eq!(out, generate(&opts).unwrap());
+    }
+
+    #[test]
+    fn generate_without_seed_differs_between_calls() {
+        let opts = GenerateOpts {
+            algorithm: "random".into(),
+            bits: 64,
+            count: 3,
+            seed: None,
+            format: IdFormat::Dec,
+        };
+        let a = generate(&opts).unwrap();
+        let b = generate(&opts).unwrap();
+        assert_ne!(a, b, "entropy-seeded runs should differ");
+    }
+
+    #[test]
+    fn generate_reports_exhaustion() {
+        let opts = GenerateOpts {
+            algorithm: "random".into(),
+            bits: 2,
+            count: 10,
+            seed: Some(1),
+            format: IdFormat::Dec,
+        };
+        let err = generate(&opts).unwrap_err();
+        assert!(err.0.contains("exhausted after 4"));
+    }
+
+    #[test]
+    fn simulate_reports_measurement_and_prediction() {
+        let opts = SimulateOpts {
+            algorithm: "cluster".into(),
+            bits: 16,
+            instances: 4,
+            per_instance: 64,
+            trials: 5000,
+            seed: 7,
+        };
+        let out = simulate(&opts).unwrap();
+        assert!(out.contains("measured"));
+        assert!(out.contains("prediction"));
+        assert!(out.contains("Thm. 1"));
+    }
+
+    #[test]
+    fn plan_produces_the_headline_numbers() {
+        let opts = PlanOpts {
+            scheme: "cluster".into(),
+            budget: 1e-6,
+            instances: 1024,
+            bits: 128,
+        };
+        let out = plan(&opts).unwrap();
+        assert!(out.contains("safe demand: ~2^98")); // 128 − 20 − 10
+        assert!(plan(&PlanOpts {
+            scheme: "bogus".into(),
+            ..opts
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn diagram_renders_the_paper_figure_shape() {
+        let opts = DiagramOpts {
+            algorithm: "cluster".into(),
+            m: 20,
+            requests: 8,
+            seed: None,
+        };
+        let out = diagram(&opts).unwrap();
+        assert!(out.starts_with("cluster (m = 20, 8 requests)"));
+        let marks = out
+            .lines()
+            .skip(1)
+            .flat_map(|l| l.split_whitespace())
+            .filter(|c| *c != "·")
+            .count();
+        assert_eq!(marks, 8);
+    }
+
+    #[test]
+    fn doctor_passes() {
+        let report = doctor().unwrap();
+        assert!(report.contains("statistics   ok"));
+        assert!(rng_smoke());
+    }
+}

@@ -1,0 +1,150 @@
+//! `uuidp` — uncoordinated unique IDs from the command line.
+//!
+//! ```text
+//! uuidp generate --algorithm cluster --bits 64 --count 5 --format hex
+//! uuidp simulate --algorithm cluster --bits 24 --instances 8 --per-instance 512
+//! uuidp plan --scheme cluster --budget 1e-6 --instances 1024 --bits 128
+//! uuidp diagram --algorithm "bins:3" -m 20 --requests 8
+//! uuidp doctor
+//! ```
+
+use std::process::ExitCode;
+
+use uuidp_cli::commands::{
+    diagram, doctor, generate, plan, simulate, DiagramOpts, GenerateOpts, PlanOpts, SimulateOpts,
+};
+use uuidp_cli::IdFormat;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print_usage();
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" | "gen" => run_generate(rest),
+        "simulate" | "sim" => run_simulate(rest),
+        "plan" => run_plan(rest),
+        "diagram" => run_diagram(rest),
+        "doctor" => doctor().map_err(|e| e.0),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "uuidp — uncoordinated unique IDs (PODS 2023 reproduction)\n\
+         \n\
+         usage:\n\
+         \x20 uuidp generate --algorithm SPEC [--bits N=64] [--count N=1] [--seed N] [--format dec|hex|uuid]\n\
+         \x20 uuidp simulate --algorithm SPEC --instances N --per-instance D [--bits N=24] [--trials N=20000] [--seed N]\n\
+         \x20 uuidp plan     --scheme random|cluster --budget P --instances N [--bits N=128]\n\
+         \x20 uuidp diagram  --algorithm SPEC [-m N=20] [--requests N=8] [--seed N]\n\
+         \x20 uuidp doctor\n\
+         \n\
+         algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
+    );
+}
+
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, names: &[&str]) -> Option<&'a str> {
+        let mut it = self.args.iter();
+        while let Some(a) = it.next() {
+            if names.contains(&a.as_str()) {
+                return it.next().map(|s| s.as_str());
+            }
+        }
+        None
+    }
+
+    fn parse<T: std::str::FromStr>(&self, names: &[&str], default: T) -> Result<T, String> {
+        match self.get(names) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value `{v}` for {}", names[0])),
+        }
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, names: &[&str]) -> Result<Option<T>, String> {
+        match self.get(names) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value `{v}` for {}", names[0])),
+        }
+    }
+
+    fn require(&self, names: &[&str]) -> Result<&'a str, String> {
+        self.get(names)
+            .ok_or_else(|| format!("missing required flag {}", names[0]))
+    }
+}
+
+fn run_generate(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = GenerateOpts {
+        algorithm: f.require(&["--algorithm", "-a"])?.to_string(),
+        bits: f.parse(&["--bits", "-b"], 64u32)?,
+        count: f.parse(&["--count", "-c"], 1u64)?,
+        seed: f.parse_opt(&["--seed", "-s"])?,
+        format: IdFormat::parse(f.get(&["--format", "-f"]).unwrap_or("dec"))
+            .map_err(|e| e.0)?,
+    };
+    generate(&opts).map_err(|e| e.0)
+}
+
+fn run_simulate(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = SimulateOpts {
+        algorithm: f.require(&["--algorithm", "-a"])?.to_string(),
+        bits: f.parse(&["--bits", "-b"], 24u32)?,
+        instances: f.parse(&["--instances", "-n"], 8usize)?,
+        per_instance: f.parse(&["--per-instance", "-d"], 256u128)?,
+        trials: f.parse(&["--trials", "-t"], 20_000u64)?,
+        seed: f.parse(&["--seed", "-s"], 0xC11u64)?,
+    };
+    simulate(&opts).map_err(|e| e.0)
+}
+
+fn run_plan(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = PlanOpts {
+        scheme: f.require(&["--scheme"])?.to_string(),
+        budget: f.parse(&["--budget"], 1e-6f64)?,
+        instances: f.parse(&["--instances", "-n"], 1024u128)?,
+        bits: f.parse(&["--bits", "-b"], 128u32)?,
+    };
+    plan(&opts).map_err(|e| e.0)
+}
+
+fn run_diagram(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = DiagramOpts {
+        algorithm: f.require(&["--algorithm", "-a"])?.to_string(),
+        m: f.parse(&["-m", "--universe"], 20u128)?,
+        requests: f.parse(&["--requests", "-r"], 8u128)?,
+        seed: f.parse_opt(&["--seed", "-s"])?,
+    };
+    diagram(&opts).map_err(|e| e.0)
+}

@@ -1,0 +1,198 @@
+//! Parsing of algorithm specifications and ID formatting for the CLI.
+//!
+//! Algorithm specs are compact strings:
+//!
+//! | Spec | Algorithm |
+//! |------|-----------|
+//! | `random` | Random |
+//! | `cluster` | Cluster |
+//! | `bins:K` | Bins(K) |
+//! | `cluster*` / `cluster-star` | Cluster★ |
+//! | `cluster*:G` | Cluster★ with run growth ×G |
+//! | `bins*` / `bins-star` | Bins★ (paper chunk formula) |
+//! | `bins*:maxfit` | Bins★ (max-fit chunks) |
+//! | `session:S,C` | SessionCounter with S session bits, C counter bits |
+
+use std::fmt;
+
+use uuidp_core::algorithms::{Bins, BinsStar, ChunkRule, Cluster, ClusterStar, Random, SessionCounter};
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::traits::Algorithm;
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an algorithm spec against a universe.
+pub fn parse_algorithm(spec: &str, space: IdSpace) -> Result<Box<dyn Algorithm>, ParseError> {
+    let lower = spec.to_ascii_lowercase();
+    let (head, arg) = match lower.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (lower.as_str(), None),
+    };
+    match (head, arg) {
+        ("random", None) => Ok(Box::new(Random::new(space))),
+        ("cluster", None) => Ok(Box::new(Cluster::new(space))),
+        ("bins", Some(k)) => {
+            let k: u128 = k
+                .parse()
+                .map_err(|_| ParseError(format!("bad bin size in `{spec}`")))?;
+            if k < 1 || k > space.size() {
+                return Err(ParseError(format!(
+                    "bin size {k} out of range 1..={}",
+                    space.size()
+                )));
+            }
+            Ok(Box::new(Bins::new(space, k)))
+        }
+        ("bins", None) => Err(ParseError("bins needs a size: bins:K".into())),
+        ("cluster*" | "cluster-star", None) => Ok(Box::new(ClusterStar::new(space))),
+        ("cluster*" | "cluster-star", Some(g)) => {
+            let g: u32 = g
+                .parse()
+                .map_err(|_| ParseError(format!("bad growth factor in `{spec}`")))?;
+            if g < 2 {
+                return Err(ParseError("growth factor must be at least 2".into()));
+            }
+            Ok(Box::new(ClusterStar::with_growth(space, g)))
+        }
+        ("bins*" | "bins-star", None) => Ok(Box::new(BinsStar::new(space))),
+        ("bins*" | "bins-star", Some("maxfit")) => {
+            Ok(Box::new(BinsStar::with_rule(space, ChunkRule::MaxFit)))
+        }
+        ("bins*" | "bins-star", Some(other)) => {
+            Err(ParseError(format!("unknown bins* variant `{other}`")))
+        }
+        ("session", Some(sc)) => {
+            let (s, c) = sc
+                .split_once(',')
+                .ok_or_else(|| ParseError("session needs S,C bit counts".into()))?;
+            let s: u32 = s.parse().map_err(|_| ParseError("bad session bits".into()))?;
+            let c: u32 = c.parse().map_err(|_| ParseError("bad counter bits".into()))?;
+            let alg = SessionCounter::new(s, c);
+            if alg.space() != space {
+                return Err(ParseError(format!(
+                    "session:{s},{c} implies m = 2^{}, but --bits gave {}",
+                    s + c,
+                    space
+                )));
+            }
+            Ok(Box::new(alg))
+        }
+        _ => Err(ParseError(format!(
+            "unknown algorithm `{spec}` (try random, cluster, bins:K, cluster*, bins*, session:S,C)"
+        ))),
+    }
+}
+
+/// Output encodings for generated IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdFormat {
+    /// Decimal.
+    #[default]
+    Dec,
+    /// `0x`-prefixed hexadecimal, zero-padded to the universe width.
+    Hex,
+    /// RFC 4122 presentation (8-4-4-4-12 hex groups of the low 128 bits).
+    Uuid,
+}
+
+impl IdFormat {
+    /// Parses `dec`, `hex`, or `uuid`.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s.to_ascii_lowercase().as_str() {
+            "dec" => Ok(IdFormat::Dec),
+            "hex" => Ok(IdFormat::Hex),
+            "uuid" => Ok(IdFormat::Uuid),
+            other => Err(ParseError(format!("unknown format `{other}`"))),
+        }
+    }
+
+    /// Renders `id` drawn from `space`.
+    pub fn render(self, id: Id, space: IdSpace) -> String {
+        match self {
+            IdFormat::Dec => id.value().to_string(),
+            IdFormat::Hex => {
+                let nibbles = (space.log2_ceil() as usize).div_ceil(4).max(1);
+                format!("{:#0width$x}", id.value(), width = nibbles + 2)
+            }
+            IdFormat::Uuid => {
+                let v = id.value();
+                format!(
+                    "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+                    (v >> 96) as u32,
+                    (v >> 80) as u16,
+                    (v >> 64) as u16,
+                    (v >> 48) as u16,
+                    v & 0xFFFF_FFFF_FFFF
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> IdSpace {
+        IdSpace::with_bits(24).unwrap()
+    }
+
+    #[test]
+    fn parses_the_whole_menu() {
+        for spec in [
+            "random", "cluster", "bins:64", "cluster*", "cluster-star", "cluster*:4", "bins*",
+            "bins-star", "bins*:maxfit",
+        ] {
+            assert!(parse_algorithm(spec, space()).is_ok(), "{spec}");
+        }
+        assert!(parse_algorithm("session:14,10", space()).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let err = parse_algorithm("bogus", space()).unwrap_err();
+        assert!(err.0.contains("unknown algorithm"));
+        let err = parse_algorithm("bins:0", space()).unwrap_err();
+        assert!(err.0.contains("out of range"));
+        let err = parse_algorithm("bins", space()).unwrap_err();
+        assert!(err.0.contains("bins:K"));
+        let err = parse_algorithm("session:14,12", space()).unwrap_err();
+        assert!(err.0.contains("implies m"));
+        let err = parse_algorithm("cluster*:1", space()).unwrap_err();
+        assert!(err.0.contains("at least 2"));
+    }
+
+    #[test]
+    fn names_round_trip_sensibly() {
+        let alg = parse_algorithm("bins:64", space()).unwrap();
+        assert_eq!(alg.name(), "bins(64)");
+        let alg = parse_algorithm("cluster*:4", space()).unwrap();
+        assert_eq!(alg.name(), "cluster*(x4)");
+    }
+
+    #[test]
+    fn id_formats() {
+        let s = IdSpace::with_bits(16).unwrap();
+        assert_eq!(IdFormat::Dec.render(Id(255), s), "255");
+        assert_eq!(IdFormat::Hex.render(Id(255), s), "0x00ff");
+        let s128 = IdSpace::with_bits(127).unwrap();
+        let rendered = IdFormat::Uuid.render(Id(0x1234_5678_9abc_def0_1122_3344_5566_7788), s128);
+        assert_eq!(rendered, "12345678-9abc-def0-1122-334455667788");
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(IdFormat::parse("HEX").unwrap(), IdFormat::Hex);
+        assert!(IdFormat::parse("base64").is_err());
+    }
+}

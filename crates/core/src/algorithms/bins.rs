@@ -1,0 +1,404 @@
+//! **Bins(k)** — a random permutation of aligned bins of `k` IDs.
+//!
+//! > *Algorithm Bins(k): partition `[m]` into `⌊m/k⌋` bins of `k` IDs and
+//! > `m mod k` leftover IDs. Pick a random permutation of the bins. Iterate
+//! > over the shuffled bins, returning all IDs of a bin in increasing order
+//! > before moving on to the next bin. Finally, return the leftover IDs in
+//! > increasing order.*
+//!
+//! Bins(1) is exactly Random. Theorem 2 gives the collision probability
+//! `Θ(min(1, (‖D‖₁²−‖D‖₂²)/(km) + n‖D‖₁/m + n²k/m))`, and Lemma 16 shows
+//! Bins(h) is the *optimal* algorithm for the uniform demand profile
+//! `(h, …, h)` — which makes it the reference point (`p*`) for the paper's
+//! lower bounds.
+
+use crate::id::{Id, IdSpace};
+use crate::interval::{Arc, IntervalSet};
+use crate::rng::Xoshiro256pp;
+use crate::shuffle::LazyShuffle;
+use crate::state::{check, rng_from, GeneratorState, StateError};
+use crate::traits::{Algorithm, Footprint, GeneratorError, IdGenerator};
+
+/// Factory for [`BinsGenerator`] instances.
+#[derive(Debug, Clone)]
+pub struct Bins {
+    space: IdSpace,
+    k: u128,
+}
+
+impl Bins {
+    /// Bins(k) over the universe `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= m`, matching the paper's `k ∈ [m]`.
+    pub fn new(space: IdSpace, k: u128) -> Self {
+        assert!(k >= 1 && k <= space.size(), "Bins(k) requires k in [m]");
+        Bins { space, k }
+    }
+
+    /// The bin size `k`.
+    pub fn k(&self) -> u128 {
+        self.k
+    }
+}
+
+impl Algorithm for Bins {
+    fn name(&self) -> String {
+        format!("bins({})", self.k)
+    }
+
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn spawn(&self, seed: u64) -> Box<dyn IdGenerator> {
+        Box::new(BinsGenerator::new(self.space, self.k, seed))
+    }
+}
+
+/// One instance of Bins(k).
+#[derive(Debug)]
+pub struct BinsGenerator {
+    space: IdSpace,
+    k: u128,
+    num_bins: u128,
+    rng: Xoshiro256pp,
+    bin_order: LazyShuffle,
+    /// Start of the bin currently being emitted, and how many of its IDs
+    /// have been emitted.
+    current: Option<(u128, u128)>,
+    /// IDs of the leftover tail emitted so far.
+    leftover_emitted: u128,
+    generated: u128,
+    emitted: IntervalSet,
+}
+
+impl BinsGenerator {
+    /// A fresh instance seeded with `seed`.
+    pub fn new(space: IdSpace, k: u128, seed: u64) -> Self {
+        assert!(k >= 1 && k <= space.size(), "Bins(k) requires k in [m]");
+        let num_bins = space.size() / k;
+        BinsGenerator {
+            space,
+            k,
+            num_bins,
+            rng: Xoshiro256pp::new(seed),
+            bin_order: LazyShuffle::new(num_bins),
+            current: None,
+            leftover_emitted: 0,
+            generated: 0,
+            emitted: IntervalSet::new(space),
+        }
+    }
+
+    /// First ID of the leftover region `{⌊m/k⌋·k, …, m−1}`.
+    fn leftover_start(&self) -> u128 {
+        self.num_bins * self.k
+    }
+
+    /// Number of leftover IDs, `m mod k`.
+    fn leftover_len(&self) -> u128 {
+        self.space.size() - self.leftover_start()
+    }
+
+    /// Rebuilds an instance from a [`GeneratorState::Bins`] snapshot.
+    pub fn from_state(space: IdSpace, state: &GeneratorState) -> Result<Self, StateError> {
+        let GeneratorState::Bins {
+            k,
+            rng,
+            order_drawn,
+            order_displacements,
+            current,
+            leftover_emitted,
+            generated,
+            emitted,
+        } = state
+        else {
+            return Err(StateError("not a Bins state".into()));
+        };
+        let m = space.size();
+        check(*k >= 1 && *k <= m, "bin size out of range")?;
+        let num_bins = m / k;
+        check(*order_drawn <= num_bins, "drawn bins exceed bin count")?;
+        check(
+            order_displacements
+                .iter()
+                .all(|&(key, x)| key >= *order_drawn && key < num_bins && x < num_bins),
+            "bin displacement out of range",
+        )?;
+        if let Some((start, used)) = current {
+            check(start % k == 0 && *start < num_bins * k, "unaligned open bin")?;
+            check(*used <= *k, "open bin overfull")?;
+        }
+        check(*leftover_emitted <= m - num_bins * k, "leftover overdrawn")?;
+        check(*generated <= m, "generated exceeds universe")?;
+        check(
+            emitted.iter().all(|&(lo, hi)| lo < hi && hi <= m),
+            "bad emitted segment",
+        )?;
+        let emitted_set = IntervalSet::from_segments(space, emitted.iter().copied());
+        check(
+            emitted_set.measure() == *generated,
+            "emitted measure != generated",
+        )?;
+        Ok(BinsGenerator {
+            space,
+            k: *k,
+            num_bins,
+            rng: rng_from(*rng)?,
+            bin_order: LazyShuffle::from_parts(num_bins, *order_drawn, order_displacements.clone()),
+            current: *current,
+            leftover_emitted: *leftover_emitted,
+            generated: *generated,
+            emitted: emitted_set,
+        })
+    }
+
+    /// Opens the next bin, if any remain.
+    fn open_next_bin(&mut self) -> Option<u128> {
+        self.bin_order
+            .draw(&mut self.rng)
+            .map(|bin| bin * self.k)
+    }
+}
+
+impl IdGenerator for BinsGenerator {
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn next_id(&mut self) -> Result<Id, GeneratorError> {
+        // Continue the open bin if it has IDs left.
+        if let Some((start, used)) = self.current {
+            if used < self.k {
+                let id = Id(start + used);
+                self.current = Some((start, used + 1));
+                self.emitted.insert_point(id);
+                self.generated += 1;
+                return Ok(id);
+            }
+        }
+        // Open a fresh bin.
+        if let Some(start) = self.open_next_bin() {
+            let id = Id(start);
+            self.current = Some((start, 1));
+            self.emitted.insert_point(id);
+            self.generated += 1;
+            return Ok(id);
+        }
+        // All bins exhausted: serve the leftover tail in increasing order.
+        if self.leftover_emitted < self.leftover_len() {
+            let id = Id(self.leftover_start() + self.leftover_emitted);
+            self.leftover_emitted += 1;
+            self.emitted.insert_point(id);
+            self.generated += 1;
+            return Ok(id);
+        }
+        Err(GeneratorError::Exhausted {
+            generated: self.generated,
+        })
+    }
+
+    fn generated(&self) -> u128 {
+        self.generated
+    }
+
+    fn footprint(&self) -> Footprint<'_> {
+        Footprint::Arcs(&self.emitted)
+    }
+
+    fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
+        // Finish the currently open bin.
+        if let Some((start, used)) = self.current {
+            if used < self.k {
+                let take = count.min(self.k - used);
+                if take > 0 {
+                    self.emitted
+                        .insert(Arc::new(self.space, Id(start + used), take));
+                    self.current = Some((start, used + take));
+                    self.generated += take;
+                    count -= take;
+                }
+            }
+        }
+        // Consume whole and partial fresh bins.
+        while count > 0 {
+            match self.open_next_bin() {
+                Some(start) => {
+                    let take = count.min(self.k);
+                    self.emitted.insert(Arc::new(self.space, Id(start), take));
+                    self.current = Some((start, take));
+                    self.generated += take;
+                    count -= take;
+                }
+                None => break,
+            }
+        }
+        // Spill into the leftover tail.
+        if count > 0 {
+            let available = self.leftover_len() - self.leftover_emitted;
+            let take = count.min(available);
+            if take > 0 {
+                let first = self.leftover_start() + self.leftover_emitted;
+                self.emitted.insert(Arc::new(self.space, Id(first), take));
+                self.leftover_emitted += take;
+                self.generated += take;
+                count -= take;
+            }
+            if count > 0 {
+                return Err(GeneratorError::Exhausted {
+                    generated: self.generated,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn supports_fast_skip(&self) -> bool {
+        // Fast in the number of bins touched: O(count / k) insertions. True
+        // speedups require k reasonably large, which is exactly when the
+        // experiments need it.
+        true
+    }
+
+    fn snapshot(&self) -> Option<GeneratorState> {
+        Some(GeneratorState::Bins {
+            k: self.k,
+            rng: self.rng.state(),
+            order_drawn: self.bin_order.drawn(),
+            order_displacements: self.bin_order.displacements(),
+            current: self.current,
+            leftover_emitted: self.leftover_emitted,
+            generated: self.generated,
+            emitted: self.emitted.segments().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn emits_whole_universe_exactly_once() {
+        let space = IdSpace::new(23).unwrap(); // 7 bins of 3 + 2 leftovers
+        let mut g = BinsGenerator::new(space, 3, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..23 {
+            assert!(seen.insert(g.next_id().unwrap()));
+        }
+        assert!(matches!(g.next_id(), Err(GeneratorError::Exhausted { .. })));
+    }
+
+    #[test]
+    fn ids_within_a_bin_are_increasing_and_aligned() {
+        let space = IdSpace::new(100).unwrap();
+        let k = 10u128;
+        let mut g = BinsGenerator::new(space, k, 2);
+        for _ in 0..10 {
+            // Each group of k consecutive outputs must be one aligned bin.
+            let ids: Vec<u128> = (0..k).map(|_| g.next_id().unwrap().value()).collect();
+            let base = ids[0];
+            assert_eq!(base % k, 0, "bin must be aligned to k");
+            for (i, &v) in ids.iter().enumerate() {
+                assert_eq!(v, base + i as u128, "IDs within bin increase by 1");
+            }
+        }
+    }
+
+    #[test]
+    fn leftovers_come_last_in_increasing_order() {
+        let space = IdSpace::new(11).unwrap(); // 3 bins of 3 + leftovers {9, 10}
+        let mut g = BinsGenerator::new(space, 3, 3);
+        let mut ids = Vec::new();
+        for _ in 0..11 {
+            ids.push(g.next_id().unwrap().value());
+        }
+        assert_eq!(&ids[9..], &[9, 10], "leftover tail must be 9, 10");
+    }
+
+    #[test]
+    fn bins_1_behaves_like_random_permutation() {
+        let space = IdSpace::new(16).unwrap();
+        let mut g = BinsGenerator::new(space, 1, 4);
+        let mut seen = HashSet::new();
+        for _ in 0..16 {
+            assert!(seen.insert(g.next_id().unwrap().value()));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn k_equal_m_is_deterministic_after_single_bin_choice() {
+        let space = IdSpace::new(12).unwrap();
+        let mut g = BinsGenerator::new(space, 12, 5);
+        let ids: Vec<u128> = (0..12).map(|_| g.next_id().unwrap().value()).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bin_choice_is_uniform() {
+        let space = IdSpace::new(40).unwrap(); // 4 bins of 10
+        let mut counts = [0u32; 4];
+        let trials = 80_000;
+        for seed in 0..trials {
+            let mut g = BinsGenerator::new(space, 10, seed);
+            let first = g.next_id().unwrap().value();
+            counts[(first / 10) as usize] += 1;
+        }
+        let expected = trials as f64 / 4.0;
+        for (bin, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bin {bin}: dev {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn skip_matches_materialized_emission() {
+        let space = IdSpace::new(1 << 16).unwrap();
+        let mut a = BinsGenerator::new(space, 64, 6);
+        let mut b = BinsGenerator::new(space, 64, 6);
+        a.skip(1000).unwrap();
+        for _ in 0..1000 {
+            b.next_id().unwrap();
+        }
+        assert_eq!(a.generated(), b.generated());
+        match (a.footprint(), b.footprint()) {
+            (Footprint::Arcs(sa), Footprint::Arcs(sb)) => {
+                assert_eq!(sa.measure(), 1000);
+                assert_eq!(sa.intersection_measure_set(sb), 1000);
+            }
+            _ => panic!("arc footprints expected"),
+        }
+        assert_eq!(a.next_id().unwrap(), b.next_id().unwrap());
+    }
+
+    #[test]
+    fn skip_through_leftovers_then_exhausts() {
+        let space = IdSpace::new(10).unwrap(); // 3 bins of 3 + leftover {9}
+        let mut g = BinsGenerator::new(space, 3, 7);
+        g.skip(10).unwrap();
+        assert_eq!(g.generated(), 10);
+        assert!(matches!(g.skip(1), Err(GeneratorError::Exhausted { .. })));
+    }
+
+    #[test]
+    fn footprint_segments_stay_compact() {
+        let space = IdSpace::new(1 << 20).unwrap();
+        let k = 1 << 10;
+        let mut g = BinsGenerator::new(space, k, 8);
+        g.skip(100 * k).unwrap();
+        match g.footprint() {
+            Footprint::Arcs(set) => {
+                assert_eq!(set.measure(), 100 * k);
+                assert!(
+                    set.segment_count() <= 100,
+                    "at most one segment per opened bin"
+                );
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The ID-generation algorithms.
+//!
+//! Five algorithms from the paper — [`Random`], [`Cluster`], [`Bins`],
+//! [`ClusterStar`], [`BinsStar`] — plus the Lemma 24 witness
+//! [`SetAside`] and two practical comparators, [`Snowflake`] and
+//! [`SessionCounter`]. [`AlgorithmKind`] is the data-driven registry that
+//! experiments, benches, and CLIs use to name and instantiate them.
+
+pub mod bins;
+pub mod bins_star;
+pub mod cluster;
+pub mod cluster_star;
+pub mod random;
+pub mod rocksdb_session;
+pub mod set_aside;
+pub mod snowflake;
+
+pub use bins::{Bins, BinsGenerator};
+pub use bins_star::{BinsStar, BinsStarGenerator, BinsStarGeometry, ChunkRule};
+pub use cluster::{Cluster, ClusterGenerator};
+pub use cluster_star::{ClusterStar, ClusterStarGenerator};
+pub use random::{Random, RandomGenerator};
+pub use rocksdb_session::{SessionCounter, SessionCounterGenerator};
+pub use set_aside::{SetAside, SetAsideGenerator};
+pub use snowflake::{Snowflake, SnowflakeConfig, SnowflakeGenerator};
+
+use crate::id::IdSpace;
+use crate::traits::Algorithm;
+
+/// A serializable description of an algorithm, decoupled from a universe.
+///
+/// Experiments are parameterized by `(AlgorithmKind, IdSpace)` pairs;
+/// [`AlgorithmKind::build`] turns the pair into a live factory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Uniform permutation of `[m]` (the GUID random part).
+    Random,
+    /// Random start, sequential IDs (RocksDB; Theorem 1).
+    Cluster,
+    /// Random permutation of aligned bins of size `k` (Theorem 2).
+    Bins {
+        /// Bin size, `1 ≤ k ≤ m`.
+        k: u128,
+    },
+    /// Doubling runs placed uniformly among own runs (Theorem 8).
+    ClusterStar,
+    /// One bin per doubling-size chunk (Theorems 9 and 11).
+    BinsStar,
+    /// Bins★ with the max-fit chunk count instead of the paper formula.
+    BinsStarMaxFit,
+    /// Lemma 24 construction for the two-instance profile `(i, j)`.
+    SetAside {
+        /// Head demand `i`.
+        i: u128,
+        /// Total demand `j` of the heavy instance.
+        j: u128,
+    },
+    /// Timestamp ‖ worker ‖ sequence with a skewed-clock fault model.
+    Snowflake(SnowflakeConfig),
+    /// Random session prefix + counter (RocksDB PR #8990 / #9126 shape).
+    SessionCounter {
+        /// Bits of random session prefix.
+        session_bits: u32,
+        /// Bits of sequential counter.
+        counter_bits: u32,
+    },
+}
+
+impl AlgorithmKind {
+    /// Instantiates the algorithm over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid for `space` (e.g. `k > m`), or
+    /// if a bit-layout algorithm is paired with a mismatched universe.
+    pub fn build(&self, space: IdSpace) -> Box<dyn Algorithm> {
+        match self {
+            AlgorithmKind::Random => Box::new(Random::new(space)),
+            AlgorithmKind::Cluster => Box::new(Cluster::new(space)),
+            AlgorithmKind::Bins { k } => Box::new(Bins::new(space, *k)),
+            AlgorithmKind::ClusterStar => Box::new(ClusterStar::new(space)),
+            AlgorithmKind::BinsStar => Box::new(BinsStar::new(space)),
+            AlgorithmKind::BinsStarMaxFit => {
+                Box::new(BinsStar::with_rule(space, ChunkRule::MaxFit))
+            }
+            AlgorithmKind::SetAside { i, j } => Box::new(SetAside::new(space, *i, *j)),
+            AlgorithmKind::Snowflake(cfg) => {
+                let alg = Snowflake::new(*cfg);
+                assert_eq!(
+                    alg.space(),
+                    space,
+                    "Snowflake layout implies m = 2^{}, got {space}",
+                    cfg.total_bits()
+                );
+                Box::new(alg)
+            }
+            AlgorithmKind::SessionCounter {
+                session_bits,
+                counter_bits,
+            } => {
+                let alg = SessionCounter::new(*session_bits, *counter_bits);
+                assert_eq!(
+                    alg.space(),
+                    space,
+                    "SessionCounter layout implies m = 2^{}, got {space}",
+                    session_bits + counter_bits
+                );
+                Box::new(alg)
+            }
+        }
+    }
+
+    /// The algorithms analyzed by the paper, suitable for comparison grids
+    /// over an arbitrary universe. `bins_k` selects the Bins parameter.
+    pub fn paper_suite(bins_k: u128) -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::Random,
+            AlgorithmKind::Cluster,
+            AlgorithmKind::Bins { k: bins_k },
+            AlgorithmKind::ClusterStar,
+            AlgorithmKind::BinsStar,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_working_factories() {
+        let space = IdSpace::new(1 << 16).unwrap();
+        let kinds = [
+            AlgorithmKind::Random,
+            AlgorithmKind::Cluster,
+            AlgorithmKind::Bins { k: 16 },
+            AlgorithmKind::ClusterStar,
+            AlgorithmKind::BinsStar,
+            AlgorithmKind::BinsStarMaxFit,
+            AlgorithmKind::SetAside { i: 4, j: 20 },
+        ];
+        for kind in kinds {
+            let alg = kind.build(space);
+            let mut g = alg.spawn(1);
+            let id = g.next_id().unwrap();
+            assert!(space.contains(id), "{}: ID out of space", alg.name());
+        }
+    }
+
+    #[test]
+    fn bit_layout_algorithms_check_space() {
+        let cfg = SnowflakeConfig {
+            timestamp_bits: 10,
+            worker_bits: 5,
+            sequence_bits: 5,
+            requests_per_tick: 4,
+            max_skew_ticks: 0,
+        };
+        let space = IdSpace::with_bits(20).unwrap();
+        let alg = AlgorithmKind::Snowflake(cfg).build(space);
+        assert_eq!(alg.space(), space);
+
+        let alg = AlgorithmKind::SessionCounter {
+            session_bits: 12,
+            counter_bits: 8,
+        }
+        .build(space);
+        assert_eq!(alg.space(), space);
+    }
+
+    #[test]
+    #[should_panic(expected = "Snowflake layout")]
+    fn mismatched_snowflake_space_panics() {
+        let cfg = SnowflakeConfig {
+            timestamp_bits: 10,
+            worker_bits: 5,
+            sequence_bits: 5,
+            requests_per_tick: 4,
+            max_skew_ticks: 0,
+        };
+        AlgorithmKind::Snowflake(cfg).build(IdSpace::with_bits(21).unwrap());
+    }
+
+    #[test]
+    fn paper_suite_contains_all_five() {
+        let suite = AlgorithmKind::paper_suite(8);
+        assert_eq!(suite.len(), 5);
+        let space = IdSpace::new(1 << 12).unwrap();
+        let names: Vec<String> = suite.iter().map(|k| k.build(space).name()).collect();
+        assert_eq!(names, ["random", "cluster", "bins(8)", "cluster*", "bins*"]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let space = IdSpace::new(1 << 10).unwrap();
+        assert_eq!(AlgorithmKind::Cluster.build(space).name(), "cluster");
+        assert_eq!(
+            AlgorithmKind::SetAside { i: 1, j: 9 }.build(space).name(),
+            "set-aside(1, 9)"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! **Random** — the paper's model of the random part of GUIDs.
+//!
+//! > *Algorithm Random: return the IDs from `[m]` in a uniformly random
+//! > order.*
+//!
+//! Every request reveals the next element of a uniform random permutation
+//! of `[m]`, i.e. sampling without replacement. Corollary 3 gives its
+//! collision probability as `Θ(min(1, (‖D‖₁² − ‖D‖₂²)/m))` — the birthday
+//! bound — which is why Random is only safe while the total demand stays
+//! far below `√m`.
+//!
+//! Implemented with a lazy Fisher–Yates shuffle ([`crate::shuffle`]), so a
+//! draw is O(1) for any `m` up to 2¹²⁷.
+
+use crate::id::{Id, IdSpace};
+use crate::rng::Xoshiro256pp;
+use crate::shuffle::LazyShuffle;
+use crate::state::{check, rng_from, GeneratorState, StateError};
+use crate::traits::{Algorithm, Footprint, GeneratorError, IdGenerator};
+
+/// Factory for [`RandomGenerator`] instances.
+#[derive(Debug, Clone)]
+pub struct Random {
+    space: IdSpace,
+}
+
+impl Random {
+    /// Random over the universe `space`.
+    pub fn new(space: IdSpace) -> Self {
+        Random { space }
+    }
+}
+
+impl Algorithm for Random {
+    fn name(&self) -> String {
+        "random".to_owned()
+    }
+
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn spawn(&self, seed: u64) -> Box<dyn IdGenerator> {
+        Box::new(RandomGenerator::new(self.space, seed))
+    }
+}
+
+/// One instance of Random: a uniform permutation of `[m]`, revealed lazily.
+#[derive(Debug)]
+pub struct RandomGenerator {
+    space: IdSpace,
+    rng: Xoshiro256pp,
+    shuffle: LazyShuffle,
+    emitted: Vec<Id>,
+}
+
+impl RandomGenerator {
+    /// A fresh instance seeded with `seed`.
+    pub fn new(space: IdSpace, seed: u64) -> Self {
+        RandomGenerator {
+            space,
+            rng: Xoshiro256pp::new(seed),
+            shuffle: LazyShuffle::new(space.size()),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an instance from a [`GeneratorState::Random`] snapshot.
+    pub fn from_state(space: IdSpace, state: &GeneratorState) -> Result<Self, StateError> {
+        let GeneratorState::Random {
+            rng,
+            drawn,
+            displacements,
+            emitted,
+        } = state
+        else {
+            return Err(StateError("not a Random state".into()));
+        };
+        let m = space.size();
+        check(*drawn <= m, "drawn exceeds universe")?;
+        check(emitted.len() as u128 == *drawn, "emitted count != drawn")?;
+        check(emitted.iter().all(|&v| v < m), "emitted ID out of universe")?;
+        check(
+            displacements
+                .iter()
+                .all(|&(k, x)| k >= *drawn && k < m && x < m),
+            "displacement out of range",
+        )?;
+        Ok(RandomGenerator {
+            space,
+            rng: rng_from(*rng)?,
+            shuffle: LazyShuffle::from_parts(m, *drawn, displacements.clone()),
+            emitted: emitted.iter().map(|&v| Id(v)).collect(),
+        })
+    }
+}
+
+impl IdGenerator for RandomGenerator {
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn next_id(&mut self) -> Result<Id, GeneratorError> {
+        match self.shuffle.draw(&mut self.rng) {
+            Some(v) => {
+                let id = Id(v);
+                self.emitted.push(id);
+                Ok(id)
+            }
+            None => Err(GeneratorError::Exhausted {
+                generated: self.shuffle.drawn(),
+            }),
+        }
+    }
+
+    fn generated(&self) -> u128 {
+        self.shuffle.drawn()
+    }
+
+    fn footprint(&self) -> Footprint<'_> {
+        Footprint::Points(&self.emitted)
+    }
+
+    fn snapshot(&self) -> Option<GeneratorState> {
+        Some(GeneratorState::Random {
+            rng: self.rng.state(),
+            drawn: self.shuffle.drawn(),
+            displacements: self.shuffle.displacements(),
+            emitted: self.emitted.iter().map(|id| id.value()).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn emits_a_permutation_of_the_universe() {
+        let space = IdSpace::new(64).unwrap();
+        let mut g = RandomGenerator::new(space, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..64 {
+            let id = g.next_id().unwrap();
+            assert!(space.contains(id));
+            assert!(seen.insert(id), "duplicate ID within one instance");
+        }
+        assert!(matches!(
+            g.next_id(),
+            Err(GeneratorError::Exhausted { generated: 64 })
+        ));
+    }
+
+    #[test]
+    fn instances_with_different_seeds_differ() {
+        let space = IdSpace::new(1 << 30).unwrap();
+        let alg = Random::new(space);
+        let mut a = alg.spawn(1);
+        let mut b = alg.spawn(2);
+        let xs: Vec<_> = (0..32).map(|_| a.next_id().unwrap()).collect();
+        let ys: Vec<_> = (0..32).map(|_| b.next_id().unwrap()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let space = IdSpace::new(1000).unwrap();
+        let alg = Random::new(space);
+        let mut a = alg.spawn(7);
+        let mut b = alg.spawn(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_id().unwrap(), b.next_id().unwrap());
+        }
+    }
+
+    #[test]
+    fn footprint_matches_emitted_ids() {
+        let space = IdSpace::new(128).unwrap();
+        let mut g = RandomGenerator::new(space, 3);
+        let ids: Vec<_> = (0..10).map(|_| g.next_id().unwrap()).collect();
+        match g.footprint() {
+            Footprint::Points(p) => assert_eq!(p, ids.as_slice()),
+            _ => panic!("Random must report a point footprint"),
+        }
+        assert_eq!(g.footprint().measure(), 10);
+    }
+
+    #[test]
+    fn first_id_is_uniform() {
+        let space = IdSpace::new(8).unwrap();
+        let mut counts = [0u32; 8];
+        let trials = 80_000;
+        for seed in 0..trials {
+            let mut g = RandomGenerator::new(space, seed);
+            counts[g.next_id().unwrap().value() as usize] += 1;
+        }
+        let expected = trials as f64 / 8.0;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "id {v}: dev {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn works_at_guid_scale() {
+        let space = IdSpace::with_bits(127).unwrap();
+        let mut g = RandomGenerator::new(space, 9);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(g.next_id().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! ASCII rendering of the paper's algorithm illustrations (experiment E1).
+//!
+//! Section 3 illustrates each algorithm with a row of `m` squares, where a
+//! number `i` in a square means the corresponding ID was the `i`-th ID
+//! returned. This module reproduces those diagrams for any generator:
+//!
+//! ```text
+//! cluster (m = 20, 8 requests)
+//! ·  ·  ·  ·  ·  1  2  3  4  5  6  7  8  ·  ·  ·  ·  ·  ·  ·
+//! ```
+
+use crate::traits::IdGenerator;
+
+/// Renders the emission order of the first `requests` IDs of `generator`
+/// as the paper's square diagram.
+///
+/// Returns one line per `row_width` IDs (the paper uses a single row; for
+/// larger `m` wrapping keeps the output readable). Cells show the request
+/// index (1-based) that produced the ID, or `·` if the ID was not produced.
+///
+/// # Panics
+///
+/// Panics if the universe is larger than 2¹⁴ (diagrams are for small,
+/// figure-sized universes) or if the generator cannot serve `requests`.
+pub fn render(generator: &mut dyn IdGenerator, requests: u128, row_width: usize) -> String {
+    let space = generator.space();
+    let m = space.size();
+    assert!(m <= 1 << 14, "diagrams are for small universes (m = {m})");
+    assert!(row_width > 0);
+    let mut order = vec![0u128; m as usize];
+    for i in 1..=requests {
+        let id = generator
+            .next_id()
+            .unwrap_or_else(|e| panic!("generator failed at request {i}: {e}"));
+        order[id.value() as usize] = i;
+    }
+    let cell_width = requests.to_string().len().max(1);
+    let mut out = String::new();
+    for (idx, &o) in order.iter().enumerate() {
+        if idx > 0 && idx % row_width == 0 {
+            out.push('\n');
+        } else if idx % row_width != 0 {
+            out.push(' ');
+        }
+        if o == 0 {
+            out.push_str(&format!("{:>cell_width$}", "·"));
+        } else {
+            out.push_str(&format!("{o:>cell_width$}"));
+        }
+    }
+    out
+}
+
+/// Renders `render` output with a caption line, matching the paper's
+/// "Example (m = 20, 8 requests)" headers.
+pub fn render_captioned(
+    name: &str,
+    generator: &mut dyn IdGenerator,
+    requests: u128,
+    row_width: usize,
+) -> String {
+    let m = generator.space().size();
+    format!(
+        "{name} (m = {m}, {requests} requests)\n{}",
+        render(generator, requests, row_width)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Cluster, Random};
+    use crate::id::IdSpace;
+    use crate::traits::Algorithm;
+
+    #[test]
+    fn cluster_diagram_shows_a_contiguous_ascending_block() {
+        let space = IdSpace::new(20).unwrap();
+        let alg = Cluster::new(space);
+        let mut g = alg.spawn(1);
+        let diagram = render(g.as_mut(), 8, 20);
+        // Exactly the digits 1..8 appear, in ascending order up to rotation.
+        let cells: Vec<&str> = diagram.split_whitespace().collect();
+        assert_eq!(cells.len(), 20);
+        let filled: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != "·")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(filled.len(), 8);
+        // Rotate so the block is linear, then check the numbers ascend.
+        let values: Vec<u32> = cells
+            .iter()
+            .filter(|c| **c != "·")
+            .map(|c| c.parse().unwrap())
+            .collect();
+        let pos_of_one = values.iter().position(|&v| v == 1).unwrap();
+        for (offset, want) in (1..=8u32).enumerate() {
+            let idx = (pos_of_one + offset) % 8;
+            // Only valid when the block does not wrap; detect wrap and skip.
+            if filled[7] - filled[0] == 7 {
+                assert_eq!(values[(pos_of_one + offset - 1) % 8], want, "idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_diagram_has_exactly_requested_marks() {
+        let space = IdSpace::new(20).unwrap();
+        let alg = Random::new(space);
+        let mut g = alg.spawn(2);
+        let diagram = render(g.as_mut(), 8, 20);
+        let marks = diagram.split_whitespace().filter(|c| *c != "·").count();
+        assert_eq!(marks, 8);
+    }
+
+    #[test]
+    fn captioned_header_matches_paper_style() {
+        let space = IdSpace::new(20).unwrap();
+        let alg = Cluster::new(space);
+        let mut g = alg.spawn(3);
+        let s = render_captioned("cluster", g.as_mut(), 8, 20);
+        assert!(s.starts_with("cluster (m = 20, 8 requests)\n"));
+    }
+
+    #[test]
+    fn wrapping_rows() {
+        let space = IdSpace::new(32).unwrap();
+        let alg = Random::new(space);
+        let mut g = alg.spawn(4);
+        let s = render(g.as_mut(), 4, 16);
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! The ID universe `[m]` and modular ring arithmetic on it.
+//!
+//! The paper works with a universe `[m] = {1, …, m}`. We use the
+//! zero-based representation `{0, …, m−1}` internally, which is the natural
+//! encoding for modular arithmetic; nothing in the analysis depends on the
+//! labels of the IDs (every algorithm in the paper is invariant under
+//! relabeling except for the *order within* runs/bins, which the zero-based
+//! encoding preserves).
+//!
+//! `m` may be as large as 2¹²⁷ so that the sum of any two elements of the
+//! universe still fits in a `u128` without overflow. This covers the paper's
+//! motivating regime (128-bit GUIDs, exabyte-scale object counts) with room
+//! to spare.
+
+use std::fmt;
+
+/// A single identifier drawn from an [`IdSpace`].
+///
+/// `Id` is a plain 128-bit value; it is only meaningful relative to the
+/// `IdSpace` it was drawn from. The `Ord` implementation is the natural
+/// integer order, which is what the paper's "return IDs of a bin in
+/// increasing order" refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Id(pub u128);
+
+impl Id {
+    /// The raw value of this ID.
+    #[inline]
+    pub const fn value(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u128> for Id {
+    #[inline]
+    fn from(v: u128) -> Self {
+        Id(v)
+    }
+}
+
+impl From<Id> for u128 {
+    #[inline]
+    fn from(id: Id) -> Self {
+        id.0
+    }
+}
+
+/// The largest supported universe size: 2¹²⁷.
+///
+/// Capping `m` at 2¹²⁷ guarantees `a + b` never overflows `u128` for
+/// `a, b < m`, so all modular arithmetic below is branch-light and safe.
+pub const MAX_UNIVERSE: u128 = 1 << 127;
+
+/// The universe `[m]` of identifiers, with circular (mod `m`) arithmetic.
+///
+/// All the paper's algorithms view the universe as a cycle: Cluster wraps
+/// around after `m − 1`, runs and bins are arcs of the cycle. `IdSpace`
+/// centralizes that arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use uuidp_core::id::{Id, IdSpace};
+///
+/// let space = IdSpace::new(20).unwrap();
+/// assert_eq!(space.add(Id(19), 1), Id(0));          // wrap-around
+/// assert_eq!(space.forward_distance(Id(18), Id(3)), 5);
+/// assert_eq!(space.circular_distance(Id(18), Id(3)), 5);
+/// assert_eq!(space.circular_distance(Id(3), Id(18)), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdSpace {
+    m: u128,
+}
+
+/// Error returned when constructing an [`IdSpace`] with an unsupported size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdSpaceError {
+    /// The universe must contain at least one ID.
+    Empty,
+    /// The universe may not exceed [`MAX_UNIVERSE`].
+    TooLarge(u128),
+}
+
+impl fmt::Display for IdSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdSpaceError::Empty => write!(f, "universe size m must be at least 1"),
+            IdSpaceError::TooLarge(m) => {
+                write!(f, "universe size m = {m} exceeds the maximum 2^127")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdSpaceError {}
+
+impl IdSpace {
+    /// Creates the universe `{0, …, m−1}`.
+    pub fn new(m: u128) -> Result<Self, IdSpaceError> {
+        if m == 0 {
+            return Err(IdSpaceError::Empty);
+        }
+        if m > MAX_UNIVERSE {
+            return Err(IdSpaceError::TooLarge(m));
+        }
+        Ok(IdSpace { m })
+    }
+
+    /// Creates the universe of all `bits`-bit IDs, i.e. `m = 2^bits`.
+    ///
+    /// `bits` must be at most 127.
+    pub fn with_bits(bits: u32) -> Result<Self, IdSpaceError> {
+        if bits > 127 {
+            return Err(IdSpaceError::TooLarge(u128::MAX));
+        }
+        IdSpace::new(1u128 << bits)
+    }
+
+    /// The universe size `m`.
+    #[inline]
+    pub const fn size(self) -> u128 {
+        self.m
+    }
+
+    /// `⌈log₂ m⌉`, clamped below at 1. Used by Bins★'s chunk geometry and by
+    /// several of the paper's bounds (`log m` always means `log₂`).
+    #[inline]
+    pub fn log2_ceil(self) -> u32 {
+        if self.m <= 2 {
+            1
+        } else {
+            128 - (self.m - 1).leading_zeros()
+        }
+    }
+
+    /// `⌊log₂ m⌋`.
+    #[inline]
+    pub fn log2_floor(self) -> u32 {
+        127 - self.m.leading_zeros()
+    }
+
+    /// Whether `id` belongs to this universe.
+    #[inline]
+    pub fn contains(self, id: Id) -> bool {
+        id.0 < self.m
+    }
+
+    /// `(id + delta) mod m`.
+    ///
+    /// `delta` may be any value below `m`; `id` must belong to the universe.
+    #[inline]
+    pub fn add(self, id: Id, delta: u128) -> Id {
+        debug_assert!(self.contains(id));
+        debug_assert!(delta < self.m || self.m == 1);
+        let s = id.0 + (delta % self.m);
+        Id(if s >= self.m { s - self.m } else { s })
+    }
+
+    /// `(id − delta) mod m`.
+    #[inline]
+    pub fn sub(self, id: Id, delta: u128) -> Id {
+        debug_assert!(self.contains(id));
+        let d = delta % self.m;
+        Id(if id.0 >= d { id.0 - d } else { id.0 + self.m - d })
+    }
+
+    /// The successor of `id` on the cycle (wraps `m − 1 → 0`).
+    #[inline]
+    pub fn next(self, id: Id) -> Id {
+        self.add(id, 1)
+    }
+
+    /// Number of steps to walk *forward* (in increasing direction, wrapping)
+    /// from `a` to `b`. Zero iff `a == b`.
+    #[inline]
+    pub fn forward_distance(self, a: Id, b: Id) -> u128 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        if b.0 >= a.0 {
+            b.0 - a.0
+        } else {
+            self.m - a.0 + b.0
+        }
+    }
+
+    /// The circular distance `min(forward(a,b), forward(b,a))`.
+    ///
+    /// This is the notion of "closeness" the Lemma 7 adversary exploits:
+    /// two Cluster instances whose starting IDs are at circular distance
+    /// less than the remaining demand can be forced to collide.
+    #[inline]
+    pub fn circular_distance(self, a: Id, b: Id) -> u128 {
+        let f = self.forward_distance(a, b);
+        f.min(self.m - f)
+    }
+
+    /// Iterates over the whole universe in increasing order.
+    ///
+    /// Intended for tests and tiny exact computations only; panics if
+    /// `m > 2^24` to guard against accidental use at scale.
+    pub fn iter_all(self) -> impl Iterator<Item = Id> {
+        assert!(
+            self.m <= 1 << 24,
+            "iter_all is for small universes only (m = {})",
+            self.m
+        );
+        (0..self.m).map(Id)
+    }
+}
+
+impl fmt::Display for IdSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[m={}]", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty_universe() {
+        assert_eq!(IdSpace::new(0), Err(IdSpaceError::Empty));
+    }
+
+    #[test]
+    fn new_rejects_oversized_universe() {
+        let too_big = MAX_UNIVERSE + 1;
+        assert_eq!(IdSpace::new(too_big), Err(IdSpaceError::TooLarge(too_big)));
+        assert!(IdSpace::new(MAX_UNIVERSE).is_ok());
+    }
+
+    #[test]
+    fn with_bits_constructs_power_of_two() {
+        assert_eq!(IdSpace::with_bits(0).unwrap().size(), 1);
+        assert_eq!(IdSpace::with_bits(10).unwrap().size(), 1024);
+        assert_eq!(IdSpace::with_bits(127).unwrap().size(), MAX_UNIVERSE);
+        assert!(IdSpace::with_bits(128).is_err());
+    }
+
+    #[test]
+    fn add_wraps_around() {
+        let s = IdSpace::new(20).unwrap();
+        assert_eq!(s.add(Id(0), 0), Id(0));
+        assert_eq!(s.add(Id(19), 1), Id(0));
+        assert_eq!(s.add(Id(10), 15), Id(5));
+        assert_eq!(s.add(Id(19), 19), Id(18));
+    }
+
+    #[test]
+    fn sub_wraps_around() {
+        let s = IdSpace::new(20).unwrap();
+        assert_eq!(s.sub(Id(0), 1), Id(19));
+        assert_eq!(s.sub(Id(5), 10), Id(15));
+        assert_eq!(s.sub(Id(5), 5), Id(0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let s = IdSpace::new(97).unwrap();
+        for a in [0u128, 1, 50, 96] {
+            for d in [0u128, 1, 48, 96] {
+                assert_eq!(s.sub(s.add(Id(a), d), d), Id(a));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_distance_basics() {
+        let s = IdSpace::new(20).unwrap();
+        assert_eq!(s.forward_distance(Id(3), Id(3)), 0);
+        assert_eq!(s.forward_distance(Id(3), Id(7)), 4);
+        assert_eq!(s.forward_distance(Id(7), Id(3)), 16);
+        assert_eq!(s.forward_distance(Id(19), Id(0)), 1);
+    }
+
+    #[test]
+    fn circular_distance_is_symmetric_and_bounded() {
+        let s = IdSpace::new(21).unwrap();
+        for a in 0..21u128 {
+            for b in 0..21u128 {
+                let d1 = s.circular_distance(Id(a), Id(b));
+                let d2 = s.circular_distance(Id(b), Id(a));
+                assert_eq!(d1, d2);
+                assert!(d1 <= 21 / 2);
+                assert_eq!(d1 == 0, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_universe_arithmetic() {
+        let s = IdSpace::new(1).unwrap();
+        assert_eq!(s.add(Id(0), 0), Id(0));
+        assert_eq!(s.next(Id(0)), Id(0));
+        assert_eq!(s.forward_distance(Id(0), Id(0)), 0);
+    }
+
+    #[test]
+    fn log2_helpers() {
+        let cases = [
+            (1u128, 1u32, 0u32),
+            (2, 1, 1),
+            (3, 2, 1),
+            (4, 2, 2),
+            (20, 5, 4),
+            (32, 5, 5),
+            (1 << 64, 64, 64),
+        ];
+        for (m, ceil, floor) in cases {
+            let s = IdSpace::new(m).unwrap();
+            assert_eq!(s.log2_ceil(), ceil, "ceil for m={m}");
+            assert_eq!(s.log2_floor(), floor, "floor for m={m}");
+        }
+    }
+
+    #[test]
+    fn iter_all_yields_every_id_once() {
+        let s = IdSpace::new(16).unwrap();
+        let ids: Vec<_> = s.iter_all().collect();
+        assert_eq!(ids.len(), 16);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.0, i as u128);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Lazy Fisher–Yates: uniform sampling without replacement from `{0..n}`
+//! in `O(1)` time and `O(draws)` memory, for `n` up to 2¹²⁷.
+//!
+//! Random needs a uniform random *permutation* of `[m]`, revealed one
+//! element at a time, where `m` can be astronomically large (the paper's
+//! regime is `m = 2¹²⁸`-ish). Materializing the permutation is impossible;
+//! the classic trick is to run Fisher–Yates against a *virtual* array
+//! `a[i] = i`, storing only the displaced entries in a hash map. Each draw
+//! costs O(1) expected time and one map entry, so drawing `d` IDs costs
+//! `O(d)` regardless of `n`. The resulting sequence is distributed exactly
+//! as a uniform permutation prefix — the same distribution as rejection
+//! sampling, but with deterministic per-draw cost and no pathological
+//! retry loops as the space fills up.
+//!
+//! Bins(k) reuses the same structure to draw its random permutation of
+//! `⌊m/k⌋` bins.
+
+use std::collections::HashMap;
+
+use crate::rng::{uniform_below, Xoshiro256pp};
+
+/// Uniform sampler without replacement from `{0, 1, …, n−1}`.
+#[derive(Debug, Clone)]
+pub struct LazyShuffle {
+    n: u128,
+    drawn: u128,
+    /// Sparse view of the virtual array: indices whose value differs from
+    /// the identity mapping.
+    displaced: HashMap<u128, u128>,
+}
+
+impl LazyShuffle {
+    /// A sampler over `{0, …, n−1}`. `n == 0` yields an immediately
+    /// exhausted sampler.
+    pub fn new(n: u128) -> Self {
+        LazyShuffle {
+            n,
+            drawn: 0,
+            displaced: HashMap::new(),
+        }
+    }
+
+    /// Size of the underlying set.
+    pub fn len(&self) -> u128 {
+        self.n
+    }
+
+    /// Whether the underlying set is empty (`n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether every element has been drawn.
+    pub fn is_exhausted(&self) -> bool {
+        self.drawn >= self.n
+    }
+
+    /// Number of elements drawn so far.
+    pub fn drawn(&self) -> u128 {
+        self.drawn
+    }
+
+    /// Number of elements remaining.
+    pub fn remaining(&self) -> u128 {
+        self.n - self.drawn
+    }
+
+    /// The sparse displacements, for persistence (sorted for determinism).
+    pub fn displacements(&self) -> Vec<(u128, u128)> {
+        let mut v: Vec<(u128, u128)> = self.displaced.iter().map(|(&k, &x)| (k, x)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds a sampler from persisted parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drawn > n` or a displacement key is out of range.
+    pub fn from_parts(n: u128, drawn: u128, displacements: Vec<(u128, u128)>) -> Self {
+        assert!(drawn <= n, "drawn exceeds set size");
+        let displaced: HashMap<u128, u128> = displacements.into_iter().collect();
+        for (&k, &x) in &displaced {
+            assert!(k >= drawn && k < n, "displacement key {k} out of range");
+            assert!(x < n, "displacement value {x} out of range");
+        }
+        LazyShuffle {
+            n,
+            drawn,
+            displaced,
+        }
+    }
+
+    /// Draws the next element of the virtual permutation, or `None` if all
+    /// `n` elements have been drawn.
+    pub fn draw(&mut self, rng: &mut Xoshiro256pp) -> Option<u128> {
+        if self.drawn >= self.n {
+            return None;
+        }
+        // Classic inside-out Fisher–Yates step on the virtual array:
+        // swap a[i] with a[j] for uniform j in [i, n), then reveal a[i].
+        let i = self.drawn;
+        let j = i + uniform_below(rng, self.n - i);
+        let a_j = self.displaced.get(&j).copied().unwrap_or(j);
+        if j != i {
+            let a_i = self.displaced.get(&i).copied().unwrap_or(i);
+            self.displaced.insert(j, a_i);
+        }
+        // a[i] is now fixed forever; drop it from the sparse map to keep
+        // memory at O(remaining displacements) instead of O(draws).
+        self.displaced.remove(&i);
+        self.drawn += 1;
+        Some(a_j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn draws_each_element_exactly_once() {
+        let mut rng = Xoshiro256pp::new(1);
+        let mut shuffle = LazyShuffle::new(100);
+        let mut seen = HashSet::new();
+        while let Some(x) = shuffle.draw(&mut rng) {
+            assert!(x < 100);
+            assert!(seen.insert(x), "element {x} drawn twice");
+        }
+        assert_eq!(seen.len(), 100);
+        assert!(shuffle.is_exhausted());
+        assert!(shuffle.draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn zero_sized_set_is_immediately_exhausted() {
+        let mut rng = Xoshiro256pp::new(2);
+        let mut shuffle = LazyShuffle::new(0);
+        assert!(shuffle.is_exhausted());
+        assert!(shuffle.draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_at_huge_n_with_small_memory() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 1u128 << 120;
+        let mut shuffle = LazyShuffle::new(n);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let x = shuffle.draw(&mut rng).unwrap();
+            assert!(x < n);
+            assert!(seen.insert(x), "duplicate at huge n");
+        }
+        assert!(shuffle.displaced.len() <= 10_000);
+    }
+
+    #[test]
+    fn permutation_distribution_is_uniform_for_n3() {
+        // All 6 permutations of {0,1,2} should appear with equal frequency.
+        let mut rng = Xoshiro256pp::new(4);
+        let mut counts: HashMap<Vec<u128>, u32> = HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let mut s = LazyShuffle::new(3);
+            let perm: Vec<u128> = std::iter::from_fn(|| s.draw(&mut rng)).collect();
+            *counts.entry(perm).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        let expected = trials as f64 / 6.0;
+        for (perm, c) in &counts {
+            let dev = (*c as f64 - expected).abs() / expected;
+            assert!(dev < 0.06, "perm {perm:?}: count {c}, dev {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn first_draw_is_uniform() {
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 10u128;
+        let mut counts = [0u32; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let mut s = LazyShuffle::new(n);
+            counts[s.draw(&mut rng).unwrap() as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for (x, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "value {x}: dev {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_mid_stream() {
+        let mut rng = Xoshiro256pp::new(9);
+        let mut a = LazyShuffle::new(50);
+        for _ in 0..20 {
+            a.draw(&mut rng);
+        }
+        let mut b = LazyShuffle::from_parts(a.len(), a.drawn(), a.displacements());
+        // Same RNG stream from here ⇒ identical continuations.
+        let mut rng2 = rng.clone();
+        for _ in 0..30 {
+            assert_eq!(a.draw(&mut rng), b.draw(&mut rng2));
+        }
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let mut rng = Xoshiro256pp::new(6);
+        let mut s = LazyShuffle::new(5);
+        assert_eq!(s.remaining(), 5);
+        s.draw(&mut rng);
+        s.draw(&mut rng);
+        assert_eq!(s.drawn(), 2);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Core abstractions: ID generators, their footprints, and algorithm
+//! factories.
+//!
+//! The paper models an ID-generation algorithm `A` as a distribution over
+//! permutations of `[m]`; an *instance* of `A` reveals that permutation one
+//! ID at a time, on request, without knowing how many requests will come.
+//! [`IdGenerator`] is exactly that interface. [`Algorithm`] is the factory
+//! that spawns independent instances (independent randomness, no
+//! communication — the factory hands each instance nothing but a seed).
+
+use std::fmt;
+
+use crate::id::{Id, IdSpace};
+use crate::interval::IntervalSet;
+
+/// Error conditions an instance can hit while generating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// The instance cannot produce another ID under its rules.
+    ///
+    /// For Random/Cluster this happens only after all `m` IDs are emitted.
+    /// Bins(k) runs out after all bins and leftovers are used. Cluster★ can
+    /// fail earlier if its own reserved runs fragment the space so much that
+    /// no gap fits the next run (the paper sidesteps this by restricting
+    /// demand to `m / (2 log m)` per instance; we surface it as an error).
+    /// Bins★ is exhausted after its last chunk's bin (the paper's Theorem 9
+    /// likewise only covers demand below `m / log m`).
+    Exhausted {
+        /// Number of IDs successfully generated before exhaustion.
+        generated: u128,
+    },
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::Exhausted { generated } => write!(
+                f,
+                "instance exhausted after generating {generated} IDs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+/// The exact set of IDs an instance has emitted so far, in whichever
+/// representation is compact for its algorithm.
+///
+/// Collision detection between instances only needs set intersection, so
+/// exposing the emitted set symbolically lets the simulator check collisions
+/// in time proportional to the number of *arcs*, not the number of IDs —
+/// the difference between simulating `d = 2^40` and not.
+#[derive(Debug)]
+pub enum Footprint<'a> {
+    /// Individual IDs, in emission order. Used by Random-like algorithms
+    /// whose outputs have no arc structure.
+    Points(&'a [Id]),
+    /// A set of arcs. Used by Cluster, Bins(k), Cluster★, Bins★, whose
+    /// emitted sets are unions of `O(polylog d)` or `O(d/k)` arcs.
+    Arcs(&'a IntervalSet),
+}
+
+impl Footprint<'_> {
+    /// Number of IDs in the footprint.
+    pub fn measure(&self) -> u128 {
+        match self {
+            Footprint::Points(p) => p.len() as u128,
+            Footprint::Arcs(s) => s.measure(),
+        }
+    }
+}
+
+/// One running instance of an ID-generation algorithm.
+///
+/// Instances are sequential state machines: each [`next_id`] call reveals
+/// the next element of the instance's random permutation of `[m]`.
+///
+/// [`next_id`]: IdGenerator::next_id
+pub trait IdGenerator: Send {
+    /// The universe this instance draws from.
+    fn space(&self) -> IdSpace;
+
+    /// Produces the next ID.
+    fn next_id(&mut self) -> Result<Id, GeneratorError>;
+
+    /// Number of IDs produced so far.
+    fn generated(&self) -> u128;
+
+    /// The exact set of IDs produced so far.
+    fn footprint(&self) -> Footprint<'_>;
+
+    /// Advances the instance by `count` IDs without materializing them.
+    ///
+    /// Semantically identical to calling [`next_id`](Self::next_id) `count`
+    /// times and discarding the results; the footprint afterwards reflects
+    /// all skipped IDs. Algorithms with arc structure override this with an
+    /// `O(arcs)` implementation, which is what lets worst-case experiments
+    /// reach demands far beyond materializable scale.
+    fn skip(&mut self, count: u128) -> Result<(), GeneratorError> {
+        for _ in 0..count {
+            self.next_id()?;
+        }
+        Ok(())
+    }
+
+    /// Whether [`skip`](Self::skip) is sublinear in `count` for this
+    /// algorithm (true for the arc-structured algorithms, false for
+    /// Random-like ones).
+    fn supports_fast_skip(&self) -> bool {
+        false
+    }
+
+    /// Captures a serializable snapshot for exact resume after a restart
+    /// (see [`crate::state`]). `None` when the algorithm does not support
+    /// persistence (SetAside, Snowflake — both stateful on externals).
+    fn snapshot(&self) -> Option<crate::state::GeneratorState> {
+        None
+    }
+}
+
+/// A factory for independent instances of one ID-generation algorithm over
+/// one universe.
+///
+/// The factory is the crate's unit of configuration: experiments are
+/// parameterized by a list of `Box<dyn Algorithm>`. Spawned instances share
+/// nothing; independence across instances — the defining constraint of the
+/// UUIDP — is enforced by construction, since `spawn` passes only a seed.
+pub trait Algorithm: Send + Sync {
+    /// Short, stable, human-readable name (e.g. `"cluster"`, `"bins(64)"`).
+    fn name(&self) -> String;
+
+    /// The universe instances will draw from.
+    fn space(&self) -> IdSpace;
+
+    /// Spawns a fresh instance using `seed` as its only source of
+    /// randomness.
+    fn spawn(&self, seed: u64) -> Box<dyn IdGenerator>;
+}
+
+impl fmt::Debug for dyn Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Algorithm({} over {})", self.name(), self.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        space: IdSpace,
+        next: u128,
+        emitted: Vec<Id>,
+    }
+
+    impl IdGenerator for Fake {
+        fn space(&self) -> IdSpace {
+            self.space
+        }
+        fn next_id(&mut self) -> Result<Id, GeneratorError> {
+            if self.next >= self.space.size() {
+                return Err(GeneratorError::Exhausted {
+                    generated: self.next,
+                });
+            }
+            let id = Id(self.next);
+            self.next += 1;
+            self.emitted.push(id);
+            Ok(id)
+        }
+        fn generated(&self) -> u128 {
+            self.next
+        }
+        fn footprint(&self) -> Footprint<'_> {
+            Footprint::Points(&self.emitted)
+        }
+    }
+
+    #[test]
+    fn default_skip_materializes() {
+        let mut g = Fake {
+            space: IdSpace::new(10).unwrap(),
+            next: 0,
+            emitted: Vec::new(),
+        };
+        g.skip(4).unwrap();
+        assert_eq!(g.generated(), 4);
+        assert_eq!(g.footprint().measure(), 4);
+        assert!(!g.supports_fast_skip());
+    }
+
+    #[test]
+    fn default_skip_propagates_exhaustion() {
+        let mut g = Fake {
+            space: IdSpace::new(3).unwrap(),
+            next: 0,
+            emitted: Vec::new(),
+        };
+        let err = g.skip(5).unwrap_err();
+        assert_eq!(err, GeneratorError::Exhausted { generated: 3 });
+    }
+
+    #[test]
+    fn exhausted_error_formats() {
+        let e = GeneratorError::Exhausted { generated: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The audit layer: detects what the cache cannot.
+//!
+//! Two failure classes, both caused by uncoordinated ID collisions:
+//!
+//! * **ID collisions** — two live files with the same unique ID. Found by
+//!   a registry keyed on the unique ID (something production systems
+//!   cannot afford globally, which is exactly why the paper's problem
+//!   matters; here it is our measurement instrument).
+//! * **Cache corruptions** — a read served a block whose ground-truth
+//!   origin differs from the file being read: a *silent wrong answer*
+//!   from the database's perspective.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::sst::{BlockPayload, FileIdentity};
+
+/// A detected duplicate unique ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdCollision {
+    /// The colliding unique ID.
+    pub unique_id: u128,
+    /// The file that registered the ID first.
+    pub first: FileIdentity,
+    /// The file that collided with it.
+    pub second: FileIdentity,
+}
+
+/// A read that returned another file's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCorruption {
+    /// The file the reader believed it was reading.
+    pub expected: FileIdentity,
+    /// The provenance of the block actually served.
+    pub served: FileIdentity,
+    /// The block index.
+    pub block: u32,
+}
+
+/// The audit: an ID registry plus event logs.
+#[derive(Debug, Default)]
+pub struct Audit {
+    registry: HashMap<u128, FileIdentity>,
+    id_collisions: Vec<IdCollision>,
+    corruptions: Vec<CacheCorruption>,
+}
+
+impl Audit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a newly created file's unique ID; records a collision if
+    /// the ID is already held by a different file.
+    pub fn register_file(&mut self, unique_id: u128, identity: FileIdentity) {
+        match self.registry.entry(unique_id) {
+            Entry::Occupied(e) => {
+                if *e.get() != identity {
+                    self.id_collisions.push(IdCollision {
+                        unique_id,
+                        first: *e.get(),
+                        second: identity,
+                    });
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(identity);
+            }
+        }
+    }
+
+    /// Checks a served block against the reader's expectation; records a
+    /// corruption on mismatch. Returns whether the read was clean.
+    pub fn check_read(&mut self, expected: FileIdentity, served: &BlockPayload) -> bool {
+        if served.origin != expected {
+            self.corruptions.push(CacheCorruption {
+                expected,
+                served: served.origin,
+                block: served.block,
+            });
+            false
+        } else {
+            true
+        }
+    }
+
+    /// All ID collisions observed.
+    pub fn id_collisions(&self) -> &[IdCollision] {
+        &self.id_collisions
+    }
+
+    /// All cache corruptions observed.
+    pub fn corruptions(&self) -> &[CacheCorruption] {
+        &self.corruptions
+    }
+
+    /// Number of unique IDs registered.
+    pub fn registered(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(i: u32, n: u64) -> FileIdentity {
+        FileIdentity {
+            origin_instance: i,
+            file_number: n,
+        }
+    }
+
+    #[test]
+    fn detects_duplicate_ids() {
+        let mut audit = Audit::new();
+        audit.register_file(42, ident(0, 1));
+        audit.register_file(43, ident(0, 2));
+        audit.register_file(42, ident(1, 7));
+        assert_eq!(audit.id_collisions().len(), 1);
+        let c = audit.id_collisions()[0];
+        assert_eq!(c.unique_id, 42);
+        assert_eq!(c.first, ident(0, 1));
+        assert_eq!(c.second, ident(1, 7));
+    }
+
+    #[test]
+    fn re_registering_same_file_is_not_a_collision() {
+        let mut audit = Audit::new();
+        audit.register_file(42, ident(0, 1));
+        audit.register_file(42, ident(0, 1));
+        assert!(audit.id_collisions().is_empty());
+    }
+
+    #[test]
+    fn detects_corrupt_reads() {
+        let mut audit = Audit::new();
+        let served = BlockPayload {
+            origin: ident(1, 7),
+            block: 3,
+        };
+        assert!(!audit.check_read(ident(0, 1), &served));
+        assert!(audit.check_read(ident(1, 7), &served));
+        assert_eq!(audit.corruptions().len(), 1);
+        assert_eq!(audit.corruptions()[0].expected, ident(0, 1));
+    }
+}

@@ -1,0 +1,250 @@
+//! A shared block cache with CLOCK (second-chance) eviction.
+//!
+//! Keyed by [`CacheKey`] — the uncoordinated SST unique ID plus block
+//! offset. The cache is deliberately oblivious to ground-truth file
+//! identities: like the real RocksDB block cache, it trusts the unique ID.
+//! If two files collide on an ID, the cache will happily serve one file's
+//! block for the other's read; detecting that is the audit layer's job
+//! (and in production, nobody's — that is the paper's motivating hazard).
+//!
+//! CLOCK is used instead of strict LRU because it needs no ordered list —
+//! a ring of reference bits — while retaining LRU-like behaviour; it is
+//! also what production caches approximate. The cache is internally locked
+//! (`parking_lot::Mutex`) so concurrent store instances can share it.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::sst::{BlockPayload, CacheKey};
+
+/// Aggregate counters for one cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Insertions.
+    pub inserts: u64,
+    /// Evictions performed by CLOCK.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    payload: BlockPayload,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot>>,
+    hand: usize,
+    stats: CacheStats,
+}
+
+/// A fixed-capacity shared block cache.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BlockCache {
+    /// A cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Looks up `key`, marking the entry recently used.
+    pub fn get(&self, key: CacheKey) -> Option<BlockPayload> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(&key).copied() {
+            Some(idx) => {
+                inner.stats.hits += 1;
+                let slot = inner.slots[idx].as_mut().expect("mapped slot occupied");
+                slot.referenced = true;
+                Some(slot.payload)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key → payload`, evicting via CLOCK if full.
+    pub fn insert(&self, key: CacheKey, payload: BlockPayload) {
+        let mut inner = self.inner.lock();
+        inner.stats.inserts += 1;
+        if let Some(&idx) = inner.map.get(&key) {
+            let slot = inner.slots[idx].as_mut().expect("mapped slot occupied");
+            slot.payload = payload;
+            slot.referenced = true;
+            return;
+        }
+        let idx = if inner.slots.len() < self.capacity {
+            inner.slots.push(None);
+            inner.slots.len() - 1
+        } else {
+            self.evict_locked(&mut inner)
+        };
+        inner.map.insert(key, idx);
+        inner.slots[idx] = Some(Slot {
+            key,
+            payload,
+            referenced: true,
+        });
+    }
+
+    /// CLOCK sweep: clear reference bits until an unreferenced victim is
+    /// found; returns its slot index (now vacated).
+    fn evict_locked(&self, inner: &mut Inner) -> usize {
+        loop {
+            let hand = inner.hand;
+            inner.hand = (inner.hand + 1) % inner.slots.len();
+            let evict_key = match inner.slots[hand].as_mut() {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    continue;
+                }
+                Some(slot) => slot.key,
+                None => return hand,
+            };
+            inner.map.remove(&evict_key);
+            inner.slots[hand] = None;
+            inner.stats.evictions += 1;
+            return hand;
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sst::FileIdentity;
+
+    fn key(uid: u128, block: u32) -> CacheKey {
+        CacheKey {
+            sst_unique_id: uid,
+            block,
+        }
+    }
+
+    fn payload(instance: u32, number: u64, block: u32) -> BlockPayload {
+        BlockPayload {
+            origin: FileIdentity {
+                origin_instance: instance,
+                file_number: number,
+            },
+            block,
+        }
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let cache = BlockCache::new(4);
+        cache.insert(key(1, 0), payload(0, 1, 0));
+        assert_eq!(cache.get(key(1, 0)), Some(payload(0, 1, 0)));
+        assert_eq!(cache.get(key(2, 0)), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cache = BlockCache::new(8);
+        for i in 0..100u128 {
+            cache.insert(key(i, 0), payload(0, i as u64, 0));
+        }
+        assert!(cache.len() <= 8);
+        assert!(cache.stats().evictions >= 92);
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced_victims() {
+        let cache = BlockCache::new(4);
+        for i in 0..4u128 {
+            cache.insert(key(i, 0), payload(0, i as u64, 0));
+        }
+        // Touch keys 0..3 except 2, then insert: 2 is the natural victim
+        // after one sweep clears bits; the touched ones get second chances.
+        cache.get(key(0, 0));
+        cache.get(key(1, 0));
+        cache.get(key(3, 0));
+        cache.insert(key(99, 0), payload(0, 99, 0));
+        assert!(cache.get(key(99, 0)).is_some());
+        // At least 3 of the 4 touched keys survive the single eviction.
+        let survivors = [0u128, 1, 3]
+            .iter()
+            .filter(|&&i| cache.get(key(i, 0)).is_some())
+            .count();
+        assert!(survivors >= 2, "{survivors} survivors");
+    }
+
+    #[test]
+    fn colliding_uids_alias_silently() {
+        // The cache itself cannot tell two files apart when uids collide —
+        // this is the failure mode the audit layer exists to expose.
+        let cache = BlockCache::new(4);
+        cache.insert(key(42, 1), payload(0, 10, 1));
+        let got = cache.get(key(42, 1)).unwrap();
+        // A different file with the same uid reads the same key...
+        assert_eq!(got.origin.origin_instance, 0);
+        // ...and would receive instance 0's data regardless of who asks.
+    }
+
+    #[test]
+    fn overwrite_updates_payload() {
+        let cache = BlockCache::new(2);
+        cache.insert(key(1, 0), payload(0, 1, 0));
+        cache.insert(key(1, 0), payload(5, 9, 0));
+        assert_eq!(cache.get(key(1, 0)), Some(payload(5, 9, 0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(BlockCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u128 {
+                    c.insert(key(i % 50, t), payload(t, i as u64, t));
+                    c.get(key(i % 50, t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64);
+    }
+}

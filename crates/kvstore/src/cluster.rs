@@ -1,0 +1,239 @@
+//! The simulated deployment: many store instances, one shared block
+//! cache, an audit.
+//!
+//! This is the RocksDB-as-deployed-at-scale shape from the paper's
+//! introduction (Bing's web platform, MyRocks, ZippyDB): instances run
+//! independently, data files *move* between them (load balancing,
+//! rebalancing, backup restore), and block caches are keyed by the
+//! uncoordinated unique IDs. The deployment object wires reads through
+//! the cache and every ID/read through the audit, so experiments can
+//! count both raw ID collisions and the *silent corruptions* they cause.
+
+use uuidp_core::rng::{SeedDomain, SeedTree};
+use uuidp_core::traits::{Algorithm, GeneratorError};
+
+use crate::audit::Audit;
+use crate::cache::{BlockCache, CacheStats};
+use crate::node::StoreInstance;
+use crate::sst::SstFile;
+
+/// A deployment of `n` uncoordinated store instances sharing a cache.
+pub struct Deployment {
+    instances: Vec<StoreInstance>,
+    cache: BlockCache,
+    audit: Audit,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("instances", &self.instances.len())
+            .field("cache_len", &self.cache.len())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Spins up `n` instances of `algorithm` (seeded independently from
+    /// `seeds`) sharing a block cache of `cache_capacity` blocks.
+    pub fn new(
+        algorithm: &dyn Algorithm,
+        n: usize,
+        cache_capacity: usize,
+        seeds: &SeedTree,
+    ) -> Self {
+        let instances = (0..n)
+            .map(|i| {
+                StoreInstance::new(
+                    i as u32,
+                    algorithm.spawn(seeds.seed(SeedDomain::Instance(i as u64))),
+                )
+            })
+            .collect();
+        Deployment {
+            instances,
+            cache: BlockCache::new(cache_capacity),
+            audit: Audit::new(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn n(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Read access to instance `i`.
+    pub fn instance(&self, i: usize) -> &StoreInstance {
+        &self.instances[i]
+    }
+
+    /// Flushes a new `blocks`-block SST on instance `i`.
+    pub fn flush(&mut self, i: usize, blocks: u32) -> Result<SstFile, GeneratorError> {
+        let file = self.instances[i].flush(blocks)?;
+        self.audit
+            .register_file(file.unique_id.value(), file.identity);
+        Ok(file)
+    }
+
+    /// Compacts files `inputs` of instance `i` into one `blocks`-block SST.
+    pub fn compact(
+        &mut self,
+        i: usize,
+        inputs: &[usize],
+        blocks: u32,
+    ) -> Result<SstFile, GeneratorError> {
+        let file = self.instances[i].compact(inputs, blocks)?;
+        self.audit
+            .register_file(file.unique_id.value(), file.identity);
+        Ok(file)
+    }
+
+    /// Crash-restarts instance `i`: its generator state is lost and
+    /// replaced with a freshly spawned one. A *correct* uncoordinated
+    /// scheme keeps uniqueness across restarts because the fresh instance
+    /// draws fresh randomness — the same property that protects two
+    /// different machines protects one machine before and after a crash.
+    pub fn restart_instance(&mut self, i: usize, algorithm: &dyn Algorithm, seed: u64) {
+        self.instances[i].restart(algorithm.spawn(seed));
+    }
+
+    /// Crash-restarts instance `i` with *exact resume*: the generator
+    /// state is reloaded from its last snapshot (as if persisted in the
+    /// manifest), so the instance continues the identical ID stream and
+    /// the effective number of uncoordinated instances never grows.
+    /// Returns `false` if the algorithm does not support snapshots (the
+    /// instance is then left untouched).
+    pub fn restart_instance_resumed(&mut self, i: usize) -> bool {
+        let Some(snapshot) = self.instances[i].generator_snapshot() else {
+            return false;
+        };
+        match uuidp_core::state::restore(self.instances[i].generator_space(), &snapshot) {
+            Ok(generator) => {
+                self.instances[i].restart(generator);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Migrates file `file_idx` from instance `from` to instance `to`.
+    pub fn migrate(&mut self, from: usize, to: usize, file_idx: usize) {
+        assert_ne!(from, to, "migration needs distinct instances");
+        let file = self.instances[from].release(file_idx);
+        self.instances[to].adopt(file);
+    }
+
+    /// Reads block `block` of instance `i`'s file `file_idx` through the
+    /// shared cache. Returns `true` if the data served was correct
+    /// (corruptions are also recorded in the audit).
+    pub fn read(&mut self, i: usize, file_idx: usize, block: u32) -> bool {
+        let file = self.instances[i].files()[file_idx].clone();
+        let key = file.cache_key(block);
+        match self.cache.get(key) {
+            Some(served) => self.audit.check_read(file.identity, &served),
+            None => {
+                // Miss: load from "disk" — the file's true payload.
+                let payload = file.block_payload(block);
+                self.cache.insert(key, payload);
+                true
+            }
+        }
+    }
+
+    /// The audit record.
+    pub fn audit(&self) -> &Audit {
+        &self.audit
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total live files across instances.
+    pub fn live_files(&self) -> usize {
+        self.instances.iter().map(|i| i.files().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::algorithms::{Cluster, Random};
+    use uuidp_core::id::IdSpace;
+
+    #[test]
+    fn clean_reads_on_distinct_ids() {
+        let space = IdSpace::with_bits(64).unwrap();
+        let alg = Cluster::new(space);
+        let seeds = SeedTree::new(1);
+        let mut dep = Deployment::new(&alg, 4, 256, &seeds);
+        for i in 0..4 {
+            dep.flush(i, 4).unwrap();
+        }
+        for i in 0..4 {
+            for b in 0..4 {
+                assert!(dep.read(i, 0, b), "read must be clean");
+                assert!(dep.read(i, 0, b), "cached read must be clean");
+            }
+        }
+        assert!(dep.audit().id_collisions().is_empty());
+        assert!(dep.audit().corruptions().is_empty());
+        let s = dep.cache_stats();
+        assert_eq!(s.hits, 16);
+        assert_eq!(s.misses, 16);
+    }
+
+    #[test]
+    fn forced_collision_corrupts_reads_after_migration() {
+        // A tiny universe makes collisions certain quickly.
+        let space = IdSpace::new(4).unwrap();
+        let alg = Random::new(space);
+        let seeds = SeedTree::new(2);
+        let mut dep = Deployment::new(&alg, 2, 64, &seeds);
+        // Each instance flushes 3 files: 6 IDs from a 4-ID universe must
+        // collide across instances.
+        for i in 0..2 {
+            for _ in 0..3 {
+                dep.flush(i, 2).unwrap();
+            }
+        }
+        assert!(
+            !dep.audit().id_collisions().is_empty(),
+            "pigeonhole collision expected"
+        );
+        // Warm the cache with instance 0's blocks, then read everything of
+        // instance 1: any colliding file now yields corrupt reads.
+        for f in 0..3 {
+            for b in 0..2 {
+                dep.read(0, f, b);
+            }
+        }
+        let mut corrupt = 0;
+        for f in 0..3 {
+            for b in 0..2 {
+                if !dep.read(1, f, b) {
+                    corrupt += 1;
+                }
+            }
+        }
+        assert!(corrupt > 0, "collisions must surface as corruption");
+        assert_eq!(dep.audit().corruptions().len(), corrupt);
+    }
+
+    #[test]
+    fn migration_moves_files() {
+        let space = IdSpace::with_bits(32).unwrap();
+        let alg = Cluster::new(space);
+        let seeds = SeedTree::new(3);
+        let mut dep = Deployment::new(&alg, 2, 64, &seeds);
+        dep.flush(0, 2).unwrap();
+        assert_eq!(dep.instance(0).files().len(), 1);
+        dep.migrate(0, 1, 0);
+        assert_eq!(dep.instance(0).files().len(), 0);
+        assert_eq!(dep.instance(1).files().len(), 1);
+        assert_eq!(dep.live_files(), 1);
+        // The migrated file reads cleanly through the shared cache.
+        assert!(dep.read(1, 0, 0));
+    }
+}

@@ -1,0 +1,46 @@
+//! # uuidp-kvstore — the system the paper is about
+//!
+//! A RocksDB-shaped distributed key-value-store substrate that makes the
+//! UUIDP's stakes concrete. Multiple store instances create SST files and
+//! assign them unique IDs *without coordination* (each instance embeds an
+//! independent generator from `uuidp-core`); blocks are cached in a shared
+//! block cache keyed by `(sst_unique_id, block_offset)` — the fixed-length
+//! cache-key scheme of RocksDB PR #9126; files migrate between instances.
+//!
+//! An ID collision is not an abstract event here: it makes two files'
+//! blocks alias in the cache, so a read returns *another file's data* with
+//! no error anywhere. The [`audit`] layer is the measurement instrument
+//! that catches both the raw collisions and the resulting silent
+//! corruptions; the [`workload`] generator drives parameterized
+//! flush/read/compact/migrate traffic so experiments (E13) can compare ID
+//! algorithms end-to-end.
+//!
+//! ```
+//! use uuidp_core::prelude::*;
+//! use uuidp_kvstore::workload::{run_workload, WorkloadConfig};
+//!
+//! let space = IdSpace::with_bits(64).unwrap();
+//! let algorithm = Cluster::new(space); // RocksDB's actual choice
+//! let report = run_workload(&algorithm, WorkloadConfig::default(), 42);
+//! assert_eq!(report.id_collisions, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod cache;
+pub mod cluster;
+pub mod node;
+pub mod sst;
+pub mod workload;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::audit::{Audit, CacheCorruption, IdCollision};
+    pub use crate::cache::{BlockCache, CacheStats};
+    pub use crate::cluster::Deployment;
+    pub use crate::node::StoreInstance;
+    pub use crate::sst::{BlockPayload, CacheKey, FileIdentity, SstFile};
+    pub use crate::workload::{run_workload, WorkloadConfig, WorkloadReport};
+}

@@ -1,0 +1,204 @@
+//! A single store instance: a RocksDB-like engine that creates SST files
+//! and assigns their unique IDs from an uncoordinated generator.
+//!
+//! Instances know nothing of each other — the generator boxed inside each
+//! one is an independent instance of the ID algorithm, per the UUIDP
+//! model. File creation happens on *flush* (memtable → SST) and
+//! *compaction* (k SSTs → 1 SST); both consume one fresh unique ID, which
+//! is how RocksDB's real ID demand grows with write volume, not file
+//! count alive.
+
+use uuidp_core::state::GeneratorState;
+use uuidp_core::traits::{GeneratorError, IdGenerator};
+
+use crate::sst::{FileIdentity, SstFile};
+
+/// One store instance.
+pub struct StoreInstance {
+    instance_id: u32,
+    generator: Box<dyn IdGenerator>,
+    next_file_number: u64,
+    live: Vec<SstFile>,
+}
+
+impl std::fmt::Debug for StoreInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreInstance")
+            .field("instance_id", &self.instance_id)
+            .field("next_file_number", &self.next_file_number)
+            .field("live_files", &self.live.len())
+            .finish()
+    }
+}
+
+impl StoreInstance {
+    /// A new instance with its own uncoordinated ID generator.
+    pub fn new(instance_id: u32, generator: Box<dyn IdGenerator>) -> Self {
+        StoreInstance {
+            instance_id,
+            generator,
+            next_file_number: 1,
+            live: Vec::new(),
+        }
+    }
+
+    /// This instance's index.
+    pub fn instance_id(&self) -> u32 {
+        self.instance_id
+    }
+
+    /// The live SST files (owned by this instance right now — origin may
+    /// differ after migrations).
+    pub fn files(&self) -> &[SstFile] {
+        &self.live
+    }
+
+    /// Total unique IDs this instance has drawn.
+    pub fn ids_drawn(&self) -> u128 {
+        self.generator.generated()
+    }
+
+    /// Flushes a memtable into a new SST of `blocks` blocks, drawing a
+    /// fresh unique ID. Returns the new file.
+    pub fn flush(&mut self, blocks: u32) -> Result<SstFile, GeneratorError> {
+        assert!(blocks > 0, "an SST has at least one block");
+        let unique_id = self.generator.next_id()?;
+        let file = SstFile {
+            identity: FileIdentity {
+                origin_instance: self.instance_id,
+                file_number: self.next_file_number,
+            },
+            unique_id,
+            blocks,
+        };
+        self.next_file_number += 1;
+        self.live.push(file.clone());
+        Ok(file)
+    }
+
+    /// Compacts the files at `input_indices` into one new SST (with a
+    /// fresh unique ID) of `blocks` blocks. Inputs are removed from the
+    /// live set. Returns the output file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range, duplicated, or empty.
+    pub fn compact(
+        &mut self,
+        input_indices: &[usize],
+        blocks: u32,
+    ) -> Result<SstFile, GeneratorError> {
+        assert!(!input_indices.is_empty(), "compaction needs inputs");
+        let mut sorted: Vec<usize> = input_indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), input_indices.len(), "duplicate inputs");
+        assert!(
+            *sorted.last().unwrap() < self.live.len(),
+            "input index out of range"
+        );
+        // Draw the output ID first so a generator failure leaves the
+        // instance unchanged.
+        let out = self.flush(blocks)?;
+        // Remove inputs (descending so indices stay valid); the new file
+        // was pushed at the end and is untouched.
+        for &idx in sorted.iter().rev() {
+            self.live.swap_remove(idx);
+        }
+        Ok(out)
+    }
+
+    /// Adopts a file migrated from another instance. The file keeps its
+    /// unique ID — this is precisely the operation that makes collisions
+    /// observable: the adopted file's blocks now share a cache with this
+    /// instance's files.
+    pub fn adopt(&mut self, file: SstFile) {
+        self.live.push(file);
+    }
+
+    /// Releases the file at `idx` (for migration elsewhere or deletion).
+    pub fn release(&mut self, idx: usize) -> SstFile {
+        self.live.swap_remove(idx)
+    }
+
+    /// The universe the embedded generator draws from.
+    pub fn generator_space(&self) -> uuidp_core::id::IdSpace {
+        self.generator.space()
+    }
+
+    /// Captures the generator's persistable state (what a real engine
+    /// would write to its manifest alongside the file list), if the
+    /// algorithm supports exact resume.
+    pub fn generator_snapshot(&self) -> Option<GeneratorState> {
+        self.generator.snapshot()
+    }
+
+    /// Simulates a crash-restart: the in-memory generator state is lost
+    /// and replaced by `generator` (a fresh instance with a fresh seed —
+    /// what RocksDB's session-based scheme does on every process start).
+    /// Live files and the file-number counter survive, as they live in
+    /// the persistent manifest.
+    pub fn restart(&mut self, generator: Box<dyn IdGenerator>) {
+        self.generator = generator;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::algorithms::Cluster;
+    use uuidp_core::id::IdSpace;
+    use uuidp_core::traits::Algorithm;
+
+    fn instance(id: u32, seed: u64) -> StoreInstance {
+        let space = IdSpace::with_bits(32).unwrap();
+        StoreInstance::new(id, Cluster::new(space).spawn(seed))
+    }
+
+    #[test]
+    fn flush_assigns_sequential_identity_and_fresh_ids() {
+        let mut inst = instance(3, 1);
+        let a = inst.flush(4).unwrap();
+        let b = inst.flush(4).unwrap();
+        assert_eq!(a.identity.origin_instance, 3);
+        assert_eq!(a.identity.file_number, 1);
+        assert_eq!(b.identity.file_number, 2);
+        assert_ne!(a.unique_id, b.unique_id);
+        assert_eq!(inst.files().len(), 2);
+        assert_eq!(inst.ids_drawn(), 2);
+    }
+
+    #[test]
+    fn compact_replaces_inputs_with_one_output() {
+        let mut inst = instance(0, 2);
+        for _ in 0..4 {
+            inst.flush(2).unwrap();
+        }
+        let out = inst.compact(&[0, 2], 8).unwrap();
+        assert_eq!(inst.files().len(), 3); // 4 − 2 + 1
+        assert!(inst.files().iter().any(|f| f == &out));
+        assert_eq!(out.blocks, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate inputs")]
+    fn compact_rejects_duplicates() {
+        let mut inst = instance(0, 3);
+        inst.flush(2).unwrap();
+        inst.flush(2).unwrap();
+        let _ = inst.compact(&[0, 0], 4);
+    }
+
+    #[test]
+    fn migration_roundtrip_preserves_file() {
+        let mut a = instance(0, 4);
+        let mut b = instance(1, 5);
+        let f = a.flush(4).unwrap();
+        let released = a.release(0);
+        assert_eq!(released, f);
+        b.adopt(released);
+        assert_eq!(b.files().len(), 1);
+        assert_eq!(b.files()[0].identity.origin_instance, 0);
+        assert!(a.files().is_empty());
+    }
+}

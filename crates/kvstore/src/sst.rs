@@ -1,0 +1,125 @@
+//! SST files and their cache keys.
+//!
+//! RocksDB assigns every SST file a *unique ID* used (among other things)
+//! to key its blocks in the shared block cache ("New stable, fixed-length
+//! cache keys", RocksDB PR #9126 — the system the paper's authors built,
+//! and the reason the paper exists). Instances generate these IDs without
+//! coordination; when SSTs migrate between instances that share a cache,
+//! an ID collision makes two different files' blocks alias in the cache —
+//! a *silent correctness* failure, not just a performance one.
+//!
+//! The *ground-truth identity* of a file here is `(origin_instance,
+//! file_number)`, which is globally unique by construction (it encodes who
+//! created it). The whole point of the experiment is that the cache cannot
+//! use the ground truth — real systems don't have a global registry — and
+//! must trust the uncoordinated unique ID.
+
+use serde::{Deserialize, Serialize};
+use uuidp_core::id::Id;
+
+/// Globally unique ground-truth identity of an SST file (who created it
+/// and their local sequence number). Used only by the audit layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileIdentity {
+    /// The store instance that created the file.
+    pub origin_instance: u32,
+    /// The creating instance's local file counter.
+    pub file_number: u64,
+}
+
+/// The cache key of one block: the file's *uncoordinated* unique ID plus
+/// the block offset — exactly the fixed-length key structure of PR #9126.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// The SST's uncoordinated unique ID.
+    pub sst_unique_id: u128,
+    /// Block index within the file.
+    pub block: u32,
+}
+
+/// An SST file: metadata only (block *contents* are synthesized from the
+/// identity on demand, which is all the audit needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstFile {
+    /// Ground-truth identity (audit only).
+    pub identity: FileIdentity,
+    /// The uncoordinated unique ID all subsystems key on.
+    pub unique_id: Id,
+    /// Number of data blocks.
+    pub blocks: u32,
+}
+
+impl SstFile {
+    /// The cache key of block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn cache_key(&self, block: u32) -> CacheKey {
+        assert!(block < self.blocks, "block {block} out of {}", self.blocks);
+        CacheKey {
+            sst_unique_id: self.unique_id.value(),
+            block,
+        }
+    }
+
+    /// Synthesizes the canonical payload of block `block` — a fingerprint
+    /// of the ground-truth identity, so any aliased read is detectable.
+    pub fn block_payload(&self, block: u32) -> BlockPayload {
+        assert!(block < self.blocks);
+        BlockPayload {
+            origin: self.identity,
+            block,
+        }
+    }
+}
+
+/// What the cache stores per block: enough to recognize whose data it is.
+///
+/// A real cache stores bytes; we store the provenance fingerprint those
+/// bytes would hash to, which is what the corruption audit compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPayload {
+    /// Ground-truth identity of the file this block belongs to.
+    pub origin: FileIdentity,
+    /// Block index within that file.
+    pub block: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(instance: u32, number: u64, uid: u128, blocks: u32) -> SstFile {
+        SstFile {
+            identity: FileIdentity {
+                origin_instance: instance,
+                file_number: number,
+            },
+            unique_id: Id(uid),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn cache_keys_depend_only_on_uid_and_block() {
+        let a = file(0, 1, 42, 4);
+        let b = file(7, 99, 42, 4); // different identity, same (colliding) uid
+        assert_eq!(a.cache_key(2), b.cache_key(2));
+        assert_ne!(a.cache_key(1), a.cache_key(2));
+    }
+
+    #[test]
+    fn payloads_carry_ground_truth() {
+        let a = file(0, 1, 42, 4);
+        let b = file(7, 99, 42, 4);
+        assert_ne!(a.block_payload(2), b.block_payload(2));
+        assert_eq!(a.block_payload(2).origin, a.identity);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_block_panics() {
+        file(0, 1, 42, 4).cache_key(4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Collision detection between instance footprints.
+//!
+//! A collision is the same ID appearing in two *different* instances'
+//! emitted sets. Two detectors:
+//!
+//! * [`footprints_collide`] — symbolic: works on [`Footprint`]s, i.e.
+//!   interval sets and point lists, in `O(S log S)` where `S` is the total
+//!   number of segments/points. For arc-structured algorithms `S` is tiny
+//!   even when the number of IDs is astronomical, which is what lets
+//!   worst-case experiments run at `d ≈ 2⁴⁰`.
+//! * [`OnlineDetector`] — incremental: IDs stream in one at a time during
+//!   adaptive games; detects the first cross-instance duplicate in O(1)
+//!   per ID.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use uuidp_core::id::Id;
+use uuidp_core::traits::Footprint;
+
+/// Whether any ID belongs to two different footprints.
+///
+/// Within-instance duplicates (impossible for the paper's algorithms,
+/// possible for e.g. Snowflake after timestamp wrap-around) do **not**
+/// count — the paper's collision event is about pairwise disjointness of
+/// the per-instance sets.
+pub fn footprints_collide(footprints: &[Footprint<'_>]) -> bool {
+    // Phase 1: k-way sweep over all arc segments.
+    // Each entry: (lo, hi, owner).
+    let mut segments: Vec<(u128, u128, usize)> = Vec::new();
+    for (owner, fp) in footprints.iter().enumerate() {
+        if let Footprint::Arcs(set) = fp {
+            segments.extend(set.segments().map(|(lo, hi)| (lo, hi, owner)));
+        }
+    }
+    segments.sort_unstable_by_key(|&(lo, _, _)| lo);
+    // Sweep with a running covered region (max_hi, owner). A segment that
+    // starts inside the covered region overlaps some earlier segment; since
+    // each owner's own segments are disjoint, the overlap is cross-owner
+    // unless the whole covered region so far belongs to the same owner.
+    let mut run_hi = 0u128;
+    let mut run_owner = usize::MAX;
+    for &(lo, hi, owner) in &segments {
+        if lo < run_hi {
+            if owner != run_owner {
+                return true;
+            }
+            run_hi = run_hi.max(hi);
+        } else {
+            run_hi = hi;
+            run_owner = owner;
+        }
+    }
+    // Phase 2: points against arcs and points against points.
+    let mut seen_points: HashMap<u128, usize> = HashMap::new();
+    for (owner, fp) in footprints.iter().enumerate() {
+        if let Footprint::Points(points) = fp {
+            for id in *points {
+                match seen_points.entry(id.value()) {
+                    Entry::Occupied(e) => {
+                        if *e.get() != owner {
+                            return true;
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(owner);
+                    }
+                }
+                // Against every arc footprint of a different owner.
+                for (other, ofp) in footprints.iter().enumerate() {
+                    if other == owner {
+                        continue;
+                    }
+                    if let Footprint::Arcs(set) = ofp {
+                        if set.contains(*id) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Streaming cross-instance duplicate detector for adaptive games.
+#[derive(Debug, Default)]
+pub struct OnlineDetector {
+    owners: HashMap<u128, usize>,
+    collided: bool,
+}
+
+impl OnlineDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `instance` emitted `id`; returns `true` if this ID was
+    /// previously emitted by a *different* instance (now or earlier).
+    pub fn record(&mut self, instance: usize, id: Id) -> bool {
+        match self.owners.entry(id.value()) {
+            Entry::Occupied(e) => {
+                if *e.get() != instance {
+                    self.collided = true;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(instance);
+            }
+        }
+        self.collided
+    }
+
+    /// Whether any cross-instance duplicate has been recorded.
+    pub fn collided(&self) -> bool {
+        self.collided
+    }
+
+    /// Number of distinct IDs recorded.
+    pub fn distinct_ids(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::IdSpace;
+    use uuidp_core::interval::{Arc, IntervalSet};
+
+    fn arcs(space: IdSpace, list: &[(u128, u128)]) -> IntervalSet {
+        let mut set = IntervalSet::new(space);
+        for &(start, len) in list {
+            set.insert(Arc::new(space, Id(start), len));
+        }
+        set
+    }
+
+    #[test]
+    fn disjoint_arc_sets_do_not_collide() {
+        let s = IdSpace::new(100).unwrap();
+        let a = arcs(s, &[(0, 10), (50, 5)]);
+        let b = arcs(s, &[(20, 10), (60, 5)]);
+        assert!(!footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Arcs(&b)
+        ]));
+    }
+
+    #[test]
+    fn overlapping_arc_sets_collide() {
+        let s = IdSpace::new(100).unwrap();
+        let a = arcs(s, &[(0, 10)]);
+        let b = arcs(s, &[(9, 3)]);
+        assert!(footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Arcs(&b)
+        ]));
+    }
+
+    #[test]
+    fn touching_arcs_do_not_collide() {
+        let s = IdSpace::new(100).unwrap();
+        let a = arcs(s, &[(0, 10)]); // [0,10)
+        let b = arcs(s, &[(10, 10)]); // [10,20)
+        assert!(!footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Arcs(&b)
+        ]));
+    }
+
+    #[test]
+    fn overlap_hidden_behind_long_segment_is_found() {
+        let s = IdSpace::new(1000).unwrap();
+        // Owner 0 has one huge segment; owner 1 sits inside it, but owner
+        // 1's segment sorts *after* an intermediate owner-0 segment.
+        let a = arcs(s, &[(0, 500)]);
+        let b = arcs(s, &[(100, 5)]);
+        let c = arcs(s, &[(300, 5)]);
+        assert!(footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Arcs(&b),
+            Footprint::Arcs(&c),
+        ]));
+    }
+
+    #[test]
+    fn three_way_same_owner_does_not_false_positive() {
+        let s = IdSpace::new(1000).unwrap();
+        let a = arcs(s, &[(0, 10), (20, 10), (40, 10)]);
+        let b = arcs(s, &[(100, 10)]);
+        assert!(!footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Arcs(&b)
+        ]));
+    }
+
+    #[test]
+    fn points_vs_points() {
+        let p1 = [Id(1), Id(5), Id(9)];
+        let p2 = [Id(2), Id(5)];
+        assert!(footprints_collide(&[
+            Footprint::Points(&p1),
+            Footprint::Points(&p2)
+        ]));
+        let p3 = [Id(3), Id(4)];
+        assert!(!footprints_collide(&[
+            Footprint::Points(&p1),
+            Footprint::Points(&p3)
+        ]));
+    }
+
+    #[test]
+    fn points_vs_arcs() {
+        let s = IdSpace::new(100).unwrap();
+        let a = arcs(s, &[(10, 10)]);
+        let inside = [Id(15)];
+        let outside = [Id(25)];
+        assert!(footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Points(&inside)
+        ]));
+        assert!(!footprints_collide(&[
+            Footprint::Arcs(&a),
+            Footprint::Points(&outside)
+        ]));
+    }
+
+    #[test]
+    fn within_instance_duplicates_do_not_count() {
+        let p = [Id(5), Id(5)];
+        assert!(!footprints_collide(&[Footprint::Points(&p)]));
+        let mut det = OnlineDetector::new();
+        assert!(!det.record(0, Id(5)));
+        assert!(!det.record(0, Id(5)));
+        assert!(det.record(1, Id(5)));
+    }
+
+    #[test]
+    fn online_detector_is_sticky() {
+        let mut det = OnlineDetector::new();
+        det.record(0, Id(1));
+        det.record(1, Id(1));
+        assert!(det.collided());
+        // Later non-colliding records don't reset it.
+        det.record(2, Id(99));
+        assert!(det.collided());
+        assert_eq!(det.distinct_ids(), 2);
+    }
+}

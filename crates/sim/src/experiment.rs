@@ -1,0 +1,153 @@
+//! Experiment infrastructure: labeled parameter sweeps and table output.
+//!
+//! The repro harness regenerates each paper result as a table whose rows
+//! contain the measured probability, the theory prediction, and their
+//! ratio. This module holds the shared formatting/assembly machinery so
+//! each experiment file only expresses its sweep.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a title, rendering to Markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with `headers`.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned Markdown.
+    pub fn markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a probability compactly (scientific below 1e-3).
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p < 1e-3 {
+        format!("{p:.2e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Formats a ratio with two decimals, or `inf`/`n/a` for degenerate input.
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_nan() {
+        "n/a".to_string()
+    } else if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.2}")
+    }
+}
+
+/// Formats a large count with `2^k`-style shorthand when exact.
+pub fn fmt_count(c: u128) -> String {
+    if c >= 1024 && c.is_power_of_two() {
+        format!("2^{}", c.trailing_zeros())
+    } else {
+        c.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_is_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.push_row(vec!["10".into(), "200000".into(), "3".into()]);
+        let md = t.markdown();
+        assert!(md.starts_with("### demo"));
+        let lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 4);
+        // All body lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(0.25), "0.2500");
+        assert!(fmt_prob(1e-6).contains('e'));
+        assert_eq!(fmt_ratio(2.0), "2.00");
+        assert_eq!(fmt_ratio(f64::NAN), "n/a");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+        assert_eq!(fmt_count(1 << 20), "2^20");
+        assert_eq!(fmt_count(100), "100");
+        assert_eq!(fmt_count(512), "512");
+    }
+}

@@ -1,0 +1,266 @@
+//! The UUIDP game loop.
+//!
+//! Two engines:
+//!
+//! * [`run_adaptive`] — the full interactive game of Section 2: the
+//!   adversary observes every produced ID and chooses the next move.
+//!   Necessarily materializes IDs; suitable for `d` up to ~10⁶.
+//! * [`run_oblivious_symbolic`] — the oblivious special case, executed
+//!   symbolically: each instance [`skip`](uuidp_core::traits::IdGenerator::skip)s
+//!   its whole demand and only the interval footprints are intersected.
+//!   For arc-structured algorithms this handles `d ≈ 2⁴⁰` in microseconds.
+
+use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, GameView};
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::id::Id;
+use uuidp_core::rng::{SeedDomain, SeedTree};
+use uuidp_core::traits::{Algorithm, IdGenerator};
+
+use crate::collision::{footprints_collide, OnlineDetector};
+
+/// Safety limits for adaptive games.
+#[derive(Debug, Clone, Copy)]
+pub struct GameLimits {
+    /// Hard cap on total requests; the game stops (without collision) when
+    /// reached. Guards against runaway adversaries.
+    pub max_requests: u128,
+}
+
+impl Default for GameLimits {
+    fn default() -> Self {
+        GameLimits {
+            max_requests: 1 << 24,
+        }
+    }
+}
+
+/// The result of one play of the game.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// Whether a cross-instance collision occurred.
+    pub collided: bool,
+    /// The realized demand profile (empty if no instance was activated).
+    pub demands: Vec<u128>,
+    /// Whether any instance reported exhaustion when asked for an ID.
+    pub exhausted: bool,
+    /// Whether the [`GameLimits`] cap stopped the game.
+    pub truncated: bool,
+}
+
+impl GameOutcome {
+    /// The realized profile as a [`DemandProfile`], if non-empty.
+    pub fn profile(&self) -> Option<DemandProfile> {
+        if self.demands.is_empty() || self.demands.contains(&0) {
+            None
+        } else {
+            Some(DemandProfile::new(self.demands.clone()))
+        }
+    }
+}
+
+/// Plays one adaptive game of `adversary` against `algorithm`.
+///
+/// Instance `i` is seeded from `seeds` under [`SeedDomain::Instance`]`(i)`,
+/// so a fixed seed tree replays the exact game.
+pub fn run_adaptive(
+    algorithm: &dyn Algorithm,
+    adversary: &mut dyn AdaptiveAdversary,
+    seeds: &SeedTree,
+    limits: GameLimits,
+) -> GameOutcome {
+    let space = algorithm.space();
+    let mut instances: Vec<Box<dyn IdGenerator>> = Vec::new();
+    let mut histories: Vec<Vec<Id>> = Vec::new();
+    let mut detector = OnlineDetector::new();
+    let mut total: u128 = 0;
+    let mut exhausted = false;
+    let mut truncated = false;
+
+    loop {
+        if total >= limits.max_requests {
+            truncated = true;
+            break;
+        }
+        let action = {
+            let view = GameView {
+                space,
+                histories: &histories,
+                collision: detector.collided(),
+                total_requests: total,
+            };
+            adversary.next_action(&view)
+        };
+        let target = match action {
+            Action::Stop => break,
+            Action::Activate => {
+                let seed = seeds.seed(SeedDomain::Instance(instances.len() as u64));
+                instances.push(algorithm.spawn(seed));
+                histories.push(Vec::new());
+                instances.len() - 1
+            }
+            Action::Request(i) => {
+                if i >= instances.len() {
+                    debug_assert!(false, "adversary requested unknown instance {i}");
+                    break;
+                }
+                i
+            }
+        };
+        match instances[target].next_id() {
+            Ok(id) => {
+                detector.record(target, id);
+                histories[target].push(id);
+                total += 1;
+            }
+            Err(_) => {
+                // An exhausted instance ends the game: the adversary asked
+                // for more than the algorithm can serve.
+                exhausted = true;
+                break;
+            }
+        }
+    }
+
+    GameOutcome {
+        collided: detector.collided(),
+        demands: histories.iter().map(|h| h.len() as u128).collect(),
+        exhausted,
+        truncated,
+    }
+}
+
+/// Plays the oblivious game on `profile` symbolically: every instance
+/// skips its demand in bulk and only footprints are compared.
+///
+/// Semantically identical to running the materialized game on any request
+/// interleaving of `profile` (order cannot matter obliviously) and checking
+/// for collisions at the end.
+pub fn run_oblivious_symbolic(
+    algorithm: &dyn Algorithm,
+    profile: &DemandProfile,
+    seeds: &SeedTree,
+) -> GameOutcome {
+    let mut instances: Vec<Box<dyn IdGenerator>> = Vec::with_capacity(profile.n());
+    let mut exhausted = false;
+    let mut demands = Vec::with_capacity(profile.n());
+    for (i, &d) in profile.demands().iter().enumerate() {
+        let seed = seeds.seed(SeedDomain::Instance(i as u64));
+        let mut gen = algorithm.spawn(seed);
+        if gen.skip(d).is_err() {
+            exhausted = true;
+        }
+        demands.push(gen.generated());
+        instances.push(gen);
+    }
+    let footprints: Vec<_> = instances.iter().map(|g| g.footprint()).collect();
+    let collided = footprints_collide(&footprints);
+    GameOutcome {
+        collided,
+        demands,
+        exhausted,
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_adversary::adaptive::AdversarySpec;
+    use uuidp_adversary::oblivious::{Oblivious, RequestOrder};
+    use uuidp_core::algorithms::{Cluster, Random};
+    use uuidp_core::id::IdSpace;
+
+    #[test]
+    fn oblivious_adaptive_and_symbolic_agree_per_seed() {
+        // Same seed tree ⇒ same instance randomness ⇒ identical collision
+        // outcome, whichever engine runs the game.
+        let space = IdSpace::new(256).unwrap();
+        let alg = Cluster::new(space);
+        let profile = DemandProfile::new(vec![20, 20, 20]);
+        let mut disagreements = 0;
+        for master in 0..200u64 {
+            let seeds = SeedTree::new(master);
+            let spec = Oblivious::new(profile.clone());
+            let mut adv = spec.spawn(0);
+            let adaptive = run_adaptive(&alg, adv.as_mut(), &seeds, GameLimits::default());
+            let symbolic = run_oblivious_symbolic(&alg, &profile, &seeds);
+            assert_eq!(adaptive.demands, symbolic.demands);
+            if adaptive.collided != symbolic.collided {
+                disagreements += 1;
+            }
+        }
+        assert_eq!(disagreements, 0);
+    }
+
+    #[test]
+    fn request_order_does_not_change_outcome() {
+        let space = IdSpace::new(128).unwrap();
+        let alg = Random::new(space);
+        let profile = DemandProfile::new(vec![8, 8, 8]);
+        for master in 0..100u64 {
+            let seeds = SeedTree::new(master);
+            let mut outcomes = Vec::new();
+            for order in [
+                RequestOrder::Sequential,
+                RequestOrder::RoundRobin,
+                RequestOrder::RandomInterleave,
+            ] {
+                let spec = Oblivious::with_order(profile.clone(), order);
+                let mut adv = spec.spawn(7);
+                let out = run_adaptive(&alg, adv.as_mut(), &seeds, GameLimits::default());
+                outcomes.push(out.collided);
+            }
+            assert!(
+                outcomes.windows(2).all(|w| w[0] == w[1]),
+                "order changed the outcome at master seed {master}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let space = IdSpace::new(8).unwrap();
+        let alg = Random::new(space);
+        let profile = DemandProfile::new(vec![10]);
+        let seeds = SeedTree::new(1);
+        let out = run_oblivious_symbolic(&alg, &profile, &seeds);
+        assert!(out.exhausted);
+        assert_eq!(out.demands, vec![8]);
+    }
+
+    #[test]
+    fn limits_truncate_runaway_games() {
+        struct Forever;
+        impl AdaptiveAdversary for Forever {
+            fn next_action(&mut self, view: &GameView<'_>) -> Action {
+                if view.n() < 2 {
+                    Action::Activate
+                } else {
+                    Action::Request(0)
+                }
+            }
+        }
+        let space = IdSpace::new(1 << 20).unwrap();
+        let alg = Cluster::new(space);
+        let seeds = SeedTree::new(2);
+        let out = run_adaptive(
+            &alg,
+            &mut Forever,
+            &seeds,
+            GameLimits { max_requests: 100 },
+        );
+        assert!(out.truncated);
+        assert_eq!(out.demands.iter().sum::<u128>(), 100);
+    }
+
+    #[test]
+    fn certain_collision_is_detected() {
+        // Demand m from each of two instances: total 2m > m forces overlap.
+        let space = IdSpace::new(32).unwrap();
+        let alg = Cluster::new(space);
+        let profile = DemandProfile::new(vec![32, 32]);
+        let seeds = SeedTree::new(3);
+        let out = run_oblivious_symbolic(&alg, &profile, &seeds);
+        assert!(out.collided);
+    }
+}

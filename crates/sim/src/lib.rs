@@ -1,0 +1,34 @@
+//! # uuidp-sim — playing and measuring the UUIDP game
+//!
+//! The engine that turns the paper's game-theoretic definitions into
+//! measurements:
+//!
+//! * [`game`] — the interactive game loop (Section 2's adaptive protocol)
+//!   and a symbolic fast path for oblivious profiles that runs on interval
+//!   footprints instead of materialized IDs;
+//! * [`collision`] — cross-instance duplicate detection, streaming and
+//!   symbolic;
+//! * [`montecarlo`] — reproducible, thread-parallel estimation of
+//!   `p_A(D)` and `p_A(Z)` with Wilson confidence intervals;
+//! * [`stats`] — the estimators and the log–log shape-checking tools;
+//! * [`experiment`] — table assembly shared by the repro harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collision;
+pub mod experiment;
+pub mod game;
+pub mod montecarlo;
+pub mod stats;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::collision::{footprints_collide, OnlineDetector};
+    pub use crate::experiment::{fmt_count, fmt_prob, fmt_ratio, Table};
+    pub use crate::game::{run_adaptive, run_oblivious_symbolic, GameLimits, GameOutcome};
+    pub use crate::montecarlo::{
+        estimate_adaptive, estimate_oblivious, RunDiagnostics, TrialConfig,
+    };
+    pub use crate::stats::{geometric_mean, loglog_slope, Estimate, LogLogFit};
+}

@@ -1,0 +1,225 @@
+//! Statistics for Monte-Carlo estimates: binomial proportions with Wilson
+//! intervals, and log–log slope fits for the shape checks.
+//!
+//! Experiments never try to match the paper's hidden Θ-constants; they
+//! check *shape*: that measured collision probabilities scale with the
+//! predicted exponent (slope in log–log space), that ratios to predictions
+//! stay bounded across a sweep, and that orderings ("who wins") hold.
+
+/// A binomial proportion estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Number of successes (collisions).
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Point estimate `successes / trials`.
+    pub p_hat: f64,
+    /// Lower end of the 95% Wilson score interval.
+    pub lo: f64,
+    /// Upper end of the 95% Wilson score interval.
+    pub hi: f64,
+}
+
+impl Estimate {
+    /// Builds an estimate from raw counts (95% Wilson interval).
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        assert!(trials > 0, "estimate needs at least one trial");
+        assert!(successes <= trials);
+        let (lo, hi) = wilson_interval(successes, trials, 1.959_963_984_540_054);
+        Estimate {
+            successes,
+            trials,
+            p_hat: successes as f64 / trials as f64,
+            lo,
+            hi,
+        }
+    }
+
+    /// Whether `p` is inside the confidence interval.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Half-width of the interval (a resolution indicator).
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3e} [{:.3e}, {:.3e}] ({}/{})",
+            self.p_hat, self.lo, self.hi, self.successes, self.trials
+        )
+    }
+}
+
+/// The Wilson score interval for a binomial proportion.
+///
+/// Robust near 0 and 1 — exactly where collision probabilities live —
+/// unlike the normal approximation.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Ordinary least squares fit of `log(y) = slope · log(x) + intercept`.
+///
+/// Used to verify scaling exponents: e.g. Cluster's worst-case collision
+/// probability must scale linearly in `d` (slope ≈ 1), Random's
+/// quadratically (slope ≈ 2).
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is not
+/// strictly positive.
+pub fn loglog_slope(points: &[(f64, f64)]) -> LogLogFit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log–log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let mean_x = logs.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = logs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = logs
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    assert!(sxx > 0.0, "x values must not all coincide");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R²
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LogLogFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Result of a log–log regression.
+#[derive(Debug, Clone, Copy)]
+pub struct LogLogFit {
+    /// The fitted exponent.
+    pub slope: f64,
+    /// Intercept in log space (log of the constant factor).
+    pub intercept: f64,
+    /// Coefficient of determination in log space.
+    pub r_squared: f64,
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Maximum of a slice of f64 (NaN-free input assumed).
+pub fn max_f64(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_basics() {
+        let e = Estimate::from_counts(50, 100);
+        assert!((e.p_hat - 0.5).abs() < 1e-12);
+        assert!(e.contains(0.5));
+        assert!(!e.contains(0.8));
+        assert!(e.lo < 0.5 && e.hi > 0.5);
+    }
+
+    #[test]
+    fn wilson_interval_is_sane_at_extremes() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.06, "hi = {hi}");
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.94);
+        assert!(hi > 0.9999, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_covers_truth_reasonably() {
+        // For p = 0.3, n = 1000 the interval should cover 0.3 when the
+        // observed count is near 300.
+        let e = Estimate::from_counts(307, 1000);
+        assert!(e.contains(0.3));
+    }
+
+    #[test]
+    fn loglog_slope_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x * x)
+            })
+            .collect();
+        let fit = loglog_slope(&pts);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "slope = {}", fit.slope);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn loglog_slope_with_noise() {
+        let pts: Vec<(f64, f64)> = (1..=16)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                let noise = if i % 2 == 0 { 1.15 } else { 0.87 };
+                (x, 0.5 * x * noise)
+            })
+            .collect();
+        let fit = loglog_slope(&pts);
+        assert!((fit.slope - 1.0).abs() < 0.05, "slope = {}", fit.slope);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_f64_basics() {
+        assert_eq!(max_f64(&[1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        Estimate::from_counts(0, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The adaptive game: attack Cluster, watch Cluster★ shrug it off.
+//!
+//! ```text
+//! cargo run --example adversarial_game
+//! ```
+//!
+//! Plays the Lemma 7 nearest-pair attack and the RunHunter attack against
+//! Cluster and Cluster★ on the same universe and budgets, printing the
+//! measured collision probabilities side by side. A security-flavoured
+//! demo of why an adaptive setting needs a different algorithm.
+
+use uuidp_adversary::prelude::*;
+use uuidp_core::prelude::*;
+use uuidp_sim::prelude::*;
+
+fn main() {
+    let space = IdSpace::with_bits(20).expect("space");
+    let m = space.size();
+    let (n, d) = (16usize, 1u128 << 10);
+    let trials = 4_000u64;
+
+    println!("UUIDP adaptive game: m = 2^20, n = {n} instances, budget d = {d}\n");
+
+    let algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(Cluster::new(space)),
+        Box::new(ClusterStar::new(space)),
+    ];
+    let attacks: Vec<Box<dyn AdversarySpec>> = vec![
+        Box::new(NearestPair::new(n, d)),
+        Box::new(RunHunter::new(n, d)),
+    ];
+
+    // Oblivious baseline: the same budget spent blindly (uniform profile).
+    let uniform = DemandProfile::uniform(n, d / n as u128);
+    println!("{:<12} {:<24} {:>12}", "algorithm", "adversary", "p(collision)");
+    for alg in &algorithms {
+        let (baseline, _) = estimate_oblivious(
+            alg.as_ref(),
+            &uniform,
+            TrialConfig::new(trials * 4, 0xA11),
+        );
+        println!(
+            "{:<12} {:<24} {:>12.5}",
+            alg.name(),
+            "oblivious (uniform)",
+            baseline.p_hat
+        );
+        for attack in &attacks {
+            let (est, _) =
+                estimate_adaptive(alg.as_ref(), attack.as_ref(), TrialConfig::new(trials, 0xA11));
+            println!("{:<12} {:<24} {:>12.5}", alg.name(), attack.name(), est.p_hat);
+        }
+        println!();
+    }
+
+    let theory_cluster = (n * n) as f64 * d as f64 / m as f64;
+    let theory_star = (n as f64 * d as f64 / m as f64) * (1.0 + d as f64 / n as f64).log2();
+    println!("Lemma 7 lower bound for Cluster:   ~n²d/m        = {theory_cluster:.4}");
+    println!("Theorem 8 upper bound for Cluster★: ~(nd/m)·log(1+d/n) = {theory_star:.4}");
+    println!(
+        "\nReading: the attack multiplies Cluster's collision probability by ~n,\n\
+         while Cluster★'s doubling runs cap the damage at a log factor."
+    );
+}

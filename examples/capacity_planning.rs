@@ -1,0 +1,70 @@
+//! Capacity planning: how many IDs can a deployment safely draw?
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+//!
+//! The practical question behind the paper: given an ID width and a
+//! collision-probability budget, how many objects can a fleet of `n`
+//! uncoordinated instances create? We answer it with the exact/closed-form
+//! machinery from `uuidp-analysis` — no simulation — for both Random
+//! (GUIDs) and Cluster (RocksDB), at 64 and 128 bits.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_analysis::exact::cluster_union_bounds;
+use uuidp_analysis::theory;
+
+fn main() {
+    println!("Safe total demand d for a collision budget, n uncoordinated instances\n");
+    for bits in [64u32, 128] {
+        // Work in f64 via the theory formulas; m up to 2^128 is fine.
+        let m = 2f64.powi(bits as i32);
+        println!("--- {bits}-bit IDs (m = 2^{bits}) ---");
+        println!(
+            "{:<10} {:>14} {:>22} {:>22}",
+            "budget", "n", "d_max (Random)", "d_max (Cluster)"
+        );
+        for budget in [1e-9f64, 1e-6, 1e-3] {
+            for n in [16f64, 1024.0, 65536.0] {
+                // Random: p ≈ d²/m  ⇒  d ≈ √(p·m).
+                let d_random = (budget * m).sqrt();
+                // Cluster: p ≈ n·d/m ⇒  d ≈ p·m/n.
+                let d_cluster = budget * m / n;
+                println!(
+                    "{:<10.0e} {:>14} {:>22} {:>22}",
+                    budget,
+                    n,
+                    format_pow2(d_random),
+                    format_pow2(d_cluster)
+                );
+            }
+        }
+        println!();
+    }
+
+    // A concrete sanity check against the exact machinery at a size the
+    // exact formulas can verify: m = 2^40, n = 1024, one million objects.
+    let m = 1u128 << 40;
+    let n = 1024usize;
+    let per_instance = 1u128 << 10;
+    let profile = DemandProfile::uniform(n, per_instance);
+    let (lo, hi) = cluster_union_bounds(&profile, m);
+    let theta = theory::cluster(&profile, m);
+    println!(
+        "Exact check at m = 2^40, n = 1024, d = 2^20 (Cluster):\n  \
+         exact collision probability in [{lo:.6}, {hi:.6}] — Θ-prediction {theta:.6}"
+    );
+    println!(
+        "\nReading: at 128 bits, Random is exhausted near 2^64 objects for any\n\
+         realistic budget, while Cluster pushes the wall to ~2^128/n — the paper's\n\
+         'orders of magnitude beyond Random's capacity'."
+    );
+}
+
+fn format_pow2(x: f64) -> String {
+    if x < 1.0 {
+        "< 1".to_string()
+    } else {
+        format!("~2^{:.1}", x.log2())
+    }
+}

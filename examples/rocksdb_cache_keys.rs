@@ -1,0 +1,66 @@
+//! The motivating system: RocksDB-style SST unique IDs and cache keys.
+//!
+//! ```text
+//! cargo run --example rocksdb_cache_keys
+//! ```
+//!
+//! Runs the same flush/read/compact/migrate workload over a deliberately
+//! scaled-down ID space with two ID algorithms — GUID-style Random and
+//! RocksDB's Cluster — and reports ID collisions and the silent cache
+//! corruptions they cause. This is the paper's introduction as a runnable
+//! program: at `d ≈ √m` files, Random starts serving wrong blocks;
+//! Cluster at the same scale is clean.
+
+use uuidp_core::prelude::*;
+use uuidp_kvstore::prelude::*;
+
+fn main() {
+    // Scaled down from m = 2^128 so the Random failure is observable in
+    // seconds: at m = 2^22 the birthday threshold √m is ~2^11 files.
+    let space = IdSpace::with_bits(22).expect("space");
+    let config = WorkloadConfig {
+        instances: 12,
+        operations: 40_000,
+        blocks_per_file: 4,
+        cache_capacity: 1 << 14,
+        flush_weight: 4000,
+        read_weight: 4000,
+        compact_weight: 1000,
+        migrate_weight: 999,
+        restart_weight: 1, // rare crash-restarts, as in production
+    };
+
+    println!("Deployment: 12 store instances, shared block cache, m = 2^22 (scaled)\n");
+    let algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(Random::new(space)),
+        Box::new(Cluster::new(space)),
+        Box::new(SessionCounter::new(12, 10)),
+    ];
+
+    for alg in &algorithms {
+        let report = run_workload(alg.as_ref(), config, 0xDB);
+        println!("ID algorithm: {}", alg.name());
+        println!("  files created:      {}", report.files_created);
+        println!("  migrations:         {}", report.migrations);
+        println!("  compactions:        {}", report.compactions);
+        println!("  block reads:        {}", report.reads);
+        println!("  ID collisions:      {}", report.id_collisions);
+        println!(
+            "  corrupt reads:      {} ({:.4}% of reads)",
+            report.corrupt_reads,
+            100.0 * report.corruption_rate()
+        );
+        println!(
+            "  cache hit rate:     {:.1}%",
+            100.0 * report.cache.hits as f64
+                / (report.cache.hits + report.cache.misses).max(1) as f64
+        );
+        println!();
+    }
+
+    println!(
+        "Reading: Random's collisions scale with d²/m (birthday); Cluster's with n·d/m.\n\
+         At production scale (m = 2^128) the same separation is what lets RocksDB keep\n\
+         128-bit cache keys collision-free beyond 2^64 objects — see the paper, §1."
+    );
+}

@@ -1,0 +1,103 @@
+//! Adaptive-setting integration: the attacks hurt exactly whom the paper
+//! says they hurt.
+
+use uuidp_adversary::adaptive::AdversarySpec;
+use uuidp_adversary::flooder::BalancedFlood;
+use uuidp_adversary::nearest_pair::NearestPair;
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::montecarlo::{estimate_adaptive, estimate_oblivious, TrialConfig};
+
+const M_BITS: u32 = 18;
+const N: usize = 8;
+const D: u128 = 1 << 9;
+
+fn space() -> IdSpace {
+    IdSpace::with_bits(M_BITS).unwrap()
+}
+
+#[test]
+fn nearest_pair_multiplies_cluster_collisions() {
+    let alg = AlgorithmKind::Cluster.build(space());
+    let attack = NearestPair::new(N, D);
+    let cfg = TrialConfig::new(8_000, 1);
+    let (adaptive, _) = estimate_adaptive(alg.as_ref(), &attack, cfg);
+    let uniform = DemandProfile::uniform(N, D / N as u128);
+    let (oblivious, _) = estimate_oblivious(alg.as_ref(), &uniform, TrialConfig::new(100_000, 1));
+    let gap = adaptive.p_hat / oblivious.p_hat.max(1e-9);
+    assert!(
+        gap > 0.3 * N as f64,
+        "adaptivity gap {gap:.2} too small (expected ~n = {N})"
+    );
+}
+
+#[test]
+fn cluster_star_resists_what_breaks_cluster() {
+    let cluster = AlgorithmKind::Cluster.build(space());
+    let star = AlgorithmKind::ClusterStar.build(space());
+    let cfg = TrialConfig::new(8_000, 2);
+    for attack in [
+        Box::new(NearestPair::new(N, D)) as Box<dyn AdversarySpec>,
+        Box::new(RunHunter::new(N, D)),
+    ] {
+        let (p_cluster, _) = estimate_adaptive(cluster.as_ref(), attack.as_ref(), cfg);
+        let (p_star, _) = estimate_adaptive(star.as_ref(), attack.as_ref(), cfg);
+        assert!(
+            p_star.p_hat < p_cluster.p_hat * 0.7,
+            "{}: cluster* {} not clearly below cluster {}",
+            attack.name(),
+            p_star.p_hat,
+            p_cluster.p_hat
+        );
+    }
+}
+
+#[test]
+fn adaptivity_is_useless_against_random() {
+    // Random's future IDs are fresh uniform draws: the nearest-pair attack
+    // can do no better than the same volume spent obliviously.
+    let alg = AlgorithmKind::Random.build(space());
+    let attack = NearestPair::new(N, D);
+    let cfg = TrialConfig::new(8_000, 3);
+    let (adaptive, _) = estimate_adaptive(alg.as_ref(), &attack, cfg);
+    // The attack's realized profile is (d−n+1, 1, …, 1); compare against
+    // the same oblivious profile.
+    let mut demands = vec![1u128; N];
+    demands[0] = D - N as u128 + 1;
+    let profile = DemandProfile::new(demands);
+    let (oblivious, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(30_000, 3));
+    let gap = adaptive.p_hat / oblivious.p_hat.max(1e-9);
+    assert!(
+        (0.6..=1.6).contains(&gap),
+        "adaptive {} vs oblivious {} (gap {gap:.2}) — should be ≈1",
+        adaptive.p_hat,
+        oblivious.p_hat
+    );
+}
+
+#[test]
+fn balanced_flood_realizes_the_uniform_profile_statistics() {
+    let alg = AlgorithmKind::Cluster.build(space());
+    let flood = BalancedFlood::ignoring_collisions(N, D);
+    let cfg = TrialConfig::new(20_000, 4);
+    let (adaptive, _) = estimate_adaptive(alg.as_ref(), &flood, cfg);
+    let uniform = DemandProfile::uniform(N, D / N as u128);
+    let (oblivious, _) = estimate_oblivious(alg.as_ref(), &uniform, TrialConfig::new(20_000, 4));
+    // Same profile, adaptivity unused: identical seeds give identical
+    // outcomes per trial.
+    assert_eq!(adaptive.successes, oblivious.successes);
+}
+
+#[test]
+fn attacks_report_no_exhaustion_within_guarantees() {
+    let star = AlgorithmKind::ClusterStar.build(space());
+    let attack = NearestPair::new(N, D);
+    let (_, diag) = estimate_adaptive(star.as_ref(), &attack, TrialConfig::new(4_000, 5));
+    assert_eq!(
+        diag.exhausted_trials, 0,
+        "cluster* exhausted within its guaranteed capacity"
+    );
+    assert_eq!(diag.truncated_trials, 0);
+}

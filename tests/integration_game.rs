@@ -1,0 +1,120 @@
+//! Game-engine integration: the symbolic oblivious engine, the
+//! materialized adaptive engine, and the two collision detectors must all
+//! tell the same story.
+
+use uuidp_adversary::adaptive::AdversarySpec;
+use uuidp_adversary::oblivious::{Oblivious, RequestOrder};
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_core::rng::SeedTree;
+use uuidp_core::traits::Algorithm;
+use uuidp_sim::game::{run_adaptive, run_oblivious_symbolic, GameLimits};
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+
+fn suite(space: IdSpace) -> Vec<Box<dyn Algorithm>> {
+    vec![
+        AlgorithmKind::Random.build(space),
+        AlgorithmKind::Cluster.build(space),
+        AlgorithmKind::Bins { k: 16 }.build(space),
+        AlgorithmKind::ClusterStar.build(space),
+        AlgorithmKind::BinsStar.build(space),
+    ]
+}
+
+#[test]
+fn symbolic_and_materialized_engines_agree_trial_by_trial() {
+    let space = IdSpace::new(1 << 10).unwrap();
+    let profile = DemandProfile::new(vec![24, 24, 24]);
+    for alg in suite(space) {
+        for master in 0..60u64 {
+            let seeds = SeedTree::new(master);
+            let symbolic = run_oblivious_symbolic(alg.as_ref(), &profile, &seeds);
+            let spec = Oblivious::new(profile.clone());
+            let mut adv = spec.spawn(0);
+            let adaptive = run_adaptive(alg.as_ref(), adv.as_mut(), &seeds, GameLimits::default());
+            assert_eq!(
+                symbolic.collided,
+                adaptive.collided,
+                "{} master {master}: engines disagree",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn request_interleaving_does_not_change_collision_statistics() {
+    // Oblivious invariance: estimated p must be identical per-seed for
+    // every interleaving (the instances are independent state machines).
+    let space = IdSpace::new(1 << 10).unwrap();
+    let profile = DemandProfile::new(vec![16, 8, 32]);
+    for alg in suite(space) {
+        let mut estimates = Vec::new();
+        for order in [
+            RequestOrder::Sequential,
+            RequestOrder::RoundRobin,
+            RequestOrder::RandomInterleave,
+        ] {
+            let spec = Oblivious::with_order(profile.clone(), order);
+            let mut collisions = 0u32;
+            for master in 0..400u64 {
+                let seeds = SeedTree::new(master);
+                let mut adv = spec.spawn(9);
+                let out =
+                    run_adaptive(alg.as_ref(), adv.as_mut(), &seeds, GameLimits::default());
+                collisions += out.collided as u32;
+            }
+            estimates.push(collisions);
+        }
+        assert!(
+            estimates.windows(2).all(|w| w[0] == w[1]),
+            "{}: orders gave {estimates:?}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_is_deterministic_across_invocations() {
+    let space = IdSpace::new(1 << 12).unwrap();
+    let profile = DemandProfile::uniform(4, 32);
+    for alg in suite(space) {
+        let cfg = TrialConfig::new(3000, 0xBEEF);
+        let (a, _) = estimate_oblivious(alg.as_ref(), &profile, cfg);
+        let (b, _) = estimate_oblivious(alg.as_ref(), &profile, cfg);
+        assert_eq!(a.successes, b.successes, "{}", alg.name());
+    }
+}
+
+#[test]
+fn guaranteed_collision_when_demand_exceeds_universe() {
+    // Two instances each requesting > m/2 must collide, whatever the
+    // algorithm (pigeonhole).
+    let space = IdSpace::new(64).unwrap();
+    let profile = DemandProfile::new(vec![40, 40]);
+    for kind in [AlgorithmKind::Random, AlgorithmKind::Cluster] {
+        let alg = kind.build(space);
+        for master in 0..50u64 {
+            let seeds = SeedTree::new(master);
+            let out = run_oblivious_symbolic(alg.as_ref(), &profile, &seeds);
+            assert!(out.collided, "{}: pigeonhole violated", alg.name());
+        }
+    }
+}
+
+#[test]
+fn estimates_converge_with_more_trials() {
+    // Width of the Wilson interval must shrink roughly as 1/√trials.
+    let space = IdSpace::new(1 << 10).unwrap();
+    let alg = AlgorithmKind::Cluster.build(space);
+    let profile = DemandProfile::uniform(4, 16);
+    let (small, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(2_000, 5));
+    let (large, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(50_000, 5));
+    assert!(
+        large.half_width() < small.half_width() / 3.0,
+        "CI did not shrink: {} vs {}",
+        small.half_width(),
+        large.half_width()
+    );
+}

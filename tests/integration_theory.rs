@@ -1,0 +1,140 @@
+//! Theory ↔ simulation integration: measured collision probabilities must
+//! match the exact formulas where they exist, and stay within Θ-bands of
+//! the paper's bounds elsewhere.
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+
+use uuidp_analysis::exact::{bins_exact, cluster_enumerated, cluster_pair, random_exact};
+use uuidp_analysis::theory;
+
+fn close(measured: f64, exact: f64, rel: f64) -> bool {
+    (measured - exact).abs() <= rel * exact.max(1e-9)
+}
+
+#[test]
+fn cluster_pairs_match_the_exact_formula() {
+    let m = 1u128 << 12;
+    let space = IdSpace::new(m).unwrap();
+    let alg = AlgorithmKind::Cluster.build(space);
+    for (d1, d2) in [(1u128, 1u128), (16, 16), (100, 5), (256, 256)] {
+        let profile = DemandProfile::pair(d1, d2);
+        let exact = cluster_pair(d1, d2, m);
+        let trials = ((300.0 / exact) as u64).clamp(10_000, 400_000);
+        let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(trials, 1));
+        assert!(
+            close(est.p_hat, exact, 0.15),
+            "({d1},{d2}): measured {} vs exact {exact}",
+            est.p_hat
+        );
+    }
+}
+
+#[test]
+fn cluster_three_instances_match_enumeration() {
+    let m = 128u128;
+    let space = IdSpace::new(m).unwrap();
+    let alg = AlgorithmKind::Cluster.build(space);
+    let profile = DemandProfile::new(vec![5, 9, 3]);
+    let exact = cluster_enumerated(&profile, m);
+    let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(200_000, 2));
+    assert!(
+        close(est.p_hat, exact, 0.08),
+        "measured {} vs enumerated {exact}",
+        est.p_hat
+    );
+}
+
+#[test]
+fn random_matches_disjoint_subset_counting() {
+    let m = 1u128 << 10;
+    let space = IdSpace::new(m).unwrap();
+    let alg = AlgorithmKind::Random.build(space);
+    for demands in [vec![8u128, 8], vec![16, 4, 4], vec![1, 1, 1, 1, 1]] {
+        let profile = DemandProfile::new(demands.clone());
+        let exact = random_exact(&profile, m);
+        let trials = ((300.0 / exact) as u64).clamp(10_000, 600_000);
+        let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(trials, 3));
+        assert!(
+            close(est.p_hat, exact, 0.15),
+            "{demands:?}: measured {} vs exact {exact}",
+            est.p_hat
+        );
+    }
+}
+
+#[test]
+fn bins_matches_disjoint_bin_counting() {
+    let m = 1u128 << 12;
+    let space = IdSpace::new(m).unwrap();
+    for k in [4u128, 16, 64] {
+        let alg = AlgorithmKind::Bins { k }.build(space);
+        for demands in [vec![32u128, 32], vec![100, 10, 1]] {
+            let profile = DemandProfile::new(demands.clone());
+            let exact = bins_exact(&profile, k, m);
+            let trials = ((300.0 / exact) as u64).clamp(10_000, 400_000);
+            let (est, _) =
+                estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(trials, 4));
+            assert!(
+                close(est.p_hat, exact, 0.15),
+                "k={k} {demands:?}: measured {} vs exact {exact}",
+                est.p_hat
+            );
+        }
+    }
+}
+
+#[test]
+fn theta_bounds_bracket_measurements_for_the_whole_suite() {
+    // Every algorithm's measurement must land within a generous constant
+    // of its Θ-expression on a reference profile.
+    let m = 1u128 << 14;
+    let space = IdSpace::new(m).unwrap();
+    let profile = DemandProfile::uniform(4, 64);
+    let cases: Vec<(AlgorithmKind, f64)> = vec![
+        (AlgorithmKind::Random, theory::random(&profile, m)),
+        (AlgorithmKind::Cluster, theory::cluster(&profile, m)),
+        (AlgorithmKind::Bins { k: 64 }, theory::bins(&profile, 64, m)),
+    ];
+    for (kind, theta) in cases {
+        let alg = kind.build(space);
+        let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(60_000, 5));
+        let ratio = est.p_hat / theta;
+        assert!(
+            (0.1..=3.0).contains(&ratio),
+            "{}: measured {} vs theta {theta} (ratio {ratio})",
+            alg.name(),
+            est.p_hat
+        );
+    }
+}
+
+#[test]
+fn uniform_profile_optimality_ordering() {
+    // Lemma 16: on (h,…,h), Bins(h) beats every other algorithm we have.
+    let m = 1u128 << 14;
+    let space = IdSpace::new(m).unwrap();
+    let h = 64u128;
+    let profile = DemandProfile::uniform(4, h);
+    let optimal = AlgorithmKind::Bins { k: h }.build(space);
+    let (best, _) = estimate_oblivious(optimal.as_ref(), &profile, TrialConfig::new(120_000, 6));
+    for kind in [
+        AlgorithmKind::Random,
+        AlgorithmKind::Cluster,
+        AlgorithmKind::Bins { k: 4 },
+        AlgorithmKind::ClusterStar,
+        AlgorithmKind::BinsStar,
+    ] {
+        let alg = kind.build(space);
+        let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(120_000, 6));
+        assert!(
+            est.p_hat >= best.p_hat * 0.8,
+            "{} measured {} below the optimum {} — contradicts Lemma 16",
+            alg.name(),
+            est.p_hat,
+            best.p_hat
+        );
+    }
+}
