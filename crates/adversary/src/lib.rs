@@ -40,9 +40,7 @@ pub mod prelude {
     pub use crate::flooder::{BalancedFlood, SkewedFlood};
     pub use crate::nearest_pair::NearestPair;
     pub use crate::oblivious::{Oblivious, RequestOrder};
-    pub use crate::profile::{
-        power_law, sample_composition, DemandProfile, PhiDistribution,
-    };
+    pub use crate::profile::{power_law, sample_composition, DemandProfile, PhiDistribution};
     pub use crate::run_hunter::RunHunter;
     pub use crate::semi_adaptive::{FollowSequence, Step};
 }

@@ -111,11 +111,7 @@ impl DemandProfile {
     ///
     /// Example from the paper: `D = (9, 5, 4, 42) → D⁻ = (8, 4, 4, 8)`.
     pub fn rounded(&self) -> DemandProfile {
-        let mut rounded: Vec<u128> = self
-            .demands
-            .iter()
-            .map(|&d| prev_power_of_two(d))
-            .collect();
+        let mut rounded: Vec<u128> = self.demands.iter().map(|&d| prev_power_of_two(d)).collect();
         if rounded.len() >= 2 {
             let mut sorted = rounded.clone();
             sorted.sort_unstable_by(|a, b| b.cmp(a));
@@ -146,7 +142,10 @@ impl DemandProfile {
             .demands
             .iter()
             .map(|&d| {
-                assert!(d.is_power_of_two(), "rank distribution needs a rounded profile");
+                assert!(
+                    d.is_power_of_two(),
+                    "rank distribution needs a rounded profile"
+                );
                 d.trailing_zeros() as usize + 1
             })
             .max()
@@ -290,7 +289,11 @@ impl PhiDistribution {
     /// The support with normalized probabilities, for exact expectations.
     pub fn enumerate(&self) -> impl Iterator<Item = (DemandProfile, f64)> + '_ {
         self.support.iter().enumerate().map(|(idx, &(i, j))| {
-            let prev = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+            let prev = if idx == 0 {
+                0.0
+            } else {
+                self.cumulative[idx - 1]
+            };
             let p = (self.cumulative[idx] - prev) / self.total_weight;
             (DemandProfile::pair(1 << i, 1 << j), p)
         })
@@ -431,7 +434,11 @@ mod tests {
             .unwrap()
             .1;
         for (d, p) in &entries {
-            assert!(p11 >= *p - 1e-12, "{:?} more likely than (1,1)", d.demands());
+            assert!(
+                p11 >= *p - 1e-12,
+                "{:?} more likely than (1,1)",
+                d.demands()
+            );
         }
     }
 
@@ -447,8 +454,7 @@ mod tests {
             *counts.entry(d.demands().to_vec()).or_insert(0u64) += 1;
         }
         for (d, p) in phi.enumerate() {
-            let observed =
-                *counts.get(d.demands()).unwrap_or(&0) as f64 / trials as f64;
+            let observed = *counts.get(d.demands()).unwrap_or(&0) as f64 / trials as f64;
             assert!(
                 (observed - p).abs() < 0.01 + 0.2 * p,
                 "{:?}: observed {observed:.4}, expected {p:.4}",

@@ -118,7 +118,7 @@ impl AdaptiveAdversary for RunHunterRun {
             // Predicted next emission if instance i stays in its run.
             let pred = view.space.next(last).value();
             if let Some(gap) = self.nearest_foreign_ahead(pred, i, m) {
-                if best.map_or(true, |(g, _)| gap < g) {
+                if best.is_none_or(|(g, _)| gap < g) {
                     best = Some((gap, i));
                 }
             }

@@ -68,11 +68,7 @@ impl FollowSequence {
             }
         }
         let mut s = FollowSequence::new(steps);
-        s.label = format!(
-            "fol(seq → n={}, d={})",
-            profile.n(),
-            profile.l1()
-        );
+        s.label = format!("fol(seq → n={}, d={})", profile.n(), profile.l1());
         s
     }
 

@@ -131,7 +131,10 @@ mod tests {
         let heavy = DemandProfile::new(vec![64, 64, 64, 64]);
         let pl = rounded_p_star_lower(&light, m);
         let ph = rounded_p_star_lower(&heavy, m);
-        assert!(ph > pl, "heavier uniform load must have larger p*: {pl} vs {ph}");
+        assert!(
+            ph > pl,
+            "heavier uniform load must have larger p*: {pl} vs {ph}"
+        );
     }
 
     #[test]

@@ -263,7 +263,11 @@ mod tests {
     fn uniform_p_star_tracks_eq4_shape() {
         // Equation (4): Θ(min(1, n²h/m)). Check the ratio stays bounded
         // over a sweep.
-        for (n, h, m) in [(2usize, 8u128, 1u128 << 16), (8, 32, 1 << 20), (16, 4, 1 << 18)] {
+        for (n, h, m) in [
+            (2usize, 8u128, 1u128 << 16),
+            (8, 32, 1 << 20),
+            (16, 4, 1 << 18),
+        ] {
             let exact = uniform_p_star(n, h, m);
             let theta = (n * n) as f64 * h as f64 / m as f64;
             let ratio = exact / theta;

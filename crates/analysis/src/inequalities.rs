@@ -116,7 +116,10 @@ mod tests {
         for n in 1..=6usize {
             let expected: f64 = (0..n).map(|i| 1.0 - i as f64 / l as f64).product();
             let got = all_distinct_probability(n, &probs);
-            assert!((got - expected).abs() < 1e-10, "n = {n}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-10,
+                "n = {n}: {got} vs {expected}"
+            );
         }
     }
 

@@ -30,11 +30,11 @@ pub mod prelude {
     pub use crate::competitive::{
         competitive_ratio, pair_p_star_bounds, phi_p_star_upper, rounded_p_star_lower, Bounds,
     };
-    pub use crate::exact::{
-        bins_exact, birthday, cluster_enumerated, cluster_pair, cluster_union_bounds,
-        random_exact, uniform_p_star,
-    };
     pub use crate::distribution;
+    pub use crate::exact::{
+        bins_exact, birthday, cluster_enumerated, cluster_pair, cluster_union_bounds, random_exact,
+        uniform_p_star,
+    };
     pub use crate::planning::{
         cluster_advantage, crossover_demand, required_bits, safe_demand, Scheme,
     };

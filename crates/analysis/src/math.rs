@@ -135,10 +135,7 @@ mod tests {
     fn ln_factorial_small_cases() {
         let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, f) in facts.iter().enumerate() {
-            assert!(
-                (ln_factorial(n as u128) - f.ln()).abs() < 1e-10,
-                "n = {n}"
-            );
+            assert!((ln_factorial(n as u128) - f.ln()).abs() < 1e-10, "n = {n}");
         }
     }
 

@@ -65,8 +65,7 @@ pub fn crossover_demand(n: u128) -> f64 {
 /// magnitude beyond Random's capacity" quantified.
 pub fn cluster_advantage(budget: f64, n: u128, m_bits: u32) -> f64 {
     validate(budget, n, m_bits);
-    safe_demand(Scheme::Cluster, budget, n, m_bits)
-        / safe_demand(Scheme::Random, budget, n, m_bits)
+    safe_demand(Scheme::Cluster, budget, n, m_bits) / safe_demand(Scheme::Random, budget, n, m_bits)
 }
 
 fn validate(budget: f64, n: u128, m_bits: u32) {
@@ -85,7 +84,11 @@ mod tests {
     fn safe_demand_formulas() {
         // Random at 128 bits, budget 1e-6: √(1e-6 · 2^128) = 2^(64 − ~10).
         let d = safe_demand(Scheme::Random, 1e-6, 1024, 128);
-        assert!((d.log2() - (128.0 - 19.93) / 2.0).abs() < 0.1, "{}", d.log2());
+        assert!(
+            (d.log2() - (128.0 - 19.93) / 2.0).abs() < 0.1,
+            "{}",
+            d.log2()
+        );
         // Cluster at the same point: 1e-6 · 2^128 / 2^10 = 2^(128−20−10).
         let d = safe_demand(Scheme::Cluster, 1e-6, 1024, 128);
         assert!((d.log2() - (128.0 - 19.93 - 10.0)).abs() < 0.1);

@@ -9,7 +9,9 @@ use uuidp_core::algorithms::AlgorithmKind;
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::{Arc, IntervalSet};
 use uuidp_core::rng::{SeedTree, Xoshiro256pp};
-use uuidp_sim::collision::{footprints_collide, OnlineDetector};
+use uuidp_sim::collision::{
+    footprints_collide, footprints_collide_with, CollisionScratch, OnlineDetector,
+};
 use uuidp_sim::game::run_oblivious_symbolic;
 
 fn bench_interval_set(c: &mut Criterion) {
@@ -60,7 +62,7 @@ fn bench_detectors(c: &mut Criterion) {
     // Symbolic: footprints from bulk-skipped Cluster instances.
     group.bench_function("symbolic_cluster_16x4096", |b| {
         let alg = AlgorithmKind::Cluster.build(space);
-        let gens: Vec<_> = (0..n)
+        let mut gens: Vec<_> = (0..n)
             .map(|i| {
                 let mut g = alg.spawn(i as u64);
                 g.skip(per_instance).unwrap();
@@ -68,7 +70,7 @@ fn bench_detectors(c: &mut Criterion) {
             })
             .collect();
         b.iter(|| {
-            let fps: Vec<_> = gens.iter().map(|g| g.footprint()).collect();
+            let fps: Vec<_> = gens.iter_mut().map(|g| g.footprint()).collect();
             black_box(footprints_collide(&fps))
         });
     });
@@ -88,6 +90,25 @@ fn bench_detectors(c: &mut Criterion) {
         });
     });
 
+    group.finish();
+}
+
+fn bench_kway_mixed_footprints(c: &mut Criterion) {
+    // The phase-2 hot path: many arc footprints plus large point
+    // footprints (Random-style instances) in one k-way detection. Same
+    // fixture as `repro bench-json` (uuidp_bench::perf), so these numbers
+    // are comparable with the committed BENCH_PR1.json.
+    let mut group = c.benchmark_group("kway_footprints_16_arcs_2x4096_points");
+    let (arc_sets, point_sets) = uuidp_bench::perf::kway_fixture();
+    let footprints = uuidp_bench::perf::kway_footprints(&arc_sets, &point_sets);
+
+    group.bench_function("fresh_scratch", |b| {
+        b.iter(|| black_box(footprints_collide(&footprints)));
+    });
+    group.bench_function("reused_scratch", |b| {
+        let mut scratch = CollisionScratch::new();
+        b.iter(|| black_box(footprints_collide_with(&mut scratch, &footprints)));
+    });
     group.finish();
 }
 
@@ -121,6 +142,7 @@ criterion_group!(
     benches,
     bench_interval_set,
     bench_detectors,
+    bench_kway_mixed_footprints,
     bench_full_symbolic_trial
 );
 criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Monte-Carlo engine benchmarks: end-to-end `estimate_oblivious` and
+//! `estimate_adaptive` throughput on the trial engine (scratch reuse +
+//! chunked work-stealing). These are the units the repro harness repeats
+//! for every sweep point, so per-trial overhead here multiplies into
+//! every experiment's wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use uuidp_adversary::adaptive::AdversarySpec;
+use uuidp_adversary::nearest_pair::NearestPair;
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_sim::montecarlo::{estimate_adaptive, estimate_oblivious, TrialConfig};
+
+fn bench_estimate_oblivious(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_oblivious_512_trials_16x1024");
+    let trials = 512u64;
+    group.throughput(Throughput::Elements(trials));
+    let space = IdSpace::with_bits(40).unwrap();
+    let profile = DemandProfile::uniform(16, 1 << 10);
+    for (name, kind) in [
+        ("cluster", AlgorithmKind::Cluster),
+        ("bins_4096", AlgorithmKind::Bins { k: 4096 }),
+        ("cluster_star", AlgorithmKind::ClusterStar),
+        ("bins_star", AlgorithmKind::BinsStar),
+    ] {
+        let alg = kind.build(space);
+        for threads in [1usize, 4] {
+            let mut cfg = TrialConfig::new(trials, 9);
+            cfg.threads = threads;
+            group.bench_function(BenchmarkId::new(name, format!("{threads}t")), |b| {
+                b.iter(|| black_box(estimate_oblivious(alg.as_ref(), &profile, cfg)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_adaptive_64_trials");
+    let trials = 64u64;
+    group.throughput(Throughput::Elements(trials));
+    let space = IdSpace::with_bits(24).unwrap();
+    let alg = AlgorithmKind::Cluster.build(space);
+    let spec: Box<dyn AdversarySpec> = Box::new(NearestPair::new(8, 1 << 8));
+    for threads in [1usize, 4] {
+        let mut cfg = TrialConfig::new(trials, 11);
+        cfg.threads = threads;
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |b| {
+            b.iter(|| black_box(estimate_adaptive(alg.as_ref(), spec.as_ref(), cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_oblivious, bench_estimate_adaptive);
+criterion_main!(benches);

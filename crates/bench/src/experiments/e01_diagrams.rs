@@ -28,7 +28,10 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
         let mut gen = alg.spawn(pick_seed(alg, requests, ctx.seed));
         let text = render_captioned(name, gen.as_mut(), requests, m as usize);
         sections.push(format!("```text\n{text}\n```\n"));
-        text.lines().skip(1).collect::<Vec<_>>().join(" ")
+        text.lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join(" ")
             .split_whitespace()
             .map(str::to_owned)
             .collect()

@@ -26,7 +26,15 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
 
     let mut table = Table::new(
         "Cluster vs Theorem 1 (m = 2^24, adaptive trial counts)",
-        &["n", "d", "skew", "trials", "measured p", "theta(nd/m)", "ratio"],
+        &[
+            "n",
+            "d",
+            "skew",
+            "trials",
+            "measured p",
+            "theta(nd/m)",
+            "ratio",
+        ],
     );
 
     let mut ratios = Vec::new();

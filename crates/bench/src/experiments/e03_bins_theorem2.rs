@@ -30,11 +30,22 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
 
     for (label, profile) in [
         ("uniform n=4, h=2^9", DemandProfile::uniform(4, 1 << 9)),
-        ("skewed (2^11, 2^7, 2^7, 2^7)", DemandProfile::new(vec![1 << 11, 1 << 7, 1 << 7, 1 << 7])),
+        (
+            "skewed (2^11, 2^7, 2^7, 2^7)",
+            DemandProfile::new(vec![1 << 11, 1 << 7, 1 << 7, 1 << 7]),
+        ),
     ] {
         let mut table = Table::new(
             format!("Bins(k) vs Theorem 2 — {label}, m = 2^24"),
-            &["k", "trials", "measured p", "exact p", "theta", "meas/theta", "exact in CI"],
+            &[
+                "k",
+                "trials",
+                "measured p",
+                "exact p",
+                "theta",
+                "meas/theta",
+                "exact in CI",
+            ],
         );
         let mut measured = Vec::new();
         let mut all_in_ci = true;
@@ -53,8 +64,7 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
             // CI coverage with a relative-error fallback: eight 95%
             // intervals jointly cover with only ~2/3 probability, so a
             // near-miss within 15% relative error also counts.
-            let in_ci =
-                est.contains(exact) || (est.p_hat - exact).abs() / exact.max(1e-12) < 0.15;
+            let in_ci = est.contains(exact) || (est.p_hat - exact).abs() / exact.max(1e-12) < 0.15;
             all_in_ci &= in_ci;
             let ratio = est.p_hat / theta;
             ratio_band = (ratio_band.0.min(ratio), ratio_band.1.max(ratio));

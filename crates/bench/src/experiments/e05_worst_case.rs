@@ -58,7 +58,11 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
             random_saturated_at = Some(d);
             cluster_at_saturation = p_cluster;
         }
-        let winner = if p_random < p_cluster { "random" } else { "cluster" };
+        let winner = if p_random < p_cluster {
+            "random"
+        } else {
+            "cluster"
+        };
         table.push_row(vec![
             fmt_count(d),
             fmt_prob(p_random),
@@ -73,7 +77,10 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     checks.push(Check::new(
         "exponents: Random quadratic in d, Cluster linear in d",
         (rf.slope - 2.0).abs() < 0.1 && (cf.slope - 1.0).abs() < 0.1,
-        format!("random slope {:.3}, cluster slope {:.3}", rf.slope, cf.slope),
+        format!(
+            "random slope {:.3}, cluster slope {:.3}",
+            rf.slope, cf.slope
+        ),
     ));
     checks.push(Check::new(
         "headline: Random saturates near √m while Cluster is still safe",

@@ -92,11 +92,18 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     let n = 16usize;
     let uniform = DemandProfile::uniform(n, d / n as u128);
     let obl_trials = ctx.trials_for(theory::cluster(&uniform, m), 400_000);
-    let (obl, _) =
-        estimate_oblivious(&cluster_star, &uniform, TrialConfig::new(obl_trials, ctx.seed));
+    let (obl, _) = estimate_oblivious(
+        &cluster_star,
+        &uniform,
+        TrialConfig::new(obl_trials, ctx.seed),
+    );
     let attack = RunHunter::new(n, d);
     let adv_trials = ctx.trials_for(theory::cluster_adaptive_lower_bound(n, d, m), 40_000);
-    let (adp, _) = estimate_adaptive(&cluster_star, &attack, TrialConfig::new(adv_trials, ctx.seed));
+    let (adp, _) = estimate_adaptive(
+        &cluster_star,
+        &attack,
+        TrialConfig::new(adv_trials, ctx.seed),
+    );
     let adaptivity_overhead = adp.p_hat / obl.p_hat.max(1e-12);
     let log_budget = (1.0 + d as f64 / n as f64).log2();
 
@@ -115,7 +122,9 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
             // The separation is n / log(1 + d/n): pronounced in the
             // shallow-budget regime, and growing with n.
             "Cluster★ beats Cluster under attack, increasingly so with n",
-            advantage_low_budget.iter().all(|&(n, a)| a > 0.12 * n as f64)
+            advantage_low_budget
+                .iter()
+                .all(|&(n, a)| a > 0.12 * n as f64)
                 && advantage_low_budget.last().map(|&(_, a)| a).unwrap_or(0.0) > 4.0,
             format!("cluster/cluster* at d = 4n: {advantage_detail}"),
         ),

@@ -119,7 +119,10 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     checks.push(Check::new(
         "grid-wide Bins★ ratio stays below O(log m)",
         grid_max < 4.0 * log_m,
-        format!("max grid ratio {grid_max:.1}, 4·log2(m) = {:.0}", 4.0 * log_m),
+        format!(
+            "max grid ratio {grid_max:.1}, 4·log2(m) = {:.0}",
+            4.0 * log_m
+        ),
     ));
 
     ExperimentReport {

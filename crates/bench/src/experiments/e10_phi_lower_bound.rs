@@ -46,7 +46,13 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
             "E_Φ[p_A] over Φ on m = 2^12 (k = {k}); E_Φ[p*] ≤ {:.3e}",
             p_star_expectation
         ),
-        &["algorithm", "E_Φ[p_A]", "vs Lemma25 floor", "ratio to E_Φ[p*]", "≥ ¼·log2(m)?"],
+        &[
+            "algorithm",
+            "E_Φ[p_A]",
+            "vs Lemma25 floor",
+            "ratio to E_Φ[p*]",
+            "≥ ¼·log2(m)?",
+        ],
     );
 
     let log_m = (m as f64).log2();

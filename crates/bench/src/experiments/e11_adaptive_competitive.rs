@@ -57,11 +57,8 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
 
     for alg in &algorithms {
         // Oblivious baseline: full profile, denominator p*(D).
-        let (obl_est, _) = estimate_oblivious(
-            alg.as_ref(),
-            &target,
-            TrialConfig::new(trials, ctx.seed),
-        );
+        let (obl_est, _) =
+            estimate_oblivious(alg.as_ref(), &target, TrialConfig::new(trials, ctx.seed));
         let p_star_full = rounded_p_star_lower(&target, m);
         let ratio_obl = obl_est.p_hat / p_star_full;
         table.push_row(vec![

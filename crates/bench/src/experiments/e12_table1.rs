@@ -94,8 +94,7 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
         }
 
         // Competitive oblivious: skewed pair vs Lemma 24 witness.
-        let (co, _) =
-            estimate_oblivious(cp.as_ref(), &pair, TrialConfig::new(trials_cp, ctx.seed));
+        let (co, _) = estimate_oblivious(cp.as_ref(), &pair, TrialConfig::new(trials_cp, ctx.seed));
         let comp_oblivious = co.p_hat / p_star_pair;
 
         // Competitive adaptive: fol(S) growing to the pair, stop on
@@ -156,7 +155,8 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     let checks = vec![
         Check::new(
             "Random's oblivious worst case dominates every other algorithm's",
-            rows.iter().all(|r| random.worst_oblivious >= r.worst_oblivious * 0.9),
+            rows.iter()
+                .all(|r| random.worst_oblivious >= r.worst_oblivious * 0.9),
             format!("random {:.3}", random.worst_oblivious),
         ),
         Check::new(

@@ -155,7 +155,10 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
         Check::new(
             "SessionCounter (RocksDB's embodiment) behaves like Cluster",
             session.runs_with_collision <= runs * 3 / 10,
-            format!("session {}/{runs} colliding runs", session.runs_with_collision),
+            format!(
+                "session {}/{runs} colliding runs",
+                session.runs_with_collision
+            ),
         ),
         Check::new(
             "Snowflake with skewed clocks collides via worker-ID birthday",

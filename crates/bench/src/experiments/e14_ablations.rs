@@ -35,7 +35,13 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     let space = IdSpace::new(m).unwrap();
     let mut table = Table::new(
         "EA1 — Bins★ chunk rule on the skewed pair (127, 1), m = 2^10",
-        &["rule", "chunks C", "capacity", "p bins*", "competitive ratio"],
+        &[
+            "rule",
+            "chunks C",
+            "capacity",
+            "p bins*",
+            "competitive ratio",
+        ],
     );
     let p_star = pair_p_star_bounds(1, 127, m).upper;
     let mut ratios = Vec::new();
@@ -111,7 +117,9 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
     ));
     checks.push(Check::new(
         "EA2: every growth factor keeps the adaptive overhead logarithmic",
-        overheads.iter().all(|&o| o < 3.0 * (1.0 + d as f64 / n as f64).log2()),
+        overheads
+            .iter()
+            .all(|&o| o < 3.0 * (1.0 + d as f64 / n as f64).log2()),
         format!(
             "overheads {overheads:?} vs 3·log2(1+d/n) = {:.1}",
             3.0 * (1.0 + d as f64 / n as f64).log2()

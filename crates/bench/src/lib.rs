@@ -13,5 +13,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{Ctx, ExperimentReport};

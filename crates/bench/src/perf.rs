@@ -1,0 +1,451 @@
+//! Hot-path performance evidence: `repro bench-json`.
+//!
+//! Measures the PR's optimized hot paths against *reference baselines*
+//! that replicate the previous implementation shape (per-ID interval
+//! insertion, gap-list allocation per placement, the O(points ×
+//! footprints) detector loop, spawn-per-trial Monte-Carlo), and writes
+//! the numbers to a JSON file so the perf trajectory of the repository
+//! is recorded commit over commit.
+//!
+//! The baselines run on top of today's `IntervalSet`, which is itself
+//! faster than the seed's (in-place segment extension); reported
+//! speedups are therefore conservative lower bounds on the true change.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use uuidp_adversary::profile::DemandProfile;
+use uuidp_core::algorithms::ClusterStar;
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::{Arc, IntervalSet};
+use uuidp_core::rng::{uniform_below, SeedTree, Xoshiro256pp};
+use uuidp_core::traits::{Algorithm, Footprint};
+use uuidp_sim::collision::{footprints_collide, CollisionScratch};
+use uuidp_sim::game::run_oblivious_symbolic;
+use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
+
+/// One measured comparison.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Unit of the two timings.
+    pub unit: &'static str,
+    /// Optimized-path cost.
+    pub new_cost: f64,
+    /// Reference-baseline cost.
+    pub baseline_cost: f64,
+}
+
+impl PerfResult {
+    /// baseline / new.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cost / self.new_cost
+    }
+}
+
+/// Median-of-samples wall-clock cost of `f`, in nanoseconds per call.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up + calibration.
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < 50 {
+        f();
+        calls += 1;
+    }
+    let per_call = start.elapsed().as_secs_f64() / calls.max(1) as f64;
+    let batch = ((0.05 / per_call.max(1e-9)) as u64).clamp(1, 1 << 22);
+    let mut samples = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2] * 1e9
+}
+
+// ---------------------------------------------------------------------
+// Baseline 1: the previous Cluster★ emission shape — every next_id pays
+// an interval-set point insertion, every placement allocates two gap
+// lists.
+// ---------------------------------------------------------------------
+
+/// Gap-list-allocating placement draw (the shape this PR removed from
+/// `IntervalSet::sample_fitting_start`): computes the gap vector twice.
+fn sample_fitting_start_alloc(set: &IntervalSet, rng: &mut Xoshiro256pp, len: u128) -> Option<Id> {
+    let total: u128 = set
+        .gaps()
+        .iter()
+        .filter(|g| g.len >= len)
+        .map(|g| g.len - len + 1)
+        .sum();
+    if set.segment_count() == 0 {
+        return Some(Id(uniform_below(rng, set.space().size())));
+    }
+    if total == 0 {
+        return None;
+    }
+    let mut r = uniform_below(rng, total);
+    for gap in set.gaps() {
+        if gap.len < len {
+            continue;
+        }
+        let starts = gap.len - len + 1;
+        if r < starts {
+            return Some(set.space().add(gap.start, r));
+        }
+        r -= starts;
+    }
+    unreachable!("sample index exceeded counted fitting starts");
+}
+
+/// The previous Cluster★ generator shape: eager per-ID footprint
+/// insertion plus allocating placement draws.
+struct EagerClusterStar {
+    space: IdSpace,
+    rng: Xoshiro256pp,
+    reserved: IntervalSet,
+    emitted: IntervalSet,
+    current: Option<(Arc, u128)>,
+    next_len: u128,
+}
+
+impl EagerClusterStar {
+    fn new(space: IdSpace, seed: u64) -> Self {
+        EagerClusterStar {
+            space,
+            rng: Xoshiro256pp::new(seed),
+            reserved: IntervalSet::new(space),
+            emitted: IntervalSet::new(space),
+            current: None,
+            next_len: 1,
+        }
+    }
+
+    fn next_id(&mut self) -> Id {
+        let (run, used) = match self.current {
+            Some((run, used)) if used < run.len => (run, used),
+            _ => {
+                let len = self.next_len;
+                let start = sample_fitting_start_alloc(&self.reserved, &mut self.rng, len)
+                    .expect("baseline bench stays within capacity");
+                let run = Arc::new(self.space, start, len);
+                self.reserved.insert(run);
+                self.next_len = len * 2;
+                self.current = Some((run, 0));
+                (run, 0)
+            }
+        };
+        let id = run.nth(self.space, used);
+        self.current = Some((run, used + 1));
+        self.emitted.insert_point(id);
+        id
+    }
+}
+
+/// Cluster★ `next_id` throughput: lazy-footprint generator vs the eager
+/// per-ID-insertion baseline. Cost unit: ns per generated ID.
+pub fn bench_cluster_star_next_id() -> PerfResult {
+    let space = IdSpace::with_bits(64).unwrap();
+    let batch = 4096u32;
+    let alg = ClusterStar::new(space);
+    let mut gen = alg.spawn(42);
+    let mut seed = 0u64;
+    let new_cost = time_ns(|| {
+        seed += 1;
+        gen.reset(seed);
+        for _ in 0..batch {
+            std::hint::black_box(gen.next_id().unwrap());
+        }
+    }) / batch as f64;
+    let baseline_cost = time_ns(|| {
+        seed += 1;
+        let mut gen = EagerClusterStar::new(space, seed);
+        for _ in 0..batch {
+            std::hint::black_box(gen.next_id());
+        }
+    }) / batch as f64;
+    PerfResult {
+        name: "cluster_star_next_id".into(),
+        unit: "ns/id",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Fragmented `sample_fitting_start`: the zero-allocation gap cursor vs
+/// the double gap-list allocation. Cost unit: ns per draw.
+pub fn bench_sample_fitting_start() -> PerfResult {
+    let space = IdSpace::with_bits(64).unwrap();
+    let mut set = IntervalSet::new(space);
+    let mut rng = Xoshiro256pp::new(2);
+    for _ in 0..256 {
+        if let Some(start) = set.sample_fitting_start(&mut rng, 1 << 16) {
+            set.insert(Arc::new(space, start, 1 << 16));
+        }
+    }
+    let mut rng_new = Xoshiro256pp::new(3);
+    let new_cost = time_ns(|| {
+        std::hint::black_box(set.sample_fitting_start(&mut rng_new, 1 << 12));
+    });
+    let mut rng_old = Xoshiro256pp::new(3);
+    let baseline_cost = time_ns(|| {
+        std::hint::black_box(sample_fitting_start_alloc(&set, &mut rng_old, 1 << 12));
+    });
+    PerfResult {
+        name: "sample_fitting_start_fragmented_256_runs".into(),
+        unit: "ns/draw",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline 2: the previous footprints_collide phase 2 — every point
+// scanned against every footprint.
+// ---------------------------------------------------------------------
+
+fn footprints_collide_naive(footprints: &[Footprint<'_>]) -> bool {
+    use std::collections::HashMap;
+    let mut segments: Vec<(u128, u128, usize)> = Vec::new();
+    for (owner, fp) in footprints.iter().enumerate() {
+        if let Footprint::Arcs(set) = fp {
+            segments.extend(set.segments().map(|(lo, hi)| (lo, hi, owner)));
+        }
+    }
+    segments.sort_unstable_by_key(|&(lo, _, _)| lo);
+    let mut run_hi = 0u128;
+    let mut run_owner = usize::MAX;
+    for &(lo, hi, owner) in &segments {
+        if lo < run_hi {
+            if owner != run_owner {
+                return true;
+            }
+            run_hi = run_hi.max(hi);
+        } else {
+            run_hi = hi;
+            run_owner = owner;
+        }
+    }
+    // The removed O(points × footprints) nested loop, SipHash point map.
+    let mut seen_points: HashMap<u128, usize> = HashMap::new();
+    for (owner, fp) in footprints.iter().enumerate() {
+        if let Footprint::Points(points) = fp {
+            for id in *points {
+                match seen_points.entry(id.value()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != owner {
+                            return true;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(owner);
+                    }
+                }
+                for (other, ofp) in footprints.iter().enumerate() {
+                    if other == owner {
+                        continue;
+                    }
+                    if let Footprint::Arcs(set) = ofp {
+                        if set.contains(*id) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The shared k-way workload: 16 disjoint arc footprints of 64 segments
+/// (2¹² IDs each) plus 2 point footprints of 4096 IDs, all pairwise
+/// disjoint. Used by both `bench_footprints_collide_kway` and the
+/// criterion `collision_detection` suite so the committed JSON numbers
+/// and the interactive bench always measure the same workload.
+pub fn kway_fixture() -> (Vec<IntervalSet>, Vec<Vec<Id>>) {
+    let space = IdSpace::with_bits(64).unwrap();
+    let mut rng = Xoshiro256pp::new(5);
+    let mut arc_sets = Vec::new();
+    let mut occupied = IntervalSet::new(space);
+    for _ in 0..16 {
+        let mut set = IntervalSet::new(space);
+        for _ in 0..64 {
+            let start = occupied
+                .sample_fitting_start(&mut rng, 1 << 12)
+                .expect("space is sparse");
+            let arc = Arc::new(space, start, 1 << 12);
+            occupied.insert(arc);
+            set.insert(arc);
+        }
+        arc_sets.push(set);
+    }
+    let mut point_sets = Vec::new();
+    for _ in 0..2 {
+        let mut pts = Vec::with_capacity(4096);
+        for _ in 0..4096 {
+            let start = occupied
+                .sample_fitting_start(&mut rng, 1)
+                .expect("space is sparse");
+            occupied.insert(Arc::new(space, start, 1));
+            pts.push(start);
+        }
+        point_sets.push(pts);
+    }
+    (arc_sets, point_sets)
+}
+
+/// Borrows a [`kway_fixture`] as the footprint slice detectors take.
+pub fn kway_footprints<'a>(
+    arc_sets: &'a [IntervalSet],
+    point_sets: &'a [Vec<Id>],
+) -> Vec<Footprint<'a>> {
+    arc_sets
+        .iter()
+        .map(Footprint::Arcs)
+        .chain(point_sets.iter().map(|p| Footprint::Points(p)))
+        .collect()
+}
+
+/// K-way collision detection over mixed arc + point footprints: sorted
+/// binary-search phase 2 vs the nested loop. Cost unit: ns per
+/// detection pass.
+pub fn bench_footprints_collide_kway() -> PerfResult {
+    let (arc_sets, point_sets) = kway_fixture();
+    let footprints = kway_footprints(&arc_sets, &point_sets);
+    let mut scratch = CollisionScratch::new();
+    let new_cost = time_ns(|| {
+        std::hint::black_box(uuidp_sim::collision::footprints_collide_with(
+            &mut scratch,
+            &footprints,
+        ));
+    });
+    let baseline_cost = time_ns(|| {
+        std::hint::black_box(footprints_collide_naive(&footprints));
+    });
+    let _ = footprints_collide(&footprints); // sanity: API parity
+    PerfResult {
+        name: "footprints_collide_16_arcs_2x4096_points".into(),
+        unit: "ns/pass",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// End-to-end `estimate_oblivious`: the scratch-reusing work-stealing
+/// engine vs spawn-per-trial. Single-threaded so the comparison isolates
+/// per-trial overhead. Cost unit: µs per trial.
+pub fn bench_estimate_oblivious() -> PerfResult {
+    let space = IdSpace::with_bits(40).unwrap();
+    let alg = ClusterStar::new(space);
+    let profile = DemandProfile::uniform(16, 1 << 10);
+    let trials = 512u64;
+    let mut cfg = TrialConfig::new(trials, 42);
+    cfg.threads = 1;
+    let new_cost = time_ns(|| {
+        std::hint::black_box(estimate_oblivious(&alg, &profile, cfg));
+    }) / (trials as f64 * 1e3);
+    let baseline_cost = time_ns(|| {
+        // The previous engine shape: fresh boxed generators and detector
+        // state every trial.
+        let root = SeedTree::new(42);
+        let mut collisions = 0u64;
+        for t in 0..trials {
+            let tree = root.trial(t);
+            collisions += run_oblivious_symbolic(&alg, &profile, &tree).collided as u64;
+        }
+        std::hint::black_box(collisions);
+    }) / (trials as f64 * 1e3);
+    PerfResult {
+        name: "estimate_oblivious_cluster_star_16x1024".into(),
+        unit: "us/trial",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Runs the whole suite.
+pub fn run_all() -> Vec<PerfResult> {
+    vec![
+        bench_cluster_star_next_id(),
+        bench_sample_fitting_start(),
+        bench_footprints_collide_kway(),
+        bench_estimate_oblivious(),
+    ]
+}
+
+/// Renders results as the committed JSON document.
+pub fn to_json(pr: u32, results: &[PerfResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"pr\": {pr},");
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"new\": {:.2}, \"baseline\": {:.2}, \"speedup\": {:.2}}}",
+            r.name,
+            r.unit,
+            r.new_cost,
+            r.baseline_cost,
+            r.speedup()
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_and_fast_detectors_agree_on_random_inputs() {
+        let space = IdSpace::new(1 << 16).unwrap();
+        let mut rng = Xoshiro256pp::new(11);
+        for _ in 0..200 {
+            // A couple of random arc sets and a random point list; overlap
+            // is common at this density, so both branches get exercised.
+            let mut sets = Vec::new();
+            for _ in 0..3 {
+                let mut set = IntervalSet::new(space);
+                for _ in 0..8 {
+                    let start = uniform_below(&mut rng, 1 << 16);
+                    let len = 1 + uniform_below(&mut rng, 1 << 7);
+                    set.insert(Arc::new(space, Id(start), len));
+                }
+                sets.push(set);
+            }
+            let points: Vec<Id> = (0..32)
+                .map(|_| Id(uniform_below(&mut rng, 1 << 16)))
+                .collect();
+            let fps: Vec<Footprint<'_>> = sets
+                .iter()
+                .map(Footprint::Arcs)
+                .chain(std::iter::once(Footprint::Points(&points)))
+                .collect();
+            assert_eq!(
+                footprints_collide(&fps),
+                footprints_collide_naive(&fps),
+                "detectors disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let results = vec![PerfResult {
+            name: "x".into(),
+            unit: "ns",
+            new_cost: 1.0,
+            baseline_cost: 2.0,
+        }];
+        let json = to_json(1, &results);
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

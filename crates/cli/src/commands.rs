@@ -32,8 +32,8 @@ pub struct GenerateOpts {
 
 /// Runs `uuidp generate`.
 pub fn generate(opts: &GenerateOpts) -> Result<String, ParseError> {
-    let space = IdSpace::with_bits(opts.bits)
-        .map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let space =
+        IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
     let alg = parse_algorithm(&opts.algorithm, space)?;
     let seed = opts.seed.unwrap_or_else(entropy_seed);
     let mut gen = alg.spawn(seed);
@@ -77,8 +77,8 @@ pub fn simulate(opts: &SimulateOpts) -> Result<String, ParseError> {
     if opts.instances < 2 {
         return Err(ParseError("need at least 2 instances to collide".into()));
     }
-    let space = IdSpace::with_bits(opts.bits)
-        .map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let space =
+        IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
     let alg = parse_algorithm(&opts.algorithm, space)?;
     let profile = DemandProfile::uniform(opts.instances, opts.per_instance);
     let (est, diag) = estimate_oblivious(
@@ -226,7 +226,10 @@ pub fn doctor() -> Result<String, ParseError> {
                 return Err(ParseError(format!("{spec}: duplicate ID {id}")));
             }
         }
-        report.push_str(&format!("  {:<12} ok (1000 IDs, all distinct)\n", alg.name()));
+        report.push_str(&format!(
+            "  {:<12} ok (1000 IDs, all distinct)\n",
+            alg.name()
+        ));
     }
     // A tiny statistical check: two Cluster instances on a small universe
     // should collide at roughly the predicted rate.

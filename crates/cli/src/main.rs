@@ -108,8 +108,7 @@ fn run_generate(args: &[String]) -> Result<String, String> {
         bits: f.parse(&["--bits", "-b"], 64u32)?,
         count: f.parse(&["--count", "-c"], 1u64)?,
         seed: f.parse_opt(&["--seed", "-s"])?,
-        format: IdFormat::parse(f.get(&["--format", "-f"]).unwrap_or("dec"))
-            .map_err(|e| e.0)?,
+        format: IdFormat::parse(f.get(&["--format", "-f"]).unwrap_or("dec")).map_err(|e| e.0)?,
     };
     generate(&opts).map_err(|e| e.0)
 }

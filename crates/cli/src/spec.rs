@@ -15,7 +15,9 @@
 
 use std::fmt;
 
-use uuidp_core::algorithms::{Bins, BinsStar, ChunkRule, Cluster, ClusterStar, Random, SessionCounter};
+use uuidp_core::algorithms::{
+    Bins, BinsStar, ChunkRule, Cluster, ClusterStar, Random, SessionCounter,
+};
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::traits::Algorithm;
 
@@ -75,8 +77,12 @@ pub fn parse_algorithm(spec: &str, space: IdSpace) -> Result<Box<dyn Algorithm>,
             let (s, c) = sc
                 .split_once(',')
                 .ok_or_else(|| ParseError("session needs S,C bit counts".into()))?;
-            let s: u32 = s.parse().map_err(|_| ParseError("bad session bits".into()))?;
-            let c: u32 = c.parse().map_err(|_| ParseError("bad counter bits".into()))?;
+            let s: u32 = s
+                .parse()
+                .map_err(|_| ParseError("bad session bits".into()))?;
+            let c: u32 = c
+                .parse()
+                .map_err(|_| ParseError("bad counter bits".into()))?;
             let alg = SessionCounter::new(s, c);
             if alg.space() != space {
                 return Err(ParseError(format!(
@@ -150,8 +156,15 @@ mod tests {
     #[test]
     fn parses_the_whole_menu() {
         for spec in [
-            "random", "cluster", "bins:64", "cluster*", "cluster-star", "cluster*:4", "bins*",
-            "bins-star", "bins*:maxfit",
+            "random",
+            "cluster",
+            "bins:64",
+            "cluster*",
+            "cluster-star",
+            "cluster*:4",
+            "bins*",
+            "bins-star",
+            "bins*:maxfit",
         ] {
             assert!(parse_algorithm(spec, space()).is_ok(), "{spec}");
         }

@@ -58,6 +58,10 @@ impl Algorithm for Bins {
 }
 
 /// One instance of Bins(k).
+///
+/// The emitted footprint is lazy: `next_id` only advances counters; the
+/// open bin's (and leftover tail's) emitted prefix is folded into the
+/// interval set when the bin closes or on [`IdGenerator::footprint`].
 #[derive(Debug)]
 pub struct BinsGenerator {
     space: IdSpace,
@@ -68,8 +72,12 @@ pub struct BinsGenerator {
     /// Start of the bin currently being emitted, and how many of its IDs
     /// have been emitted.
     current: Option<(u128, u128)>,
+    /// How many of the current bin's emitted IDs are in `emitted`.
+    current_flushed: u128,
     /// IDs of the leftover tail emitted so far.
     leftover_emitted: u128,
+    /// How many leftover IDs are in `emitted`.
+    leftover_flushed: u128,
     generated: u128,
     emitted: IntervalSet,
 }
@@ -86,9 +94,34 @@ impl BinsGenerator {
             rng: Xoshiro256pp::new(seed),
             bin_order: LazyShuffle::new(num_bins),
             current: None,
+            current_flushed: 0,
             leftover_emitted: 0,
+            leftover_flushed: 0,
             generated: 0,
             emitted: IntervalSet::new(space),
+        }
+    }
+
+    /// Folds unflushed emitted IDs (open-bin prefix, leftover prefix)
+    /// into the interval set.
+    fn flush(&mut self) {
+        if let Some((start, used)) = self.current {
+            if used > self.current_flushed {
+                self.emitted.insert(Arc::new(
+                    self.space,
+                    Id(start + self.current_flushed),
+                    used - self.current_flushed,
+                ));
+                self.current_flushed = used;
+            }
+        }
+        if self.leftover_emitted > self.leftover_flushed {
+            self.emitted.insert(Arc::new(
+                self.space,
+                Id(self.leftover_start() + self.leftover_flushed),
+                self.leftover_emitted - self.leftover_flushed,
+            ));
+            self.leftover_flushed = self.leftover_emitted;
         }
     }
 
@@ -128,7 +161,10 @@ impl BinsGenerator {
             "bin displacement out of range",
         )?;
         if let Some((start, used)) = current {
-            check(start % k == 0 && *start < num_bins * k, "unaligned open bin")?;
+            check(
+                start % k == 0 && *start < num_bins * k,
+                "unaligned open bin",
+            )?;
             check(*used <= *k, "open bin overfull")?;
         }
         check(*leftover_emitted <= m - num_bins * k, "leftover overdrawn")?;
@@ -149,17 +185,21 @@ impl BinsGenerator {
             rng: rng_from(*rng)?,
             bin_order: LazyShuffle::from_parts(num_bins, *order_drawn, order_displacements.clone()),
             current: *current,
+            current_flushed: current.map(|(_, used)| used).unwrap_or(0),
             leftover_emitted: *leftover_emitted,
+            leftover_flushed: *leftover_emitted,
             generated: *generated,
             emitted: emitted_set,
         })
     }
 
-    /// Opens the next bin, if any remain.
+    /// Opens the next bin, if any remain, retiring the finished one.
     fn open_next_bin(&mut self) -> Option<u128> {
-        self.bin_order
-            .draw(&mut self.rng)
-            .map(|bin| bin * self.k)
+        let next = self.bin_order.draw(&mut self.rng).map(|bin| bin * self.k)?;
+        self.flush();
+        self.current = Some((next, 0));
+        self.current_flushed = 0;
+        Some(next)
     }
 }
 
@@ -172,26 +212,21 @@ impl IdGenerator for BinsGenerator {
         // Continue the open bin if it has IDs left.
         if let Some((start, used)) = self.current {
             if used < self.k {
-                let id = Id(start + used);
                 self.current = Some((start, used + 1));
-                self.emitted.insert_point(id);
                 self.generated += 1;
-                return Ok(id);
+                return Ok(Id(start + used));
             }
         }
         // Open a fresh bin.
         if let Some(start) = self.open_next_bin() {
-            let id = Id(start);
             self.current = Some((start, 1));
-            self.emitted.insert_point(id);
             self.generated += 1;
-            return Ok(id);
+            return Ok(Id(start));
         }
         // All bins exhausted: serve the leftover tail in increasing order.
         if self.leftover_emitted < self.leftover_len() {
             let id = Id(self.leftover_start() + self.leftover_emitted);
             self.leftover_emitted += 1;
-            self.emitted.insert_point(id);
             self.generated += 1;
             return Ok(id);
         }
@@ -204,7 +239,8 @@ impl IdGenerator for BinsGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
+        self.flush();
         Footprint::Arcs(&self.emitted)
     }
 
@@ -213,13 +249,9 @@ impl IdGenerator for BinsGenerator {
         if let Some((start, used)) = self.current {
             if used < self.k {
                 let take = count.min(self.k - used);
-                if take > 0 {
-                    self.emitted
-                        .insert(Arc::new(self.space, Id(start + used), take));
-                    self.current = Some((start, used + take));
-                    self.generated += take;
-                    count -= take;
-                }
+                self.current = Some((start, used + take));
+                self.generated += take;
+                count -= take;
             }
         }
         // Consume whole and partial fresh bins.
@@ -227,7 +259,6 @@ impl IdGenerator for BinsGenerator {
             match self.open_next_bin() {
                 Some(start) => {
                     let take = count.min(self.k);
-                    self.emitted.insert(Arc::new(self.space, Id(start), take));
                     self.current = Some((start, take));
                     self.generated += take;
                     count -= take;
@@ -239,13 +270,9 @@ impl IdGenerator for BinsGenerator {
         if count > 0 {
             let available = self.leftover_len() - self.leftover_emitted;
             let take = count.min(available);
-            if take > 0 {
-                let first = self.leftover_start() + self.leftover_emitted;
-                self.emitted.insert(Arc::new(self.space, Id(first), take));
-                self.leftover_emitted += take;
-                self.generated += take;
-                count -= take;
-            }
+            self.leftover_emitted += take;
+            self.generated += take;
+            count -= take;
             if count > 0 {
                 return Err(GeneratorError::Exhausted {
                     generated: self.generated,
@@ -256,13 +283,38 @@ impl IdGenerator for BinsGenerator {
     }
 
     fn supports_fast_skip(&self) -> bool {
-        // Fast in the number of bins touched: O(count / k) insertions. True
+        // Fast in the number of bins touched: O(count / k) bin draws. True
         // speedups require k reasonably large, which is exactly when the
         // experiments need it.
         true
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::new(seed);
+        self.bin_order.reset(self.num_bins);
+        self.current = None;
+        self.current_flushed = 0;
+        self.leftover_emitted = 0;
+        self.leftover_flushed = 0;
+        self.generated = 0;
+        self.emitted.clear();
+    }
+
     fn snapshot(&self) -> Option<GeneratorState> {
+        // The snapshot's emitted list is the flushed interval set plus the
+        // still-pending prefixes; `from_state` re-normalizes the union.
+        let mut emitted: Vec<(u128, u128)> = self.emitted.segments().collect();
+        if let Some((start, used)) = self.current {
+            if used > self.current_flushed {
+                emitted.push((start + self.current_flushed, start + used));
+            }
+        }
+        if self.leftover_emitted > self.leftover_flushed {
+            emitted.push((
+                self.leftover_start() + self.leftover_flushed,
+                self.leftover_start() + self.leftover_emitted,
+            ));
+        }
         Some(GeneratorState::Bins {
             k: self.k,
             rng: self.rng.state(),
@@ -271,7 +323,7 @@ impl IdGenerator for BinsGenerator {
             current: self.current,
             leftover_emitted: self.leftover_emitted,
             generated: self.generated,
-            emitted: self.emitted.segments().collect(),
+            emitted,
         })
     }
 }

@@ -160,6 +160,11 @@ impl Algorithm for BinsStar {
 }
 
 /// One instance of Bins★.
+///
+/// The emitted footprint is lazy, like Cluster★'s: `next_id` only
+/// advances the open bin's counter; the emitted prefix is folded into
+/// the interval set when the bin closes or on
+/// [`IdGenerator::footprint`].
 #[derive(Debug)]
 pub struct BinsStarGenerator {
     space: IdSpace,
@@ -167,8 +172,8 @@ pub struct BinsStarGenerator {
     rng: Xoshiro256pp,
     /// 1-based index of the *next* chunk to open a bin in.
     next_chunk: u32,
-    /// The bin currently being emitted, and how many IDs are out.
-    current: Option<(Arc, u128)>,
+    /// The bin currently being emitted: `(bin, ids out, ids flushed)`.
+    current: Option<(Arc, u128, u128)>,
     /// Chosen bins in order (diagnostics / adversaries).
     bins: Vec<Arc>,
     emitted: IntervalSet,
@@ -243,7 +248,7 @@ impl BinsStarGenerator {
             let hi = lo + geometry.chunk_size;
             check(len == geometry.bin_size(chunk), "bin size mismatch")?;
             check(
-                start >= lo && start + len <= hi && (start - lo) % len == 0,
+                start >= lo && start + len <= hi && (start - lo).is_multiple_of(len),
                 "bin not aligned within its chunk",
             )?;
             arcs.push(Arc::new(space, Id(start), len));
@@ -258,12 +263,15 @@ impl BinsStarGenerator {
                 if *used > 0 {
                     emitted.insert(Arc::new(space, last.start, *used));
                 }
-                Some((*last, *used))
+                Some((*last, *used, *used))
             }
             (None, None) => None,
             _ => return Err(StateError("current_used inconsistent with bins".into())),
         };
-        check(emitted.measure() == *generated, "emitted measure != generated")?;
+        check(
+            emitted.measure() == *generated,
+            "emitted measure != generated",
+        )?;
         Ok(BinsStarGenerator {
             space,
             geometry,
@@ -281,6 +289,18 @@ impl BinsStarGenerator {
         &self.bins
     }
 
+    /// Folds the open bin's unflushed emitted prefix into `emitted`.
+    fn flush(&mut self) {
+        if let Some((bin, used, flushed)) = &mut self.current {
+            if *used > *flushed {
+                let first = self.space.add(bin.start, *flushed);
+                self.emitted
+                    .insert(Arc::new(self.space, first, *used - *flushed));
+                *flushed = *used;
+            }
+        }
+    }
+
     /// Opens the uniform random bin of the next chunk.
     fn open_next_bin(&mut self) -> Result<Arc, GeneratorError> {
         if self.next_chunk > self.geometry.chunks {
@@ -288,12 +308,13 @@ impl BinsStarGenerator {
                 generated: self.generated,
             });
         }
+        self.flush(); // retire the finished bin before replacing it
         let i = self.next_chunk;
         let b = uniform_below(&mut self.rng, self.geometry.bins_in_chunk(i));
         let start = self.geometry.chunk_start(i) + b * self.geometry.bin_size(i);
         let bin = Arc::new(self.space, Id(start), self.geometry.bin_size(i));
         self.bins.push(bin);
-        self.current = Some((bin, 0));
+        self.current = Some((bin, 0, 0));
         self.next_chunk += 1;
         Ok(bin)
     }
@@ -306,12 +327,13 @@ impl IdGenerator for BinsStarGenerator {
 
     fn next_id(&mut self) -> Result<Id, GeneratorError> {
         let (bin, used) = match self.current {
-            Some((bin, used)) if used < bin.len => (bin, used),
+            Some((bin, used, _)) if used < bin.len => (bin, used),
             _ => (self.open_next_bin()?, 0),
         };
         let id = bin.nth(self.space, used);
-        self.current = Some((bin, used + 1));
-        self.emitted.insert_point(id);
+        if let Some((_, u, _)) = &mut self.current {
+            *u = used + 1;
+        }
         self.generated += 1;
         Ok(id)
     }
@@ -320,20 +342,21 @@ impl IdGenerator for BinsStarGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
+        self.flush();
         Footprint::Arcs(&self.emitted)
     }
 
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
             let (bin, used) = match self.current {
-                Some((bin, used)) if used < bin.len => (bin, used),
+                Some((bin, used, _)) if used < bin.len => (bin, used),
                 _ => (self.open_next_bin()?, 0),
             };
             let take = count.min(bin.len - used);
-            let first = bin.nth(self.space, used);
-            self.emitted.insert(Arc::new(self.space, first, take));
-            self.current = Some((bin, used + take));
+            if let Some((_, u, _)) = &mut self.current {
+                *u = used + take;
+            }
             self.generated += take;
             count -= take;
         }
@@ -344,18 +367,23 @@ impl IdGenerator for BinsStarGenerator {
         true
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::new(seed);
+        self.next_chunk = 1;
+        self.current = None;
+        self.bins.clear();
+        self.emitted.clear();
+        self.generated = 0;
+    }
+
     fn snapshot(&self) -> Option<GeneratorState> {
         Some(GeneratorState::BinsStar {
             rng: self.rng.state(),
             chunks: self.geometry.chunks,
             chunk_size: self.geometry.chunk_size,
             next_chunk: self.next_chunk,
-            bins: self
-                .bins
-                .iter()
-                .map(|b| (b.start.value(), b.len))
-                .collect(),
-            current_used: self.current.map(|(_, used)| used),
+            bins: self.bins.iter().map(|b| (b.start.value(), b.len)).collect(),
+            current_used: self.current.map(|(_, used, _)| used),
             generated: self.generated,
         })
     }

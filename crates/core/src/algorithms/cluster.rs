@@ -46,12 +46,18 @@ impl Algorithm for Cluster {
 }
 
 /// One instance of Cluster: a random start, then sequential IDs mod `m`.
+///
+/// The footprint is lazy: `next_id`/`skip` only move the `generated`
+/// counter, and the emitted arc is folded into the interval set when
+/// [`IdGenerator::footprint`] is called.
 #[derive(Debug)]
 pub struct ClusterGenerator {
     space: IdSpace,
     start: Id,
     generated: u128,
     emitted: IntervalSet,
+    /// How many of the `generated` IDs are already in `emitted`.
+    flushed: u128,
 }
 
 impl ClusterGenerator {
@@ -64,6 +70,17 @@ impl ClusterGenerator {
             start,
             generated: 0,
             emitted: IntervalSet::new(space),
+            flushed: 0,
+        }
+    }
+
+    /// Folds the unflushed emitted prefix into the interval set.
+    fn flush(&mut self) {
+        if self.generated > self.flushed {
+            let first = self.space.add(self.start, self.flushed);
+            self.emitted
+                .insert(Arc::new(self.space, first, self.generated - self.flushed));
+            self.flushed = self.generated;
         }
     }
 
@@ -88,6 +105,7 @@ impl ClusterGenerator {
             start: Id(*start),
             generated: *generated,
             emitted,
+            flushed: *generated,
         })
     }
 }
@@ -104,7 +122,6 @@ impl IdGenerator for ClusterGenerator {
             });
         }
         let id = self.space.add(self.start, self.generated);
-        self.emitted.insert_point(id);
         self.generated += 1;
         Ok(id)
     }
@@ -113,35 +130,35 @@ impl IdGenerator for ClusterGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
+        self.flush();
         Footprint::Arcs(&self.emitted)
     }
 
     fn skip(&mut self, count: u128) -> Result<(), GeneratorError> {
-        if count == 0 {
-            return Ok(());
-        }
         let available = self.space.size() - self.generated;
         if count > available {
-            // Emit what fits so the footprint reflects a maximal attempt,
-            // mirroring what repeated next_id calls would have done.
-            if available > 0 {
-                let first = self.space.add(self.start, self.generated);
-                self.emitted.insert(Arc::new(self.space, first, available));
-                self.generated += available;
-            }
+            // Advance past what fits so the footprint reflects a maximal
+            // attempt, mirroring what repeated next_id calls would do.
+            self.generated += available;
             return Err(GeneratorError::Exhausted {
                 generated: self.generated,
             });
         }
-        let first = self.space.add(self.start, self.generated);
-        self.emitted.insert(Arc::new(self.space, first, count));
         self.generated += count;
         Ok(())
     }
 
     fn supports_fast_skip(&self) -> bool {
         true
+    }
+
+    fn reset(&mut self, seed: u64) {
+        let mut rng = Xoshiro256pp::new(seed);
+        self.start = Id(uniform_below(&mut rng, self.space.size()));
+        self.generated = 0;
+        self.flushed = 0;
+        self.emitted.clear();
     }
 
     fn snapshot(&self) -> Option<GeneratorState> {

@@ -93,6 +93,11 @@ impl Algorithm for ClusterStar {
 }
 
 /// One instance of Cluster★.
+///
+/// The emitted footprint is lazy: `next_id` only advances the open run's
+/// counter, and the emitted prefix is folded into `emitted` when a run
+/// closes or when [`IdGenerator::footprint`] is called. This makes
+/// emission O(1) per ID; the only per-run cost is the placement draw.
 #[derive(Debug)]
 pub struct ClusterStarGenerator {
     space: IdSpace,
@@ -100,10 +105,11 @@ pub struct ClusterStarGenerator {
     /// Union of all runs this instance has opened (whether fully emitted or
     /// not). New runs must be disjoint from this set.
     reserved: IntervalSet,
-    /// Exactly the IDs emitted so far.
+    /// The IDs emitted so far, minus the unflushed prefix of the open run.
     emitted: IntervalSet,
-    /// The run currently being emitted and how many of its IDs are out.
-    current: Option<(Arc, u128)>,
+    /// The run currently being emitted: `(run, ids out, ids flushed into
+    /// emitted)` with `flushed <= used`.
+    current: Option<(Arc, u128, u128)>,
     /// Length of the *next* run to open: 1, g, g², … for growth factor g.
     next_len: u128,
     /// Run growth factor (2 in the paper).
@@ -172,12 +178,15 @@ impl ClusterStarGenerator {
                 if *used > 0 {
                     emitted.insert(Arc::new(space, last.start, *used));
                 }
-                Some((*last, *used))
+                Some((*last, *used, *used))
             }
             (None, None) => None,
             _ => return Err(StateError("current_used inconsistent with runs".into())),
         };
-        check(emitted.measure() == *generated, "emitted measure != generated")?;
+        check(
+            emitted.measure() == *generated,
+            "emitted measure != generated",
+        )?;
         Ok(ClusterStarGenerator {
             space,
             rng: rng_from(*rng)?,
@@ -202,6 +211,18 @@ impl ClusterStarGenerator {
         &self.reserved
     }
 
+    /// Folds the open run's unflushed emitted prefix into `emitted`.
+    fn flush(&mut self) {
+        if let Some((run, used, flushed)) = &mut self.current {
+            if *used > *flushed {
+                let first = self.space.add(run.start, *flushed);
+                self.emitted
+                    .insert(Arc::new(self.space, first, *used - *flushed));
+                *flushed = *used;
+            }
+        }
+    }
+
     /// Opens the next run (of length `next_len`), returning it.
     fn open_run(&mut self) -> Result<Arc, GeneratorError> {
         let len = self.next_len;
@@ -216,10 +237,11 @@ impl ClusterStarGenerator {
             .ok_or(GeneratorError::Exhausted {
                 generated: self.generated,
             })?;
+        self.flush(); // retire the finished run before replacing it
         let run = Arc::new(self.space, start, len);
         self.reserved.insert(run);
         self.runs.push(run);
-        self.current = Some((run, 0));
+        self.current = Some((run, 0, 0));
         self.next_len = len.saturating_mul(self.growth as u128);
         Ok(run)
     }
@@ -232,12 +254,13 @@ impl IdGenerator for ClusterStarGenerator {
 
     fn next_id(&mut self) -> Result<Id, GeneratorError> {
         let (run, used) = match self.current {
-            Some((run, used)) if used < run.len => (run, used),
+            Some((run, used, _)) if used < run.len => (run, used),
             _ => (self.open_run()?, 0),
         };
         let id = run.nth(self.space, used);
-        self.current = Some((run, used + 1));
-        self.emitted.insert_point(id);
+        if let Some((_, u, _)) = &mut self.current {
+            *u = used + 1;
+        }
         self.generated += 1;
         Ok(id)
     }
@@ -246,20 +269,21 @@ impl IdGenerator for ClusterStarGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
+        self.flush();
         Footprint::Arcs(&self.emitted)
     }
 
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
             let (run, used) = match self.current {
-                Some((run, used)) if used < run.len => (run, used),
+                Some((run, used, _)) if used < run.len => (run, used),
                 _ => (self.open_run()?, 0),
             };
             let take = count.min(run.len - used);
-            let first = run.nth(self.space, used);
-            self.emitted.insert(Arc::new(self.space, first, take));
-            self.current = Some((run, used + take));
+            if let Some((_, u, _)) = &mut self.current {
+                *u = used + take;
+            }
             self.generated += take;
             count -= take;
         }
@@ -271,17 +295,23 @@ impl IdGenerator for ClusterStarGenerator {
         true
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::new(seed);
+        self.reserved.clear();
+        self.emitted.clear();
+        self.current = None;
+        self.next_len = 1;
+        self.runs.clear();
+        self.generated = 0;
+    }
+
     fn snapshot(&self) -> Option<GeneratorState> {
         Some(GeneratorState::ClusterStar {
             rng: self.rng.state(),
             growth: self.growth,
             next_len: self.next_len,
-            runs: self
-                .runs
-                .iter()
-                .map(|r| (r.start.value(), r.len))
-                .collect(),
-            current_used: self.current.map(|(_, used)| used),
+            runs: self.runs.iter().map(|r| (r.start.value(), r.len)).collect(),
+            current_used: self.current.map(|(_, used, _)| used),
             generated: self.generated,
         })
     }

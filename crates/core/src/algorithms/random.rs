@@ -117,8 +117,14 @@ impl IdGenerator for RandomGenerator {
         self.shuffle.drawn()
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
         Footprint::Points(&self.emitted)
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::new(seed);
+        self.shuffle.reset(self.space.size());
+        self.emitted.clear();
     }
 
     fn snapshot(&self) -> Option<GeneratorState> {

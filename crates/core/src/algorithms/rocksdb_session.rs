@@ -46,7 +46,10 @@ impl SessionCounter {
     /// Panics if the total width exceeds 127 bits or either field is zero.
     pub fn new(session_bits: u32, counter_bits: u32) -> Self {
         assert!(session_bits > 0 && counter_bits > 0, "both fields required");
-        assert!(session_bits + counter_bits <= 127, "layout exceeds 127 bits");
+        assert!(
+            session_bits + counter_bits <= 127,
+            "layout exceeds 127 bits"
+        );
         SessionCounter {
             session_bits,
             counter_bits,
@@ -88,6 +91,8 @@ pub struct SessionCounterGenerator {
     used_sessions: HashSet<u128>,
     current_session: Option<u128>,
     counter: u128,
+    /// Counter position of the open session already folded into `emitted`.
+    flushed: u128,
     generated: u128,
     emitted: IntervalSet,
 }
@@ -103,8 +108,21 @@ impl SessionCounterGenerator {
             used_sessions: HashSet::new(),
             current_session: None,
             counter: 0,
+            flushed: 0,
             generated: 0,
             emitted: IntervalSet::new(self_space(session_bits, counter_bits)),
+        }
+    }
+
+    /// Folds the open session's unflushed ID range into `emitted`.
+    fn flush(&mut self) {
+        if let Some(session) = self.current_session {
+            if self.counter > self.flushed {
+                let first = (session << self.counter_bits) | self.flushed;
+                self.emitted
+                    .insert(Arc::new(self.space, Id(first), self.counter - self.flushed));
+                self.flushed = self.counter;
+            }
         }
     }
 
@@ -145,10 +163,7 @@ impl SessionCounterGenerator {
         )?;
         check(*counter <= cap, "counter exceeds capacity")?;
         let used: HashSet<u128> = used_sessions.iter().copied().collect();
-        check(
-            used.len() == used_sessions.len(),
-            "duplicate used sessions",
-        )?;
+        check(used.len() == used_sessions.len(), "duplicate used sessions")?;
         let mut emitted = IntervalSet::new(space);
         match current_session {
             Some(cur) => {
@@ -167,7 +182,10 @@ impl SessionCounterGenerator {
                 check(used.is_empty(), "used sessions without a current one")?;
             }
         }
-        check(emitted.measure() == *generated, "emitted measure != generated")?;
+        check(
+            emitted.measure() == *generated,
+            "emitted measure != generated",
+        )?;
         Ok(SessionCounterGenerator {
             space,
             counter_bits: *counter_bits,
@@ -176,6 +194,7 @@ impl SessionCounterGenerator {
             used_sessions: used,
             current_session: *current_session,
             counter: *counter,
+            flushed: *counter,
             generated: *generated,
             emitted,
         })
@@ -200,8 +219,10 @@ impl SessionCounterGenerator {
         loop {
             let s = uniform_below(&mut self.rng, self.sessions_total);
             if self.used_sessions.insert(s) {
+                self.flush(); // retire the exhausted session's range
                 self.current_session = Some(s);
                 self.counter = 0;
+                self.flushed = 0;
                 return Ok(s);
             }
         }
@@ -225,7 +246,6 @@ impl IdGenerator for SessionCounterGenerator {
         let id = Id((session << self.counter_bits) | self.counter);
         self.counter += 1;
         self.generated += 1;
-        self.emitted.insert_point(id);
         Ok(id)
     }
 
@@ -233,19 +253,20 @@ impl IdGenerator for SessionCounterGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
+        self.flush();
         Footprint::Arcs(&self.emitted)
     }
 
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
-            let session = match self.current_session {
-                Some(s) if self.counter < self.counter_capacity() => s,
-                _ => self.open_session()?,
+            match self.current_session {
+                Some(_) if self.counter < self.counter_capacity() => {}
+                _ => {
+                    self.open_session()?;
+                }
             };
             let take = count.min(self.counter_capacity() - self.counter);
-            let first = (session << self.counter_bits) | self.counter;
-            self.emitted.insert(Arc::new(self.space, Id(first), take));
             self.counter += take;
             self.generated += take;
             count -= take;
@@ -255,6 +276,16 @@ impl IdGenerator for SessionCounterGenerator {
 
     fn supports_fast_skip(&self) -> bool {
         true
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256pp::new(seed);
+        self.used_sessions.clear();
+        self.current_session = None;
+        self.counter = 0;
+        self.flushed = 0;
+        self.generated = 0;
+        self.emitted.clear();
     }
 
     fn snapshot(&self) -> Option<GeneratorState> {

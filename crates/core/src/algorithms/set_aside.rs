@@ -56,8 +56,7 @@ impl SetAside {
 
     /// The head universe `[m − (j − i)]` on which Bins(i) runs.
     pub fn head_space(&self) -> IdSpace {
-        IdSpace::new(self.space.size() - self.tail_len)
-            .expect("validated at construction")
+        IdSpace::new(self.space.size() - self.tail_len).expect("validated at construction")
     }
 }
 
@@ -129,8 +128,15 @@ impl IdGenerator for SetAsideGenerator {
         self.generated
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
         Footprint::Arcs(&self.emitted)
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.head.reset(seed);
+        self.tail_emitted = 0;
+        self.generated = 0;
+        self.emitted.clear();
     }
 }
 

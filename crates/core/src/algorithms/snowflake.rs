@@ -84,7 +84,10 @@ impl Snowflake {
         assert!(config.worker_bits > 0, "worker field required");
         assert!(config.sequence_bits > 0, "sequence field required");
         assert!(config.total_bits() <= 127, "layout exceeds 127 bits");
-        assert!(config.requests_per_tick > 0, "requests_per_tick must be > 0");
+        assert!(
+            config.requests_per_tick > 0,
+            "requests_per_tick must be > 0"
+        );
         Snowflake { config }
     }
 
@@ -192,8 +195,22 @@ impl IdGenerator for SnowflakeGenerator {
         self.served as u128
     }
 
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
         Footprint::Points(&self.emitted)
+    }
+
+    fn reset(&mut self, seed: u64) {
+        let mut rng = Xoshiro256pp::new(seed);
+        self.worker = uniform_below(&mut rng, 1u128 << self.config.worker_bits);
+        self.skew = if self.config.max_skew_ticks == 0 {
+            0
+        } else {
+            uniform_below(&mut rng, self.config.max_skew_ticks as u128 + 1) as u64
+        };
+        self.served = 0;
+        self.tick = self.skew;
+        self.seq = 0;
+        self.emitted.clear();
     }
 }
 
@@ -277,14 +294,17 @@ mod tests {
         let cfg = SnowflakeConfig {
             timestamp_bits: 16,
             worker_bits: 4,
-            sequence_bits: 2, // 4 IDs per tick
+            sequence_bits: 2,       // 4 IDs per tick
             requests_per_tick: 100, // logical clock slower than demand
             max_skew_ticks: 0,
         };
         let mut g = SnowflakeGenerator::new(cfg, 3);
         let mut seen = HashSet::new();
         for _ in 0..64 {
-            assert!(seen.insert(g.next_id().unwrap()), "tick bump must avoid reuse");
+            assert!(
+                seen.insert(g.next_id().unwrap()),
+                "tick bump must avoid reuse"
+            );
         }
     }
 

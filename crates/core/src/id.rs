@@ -168,7 +168,11 @@ impl IdSpace {
     pub fn sub(self, id: Id, delta: u128) -> Id {
         debug_assert!(self.contains(id));
         let d = delta % self.m;
-        Id(if id.0 >= d { id.0 - d } else { id.0 + self.m - d })
+        Id(if id.0 >= d {
+            id.0 - d
+        } else {
+            id.0 + self.m - d
+        })
     }
 
     /// The successor of `id` on the cycle (wraps `m − 1 → 0`).

@@ -78,7 +78,7 @@ pub mod prelude {
         Snowflake, SnowflakeConfig,
     };
     pub use crate::id::{Id, IdSpace};
-    pub use crate::state::{restore, GeneratorState, StateError};
     pub use crate::interval::{Arc, IntervalSet};
+    pub use crate::state::{restore, GeneratorState, StateError};
     pub use crate::traits::{Algorithm, Footprint, GeneratorError, IdGenerator};
 }

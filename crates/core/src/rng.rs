@@ -89,10 +89,7 @@ impl Xoshiro256pp {
     #[inline]
     pub fn next_value(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -224,7 +221,10 @@ impl SeedTree {
             SeedDomain::Workload => (0x03, 0),
             SeedDomain::Aux(i) => (0x04, i),
         };
-        mix(self.master ^ (tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15), idx)
+        mix(
+            self.master ^ (tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            idx,
+        )
     }
 
     /// Convenience: a ready-to-use RNG for `domain`.
@@ -266,7 +266,16 @@ mod tests {
     #[test]
     fn uniform_below_respects_bound() {
         let mut rng = Xoshiro256pp::new(7);
-        for bound in [1u128, 2, 3, 7, 20, 1 << 20, (1 << 64) + 12345, u128::MAX / 3] {
+        for bound in [
+            1u128,
+            2,
+            3,
+            7,
+            20,
+            1 << 20,
+            (1 << 64) + 12345,
+            u128::MAX / 3,
+        ] {
             for _ in 0..200 {
                 assert!(uniform_below(&mut rng, bound) < bound);
             }

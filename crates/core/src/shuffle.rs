@@ -40,6 +40,14 @@ impl LazyShuffle {
         }
     }
 
+    /// Returns the sampler to its initial state over `{0, …, n−1}`,
+    /// keeping the displacement map's allocation for reuse.
+    pub fn reset(&mut self, n: u128) {
+        self.n = n;
+        self.drawn = 0;
+        self.displaced.clear();
+    }
+
     /// Size of the underlying set.
     pub fn len(&self) -> u128 {
         self.n

@@ -157,10 +157,7 @@ impl std::error::Error for StateError {}
 /// Validation is defensive — snapshots typically come back from disk —
 /// so structurally impossible states return [`StateError`] instead of
 /// panicking.
-pub fn restore(
-    space: IdSpace,
-    state: &GeneratorState,
-) -> Result<Box<dyn IdGenerator>, StateError> {
+pub fn restore(space: IdSpace, state: &GeneratorState) -> Result<Box<dyn IdGenerator>, StateError> {
     Ok(match state {
         GeneratorState::Random { .. } => Box::new(RandomGenerator::from_state(space, state)?),
         GeneratorState::Cluster { .. } => Box::new(ClusterGenerator::from_state(space, state)?),
@@ -168,9 +165,7 @@ pub fn restore(
         GeneratorState::ClusterStar { .. } => {
             Box::new(ClusterStarGenerator::from_state(space, state)?)
         }
-        GeneratorState::BinsStar { .. } => {
-            Box::new(BinsStarGenerator::from_state(space, state)?)
-        }
+        GeneratorState::BinsStar { .. } => Box::new(BinsStarGenerator::from_state(space, state)?),
         GeneratorState::SessionCounter { .. } => {
             Box::new(SessionCounterGenerator::from_state(space, state)?)
         }
@@ -239,7 +234,7 @@ mod tests {
                 original.next_id().unwrap();
             }
             let snap = original.snapshot().unwrap();
-            let resumed = restore(space, &snap).unwrap();
+            let mut resumed = restore(space, &snap).unwrap();
             assert_eq!(
                 resumed.footprint().measure(),
                 original.footprint().measure(),

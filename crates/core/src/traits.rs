@@ -34,10 +34,9 @@ pub enum GeneratorError {
 impl fmt::Display for GeneratorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GeneratorError::Exhausted { generated } => write!(
-                f,
-                "instance exhausted after generating {generated} IDs"
-            ),
+            GeneratorError::Exhausted { generated } => {
+                write!(f, "instance exhausted after generating {generated} IDs")
+            }
         }
     }
 }
@@ -88,7 +87,25 @@ pub trait IdGenerator: Send {
     fn generated(&self) -> u128;
 
     /// The exact set of IDs produced so far.
-    fn footprint(&self) -> Footprint<'_>;
+    ///
+    /// Takes `&mut self` because arc-structured generators keep their
+    /// footprint *lazy*: [`next_id`](Self::next_id) only bumps counters,
+    /// and the emitted prefix of the open run is folded into the interval
+    /// set here, on demand. Between calls the set always reflects every ID
+    /// emitted so far; the call is amortized O(1) per emitted run.
+    fn footprint(&mut self) -> Footprint<'_>;
+
+    /// Returns the instance to its freshly-constructed state under a new
+    /// seed, reusing allocations (interval-set segment vectors, run lists,
+    /// hash maps) instead of dropping them.
+    ///
+    /// Observationally identical to `algorithm.spawn(seed)`: the ID
+    /// stream, footprints, and error behavior after `reset(seed)` must be
+    /// bit-for-bit those of a fresh instance built with `seed`. This is
+    /// the contract the Monte-Carlo trial engine relies on to run
+    /// millions of trials without per-trial boxing, and it is enforced by
+    /// the differential property tests.
+    fn reset(&mut self, seed: u64);
 
     /// Advances the instance by `count` IDs without materializing them.
     ///
@@ -172,8 +189,12 @@ mod tests {
         fn generated(&self) -> u128 {
             self.next
         }
-        fn footprint(&self) -> Footprint<'_> {
+        fn footprint(&mut self) -> Footprint<'_> {
             Footprint::Points(&self.emitted)
+        }
+        fn reset(&mut self, _seed: u64) {
+            self.next = 0;
+            self.emitted.clear();
         }
     }
 

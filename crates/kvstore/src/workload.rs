@@ -109,7 +109,10 @@ pub fn run_workload(
         config.restart_weight,
     ];
     let total_weight: u32 = weights.iter().sum();
-    assert!(total_weight > 0, "at least one operation weight must be set");
+    assert!(
+        total_weight > 0,
+        "at least one operation weight must be set"
+    );
 
     for _ in 0..config.operations {
         let mut roll = uniform_below(&mut rng, total_weight as u128) as u32;

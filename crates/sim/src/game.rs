@@ -9,6 +9,13 @@
 //!   symbolically: each instance [`skip`](uuidp_core::traits::IdGenerator::skip)s
 //!   its whole demand and only the interval footprints are intersected.
 //!   For arc-structured algorithms this handles `d ≈ 2⁴⁰` in microseconds.
+//!
+//! Both have `_with` variants taking caller-owned scratch
+//! ([`AdaptiveScratch`], [`SymbolicScratch`]) so a Monte-Carlo worker can
+//! play millions of games without re-boxing generators or re-growing
+//! detector maps: instances are recycled through
+//! [`IdGenerator::reset`](uuidp_core::traits::IdGenerator::reset), which
+//! is observationally identical to a fresh spawn.
 
 use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, GameView};
 use uuidp_adversary::profile::DemandProfile;
@@ -16,7 +23,7 @@ use uuidp_core::id::Id;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::{Algorithm, IdGenerator};
 
-use crate::collision::{footprints_collide, OnlineDetector};
+use crate::collision::{footprints_collide_with, CollisionScratch, OnlineDetector};
 
 /// Safety limits for adaptive games.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +41,19 @@ impl Default for GameLimits {
     }
 }
 
-/// The result of one play of the game.
+/// The lean result of one play: just the trial-level booleans the
+/// Monte-Carlo engine aggregates. No allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialOutcome {
+    /// Whether a cross-instance collision occurred.
+    pub collided: bool,
+    /// Whether any instance reported exhaustion when asked for an ID.
+    pub exhausted: bool,
+    /// Whether the [`GameLimits`] cap stopped the game.
+    pub truncated: bool,
+}
+
+/// The result of one play of the game, including the realized demands.
 #[derive(Debug, Clone)]
 pub struct GameOutcome {
     /// Whether a cross-instance collision occurred.
@@ -58,6 +77,36 @@ impl GameOutcome {
     }
 }
 
+/// Reusable worker state for adaptive games.
+///
+/// Holds a pool of generator instances (recycled across games via
+/// `reset`), per-instance ID histories, and the online detector. A
+/// scratch is tied to the algorithm it first played against — do not
+/// share one scratch across different algorithms.
+#[derive(Default)]
+pub struct AdaptiveScratch {
+    pool: Vec<Box<dyn IdGenerator>>,
+    histories: Vec<Vec<Id>>,
+    detector: OnlineDetector,
+    /// Instances activated in the current/last game (prefix of `pool`).
+    active: usize,
+}
+
+impl AdaptiveScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Realized demands of the last game played with this scratch.
+    pub fn demands(&self) -> Vec<u128> {
+        self.histories[..self.active]
+            .iter()
+            .map(|h| h.len() as u128)
+            .collect()
+    }
+}
+
 /// Plays one adaptive game of `adversary` against `algorithm`.
 ///
 /// Instance `i` is seeded from `seeds` under [`SeedDomain::Instance`]`(i)`,
@@ -68,10 +117,29 @@ pub fn run_adaptive(
     seeds: &SeedTree,
     limits: GameLimits,
 ) -> GameOutcome {
+    let mut scratch = AdaptiveScratch::new();
+    let lean = run_adaptive_with(&mut scratch, algorithm, adversary, seeds, limits);
+    GameOutcome {
+        collided: lean.collided,
+        demands: scratch.demands(),
+        exhausted: lean.exhausted,
+        truncated: lean.truncated,
+    }
+}
+
+/// [`run_adaptive`] with caller-owned scratch: generators are recycled
+/// via `reset` instead of re-spawned, histories and the detector keep
+/// their allocations.
+pub fn run_adaptive_with(
+    scratch: &mut AdaptiveScratch,
+    algorithm: &dyn Algorithm,
+    adversary: &mut dyn AdaptiveAdversary,
+    seeds: &SeedTree,
+    limits: GameLimits,
+) -> TrialOutcome {
     let space = algorithm.space();
-    let mut instances: Vec<Box<dyn IdGenerator>> = Vec::new();
-    let mut histories: Vec<Vec<Id>> = Vec::new();
-    let mut detector = OnlineDetector::new();
+    scratch.detector.clear();
+    scratch.active = 0;
     let mut total: u128 = 0;
     let mut exhausted = false;
     let mut truncated = false;
@@ -84,8 +152,8 @@ pub fn run_adaptive(
         let action = {
             let view = GameView {
                 space,
-                histories: &histories,
-                collision: detector.collided(),
+                histories: &scratch.histories[..scratch.active],
+                collision: scratch.detector.collided(),
                 total_requests: total,
             };
             adversary.next_action(&view)
@@ -93,23 +161,30 @@ pub fn run_adaptive(
         let target = match action {
             Action::Stop => break,
             Action::Activate => {
-                let seed = seeds.seed(SeedDomain::Instance(instances.len() as u64));
-                instances.push(algorithm.spawn(seed));
-                histories.push(Vec::new());
-                instances.len() - 1
+                let i = scratch.active;
+                let seed = seeds.seed(SeedDomain::Instance(i as u64));
+                if i < scratch.pool.len() {
+                    scratch.pool[i].reset(seed);
+                    scratch.histories[i].clear();
+                } else {
+                    scratch.pool.push(algorithm.spawn(seed));
+                    scratch.histories.push(Vec::new());
+                }
+                scratch.active += 1;
+                i
             }
             Action::Request(i) => {
-                if i >= instances.len() {
+                if i >= scratch.active {
                     debug_assert!(false, "adversary requested unknown instance {i}");
                     break;
                 }
                 i
             }
         };
-        match instances[target].next_id() {
+        match scratch.pool[target].next_id() {
             Ok(id) => {
-                detector.record(target, id);
-                histories[target].push(id);
+                scratch.detector.record(target, id);
+                scratch.histories[target].push(id);
                 total += 1;
             }
             Err(_) => {
@@ -121,11 +196,36 @@ pub fn run_adaptive(
         }
     }
 
-    GameOutcome {
-        collided: detector.collided(),
-        demands: histories.iter().map(|h| h.len() as u128).collect(),
+    TrialOutcome {
+        collided: scratch.detector.collided(),
         exhausted,
         truncated,
+    }
+}
+
+/// Reusable worker state for symbolic oblivious games: one recycled
+/// generator per profile instance plus the collision scratch. Tied to
+/// the algorithm it first played against.
+#[derive(Default)]
+pub struct SymbolicScratch {
+    instances: Vec<Box<dyn IdGenerator>>,
+    collision: CollisionScratch,
+    /// Instances used by the current/last game (prefix of `instances`).
+    active: usize,
+}
+
+impl SymbolicScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Realized demands of the last game played with this scratch.
+    pub fn demands(&self) -> Vec<u128> {
+        self.instances[..self.active]
+            .iter()
+            .map(|g| g.generated())
+            .collect()
     }
 }
 
@@ -140,23 +240,46 @@ pub fn run_oblivious_symbolic(
     profile: &DemandProfile,
     seeds: &SeedTree,
 ) -> GameOutcome {
-    let mut instances: Vec<Box<dyn IdGenerator>> = Vec::with_capacity(profile.n());
+    let mut scratch = SymbolicScratch::new();
+    let lean = run_oblivious_symbolic_with(&mut scratch, algorithm, profile, seeds);
+    GameOutcome {
+        collided: lean.collided,
+        demands: scratch.demands(),
+        exhausted: lean.exhausted,
+        truncated: lean.truncated,
+    }
+}
+
+/// [`run_oblivious_symbolic`] with caller-owned scratch: generators are
+/// recycled via `reset`, and collision detection reuses its segment
+/// table and point map.
+pub fn run_oblivious_symbolic_with(
+    scratch: &mut SymbolicScratch,
+    algorithm: &dyn Algorithm,
+    profile: &DemandProfile,
+    seeds: &SeedTree,
+) -> TrialOutcome {
+    let n = profile.n();
     let mut exhausted = false;
-    let mut demands = Vec::with_capacity(profile.n());
+    scratch.active = n;
     for (i, &d) in profile.demands().iter().enumerate() {
         let seed = seeds.seed(SeedDomain::Instance(i as u64));
-        let mut gen = algorithm.spawn(seed);
-        if gen.skip(d).is_err() {
+        if i < scratch.instances.len() {
+            scratch.instances[i].reset(seed);
+        } else {
+            scratch.instances.push(algorithm.spawn(seed));
+        }
+        if scratch.instances[i].skip(d).is_err() {
             exhausted = true;
         }
-        demands.push(gen.generated());
-        instances.push(gen);
     }
-    let footprints: Vec<_> = instances.iter().map(|g| g.footprint()).collect();
-    let collided = footprints_collide(&footprints);
-    GameOutcome {
+    let footprints: Vec<_> = scratch.instances[..n]
+        .iter_mut()
+        .map(|g| g.footprint())
+        .collect();
+    let collided = footprints_collide_with(&mut scratch.collision, &footprints);
+    TrialOutcome {
         collided,
-        demands,
         exhausted,
         truncated: false,
     }
@@ -190,6 +313,47 @@ mod tests {
             }
         }
         assert_eq!(disagreements, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_replays_identically() {
+        // Playing through one reused scratch must give the same outcomes
+        // as fresh scratches: reset is observationally a fresh spawn.
+        let space = IdSpace::new(512).unwrap();
+        let alg = Cluster::new(space);
+        let profile = DemandProfile::new(vec![16, 48, 32]);
+        let mut scratch = SymbolicScratch::new();
+        for master in 0..300u64 {
+            let seeds = SeedTree::new(master);
+            let reused = run_oblivious_symbolic_with(&mut scratch, &alg, &profile, &seeds);
+            let fresh = run_oblivious_symbolic(&alg, &profile, &seeds);
+            assert_eq!(reused.collided, fresh.collided, "master {master}");
+            assert_eq!(reused.exhausted, fresh.exhausted);
+        }
+    }
+
+    #[test]
+    fn adaptive_scratch_reuse_replays_identically() {
+        let space = IdSpace::new(256).unwrap();
+        let alg = Cluster::new(space);
+        let profile = DemandProfile::new(vec![12, 20]);
+        let mut scratch = AdaptiveScratch::new();
+        for master in 0..200u64 {
+            let seeds = SeedTree::new(master);
+            let spec = Oblivious::new(profile.clone());
+            let mut adv = spec.spawn(0);
+            let reused = run_adaptive_with(
+                &mut scratch,
+                &alg,
+                adv.as_mut(),
+                &seeds,
+                GameLimits::default(),
+            );
+            let mut adv2 = spec.spawn(0);
+            let fresh = run_adaptive(&alg, adv2.as_mut(), &seeds, GameLimits::default());
+            assert_eq!(reused.collided, fresh.collided, "master {master}");
+            assert_eq!(scratch.demands(), fresh.demands);
+        }
     }
 
     #[test]
@@ -243,12 +407,7 @@ mod tests {
         let space = IdSpace::new(1 << 20).unwrap();
         let alg = Cluster::new(space);
         let seeds = SeedTree::new(2);
-        let out = run_adaptive(
-            &alg,
-            &mut Forever,
-            &seeds,
-            GameLimits { max_requests: 100 },
-        );
+        let out = run_adaptive(&alg, &mut Forever, &seeds, GameLimits { max_requests: 100 });
         assert!(out.truncated);
         assert_eq!(out.demands.iter().sum::<u128>(), 100);
     }

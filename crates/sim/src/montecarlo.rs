@@ -3,16 +3,31 @@
 //! Every trial is seeded deterministically from `(master_seed, trial
 //! index)` via [`SeedTree`], so estimates are exactly reproducible and any
 //! single colliding trial can be replayed in isolation. Trials are
-//! embarrassingly parallel; they are sharded over scoped threads.
+//! embarrassingly parallel; the engine runs them over scoped threads with
+//! **chunked dynamic work-stealing**: workers claim fixed-size chunks of
+//! trial indices from a shared atomic counter, so stragglers (e.g. the
+//! rare trial that opens many runs) don't idle the other cores the way
+//! static striping does. Because a trial's outcome is a pure function of
+//! its index, the aggregate counts are bit-identical for every thread
+//! count and every interleaving.
+//!
+//! Each worker owns reusable scratch ([`SymbolicScratch`] /
+//! [`AdaptiveScratch`]): generators are recycled across trials through
+//! [`IdGenerator::reset`](uuidp_core::traits::IdGenerator::reset) instead
+//! of being re-boxed, and the collision detectors keep their maps. A
+//! worker's steady-state trial allocates almost nothing.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use uuidp_adversary::adaptive::AdversarySpec;
 use uuidp_adversary::profile::DemandProfile;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::Algorithm;
 
-use crate::game::{run_adaptive, run_oblivious_symbolic, GameLimits};
+use crate::game::{
+    run_adaptive_with, run_oblivious_symbolic_with, AdaptiveScratch, GameLimits, SymbolicScratch,
+    TrialOutcome,
+};
 use crate::stats::Estimate;
 
 /// Configuration of a Monte-Carlo estimation.
@@ -26,6 +41,9 @@ pub struct TrialConfig {
     pub threads: usize,
     /// Limits applied to each adaptive game.
     pub limits: GameLimits,
+    /// Trials claimed per work-stealing grab (0 = auto-size from the
+    /// trial count and thread count).
+    pub chunk: u64,
 }
 
 impl TrialConfig {
@@ -36,6 +54,7 @@ impl TrialConfig {
             master_seed,
             threads: 0,
             limits: GameLimits::default(),
+            chunk: 0,
         }
     }
 
@@ -47,6 +66,15 @@ impl TrialConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+
+    /// Chunk size actually used: large enough to amortize the atomic
+    /// claim, small enough that every worker gets many grabs.
+    fn effective_chunk(&self, threads: usize) -> u64 {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        (self.trials / (threads as u64 * 32)).clamp(1, 1024)
     }
 }
 
@@ -66,10 +94,13 @@ pub fn estimate_oblivious(
     profile: &DemandProfile,
     config: TrialConfig,
 ) -> (Estimate, RunDiagnostics) {
-    run_sharded(config, |tree| {
-        let out = run_oblivious_symbolic(algorithm, profile, tree);
-        (out.collided, out.exhausted, out.truncated)
-    })
+    run_sharded(
+        config,
+        SymbolicScratch::new,
+        |tree, scratch: &mut SymbolicScratch| {
+            run_oblivious_symbolic_with(scratch, algorithm, profile, tree)
+        },
+    )
 }
 
 /// Estimates the adaptive collision probability `p_A(Z)` by playing the
@@ -79,39 +110,63 @@ pub fn estimate_adaptive(
     adversary: &dyn AdversarySpec,
     config: TrialConfig,
 ) -> (Estimate, RunDiagnostics) {
-    run_sharded(config, |tree| {
-        let mut adv = adversary.spawn(tree.seed(SeedDomain::Adversary));
-        let out = run_adaptive(algorithm, adv.as_mut(), tree, config.limits);
-        (out.collided, out.exhausted, out.truncated)
-    })
+    run_sharded(
+        config,
+        AdaptiveScratch::new,
+        |tree, scratch: &mut AdaptiveScratch| {
+            let mut adv = adversary.spawn(tree.seed(SeedDomain::Adversary));
+            run_adaptive_with(scratch, algorithm, adv.as_mut(), tree, config.limits)
+        },
+    )
 }
 
-/// Shards `trials` over threads; `play` maps a per-trial seed tree to
-/// `(collided, exhausted, truncated)`.
-fn run_sharded<F>(config: TrialConfig, play: F) -> (Estimate, RunDiagnostics)
+/// The reusable trial engine: distributes `config.trials` over worker
+/// threads by chunked work-stealing; `init` builds one scratch per
+/// worker, `play` maps a per-trial seed tree (plus the worker's scratch)
+/// to a [`TrialOutcome`].
+///
+/// Determinism: `play` must be a pure function of the seed tree given
+/// equivalent scratch state (the `reset` contract), so the summed counts
+/// are independent of scheduling and thread count.
+fn run_sharded<W, I, F>(config: TrialConfig, init: I, play: F) -> (Estimate, RunDiagnostics)
 where
-    F: Fn(&SeedTree) -> (bool, bool, bool) + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&SeedTree, &mut W) -> TrialOutcome + Sync,
 {
     assert!(config.trials > 0, "at least one trial required");
     let root = SeedTree::new(config.master_seed);
-    let threads = config.effective_threads().min(config.trials as usize).max(1);
-    let results: Vec<(u64, u64, u64)> = thread::scope(|scope| {
+    let threads = config
+        .effective_threads()
+        .min(config.trials as usize)
+        .max(1);
+    let chunk = config.effective_chunk(threads);
+    let next_chunk = AtomicU64::new(0);
+
+    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads as u64 {
+        for _ in 0..threads {
             let root = &root;
+            let init = &init;
             let play = &play;
-            handles.push(scope.spawn(move |_| {
+            let next_chunk = &next_chunk;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
                 let mut collisions = 0u64;
                 let mut exhausted = 0u64;
                 let mut truncated = 0u64;
-                let mut t = worker;
-                while t < config.trials {
-                    let tree = root.trial(t);
-                    let (c, e, tr) = play(&tree);
-                    collisions += c as u64;
-                    exhausted += e as u64;
-                    truncated += tr as u64;
-                    t += threads as u64;
+                loop {
+                    let start = next_chunk.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= config.trials {
+                        break;
+                    }
+                    let end = (start + chunk).min(config.trials);
+                    for t in start..end {
+                        let tree = root.trial(t);
+                        let out = play(&tree, &mut scratch);
+                        collisions += out.collided as u64;
+                        exhausted += out.exhausted as u64;
+                        truncated += out.truncated as u64;
+                    }
                 }
                 (collisions, exhausted, truncated)
             }));
@@ -120,8 +175,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let collisions: u64 = results.iter().map(|r| r.0).sum();
     let exhausted: u64 = results.iter().map(|r| r.1).sum();
@@ -152,7 +206,21 @@ mod tests {
         let (e1, _) = estimate_oblivious(&alg, &profile, cfg);
         cfg.threads = 4;
         let (e4, _) = estimate_oblivious(&alg, &profile, cfg);
-        assert_eq!(e1.successes, e4.successes, "sharding must not change trials");
+        assert_eq!(
+            e1.successes, e4.successes,
+            "sharding must not change trials"
+        );
+        // Work-stealing chunk size must not change the counts either.
+        cfg.chunk = 7;
+        let (e7, _) = estimate_oblivious(&alg, &profile, cfg);
+        assert_eq!(
+            e1.successes, e7.successes,
+            "chunking must not change trials"
+        );
+        cfg.threads = 3;
+        cfg.chunk = 1;
+        let (e3, _) = estimate_oblivious(&alg, &profile, cfg);
+        assert_eq!(e1.successes, e3.successes);
     }
 
     #[test]

@@ -94,10 +94,7 @@ pub fn loglog_slope(points: &[(f64, f64)]) -> LogLogFit {
     let mean_x = logs.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = logs.iter().map(|p| p.1).sum::<f64>() / n;
     let sxx: f64 = logs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = logs
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = logs.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     assert!(sxx > 0.0, "x values must not all coincide");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;

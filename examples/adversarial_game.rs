@@ -32,13 +32,13 @@ fn main() {
 
     // Oblivious baseline: the same budget spent blindly (uniform profile).
     let uniform = DemandProfile::uniform(n, d / n as u128);
-    println!("{:<12} {:<24} {:>12}", "algorithm", "adversary", "p(collision)");
+    println!(
+        "{:<12} {:<24} {:>12}",
+        "algorithm", "adversary", "p(collision)"
+    );
     for alg in &algorithms {
-        let (baseline, _) = estimate_oblivious(
-            alg.as_ref(),
-            &uniform,
-            TrialConfig::new(trials * 4, 0xA11),
-        );
+        let (baseline, _) =
+            estimate_oblivious(alg.as_ref(), &uniform, TrialConfig::new(trials * 4, 0xA11));
         println!(
             "{:<12} {:<24} {:>12.5}",
             alg.name(),
@@ -46,9 +46,17 @@ fn main() {
             baseline.p_hat
         );
         for attack in &attacks {
-            let (est, _) =
-                estimate_adaptive(alg.as_ref(), attack.as_ref(), TrialConfig::new(trials, 0xA11));
-            println!("{:<12} {:<24} {:>12.5}", alg.name(), attack.name(), est.p_hat);
+            let (est, _) = estimate_adaptive(
+                alg.as_ref(),
+                attack.as_ref(),
+                TrialConfig::new(trials, 0xA11),
+            );
+            println!(
+                "{:<12} {:<24} {:>12.5}",
+                alg.name(),
+                attack.name(),
+                est.p_hat
+            );
         }
         println!();
     }

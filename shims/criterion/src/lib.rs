@@ -1,0 +1,301 @@
+//! Offline shim for `criterion` (see `shims/README.md`).
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — with real wall-clock
+//! measurement: warm-up, auto-calibrated iteration counts, and the
+//! median over timed samples. No statistical regression analysis, no
+//! HTML reports; output is one line per benchmark.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 11;
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Per-iteration throughput annotation, echoed in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched aggressively).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally `function/parameter`-structured.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An ID with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An ID that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, set by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` by timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std_black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+        let batch = ((SAMPLE_TARGET.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.ns_per_iter = median(&mut samples) * 1e9;
+    }
+
+    /// Benchmarks `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up / calibrate.
+        let mut per_call;
+        let mut probe = 4u64;
+        loop {
+            let inputs: Vec<I> = (0..probe).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            per_call = t.elapsed().as_secs_f64() / probe as f64;
+            if t.elapsed() >= Duration::from_millis(5) || probe >= 1 << 20 {
+                break;
+            }
+            probe *= 4;
+        }
+        let batch = ((SAMPLE_TARGET.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.ns_per_iter = median(&mut samples) * 1e9;
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    samples[samples.len() / 2]
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id.id);
+        let ns = bencher.ns_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>12}/s", si(n as f64 / (ns * 1e-9), "elem"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:>12}/s", si(n as f64 / (ns * 1e-9), "B"))
+            }
+            None => String::new(),
+        };
+        println!("{full:<56} time: {:>12}{rate}", fmt_ns(ns));
+        self.criterion.results.push((full, ns));
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's API).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_owned(),
+            throughput: None,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept and
+            // allow a substring filter as the first free argument (unused).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(4));
+            g.bench_function(BenchmarkId::from_parameter("mul"), |b| {
+                b.iter(|| std::hint::black_box(7u64).wrapping_mul(9))
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 3u64, |x| x.wrapping_mul(11), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+    }
+}

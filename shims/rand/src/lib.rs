@@ -1,0 +1,94 @@
+//! Offline shim for the `rand` crate (see `shims/README.md`).
+//!
+//! Provides the three-method [`RngCore`] trait the workspace's own PRNGs
+//! implement, plus [`rng`] as an OS-entropy-seeded generator for the
+//! CLI's non-deterministic default mode.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The core RNG interface (the subset of `rand::RngCore` in use).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A process-local generator seeded from environmental entropy.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl ThreadRng {
+    #[inline]
+    fn splitmix(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.splitmix() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.splitmix()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.splitmix().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Returns a generator seeded from ambient entropy (hasher randomness,
+/// wall clock, and a process-wide counter). Not cryptographic — neither
+/// is `rand::rng()`.
+pub fn rng() -> ThreadRng {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // RandomState draws per-process random keys from the OS.
+    let hasher_entropy = RandomState::new().build_hasher().finish();
+    let clock = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    ThreadRng {
+        state: hasher_entropy ^ clock.rotate_left(32) ^ count.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_bytes_covers_buffer() {
+        let mut r = rng();
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 zero bytes from a random source is a 2^-104 event.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn successive_rngs_differ() {
+        let (mut a, mut b) = (rng(), rng());
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

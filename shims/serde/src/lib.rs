@@ -1,0 +1,15 @@
+//! Offline shim for `serde` (see `shims/README.md`).
+//!
+//! Marker traits only: the workspace annotates snapshot types for
+//! downstream persistence but contains no format crate, so no actual
+//! serialization methods are required. The derive macros expand to
+//! nothing; these traits exist so `use serde::{Serialize, Deserialize}`
+//! resolves in both the type and macro namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on snapshot types but
+//! never serializes through a format crate, so the derives can expand to
+//! nothing. Swapping in the real serde restores full functionality
+//! without touching the annotated types.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,14 @@
+//! # uuidp — umbrella crate
+//!
+//! Re-exports the workspace's library crates under one roof so the
+//! integration tests in `tests/` and the walkthroughs in `examples/`
+//! can depend on a single package. Library users should depend on the
+//! individual `uuidp-*` crates instead.
+
+#![warn(missing_docs)]
+
+pub use uuidp_adversary as adversary;
+pub use uuidp_analysis as analysis;
+pub use uuidp_core as core;
+pub use uuidp_kvstore as kvstore;
+pub use uuidp_sim as sim;

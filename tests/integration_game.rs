@@ -61,8 +61,7 @@ fn request_interleaving_does_not_change_collision_statistics() {
             for master in 0..400u64 {
                 let seeds = SeedTree::new(master);
                 let mut adv = spec.spawn(9);
-                let out =
-                    run_adaptive(alg.as_ref(), adv.as_mut(), &seeds, GameLimits::default());
+                let out = run_adaptive(alg.as_ref(), adv.as_mut(), &seeds, GameLimits::default());
                 collisions += out.collided as u32;
             }
             estimates.push(collisions);

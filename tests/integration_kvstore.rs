@@ -54,8 +54,12 @@ impl IdGenerator for ConstantGen {
     fn generated(&self) -> u128 {
         self.next
     }
-    fn footprint(&self) -> Footprint<'_> {
+    fn footprint(&mut self) -> Footprint<'_> {
         Footprint::Arcs(&self.emitted)
+    }
+    fn reset(&mut self, _seed: u64) {
+        self.next = 0;
+        self.emitted.clear();
     }
 }
 
@@ -71,7 +75,10 @@ fn forced_collisions_always_surface_as_corruption() {
     assert_eq!(dep.audit().id_collisions().len(), 1);
     // Instance 0 warms the cache; instance 1's read is served 0's data.
     assert!(dep.read(0, 0, 0));
-    assert!(!dep.read(1, 0, 0), "aliased read must be detected as corrupt");
+    assert!(
+        !dep.read(1, 0, 0),
+        "aliased read must be detected as corrupt"
+    );
     assert_eq!(dep.audit().corruptions().len(), 1);
 }
 
@@ -176,7 +183,10 @@ fn exact_resume_restart_continues_the_id_stream() {
             let a = steady.flush(i, 2).unwrap();
             let b = crashy.flush(i, 2).unwrap();
             assert_eq!(a.unique_id, b.unique_id, "resume must not fork the stream");
-            assert!(crashy.restart_instance_resumed(i), "cluster supports resume");
+            assert!(
+                crashy.restart_instance_resumed(i),
+                "cluster supports resume"
+            );
         }
     }
     assert_eq!(crashy.audit().id_collisions().len(), 0);

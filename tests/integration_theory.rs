@@ -75,8 +75,7 @@ fn bins_matches_disjoint_bin_counting() {
             let profile = DemandProfile::new(demands.clone());
             let exact = bins_exact(&profile, k, m);
             let trials = ((300.0 / exact) as u64).clamp(10_000, 400_000);
-            let (est, _) =
-                estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(trials, 4));
+            let (est, _) = estimate_oblivious(alg.as_ref(), &profile, TrialConfig::new(trials, 4));
             assert!(
                 close(est.p_hat, exact, 0.15),
                 "k={k} {demands:?}: measured {} vs exact {exact}",

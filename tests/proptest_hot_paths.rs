@@ -1,0 +1,229 @@
+//! Differential property tests for this PR's zero-allocation hot paths.
+//!
+//! Two families:
+//!
+//! * the `IntervalSet` fast paths (in-place segment extension, the gap
+//!   cursor behind `count_fitting_starts` / `sample_fitting_start`,
+//!   `clear`-based reuse) against a brute-force point-set model;
+//! * `IdGenerator::reset(seed)` against a freshly constructed generator
+//!   — the contract the Monte-Carlo trial engine's generator recycling
+//!   rests on: reset must be *observationally identical* to a fresh
+//!   spawn, including snapshots and footprints.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use uuidp_core::algorithms::{AlgorithmKind, SessionCounter, Snowflake, SnowflakeConfig};
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::{Arc, IntervalSet};
+use uuidp_core::rng::Xoshiro256pp;
+use uuidp_core::traits::{Algorithm, Footprint, IdGenerator};
+
+fn suite(space: IdSpace) -> Vec<Box<dyn Algorithm>> {
+    vec![
+        AlgorithmKind::Random.build(space),
+        AlgorithmKind::Cluster.build(space),
+        AlgorithmKind::Bins { k: 32 }.build(space),
+        AlgorithmKind::ClusterStar.build(space),
+        AlgorithmKind::BinsStar.build(space),
+        AlgorithmKind::BinsStarMaxFit.build(space),
+        AlgorithmKind::SetAside { i: 6, j: 40 }.build(space),
+        Box::new(SessionCounter::new(9, 5)),
+        Box::new(Snowflake::new(SnowflakeConfig {
+            timestamp_bits: 10,
+            worker_bits: 5,
+            sequence_bits: 5,
+            requests_per_tick: 4,
+            max_skew_ticks: 4, // nonzero so reset must redraw worker AND skew
+        })),
+    ]
+}
+
+/// Asserts two generators are observationally equal: same counters, same
+/// footprints, and (where supported) identical snapshots.
+fn assert_observationally_equal(
+    a: &mut Box<dyn IdGenerator>,
+    b: &mut Box<dyn IdGenerator>,
+    context: &str,
+) {
+    assert_eq!(a.generated(), b.generated(), "{context}: generated differs");
+    assert_eq!(a.snapshot(), b.snapshot(), "{context}: snapshot differs");
+    match (a.footprint(), b.footprint()) {
+        (Footprint::Arcs(sa), Footprint::Arcs(sb)) => {
+            assert_eq!(sa.measure(), sb.measure(), "{context}: measure differs");
+            assert_eq!(
+                sa.intersection_measure_set(sb),
+                sa.measure(),
+                "{context}: footprints differ as sets"
+            );
+        }
+        (Footprint::Points(pa), Footprint::Points(pb)) => {
+            assert_eq!(pa, pb, "{context}: point footprints differ");
+        }
+        _ => panic!("{context}: footprint kinds differ"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    // -----------------------------------------------------------------
+    // IntervalSet fast paths vs the brute-force point-set model.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn extend_heavy_insertion_matches_model(
+        ops in prop::collection::vec((0u128..160, 1u128..24, 0u128..6), 1..40),
+    ) {
+        // Ops are biased toward the emitter pattern: mostly short forward
+        // extensions from a moving cursor, with occasional far jumps —
+        // exactly what exercises the hint fast path and its invalidation.
+        let m = 160u128;
+        let space = IdSpace::new(m).unwrap();
+        let mut set = IntervalSet::new(space);
+        let mut model: HashSet<u128> = HashSet::new();
+        let mut cursor = 0u128;
+        for (jump, len, mode) in ops {
+            let start = if mode == 0 { jump } else { cursor };
+            let arc = Arc::new(space, Id(start % m), len);
+            set.insert(arc);
+            for i in 0..len {
+                model.insert((start % m + i) % m);
+            }
+            cursor = (start + len) % m;
+            set.assert_invariants();
+        }
+        prop_assert_eq!(set.measure(), model.len() as u128);
+        for v in 0..m {
+            prop_assert_eq!(set.contains(Id(v)), model.contains(&v), "id {}", v);
+        }
+        // Gap cursor totals and fitting counts against brute force.
+        let gap_total: u128 = set.gaps().iter().map(|g| g.len).sum();
+        prop_assert_eq!(gap_total, m - model.len() as u128);
+        for len in [1u128, 2, 7, 33] {
+            let brute = (0..m)
+                .filter(|&x| !set.intersects_arc(Arc::new(space, Id(x), len)))
+                .count() as u128;
+            prop_assert_eq!(set.count_fitting_starts(len), brute, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn sampled_fitting_starts_are_valid_and_exhaustive(
+        arcs in prop::collection::vec((0u128..96, 1u128..16), 0..14),
+        len in 1u128..12,
+        seed in any::<u64>(),
+    ) {
+        let m = 96u128;
+        let space = IdSpace::new(m).unwrap();
+        let mut set = IntervalSet::new(space);
+        for (start, alen) in arcs {
+            set.insert(Arc::new(space, Id(start), alen));
+        }
+        let valid: HashSet<u128> = (0..m)
+            .filter(|&x| !set.intersects_arc(Arc::new(space, Id(x), len)))
+            .collect();
+        let mut rng = Xoshiro256pp::new(seed);
+        match set.sample_fitting_start(&mut rng, len) {
+            Some(x) => prop_assert!(valid.contains(&x.value()), "invalid start {}", x),
+            None => prop_assert!(valid.is_empty(), "missed {} valid starts", valid.len()),
+        }
+        // Repeated draws only ever land on valid starts.
+        for _ in 0..16 {
+            if let Some(x) = set.sample_fitting_start(&mut rng, len) {
+                prop_assert!(valid.contains(&x.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn cleared_set_behaves_like_fresh(
+        first in prop::collection::vec((0u128..64, 1u128..10), 0..10),
+        second in prop::collection::vec((0u128..64, 1u128..10), 0..10),
+    ) {
+        let space = IdSpace::new(64).unwrap();
+        let mut reused = IntervalSet::new(space);
+        for &(s, l) in &first {
+            reused.insert(Arc::new(space, Id(s), l));
+        }
+        reused.clear();
+        let mut fresh = IntervalSet::new(space);
+        for &(s, l) in &second {
+            reused.insert(Arc::new(space, Id(s), l));
+            fresh.insert(Arc::new(space, Id(s), l));
+        }
+        reused.assert_invariants();
+        prop_assert_eq!(reused.measure(), fresh.measure());
+        prop_assert_eq!(reused.segment_count(), fresh.segment_count());
+        for v in 0..64u128 {
+            prop_assert_eq!(reused.contains(Id(v)), fresh.contains(Id(v)));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // reset(seed) ≡ fresh spawn(seed), across all algorithms.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn reset_is_observationally_a_fresh_spawn(
+        dirty_seed in any::<u64>(),
+        seed in any::<u64>(),
+        dirty_ops in 0u128..120,
+        checked_ops in 1u128..120,
+    ) {
+        let space = IdSpace::new(1 << 14).unwrap();
+        for alg in suite(space) {
+            // Dirty a generator with a different seed and some traffic...
+            let mut recycled = alg.spawn(dirty_seed);
+            for _ in 0..dirty_ops {
+                if recycled.next_id().is_err() {
+                    break;
+                }
+            }
+            let _ = recycled.footprint(); // force flush paths to populate state
+            // ...then reset and race it against a pristine instance.
+            recycled.reset(seed);
+            let mut fresh = alg.spawn(seed);
+            assert_observationally_equal(&mut recycled, &mut fresh, &alg.name());
+            for step in 0..checked_ops {
+                let a = recycled.next_id();
+                let b = fresh.next_id();
+                match (&a, &b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(
+                        x, y, "{} diverged at step {}", alg.name(), step
+                    ),
+                    (Err(_), Err(_)) => break,
+                    _ => prop_assert!(false, "{}: exhaustion mismatch", alg.name()),
+                }
+            }
+            assert_observationally_equal(&mut recycled, &mut fresh, &alg.name());
+        }
+    }
+
+    #[test]
+    fn reset_equivalence_survives_bulk_skips(
+        seed in any::<u64>(),
+        skip in 1u128..600,
+        tail in 1u128..40,
+    ) {
+        let space = IdSpace::new(1 << 14).unwrap();
+        for alg in suite(space) {
+            let mut recycled = alg.spawn(seed.wrapping_add(1));
+            let _ = recycled.skip(skip / 2);
+            recycled.reset(seed);
+            let mut fresh = alg.spawn(seed);
+            let ra = recycled.skip(skip);
+            let rb = fresh.skip(skip);
+            prop_assert_eq!(ra.is_ok(), rb.is_ok(), "{}: skip outcome", alg.name());
+            assert_observationally_equal(&mut recycled, &mut fresh, &alg.name());
+            for _ in 0..tail {
+                match (recycled.next_id(), fresh.next_id()) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", alg.name()),
+                    (Err(_), Err(_)) => break,
+                    _ => prop_assert!(false, "{}: exhaustion mismatch", alg.name()),
+                }
+            }
+        }
+    }
+}

@@ -6,12 +6,12 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use uuidp_adversary::profile::{prev_power_of_two, DemandProfile};
+use uuidp_analysis::inequalities::{lemma13_bounds, lemma15_compare, lemma21_sides};
 use uuidp_core::algorithms::AlgorithmKind;
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::{Arc, IntervalSet};
 use uuidp_core::rng::Xoshiro256pp;
 use uuidp_core::shuffle::LazyShuffle;
-use uuidp_analysis::inequalities::{lemma13_bounds, lemma15_compare, lemma21_sides};
 
 // ---------------------------------------------------------------------
 // IntervalSet vs a naive HashSet model.
