@@ -66,6 +66,20 @@ pub trait AdaptiveAdversary: Send {
     /// `view.collision` is true — the game is already won and further
     /// requests only dilute the competitive denominator.
     fn next_action(&mut self, view: &GameView<'_>) -> Action;
+
+    /// Returns the strategy to its freshly-spawned state under a new
+    /// seed, reusing allocations (history indexes, issued-count vectors)
+    /// instead of dropping them.
+    ///
+    /// Mirror of [`IdGenerator::reset`]: observationally identical to
+    /// `spec.spawn(seed)` — the action stream against any transcript must
+    /// be exactly that of a fresh strategy spawned with `seed`. This is
+    /// what lets the Monte-Carlo adaptive engine recycle one boxed
+    /// strategy per worker across millions of trials instead of re-boxing
+    /// via [`AdversarySpec::spawn`] each time.
+    ///
+    /// [`IdGenerator::reset`]: uuidp_core::traits::IdGenerator::reset
+    fn reset(&mut self, seed: u64);
 }
 
 /// A named, reusable adversary configuration that spawns fresh strategies

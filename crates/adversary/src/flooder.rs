@@ -69,6 +69,10 @@ struct BalancedFloodRun {
 }
 
 impl AdaptiveAdversary for BalancedFloodRun {
+    fn reset(&mut self, _seed: u64) {
+        self.cursor = 0;
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         if (self.stop_on_collision && view.collision) || view.total_requests >= self.budget {
             return Action::Stop;
@@ -116,6 +120,10 @@ struct SkewedFloodRun {
 }
 
 impl AdaptiveAdversary for SkewedFloodRun {
+    fn reset(&mut self, _seed: u64) {
+        // Stateless between games: the strategy reads only the view.
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         if view.collision || view.total_requests >= self.budget {
             return Action::Stop;

@@ -58,6 +58,10 @@ struct NearestPairRun {
 }
 
 impl AdaptiveAdversary for NearestPairRun {
+    fn reset(&mut self, _seed: u64) {
+        self.target = None;
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         if view.collision {
             return Action::Stop;

@@ -103,6 +103,12 @@ impl ObliviousRun {
 }
 
 impl AdaptiveAdversary for ObliviousRun {
+    fn reset(&mut self, seed: u64) {
+        self.issued.iter_mut().for_each(|i| *i = 0);
+        self.rng = Xoshiro256pp::new(seed);
+        self.cursor = 0;
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         // Oblivious: never look at the produced IDs or the collision flag.
         if self.remaining_total() == 0 {
@@ -222,5 +228,39 @@ mod tests {
         let spec = Oblivious::new(p);
         assert!(spec.name().contains("n=2"));
         assert!(spec.name().contains("d=4"));
+    }
+
+    #[test]
+    fn reset_is_observationally_a_fresh_spawn() {
+        // RandomInterleave is the seed-sensitive order: the action stream
+        // of a recycled strategy after reset(seed) must equal a fresh
+        // spawn(seed)'s, step for step.
+        let p = DemandProfile::new(vec![2, 7, 1, 3]);
+        let spec = Oblivious::with_order(p, RequestOrder::RandomInterleave);
+        let space = IdSpace::new(1 << 20).unwrap();
+        let mut recycled = spec.spawn(0);
+        for seed in [1u64, 7, 42, 0xDEAD] {
+            recycled.reset(seed);
+            let mut fresh = spec.spawn(seed);
+            let mut histories: Vec<Vec<Id>> = Vec::new();
+            let mut total = 0u128;
+            loop {
+                let view = GameView {
+                    space,
+                    histories: &histories,
+                    collision: false,
+                    total_requests: total,
+                };
+                let a = recycled.next_action(&view);
+                let b = fresh.next_action(&view);
+                assert_eq!(a, b, "seed {seed}: recycled diverged at step {total}");
+                match a {
+                    Action::Activate => histories.push(vec![Id(total)]),
+                    Action::Request(i) => histories[i].push(Id(total)),
+                    Action::Stop => break,
+                }
+                total += 1;
+            }
+        }
     }
 }

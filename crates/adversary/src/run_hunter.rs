@@ -97,6 +97,11 @@ impl RunHunterRun {
 }
 
 impl AdaptiveAdversary for RunHunterRun {
+    fn reset(&mut self, _seed: u64) {
+        self.emitted.clear();
+        self.indexed_upto.clear();
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         if view.collision {
             return Action::Stop;
@@ -203,5 +208,26 @@ mod tests {
         let view = view_of(&histories, space, false);
         // Budget of 2 is already spent by the probes.
         assert_eq!(adv.next_action(&view), Action::Stop);
+    }
+
+    #[test]
+    fn reset_drops_the_emitted_index() {
+        let space = IdSpace::new(1000).unwrap();
+        let spec = RunHunter::new(2, 50);
+        let mut adv = spec.spawn(0);
+        let histories = vec![vec![Id(10)], vec![Id(20)]];
+        let view = view_of(&histories, space, false);
+        // Index the transcript, then recycle.
+        assert!(matches!(adv.next_action(&view), Action::Request(_)));
+        adv.reset(1);
+        // A fresh game: the recycled hunter must re-probe from scratch and
+        // must not remember the stale transcript's IDs.
+        let empty: Vec<Vec<Id>> = Vec::new();
+        let view = view_of(&empty, space, false);
+        assert_eq!(adv.next_action(&view), Action::Activate);
+        let histories = vec![vec![Id(500)], vec![Id(503)]];
+        let view = view_of(&histories, space, false);
+        // Only the new transcript's IDs matter: 0 predicts 501 → gap 2.
+        assert_eq!(adv.next_action(&view), Action::Request(0));
     }
 }

@@ -120,6 +120,10 @@ struct FollowRun {
 }
 
 impl AdaptiveAdversary for FollowRun {
+    fn reset(&mut self, _seed: u64) {
+        self.cursor = 0;
+    }
+
     fn next_action(&mut self, view: &GameView<'_>) -> Action {
         if view.collision {
             return Action::Stop;

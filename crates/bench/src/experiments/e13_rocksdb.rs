@@ -56,6 +56,7 @@ pub fn run(ctx: &Ctx) -> ExperimentReport {
         // restart is effectively a fresh uncoordinated instance, so the
         // restart *rate* directly multiplies the effective n.
         restart_weight: 1,
+        lease_batch: 0,
     };
 
     // 64 workers at 16 instances: worker-ID birthday bites within a few

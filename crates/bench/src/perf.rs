@@ -15,11 +15,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use uuidp_adversary::profile::DemandProfile;
-use uuidp_core::algorithms::ClusterStar;
+use uuidp_core::algorithms::{AlgorithmKind, ClusterStar};
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::{Arc, IntervalSet};
 use uuidp_core::rng::{uniform_below, SeedTree, Xoshiro256pp};
 use uuidp_core::traits::{Algorithm, Footprint};
+use uuidp_service::service::ServiceConfig;
+use uuidp_service::stress::{run_stress, StressConfig};
 use uuidp_sim::collision::{footprints_collide, CollisionScratch};
 use uuidp_sim::game::run_oblivious_symbolic;
 use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
@@ -367,6 +369,49 @@ pub fn bench_estimate_oblivious() -> PerfResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Baseline 3 (PR 2): scalar service issuing — the same sharded service,
+// but every ID is its own request/lease/audit-record, which is what an
+// ID-per-call front-end over `next_id` costs end to end.
+// ---------------------------------------------------------------------
+
+/// End-to-end ns/ID of the issuing service under a uniform mix:
+/// `requests` leases of `count` IDs over 8 tenants, 2 shards, audit tap
+/// enabled. Median of three runs.
+fn service_ns_per_id(kind: AlgorithmKind, requests: u64, count: u128) -> f64 {
+    let space = IdSpace::with_bits(48).unwrap();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|i| {
+            let mut service = ServiceConfig::new(kind.clone(), space);
+            service.shards = 2;
+            service.master_seed = 0xBE7C + i;
+            let cfg = StressConfig::new(service, 8, requests, count);
+            let report = run_stress(cfg);
+            report.elapsed.as_nanos() as f64 / report.issued_ids as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2]
+}
+
+/// The tentpole's end-to-end claim: batch-leased service issuance
+/// (1024-ID leases) vs the scalar-issue baseline (1-ID leases) for the
+/// same algorithm, both with the online audit tap enabled. ≤ 1000 ns/ID
+/// is the "1M IDs/s sustained" acceptance line. Cost unit: ns per
+/// issued ID.
+pub fn bench_service_issue(kind: AlgorithmKind, label: &str) -> PerfResult {
+    // ~1M IDs through the batched path; the scalar baseline pays a full
+    // request round-trip per ID, so it measures a smaller volume.
+    let new_cost = service_ns_per_id(kind.clone(), 1024, 1024);
+    let baseline_cost = service_ns_per_id(kind, 32_768, 1);
+    PerfResult {
+        name: format!("service_issue_{label}_2shards_audited"),
+        unit: "ns/id",
+        new_cost,
+        baseline_cost,
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -374,6 +419,8 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_sample_fitting_start(),
         bench_footprints_collide_kway(),
         bench_estimate_oblivious(),
+        bench_service_issue(AlgorithmKind::Cluster, "cluster"),
+        bench_service_issue(AlgorithmKind::BinsStar, "bins_star"),
     ]
 }
 

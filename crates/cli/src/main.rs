@@ -5,13 +5,16 @@
 //! uuidp simulate --algorithm cluster --bits 24 --instances 8 --per-instance 512
 //! uuidp plan --scheme cluster --budget 1e-6 --instances 1024 --bits 128
 //! uuidp diagram --algorithm "bins:3" -m 20 --requests 8
+//! uuidp serve --algorithm cluster --bits 64 --shards 4
+//! uuidp stress --algorithm "bins*" --bits 48 --tenants 32 --requests 100000 --count 512
 //! uuidp doctor
 //! ```
 
 use std::process::ExitCode;
 
 use uuidp_cli::commands::{
-    diagram, doctor, generate, plan, simulate, DiagramOpts, GenerateOpts, PlanOpts, SimulateOpts,
+    diagram, doctor, generate, plan, serve, simulate, stress, DiagramOpts, GenerateOpts, PlanOpts,
+    ServeOpts, SimulateOpts, StressOpts,
 };
 use uuidp_cli::IdFormat;
 
@@ -26,6 +29,8 @@ fn main() -> ExitCode {
         "simulate" | "sim" => run_simulate(rest),
         "plan" => run_plan(rest),
         "diagram" => run_diagram(rest),
+        "serve" => run_serve(rest),
+        "stress" => run_stress_cmd(rest),
         "doctor" => doctor().map_err(|e| e.0),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -55,6 +60,9 @@ fn print_usage() {
          \x20 uuidp simulate --algorithm SPEC --instances N --per-instance D [--bits N=24] [--trials N=20000] [--seed N]\n\
          \x20 uuidp plan     --scheme random|cluster --budget P --instances N [--bits N=128]\n\
          \x20 uuidp diagram  --algorithm SPEC [-m N=20] [--requests N=8] [--seed N]\n\
+         \x20 uuidp serve    --algorithm SPEC [--bits N=64] [--shards N=2] [--audit-stripes N=16] [--seed N]\n\
+         \x20 uuidp stress   --algorithm SPEC [--bits N=48] [--shards N=2] [--tenants N=8] [--requests N=20000]\n\
+         \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--seed N] [--trials-small]\n\
          \x20 uuidp doctor\n\
          \n\
          algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
@@ -135,6 +143,63 @@ fn run_plan(args: &[String]) -> Result<String, String> {
         bits: f.parse(&["--bits", "-b"], 128u32)?,
     };
     plan(&opts).map_err(|e| e.0)
+}
+
+fn run_serve(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = ServeOpts {
+        algorithm: f.require(&["--algorithm", "-a"])?.to_string(),
+        bits: f.parse(&["--bits", "-b"], 64u32)?,
+        shards: f.parse(&["--shards"], 2usize)?,
+        audit_stripes: f.parse(&["--audit-stripes"], 16usize)?,
+        seed: f.parse(&["--seed", "-s"], 0x5EEDu64)?,
+    };
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut output = std::io::stdout();
+    serve(&opts, &mut input, &mut output).map_err(|e| e.0)
+}
+
+fn run_stress_cmd(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    // --trials-small is the CI smoke preset; explicit flags still override.
+    let small = args.iter().any(|a| a == "--trials-small");
+    let preset = StressOpts::trials_small("cluster");
+    let defaults = if small {
+        preset
+    } else {
+        StressOpts {
+            algorithm: String::new(),
+            bits: 48,
+            shards: 2,
+            tenants: 8,
+            requests: 20_000,
+            count: 256,
+            mix: "uniform".into(),
+            audit_stripes: 16,
+            seed: 0x57E5,
+        }
+    };
+    let algorithm = match f.get(&["--algorithm", "-a"]) {
+        Some(a) => a.to_string(),
+        None if small => defaults.algorithm.clone(),
+        None => return Err("missing required flag --algorithm".into()),
+    };
+    let opts = StressOpts {
+        algorithm,
+        bits: f.parse(&["--bits", "-b"], defaults.bits)?,
+        shards: f.parse(&["--shards"], defaults.shards)?,
+        tenants: f.parse(&["--tenants", "-n"], defaults.tenants)?,
+        requests: f.parse(&["--requests", "-r"], defaults.requests)?,
+        count: f.parse(&["--count", "-c"], defaults.count)?,
+        mix: f
+            .get(&["--mix", "-m"])
+            .unwrap_or(defaults.mix.as_str())
+            .to_string(),
+        audit_stripes: f.parse(&["--audit-stripes"], defaults.audit_stripes)?,
+        seed: f.parse(&["--seed", "-s"], defaults.seed)?,
+    };
+    stress(&opts).map_err(|e| e.0)
 }
 
 fn run_diagram(args: &[String]) -> Result<String, String> {

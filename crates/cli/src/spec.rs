@@ -16,7 +16,7 @@
 use std::fmt;
 
 use uuidp_core::algorithms::{
-    Bins, BinsStar, ChunkRule, Cluster, ClusterStar, Random, SessionCounter,
+    AlgorithmKind, Bins, BinsStar, ChunkRule, Cluster, ClusterStar, Random, SessionCounter,
 };
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::traits::Algorithm;
@@ -95,6 +95,40 @@ pub fn parse_algorithm(spec: &str, space: IdSpace) -> Result<Box<dyn Algorithm>,
         }
         _ => Err(ParseError(format!(
             "unknown algorithm `{spec}` (try random, cluster, bins:K, cluster*, bins*, session:S,C)"
+        ))),
+    }
+}
+
+/// Parses an algorithm spec into the serializable [`AlgorithmKind`]
+/// registry form the service layer is configured with. Accepts the same
+/// specs as [`parse_algorithm`] except `cluster*:G` (the growth ablation
+/// has no registry entry) and validates against `space` by building once.
+pub fn parse_algorithm_kind(spec: &str, space: IdSpace) -> Result<AlgorithmKind, ParseError> {
+    // Validate the spec (ranges, bit layouts) through the factory parser.
+    parse_algorithm(spec, space)?;
+    let lower = spec.to_ascii_lowercase();
+    let (head, arg) = match lower.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (lower.as_str(), None),
+    };
+    match (head, arg) {
+        ("random", None) => Ok(AlgorithmKind::Random),
+        ("cluster", None) => Ok(AlgorithmKind::Cluster),
+        ("bins", Some(k)) => Ok(AlgorithmKind::Bins {
+            k: k.parse().expect("validated above"),
+        }),
+        ("cluster*" | "cluster-star", None) => Ok(AlgorithmKind::ClusterStar),
+        ("bins*" | "bins-star", None) => Ok(AlgorithmKind::BinsStar),
+        ("bins*" | "bins-star", Some("maxfit")) => Ok(AlgorithmKind::BinsStarMaxFit),
+        ("session", Some(sc)) => {
+            let (s, c) = sc.split_once(',').expect("validated above");
+            Ok(AlgorithmKind::SessionCounter {
+                session_bits: s.parse().expect("validated above"),
+                counter_bits: c.parse().expect("validated above"),
+            })
+        }
+        _ => Err(ParseError(format!(
+            "`{spec}` has no registry form usable by the service"
         ))),
     }
 }

@@ -244,6 +244,62 @@ impl IdGenerator for BinsGenerator {
         Footprint::Arcs(&self.emitted)
     }
 
+    fn next_ids(
+        &mut self,
+        mut count: u128,
+        sink: &mut dyn FnMut(Arc),
+    ) -> Result<(), GeneratorError> {
+        // Finish the currently open bin.
+        if let Some((start, used)) = self.current {
+            if count > 0 && used < self.k {
+                let take = count.min(self.k - used);
+                sink(Arc::new(self.space, Id(start + used), take));
+                self.current = Some((start, used + take));
+                self.generated += take;
+                count -= take;
+            }
+        }
+        // Consume whole and partial fresh bins, one arc per bin.
+        while count > 0 {
+            match self.open_next_bin() {
+                Some(start) => {
+                    let take = count.min(self.k);
+                    sink(Arc::new(self.space, Id(start), take));
+                    self.current = Some((start, take));
+                    self.generated += take;
+                    count -= take;
+                }
+                None => break,
+            }
+        }
+        // Spill into the leftover tail.
+        if count > 0 {
+            let available = self.leftover_len() - self.leftover_emitted;
+            let take = count.min(available);
+            if take > 0 {
+                sink(Arc::new(
+                    self.space,
+                    Id(self.leftover_start() + self.leftover_emitted),
+                    take,
+                ));
+                self.leftover_emitted += take;
+                self.generated += take;
+                count -= take;
+            }
+            if count > 0 {
+                return Err(GeneratorError::Exhausted {
+                    generated: self.generated,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn supports_bulk_lease(&self) -> bool {
+        // One arc per touched bin: O(count / k) arcs per lease.
+        true
+    }
+
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         // Finish the currently open bin.
         if let Some((start, used)) = self.current {

@@ -347,6 +347,32 @@ impl IdGenerator for BinsStarGenerator {
         Footprint::Arcs(&self.emitted)
     }
 
+    fn next_ids(
+        &mut self,
+        mut count: u128,
+        sink: &mut dyn FnMut(Arc),
+    ) -> Result<(), GeneratorError> {
+        while count > 0 {
+            let (bin, used) = match self.current {
+                Some((bin, used, _)) if used < bin.len => (bin, used),
+                _ => (self.open_next_bin()?, 0),
+            };
+            let take = count.min(bin.len - used);
+            sink(Arc::new(self.space, self.space.add(bin.start, used), take));
+            if let Some((_, u, _)) = &mut self.current {
+                *u = used + take;
+            }
+            self.generated += take;
+            count -= take;
+        }
+        Ok(())
+    }
+
+    fn supports_bulk_lease(&self) -> bool {
+        // One arc per touched chunk bin: O(log count) arcs per lease.
+        true
+    }
+
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
             let (bin, used) = match self.current {

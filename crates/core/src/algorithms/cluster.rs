@@ -135,6 +135,27 @@ impl IdGenerator for ClusterGenerator {
         Footprint::Arcs(&self.emitted)
     }
 
+    fn next_ids(&mut self, count: u128, sink: &mut dyn FnMut(Arc)) -> Result<(), GeneratorError> {
+        let available = self.space.size() - self.generated;
+        let take = count.min(available);
+        if take > 0 {
+            let first = self.space.add(self.start, self.generated);
+            self.generated += take;
+            sink(Arc::new(self.space, first, take));
+        }
+        if take < count {
+            return Err(GeneratorError::Exhausted {
+                generated: self.generated,
+            });
+        }
+        Ok(())
+    }
+
+    fn supports_bulk_lease(&self) -> bool {
+        // The whole lease is one arc of the instance's single cluster.
+        true
+    }
+
     fn skip(&mut self, count: u128) -> Result<(), GeneratorError> {
         let available = self.space.size() - self.generated;
         if count > available {

@@ -274,6 +274,32 @@ impl IdGenerator for ClusterStarGenerator {
         Footprint::Arcs(&self.emitted)
     }
 
+    fn next_ids(
+        &mut self,
+        mut count: u128,
+        sink: &mut dyn FnMut(Arc),
+    ) -> Result<(), GeneratorError> {
+        while count > 0 {
+            let (run, used) = match self.current {
+                Some((run, used, _)) if used < run.len => (run, used),
+                _ => (self.open_run()?, 0),
+            };
+            let take = count.min(run.len - used);
+            sink(Arc::new(self.space, self.space.add(run.start, used), take));
+            if let Some((_, u, _)) = &mut self.current {
+                *u = used + take;
+            }
+            self.generated += take;
+            count -= take;
+        }
+        Ok(())
+    }
+
+    fn supports_bulk_lease(&self) -> bool {
+        // One arc per touched run: O(log(d + count) − log d) per lease.
+        true
+    }
+
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
             let (run, used) = match self.current {

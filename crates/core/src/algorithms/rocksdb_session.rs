@@ -258,6 +258,34 @@ impl IdGenerator for SessionCounterGenerator {
         Footprint::Arcs(&self.emitted)
     }
 
+    fn next_ids(
+        &mut self,
+        mut count: u128,
+        sink: &mut dyn FnMut(Arc),
+    ) -> Result<(), GeneratorError> {
+        while count > 0 {
+            let session = match self.current_session {
+                Some(s) if self.counter < self.counter_capacity() => s,
+                _ => self.open_session()?,
+            };
+            let take = count.min(self.counter_capacity() - self.counter);
+            sink(Arc::new(
+                self.space,
+                Id((session << self.counter_bits) | self.counter),
+                take,
+            ));
+            self.counter += take;
+            self.generated += take;
+            count -= take;
+        }
+        Ok(())
+    }
+
+    fn supports_bulk_lease(&self) -> bool {
+        // One arc per touched session range: O(count / 2^counter_bits).
+        true
+    }
+
     fn skip(&mut self, mut count: u128) -> Result<(), GeneratorError> {
         while count > 0 {
             match self.current_session {

@@ -52,6 +52,8 @@
 //! * [`shuffle`] — lazy Fisher–Yates (sampling without replacement at
 //!   `m = 2¹²⁷` scale);
 //! * [`traits`] — [`traits::IdGenerator`] / [`traits::Algorithm`];
+//! * [`lease`] — reusable bulk-lease buffers over
+//!   [`traits::IdGenerator::next_ids`] (service/kvstore batching);
 //! * [`algorithms`] — the five paper algorithms plus practical baselines;
 //! * [`state`] — snapshot/restore for exact crash-resume;
 //! * [`diagram`] — the paper's illustration diagrams, reproduced.
@@ -66,6 +68,7 @@ pub mod algorithms;
 pub mod diagram;
 pub mod id;
 pub mod interval;
+pub mod lease;
 pub mod rng;
 pub mod shuffle;
 pub mod state;
@@ -79,6 +82,7 @@ pub mod prelude {
     };
     pub use crate::id::{Id, IdSpace};
     pub use crate::interval::{Arc, IntervalSet};
+    pub use crate::lease::Lease;
     pub use crate::state::{restore, GeneratorState, StateError};
     pub use crate::traits::{Algorithm, Footprint, GeneratorError, IdGenerator};
 }

@@ -11,7 +11,7 @@
 use std::fmt;
 
 use crate::id::{Id, IdSpace};
-use crate::interval::IntervalSet;
+use crate::interval::{Arc, IntervalSet};
 
 /// Error conditions an instance can hit while generating.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +106,35 @@ pub trait IdGenerator: Send {
     /// millions of trials without per-trial boxing, and it is enforced by
     /// the differential property tests.
     fn reset(&mut self, seed: u64);
+
+    /// Produces the next `count` IDs as a *bulk lease*: the emitted IDs
+    /// are pushed to `sink` as arcs, in emission order, covering exactly
+    /// the IDs that `count` consecutive [`next_id`](Self::next_id) calls
+    /// would have returned (and leaving the instance in the identical
+    /// post-state — same footprint, same continuation, same errors).
+    ///
+    /// The default implementation calls `next_id` `count` times and emits
+    /// one single-ID arc per call. Arc-structured algorithms override it
+    /// to emit one arc per touched run/bin — `O(1)` amortized per *run*
+    /// instead of per ID — which is what lets a service front-end lease
+    /// thousands of IDs per request at interval-push cost. On exhaustion
+    /// mid-batch the arcs already emitted stay delivered and the error is
+    /// returned, exactly like the scalar loop.
+    fn next_ids(&mut self, count: u128, sink: &mut dyn FnMut(Arc)) -> Result<(), GeneratorError> {
+        let space = self.space();
+        for _ in 0..count {
+            let id = self.next_id()?;
+            sink(Arc::point(space, id));
+        }
+        Ok(())
+    }
+
+    /// Whether [`next_ids`](Self::next_ids) is sublinear in `count` for
+    /// this algorithm (true for the arc-structured algorithms, whose
+    /// leases cost `O(runs touched)`, false for Random-like ones).
+    fn supports_bulk_lease(&self) -> bool {
+        false
+    }
 
     /// Advances the instance by `count` IDs without materializing them.
     ///
@@ -220,6 +249,34 @@ mod tests {
         };
         let err = g.skip(5).unwrap_err();
         assert_eq!(err, GeneratorError::Exhausted { generated: 3 });
+    }
+
+    #[test]
+    fn default_next_ids_emits_point_arcs() {
+        let mut g = Fake {
+            space: IdSpace::new(10).unwrap(),
+            next: 0,
+            emitted: Vec::new(),
+        };
+        let mut arcs = Vec::new();
+        g.next_ids(4, &mut |a| arcs.push(a)).unwrap();
+        assert_eq!(arcs.len(), 4, "one point arc per ID");
+        assert!(arcs.iter().all(|a| a.len == 1));
+        assert_eq!(g.generated(), 4);
+        assert!(!g.supports_bulk_lease());
+    }
+
+    #[test]
+    fn default_next_ids_propagates_exhaustion_after_partial_batch() {
+        let mut g = Fake {
+            space: IdSpace::new(3).unwrap(),
+            next: 0,
+            emitted: Vec::new(),
+        };
+        let mut arcs = Vec::new();
+        let err = g.next_ids(5, &mut |a| arcs.push(a)).unwrap_err();
+        assert_eq!(err, GeneratorError::Exhausted { generated: 3 });
+        assert_eq!(arcs.len(), 3, "partial batch stays delivered");
     }
 
     #[test]

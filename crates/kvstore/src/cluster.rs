@@ -42,12 +42,29 @@ impl Deployment {
         cache_capacity: usize,
         seeds: &SeedTree,
     ) -> Self {
+        Self::with_lease_batch(algorithm, n, cache_capacity, seeds, 0)
+    }
+
+    /// Like [`new`](Self::new), but instances issue their unique IDs
+    /// through bulk leases of `lease_batch` IDs (the service-layer
+    /// batching discipline; `0` = scalar issuing). The assigned ID stream
+    /// is identical either way — leases are observationally consecutive
+    /// `next_id` calls — so reports are comparable across modes.
+    pub fn with_lease_batch(
+        algorithm: &dyn Algorithm,
+        n: usize,
+        cache_capacity: usize,
+        seeds: &SeedTree,
+        lease_batch: u128,
+    ) -> Self {
         let instances = (0..n)
             .map(|i| {
-                StoreInstance::new(
-                    i as u32,
-                    algorithm.spawn(seeds.seed(SeedDomain::Instance(i as u64))),
-                )
+                let generator = algorithm.spawn(seeds.seed(SeedDomain::Instance(i as u64)));
+                if lease_batch > 0 {
+                    StoreInstance::with_lease_batch(i as u32, generator, lease_batch)
+                } else {
+                    StoreInstance::new(i as u32, generator)
+                }
             })
             .collect();
         Deployment {

@@ -8,6 +8,7 @@
 //! is how RocksDB's real ID demand grows with write volume, not file
 //! count alive.
 
+use uuidp_core::lease::Lease;
 use uuidp_core::state::GeneratorState;
 use uuidp_core::traits::{GeneratorError, IdGenerator};
 
@@ -17,6 +18,11 @@ use crate::sst::{FileIdentity, SstFile};
 pub struct StoreInstance {
     instance_id: u32,
     generator: Box<dyn IdGenerator>,
+    /// Bulk-lease buffer, when the instance issues in leased batches
+    /// (the service discipline): `next_ids(lease_batch)` refills it and
+    /// file creation pops scalar IDs from it. `None` = scalar issuing.
+    lease: Option<Lease>,
+    lease_batch: u128,
     next_file_number: u64,
     live: Vec<SstFile>,
 }
@@ -32,14 +38,70 @@ impl std::fmt::Debug for StoreInstance {
 }
 
 impl StoreInstance {
-    /// A new instance with its own uncoordinated ID generator.
+    /// A new instance with its own uncoordinated ID generator, issuing
+    /// one scalar ID per file.
     pub fn new(instance_id: u32, generator: Box<dyn IdGenerator>) -> Self {
         StoreInstance {
             instance_id,
             generator,
+            lease: None,
+            lease_batch: 0,
             next_file_number: 1,
             live: Vec::new(),
         }
+    }
+
+    /// A new instance that issues through bulk leases of `batch ≥ 1` IDs:
+    /// the generator is asked for `batch` IDs at a time via
+    /// [`IdGenerator::next_ids`] and files consume the lease. Since a
+    /// lease is observationally `batch` consecutive `next_id` calls, the
+    /// assigned ID *stream* is identical to scalar issuing — only the
+    /// generator interaction is batched (one interval push per run
+    /// instead of one call per file), which is the service-layer issuing
+    /// discipline.
+    pub fn with_lease_batch(
+        instance_id: u32,
+        generator: Box<dyn IdGenerator>,
+        batch: u128,
+    ) -> Self {
+        assert!(batch >= 1, "lease batch must cover at least one ID");
+        let lease = Lease::new(generator.space());
+        StoreInstance {
+            instance_id,
+            generator,
+            lease: Some(lease),
+            lease_batch: batch,
+            next_file_number: 1,
+            live: Vec::new(),
+        }
+    }
+
+    /// Draws the next unique ID — scalar, or from the lease buffer
+    /// (refilling it when drained). A partial lease granted right before
+    /// exhaustion is fully consumed before the error surfaces, matching
+    /// the scalar stream's exhaustion point exactly.
+    fn draw_id(&mut self) -> Result<uuidp_core::id::Id, GeneratorError> {
+        match &mut self.lease {
+            None => self.generator.next_id(),
+            Some(lease) => {
+                if let Some(id) = lease.pop() {
+                    return Ok(id);
+                }
+                let refill = lease.fill(self.generator.as_mut(), self.lease_batch);
+                match lease.pop() {
+                    Some(id) => Ok(id),
+                    None => Err(refill.err().unwrap_or(GeneratorError::Exhausted {
+                        generated: self.generator.generated(),
+                    })),
+                }
+            }
+        }
+    }
+
+    /// IDs leased from the generator but not yet assigned to files (0 in
+    /// scalar mode).
+    pub fn leased_unused(&self) -> u128 {
+        self.lease.as_ref().map_or(0, |l| l.remaining())
     }
 
     /// This instance's index.
@@ -53,7 +115,8 @@ impl StoreInstance {
         &self.live
     }
 
-    /// Total unique IDs this instance has drawn.
+    /// Total unique IDs this instance has drawn from its generator
+    /// (in leased mode this includes leased-ahead, not-yet-assigned IDs).
     pub fn ids_drawn(&self) -> u128 {
         self.generator.generated()
     }
@@ -62,7 +125,7 @@ impl StoreInstance {
     /// fresh unique ID. Returns the new file.
     pub fn flush(&mut self, blocks: u32) -> Result<SstFile, GeneratorError> {
         assert!(blocks > 0, "an SST has at least one block");
-        let unique_id = self.generator.next_id()?;
+        let unique_id = self.draw_id()?;
         let file = SstFile {
             identity: FileIdentity {
                 origin_instance: self.instance_id,
@@ -140,6 +203,11 @@ impl StoreInstance {
     /// the persistent manifest.
     pub fn restart(&mut self, generator: Box<dyn IdGenerator>) {
         self.generator = generator;
+        // The lease buffer is in-memory state too: a crash abandons its
+        // unused remainder (those IDs are simply never assigned).
+        if let Some(lease) = &mut self.lease {
+            lease.clear();
+        }
     }
 }
 

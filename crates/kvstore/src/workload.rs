@@ -36,6 +36,12 @@ pub struct WorkloadConfig {
     pub migrate_weight: u32,
     /// Relative weight of instance crash-restarts.
     pub restart_weight: u32,
+    /// Bulk-lease batch size for instance ID issuing (0 = scalar
+    /// `next_id` per file; ≥ 1 = instances draw through
+    /// [`uuidp_core::lease::Lease`]-buffered `next_ids` batches, the
+    /// service-layer discipline). The assigned ID stream — and therefore
+    /// the collision/corruption report — is identical in both modes.
+    pub lease_batch: u128,
 }
 
 impl Default for WorkloadConfig {
@@ -50,6 +56,7 @@ impl Default for WorkloadConfig {
             compact_weight: 10,
             migrate_weight: 10,
             restart_weight: 0,
+            lease_batch: 0,
         }
     }
 }
@@ -98,7 +105,13 @@ pub fn run_workload(
     assert!(config.blocks_per_file >= 1);
     let seeds = SeedTree::new(master_seed);
     let mut rng: Xoshiro256pp = seeds.rng(SeedDomain::Workload);
-    let mut dep = Deployment::new(algorithm, config.instances, config.cache_capacity, &seeds);
+    let mut dep = Deployment::with_lease_batch(
+        algorithm,
+        config.instances,
+        config.cache_capacity,
+        &seeds,
+        config.lease_batch,
+    );
     let mut report = WorkloadReport::default();
 
     let weights = [
@@ -260,6 +273,39 @@ mod tests {
             "expected birthday collisions at m = 2^10"
         );
         assert!(report.reads > 0);
+    }
+
+    #[test]
+    fn leased_issuing_is_observationally_scalar() {
+        // The batch-lease discipline must not change a single assigned ID:
+        // the whole report (files, collisions, corruptions, cache hits) is
+        // bit-identical between scalar and any lease batch size, including
+        // runs with crash-restarts in the mix.
+        let space = IdSpace::new(1 << 14).unwrap(); // small: collisions occur
+        let alg = Random::new(space);
+        let base = WorkloadConfig {
+            operations: 8000,
+            restart_weight: 5,
+            ..WorkloadConfig::default()
+        };
+        let scalar = run_workload(&alg, base, 13);
+        assert!(scalar.id_collisions > 0, "fixture should collide");
+        for batch in [1u128, 7, 64] {
+            let leased = run_workload(
+                &alg,
+                WorkloadConfig {
+                    lease_batch: batch,
+                    ..base
+                },
+                13,
+            );
+            assert_eq!(leased.files_created, scalar.files_created, "batch {batch}");
+            assert_eq!(leased.id_collisions, scalar.id_collisions, "batch {batch}");
+            assert_eq!(leased.corrupt_reads, scalar.corrupt_reads, "batch {batch}");
+            assert_eq!(leased.reads, scalar.reads, "batch {batch}");
+            assert_eq!(leased.restarts, scalar.restarts, "batch {batch}");
+            assert_eq!(leased.cache.hits, scalar.cache.hits, "batch {batch}");
+        }
     }
 
     #[test]

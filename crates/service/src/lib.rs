@@ -1,0 +1,47 @@
+//! # uuidp-service — a sharded, batch-leasing ID-issuing service
+//!
+//! The repository's other crates *measure* the collision behaviour of
+//! uncoordinated ID algorithms; this crate *serves* IDs with them, the
+//! way the paper's production motivators (RocksDB SST unique IDs and
+//! cache keys, PRs #8990/#9126) consume them under heavy uncoordinated
+//! traffic. It is the deployment-shaped layer over the PR 1 engine
+//! primitives:
+//!
+//! * [`service`] — [`service::IdService`]: shard-per-worker issuing over
+//!   bounded channels. Each shard owns its tenants' recycled
+//!   [`IdGenerator`]s and serves **bulk leases** — one
+//!   [`next_ids`](uuidp_core::traits::IdGenerator::next_ids) call emits a
+//!   whole run of IDs as `O(1)` amortized interval pushes (Cluster and
+//!   the arc-structured algorithms lease thousands of IDs per arc), so
+//!   aggregate throughput is bounded by channel hops, not by per-ID
+//!   work. Every lease is tee'd into a striped, *symbolic*
+//!   [`LeaseAudit`](uuidp_sim::audit::LeaseAudit) pipeline that flags
+//!   cross-tenant duplicates and silent aliasing online, with
+//!   interleaving-invariant totals (bit-identical for every shard
+//!   count).
+//! * [`stress`] — [`stress::run_stress`]: replays deterministic traffic
+//!   mixes (uniform, Zipf-skewed, flood, and the `adversary` crate's
+//!   adaptive RunHunter playing through the front door) and reports
+//!   throughput, p50/p99 issue latency, and audit lag.
+//! * [`metrics`] — the allocation-free latency histogram behind those
+//!   quantiles.
+//!
+//! The CLI surfaces this as `uuidp serve` (line-protocol front-end) and
+//! `uuidp stress` (the driver); `repro bench-json` records the
+//! batch-lease vs scalar-issue speedup in `BENCH_PR2.json`.
+//!
+//! [`IdGenerator`]: uuidp_core::traits::IdGenerator
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod service;
+pub mod stress;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::metrics::LatencyHistogram;
+    pub use crate::service::{AuditReport, IdService, LeaseReply, ServiceConfig, ServiceReport};
+    pub use crate::stress::{run_stress, StressConfig, StressReport, TrafficMix};
+}

@@ -1,0 +1,142 @@
+//! Cheap fixed-footprint latency accounting for the issuing hot path.
+//!
+//! A [`LatencyHistogram`] is 64 power-of-two buckets of nanosecond
+//! costs: recording is a `leading_zeros` and an increment (no allocation,
+//! no locking — each worker owns one and they are merged at shutdown),
+//! and quantiles are read back with sub-bucket linear interpolation,
+//! which is plenty of resolution for p50/p99 reporting where the answer
+//! spans decades, not percent.
+
+use std::time::Duration;
+
+/// Power-of-two-bucketed nanosecond histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i` (bucket 0
+    /// also holds `ns == 0`).
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = (63u32.saturating_sub(ns.leading_zeros())) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records one sampled [`Duration`].
+    pub fn record(&mut self, elapsed: Duration) {
+        self.record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds `other` into `self` (shutdown-time aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean cost in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, linearly
+    /// interpolated within the containing power-of-two bucket. Returns 0
+    /// when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 {
+                    self.max_ns as f64
+                } else {
+                    (1u128 << (i + 1)) as f64
+                };
+                let into = (rank - seen as f64) / c as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += c;
+        }
+        self.max_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        assert!((128.0..=512.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 65_536.0, "p99 = {p99}");
+        assert!(h.mean_ns() > 0.0);
+        assert_eq!(h.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_ns(10);
+        b.record_ns(1000);
+        b.record_ns(0); // bucket 0 edge case
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 1000);
+    }
+}

@@ -1,0 +1,608 @@
+//! The sharded batch-leasing ID service.
+//!
+//! ```text
+//!             Request { tenant, count }
+//!   front-end ──────────────────────────► shard (tenant % shards)
+//!                bounded SPSC channel          │  owns the tenant's
+//!                                              │  recycled generator
+//!                                              ▼
+//!                                     lease = next_ids(count)   O(arcs)
+//!                                      │                │
+//!                     reply (arcs) ◄───┘                └───► audit tap
+//!                                                 bounded channel (arcs)
+//!                                                            ▼
+//!                                              LeaseAudit (striped, symbolic)
+//! ```
+//!
+//! * **Shard-per-worker**: every tenant is pinned to one worker thread
+//!   (`tenant % shards`), so a tenant's generator is single-threaded and
+//!   needs no lock; cross-tenant parallelism comes from the shard fan-out.
+//! * **Bulk leases**: a request for `count` IDs is served by one
+//!   [`IdGenerator::next_ids`] call — `O(touched runs)` interval pushes,
+//!   not `count` scalar calls — buffered in a recycled
+//!   [`Lease`](uuidp_core::lease::Lease) per tenant.
+//! * **Online audit**: every lease's arcs are tee'd over a bounded
+//!   channel into a [`LeaseAudit`] pipeline thread, which symbolically
+//!   flags cross-tenant duplicates and silent aliasing *while the service
+//!   runs*; the audit's headline counter is interleaving-invariant, so
+//!   totals are identical for every shard count (see
+//!   [`uuidp_sim::audit`]).
+//! * **Determinism**: tenant `t`'s generator is seeded from the master
+//!   seed tree independently of the shard layout, and shard channels are
+//!   FIFO — so for a fixed request script the per-tenant ID streams (and
+//!   the audit totals) are bit-identical under any `shards` value.
+//!
+//! [`IdGenerator::next_ids`]: uuidp_core::traits::IdGenerator::next_ids
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::id::IdSpace;
+use uuidp_core::interval::Arc;
+use uuidp_core::lease::Lease;
+use uuidp_core::rng::{SeedDomain, SeedTree};
+use uuidp_core::traits::{GeneratorError, IdGenerator};
+use uuidp_sim::audit::{AuditCounts, LeaseAudit};
+
+use crate::metrics::LatencyHistogram;
+
+/// Tenants and epochs are packed into one audit owner key, so a tenant
+/// recycled via [`IdService::reset_tenant`] is audited as a *new* owner —
+/// overlap between its pre- and post-reset streams (the re-seeded
+/// instance hazard) is then caught like any cross-tenant duplicate.
+const EPOCH_SHIFT: u32 = 40;
+
+/// Configuration of an [`IdService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The ID-generation algorithm every tenant runs.
+    pub kind: AlgorithmKind,
+    /// The ID universe.
+    pub space: IdSpace,
+    /// Worker shards (threads); tenants are pinned by `tenant % shards`.
+    pub shards: usize,
+    /// Stripes of the audit's universe partition.
+    pub audit_stripes: usize,
+    /// Depth of each bounded request/audit channel.
+    pub queue_depth: usize,
+    /// Root of the per-tenant seed tree.
+    pub master_seed: u64,
+    /// Fault injection: `(victim, twin)` makes tenant `twin` draw its
+    /// seed as if it were `victim` — two identically seeded generators,
+    /// the guaranteed-collision scenario the audit must always flag.
+    pub seed_alias: Option<(u64, u64)>,
+}
+
+impl ServiceConfig {
+    /// A service for `kind` over `space` with modest defaults.
+    pub fn new(kind: AlgorithmKind, space: IdSpace) -> Self {
+        ServiceConfig {
+            kind,
+            space,
+            shards: 2,
+            audit_stripes: 16,
+            queue_depth: 1024,
+            master_seed: 0x5EED,
+            seed_alias: None,
+        }
+    }
+}
+
+/// A granted (possibly partial) lease, as returned to clients.
+#[derive(Debug)]
+pub struct LeaseReply {
+    /// The requesting tenant.
+    pub tenant: u64,
+    /// Granted arcs in emission order.
+    pub arcs: Vec<Arc>,
+    /// Total IDs granted (sum of arc lengths).
+    pub granted: u128,
+    /// The generator error, if the grant fell short of the request.
+    pub error: Option<GeneratorError>,
+}
+
+enum ShardMsg {
+    /// Serve a lease and reply with its arcs.
+    Lease {
+        tenant: u64,
+        count: u128,
+        reply: SyncSender<LeaseReply>,
+    },
+    /// Serve a lease, fire-and-forget (stress traffic).
+    Issue { tenant: u64, count: u128 },
+    /// Recycle the tenant's generator into a fresh epoch via `reset`.
+    Reset { tenant: u64 },
+    /// Reply once every prior message on this shard is processed.
+    Barrier { done: SyncSender<()> },
+}
+
+struct AuditMsg {
+    owner: u64,
+    arcs: Vec<Arc>,
+    sent: Instant,
+}
+
+/// Audit-side half of a [`ServiceReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct AuditReport {
+    /// Aggregated duplicate/record counters.
+    pub counts: AuditCounts,
+    /// Worst observed tap-to-audit lag.
+    pub max_lag: Duration,
+    /// Mean tap-to-audit lag in nanoseconds.
+    pub mean_lag_ns: f64,
+    /// Lease records processed.
+    pub records: u64,
+}
+
+/// Aggregated shutdown report of an [`IdService`].
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Total IDs issued across all leases (including partial grants).
+    pub issued_ids: u128,
+    /// Leases served.
+    pub leases: u64,
+    /// Leases that ended in a generator error (exhaustion).
+    pub errors: u64,
+    /// Per-lease issue cost (measured at the worker, fill + audit tap).
+    pub latency: LatencyHistogram,
+    /// The audit pipeline's findings.
+    pub audit: AuditReport,
+    /// Wall-clock service lifetime.
+    pub uptime: Duration,
+}
+
+struct TenantSlot {
+    generator: Box<dyn IdGenerator>,
+    lease: Lease,
+    epoch: u32,
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    issued_ids: u128,
+    leases: u64,
+    errors: u64,
+    latency: LatencyHistogram,
+}
+
+/// A running service: worker shards + audit pipeline behind channels.
+pub struct IdService {
+    space: IdSpace,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    audit: JoinHandle<AuditReport>,
+    started: Instant,
+}
+
+impl IdService {
+    /// Boots the worker shards and the audit pipeline.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.shards >= 1, "at least one shard");
+        assert!(config.queue_depth >= 1, "channels must hold a message");
+        let (audit_tx, audit_rx) = sync_channel::<AuditMsg>(config.queue_depth);
+        let audit_space = config.space;
+        let audit_stripes = config.audit_stripes;
+        let audit = std::thread::spawn(move || audit_loop(audit_space, audit_stripes, audit_rx));
+
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(config.queue_depth);
+            shard_txs.push(tx);
+            let cfg = config.clone();
+            let tap = audit_tx.clone();
+            workers.push(std::thread::spawn(move || worker_loop(cfg, rx, tap)));
+        }
+        drop(audit_tx); // workers hold the only taps: audit exits when they do
+        IdService {
+            space: config.space,
+            shard_txs,
+            workers,
+            audit,
+            started: Instant::now(),
+        }
+    }
+
+    /// The service's ID universe.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shard_txs.len()
+    }
+
+    fn shard_of(&self, tenant: u64) -> &SyncSender<ShardMsg> {
+        &self.shard_txs[(tenant % self.shard_txs.len() as u64) as usize]
+    }
+
+    /// Synchronously leases `count` IDs for `tenant`.
+    pub fn lease(&self, tenant: u64, count: u128) -> LeaseReply {
+        let (reply, rx) = sync_channel(1);
+        self.shard_of(tenant)
+            .send(ShardMsg::Lease {
+                tenant,
+                count,
+                reply,
+            })
+            .expect("shard alive");
+        rx.recv().expect("shard replies")
+    }
+
+    /// Fire-and-forget lease (stress traffic): the IDs are issued,
+    /// audited, and counted, but not shipped back.
+    pub fn issue(&self, tenant: u64, count: u128) {
+        self.shard_of(tenant)
+            .send(ShardMsg::Issue { tenant, count })
+            .expect("shard alive");
+    }
+
+    /// Recycles `tenant`'s generator into a fresh epoch (allocation-free
+    /// [`IdGenerator::reset`] under a fresh seed). The audit treats the
+    /// new epoch as a new owner, so pre/post-reset overlap is flagged.
+    ///
+    /// [`IdGenerator::reset`]: uuidp_core::traits::IdGenerator::reset
+    pub fn reset_tenant(&self, tenant: u64) {
+        self.shard_of(tenant)
+            .send(ShardMsg::Reset { tenant })
+            .expect("shard alive");
+    }
+
+    /// Blocks until every shard has processed all previously submitted
+    /// requests (the audit pipeline may still be draining).
+    pub fn drain(&self) {
+        let barriers: Vec<Receiver<()>> = self
+            .shard_txs
+            .iter()
+            .map(|tx| {
+                let (done, rx) = sync_channel(1);
+                tx.send(ShardMsg::Barrier { done }).expect("shard alive");
+                rx
+            })
+            .collect();
+        for rx in barriers {
+            rx.recv().expect("shard alive");
+        }
+    }
+
+    /// Stops the service: closes the request channels, joins the workers
+    /// and the audit pipeline, and aggregates their accounting.
+    pub fn shutdown(self) -> ServiceReport {
+        drop(self.shard_txs);
+        let mut issued_ids = 0u128;
+        let mut leases = 0u64;
+        let mut errors = 0u64;
+        let mut latency = LatencyHistogram::new();
+        for handle in self.workers {
+            let stats = handle.join().expect("worker panicked");
+            issued_ids += stats.issued_ids;
+            leases += stats.leases;
+            errors += stats.errors;
+            latency.merge(&stats.latency);
+        }
+        let audit = self.audit.join().expect("audit panicked");
+        ServiceReport {
+            issued_ids,
+            leases,
+            errors,
+            latency,
+            audit,
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+fn owner_key(tenant: u64, epoch: u32) -> u64 {
+    debug_assert!(tenant < 1 << EPOCH_SHIFT, "tenant id too wide for epoching");
+    ((epoch as u64) << EPOCH_SHIFT) | tenant
+}
+
+fn tenant_seed(roots: &SeedTree, config: &ServiceConfig, tenant: u64, epoch: u32) -> u64 {
+    // Fault injection: the twin draws the victim's seed material.
+    let effective = match config.seed_alias {
+        Some((victim, twin)) if tenant == twin => victim,
+        _ => tenant,
+    };
+    roots
+        .trial(epoch as u64)
+        .seed(SeedDomain::Instance(effective))
+}
+
+fn worker_loop(
+    config: ServiceConfig,
+    rx: Receiver<ShardMsg>,
+    tap: SyncSender<AuditMsg>,
+) -> WorkerStats {
+    let algorithm = config.kind.build(config.space);
+    let roots = SeedTree::new(config.master_seed);
+    let mut tenants: HashMap<u64, TenantSlot> = HashMap::new();
+    let mut stats = WorkerStats::default();
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Lease {
+                tenant,
+                count,
+                reply,
+            } => {
+                let (granted, error, arcs) = serve(
+                    &config,
+                    &roots,
+                    &mut tenants,
+                    algorithm.as_ref(),
+                    tenant,
+                    count,
+                    &tap,
+                    &mut stats,
+                    true,
+                );
+                // Client delivery is off the issue-latency clock.
+                let _ = reply.send(LeaseReply {
+                    tenant,
+                    arcs: arcs.unwrap_or_default(),
+                    granted,
+                    error,
+                });
+            }
+            ShardMsg::Issue { tenant, count } => {
+                serve(
+                    &config,
+                    &roots,
+                    &mut tenants,
+                    algorithm.as_ref(),
+                    tenant,
+                    count,
+                    &tap,
+                    &mut stats,
+                    false,
+                );
+            }
+            ShardMsg::Reset { tenant } => {
+                if let Some(slot) = tenants.get_mut(&tenant) {
+                    slot.epoch += 1;
+                    slot.generator
+                        .reset(tenant_seed(&roots, &config, tenant, slot.epoch));
+                    slot.lease.clear();
+                }
+            }
+            ShardMsg::Barrier { done } => {
+                let _ = done.send(());
+            }
+        }
+    }
+    stats
+}
+
+/// Serves one lease on a worker: fill from the tenant's recycled
+/// generator, tap the audit (one moved arcs vector), account latency.
+/// A reply copy of the arcs is built only when `want_arcs` is set (the
+/// synchronous lease path) — the fire-and-forget path allocates nothing
+/// beyond the audit message.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    config: &ServiceConfig,
+    roots: &SeedTree,
+    tenants: &mut HashMap<u64, TenantSlot>,
+    algorithm: &dyn uuidp_core::traits::Algorithm,
+    tenant: u64,
+    count: u128,
+    tap: &SyncSender<AuditMsg>,
+    stats: &mut WorkerStats,
+    want_arcs: bool,
+) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>) {
+    let t0 = Instant::now();
+    let slot = tenants.entry(tenant).or_insert_with(|| TenantSlot {
+        generator: algorithm.spawn(tenant_seed(roots, config, tenant, 0)),
+        lease: Lease::new(config.space),
+        epoch: 0,
+    });
+    let error = slot.lease.fill(slot.generator.as_mut(), count).err();
+    let granted = slot.lease.granted();
+    if granted > 0 {
+        let _ = tap.send(AuditMsg {
+            owner: owner_key(tenant, slot.epoch),
+            arcs: slot.lease.arcs().to_vec(),
+            sent: Instant::now(),
+        });
+    }
+    stats.latency.record(t0.elapsed());
+    stats.issued_ids += granted;
+    stats.leases += 1;
+    stats.errors += error.is_some() as u64;
+    // The client copy is off the issue-latency clock.
+    let arcs = want_arcs.then(|| slot.lease.arcs().to_vec());
+    (granted, error, arcs)
+}
+
+fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditReport {
+    let mut audit = LeaseAudit::new(space, stripes);
+    let mut max_lag = Duration::ZERO;
+    let mut lag_sum_ns = 0u128;
+    let mut records = 0u64;
+    while let Ok(AuditMsg { owner, arcs, sent }) = rx.recv() {
+        let lag = sent.elapsed();
+        max_lag = max_lag.max(lag);
+        lag_sum_ns += lag.as_nanos();
+        records += 1;
+        for arc in arcs {
+            audit.record(owner, arc);
+        }
+    }
+    AuditReport {
+        counts: audit.counts(),
+        max_lag,
+        mean_lag_ns: if records == 0 {
+            0.0
+        } else {
+            lag_sum_ns as f64 / records as f64
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::id::Id;
+
+    fn config(kind: AlgorithmKind, bits: u32) -> ServiceConfig {
+        ServiceConfig::new(kind, IdSpace::with_bits(bits).unwrap())
+    }
+
+    /// Expands a reply's arcs into scalar IDs, in emission order.
+    fn ids_of(reply: &LeaseReply, space: IdSpace) -> Vec<Id> {
+        reply
+            .arcs
+            .iter()
+            .flat_map(|a| (0..a.len).map(move |i| a.nth(space, i)))
+            .collect()
+    }
+
+    #[test]
+    fn leases_match_direct_generator_streams() {
+        let cfg = config(AlgorithmKind::ClusterStar, 32);
+        let space = cfg.space;
+        let service = IdService::start(cfg.clone());
+        let mut streams: HashMap<u64, Vec<Id>> = HashMap::new();
+        for round in 0..10u128 {
+            for tenant in 0..5u64 {
+                let reply = service.lease(tenant, 16 + round);
+                assert!(reply.error.is_none());
+                assert_eq!(reply.granted, 16 + round);
+                streams
+                    .entry(tenant)
+                    .or_default()
+                    .extend(ids_of(&reply, space));
+            }
+        }
+        let report = service.shutdown();
+        assert_eq!(report.leases, 50);
+        assert!(!report.audit.counts.collided(), "independent tenants");
+        // Every tenant's leased stream equals its direct generator stream.
+        let alg = cfg.kind.build(space);
+        let roots = SeedTree::new(cfg.master_seed);
+        for (tenant, stream) in streams {
+            let mut gen = alg.spawn(roots.trial(0).seed(SeedDomain::Instance(tenant)));
+            for (i, id) in stream.iter().enumerate() {
+                assert_eq!(*id, gen.next_id().unwrap(), "tenant {tenant} id {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_tenant_streams_are_shard_count_invariant() {
+        // The satellite concurrency guarantee: a fixed request script
+        // yields bit-identical per-tenant ID streams and audit totals for
+        // every worker-shard count, mirroring the Monte-Carlo engine's
+        // thread-count invariance.
+        let tenants = 6u64;
+        let script: Vec<(u64, u128)> = (0..60)
+            .map(|r| ((r * 7 + 3) % tenants, 8 + (r as u128 % 5) * 13))
+            .collect();
+        let mut reference: Option<(HashMap<u64, Vec<Id>>, AuditCounts)> = None;
+        for shards in [1usize, 2, 3, 5] {
+            let mut cfg = config(AlgorithmKind::BinsStar, 40);
+            cfg.shards = shards;
+            let space = cfg.space;
+            let service = IdService::start(cfg);
+            let mut streams: HashMap<u64, Vec<Id>> = HashMap::new();
+            for &(tenant, count) in &script {
+                let reply = service.lease(tenant, count);
+                streams
+                    .entry(tenant)
+                    .or_default()
+                    .extend(ids_of(&reply, space));
+            }
+            service.drain();
+            let report = service.shutdown();
+            match &reference {
+                None => reference = Some((streams, report.audit.counts)),
+                Some((ref_streams, ref_counts)) => {
+                    assert_eq!(ref_streams, &streams, "{shards} shards changed IDs");
+                    assert_eq!(
+                        ref_counts, &report.audit.counts,
+                        "{shards} shards changed audit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_twin_tenants_are_flagged_with_exact_measure() {
+        // Zero-false-negative check: tenant 9 is seeded as tenant 0, so
+        // every ID it leases duplicates tenant 0's stream.
+        let mut cfg = config(AlgorithmKind::Cluster, 48);
+        cfg.seed_alias = Some((0, 9));
+        cfg.shards = 3;
+        let service = IdService::start(cfg);
+        let per_lease = 512u128;
+        let leases = 8u128;
+        for _ in 0..leases {
+            service.issue(0, per_lease);
+            service.issue(9, per_lease);
+        }
+        service.drain();
+        let report = service.shutdown();
+        assert!(report.audit.counts.collided(), "audit missed twin tenants");
+        assert_eq!(
+            report.audit.counts.duplicate_ids,
+            per_lease * leases,
+            "every twin-issued ID is a duplicate, counted exactly once"
+        );
+        assert_eq!(report.issued_ids, 2 * per_lease * leases);
+    }
+
+    #[test]
+    fn reset_tenant_opens_a_new_epoch_and_audits_across_it() {
+        // A reset Cluster tenant re-draws its start uniformly; on a tiny
+        // universe the pre- and post-reset clusters overlap with high
+        // probability, and the audit must catch that *self*-aliasing.
+        let mut cfg = config(AlgorithmKind::Cluster, 8); // m = 256
+        cfg.shards = 1;
+        let service = IdService::start(cfg);
+        service.issue(0, 200);
+        service.reset_tenant(0);
+        service.issue(0, 200);
+        service.drain();
+        let report = service.shutdown();
+        // 200 + 200 IDs in a 256 universe: ≥ 144 duplicates, guaranteed.
+        assert!(report.audit.counts.duplicate_ids >= 144);
+        assert_eq!(report.issued_ids, 400);
+    }
+
+    #[test]
+    fn partial_grants_surface_the_generator_error() {
+        let mut cfg = config(AlgorithmKind::Random, 4); // m = 16
+        cfg.shards = 1;
+        let service = IdService::start(cfg);
+        let reply = service.lease(3, 100);
+        assert_eq!(reply.granted, 16);
+        assert!(matches!(
+            reply.error,
+            Some(GeneratorError::Exhausted { generated: 16 })
+        ));
+        let report = service.shutdown();
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.issued_ids, 16);
+    }
+
+    #[test]
+    fn latency_histogram_sees_every_lease() {
+        let cfg = config(AlgorithmKind::ClusterStar, 24);
+        let service = IdService::start(cfg);
+        for tenant in 0..4u64 {
+            service.issue(tenant, 100);
+        }
+        service.drain();
+        let report = service.shutdown();
+        assert_eq!(report.latency.count(), 4);
+        assert!(report.latency.quantile_ns(0.99) >= report.latency.quantile_ns(0.5));
+        assert_eq!(report.audit.records, 4);
+    }
+}

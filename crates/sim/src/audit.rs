@@ -1,0 +1,379 @@
+//! Streaming, sharded, *symbolic* collision audit for lease traffic.
+//!
+//! The service layer issues IDs as bulk leases — arcs, not scalars — so
+//! auditing them with the per-ID [`OnlineDetector`] would undo the whole
+//! point of batching (a 2²⁰-ID lease would cost 2²⁰ map insertions).
+//! [`LeaseAudit`] keeps the audit symbolic: every recorded lease arc is
+//! intersected against the material already issued to *other* owners and
+//! folded into per-owner interval sets, so a lease costs `O(arcs · log
+//! segments)` regardless of how many IDs it covers — the same interval
+//! discipline that makes the oblivious game simulable at `d ≈ 2⁴⁰`.
+//!
+//! The universe is partitioned into equal contiguous **stripes**
+//! ([`AuditStripe`]), each with its own segment sets; arcs are split at
+//! stripe boundaries on the way in. Striping bounds per-record work,
+//! keeps each stripe's sets small, and gives a service audit pipeline a
+//! natural unit to distribute over threads.
+//!
+//! The headline counter, [`duplicate_ids`](LeaseAudit::duplicate_ids),
+//! is **order-invariant**: for every ID `x` issued by `k ≥ 1` distinct
+//! owners it counts exactly `k − 1`, no matter how the recording of
+//! leases from concurrent shards interleaves. (Proof sketch: an owner's
+//! own arcs never overlap, so the first time each owner covers `x` it
+//! pays 1 if and only if some *other* owner already covered `x`; over all
+//! owners of `x` exactly the non-first ones pay.) This is what lets a
+//! multi-shard service assert bit-identical audit totals for every
+//! worker-thread count. [`flagged_records`](LeaseAudit::flagged_records)
+//! is an arrival-order diagnostic and is *not* interleaving-invariant.
+//!
+//! [`OnlineDetector`]: crate::collision::OnlineDetector
+
+use std::collections::HashMap;
+
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::{Arc, IntervalSet};
+
+/// One stripe of the sharded audit: the sub-universe `[lo, hi)` with its
+/// own per-owner interval sets and counters.
+#[derive(Debug)]
+pub struct AuditStripe {
+    space: IdSpace,
+    lo: u128,
+    hi: u128,
+    /// Union of every segment recorded in this stripe, all owners.
+    global: IntervalSet,
+    /// Per-owner segment sets (owner keys are caller-defined, e.g.
+    /// `tenant` or `tenant + epoch` for restart-aware auditing).
+    owners: HashMap<u64, IntervalSet>,
+    duplicate_ids: u128,
+    flagged_records: u64,
+    recorded_ids: u128,
+    recorded_arcs: u64,
+}
+
+impl AuditStripe {
+    fn new(space: IdSpace, lo: u128, hi: u128) -> Self {
+        AuditStripe {
+            space,
+            lo,
+            hi,
+            global: IntervalSet::new(space),
+            owners: HashMap::new(),
+            duplicate_ids: 0,
+            flagged_records: 0,
+            recorded_ids: 0,
+            recorded_arcs: 0,
+        }
+    }
+
+    /// The stripe's sub-universe `[lo, hi)`.
+    pub fn range(&self) -> (u128, u128) {
+        (self.lo, self.hi)
+    }
+
+    /// Records the non-wrapping segment `[lo, hi)` (already clipped to
+    /// this stripe) for `owner`; returns how many of its IDs were
+    /// already held by a different owner.
+    pub fn record_segment(&mut self, owner: u64, lo: u128, hi: u128) -> u128 {
+        debug_assert!(
+            lo >= self.lo && hi <= self.hi && lo < hi,
+            "unclipped segment"
+        );
+        let arc = Arc::new(self.space, Id(lo), hi - lo);
+        let own = self
+            .owners
+            .entry(owner)
+            .or_insert_with(|| IntervalSet::new(self.space));
+        let cross = self.global.intersection_measure(arc) - own.intersection_measure(arc);
+        own.insert(arc);
+        self.global.insert(arc);
+        self.duplicate_ids += cross;
+        self.flagged_records += (cross > 0) as u64;
+        self.recorded_ids += hi - lo;
+        self.recorded_arcs += 1;
+        cross
+    }
+
+    /// IDs in this stripe issued to more than one owner (counted with
+    /// multiplicity − 1).
+    pub fn duplicate_ids(&self) -> u128 {
+        self.duplicate_ids
+    }
+}
+
+/// Totals across an audit's stripes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditCounts {
+    /// IDs issued to more than one owner (`Σ_x (owners(x) − 1)`;
+    /// interleaving-invariant).
+    pub duplicate_ids: u128,
+    /// Recorded segments that overlapped foreign material on arrival
+    /// (arrival-order diagnostic).
+    pub flagged_records: u64,
+    /// Total IDs recorded.
+    pub recorded_ids: u128,
+    /// Total segments recorded (after stripe splitting).
+    pub recorded_arcs: u64,
+}
+
+impl AuditCounts {
+    /// Whether any cross-owner duplicate has been observed.
+    pub fn collided(&self) -> bool {
+        self.duplicate_ids > 0
+    }
+
+    /// Element-wise sum, for aggregating per-thread audit partitions.
+    pub fn merge(&self, other: &AuditCounts) -> AuditCounts {
+        AuditCounts {
+            duplicate_ids: self.duplicate_ids + other.duplicate_ids,
+            flagged_records: self.flagged_records + other.flagged_records,
+            recorded_ids: self.recorded_ids + other.recorded_ids,
+            recorded_arcs: self.recorded_arcs + other.recorded_arcs,
+        }
+    }
+}
+
+/// A stripe-sharded symbolic lease audit over one universe.
+#[derive(Debug)]
+pub struct LeaseAudit {
+    space: IdSpace,
+    stripes: Vec<AuditStripe>,
+    /// All stripes have this width except the last, which absorbs the
+    /// remainder.
+    stripe_len: u128,
+}
+
+impl LeaseAudit {
+    /// An empty audit over `space` with `stripes ≥ 1` equal stripes.
+    pub fn new(space: IdSpace, stripes: usize) -> Self {
+        let stripes = stripes.clamp(1, 1 << 16);
+        let m = space.size();
+        let count = (stripes as u128).min(m) as usize;
+        let stripe_len = m.div_ceil(count as u128);
+        let stripes = (0..count)
+            .map(|i| {
+                let lo = i as u128 * stripe_len;
+                let hi = (lo + stripe_len).min(m);
+                AuditStripe::new(space, lo, hi)
+            })
+            .collect();
+        LeaseAudit {
+            space,
+            stripes,
+            stripe_len,
+        }
+    }
+
+    /// The universe being audited.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe containing `id`.
+    pub fn stripe_of(&self, id: Id) -> usize {
+        ((id.value() / self.stripe_len) as usize).min(self.stripes.len() - 1)
+    }
+
+    /// Records one lease arc for `owner`; returns how many of its IDs
+    /// were already held by a different owner. Wrapping arcs are split at
+    /// the universe boundary and all pieces at stripe boundaries.
+    pub fn record(&mut self, owner: u64, arc: Arc) -> u128 {
+        let m = self.space.size();
+        let lo = arc.start.value();
+        let end = lo + arc.len;
+        let mut cross = 0;
+        if end <= m {
+            cross += self.record_range(owner, lo, end);
+        } else {
+            cross += self.record_range(owner, lo, m);
+            cross += self.record_range(owner, 0, end - m);
+        }
+        cross
+    }
+
+    /// Records a non-wrapping range `[lo, hi)`, splitting it at stripe
+    /// boundaries.
+    fn record_range(&mut self, owner: u64, mut lo: u128, hi: u128) -> u128 {
+        let mut cross = 0;
+        while lo < hi {
+            let idx = self.stripe_of(Id(lo));
+            let stripe_hi = self.stripes[idx].hi.min(hi);
+            cross += self.stripes[idx].record_segment(owner, lo, stripe_hi);
+            lo = stripe_hi;
+        }
+        cross
+    }
+
+    /// Aggregated counters across all stripes.
+    pub fn counts(&self) -> AuditCounts {
+        self.stripes.iter().fold(AuditCounts::default(), |acc, s| {
+            acc.merge(&AuditCounts {
+                duplicate_ids: s.duplicate_ids,
+                flagged_records: s.flagged_records,
+                recorded_ids: s.recorded_ids,
+                recorded_arcs: s.recorded_arcs,
+            })
+        })
+    }
+
+    /// Whether any cross-owner duplicate has been observed.
+    pub fn collided(&self) -> bool {
+        self.stripes.iter().any(|s| s.duplicate_ids > 0)
+    }
+
+    /// Read access to the stripes (diagnostics, distribution planning).
+    pub fn stripes(&self) -> &[AuditStripe] {
+        &self.stripes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::prelude::*;
+    use uuidp_core::rng::{uniform_below, Xoshiro256pp};
+
+    fn arc(space: IdSpace, start: u128, len: u128) -> Arc {
+        Arc::new(space, Id(start), len)
+    }
+
+    #[test]
+    fn disjoint_leases_are_clean() {
+        let space = IdSpace::new(1 << 10).unwrap();
+        let mut audit = LeaseAudit::new(space, 4);
+        assert_eq!(audit.record(0, arc(space, 0, 100)), 0);
+        assert_eq!(audit.record(1, arc(space, 100, 100)), 0);
+        assert_eq!(audit.record(2, arc(space, 500, 400)), 0);
+        let c = audit.counts();
+        assert!(!c.collided());
+        assert_eq!(c.recorded_ids, 600);
+        assert_eq!(c.duplicate_ids, 0);
+    }
+
+    #[test]
+    fn cross_owner_overlap_is_measured_exactly() {
+        let space = IdSpace::new(1 << 10).unwrap();
+        let mut audit = LeaseAudit::new(space, 8);
+        audit.record(0, arc(space, 0, 200));
+        let cross = audit.record(1, arc(space, 150, 100)); // [150,250): 50 shared
+        assert_eq!(cross, 50);
+        assert!(audit.collided());
+        assert_eq!(audit.counts().duplicate_ids, 50);
+        // Same-owner re-coverage does not count (owner 1 already holds
+        // [150,250); recording an adjacent arc overlapping only itself).
+        let cross = audit.record(1, arc(space, 240, 20));
+        assert_eq!(cross, 0, "own material never self-collides");
+    }
+
+    #[test]
+    fn wrapping_arcs_split_and_audit_correctly() {
+        let space = IdSpace::new(100).unwrap();
+        let mut audit = LeaseAudit::new(space, 3);
+        audit.record(7, arc(space, 90, 20)); // {90..99, 0..9}
+        let cross = audit.record(8, arc(space, 95, 10)); // {95..99, 0..4}
+        assert_eq!(cross, 10);
+        assert_eq!(audit.counts().duplicate_ids, 10);
+    }
+
+    #[test]
+    fn duplicate_ids_is_interleaving_invariant() {
+        // Three owners over a common region plus private material, fed in
+        // every permutation: duplicate_ids must not move.
+        let space = IdSpace::new(1 << 12).unwrap();
+        let leases: Vec<(u64, Arc)> = vec![
+            (0, arc(space, 0, 64)),
+            (1, arc(space, 32, 64)),
+            (2, arc(space, 48, 8)),
+            (0, arc(space, 200, 50)),
+            (1, arc(space, 220, 10)),
+            (2, arc(space, 4000, 96)), // wraps nothing, private
+        ];
+        let mut reference = None;
+        // All 720 permutations of 6 elements via Heap's algorithm indices.
+        let mut perm: Vec<usize> = (0..leases.len()).collect();
+        let mut c = vec![0usize; leases.len()];
+        let mut check = |perm: &[usize]| {
+            let mut audit = LeaseAudit::new(space, 5);
+            for &i in perm {
+                let (owner, a) = leases[i];
+                audit.record(owner, a);
+            }
+            let d = audit.counts().duplicate_ids;
+            match reference {
+                None => reference = Some(d),
+                Some(r) => assert_eq!(r, d, "order changed duplicate_ids"),
+            }
+        };
+        check(&perm);
+        let mut i = 0;
+        while i < leases.len() {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                check(&perm);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        // owners(x) − 1 summed: [32,64) has {0,1} → 32; [48,56) adds owner
+        // 2 on top of both → 8 more; [220,230) has {0,1} → 10.
+        assert_eq!(reference, Some(32 + 8 + 10));
+    }
+
+    #[test]
+    fn striping_does_not_change_totals() {
+        let space = IdSpace::new(1 << 14).unwrap();
+        let mut rng = Xoshiro256pp::new(21);
+        let leases: Vec<(u64, Arc)> = (0..200)
+            .map(|i| {
+                let start = uniform_below(&mut rng, 1 << 14);
+                let len = 1 + uniform_below(&mut rng, 1 << 7);
+                (i % 9, arc(space, start, len))
+            })
+            .collect();
+        let mut totals = Vec::new();
+        for stripes in [1usize, 2, 7, 64] {
+            let mut audit = LeaseAudit::new(space, stripes);
+            for &(owner, a) in &leases {
+                audit.record(owner, a);
+            }
+            totals.push(audit.counts().duplicate_ids);
+        }
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "stripe count changed duplicate_ids: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_generators_are_always_caught() {
+        // The zero-false-negative guarantee the stress test relies on:
+        // two identically seeded Cluster instances lease the same arcs,
+        // and every leased ID past the first lease is a duplicate.
+        let space = IdSpace::with_bits(40).unwrap();
+        let alg = Cluster::new(space);
+        let mut a = alg.spawn(99);
+        let mut b = alg.spawn(99);
+        let mut audit = LeaseAudit::new(space, 16);
+        let mut lease = Lease::new(space);
+        for (owner, generator) in [&mut a, &mut b].into_iter().enumerate() {
+            lease.fill(generator.as_mut(), 4096).unwrap();
+            for &arc in lease.arcs() {
+                audit.record(owner as u64, arc);
+            }
+        }
+        assert!(audit.collided());
+        assert_eq!(audit.counts().duplicate_ids, 4096);
+    }
+}

@@ -125,15 +125,41 @@ pub fn footprints_collide_with(
     scratch: &mut CollisionScratch,
     footprints: &[Footprint<'_>],
 ) -> bool {
-    // Phase 1: k-way sweep over all arc segments.
-    scratch.segments.clear();
-    for (owner, fp) in footprints.iter().enumerate() {
-        if let Footprint::Arcs(set) = fp {
-            scratch
-                .segments
-                .extend(set.segments().map(|(lo, hi)| (lo, hi, owner)));
+    footprints_collide_each(scratch, |visit| {
+        for (owner, fp) in footprints.iter().enumerate() {
+            match fp {
+                Footprint::Arcs(set) => visit(owner, Footprint::Arcs(set)),
+                Footprint::Points(points) => visit(owner, Footprint::Points(points)),
+            }
         }
-    }
+    })
+}
+
+/// Iterator-driven collision pass: instead of taking a materialized
+/// `&[Footprint]`, takes a visitation closure that yields each
+/// `(owner, footprint)` pair to the supplied callback. The driver is
+/// invoked once per phase (segments, then points), so footprints are
+/// borrowed only transiently — which is what lets the symbolic game loop
+/// feed generator footprints (`&mut`-borrowed, non-storable) directly
+/// into the detector without collecting a per-trial `Vec<Footprint>`.
+///
+/// Detection semantics are identical to [`footprints_collide`]. The
+/// driver must yield the same owners in both invocations; yielding is
+/// cheap enough that re-deriving the footprints (e.g. re-calling
+/// [`IdGenerator::footprint`](uuidp_core::traits::IdGenerator::footprint),
+/// which is amortized O(1) after the first flush) is in the noise.
+pub fn footprints_collide_each(
+    scratch: &mut CollisionScratch,
+    mut for_each: impl FnMut(&mut dyn FnMut(usize, Footprint<'_>)),
+) -> bool {
+    // Phase 1: k-way sweep over all arc segments.
+    let segments = &mut scratch.segments;
+    segments.clear();
+    for_each(&mut |owner, fp| {
+        if let Footprint::Arcs(set) = fp {
+            segments.extend(set.segments().map(|(lo, hi)| (lo, hi, owner)));
+        }
+    });
     scratch.segments.sort_unstable_by_key(|&(lo, _, _)| lo);
     // Sweep with a running covered region (max_hi, owner). A segment that
     // starts inside the covered region overlaps some earlier segment; since
@@ -156,15 +182,21 @@ pub fn footprints_collide_with(
     // points against points (hash map). Reaching this phase means the arc
     // segments are pairwise disjoint across owners, so containment needs
     // to examine at most one candidate segment per point.
-    scratch.points.clear();
-    for (owner, fp) in footprints.iter().enumerate() {
-        if let Footprint::Points(points) = fp {
-            for id in *points {
+    let CollisionScratch { segments, points } = scratch;
+    points.clear();
+    let mut collided = false;
+    for_each(&mut |owner, fp| {
+        if collided {
+            return;
+        }
+        if let Footprint::Points(ids) = fp {
+            for id in ids {
                 let v = id.value();
-                match scratch.points.entry(v) {
+                match points.entry(v) {
                     Entry::Occupied(e) => {
                         if *e.get() != owner {
-                            return true;
+                            collided = true;
+                            return;
                         }
                     }
                     Entry::Vacant(e) => {
@@ -173,17 +205,18 @@ pub fn footprints_collide_with(
                 }
                 // The candidate arc segment containing v, if any: the last
                 // segment with lo <= v.
-                let idx = scratch.segments.partition_point(|&(lo, _, _)| lo <= v);
+                let idx = segments.partition_point(|&(lo, _, _)| lo <= v);
                 if idx > 0 {
-                    let (_, hi, seg_owner) = scratch.segments[idx - 1];
+                    let (_, hi, seg_owner) = segments[idx - 1];
                     if v < hi && seg_owner != owner {
-                        return true;
+                        collided = true;
+                        return;
                     }
                 }
             }
         }
-    }
-    false
+    });
+    collided
 }
 
 /// Streaming cross-instance duplicate detector for adaptive games.

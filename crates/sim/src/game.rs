@@ -23,7 +23,7 @@ use uuidp_core::id::Id;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::{Algorithm, IdGenerator};
 
-use crate::collision::{footprints_collide_with, CollisionScratch, OnlineDetector};
+use crate::collision::{footprints_collide_each, CollisionScratch, OnlineDetector};
 
 /// Safety limits for adaptive games.
 #[derive(Debug, Clone, Copy)]
@@ -273,11 +273,20 @@ pub fn run_oblivious_symbolic_with(
             exhausted = true;
         }
     }
-    let footprints: Vec<_> = scratch.instances[..n]
-        .iter_mut()
-        .map(|g| g.footprint())
-        .collect();
-    let collided = footprints_collide_with(&mut scratch.collision, &footprints);
+    // The collide pass is driven straight off the generators: footprints
+    // are borrowed transiently per visit, so no per-trial `Vec<Footprint>`
+    // is materialized. Re-visiting calls `footprint()` again, which is a
+    // no-op after the first flush.
+    let SymbolicScratch {
+        instances,
+        collision,
+        ..
+    } = scratch;
+    let collided = footprints_collide_each(collision, |visit| {
+        for (i, g) in instances[..n].iter_mut().enumerate() {
+            visit(i, g.footprint());
+        }
+    });
     TrialOutcome {
         collided,
         exhausted,
@@ -403,6 +412,7 @@ mod tests {
                     Action::Request(0)
                 }
             }
+            fn reset(&mut self, _seed: u64) {}
         }
         let space = IdSpace::new(1 << 20).unwrap();
         let alg = Cluster::new(space);

@@ -8,6 +8,8 @@
 //!   footprints instead of materialized IDs;
 //! * [`collision`] — cross-instance duplicate detection, streaming and
 //!   symbolic;
+//! * [`audit`] — stripe-sharded symbolic lease auditing for the service
+//!   layer (order-invariant duplicate accounting over arcs);
 //! * [`montecarlo`] — reproducible, thread-parallel estimation of
 //!   `p_A(D)` and `p_A(Z)` with Wilson confidence intervals;
 //! * [`stats`] — the estimators and the log–log shape-checking tools;
@@ -16,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod collision;
 pub mod experiment;
 pub mod game;
@@ -24,6 +27,7 @@ pub mod stats;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::audit::{AuditCounts, LeaseAudit};
     pub use crate::collision::{footprints_collide, OnlineDetector};
     pub use crate::experiment::{fmt_count, fmt_prob, fmt_ratio, Table};
     pub use crate::game::{run_adaptive, run_oblivious_symbolic, GameLimits, GameOutcome};

@@ -105,6 +105,12 @@ pub fn estimate_oblivious(
 
 /// Estimates the adaptive collision probability `p_A(Z)` by playing the
 /// full interactive game.
+///
+/// Each worker boxes one strategy via [`AdversarySpec::spawn`] and then
+/// recycles it across its trials through
+/// [`AdaptiveAdversary::reset`](uuidp_adversary::adaptive::AdaptiveAdversary::reset)
+/// — the mirror of the generator recycling — so a steady-state adaptive
+/// trial allocates nothing for the adversary either.
 pub fn estimate_adaptive(
     algorithm: &dyn Algorithm,
     adversary: &dyn AdversarySpec,
@@ -112,9 +118,9 @@ pub fn estimate_adaptive(
 ) -> (Estimate, RunDiagnostics) {
     run_sharded(
         config,
-        AdaptiveScratch::new,
-        |tree, scratch: &mut AdaptiveScratch| {
-            let mut adv = adversary.spawn(tree.seed(SeedDomain::Adversary));
+        || (AdaptiveScratch::new(), adversary.spawn(0)),
+        |tree, (scratch, adv)| {
+            adv.reset(tree.seed(SeedDomain::Adversary));
             run_adaptive_with(scratch, algorithm, adv.as_mut(), tree, config.limits)
         },
     )

@@ -28,6 +28,7 @@ fn main() {
         compact_weight: 1000,
         migrate_weight: 999,
         restart_weight: 1, // rare crash-restarts, as in production
+        lease_batch: 0,
     };
 
     println!("Deployment: 12 store instances, shared block cache, m = 2^22 (scaled)\n");
