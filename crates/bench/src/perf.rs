@@ -412,6 +412,60 @@ pub fn bench_service_issue(kind: AlgorithmKind, label: &str) -> PerfResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Baseline 4 (PR 3): the single-thread audit pipeline — same service,
+// same striped audit, but every stripe owned by one consumer thread.
+// ---------------------------------------------------------------------
+
+/// Full-lifecycle (start → issue → drain → shutdown) ns/ID of an
+/// audit-bound service. Random-algorithm leases fragment into per-ID
+/// arcs, so the audit does `O(count)` interval work per lease while the
+/// producers stay cheap — the pipeline, not the generators, is the
+/// bottleneck by construction. Unlike the issue benches this measures
+/// through `shutdown()`, because the audit tail after the worker drain
+/// is exactly the cost a wider pipeline is supposed to absorb.
+fn audited_wall_ns_per_id(audit_threads: usize) -> f64 {
+    let space = IdSpace::with_bits(30).unwrap();
+    let requests = 2048u64;
+    let count = 32u128;
+    let mut samples: Vec<f64> = (0..3)
+        .map(|i| {
+            let mut cfg = uuidp_service::service::ServiceConfig::new(AlgorithmKind::Random, space);
+            cfg.shards = 2;
+            cfg.audit_stripes = 64;
+            cfg.audit_threads = audit_threads;
+            cfg.master_seed = 0xA0D17 + i;
+            let start = Instant::now();
+            let service = uuidp_service::service::IdService::start(cfg);
+            for r in 0..requests {
+                service.issue(r % 32, count);
+            }
+            service.drain();
+            let report = service.shutdown();
+            start.elapsed().as_nanos() as f64 / report.issued_ids as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2]
+}
+
+/// The PR 3 pipeline guardrail: the 4-thread stripe-routed audit vs the
+/// single consumer that owned every stripe before, on an audit-bound
+/// (point-lease) workload. On multi-core hosts the fan-out divides the
+/// audit's interval work; on a single-core runner (like the container
+/// this JSON is recorded on) the honest expectation is ~1.0× — the
+/// number then pins that per-stripe routing and the extra channels cost
+/// nothing over the old single tap. Cost unit: ns per issued ID, full
+/// service lifecycle.
+pub fn bench_audit_pipeline() -> PerfResult {
+    PerfResult {
+        name: "service_audit_pipeline_random_point_leases".into(),
+        unit: "ns/id",
+        new_cost: audited_wall_ns_per_id(4),
+        baseline_cost: audited_wall_ns_per_id(1),
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -421,6 +475,7 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_estimate_oblivious(),
         bench_service_issue(AlgorithmKind::Cluster, "cluster"),
         bench_service_issue(AlgorithmKind::BinsStar, "bins_star"),
+        bench_audit_pipeline(),
     ]
 }
 

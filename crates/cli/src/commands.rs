@@ -13,8 +13,12 @@ use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{SplitMix64, Xoshiro256pp};
 use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
 
-use uuidp_service::service::{IdService, ServiceConfig};
-use uuidp_service::stress::{run_stress, StressConfig, TrafficMix};
+use uuidp_service::net::TcpServer;
+use uuidp_service::protocol::{render_lease, Command};
+use uuidp_service::service::{IdService, ServiceConfig, ServiceReport};
+use uuidp_service::stress::{
+    run_stress, run_stress_remote, StressConfig, StressReport, TrafficMix,
+};
 
 use crate::spec::{parse_algorithm, parse_algorithm_kind, IdFormat, ParseError};
 
@@ -212,21 +216,32 @@ pub struct ServeOpts {
     pub shards: usize,
     /// Audit stripes.
     pub audit_stripes: usize,
+    /// Audit pipeline threads.
+    pub audit_threads: usize,
     /// Master seed for the per-tenant seed tree.
     pub seed: u64,
+    /// When set, serve the line protocol over TCP on this address
+    /// (e.g. `127.0.0.1:7821`; port 0 binds an ephemeral port) instead
+    /// of stdin.
+    pub listen: Option<String>,
 }
 
-/// Runs `uuidp serve`: a line-protocol front-end over the sharded
-/// batch-leasing service. Each input line is one command:
+/// Runs `uuidp serve`: the line protocol (see [`uuidp_service::protocol`])
+/// over the sharded batch-leasing service — on stdin/stdout by default,
+/// or as a TCP front-end with `--listen`:
 ///
 /// ```text
 /// <tenant> <count>    lease `count` IDs for `tenant`, print the arcs
 /// reset <tenant>      recycle the tenant's generator (new epoch)
-/// quit                stop (EOF works too)
+/// drain               block until all prior requests are processed
+/// quit                stop (EOF works too; over TCP, closes this conn)
+/// shutdown            stop the whole service (TCP: report totals)
 /// ```
 ///
-/// Writes one reply line per lease to `out` and returns the shutdown
-/// summary (issued totals plus the online audit's findings).
+/// Writes one reply line per command to `out` and returns the shutdown
+/// summary (issued totals plus the online audit's findings). In
+/// `--listen` mode the bound address is announced on `out` and the call
+/// blocks until a client sends `shutdown`.
 pub fn serve(
     opts: &ServeOpts,
     input: &mut dyn std::io::BufRead,
@@ -238,59 +253,53 @@ pub fn serve(
     let mut config = ServiceConfig::new(kind, space);
     config.shards = opts.shards.max(1);
     config.audit_stripes = opts.audit_stripes.max(1);
+    config.audit_threads = opts.audit_threads.max(1);
     config.master_seed = opts.seed;
-    let service = IdService::start(config);
     let io_err = |e: std::io::Error| ParseError(format!("i/o error: {e}"));
 
+    if let Some(addr) = &opts.listen {
+        let server =
+            TcpServer::bind(addr, config).map_err(|e| ParseError(format!("bind {addr}: {e}")))?;
+        writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
+        out.flush().map_err(io_err)?;
+        let report = server
+            .join()
+            .ok_or_else(|| ParseError("server exited without a shutdown report".into()))?;
+        return Ok(serve_summary(&report));
+    }
+
+    let service = IdService::start(config);
     let mut line = String::new();
     loop {
         line.clear();
         if input.read_line(&mut line).map_err(io_err)? == 0 {
             break; // EOF
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        match fields.as_slice() {
-            [] => continue,
-            ["quit" | "exit"] => break,
-            ["reset", tenant] => match tenant.parse::<u64>() {
-                Ok(t) => {
-                    service.reset_tenant(t);
-                    writeln!(out, "reset tenant={t}").map_err(io_err)?;
-                }
-                Err(_) => writeln!(out, "error: bad tenant `{tenant}`").map_err(io_err)?,
-            },
-            [tenant, count] => match (tenant.parse::<u64>(), count.parse::<u128>()) {
-                (Ok(t), Ok(c)) => {
-                    let reply = service.lease(t, c);
-                    let arcs: Vec<String> = reply
-                        .arcs
-                        .iter()
-                        .map(|a| format!("{}+{}", a.start.value(), a.len))
-                        .collect();
-                    write!(out, "lease tenant={t} granted={}", reply.granted).map_err(io_err)?;
-                    writeln!(
-                        out,
-                        " arcs={}{}",
-                        arcs.join(","),
-                        match &reply.error {
-                            Some(e) => format!(" error={e}"),
-                            None => String::new(),
-                        }
-                    )
-                    .map_err(io_err)?;
-                }
-                _ => writeln!(out, "error: expected `<tenant> <count>`").map_err(io_err)?,
-            },
-            _ => writeln!(
-                out,
-                "error: expected `<tenant> <count>` | `reset <tenant>` | `quit`"
-            )
-            .map_err(io_err)?,
+        match Command::parse(&line) {
+            Err(msg) => writeln!(out, "error: {msg}").map_err(io_err)?,
+            Ok(None) => continue,
+            // Process-local: the service stops with this loop either way.
+            Ok(Some(Command::Quit | Command::Shutdown)) => break,
+            Ok(Some(Command::Drain)) => {
+                service.drain();
+                writeln!(out, "drained").map_err(io_err)?;
+            }
+            Ok(Some(Command::Reset { tenant })) => {
+                service.reset_tenant(tenant);
+                writeln!(out, "reset tenant={tenant}").map_err(io_err)?;
+            }
+            Ok(Some(Command::Lease { tenant, count })) => {
+                let reply = service.lease(tenant, count);
+                writeln!(out, "{}", render_lease(&reply)).map_err(io_err)?;
+            }
         }
     }
+    Ok(serve_summary(&service.shutdown()))
+}
 
-    let report = service.shutdown();
-    Ok(format!(
+/// The human-readable `uuidp serve` shutdown block.
+fn serve_summary(report: &ServiceReport) -> String {
+    format!(
         "served:      {} leases, {} IDs\nerrors:      {}\n\
          audit:       {} duplicate IDs across {} flagged leases{}\n",
         report.leases,
@@ -303,7 +312,7 @@ pub fn serve(
         } else {
             ""
         }
-    ))
+    )
 }
 
 /// Options for `uuidp stress`.
@@ -325,8 +334,13 @@ pub struct StressOpts {
     pub mix: String,
     /// Audit stripes.
     pub audit_stripes: usize,
+    /// Audit pipeline threads.
+    pub audit_threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Replay over a loopback TCP server through the real socket client
+    /// instead of in-process channels.
+    pub remote: bool,
 }
 
 impl StressOpts {
@@ -342,7 +356,9 @@ impl StressOpts {
             count: 64,
             mix: "uniform".into(),
             audit_stripes: 8,
+            audit_threads: 1,
             seed: 0x57E5,
+            remote: false,
         }
     }
 }
@@ -360,15 +376,32 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
     let mut service = ServiceConfig::new(kind, space);
     service.shards = opts.shards.max(1);
     service.audit_stripes = opts.audit_stripes.max(1);
+    service.audit_threads = opts.audit_threads.max(1);
     service.master_seed = opts.seed;
+
+    // Both the main phase and the injected-collision validation phase go
+    // through the selected transport, so `--remote` exercises the whole
+    // socket path end to end.
+    let run = |cfg: StressConfig| -> Result<StressReport, ParseError> {
+        if opts.remote {
+            run_stress_remote(cfg).map_err(|e| ParseError(format!("remote stress: {e}")))
+        } else {
+            Ok(run_stress(cfg))
+        }
+    };
 
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
-    let main = run_stress(cfg.clone());
+    let main = run(cfg.clone())?;
     let mut out = format!(
-        "# stress: {} over m = 2^{}\n\n{}",
+        "# stress: {} over m = 2^{}{}\n\n{}",
         opts.algorithm,
         opts.bits,
+        if opts.remote {
+            " (loopback TCP transport)"
+        } else {
+            ""
+        },
         main.render()
     );
 
@@ -382,7 +415,7 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
     let per_tenant = (check.requests.clamp(16, 512) / check.tenants).max(1);
     check.requests = per_tenant * check.tenants;
     check.service.seed_alias = Some((0, 1));
-    let injected = run_stress(check);
+    let injected = run(check)?;
     // The exact count holds only when no generator exhausted: a partial
     // grant shortens the twin streams by an amount the aggregate report
     // cannot attribute per tenant, so fall back to requiring detection.
@@ -577,16 +610,22 @@ mod tests {
         assert!(rng_smoke());
     }
 
-    #[test]
-    fn serve_leases_over_the_line_protocol() {
-        let opts = ServeOpts {
-            algorithm: "cluster".into(),
-            bits: 40,
+    fn serve_opts(algorithm: &str, bits: u32) -> ServeOpts {
+        ServeOpts {
+            algorithm: algorithm.into(),
+            bits,
             shards: 2,
             audit_stripes: 8,
+            audit_threads: 1,
             seed: 9,
-        };
-        let script = b"0 5\n7 3\nreset 0\n0 4\nbogus line here\nquit\n";
+            listen: None,
+        }
+    }
+
+    #[test]
+    fn serve_leases_over_the_line_protocol() {
+        let opts = serve_opts("cluster", 40);
+        let script = b"0 5\n7 3\nreset 0\ndrain\n0 4\nbogus line here\nquit\n";
         let mut input = &script[..];
         let mut output = Vec::new();
         let summary = serve(&opts, &mut input, &mut output).unwrap();
@@ -594,10 +633,74 @@ mod tests {
         assert_eq!(text.matches("lease tenant=0").count(), 2);
         assert!(text.contains("lease tenant=7 granted=3"));
         assert!(text.contains("reset tenant=0"));
+        assert!(text.contains("drained"));
         assert!(text.contains("error:"));
         assert!(summary.contains("served:      3 leases, 12 IDs"));
         // Cluster leases are single arcs: `start+len`.
         assert!(text.contains("+5"), "arc rendering: {text}");
+    }
+
+    /// A writer that, on seeing the `listening on ADDR` announcement,
+    /// spawns a client thread to drive the TCP front-end and shut it
+    /// down — which is what unblocks the `serve` call under test.
+    struct ListenDriver {
+        buf: Vec<u8>,
+        client: Option<std::thread::JoinHandle<u128>>,
+    }
+
+    impl std::io::Write for ListenDriver {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            if self.client.is_none() {
+                if let Some(rest) = std::str::from_utf8(&self.buf)
+                    .ok()
+                    .and_then(|s| s.strip_prefix("listening on "))
+                {
+                    if let Some(addr) = rest.strip_suffix('\n') {
+                        let addr: std::net::SocketAddr = addr.parse().expect("announced addr");
+                        self.client = Some(std::thread::spawn(move || {
+                            let space = IdSpace::with_bits(40).unwrap();
+                            let mut client =
+                                uuidp_service::net::RemoteClient::connect(addr, space).unwrap();
+                            let granted = client.lease(5, 123).unwrap().granted;
+                            client.shutdown().unwrap();
+                            granted
+                        }));
+                    }
+                }
+            }
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_listen_fronts_the_service_over_tcp() {
+        let opts = ServeOpts {
+            listen: Some("127.0.0.1:0".into()),
+            audit_threads: 2,
+            ..serve_opts("cluster", 40)
+        };
+        let mut input = &b""[..];
+        let mut driver = ListenDriver {
+            buf: Vec::new(),
+            client: None,
+        };
+        let summary = serve(&opts, &mut input, &mut driver).unwrap();
+        let granted = driver
+            .client
+            .take()
+            .expect("listen announcement never seen")
+            .join()
+            .unwrap();
+        assert_eq!(granted, 123);
+        assert!(
+            summary.contains("served:      1 leases, 123 IDs"),
+            "{summary}"
+        );
     }
 
     #[test]
@@ -624,6 +727,22 @@ mod tests {
         };
         let out = stress(&opts).unwrap();
         assert!(out.contains("lower bound"), "exhaustion fallback: {out}");
+        assert!(out.contains("validation:  ok"));
+    }
+
+    #[test]
+    fn stress_remote_replays_over_loopback_tcp() {
+        // The same preset over the socket transport: the validation
+        // phase (injected twins) must still catch every duplicate, and
+        // the header must say which transport ran.
+        let opts = StressOpts {
+            requests: 120,
+            remote: true,
+            audit_threads: 2,
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("loopback TCP transport"), "{out}");
         assert!(out.contains("validation:  ok"));
     }
 

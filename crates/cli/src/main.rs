@@ -6,7 +6,9 @@
 //! uuidp plan --scheme cluster --budget 1e-6 --instances 1024 --bits 128
 //! uuidp diagram --algorithm "bins:3" -m 20 --requests 8
 //! uuidp serve --algorithm cluster --bits 64 --shards 4
+//! uuidp serve --algorithm cluster --bits 64 --listen 127.0.0.1:7821 --audit-threads 4
 //! uuidp stress --algorithm "bins*" --bits 48 --tenants 32 --requests 100000 --count 512
+//! uuidp stress --algorithm cluster --trials-small --remote
 //! uuidp doctor
 //! ```
 
@@ -60,9 +62,11 @@ fn print_usage() {
          \x20 uuidp simulate --algorithm SPEC --instances N --per-instance D [--bits N=24] [--trials N=20000] [--seed N]\n\
          \x20 uuidp plan     --scheme random|cluster --budget P --instances N [--bits N=128]\n\
          \x20 uuidp diagram  --algorithm SPEC [-m N=20] [--requests N=8] [--seed N]\n\
-         \x20 uuidp serve    --algorithm SPEC [--bits N=64] [--shards N=2] [--audit-stripes N=16] [--seed N]\n\
+         \x20 uuidp serve    --algorithm SPEC [--bits N=64] [--shards N=2] [--audit-stripes N=16]\n\
+         \x20                [--audit-threads N=1] [--seed N] [--listen ADDR (TCP, e.g. 127.0.0.1:7821)]\n\
          \x20 uuidp stress   --algorithm SPEC [--bits N=48] [--shards N=2] [--tenants N=8] [--requests N=20000]\n\
-         \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--seed N] [--trials-small]\n\
+         \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--audit-threads N=1]\n\
+         \x20                [--seed N] [--trials-small] [--remote (loopback TCP transport)]\n\
          \x20 uuidp doctor\n\
          \n\
          algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
@@ -106,6 +110,11 @@ impl<'a> Flags<'a> {
     fn require(&self, names: &[&str]) -> Result<&'a str, String> {
         self.get(names)
             .ok_or_else(|| format!("missing required flag {}", names[0]))
+    }
+
+    /// Boolean presence flag (takes no value).
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
     }
 }
 
@@ -152,7 +161,9 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         bits: f.parse(&["--bits", "-b"], 64u32)?,
         shards: f.parse(&["--shards"], 2usize)?,
         audit_stripes: f.parse(&["--audit-stripes"], 16usize)?,
+        audit_threads: f.parse(&["--audit-threads"], 1usize)?,
         seed: f.parse(&["--seed", "-s"], 0x5EEDu64)?,
+        listen: f.get(&["--listen"]).map(str::to_string),
     };
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
@@ -177,7 +188,9 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             count: 256,
             mix: "uniform".into(),
             audit_stripes: 16,
+            audit_threads: 1,
             seed: 0x57E5,
+            remote: false,
         }
     };
     let algorithm = match f.get(&["--algorithm", "-a"]) {
@@ -197,7 +210,9 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             .unwrap_or(defaults.mix.as_str())
             .to_string(),
         audit_stripes: f.parse(&["--audit-stripes"], defaults.audit_stripes)?,
+        audit_threads: f.parse(&["--audit-threads"], defaults.audit_threads)?,
         seed: f.parse(&["--seed", "-s"], defaults.seed)?,
+        remote: f.has("--remote") || defaults.remote,
     };
     stress(&opts).map_err(|e| e.0)
 }

@@ -101,8 +101,8 @@ pub fn parse_algorithm(spec: &str, space: IdSpace) -> Result<Box<dyn Algorithm>,
 
 /// Parses an algorithm spec into the serializable [`AlgorithmKind`]
 /// registry form the service layer is configured with. Accepts the same
-/// specs as [`parse_algorithm`] except `cluster*:G` (the growth ablation
-/// has no registry entry) and validates against `space` by building once.
+/// specs as [`parse_algorithm`] (including the `cluster*:G` growth
+/// ablation) and validates against `space` by building once.
 pub fn parse_algorithm_kind(spec: &str, space: IdSpace) -> Result<AlgorithmKind, ParseError> {
     // Validate the spec (ranges, bit layouts) through the factory parser.
     parse_algorithm(spec, space)?;
@@ -118,6 +118,9 @@ pub fn parse_algorithm_kind(spec: &str, space: IdSpace) -> Result<AlgorithmKind,
             k: k.parse().expect("validated above"),
         }),
         ("cluster*" | "cluster-star", None) => Ok(AlgorithmKind::ClusterStar),
+        ("cluster*" | "cluster-star", Some(g)) => Ok(AlgorithmKind::ClusterStarGrowth {
+            growth: g.parse().expect("validated above"),
+        }),
         ("bins*" | "bins-star", None) => Ok(AlgorithmKind::BinsStar),
         ("bins*" | "bins-star", Some("maxfit")) => Ok(AlgorithmKind::BinsStarMaxFit),
         ("session", Some(sc)) => {
@@ -217,6 +220,37 @@ mod tests {
         assert!(err.0.contains("implies m"));
         let err = parse_algorithm("cluster*:1", space()).unwrap_err();
         assert!(err.0.contains("at least 2"));
+    }
+
+    #[test]
+    fn registry_specs_round_trip_through_algorithm_kind() {
+        // Every servable spec parses to a registry entry whose factory
+        // carries the same name as the direct parser's — so `uuidp
+        // serve`/`stress` can select every ablation, growth included
+        // (the previously missing ROADMAP entry).
+        for spec in [
+            "random",
+            "cluster",
+            "bins:64",
+            "cluster*",
+            "cluster*:4",
+            "cluster-star:8",
+            "bins*",
+            "bins*:maxfit",
+        ] {
+            let kind = parse_algorithm_kind(spec, space()).unwrap();
+            assert_eq!(
+                kind.build(space()).name(),
+                parse_algorithm(spec, space()).unwrap().name(),
+                "{spec}"
+            );
+        }
+        assert_eq!(
+            parse_algorithm_kind("cluster*:4", space()).unwrap(),
+            AlgorithmKind::ClusterStarGrowth { growth: 4 }
+        );
+        // Invalid growth factors are still rejected up front.
+        assert!(parse_algorithm_kind("cluster*:1", space()).is_err());
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub enum AlgorithmKind {
     },
     /// Doubling runs placed uniformly among own runs (Theorem 8).
     ClusterStar,
+    /// Cluster★ with run growth ×`growth` instead of doubling (the
+    /// growth-factor ablation).
+    ClusterStarGrowth {
+        /// Run-length growth factor, `≥ 2`.
+        growth: u32,
+    },
     /// One bin per doubling-size chunk (Theorems 9 and 11).
     BinsStar,
     /// Bins★ with the max-fit chunk count instead of the paper formula.
@@ -79,6 +85,9 @@ impl AlgorithmKind {
             AlgorithmKind::Cluster => Box::new(Cluster::new(space)),
             AlgorithmKind::Bins { k } => Box::new(Bins::new(space, *k)),
             AlgorithmKind::ClusterStar => Box::new(ClusterStar::new(space)),
+            AlgorithmKind::ClusterStarGrowth { growth } => {
+                Box::new(ClusterStar::with_growth(space, *growth))
+            }
             AlgorithmKind::BinsStar => Box::new(BinsStar::new(space)),
             AlgorithmKind::BinsStarMaxFit => {
                 Box::new(BinsStar::with_rule(space, ChunkRule::MaxFit))
@@ -135,6 +144,7 @@ mod tests {
             AlgorithmKind::Cluster,
             AlgorithmKind::Bins { k: 16 },
             AlgorithmKind::ClusterStar,
+            AlgorithmKind::ClusterStarGrowth { growth: 4 },
             AlgorithmKind::BinsStar,
             AlgorithmKind::BinsStarMaxFit,
             AlgorithmKind::SetAside { i: 4, j: 20 },
@@ -198,5 +208,29 @@ mod tests {
             AlgorithmKind::SetAside { i: 1, j: 9 }.build(space).name(),
             "set-aside(1, 9)"
         );
+        assert_eq!(
+            AlgorithmKind::ClusterStarGrowth { growth: 3 }
+                .build(space)
+                .name(),
+            "cluster*(x3)"
+        );
+    }
+
+    #[test]
+    fn growth_registry_entry_matches_the_direct_constructor() {
+        // The ablation entry must spawn generators bit-identical to
+        // ClusterStar::with_growth — same stream, same exhaustion.
+        let space = IdSpace::new(1 << 12).unwrap();
+        let registry = AlgorithmKind::ClusterStarGrowth { growth: 4 }.build(space);
+        let direct = ClusterStar::with_growth(space, 4);
+        let mut a = registry.spawn(77);
+        let mut b = direct.spawn(77);
+        for i in 0..2000 {
+            match (a.next_id(), b.next_id()) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "diverged at ID {i}"),
+                (Err(_), Err(_)) => break,
+                (x, y) => panic!("exhaustion diverged at {i}: {x:?} vs {y:?}"),
+            }
+        }
     }
 }

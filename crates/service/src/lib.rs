@@ -14,21 +14,35 @@
 //!   whole run of IDs as `O(1)` amortized interval pushes (Cluster and
 //!   the arc-structured algorithms lease thousands of IDs per arc), so
 //!   aggregate throughput is bounded by channel hops, not by per-ID
-//!   work. Every lease is tee'd into a striped, *symbolic*
-//!   [`LeaseAudit`](uuidp_sim::audit::LeaseAudit) pipeline that flags
-//!   cross-tenant duplicates and silent aliasing online, with
-//!   interleaving-invariant totals (bit-identical for every shard
-//!   count).
+//!   work. Every lease is routed, stripe by stripe, into a **pool of
+//!   audit threads**, each owning a disjoint subset of the striped
+//!   *symbolic* [`LeaseAudit`](uuidp_sim::audit::LeaseAudit) — flagging
+//!   cross-tenant duplicates and silent aliasing online with
+//!   interleaving-invariant totals (bit-identical for every `(shards,
+//!   audit_stripes, audit_threads)` combination), and reporting
+//!   per-thread lag so a straggling stripe subset is visible.
+//! * [`protocol`] — the newline-framed line protocol (`lease` / `reset`
+//!   / `drain` / `quit` / `shutdown`) with both the server-side
+//!   renderers and the client-side parsers.
+//! * [`net`] — [`net::TcpServer`]: the thread-per-connection TCP
+//!   front-end speaking that protocol over [`std::net::TcpListener`]
+//!   with graceful client-initiated shutdown, and [`net::RemoteClient`],
+//!   the blocking client.
 //! * [`stress`] — [`stress::run_stress`]: replays deterministic traffic
 //!   mixes (uniform, Zipf-skewed, flood, and the `adversary` crate's
 //!   adaptive RunHunter playing through the front door) and reports
-//!   throughput, p50/p99 issue latency, and audit lag.
+//!   throughput, p50/p99 issue latency, and audit lag. The driver is
+//!   transport-generic ([`stress::StressTarget`]);
+//!   [`stress::run_stress_remote`] replays the same mixes through a
+//!   loopback TCP server and must reproduce the in-process audit totals
+//!   exactly.
 //! * [`metrics`] — the allocation-free latency histogram behind those
 //!   quantiles.
 //!
-//! The CLI surfaces this as `uuidp serve` (line-protocol front-end) and
-//! `uuidp stress` (the driver); `repro bench-json` records the
-//! batch-lease vs scalar-issue speedup in `BENCH_PR2.json`.
+//! The CLI surfaces this as `uuidp serve` (stdin, or `--listen` for
+//! TCP) and `uuidp stress` (`--remote` for the socket path); `repro
+//! bench-json` records the issuance and audit-pipeline numbers in
+//! `BENCH_PR<N>.json`.
 //!
 //! [`IdGenerator`]: uuidp_core::traits::IdGenerator
 
@@ -36,12 +50,20 @@
 #![warn(rust_2018_idioms)]
 
 pub mod metrics;
+pub mod net;
+pub mod protocol;
 pub mod service;
 pub mod stress;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::metrics::LatencyHistogram;
-    pub use crate::service::{AuditReport, IdService, LeaseReply, ServiceConfig, ServiceReport};
-    pub use crate::stress::{run_stress, StressConfig, StressReport, TrafficMix};
+    pub use crate::net::{RemoteClient, TcpServer};
+    pub use crate::protocol::{Command, WireLease, WireSummary};
+    pub use crate::service::{
+        AuditReport, AuditThreadReport, IdService, LeaseReply, ServiceConfig, ServiceReport,
+    };
+    pub use crate::stress::{
+        run_stress, run_stress_remote, StressConfig, StressReport, StressTarget, TrafficMix,
+    };
 }

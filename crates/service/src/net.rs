@@ -1,0 +1,429 @@
+//! TCP front-end for the ID service, plus the matching client.
+//!
+//! [`TcpServer`] grows the `uuidp serve` line protocol from a
+//! process-local loop into a real network daemon: a
+//! [`std::net::TcpListener`] with one handler thread per connection, all
+//! connections multiplexed onto one shared [`IdService`] (the service's
+//! own shard channels already serialize per-tenant work, so concurrent
+//! connections need no extra locking beyond the shared handle).
+//!
+//! Shutdown is graceful and client-initiated: the `shutdown` command
+//! stops the accept loop, drains and joins the service (waiting out
+//! every in-flight lease), replies with the one-line summary of
+//! [`render_summary`], and unblocks every other connection. The summary
+//! a client parses and the [`ServiceReport`] the server process keeps
+//! describe the same shutdown, so driver-side and server-side accounting
+//! can be compared exactly — that is what the remote stress differential
+//! test pins.
+//!
+//! [`RemoteClient`] is the client half: newline-framed commands out,
+//! one reply line back per command, typed back into [`WireLease`] /
+//! [`WireSummary`] via the [`protocol`](crate::protocol) parsers.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use uuidp_core::id::IdSpace;
+
+use crate::protocol::{
+    parse_lease_line, parse_summary, render_lease, render_summary, Command, WireLease, WireSummary,
+};
+use crate::service::{IdService, ServiceConfig, ServiceReport};
+
+/// Shared state of a running [`TcpServer`].
+struct ServerState {
+    /// The service; taken (→ `None`) by whichever connection shuts down.
+    service: RwLock<Option<IdService>>,
+    /// Set before the accept loop is woken for the last time.
+    stopping: AtomicBool,
+    /// Write halves of every *live* connection, keyed by connection id
+    /// so a finished handler can deregister its own entry (otherwise
+    /// churning clients would leak one fd each until shutdown). Shutdown
+    /// severs whatever is registered to unblock blocked readers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection id source.
+    next_conn: AtomicU64,
+}
+
+impl ServerState {
+    /// Severs every registered connection (shutdown-time unblocking).
+    fn sever_all(&self) {
+        for (_, conn) in self.conns.lock().expect("conns lock").drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running TCP front-end over one [`IdService`].
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    accept: JoinHandle<()>,
+    report_rx: Receiver<ServiceReport>,
+    state: Arc<ServerState>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), boots
+    /// the service, and starts accepting connections.
+    pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            service: RwLock::new(Some(IdService::start(config))),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let (report_tx, report_rx) = sync_channel::<ServiceReport>(1);
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            let mut handlers = Vec::new();
+            for stream in listener.incoming() {
+                if accept_state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let state = Arc::clone(&accept_state);
+                let report_tx = report_tx.clone();
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, state, report_tx, local_addr);
+                }));
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(TcpServer {
+            local_addr,
+            accept,
+            report_rx,
+            state,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Currently registered (live) connections — departed clients are
+    /// deregistered by their handler, so this does not grow with
+    /// connection churn.
+    pub fn live_connections(&self) -> usize {
+        self.state.conns.lock().expect("conns lock").len()
+    }
+
+    /// Blocks until a client issues `shutdown`, then returns the
+    /// server-side [`ServiceReport`] (`None` only if the accept loop
+    /// died without a shutdown, which a well-formed run never does).
+    pub fn join(self) -> Option<ServiceReport> {
+        let _ = self.accept.join();
+        self.report_rx.try_recv().ok()
+    }
+}
+
+/// One connection: read command lines, reply per line, until quit,
+/// shutdown, disconnect, or server stop.
+fn handle_connection(
+    stream: TcpStream,
+    state: Arc<ServerState>,
+    report_tx: SyncSender<ServiceReport>,
+    local_addr: SocketAddr,
+) {
+    let Ok(mut out) = stream.try_clone() else {
+        return;
+    };
+    let conn_id = state.next_conn.fetch_add(1, Ordering::SeqCst);
+    if let Ok(registered) = stream.try_clone() {
+        state
+            .conns
+            .lock()
+            .expect("conns lock")
+            .insert(conn_id, registered);
+    }
+    // Close the register/sever race: a shutdown that drained `conns`
+    // *before* the insert above set `stopping` *before* draining, so
+    // this check catches exactly the registrations the drain missed —
+    // otherwise this handler's blocked read would hang the accept
+    // thread's join forever.
+    if state.stopping.load(Ordering::SeqCst) {
+        state.conns.lock().expect("conns lock").remove(&conn_id);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    run_connection(stream, &mut out, &state, &report_tx, local_addr);
+    // Deregister so long-lived servers don't accumulate one dup'd fd
+    // per departed client. (After a shutdown drain this is a no-op.)
+    state.conns.lock().expect("conns lock").remove(&conn_id);
+}
+
+/// The per-connection command loop (split out so the caller can pair
+/// registration with guaranteed deregistration).
+fn run_connection(
+    stream: TcpStream,
+    out: &mut TcpStream,
+    state: &ServerState,
+    report_tx: &SyncSender<ServiceReport>,
+    local_addr: SocketAddr,
+) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let reply = match Command::parse(&line) {
+            Err(msg) => format!("error: {msg}"),
+            Ok(None) => continue,
+            Ok(Some(Command::Quit)) => break,
+            Ok(Some(Command::Lease { tenant, count })) => {
+                match state.service.read().expect("service lock").as_ref() {
+                    Some(service) => render_lease(&service.lease(tenant, count)),
+                    None => "error: shutting down".into(),
+                }
+            }
+            Ok(Some(Command::Reset { tenant })) => {
+                match state.service.read().expect("service lock").as_ref() {
+                    Some(service) => {
+                        service.reset_tenant(tenant);
+                        format!("reset tenant={tenant}")
+                    }
+                    None => "error: shutting down".into(),
+                }
+            }
+            Ok(Some(Command::Drain)) => {
+                match state.service.read().expect("service lock").as_ref() {
+                    Some(service) => {
+                        service.drain();
+                        "drained".into()
+                    }
+                    None => "error: shutting down".into(),
+                }
+            }
+            Ok(Some(Command::Shutdown)) => {
+                state.stopping.store(true, Ordering::SeqCst);
+                // The write lock waits out every in-flight request.
+                let service = state.service.write().expect("service lock").take();
+                match service {
+                    Some(service) => {
+                        let report = service.shutdown();
+                        let _ = writeln!(out, "{}", render_summary(&report));
+                        let _ = report_tx.send(report);
+                        // Unblock sibling connections and the accept loop.
+                        state.sever_all();
+                        let _ = TcpStream::connect(local_addr);
+                        return;
+                    }
+                    None => "error: shutting down".into(),
+                }
+            }
+        };
+        if writeln!(out, "{reply}").is_err() {
+            break;
+        }
+    }
+}
+
+/// A blocking line-protocol client for a [`TcpServer`] (or any process
+/// speaking the `uuidp serve` grammar).
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    space: IdSpace,
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl RemoteClient {
+    /// Connects to `addr`. `space` must match the server's universe —
+    /// the wire carries arc start/len pairs, and the client rebuilds
+    /// typed [`Arc`](uuidp_core::interval::Arc)s over this space.
+    pub fn connect<A: ToSocketAddrs>(addr: A, space: IdSpace) -> io::Result<RemoteClient> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(RemoteClient {
+            reader,
+            writer,
+            space,
+        })
+    }
+
+    /// Sends one command line and reads the one reply line.
+    fn roundtrip(&mut self, command: &str) -> io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Leases `count` IDs for `tenant`.
+    pub fn lease(&mut self, tenant: u64, count: u128) -> io::Result<WireLease> {
+        let line = self.roundtrip(&format!("lease {tenant} {count}"))?;
+        parse_lease_line(&line, self.space).map_err(proto_err)
+    }
+
+    /// Recycles `tenant`'s generator into a fresh epoch.
+    pub fn reset(&mut self, tenant: u64) -> io::Result<()> {
+        let line = self.roundtrip(&format!("reset {tenant}"))?;
+        if line == format!("reset tenant={tenant}") {
+            Ok(())
+        } else {
+            Err(proto_err(format!("unexpected reset reply: `{line}`")))
+        }
+    }
+
+    /// Blocks until the server has processed every prior request.
+    pub fn drain(&mut self) -> io::Result<()> {
+        let line = self.roundtrip("drain")?;
+        if line == "drained" {
+            Ok(())
+        } else {
+            Err(proto_err(format!("unexpected drain reply: `{line}`")))
+        }
+    }
+
+    /// Closes this connection; the server keeps running.
+    pub fn quit(mut self) -> io::Result<()> {
+        writeln!(self.writer, "quit")?;
+        Ok(())
+    }
+
+    /// Stops the whole server and returns its parsed shutdown summary.
+    pub fn shutdown(mut self) -> io::Result<WireSummary> {
+        let line = self.roundtrip("shutdown")?;
+        parse_summary(&line).map_err(proto_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::algorithms::AlgorithmKind;
+
+    fn server(bits: u32) -> (TcpServer, IdSpace) {
+        let space = IdSpace::with_bits(bits).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        (
+            TcpServer::bind("127.0.0.1:0", config).expect("bind loopback"),
+            space,
+        )
+    }
+
+    #[test]
+    fn lease_reset_drain_shutdown_over_loopback() {
+        let (server, space) = server(40);
+        let mut client = RemoteClient::connect(server.local_addr(), space).unwrap();
+        let lease = client.lease(3, 100).unwrap();
+        assert_eq!(lease.tenant, 3);
+        assert_eq!(lease.granted, 100);
+        assert_eq!(lease.arcs.iter().map(|a| a.len).sum::<u128>(), 100);
+        assert!(lease.error.is_none());
+        client.reset(3).unwrap();
+        let again = client.lease(3, 50).unwrap();
+        assert_eq!(again.granted, 50);
+        client.drain().unwrap();
+        let summary = client.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, 150);
+        assert_eq!(summary.leases, 2);
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.audit_threads, 1);
+        // The server-side report agrees with what crossed the wire.
+        let report = server.join().expect("server report");
+        assert_eq!(report.issued_ids, 150);
+        assert_eq!(report.leases, 2);
+        assert_eq!(
+            report.audit.counts.duplicate_ids, summary.duplicate_ids,
+            "wire summary diverged from the server report"
+        );
+    }
+
+    #[test]
+    fn concurrent_connections_share_the_service() {
+        let (server, space) = server(44);
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|tenant| {
+                std::thread::spawn(move || {
+                    let mut client = RemoteClient::connect(addr, space).unwrap();
+                    let mut total = 0u128;
+                    for round in 0..10u128 {
+                        total += client.lease(tenant, 32 + round).unwrap().granted;
+                    }
+                    client.quit().unwrap();
+                    total
+                })
+            })
+            .collect();
+        let issued: u128 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut closer = RemoteClient::connect(addr, space).unwrap();
+        closer.drain().unwrap();
+        let summary = closer.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, issued);
+        assert_eq!(summary.leases, 40);
+        assert_eq!(summary.duplicate_ids, 0, "independent tenants collided");
+        assert!(server.join().is_some());
+    }
+
+    #[test]
+    fn malformed_lines_get_error_replies_and_keep_the_connection() {
+        let (server, space) = server(32);
+        let mut client = RemoteClient::connect(server.local_addr(), space).unwrap();
+        let reply = client.roundtrip("utter gibberish here").unwrap();
+        assert!(reply.starts_with("error:"), "got `{reply}`");
+        let reply = client.roundtrip("reset nope").unwrap();
+        assert!(reply.starts_with("error:"), "got `{reply}`");
+        // Still serviceable afterwards.
+        assert_eq!(client.lease(0, 5).unwrap().granted, 5);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn departed_connections_are_deregistered() {
+        // Churning clients must not accumulate registered fds: after
+        // every client quits, the live-connection registry drains back
+        // to zero (the handler deregisters on exit).
+        let (server, space) = server(32);
+        let addr = server.local_addr();
+        for tenant in 0..5u64 {
+            let mut client = RemoteClient::connect(addr, space).unwrap();
+            assert_eq!(client.lease(tenant, 8).unwrap().granted, 8);
+            client.quit().unwrap();
+        }
+        // Handlers deregister asynchronously after the quit line.
+        for _ in 0..200 {
+            if server.live_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.live_connections(), 0, "fd registry leaked");
+        let closer = RemoteClient::connect(addr, space).unwrap();
+        assert_eq!(closer.shutdown().unwrap().issued_ids, 40);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn sibling_connections_are_unblocked_by_shutdown() {
+        let (server, space) = server(36);
+        let addr = server.local_addr();
+        let idle = RemoteClient::connect(addr, space).unwrap();
+        let mut active = RemoteClient::connect(addr, space).unwrap();
+        active.lease(0, 10).unwrap();
+        active.shutdown().unwrap();
+        // The idle connection was severed server-side; the server joins
+        // without waiting on it, and the idle client sees EOF.
+        let report = server.join().expect("report despite idle sibling");
+        assert_eq!(report.issued_ids, 10);
+        drop(idle);
+    }
+}

@@ -1,0 +1,396 @@
+//! The `uuidp` service line protocol: one command per line in, one
+//! reply line per command out, UTF-8, newline-framed. The same grammar
+//! is spoken on stdin by `uuidp serve` and over TCP by the
+//! [`net`](crate::net) front-end, so everything here is pure
+//! parse/render code shared by both sides of the wire.
+//!
+//! ## Commands
+//!
+//! | Line | Meaning | Reply |
+//! |------|---------|-------|
+//! | `<tenant> <count>` or `lease <tenant> <count>` | lease `count` IDs for `tenant` | `lease tenant=T granted=G arcs=S+L,S+L[ error=E]` |
+//! | `reset <tenant>` | recycle the tenant's generator into a new epoch | `reset tenant=T` |
+//! | `drain` | block until all prior requests are processed | `drained` |
+//! | `quit` / `exit` | close this connection (EOF works too) | — |
+//! | `shutdown` | stop the whole service, report totals | `bye issued=… dup=…` (see [`render_summary`]) |
+//!
+//! Malformed lines get `error: <message>` and the connection stays up.
+//! Lease arcs are rendered `start+len` in emission order, comma-joined
+//! (empty after `arcs=` when nothing was granted).
+
+use std::fmt::Write as _;
+
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::Arc;
+
+use crate::service::{LeaseReply, ServiceReport};
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Lease `count` IDs for `tenant`.
+    Lease {
+        /// Requesting tenant.
+        tenant: u64,
+        /// IDs requested.
+        count: u128,
+    },
+    /// Recycle `tenant`'s generator into a fresh epoch.
+    Reset {
+        /// Tenant to recycle.
+        tenant: u64,
+    },
+    /// Block until every previously submitted request is processed.
+    Drain,
+    /// Close this connection; the service keeps running.
+    Quit,
+    /// Stop the whole service and reply with the shutdown summary.
+    Shutdown,
+}
+
+impl Command {
+    /// Parses one protocol line. `Ok(None)` is a blank line (no reply
+    /// expected); `Err` carries the message for an `error:` reply.
+    pub fn parse(line: &str) -> Result<Option<Command>, String> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            [] => Ok(None),
+            ["quit" | "exit"] => Ok(Some(Command::Quit)),
+            ["shutdown"] => Ok(Some(Command::Shutdown)),
+            ["drain"] => Ok(Some(Command::Drain)),
+            ["reset", tenant] => match tenant.parse::<u64>() {
+                Ok(tenant) => Ok(Some(Command::Reset { tenant })),
+                Err(_) => Err(format!("bad tenant `{tenant}`")),
+            },
+            ["lease", tenant, count] | [tenant, count] => {
+                match (tenant.parse::<u64>(), count.parse::<u128>()) {
+                    (Ok(tenant), Ok(count)) => Ok(Some(Command::Lease { tenant, count })),
+                    _ => Err("expected `<tenant> <count>`".into()),
+                }
+            }
+            _ => Err(
+                "expected `[lease] <tenant> <count>` | `reset <tenant>` | `drain` | `quit` | `shutdown`"
+                    .into(),
+            ),
+        }
+    }
+}
+
+/// Renders the reply line for a served lease.
+pub fn render_lease(reply: &LeaseReply) -> String {
+    let mut out = format!(
+        "lease tenant={} granted={} arcs=",
+        reply.tenant, reply.granted
+    );
+    for (i, a) in reply.arcs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}+{}", a.start.value(), a.len);
+    }
+    if let Some(e) = &reply.error {
+        let _ = write!(out, " error={e}");
+    }
+    out
+}
+
+/// A lease reply as reconstructed on the client side of the wire. The
+/// server's typed `GeneratorError` travels as its display text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLease {
+    /// The tenant the lease was served for.
+    pub tenant: u64,
+    /// Total IDs granted.
+    pub granted: u128,
+    /// Granted arcs in emission order.
+    pub arcs: Vec<Arc>,
+    /// Generator error text, if the grant fell short.
+    pub error: Option<String>,
+}
+
+/// Parses a [`render_lease`] line back into its parts.
+pub fn parse_lease_line(line: &str, space: IdSpace) -> Result<WireLease, String> {
+    let rest = line
+        .strip_prefix("lease ")
+        .ok_or_else(|| format!("not a lease reply: `{line}`"))?;
+    let (fields, error) = match rest.split_once(" error=") {
+        Some((f, e)) => (f, Some(e.to_string())),
+        None => (rest, None),
+    };
+    let mut tenant = None;
+    let mut granted = None;
+    let mut arcs = Vec::new();
+    for field in fields.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("bad field `{field}`"))?;
+        match key {
+            "tenant" => tenant = Some(value.parse().map_err(|_| "bad tenant".to_string())?),
+            "granted" => granted = Some(value.parse().map_err(|_| "bad granted".to_string())?),
+            "arcs" => {
+                for part in value.split(',').filter(|p| !p.is_empty()) {
+                    let (start, len) = part
+                        .split_once('+')
+                        .ok_or_else(|| format!("bad arc `{part}`"))?;
+                    let start: u128 = start.parse().map_err(|_| "bad arc start".to_string())?;
+                    let len: u128 = len.parse().map_err(|_| "bad arc len".to_string())?;
+                    // Validate before constructing: `Arc::new` asserts on
+                    // these, and a garbled reply (or a client whose
+                    // `space` mismatches the server's) must surface as an
+                    // error, not a panic.
+                    if start >= space.size() || len < 1 || len > space.size() {
+                        return Err(format!("arc `{part}` does not fit universe {space}"));
+                    }
+                    arcs.push(Arc::new(space, Id(start), len));
+                }
+            }
+            other => return Err(format!("unknown lease field `{other}`")),
+        }
+    }
+    Ok(WireLease {
+        tenant: tenant.ok_or("missing tenant")?,
+        granted: granted.ok_or("missing granted")?,
+        arcs,
+        error,
+    })
+}
+
+/// The shutdown summary as it crosses the wire: the aggregate totals of
+/// a [`ServiceReport`]. Per-thread audit detail stays server-side; the
+/// wire carries the merged view (which is why an [`AuditReport`]
+/// rebuilt from this has an empty `per_thread`).
+///
+/// [`AuditReport`]: crate::service::AuditReport
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSummary {
+    /// Total IDs issued.
+    pub issued_ids: u128,
+    /// Leases served.
+    pub leases: u64,
+    /// Leases that hit a generator error.
+    pub errors: u64,
+    /// Median per-lease issue cost, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-lease issue cost, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean per-lease issue cost, nanoseconds.
+    pub mean_ns: f64,
+    /// Cross-owner duplicate IDs found by the audit.
+    pub duplicate_ids: u128,
+    /// Audit records that overlapped foreign material on arrival.
+    pub flagged_records: u64,
+    /// Total IDs recorded by the audit.
+    pub recorded_ids: u128,
+    /// Total segments recorded by the audit.
+    pub recorded_arcs: u64,
+    /// Routed lease batches the audit processed.
+    pub records: u64,
+    /// Worst tap-to-audit lag, nanoseconds.
+    pub max_lag_ns: u128,
+    /// Mean tap-to-audit lag, nanoseconds.
+    pub mean_lag_ns: f64,
+    /// Audit pipeline threads that produced the merged totals.
+    pub audit_threads: usize,
+}
+
+/// Renders the one-line `bye …` shutdown summary.
+pub fn render_summary(report: &ServiceReport) -> String {
+    format!(
+        "bye issued={} leases={} errors={} p50_ns={:.1} p99_ns={:.1} mean_ns={:.1} \
+         dup={} flagged={} rec_ids={} rec_arcs={} records={} max_lag_ns={} \
+         mean_lag_ns={:.1} audit_threads={}",
+        report.issued_ids,
+        report.leases,
+        report.errors,
+        report.latency.quantile_ns(0.50),
+        report.latency.quantile_ns(0.99),
+        report.latency.mean_ns(),
+        report.audit.counts.duplicate_ids,
+        report.audit.counts.flagged_records,
+        report.audit.counts.recorded_ids,
+        report.audit.counts.recorded_arcs,
+        report.audit.records,
+        report.audit.max_lag.as_nanos(),
+        report.audit.mean_lag_ns,
+        report.audit.per_thread.len(),
+    )
+}
+
+/// Parses a [`render_summary`] line.
+pub fn parse_summary(line: &str) -> Result<WireSummary, String> {
+    let rest = line
+        .strip_prefix("bye ")
+        .ok_or_else(|| format!("not a shutdown summary: `{line}`"))?;
+    let mut summary = WireSummary {
+        issued_ids: 0,
+        leases: 0,
+        errors: 0,
+        p50_ns: 0.0,
+        p99_ns: 0.0,
+        mean_ns: 0.0,
+        duplicate_ids: 0,
+        flagged_records: 0,
+        recorded_ids: 0,
+        recorded_arcs: 0,
+        records: 0,
+        max_lag_ns: 0,
+        mean_lag_ns: 0.0,
+        audit_threads: 0,
+    };
+    let mut seen = 0u32;
+    for field in rest.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("bad field `{field}`"))?;
+        let bad = |what: &str| format!("bad {what} `{value}`");
+        seen += 1;
+        match key {
+            "issued" => summary.issued_ids = value.parse().map_err(|_| bad(key))?,
+            "leases" => summary.leases = value.parse().map_err(|_| bad(key))?,
+            "errors" => summary.errors = value.parse().map_err(|_| bad(key))?,
+            "p50_ns" => summary.p50_ns = value.parse().map_err(|_| bad(key))?,
+            "p99_ns" => summary.p99_ns = value.parse().map_err(|_| bad(key))?,
+            "mean_ns" => summary.mean_ns = value.parse().map_err(|_| bad(key))?,
+            "dup" => summary.duplicate_ids = value.parse().map_err(|_| bad(key))?,
+            "flagged" => summary.flagged_records = value.parse().map_err(|_| bad(key))?,
+            "rec_ids" => summary.recorded_ids = value.parse().map_err(|_| bad(key))?,
+            "rec_arcs" => summary.recorded_arcs = value.parse().map_err(|_| bad(key))?,
+            "records" => summary.records = value.parse().map_err(|_| bad(key))?,
+            "max_lag_ns" => summary.max_lag_ns = value.parse().map_err(|_| bad(key))?,
+            "mean_lag_ns" => summary.mean_lag_ns = value.parse().map_err(|_| bad(key))?,
+            "audit_threads" => summary.audit_threads = value.parse().map_err(|_| bad(key))?,
+            other => return Err(format!("unknown summary field `{other}`")),
+        }
+    }
+    if seen < 14 {
+        return Err(format!("summary has {seen} of 14 fields: `{line}`"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LatencyHistogram;
+    use crate::service::AuditReport;
+    use std::time::Duration;
+    use uuidp_sim::audit::AuditCounts;
+
+    fn space() -> IdSpace {
+        IdSpace::with_bits(32).unwrap()
+    }
+
+    #[test]
+    fn commands_parse_the_whole_grammar() {
+        assert_eq!(Command::parse("  ").unwrap(), None);
+        assert_eq!(
+            Command::parse("7 100").unwrap(),
+            Some(Command::Lease {
+                tenant: 7,
+                count: 100
+            })
+        );
+        assert_eq!(
+            Command::parse("lease 7 100").unwrap(),
+            Some(Command::Lease {
+                tenant: 7,
+                count: 100
+            })
+        );
+        assert_eq!(
+            Command::parse("reset 3").unwrap(),
+            Some(Command::Reset { tenant: 3 })
+        );
+        assert_eq!(Command::parse("drain").unwrap(), Some(Command::Drain));
+        assert_eq!(Command::parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(Command::parse("exit").unwrap(), Some(Command::Quit));
+        assert_eq!(Command::parse("shutdown").unwrap(), Some(Command::Shutdown));
+        assert!(Command::parse("reset x").is_err());
+        assert!(Command::parse("a b").is_err());
+        assert!(Command::parse("one two three four").is_err());
+    }
+
+    #[test]
+    fn lease_lines_round_trip() {
+        let s = space();
+        let reply = LeaseReply {
+            tenant: 9,
+            arcs: vec![Arc::new(s, Id(100), 50), Arc::new(s, Id(4000), 7)],
+            granted: 57,
+            error: None,
+        };
+        let line = render_lease(&reply);
+        let wire = parse_lease_line(&line, s).unwrap();
+        assert_eq!(wire.tenant, 9);
+        assert_eq!(wire.granted, 57);
+        assert_eq!(wire.arcs, reply.arcs);
+        assert_eq!(wire.error, None);
+    }
+
+    #[test]
+    fn lease_lines_carry_errors_and_empty_arcs() {
+        let s = space();
+        let reply = LeaseReply {
+            tenant: 1,
+            arcs: vec![],
+            granted: 0,
+            error: Some(uuidp_core::traits::GeneratorError::Exhausted { generated: 16 }),
+        };
+        let line = render_lease(&reply);
+        let wire = parse_lease_line(&line, s).unwrap();
+        assert_eq!(wire.granted, 0);
+        assert!(wire.arcs.is_empty());
+        assert!(wire.error.is_some(), "error lost: {line}");
+    }
+
+    #[test]
+    fn garbled_arcs_error_instead_of_panicking() {
+        let s = IdSpace::with_bits(16).unwrap(); // m = 65536
+        for bad in [
+            "lease tenant=1 granted=5 arcs=0+0",      // zero length
+            "lease tenant=1 granted=5 arcs=70000+5",  // start outside m
+            "lease tenant=1 granted=5 arcs=0+100000", // len exceeds m
+        ] {
+            let err = parse_lease_line(bad, s).unwrap_err();
+            assert!(err.contains("does not fit"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn summaries_round_trip() {
+        let mut latency = LatencyHistogram::new();
+        latency.record_ns(1000);
+        latency.record_ns(3000);
+        let report = ServiceReport {
+            issued_ids: 12345,
+            leases: 67,
+            errors: 1,
+            latency,
+            audit: AuditReport {
+                counts: AuditCounts {
+                    duplicate_ids: 11,
+                    flagged_records: 2,
+                    recorded_ids: 12345,
+                    recorded_arcs: 80,
+                },
+                max_lag: Duration::from_nanos(5555),
+                mean_lag_ns: 1234.5,
+                records: 70,
+                per_thread: vec![],
+            },
+            uptime: Duration::from_secs(1),
+        };
+        let line = render_summary(&report);
+        let wire = parse_summary(&line).unwrap();
+        assert_eq!(wire.issued_ids, 12345);
+        assert_eq!(wire.leases, 67);
+        assert_eq!(wire.errors, 1);
+        assert_eq!(wire.duplicate_ids, 11);
+        assert_eq!(wire.recorded_arcs, 80);
+        assert_eq!(wire.max_lag_ns, 5555);
+        assert!((wire.mean_lag_ns - 1234.5).abs() < 0.1);
+        assert!(wire.p99_ns >= wire.p50_ns);
+        assert!(parse_summary("bye issued=1").is_err(), "truncated summary");
+        assert!(parse_summary("nope").is_err());
+    }
+}

@@ -21,11 +21,15 @@
 //!   [`IdGenerator::next_ids`] call — `O(touched runs)` interval pushes,
 //!   not `count` scalar calls — buffered in a recycled
 //!   [`Lease`](uuidp_core::lease::Lease) per tenant.
-//! * **Online audit**: every lease's arcs are tee'd over a bounded
-//!   channel into a [`LeaseAudit`] pipeline thread, which symbolically
-//!   flags cross-tenant duplicates and silent aliasing *while the service
-//!   runs*; the audit's headline counter is interleaving-invariant, so
-//!   totals are identical for every shard count (see
+//! * **Online audit**: every lease's arcs are tee'd into a pool of
+//!   [`LeaseAudit`] pipeline threads. Each audit thread owns the disjoint
+//!   stripe subset `{s : s ≡ t (mod audit_threads)}` of the audit's
+//!   universe partition behind its own bounded channel; the worker cuts
+//!   each lease with the shared [`StripePlan`] and routes every piece to
+//!   the thread owning its stripe. Because the audit's headline counter
+//!   is order-invariant *within* a stripe and stripes are disjoint
+//!   *across* threads, the merged totals are bit-identical for every
+//!   `(shards, audit_stripes, audit_threads)` combination (see
 //!   [`uuidp_sim::audit`]).
 //! * **Determinism**: tenant `t`'s generator is seeded from the master
 //!   seed tree independently of the shard layout, and shard channels are
@@ -45,7 +49,7 @@ use uuidp_core::interval::Arc;
 use uuidp_core::lease::Lease;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::{GeneratorError, IdGenerator};
-use uuidp_sim::audit::{AuditCounts, LeaseAudit};
+use uuidp_sim::audit::{AuditCounts, LeaseAudit, StripePlan};
 
 use crate::metrics::LatencyHistogram;
 
@@ -66,6 +70,9 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Stripes of the audit's universe partition.
     pub audit_stripes: usize,
+    /// Audit pipeline threads; thread `t` owns stripes `s ≡ t (mod
+    /// audit_threads)`. Clamped to the stripe count at startup.
+    pub audit_threads: usize,
     /// Depth of each bounded request/audit channel.
     pub queue_depth: usize,
     /// Root of the per-tenant seed tree.
@@ -84,6 +91,7 @@ impl ServiceConfig {
             space,
             shards: 2,
             audit_stripes: 16,
+            audit_threads: 1,
             queue_depth: 1024,
             master_seed: 0x5EED,
             seed_alias: None,
@@ -119,23 +127,82 @@ enum ShardMsg {
     Barrier { done: SyncSender<()> },
 }
 
+/// One routed batch of audit material: the pieces of one lease that fall
+/// in the stripes owned by a single audit thread, pre-cut by the shared
+/// [`StripePlan`] so the audit records them with no further routing.
 struct AuditMsg {
     owner: u64,
-    arcs: Vec<Arc>,
+    /// Non-wrapping `[lo, hi)` segments, each inside one owned stripe.
+    segments: Vec<(u128, u128)>,
     sent: Instant,
 }
 
-/// Audit-side half of a [`ServiceReport`].
+/// What one audit pipeline thread measured: its stripe subset's counters
+/// plus its own tap-to-audit lag profile. Merging every thread's report
+/// ([`AuditCounts::merge`] element-wise, max/weighted-mean for lag)
+/// reconstructs the aggregate [`AuditReport`] — and when `audit_threads
+/// = 1` the merged report *is* the single thread's report.
 #[derive(Debug, Clone, Copy)]
-pub struct AuditReport {
-    /// Aggregated duplicate/record counters.
+pub struct AuditThreadReport {
+    /// Duplicate/record counters for this thread's stripes.
     pub counts: AuditCounts,
-    /// Worst observed tap-to-audit lag.
+    /// Worst tap-to-audit lag this thread observed.
     pub max_lag: Duration,
-    /// Mean tap-to-audit lag in nanoseconds.
+    /// Mean tap-to-audit lag in nanoseconds on this thread.
     pub mean_lag_ns: f64,
-    /// Lease records processed.
+    /// Routed lease batches this thread processed.
     pub records: u64,
+}
+
+/// Audit-side half of a [`ServiceReport`].
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Aggregated duplicate/record counters (sum over threads).
+    pub counts: AuditCounts,
+    /// Worst observed tap-to-audit lag on any thread.
+    pub max_lag: Duration,
+    /// Mean tap-to-audit lag in nanoseconds, weighted across threads by
+    /// records processed.
+    pub mean_lag_ns: f64,
+    /// Routed lease batches processed (with one audit thread this equals
+    /// the number of audited leases; with `n` threads a lease fans out
+    /// into up to `n` batches).
+    pub records: u64,
+    /// The per-thread breakdown the aggregate was merged from, in thread
+    /// order. Lag asymmetry here is the straggler signal a single merged
+    /// number would hide. Empty only in reports reconstructed from a
+    /// remote summary line, which carries aggregates alone.
+    pub per_thread: Vec<AuditThreadReport>,
+}
+
+impl AuditReport {
+    /// Merges per-thread reports into the aggregate view.
+    pub fn merge(per_thread: Vec<AuditThreadReport>) -> AuditReport {
+        let counts = per_thread
+            .iter()
+            .fold(AuditCounts::default(), |acc, t| acc.merge(&t.counts));
+        let max_lag = per_thread
+            .iter()
+            .map(|t| t.max_lag)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let records: u64 = per_thread.iter().map(|t| t.records).sum();
+        let lag_sum: f64 = per_thread
+            .iter()
+            .map(|t| t.mean_lag_ns * t.records as f64)
+            .sum();
+        AuditReport {
+            counts,
+            max_lag,
+            mean_lag_ns: if records == 0 {
+                0.0
+            } else {
+                lag_sum / records as f64
+            },
+            records,
+            per_thread,
+        }
+    }
 }
 
 /// Aggregated shutdown report of an [`IdService`].
@@ -174,19 +241,27 @@ pub struct IdService {
     space: IdSpace,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<WorkerStats>>,
-    audit: JoinHandle<AuditReport>,
+    audit: Vec<JoinHandle<AuditThreadReport>>,
     started: Instant,
 }
 
 impl IdService {
-    /// Boots the worker shards and the audit pipeline.
+    /// Boots the worker shards and the audit pipeline pool.
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.shards >= 1, "at least one shard");
         assert!(config.queue_depth >= 1, "channels must hold a message");
-        let (audit_tx, audit_rx) = sync_channel::<AuditMsg>(config.queue_depth);
-        let audit_space = config.space;
-        let audit_stripes = config.audit_stripes;
-        let audit = std::thread::spawn(move || audit_loop(audit_space, audit_stripes, audit_rx));
+        let plan = StripePlan::new(config.space, config.audit_stripes);
+        // More threads than stripes would idle; clamp rather than panic.
+        let audit_threads = config.audit_threads.clamp(1, plan.stripe_count());
+        let mut audit_txs = Vec::with_capacity(audit_threads);
+        let mut audit = Vec::with_capacity(audit_threads);
+        for _ in 0..audit_threads {
+            let (tx, rx) = sync_channel::<AuditMsg>(config.queue_depth);
+            audit_txs.push(tx);
+            let space = config.space;
+            let stripes = config.audit_stripes;
+            audit.push(std::thread::spawn(move || audit_loop(space, stripes, rx)));
+        }
 
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
@@ -194,10 +269,10 @@ impl IdService {
             let (tx, rx) = sync_channel::<ShardMsg>(config.queue_depth);
             shard_txs.push(tx);
             let cfg = config.clone();
-            let tap = audit_tx.clone();
-            workers.push(std::thread::spawn(move || worker_loop(cfg, rx, tap)));
+            let taps = audit_txs.clone();
+            workers.push(std::thread::spawn(move || worker_loop(cfg, rx, taps, plan)));
         }
-        drop(audit_tx); // workers hold the only taps: audit exits when they do
+        drop(audit_txs); // workers hold the only taps: audit exits when they do
         IdService {
             space: config.space,
             shard_txs,
@@ -215,6 +290,11 @@ impl IdService {
     /// Number of worker shards.
     pub fn shards(&self) -> usize {
         self.shard_txs.len()
+    }
+
+    /// Number of audit pipeline threads (after stripe-count clamping).
+    pub fn audit_threads(&self) -> usize {
+        self.audit.len()
     }
 
     fn shard_of(&self, tenant: u64) -> &SyncSender<ShardMsg> {
@@ -285,7 +365,12 @@ impl IdService {
             errors += stats.errors;
             latency.merge(&stats.latency);
         }
-        let audit = self.audit.join().expect("audit panicked");
+        let audit = AuditReport::merge(
+            self.audit
+                .into_iter()
+                .map(|h| h.join().expect("audit panicked"))
+                .collect(),
+        );
         ServiceReport {
             issued_ids,
             leases,
@@ -313,15 +398,55 @@ fn tenant_seed(roots: &SeedTree, config: &ServiceConfig, tenant: u64, epoch: u32
         .seed(SeedDomain::Instance(effective))
 }
 
+/// One shard's routing state: the audit taps plus the shared stripe
+/// geometry and a reusable per-thread segment batch buffer.
+struct AuditTap {
+    taps: Vec<SyncSender<AuditMsg>>,
+    plan: StripePlan,
+    /// `batches[t]` collects the current lease's pieces bound for audit
+    /// thread `t`; drained into messages after each lease.
+    batches: Vec<Vec<(u128, u128)>>,
+}
+
+impl AuditTap {
+    /// Cuts the lease's arcs along the stripe plan and ships each audit
+    /// thread the pieces of the stripes it owns (skipping empty batches).
+    fn send(&mut self, owner: u64, arcs: &[Arc]) {
+        let threads = self.taps.len();
+        for &arc in arcs {
+            self.plan.split(arc, &mut |stripe, lo, hi| {
+                self.batches[stripe % threads].push((lo, hi));
+            });
+        }
+        let sent = Instant::now();
+        for (t, batch) in self.batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let _ = self.taps[t].send(AuditMsg {
+                owner,
+                segments: std::mem::take(batch),
+                sent,
+            });
+        }
+    }
+}
+
 fn worker_loop(
     config: ServiceConfig,
     rx: Receiver<ShardMsg>,
-    tap: SyncSender<AuditMsg>,
+    taps: Vec<SyncSender<AuditMsg>>,
+    plan: StripePlan,
 ) -> WorkerStats {
     let algorithm = config.kind.build(config.space);
     let roots = SeedTree::new(config.master_seed);
     let mut tenants: HashMap<u64, TenantSlot> = HashMap::new();
     let mut stats = WorkerStats::default();
+    let mut tap = AuditTap {
+        batches: vec![Vec::new(); taps.len()],
+        taps,
+        plan,
+    };
 
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -337,7 +462,7 @@ fn worker_loop(
                     algorithm.as_ref(),
                     tenant,
                     count,
-                    &tap,
+                    &mut tap,
                     &mut stats,
                     true,
                 );
@@ -357,7 +482,7 @@ fn worker_loop(
                     algorithm.as_ref(),
                     tenant,
                     count,
-                    &tap,
+                    &mut tap,
                     &mut stats,
                     false,
                 );
@@ -379,10 +504,10 @@ fn worker_loop(
 }
 
 /// Serves one lease on a worker: fill from the tenant's recycled
-/// generator, tap the audit (one moved arcs vector), account latency.
-/// A reply copy of the arcs is built only when `want_arcs` is set (the
-/// synchronous lease path) — the fire-and-forget path allocates nothing
-/// beyond the audit message.
+/// generator, route the lease's stripe pieces to the audit threads that
+/// own them, account latency. A reply copy of the arcs is built only
+/// when `want_arcs` is set (the synchronous lease path) — the
+/// fire-and-forget path allocates nothing beyond the audit batches.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     config: &ServiceConfig,
@@ -391,7 +516,7 @@ fn serve(
     algorithm: &dyn uuidp_core::traits::Algorithm,
     tenant: u64,
     count: u128,
-    tap: &SyncSender<AuditMsg>,
+    tap: &mut AuditTap,
     stats: &mut WorkerStats,
     want_arcs: bool,
 ) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>) {
@@ -404,11 +529,7 @@ fn serve(
     let error = slot.lease.fill(slot.generator.as_mut(), count).err();
     let granted = slot.lease.granted();
     if granted > 0 {
-        let _ = tap.send(AuditMsg {
-            owner: owner_key(tenant, slot.epoch),
-            arcs: slot.lease.arcs().to_vec(),
-            sent: Instant::now(),
-        });
+        tap.send(owner_key(tenant, slot.epoch), slot.lease.arcs());
     }
     stats.latency.record(t0.elapsed());
     stats.issued_ids += granted;
@@ -419,21 +540,30 @@ fn serve(
     (granted, error, arcs)
 }
 
-fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditReport {
+/// One audit pipeline thread. It allocates the full stripe array (empty
+/// stripes are a few machine words each) but only ever receives pieces
+/// of the stripes it owns, so the per-thread working sets stay disjoint
+/// and the merged counters are interleaving-invariant.
+fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditThreadReport {
     let mut audit = LeaseAudit::new(space, stripes);
     let mut max_lag = Duration::ZERO;
     let mut lag_sum_ns = 0u128;
     let mut records = 0u64;
-    while let Ok(AuditMsg { owner, arcs, sent }) = rx.recv() {
+    while let Ok(AuditMsg {
+        owner,
+        segments,
+        sent,
+    }) = rx.recv()
+    {
         let lag = sent.elapsed();
         max_lag = max_lag.max(lag);
         lag_sum_ns += lag.as_nanos();
         records += 1;
-        for arc in arcs {
-            audit.record(owner, arc);
+        for (lo, hi) in segments {
+            audit.record_clipped(owner, lo, hi);
         }
     }
-    AuditReport {
+    AuditThreadReport {
         counts: audit.counts(),
         max_lag,
         mean_lag_ns: if records == 0 {
@@ -534,12 +664,127 @@ mod tests {
     }
 
     #[test]
+    fn audit_totals_are_audit_thread_invariant() {
+        // The tentpole determinism guarantee: the same request script
+        // yields bit-identical audit counters for every audit-thread
+        // count (stripes are disjoint across threads, counters are
+        // order-invariant within a stripe). A small universe forces real
+        // cross-tenant duplicates so the counter is non-trivial.
+        // (`recorded_arcs` counts post-split segments and `flagged_records`
+        // is an arrival-order diagnostic, so only the interleaving-invariant
+        // counters are pinned across the grid.)
+        let script: Vec<(u64, u128)> = (0..80)
+            .map(|r| ((r * 5 + 1) % 7, 16 + (r as u128 % 6) * 9))
+            .collect();
+        let mut reference: Option<(u128, u128, u128)> = None;
+        for threads in [1usize, 2, 5] {
+            for stripes in [1usize, 16] {
+                let mut cfg = config(AlgorithmKind::Cluster, 11); // m = 2048
+                cfg.shards = 3;
+                cfg.audit_stripes = stripes;
+                cfg.audit_threads = threads;
+                let service = IdService::start(cfg);
+                for &(tenant, count) in &script {
+                    service.issue(tenant, count);
+                }
+                service.drain();
+                let report = service.shutdown();
+                assert!(report.audit.counts.collided(), "tiny universe must collide");
+                let got = (
+                    report.issued_ids,
+                    report.audit.counts.duplicate_ids,
+                    report.audit.counts.recorded_ids,
+                );
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => assert_eq!(
+                        r, &got,
+                        "{threads} audit threads x {stripes} stripes changed totals"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_report_equals_the_single_thread_report() {
+        // Metrics honesty: with one audit thread the merged aggregate is
+        // exactly that thread's report — same counts, lag, and records.
+        let cfg = config(AlgorithmKind::ClusterStar, 32);
+        let service = IdService::start(cfg);
+        for tenant in 0..6u64 {
+            service.issue(tenant, 300);
+        }
+        service.drain();
+        let report = service.shutdown();
+        assert_eq!(report.audit.per_thread.len(), 1);
+        let t = &report.audit.per_thread[0];
+        assert_eq!(report.audit.counts, t.counts);
+        assert_eq!(report.audit.max_lag, t.max_lag);
+        assert_eq!(report.audit.mean_lag_ns, t.mean_lag_ns);
+        assert_eq!(report.audit.records, t.records);
+    }
+
+    #[test]
+    fn per_thread_breakdown_is_consistent_with_the_aggregate() {
+        let mut cfg = config(AlgorithmKind::BinsStar, 36);
+        cfg.audit_stripes = 32;
+        cfg.audit_threads = 4;
+        cfg.shards = 2;
+        let service = IdService::start(cfg);
+        assert_eq!(service.audit_threads(), 4);
+        for r in 0..40u64 {
+            service.issue(r % 5, 200);
+        }
+        service.drain();
+        let report = service.shutdown();
+        let audit = &report.audit;
+        assert_eq!(audit.per_thread.len(), 4);
+        let merged = audit
+            .per_thread
+            .iter()
+            .fold(AuditCounts::default(), |acc, t| acc.merge(&t.counts));
+        assert_eq!(audit.counts, merged);
+        assert_eq!(
+            audit.records,
+            audit.per_thread.iter().map(|t| t.records).sum::<u64>()
+        );
+        assert_eq!(
+            audit.max_lag,
+            audit.per_thread.iter().map(|t| t.max_lag).max().unwrap()
+        );
+        // Bins* footprints spread across the universe, so with 32 stripes
+        // every thread should have seen material.
+        assert!(
+            audit.per_thread.iter().all(|t| t.records > 0),
+            "a stripe-subset thread starved: {:?}",
+            audit.per_thread
+        );
+        assert_eq!(audit.counts.recorded_ids, report.issued_ids);
+    }
+
+    #[test]
+    fn audit_threads_clamp_to_the_stripe_count() {
+        let mut cfg = config(AlgorithmKind::Cluster, 20);
+        cfg.audit_stripes = 2;
+        cfg.audit_threads = 16;
+        let service = IdService::start(cfg);
+        assert_eq!(service.audit_threads(), 2);
+        service.issue(0, 64);
+        service.drain();
+        let report = service.shutdown();
+        assert_eq!(report.issued_ids, 64);
+        assert_eq!(report.audit.per_thread.len(), 2);
+    }
+
+    #[test]
     fn injected_twin_tenants_are_flagged_with_exact_measure() {
         // Zero-false-negative check: tenant 9 is seeded as tenant 0, so
         // every ID it leases duplicates tenant 0's stream.
         let mut cfg = config(AlgorithmKind::Cluster, 48);
         cfg.seed_alias = Some((0, 9));
         cfg.shards = 3;
+        cfg.audit_threads = 3; // the duplicates must survive routing
         let service = IdService::start(cfg);
         let per_lease = 512u128;
         let leases = 8u128;

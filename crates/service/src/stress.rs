@@ -17,17 +17,28 @@
 //! Every mix is generated deterministically from the service's master
 //! seed, so stress runs are reproducible end to end.
 //!
+//! The driver is transport-generic: every mix runs against a
+//! [`StressTarget`], either the in-process [`IdService`]
+//! ([`run_stress`]) or a loopback TCP server through the real
+//! [`RemoteClient`] socket path ([`run_stress_remote`]) — and because
+//! the audit totals are interleaving-invariant, the two transports must
+//! report identical issued/duplicate counts for the same seed and mix.
+//!
 //! [`RunHunter`]: uuidp_adversary::run_hunter::RunHunter
 
 use std::fmt;
+use std::io;
 use std::time::{Duration, Instant};
 
 use uuidp_adversary::adaptive::{Action, AdversarySpec, GameView};
 use uuidp_adversary::run_hunter::RunHunter;
-use uuidp_core::id::Id;
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::Arc;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 
-use crate::service::{AuditReport, IdService, ServiceConfig};
+use crate::net::{RemoteClient, TcpServer};
+use crate::protocol::WireSummary;
+use crate::service::{AuditReport, IdService, ServiceConfig, ServiceReport};
 
 /// The request-mix shapes the driver can replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +114,173 @@ impl StressConfig {
     }
 }
 
+/// Anything a stress mix can be replayed against: the in-process
+/// service or a remote front-end over a socket. The driver only ever
+/// needs to lease (observing arcs, for the adaptive mix), fire
+/// lease-shaped load, drain, and collect the final accounting.
+pub trait StressTarget {
+    /// The target's ID universe.
+    fn space(&self) -> IdSpace;
+    /// Synchronously leases `count` IDs and returns the granted arcs.
+    fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc>;
+    /// Lease-shaped load where the reply is not needed. (A remote
+    /// target still reads the reply to keep the line protocol in sync,
+    /// which is why this takes `&mut self`.)
+    fn issue(&mut self, tenant: u64, count: u128);
+    /// Blocks until every submitted request has been processed.
+    fn drain(&mut self);
+    /// Shuts the target down and returns its aggregate accounting.
+    fn finish(self) -> TargetReport;
+}
+
+/// The shutdown accounting a [`StressTarget`] hands back: the subset of
+/// a [`ServiceReport`] every transport can deliver (a remote target
+/// reconstructs it from the wire summary, so latency arrives as
+/// pre-computed quantiles rather than a mergeable histogram).
+#[derive(Debug)]
+pub struct TargetReport {
+    /// Total IDs issued.
+    pub issued_ids: u128,
+    /// Leases served.
+    pub leases: u64,
+    /// Leases that hit a generator error.
+    pub errors: u64,
+    /// Median per-lease issue cost, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-lease issue cost, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean per-lease issue cost, nanoseconds.
+    pub mean_ns: f64,
+    /// The audit pipeline's findings.
+    pub audit: AuditReport,
+}
+
+impl From<ServiceReport> for TargetReport {
+    fn from(report: ServiceReport) -> TargetReport {
+        TargetReport {
+            issued_ids: report.issued_ids,
+            leases: report.leases,
+            errors: report.errors,
+            p50_ns: report.latency.quantile_ns(0.50),
+            p99_ns: report.latency.quantile_ns(0.99),
+            mean_ns: report.latency.mean_ns(),
+            audit: report.audit,
+        }
+    }
+}
+
+impl From<WireSummary> for TargetReport {
+    fn from(summary: WireSummary) -> TargetReport {
+        TargetReport {
+            issued_ids: summary.issued_ids,
+            leases: summary.leases,
+            errors: summary.errors,
+            p50_ns: summary.p50_ns,
+            p99_ns: summary.p99_ns,
+            mean_ns: summary.mean_ns,
+            audit: AuditReport {
+                counts: uuidp_sim::audit::AuditCounts {
+                    duplicate_ids: summary.duplicate_ids,
+                    flagged_records: summary.flagged_records,
+                    recorded_ids: summary.recorded_ids,
+                    recorded_arcs: summary.recorded_arcs,
+                },
+                max_lag: Duration::from_nanos(summary.max_lag_ns.min(u64::MAX as u128) as u64),
+                mean_lag_ns: summary.mean_lag_ns,
+                records: summary.records,
+                per_thread: Vec::new(), // aggregates only cross the wire
+            },
+        }
+    }
+}
+
+/// The in-process target: a locally started [`IdService`].
+pub struct LocalTarget {
+    service: IdService,
+}
+
+impl LocalTarget {
+    /// Boots a service for `config`.
+    pub fn start(config: ServiceConfig) -> LocalTarget {
+        LocalTarget {
+            service: IdService::start(config),
+        }
+    }
+}
+
+impl StressTarget for LocalTarget {
+    fn space(&self) -> IdSpace {
+        self.service.space()
+    }
+
+    fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
+        self.service.lease(tenant, count).arcs
+    }
+
+    fn issue(&mut self, tenant: u64, count: u128) {
+        self.service.issue(tenant, count);
+    }
+
+    fn drain(&mut self) {
+        self.service.drain();
+    }
+
+    fn finish(self) -> TargetReport {
+        self.service.shutdown().into()
+    }
+}
+
+/// The socket target: a [`RemoteClient`] driving a TCP front-end. The
+/// report comes from the parsed wire summary, so the whole client code
+/// path — not just the traffic — is exercised.
+pub struct RemoteTarget {
+    client: RemoteClient,
+    space: IdSpace,
+}
+
+impl RemoteTarget {
+    /// Connects to a front-end serving `space` at `addr`.
+    pub fn connect(addr: std::net::SocketAddr, space: IdSpace) -> io::Result<RemoteTarget> {
+        Ok(RemoteTarget {
+            client: RemoteClient::connect(addr, space)?,
+            space,
+        })
+    }
+}
+
+impl StressTarget for RemoteTarget {
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
+        self.client
+            .lease(tenant, count)
+            .expect("remote stress lease i/o")
+            .arcs
+    }
+
+    fn issue(&mut self, tenant: u64, count: u128) {
+        // Same line protocol; the reply is read (keeping the stream in
+        // sync) and dropped.
+        let _ = self
+            .client
+            .lease(tenant, count)
+            .expect("remote stress issue i/o");
+    }
+
+    fn drain(&mut self) {
+        self.client.drain().expect("remote stress drain i/o");
+    }
+
+    fn finish(self) -> TargetReport {
+        self.client
+            .shutdown()
+            .expect("remote stress shutdown i/o")
+            .into()
+    }
+}
+
 /// What one stress run measured.
 #[derive(Debug)]
 pub struct StressReport {
@@ -133,7 +311,7 @@ pub struct StressReport {
 impl StressReport {
     /// Renders the human-readable summary block.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "mix:         {}\nshards:      {}\nrequests:    {} leases, {} IDs issued\n\
              elapsed:     {:.3}s\nthroughput:  {:.2}M IDs/s\n\
              issue p50:   {:.2} us\nissue p99:   {:.2} us\nissue mean:  {:.2} us\n\
@@ -154,25 +332,62 @@ impl StressReport {
             self.audit.counts.flagged_records,
             self.audit.max_lag.as_secs_f64() * 1e3,
             self.audit.mean_lag_ns / 1e6,
-        )
+        );
+        // The straggler signal: one slow stripe-subset thread hides
+        // inside the merged max, so the per-thread maxima are listed
+        // whenever the breakdown is available (local runs; remote
+        // summaries carry aggregates only).
+        if self.audit.per_thread.len() > 1 {
+            let lags: Vec<String> = self
+                .audit
+                .per_thread
+                .iter()
+                .map(|t| format!("{:.2}", t.max_lag.as_secs_f64() * 1e3))
+                .collect();
+            out.push_str(&format!(
+                "audit threads: {} (per-thread max lag ms: {})\n",
+                self.audit.per_thread.len(),
+                lags.join(", ")
+            ));
+        }
+        out
     }
 }
 
-/// Runs one stress phase and returns its measurements.
+/// Runs one stress phase against the in-process service.
 pub fn run_stress(config: StressConfig) -> StressReport {
+    let target = LocalTarget::start(config.service.clone());
+    run_stress_with(target, config)
+}
+
+/// Runs one stress phase over a loopback TCP server: the service is
+/// fronted by a [`TcpServer`] on an ephemeral port and every request —
+/// including the shutdown that yields the report — travels through the
+/// [`RemoteClient`] socket path.
+pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
+    let server = TcpServer::bind("127.0.0.1:0", config.service.clone())?;
+    let target = RemoteTarget::connect(server.local_addr(), config.service.space)?;
+    let report = run_stress_with(target, config);
+    // Join the server threads; the driver-side report already carries
+    // the (identical) totals parsed off the wire.
+    let _ = server.join();
+    Ok(report)
+}
+
+/// Runs one stress phase against any [`StressTarget`].
+pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> StressReport {
     let mix = config.mix;
     let shards = config.service.shards;
-    let service = IdService::start(config.service.clone());
     let started = Instant::now();
     let submitted = match mix {
-        TrafficMix::Uniform => drive_uniform(&service, &config),
-        TrafficMix::Skewed => drive_skewed(&service, &config),
-        TrafficMix::Flood => drive_flood(&service, &config),
-        TrafficMix::Hunter => drive_hunter(&service, &config),
+        TrafficMix::Uniform => drive_uniform(&mut target, &config),
+        TrafficMix::Skewed => drive_skewed(&mut target, &config),
+        TrafficMix::Flood => drive_flood(&mut target, &config),
+        TrafficMix::Hunter => drive_hunter(&mut target, &config),
     };
-    service.drain();
+    target.drain();
     let elapsed = started.elapsed();
-    let report = service.shutdown();
+    let report = target.finish();
     let ids_per_sec = report.issued_ids as f64 / elapsed.as_secs_f64().max(1e-9);
     StressReport {
         mix,
@@ -181,22 +396,22 @@ pub fn run_stress(config: StressConfig) -> StressReport {
         issued_ids: report.issued_ids,
         elapsed,
         ids_per_sec,
-        p50_us: report.latency.quantile_ns(0.50) / 1e3,
-        p99_us: report.latency.quantile_ns(0.99) / 1e3,
-        mean_us: report.latency.mean_ns() / 1e3,
+        p50_us: report.p50_ns / 1e3,
+        p99_us: report.p99_ns / 1e3,
+        mean_us: report.mean_ns / 1e3,
         errors: report.errors,
         audit: report.audit,
     }
 }
 
-fn drive_uniform(service: &IdService, cfg: &StressConfig) -> u64 {
+fn drive_uniform<T: StressTarget>(target: &mut T, cfg: &StressConfig) -> u64 {
     for r in 0..cfg.requests {
-        service.issue(r % cfg.tenants, cfg.count);
+        target.issue(r % cfg.tenants, cfg.count);
     }
     cfg.requests
 }
 
-fn drive_skewed(service: &IdService, cfg: &StressConfig) -> u64 {
+fn drive_skewed<T: StressTarget>(target: &mut T, cfg: &StressConfig) -> u64 {
     // Power-law tenant weights, sampled by inverse CDF over prefix sums.
     let alpha = 1.2f64;
     let weights: Vec<f64> = (0..cfg.tenants)
@@ -215,23 +430,23 @@ fn drive_skewed(service: &IdService, cfg: &StressConfig) -> u64 {
         let tenant = cdf
             .partition_point(|&c| c < u)
             .min(cfg.tenants as usize - 1);
-        service.issue(tenant as u64, cfg.count);
+        target.issue(tenant as u64, cfg.count);
     }
     cfg.requests
 }
 
-fn drive_flood(service: &IdService, cfg: &StressConfig) -> u64 {
+fn drive_flood<T: StressTarget>(target: &mut T, cfg: &StressConfig) -> u64 {
     for r in 0..cfg.requests {
         if r % 4 != 3 {
-            service.issue(0, cfg.count * 4);
+            target.issue(0, cfg.count * 4);
         } else {
-            service.issue(1 + r % (cfg.tenants.max(2) - 1), cfg.count);
+            target.issue(1 + r % (cfg.tenants.max(2) - 1), cfg.count);
         }
     }
     cfg.requests
 }
 
-fn drive_hunter(service: &IdService, cfg: &StressConfig) -> u64 {
+fn drive_hunter<T: StressTarget>(target: &mut T, cfg: &StressConfig) -> u64 {
     // The adaptive attacker plays through the front door: every move is
     // a real (synchronous) lease, every observation a real returned ID.
     let n = (cfg.tenants.max(2) as usize).min(64);
@@ -246,7 +461,7 @@ fn drive_hunter(service: &IdService, cfg: &StressConfig) -> u64 {
         }
         let action = {
             let view = GameView {
-                space: service.space(),
+                space: target.space(),
                 histories: &histories,
                 // The audit runs asynchronously; the attacker plays the
                 // budget out rather than stopping at first blood.
@@ -263,9 +478,9 @@ fn drive_hunter(service: &IdService, cfg: &StressConfig) -> u64 {
             }
             Action::Request(i) => i,
         };
-        let reply = service.lease(tenant as u64, 1);
+        let arcs = target.lease_arcs(tenant as u64, 1);
         submitted += 1;
-        let Some(arc) = reply.arcs.first() else { break };
+        let Some(arc) = arcs.first() else { break };
         histories[tenant].push(arc.start);
     }
     submitted

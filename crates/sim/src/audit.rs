@@ -133,40 +133,115 @@ impl AuditCounts {
     }
 }
 
-/// A stripe-sharded symbolic lease audit over one universe.
-#[derive(Debug)]
-pub struct LeaseAudit {
+/// The pure *geometry* of a striped audit: how a universe is cut into
+/// equal contiguous stripes, with no per-stripe state attached.
+///
+/// A [`LeaseAudit`] owns one internally, but the plan is also useful on
+/// its own: a service front-end that distributes audit stripes across
+/// several pipeline threads builds the same plan on the producer side
+/// and uses [`split`](StripePlan::split) to route lease arcs to the
+/// thread owning each stripe — guaranteeing producer-side routing and
+/// audit-side recording agree on every boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePlan {
     space: IdSpace,
-    stripes: Vec<AuditStripe>,
     /// All stripes have this width except the last, which absorbs the
     /// remainder.
     stripe_len: u128,
+    count: usize,
 }
 
-impl LeaseAudit {
-    /// An empty audit over `space` with `stripes ≥ 1` equal stripes.
+impl StripePlan {
+    /// The partition of `space` into `stripes ≥ 1` equal stripes (capped
+    /// at the universe size and 2¹⁶, like [`LeaseAudit::new`]).
     pub fn new(space: IdSpace, stripes: usize) -> Self {
         let stripes = stripes.clamp(1, 1 << 16);
         let m = space.size();
         let count = (stripes as u128).min(m) as usize;
         let stripe_len = m.div_ceil(count as u128);
-        let stripes = (0..count)
+        StripePlan {
+            space,
+            stripe_len,
+            count,
+        }
+    }
+
+    /// The universe being partitioned.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.count
+    }
+
+    /// The stripe containing `id`.
+    pub fn stripe_of(&self, id: Id) -> usize {
+        ((id.value() / self.stripe_len) as usize).min(self.count - 1)
+    }
+
+    /// The sub-universe `[lo, hi)` of stripe `i`.
+    pub fn stripe_range(&self, i: usize) -> (u128, u128) {
+        let lo = i as u128 * self.stripe_len;
+        (lo, (lo + self.stripe_len).min(self.space.size()))
+    }
+
+    /// Cuts `arc` at the universe boundary (wrapping arcs) and at every
+    /// stripe boundary, yielding `(stripe index, lo, hi)` pieces in
+    /// ascending-stripe order per wrap half. Every piece is non-empty,
+    /// non-wrapping, and entirely inside its stripe.
+    pub fn split(&self, arc: Arc, f: &mut impl FnMut(usize, u128, u128)) {
+        let m = self.space.size();
+        let lo = arc.start.value();
+        let end = lo + arc.len;
+        if end <= m {
+            self.split_range(lo, end, f);
+        } else {
+            self.split_range(lo, m, f);
+            self.split_range(0, end - m, f);
+        }
+    }
+
+    /// Cuts the non-wrapping range `[lo, hi)` at stripe boundaries.
+    fn split_range(&self, mut lo: u128, hi: u128, f: &mut impl FnMut(usize, u128, u128)) {
+        while lo < hi {
+            let idx = self.stripe_of(Id(lo));
+            let stripe_hi = self.stripe_range(idx).1.min(hi);
+            f(idx, lo, stripe_hi);
+            lo = stripe_hi;
+        }
+    }
+}
+
+/// A stripe-sharded symbolic lease audit over one universe.
+#[derive(Debug)]
+pub struct LeaseAudit {
+    plan: StripePlan,
+    stripes: Vec<AuditStripe>,
+}
+
+impl LeaseAudit {
+    /// An empty audit over `space` with `stripes ≥ 1` equal stripes.
+    pub fn new(space: IdSpace, stripes: usize) -> Self {
+        let plan = StripePlan::new(space, stripes);
+        let stripes = (0..plan.stripe_count())
             .map(|i| {
-                let lo = i as u128 * stripe_len;
-                let hi = (lo + stripe_len).min(m);
+                let (lo, hi) = plan.stripe_range(i);
                 AuditStripe::new(space, lo, hi)
             })
             .collect();
-        LeaseAudit {
-            space,
-            stripes,
-            stripe_len,
-        }
+        LeaseAudit { plan, stripes }
     }
 
     /// The universe being audited.
     pub fn space(&self) -> IdSpace {
-        self.space
+        self.plan.space
+    }
+
+    /// The stripe geometry (shared with producer-side routing).
+    pub fn plan(&self) -> StripePlan {
+        self.plan
     }
 
     /// Number of stripes.
@@ -176,24 +251,34 @@ impl LeaseAudit {
 
     /// The stripe containing `id`.
     pub fn stripe_of(&self, id: Id) -> usize {
-        ((id.value() / self.stripe_len) as usize).min(self.stripes.len() - 1)
+        self.plan.stripe_of(id)
     }
 
     /// Records one lease arc for `owner`; returns how many of its IDs
     /// were already held by a different owner. Wrapping arcs are split at
-    /// the universe boundary and all pieces at stripe boundaries.
+    /// the universe boundary and all pieces at stripe boundaries — by
+    /// [`StripePlan::split`] itself, so direct recording and producer-side
+    /// routing share one boundary definition by construction.
     pub fn record(&mut self, owner: u64, arc: Arc) -> u128 {
-        let m = self.space.size();
-        let lo = arc.start.value();
-        let end = lo + arc.len;
+        let plan = self.plan;
         let mut cross = 0;
-        if end <= m {
-            cross += self.record_range(owner, lo, end);
-        } else {
-            cross += self.record_range(owner, lo, m);
-            cross += self.record_range(owner, 0, end - m);
-        }
+        plan.split(arc, &mut |_, lo, hi| {
+            cross += self.record_range(owner, lo, hi);
+        });
         cross
+    }
+
+    /// Records the non-wrapping range `[lo, hi)` for `owner`, splitting
+    /// it at stripe boundaries; returns the cross-owner duplicate count.
+    /// This is the entry point for pre-routed traffic: a producer that
+    /// already cut a lease with [`StripePlan::split`] records each piece
+    /// here and the stripe bookkeeping lands exactly where [`record`]
+    /// would have put it.
+    ///
+    /// [`record`]: LeaseAudit::record
+    pub fn record_clipped(&mut self, owner: u64, lo: u128, hi: u128) -> u128 {
+        debug_assert!(lo < hi && hi <= self.plan.space.size(), "bad range");
+        self.record_range(owner, lo, hi)
     }
 
     /// Records a non-wrapping range `[lo, hi)`, splitting it at stripe
@@ -354,6 +439,58 @@ mod tests {
             totals.windows(2).all(|w| w[0] == w[1]),
             "stripe count changed duplicate_ids: {totals:?}"
         );
+    }
+
+    #[test]
+    fn stripe_plan_split_covers_exactly_and_respects_boundaries() {
+        let space = IdSpace::new(1000).unwrap();
+        let plan = StripePlan::new(space, 7);
+        assert_eq!(plan.stripe_count(), 7);
+        let mut rng = Xoshiro256pp::new(3);
+        for _ in 0..500 {
+            let start = uniform_below(&mut rng, 1000);
+            let len = 1 + uniform_below(&mut rng, 999);
+            let arc = arc(space, start, len);
+            let mut covered = 0u128;
+            let mut pieces = Vec::new();
+            plan.split(arc, &mut |idx, lo, hi| {
+                assert!(lo < hi, "empty piece");
+                let (slo, shi) = plan.stripe_range(idx);
+                assert!(lo >= slo && hi <= shi, "piece escapes its stripe");
+                assert_eq!(plan.stripe_of(Id(lo)), idx);
+                covered += hi - lo;
+                pieces.push((lo, hi));
+            });
+            assert_eq!(covered, len, "split loses or duplicates IDs");
+            // Pieces are disjoint: total coverage as a set equals len.
+            pieces.sort_unstable();
+            assert!(pieces.windows(2).all(|w| w[0].1 <= w[1].0));
+        }
+    }
+
+    #[test]
+    fn pre_routed_recording_matches_direct_recording() {
+        // A producer that splits with StripePlan and records pieces with
+        // record_clipped must land bit-identical counters to record().
+        let space = IdSpace::new(1 << 12).unwrap();
+        let mut rng = Xoshiro256pp::new(8);
+        let leases: Vec<(u64, Arc)> = (0..300)
+            .map(|i| {
+                let start = uniform_below(&mut rng, 1 << 12);
+                let len = 1 + uniform_below(&mut rng, 1 << 6);
+                (i % 5, arc(space, start, len))
+            })
+            .collect();
+        let mut direct = LeaseAudit::new(space, 9);
+        let mut routed = LeaseAudit::new(space, 9);
+        let plan = routed.plan();
+        for &(owner, a) in &leases {
+            direct.record(owner, a);
+            plan.split(a, &mut |_, lo, hi| {
+                routed.record_clipped(owner, lo, hi);
+            });
+        }
+        assert_eq!(direct.counts(), routed.counts());
     }
 
     #[test]
