@@ -466,6 +466,91 @@ pub fn bench_audit_pipeline() -> PerfResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Baseline 5 (PR 4): connection churn and single-node fleets — what the
+// persistent-connection client pool and the multi-node harness replace.
+// ---------------------------------------------------------------------
+
+/// Remote lease round-trip cost: one persistent connection reused for
+/// every request vs the connect-per-request client shape (dial, lease,
+/// hang up — the churn the ROADMAP's thread-per-connection item is
+/// about, since every throwaway connection also costs the server a
+/// handler thread). Cost unit: ns per leased round trip.
+pub fn bench_remote_connection_reuse() -> PerfResult {
+    use uuidp_service::net::{RemoteClient, TcpServer};
+    let space = IdSpace::with_bits(48).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let mut tenant = 0u64;
+    let mut client = RemoteClient::connect(addr, space).expect("persistent client");
+    let new_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        let lease = client.lease(tenant, 32).expect("persistent lease");
+        std::hint::black_box(lease.granted);
+    });
+    let baseline_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        let mut throwaway = RemoteClient::connect(addr, space).expect("throwaway client");
+        let lease = throwaway.lease(tenant, 32).expect("throwaway lease");
+        std::hint::black_box(lease.granted);
+        let _ = throwaway.quit();
+    });
+    let _ = client.shutdown();
+    let _ = server.join();
+    PerfResult {
+        name: "remote_lease_persistent_vs_connect_per_request".into(),
+        unit: "ns/lease",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Full-lifecycle fleet issuance (launch → route over TCP with durable
+/// write-ahead state → graceful shutdown), ns per issued ID. Median of
+/// three runs.
+fn fleet_ns_per_id(nodes: usize) -> f64 {
+    use uuidp_fleet::run::{run_fleet, FleetConfig};
+    let space = IdSpace::with_bits(48).unwrap();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|i| {
+            let mut service = ServiceConfig::new(AlgorithmKind::Cluster, space);
+            service.master_seed = 0xF1EE7 + i;
+            let dir = std::env::temp_dir().join(format!(
+                "uuidp-bench-fleet-{}-{nodes}-{i}",
+                std::process::id()
+            ));
+            let mut cfg = FleetConfig::new(service, nodes, &dir);
+            cfg.tenants = 6;
+            cfg.requests = 1200;
+            cfg.count = 256;
+            cfg.reservation = 4096;
+            let start = Instant::now();
+            let report = run_fleet(cfg).expect("bench fleet run");
+            let ns = start.elapsed().as_nanos() as f64 / report.issued_ids as f64;
+            let _ = std::fs::remove_dir_all(&dir);
+            ns
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2]
+}
+
+/// The fleet end-to-end entry: 3 durable nodes behind the global-audit
+/// router vs the same workload on a 1-node fleet. On multi-core hosts
+/// the node fan-out parallelizes issuance; on a single-core runner the
+/// honest expectation is ~1× — the number then pins that the router,
+/// the per-node TCP hops, and the write-ahead persistence cost nothing
+/// over a single node. Cost unit: ns per issued ID, full lifecycle.
+pub fn bench_fleet_issue() -> PerfResult {
+    PerfResult {
+        name: "fleet_issue_3nodes_vs_1node_tcp_durable".into(),
+        unit: "ns/id",
+        new_cost: fleet_ns_per_id(3),
+        baseline_cost: fleet_ns_per_id(1),
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -476,6 +561,8 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_service_issue(AlgorithmKind::Cluster, "cluster"),
         bench_service_issue(AlgorithmKind::BinsStar, "bins_star"),
         bench_audit_pipeline(),
+        bench_remote_connection_reuse(),
+        bench_fleet_issue(),
     ]
 }
 

@@ -13,6 +13,8 @@ use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{SplitMix64, Xoshiro256pp};
 use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
 
+use uuidp_fleet::router::Placement;
+use uuidp_fleet::run::{run_fleet, FleetConfig, FleetReport};
 use uuidp_service::net::TcpServer;
 use uuidp_service::protocol::{render_lease, Command};
 use uuidp_service::service::{IdService, ServiceConfig, ServiceReport};
@@ -341,6 +343,9 @@ pub struct StressOpts {
     /// Replay over a loopback TCP server through the real socket client
     /// instead of in-process channels.
     pub remote: bool,
+    /// Client-side connection pool width for `--remote` runs: worker
+    /// threads, each reusing one persistent connection all run.
+    pub remote_workers: usize,
 }
 
 impl StressOpts {
@@ -359,6 +364,7 @@ impl StressOpts {
             audit_threads: 1,
             seed: 0x57E5,
             remote: false,
+            remote_workers: 1,
         }
     }
 }
@@ -390,14 +396,23 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
         }
     };
 
+    if opts.remote_workers > 1 && !opts.remote {
+        return Err(ParseError(
+            "--remote-workers only applies with --remote (the in-process path has no connections to pool)"
+                .into(),
+        ));
+    }
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
+    cfg.remote_workers = opts.remote_workers.max(1);
     let main = run(cfg.clone())?;
     let mut out = format!(
         "# stress: {} over m = 2^{}{}\n\n{}",
         opts.algorithm,
         opts.bits,
-        if opts.remote {
+        if opts.remote && cfg.remote_workers > 1 {
+            " (loopback TCP transport, pooled connections)"
+        } else if opts.remote {
             " (loopback TCP transport)"
         } else {
             ""
@@ -442,6 +457,190 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
         )));
     }
     out.push_str("validation:  ok (no audit false negatives)\n");
+    Ok(out)
+}
+
+/// Options for `uuidp fleet`.
+#[derive(Debug, Clone)]
+pub struct FleetOpts {
+    /// Algorithm spec (must be snapshot-capable for durability).
+    pub algorithm: String,
+    /// Universe width in bits.
+    pub bits: u32,
+    /// Nodes in the fleet.
+    pub nodes: usize,
+    /// Tenants generating load (pinned to nodes).
+    pub tenants: u64,
+    /// Lease requests to route through the fleet.
+    pub requests: u64,
+    /// IDs per lease.
+    pub count: u128,
+    /// Cross-node placement (`uniform | skewed | hunter`).
+    pub placement: String,
+    /// Worker shards per node.
+    pub shards: usize,
+    /// Audit stripes (per node and for the global audit).
+    pub audit_stripes: usize,
+    /// Audit pipeline threads per node.
+    pub audit_threads: usize,
+    /// Master seed (shared by every node: tenant streams must not
+    /// depend on which node serves them).
+    pub seed: u64,
+    /// Chaos mode: crash-restart a random node every K requests.
+    pub kill_every: Option<u64>,
+    /// Write-ahead reservation window per persist.
+    pub reservation: u128,
+    /// Durable state root; a per-run temp directory (cleaned up
+    /// afterwards) when unset.
+    pub state_dir: Option<String>,
+}
+
+impl FleetOpts {
+    /// The CI smoke preset behind `uuidp fleet --trials-small`.
+    pub fn trials_small(algorithm: &str) -> Self {
+        FleetOpts {
+            algorithm: algorithm.to_string(),
+            bits: 48,
+            nodes: 3,
+            tenants: 6,
+            requests: 600,
+            count: 32,
+            placement: "uniform".into(),
+            shards: 2,
+            audit_stripes: 8,
+            audit_threads: 1,
+            seed: 0xF1EE7,
+            kill_every: None,
+            reservation: 256,
+            state_dir: None,
+        }
+    }
+}
+
+/// Runs `uuidp fleet`: the requested multi-node scenario, then a
+/// mandatory *cross-node twin* validation phase — two same-seed tenants
+/// pinned to different nodes, invisible to every node-local audit, that
+/// the router's global audit must count exactly. Both phases hard-fail
+/// if a recovered node ever re-emits one of its own pre-crash IDs.
+pub fn fleet(opts: &FleetOpts) -> Result<String, ParseError> {
+    let space =
+        IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let kind = parse_algorithm_kind(&opts.algorithm, space)?;
+    let placement = Placement::parse(&opts.placement).map_err(ParseError)?;
+    if opts.kill_every == Some(0) {
+        return Err(ParseError(
+            "--kill-every must be at least 1 (omit the flag to disable chaos)".into(),
+        ));
+    }
+    // The ephemeral root must be unique per *invocation*, not just per
+    // (pid, seed): concurrent runs in one process (e.g. the test
+    // harness) would otherwise share and then delete each other's
+    // node state mid-run.
+    static FLEET_RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let (state_root, ephemeral) = match &opts.state_dir {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!(
+                "uuidp-fleet-{}-{:x}-{}",
+                std::process::id(),
+                opts.seed,
+                FLEET_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            )),
+            true,
+        ),
+    };
+    let result = fleet_phases(opts, kind, space, placement, &state_root);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&state_root);
+    }
+    result
+}
+
+fn fleet_phases(
+    opts: &FleetOpts,
+    kind: uuidp_core::algorithms::AlgorithmKind,
+    space: IdSpace,
+    placement: Placement,
+    state_root: &std::path::Path,
+) -> Result<String, ParseError> {
+    let mut service = ServiceConfig::new(kind, space);
+    service.shards = opts.shards.max(1);
+    service.audit_stripes = opts.audit_stripes.max(1);
+    service.audit_threads = opts.audit_threads.max(1);
+    service.master_seed = opts.seed;
+
+    let run = |mut cfg: FleetConfig, tag: &str| -> Result<FleetReport, ParseError> {
+        cfg.state_dir = state_root.join(tag);
+        let report = run_fleet(cfg).map_err(|e| ParseError(format!("fleet {tag} phase: {e}")))?;
+        // The crash-safety gate applies to every phase: a recovered
+        // node's tenants must never repeat their own pre-crash IDs.
+        if report.recovered_duplicate_ids > 0 {
+            return Err(ParseError(format!(
+                "recovered nodes re-emitted {} IDs (crash recovery is broken)",
+                report.recovered_duplicate_ids
+            )));
+        }
+        Ok(report)
+    };
+
+    let mut cfg = FleetConfig::new(service.clone(), opts.nodes.max(1), state_root);
+    cfg.tenants = opts.tenants.max(1);
+    cfg.requests = opts.requests;
+    cfg.count = opts.count;
+    cfg.placement = placement;
+    cfg.kill_every = opts.kill_every;
+    cfg.reservation = opts.reservation.max(1);
+    cfg.audit_stripes = opts.audit_stripes.max(1);
+    let main = run(cfg.clone(), "main")?;
+    let mut out = format!(
+        "# fleet: {} over m = 2^{}, {} nodes{}\n\n{}",
+        opts.algorithm,
+        opts.bits,
+        opts.nodes,
+        match opts.kill_every {
+            Some(k) => format!(" (chaos: kill every {k} requests)"),
+            None => String::new(),
+        },
+        main.render()
+    );
+
+    // Validation phase: tenants 0 and 1 share a seed. With ≥ 2 nodes
+    // they live on *different* nodes, so only the global audit can see
+    // their duplicates. Runs without chaos so the twin streams stay
+    // aligned and the expected count is exact.
+    let mut check = cfg;
+    check.placement = Placement::Uniform;
+    check.kill_every = None;
+    check.tenants = check.tenants.max(2);
+    let per_tenant = (check.requests.clamp(16, 512) / check.tenants).max(1);
+    check.requests = per_tenant * check.tenants;
+    check.service.seed_alias = Some((0, 1));
+    let injected = run(check, "validate")?;
+    let expected = if injected.errors == 0 {
+        per_tenant as u128 * opts.count
+    } else {
+        1
+    };
+    out.push_str(&format!(
+        "\n# global audit validation (same-seed twins across nodes)\n\n\
+         duplicates:  {} detected by the global audit, {} injected{}\n\
+         node-local:  {} (cross-node duplicates are invisible to node audits)\n",
+        injected.cross_tenant_duplicate_ids,
+        expected,
+        if injected.errors > 0 {
+            " (lower bound: generators exhausted mid-phase)"
+        } else {
+            ""
+        },
+        injected.merged_nodes.counts.duplicate_ids,
+    ));
+    if injected.cross_tenant_duplicate_ids < expected {
+        return Err(ParseError(format!(
+            "global audit false negative: {} duplicate IDs detected, {expected} injected",
+            injected.cross_tenant_duplicate_ids
+        )));
+    }
+    out.push_str("validation:  ok (cross-node twins detected, zero recovered duplicates)\n");
     Ok(out)
 }
 
@@ -744,6 +943,79 @@ mod tests {
         let out = stress(&opts).unwrap();
         assert!(out.contains("loopback TCP transport"), "{out}");
         assert!(out.contains("validation:  ok"));
+    }
+
+    #[test]
+    fn stress_remote_pooled_workers_validate_too() {
+        let opts = StressOpts {
+            requests: 120,
+            remote: true,
+            remote_workers: 3,
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("pooled connections"), "{out}");
+        assert!(out.contains("validation:  ok"));
+    }
+
+    #[test]
+    fn fleet_smoke_preset_validates_the_global_audit() {
+        let opts = FleetOpts {
+            requests: 120,
+            ..FleetOpts::trials_small("cluster")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("nodes:        3"), "{out}");
+        assert!(out.contains("cross-node duplicates are invisible"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
+    }
+
+    #[test]
+    fn fleet_chaos_mode_restarts_and_stays_duplicate_free() {
+        let opts = FleetOpts {
+            requests: 90,
+            kill_every: Some(15),
+            reservation: 64,
+            ..FleetOpts::trials_small("cluster*")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("chaos: kill every 15"), "{out}");
+        assert!(
+            !out.contains("(0 crash-restarts)"),
+            "chaos must restart: {out}"
+        );
+        assert!(out.contains("0 from recovered nodes"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_placement() {
+        let opts = FleetOpts {
+            placement: "mesh".into(),
+            ..FleetOpts::trials_small("cluster")
+        };
+        assert!(fleet(&opts).is_err());
+    }
+
+    #[test]
+    fn fleet_rejects_zero_kill_interval() {
+        // kill-every 0 would silently disable chaos while claiming it.
+        let opts = FleetOpts {
+            kill_every: Some(0),
+            ..FleetOpts::trials_small("cluster")
+        };
+        let err = fleet(&opts).unwrap_err();
+        assert!(err.0.contains("--kill-every"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_pool_without_remote() {
+        let opts = StressOpts {
+            remote_workers: 4,
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--remote"), "{}", err.0);
     }
 
     #[test]

@@ -8,15 +8,17 @@
 //! uuidp serve --algorithm cluster --bits 64 --shards 4
 //! uuidp serve --algorithm cluster --bits 64 --listen 127.0.0.1:7821 --audit-threads 4
 //! uuidp stress --algorithm "bins*" --bits 48 --tenants 32 --requests 100000 --count 512
-//! uuidp stress --algorithm cluster --trials-small --remote
+//! uuidp stress --algorithm cluster --trials-small --remote --remote-workers 4
+//! uuidp fleet --algorithm cluster --nodes 5 --tenants 20 --requests 20000 --placement skewed
+//! uuidp fleet --trials-small --nodes 3 --kill-every 2
 //! uuidp doctor
 //! ```
 
 use std::process::ExitCode;
 
 use uuidp_cli::commands::{
-    diagram, doctor, generate, plan, serve, simulate, stress, DiagramOpts, GenerateOpts, PlanOpts,
-    ServeOpts, SimulateOpts, StressOpts,
+    diagram, doctor, fleet, generate, plan, serve, simulate, stress, DiagramOpts, FleetOpts,
+    GenerateOpts, PlanOpts, ServeOpts, SimulateOpts, StressOpts,
 };
 use uuidp_cli::IdFormat;
 
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         "diagram" => run_diagram(rest),
         "serve" => run_serve(rest),
         "stress" => run_stress_cmd(rest),
+        "fleet" => run_fleet_cmd(rest),
         "doctor" => doctor().map_err(|e| e.0),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -67,6 +70,11 @@ fn print_usage() {
          \x20 uuidp stress   --algorithm SPEC [--bits N=48] [--shards N=2] [--tenants N=8] [--requests N=20000]\n\
          \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--audit-threads N=1]\n\
          \x20                [--seed N] [--trials-small] [--remote (loopback TCP transport)]\n\
+         \x20                [--remote-workers N=1 (persistent-connection pool width)]\n\
+         \x20 uuidp fleet    --algorithm SPEC [--bits N=48] [--nodes N=3] [--tenants N=6] [--requests N=600]\n\
+         \x20                [--count N=32] [--placement uniform|skewed|hunter] [--shards N=2]\n\
+         \x20                [--audit-threads N=1] [--seed N] [--kill-every K (chaos restarts)]\n\
+         \x20                [--reservation N=256] [--state-dir DIR] [--trials-small]\n\
          \x20 uuidp doctor\n\
          \n\
          algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
@@ -191,6 +199,7 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             audit_threads: 1,
             seed: 0x57E5,
             remote: false,
+            remote_workers: 1,
         }
     };
     let algorithm = match f.get(&["--algorithm", "-a"]) {
@@ -213,8 +222,50 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
         audit_threads: f.parse(&["--audit-threads"], defaults.audit_threads)?,
         seed: f.parse(&["--seed", "-s"], defaults.seed)?,
         remote: f.has("--remote") || defaults.remote,
+        remote_workers: f.parse(&["--remote-workers"], defaults.remote_workers)?,
     };
     stress(&opts).map_err(|e| e.0)
+}
+
+fn run_fleet_cmd(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let small = f.has("--trials-small");
+    let preset = FleetOpts::trials_small("cluster");
+    let defaults = if small {
+        preset
+    } else {
+        FleetOpts {
+            algorithm: String::new(),
+            requests: 5_000,
+            count: 128,
+            ..FleetOpts::trials_small("")
+        }
+    };
+    let algorithm = match f.get(&["--algorithm", "-a"]) {
+        Some(a) => a.to_string(),
+        None if small => defaults.algorithm.clone(),
+        None => return Err("missing required flag --algorithm".into()),
+    };
+    let opts = FleetOpts {
+        algorithm,
+        bits: f.parse(&["--bits", "-b"], defaults.bits)?,
+        nodes: f.parse(&["--nodes"], defaults.nodes)?,
+        tenants: f.parse(&["--tenants", "-n"], defaults.tenants)?,
+        requests: f.parse(&["--requests", "-r"], defaults.requests)?,
+        count: f.parse(&["--count", "-c"], defaults.count)?,
+        placement: f
+            .get(&["--placement", "--mix", "-m"])
+            .unwrap_or(defaults.placement.as_str())
+            .to_string(),
+        shards: f.parse(&["--shards"], defaults.shards)?,
+        audit_stripes: f.parse(&["--audit-stripes"], defaults.audit_stripes)?,
+        audit_threads: f.parse(&["--audit-threads"], defaults.audit_threads)?,
+        seed: f.parse(&["--seed", "-s"], defaults.seed)?,
+        kill_every: f.parse_opt(&["--kill-every"])?,
+        reservation: f.parse(&["--reservation"], defaults.reservation)?,
+        state_dir: f.get(&["--state-dir"]).map(str::to_string),
+    };
+    fleet(&opts).map_err(|e| e.0)
 }
 
 fn run_diagram(args: &[String]) -> Result<String, String> {

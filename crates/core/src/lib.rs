@@ -56,6 +56,8 @@
 //!   [`traits::IdGenerator::next_ids`] (service/kvstore batching);
 //! * [`algorithms`] — the five paper algorithms plus practical baselines;
 //! * [`state`] — snapshot/restore for exact crash-resume;
+//! * [`persist`] — versioned, checksummed on-disk snapshots with the
+//!   write-ahead reservation discipline and crash-safe recovery;
 //! * [`diagram`] — the paper's illustration diagrams, reproduced.
 //!
 //! Production note: the simulation-grade PRNG here is deliberate (see
@@ -69,6 +71,7 @@ pub mod diagram;
 pub mod id;
 pub mod interval;
 pub mod lease;
+pub mod persist;
 pub mod rng;
 pub mod shuffle;
 pub mod state;
@@ -83,6 +86,7 @@ pub mod prelude {
     pub use crate::id::{Id, IdSpace};
     pub use crate::interval::{Arc, IntervalSet};
     pub use crate::lease::Lease;
+    pub use crate::persist::{recover, PersistError, SnapshotRecord, SnapshotStore};
     pub use crate::state::{restore, GeneratorState, StateError};
     pub use crate::traits::{Algorithm, Footprint, GeneratorError, IdGenerator};
 }

@@ -1,0 +1,814 @@
+//! Durable generator state: versioned, checksummed on-disk snapshots
+//! plus the crash-recovery rule that makes restarts safe.
+//!
+//! A process embedding these generators must survive a crash without
+//! ever repeating an ID — the RocksDB SST-unique-ID setting (PRs
+//! #8990/#9126) that motivates the paper. The hazard of naïve
+//! persistence is *staleness*: a snapshot taken at emission count `G`
+//! says nothing about the IDs emitted between the snapshot and the
+//! crash, so resuming exactly at `G` would deterministically re-emit
+//! that suffix.
+//!
+//! This module closes the gap with a **write-ahead reservation**
+//! discipline:
+//!
+//! 1. A [`SnapshotRecord`] stores the generator state *plus* a
+//!    `reservation` `R`: permission for the running process to emit up
+//!    to `R` further IDs past the recorded state.
+//! 2. The process persists a fresh record **before** emitting any ID
+//!    beyond the current reservation frontier (the service layer's
+//!    durability hook enforces this per lease).
+//! 3. [`recover`] restores the recorded state and then **skips the
+//!    entire reserved window** — abandoning the in-flight run/bin
+//!    segment the crashed process may have been emitting from, and
+//!    letting every later placement be re-drawn from the persisted RNG
+//!    stream.
+//!
+//! Because each instance's ID stream is a deterministic permutation
+//! prefix of its seed, the recovered instance continues that same
+//! permutation strictly *after* the reservation frontier: anything the
+//! crashed process can have emitted (a prefix of the first
+//! `generated + R` IDs) is disjoint from everything the recovered
+//! instance will ever emit. The cost is bounded leakage — at most `R`
+//! IDs are abandoned per crash — never a repeat. This is the
+//! paper-faithful middle ground between RocksDB's "fresh instance per
+//! restart" (safe, but every restart grows the effective `n` and with
+//! it the collision exposure) and exact resume (which is only safe if
+//! nothing was emitted after the snapshot).
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! magic    8 bytes   "UUIDSNP1"-independent tag: b"UUIDSNAP"
+//! version  u32 LE    1
+//! length   u64 LE    payload byte count
+//! payload  ...       seq, epoch, reservation, universe, GeneratorState
+//! checksum u64 LE    FNV-1a over magic + version + length + payload
+//! ```
+//!
+//! All integers are little-endian; variable-length sequences carry a
+//! `u64` count prefix. Records are written to a temporary file and
+//! atomically renamed into place, so a torn write leaves the previous
+//! record intact; any corruption (truncation, bit flips, unknown
+//! versions) is reported as a typed [`PersistError`], never a panic.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::id::IdSpace;
+use crate::state::{restore, GeneratorState, StateError};
+use crate::traits::IdGenerator;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"UUIDSNAP";
+
+/// Current on-disk format version.
+pub const VERSION: u32 = 1;
+
+/// A persisted generator snapshot plus its write-ahead reservation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRecord {
+    /// Monotone per-tenant sequence number (diagnostics; newer wins).
+    pub seq: u64,
+    /// The service epoch the tenant was in when the record was written
+    /// (epochs key restart-aware audit ownership).
+    pub epoch: u32,
+    /// IDs the process may emit past `state` before it must persist
+    /// again. Recovery abandons this whole window.
+    pub reservation: u128,
+    /// The ID universe the generator draws from.
+    pub space: IdSpace,
+    /// The generator state at persist time.
+    pub state: GeneratorState,
+}
+
+/// Error reading, writing, or recovering a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not supported.
+    UnsupportedVersion(u32),
+    /// The stored checksum does not match the content.
+    ChecksumMismatch,
+    /// The payload ended before the record was complete.
+    Truncated,
+    /// The payload decoded but described an impossible record.
+    Corrupt(String),
+    /// The decoded state failed generator-level validation.
+    State(StateError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a uuidp snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (supported: {VERSION})")
+            }
+            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            PersistError::State(e) => write!(f, "snapshot state rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// FNV-1a over `bytes` (the format's integrity check; collisions are a
+/// corruption-detection concern, not an adversarial one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_rng(out: &mut Vec<u8>, rng: &[u64; 4]) {
+    for &w in rng {
+        put_u64(out, w);
+    }
+}
+
+fn put_u128_seq(out: &mut Vec<u8>, seq: &[u128]) {
+    put_u64(out, seq.len() as u64);
+    for &v in seq {
+        put_u128(out, v);
+    }
+}
+
+fn put_pair_seq(out: &mut Vec<u8>, seq: &[(u128, u128)]) {
+    put_u64(out, seq.len() as u64);
+    for &(a, b) in seq {
+        put_u128(out, a);
+        put_u128(out, b);
+    }
+}
+
+fn put_opt_u128(out: &mut Vec<u8>, v: &Option<u128>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u128(out, *v);
+        }
+    }
+}
+
+fn put_opt_pair(out: &mut Vec<u8>, v: &Option<(u128, u128)>) {
+    match v {
+        None => out.push(0),
+        Some((a, b)) => {
+            out.push(1);
+            put_u128(out, *a);
+            put_u128(out, *b);
+        }
+    }
+}
+
+/// Bounded-read cursor over a decoded payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.at.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, PersistError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn rng(&mut self) -> Result<[u64; 4], PersistError> {
+        Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
+    }
+
+    fn seq_len(&mut self) -> Result<usize, PersistError> {
+        let len = self.u64()?;
+        // A length prefix can never exceed the remaining bytes, and each
+        // element is at least one byte — reject absurd counts before
+        // they turn into huge pre-allocations.
+        if len as usize > self.bytes.len().saturating_sub(self.at) {
+            return Err(PersistError::Truncated);
+        }
+        Ok(len as usize)
+    }
+
+    fn u128_seq(&mut self) -> Result<Vec<u128>, PersistError> {
+        let len = self.seq_len()?;
+        (0..len).map(|_| self.u128()).collect()
+    }
+
+    fn pair_seq(&mut self) -> Result<Vec<(u128, u128)>, PersistError> {
+        let len = self.seq_len()?;
+        (0..len).map(|_| Ok((self.u128()?, self.u128()?))).collect()
+    }
+
+    fn opt_u128(&mut self) -> Result<Option<u128>, PersistError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u128()?)),
+            t => Err(PersistError::Corrupt(format!("bad option tag {t}"))),
+        }
+    }
+
+    fn opt_pair(&mut self) -> Result<Option<(u128, u128)>, PersistError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some((self.u128()?, self.u128()?))),
+            t => Err(PersistError::Corrupt(format!("bad option tag {t}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), PersistError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+fn encode_state(out: &mut Vec<u8>, state: &GeneratorState) {
+    match state {
+        GeneratorState::Random {
+            rng,
+            drawn,
+            displacements,
+            emitted,
+        } => {
+            out.push(0);
+            put_rng(out, rng);
+            put_u128(out, *drawn);
+            put_pair_seq(out, displacements);
+            put_u128_seq(out, emitted);
+        }
+        GeneratorState::Cluster { start, generated } => {
+            out.push(1);
+            put_u128(out, *start);
+            put_u128(out, *generated);
+        }
+        GeneratorState::Bins {
+            k,
+            rng,
+            order_drawn,
+            order_displacements,
+            current,
+            leftover_emitted,
+            generated,
+            emitted,
+        } => {
+            out.push(2);
+            put_u128(out, *k);
+            put_rng(out, rng);
+            put_u128(out, *order_drawn);
+            put_pair_seq(out, order_displacements);
+            put_opt_pair(out, current);
+            put_u128(out, *leftover_emitted);
+            put_u128(out, *generated);
+            put_pair_seq(out, emitted);
+        }
+        GeneratorState::ClusterStar {
+            rng,
+            growth,
+            next_len,
+            runs,
+            current_used,
+            generated,
+        } => {
+            out.push(3);
+            put_rng(out, rng);
+            put_u32(out, *growth);
+            put_u128(out, *next_len);
+            put_pair_seq(out, runs);
+            put_opt_u128(out, current_used);
+            put_u128(out, *generated);
+        }
+        GeneratorState::BinsStar {
+            rng,
+            chunks,
+            chunk_size,
+            next_chunk,
+            bins,
+            current_used,
+            generated,
+        } => {
+            out.push(4);
+            put_rng(out, rng);
+            put_u32(out, *chunks);
+            put_u128(out, *chunk_size);
+            put_u32(out, *next_chunk);
+            put_pair_seq(out, bins);
+            put_opt_u128(out, current_used);
+            put_u128(out, *generated);
+        }
+        GeneratorState::SessionCounter {
+            rng,
+            session_bits,
+            counter_bits,
+            used_sessions,
+            current_session,
+            counter,
+            generated,
+        } => {
+            out.push(5);
+            put_rng(out, rng);
+            put_u32(out, *session_bits);
+            put_u32(out, *counter_bits);
+            put_u128_seq(out, used_sessions);
+            put_opt_u128(out, current_session);
+            put_u128(out, *counter);
+            put_u128(out, *generated);
+        }
+    }
+}
+
+fn decode_state(c: &mut Cursor<'_>) -> Result<GeneratorState, PersistError> {
+    Ok(match c.u8()? {
+        0 => GeneratorState::Random {
+            rng: c.rng()?,
+            drawn: c.u128()?,
+            displacements: c.pair_seq()?,
+            emitted: c.u128_seq()?,
+        },
+        1 => GeneratorState::Cluster {
+            start: c.u128()?,
+            generated: c.u128()?,
+        },
+        2 => GeneratorState::Bins {
+            k: c.u128()?,
+            rng: c.rng()?,
+            order_drawn: c.u128()?,
+            order_displacements: c.pair_seq()?,
+            current: c.opt_pair()?,
+            leftover_emitted: c.u128()?,
+            generated: c.u128()?,
+            emitted: c.pair_seq()?,
+        },
+        3 => GeneratorState::ClusterStar {
+            rng: c.rng()?,
+            growth: c.u32()?,
+            next_len: c.u128()?,
+            runs: c.pair_seq()?,
+            current_used: c.opt_u128()?,
+            generated: c.u128()?,
+        },
+        4 => GeneratorState::BinsStar {
+            rng: c.rng()?,
+            chunks: c.u32()?,
+            chunk_size: c.u128()?,
+            next_chunk: c.u32()?,
+            bins: c.pair_seq()?,
+            current_used: c.opt_u128()?,
+            generated: c.u128()?,
+        },
+        5 => GeneratorState::SessionCounter {
+            rng: c.rng()?,
+            session_bits: c.u32()?,
+            counter_bits: c.u32()?,
+            used_sessions: c.u128_seq()?,
+            current_session: c.opt_u128()?,
+            counter: c.u128()?,
+            generated: c.u128()?,
+        },
+        t => return Err(PersistError::Corrupt(format!("unknown state tag {t}"))),
+    })
+}
+
+/// Serializes `record` into the versioned, checksummed file format.
+pub fn encode_record(record: &SnapshotRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(128);
+    put_u64(&mut payload, record.seq);
+    put_u32(&mut payload, record.epoch);
+    put_u128(&mut payload, record.reservation);
+    put_u128(&mut payload, record.space.size());
+    encode_state(&mut payload, &record.state);
+
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Parses bytes produced by [`encode_record`], validating magic,
+/// version, length, and checksum before touching the payload.
+pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, PersistError> {
+    let mut c = Cursor { bytes, at: 0 };
+    if c.take(8)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = c.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    // Length arithmetic stays in checked u64: a crafted length near
+    // the integer maximum must come back as Truncated, not overflow
+    // (never-panic is this module's contract).
+    let payload_len = c.u64()?;
+    let body_end = (c.at as u64)
+        .checked_add(payload_len)
+        .ok_or(PersistError::Truncated)?;
+    if body_end.checked_add(8) != Some(bytes.len() as u64) {
+        return Err(PersistError::Truncated);
+    }
+    let body_end = body_end as usize;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if fnv1a(&bytes[..body_end]) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let mut c = Cursor {
+        bytes: &bytes[c.at..body_end],
+        at: 0,
+    };
+    let seq = c.u64()?;
+    let epoch = c.u32()?;
+    let reservation = c.u128()?;
+    let m = c.u128()?;
+    let space = IdSpace::new(m).map_err(|e| PersistError::Corrupt(format!("bad universe: {e}")))?;
+    let state = decode_state(&mut c)?;
+    c.finish()?;
+    Ok(SnapshotRecord {
+        seq,
+        epoch,
+        reservation,
+        space,
+        state,
+    })
+}
+
+/// Rebuilds a generator from `record` under the crash-recovery rule:
+/// restore the persisted state, then abandon the entire reserved
+/// window by skipping it.
+///
+/// Every ID the crashed process can have emitted lies in the first
+/// `state.generated + reservation` positions of the instance's
+/// permutation (that is what the write-ahead discipline guarantees),
+/// and the recovered generator continues strictly after them — so it
+/// never re-emits a pre-crash ID, at the cost of leaking at most
+/// `reservation` IDs. If the skip exhausts the generator it is
+/// returned exhausted, which is still never-re-emitting.
+pub fn recover(record: &SnapshotRecord) -> Result<Box<dyn IdGenerator>, PersistError> {
+    let mut generator = restore(record.space, &record.state).map_err(PersistError::State)?;
+    let _ = generator.skip(record.reservation);
+    Ok(generator)
+}
+
+// ---------------------------------------------------------------------
+// Directory-backed store
+// ---------------------------------------------------------------------
+
+/// A directory of per-tenant snapshot files (`tenant-<id>.snap`),
+/// written atomically (temp file + rename) so crashes mid-write leave
+/// the previous record readable.
+///
+/// By default writes are *not* fsynced: rename atomicity alone covers
+/// every crash where the OS survives (process kills, the fleet chaos
+/// harness), and write-ahead records are on the issue path. Deployments
+/// that must survive power loss should enable
+/// [`with_sync`](SnapshotStore::with_sync).
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    sync: bool,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotStore, PersistError> {
+        SnapshotStore::with_sync(dir, false)
+    }
+
+    /// Opens the store, choosing whether every save fsyncs before the
+    /// rename (power-loss durability at per-record fsync cost).
+    pub fn with_sync(dir: impl Into<PathBuf>, sync: bool) -> Result<SnapshotStore, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir, sync })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, tenant: u64) -> PathBuf {
+        self.dir.join(format!("tenant-{tenant}.snap"))
+    }
+
+    /// Atomically replaces `tenant`'s record: write to a temp file,
+    /// rename over the live name. With sync on, both the file *and the
+    /// directory* are fsynced — a durable record behind a non-durable
+    /// rename would recover stale state after power loss, which is the
+    /// exact hazard the write-ahead discipline exists to close.
+    pub fn save(&self, tenant: u64, record: &SnapshotRecord) -> Result<(), PersistError> {
+        let bytes = encode_record(record);
+        let tmp = self.dir.join(format!("tenant-{tenant}.snap.tmp"));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            if self.sync {
+                file.sync_all()?;
+            }
+        }
+        fs::rename(&tmp, self.path(tenant))?;
+        if self.sync {
+            fs::File::open(&self.dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Loads `tenant`'s record, `Ok(None)` if none was ever saved.
+    pub fn load(&self, tenant: u64) -> Result<Option<SnapshotRecord>, PersistError> {
+        match fs::read(self.path(tenant)) {
+            Ok(bytes) => decode_record(&bytes).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Deletes `tenant`'s record if present.
+    pub fn remove(&self, tenant: u64) -> Result<(), PersistError> {
+        match fs::remove_file(self.path(tenant)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Tenants with a saved record, in ascending order.
+    pub fn tenants(&self) -> Result<Vec<u64>, PersistError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("tenant-")
+                .and_then(|r| r.strip_suffix(".snap"))
+            {
+                if let Ok(id) = id.parse() {
+                    out.push(id);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uuidp-persist-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_kinds() -> Vec<(AlgorithmKind, IdSpace)> {
+        let space = IdSpace::new(1 << 16).unwrap();
+        vec![
+            (AlgorithmKind::Random, space),
+            (AlgorithmKind::Cluster, space),
+            (AlgorithmKind::Bins { k: 16 }, space),
+            (AlgorithmKind::ClusterStar, space),
+            (AlgorithmKind::BinsStar, space),
+            (
+                AlgorithmKind::SessionCounter {
+                    session_bits: 10,
+                    counter_bits: 6,
+                },
+                IdSpace::with_bits(16).unwrap(),
+            ),
+        ]
+    }
+
+    fn record_for(kind: &AlgorithmKind, space: IdSpace, emitted: u128) -> SnapshotRecord {
+        let alg = kind.build(space);
+        let mut gen = alg.spawn(42);
+        for _ in 0..emitted {
+            gen.next_id().unwrap();
+        }
+        SnapshotRecord {
+            seq: 7,
+            epoch: 2,
+            reservation: 64,
+            space,
+            state: gen.snapshot().expect("snapshot-capable"),
+        }
+    }
+
+    #[test]
+    fn every_algorithm_state_round_trips_through_the_codec() {
+        for (kind, space) in sample_kinds() {
+            let record = record_for(&kind, space, 37);
+            let decoded =
+                decode_record(&encode_record(&record)).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(decoded, record, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn store_saves_loads_and_lists_atomically() {
+        let dir = temp_dir("store");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let space = IdSpace::new(1 << 12).unwrap();
+        let record = record_for(&AlgorithmKind::Cluster, space, 5);
+        assert_eq!(store.load(3).unwrap(), None);
+        store.save(3, &record).unwrap();
+        store.save(9, &record).unwrap();
+        assert_eq!(store.load(3).unwrap(), Some(record.clone()));
+        assert_eq!(store.tenants().unwrap(), vec![3, 9]);
+        // Overwrite wins; no temp files linger.
+        let mut newer = record.clone();
+        newer.seq = 8;
+        store.save(3, &newer).unwrap();
+        assert_eq!(store.load(3).unwrap().unwrap().seq, 8);
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_str()
+            .unwrap()
+            .ends_with(".tmp")));
+        store.remove(3).unwrap();
+        store.remove(3).unwrap(); // idempotent
+        assert_eq!(store.tenants().unwrap(), vec![9]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let space = IdSpace::new(1 << 12).unwrap();
+        let record = record_for(&AlgorithmKind::BinsStar, space, 20);
+        let good = encode_record(&record);
+
+        // Every single-byte flip must fail loudly (magic, version,
+        // length, payload, or checksum — never a silent wrong decode).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x41;
+            assert!(decode_record(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        // Every truncation must fail.
+        for cut in 0..good.len() {
+            assert!(
+                decode_record(&good[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Garbage appended past the checksum fails the length check.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_record(&padded).is_err());
+        // A crafted near-MAX length field must come back Truncated,
+        // not overflow the length arithmetic.
+        let mut huge = good.clone();
+        huge[12..20].copy_from_slice(&(u64::MAX - 4).to_le_bytes());
+        assert!(matches!(decode_record(&huge), Err(PersistError::Truncated)));
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_by_number() {
+        let space = IdSpace::new(1 << 10).unwrap();
+        let mut bytes = encode_record(&record_for(&AlgorithmKind::Cluster, space, 1));
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-stamp the checksum so the version check itself is hit.
+        let end = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..end]);
+        bytes[end..].copy_from_slice(&sum.to_le_bytes());
+        match decode_record(&bytes) {
+            Err(PersistError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion(99), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_abandons_the_reserved_window() {
+        for (kind, space) in sample_kinds() {
+            let alg = kind.build(space);
+            let mut original = alg.spawn(11);
+            let mut pre_crash = Vec::new();
+            for _ in 0..40 {
+                pre_crash.push(original.next_id().unwrap());
+            }
+            let record = SnapshotRecord {
+                seq: 1,
+                epoch: 0,
+                reservation: 25,
+                space,
+                state: original.snapshot().unwrap(),
+            };
+            // The crash happens mid-window: 17 more IDs go out the door.
+            for _ in 0..17 {
+                pre_crash.push(original.next_id().unwrap());
+            }
+            let mut recovered = recover(&record).unwrap();
+            assert_eq!(
+                recovered.generated(),
+                40 + 25,
+                "{kind:?}: recovery resumes at the reservation frontier"
+            );
+            // Nothing the recovered instance emits repeats a pre-crash ID,
+            // and the stream is the seed's permutation past the window.
+            let mut reference = alg.spawn(11);
+            reference.skip(40 + 25).unwrap();
+            for step in 0..60 {
+                let id = recovered.next_id().unwrap();
+                assert_eq!(id, reference.next_id().unwrap(), "{kind:?} step {step}");
+                assert!(!pre_crash.contains(&id), "{kind:?} re-emitted {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_past_exhaustion_yields_an_exhausted_generator() {
+        let space = IdSpace::new(64).unwrap();
+        let alg = AlgorithmKind::Cluster.build(space);
+        let mut gen = alg.spawn(5);
+        for _ in 0..50 {
+            gen.next_id().unwrap();
+        }
+        let record = SnapshotRecord {
+            seq: 1,
+            epoch: 0,
+            reservation: 1000, // far past the universe
+            space,
+            state: gen.snapshot().unwrap(),
+        };
+        let mut recovered = recover(&record).unwrap();
+        assert!(
+            recovered.next_id().is_err(),
+            "must be exhausted, not reused"
+        );
+    }
+
+    #[test]
+    fn persist_error_displays_name_the_failure() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(PersistError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(PersistError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # uuidp-fleet — the multi-node cluster harness
+//!
+//! Everything below `uuidp-fleet` simulates *n uncoordinated instances*
+//! inside one process, or serves one node over TCP. This crate
+//! exercises the paper's actual deployment shape: **many independent
+//! nodes**, a router playing the adversary *across* them, and instances
+//! that must survive crash-restarts without ever repeating an ID — the
+//! RocksDB motivation (SST unique IDs, PRs #8990/#9126) made literal.
+//!
+//! ```text
+//!                       Scheduler (uniform / skewed / adaptive hunter)
+//!                            │ tenant t
+//!                            ▼
+//!    ┌──────────────────── Router ────────────────────┐
+//!    │  tenant-affine: node = t mod N                 │
+//!    │  one persistent connection per node            │
+//!    │  global LeaseAudit (survives every crash)      │
+//!    └──┬──────────────────┬──────────────────────┬───┘
+//!       ▼ TCP              ▼ TCP                  ▼ TCP
+//!   ┌────────┐        ┌────────┐   chaos:    ┌────────┐
+//!   │ node 0 │        │ node 1 │ ◄─ crash ─  │ node 2 │ ...
+//!   │ shards │        │ shards │   restart   │ shards │
+//!   │ audit  │        │ audit  │             │ audit  │
+//!   └───┬────┘        └───┬────┘             └───┬────┘
+//!       ▼ write-ahead     ▼                      ▼
+//!    node-0/           node-1/                node-2/   snapshot dirs
+//! ```
+//!
+//! * [`cluster`] — booting, crashing, and restarting loopback nodes,
+//!   each with a durable per-node state directory;
+//! * [`router`] — tenant-affine placement, persistent connections, the
+//!   cross-node request schedulers (reusing the `uuidp-adversary`
+//!   strategies), and the crash-surviving **global collision audit**;
+//! * [`run`] — the end-to-end runner and [`run::FleetReport`].
+//!
+//! The headline guarantees, pinned by the crate's tests and the
+//! repository's integration suite:
+//!
+//! 1. **Determinism across topology** — for a fixed seed and schedule,
+//!    the global audit's `duplicate_ids` is bit-identical for every
+//!    `(nodes, shards, audit_threads)` combination.
+//! 2. **Cross-node detection** — same-seed twin tenants on *different*
+//!    nodes are invisible to every node-local audit and still counted
+//!    exactly by the router's global audit.
+//! 3. **Crash safety** — with chaos restarts on, recovered nodes
+//!    contribute **zero** duplicates: recovery restores the persisted
+//!    state and abandons the whole write-ahead reservation window
+//!    (see [`uuidp_core::persist`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod router;
+pub mod run;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::cluster::{Fleet, FleetNode};
+    pub use crate::router::{owner_key, Placement, Router, Scheduler};
+    pub use crate::run::{run_fleet, FleetConfig, FleetReport, NodeReport};
+}

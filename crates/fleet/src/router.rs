@@ -1,0 +1,426 @@
+//! The tenant-affine router: the fleet's front door and its adversary.
+//!
+//! The [`Router`] plays two roles at once:
+//!
+//! * **Placement + transport** — every tenant is pinned to one node
+//!   (`tenant % nodes`), and the router keeps **one persistent
+//!   [`RemoteClient`] connection per node** for the whole run
+//!   (re-established only when chaos kills the node). The pinning is
+//!   what makes the whole fleet deterministic: a tenant's stream is a
+//!   function of its seed alone, and no tenant is ever served by two
+//!   nodes, so changing the node count only re-partitions the same set
+//!   of per-tenant streams.
+//! * **Global collision audit** — per-node audits die with their node
+//!   and, worse, can never see a duplicate that spans two nodes (the
+//!   cross-node same-seed twin, the paper's headline hazard). The
+//!   router therefore tees every lease reply that crosses the wire
+//!   into fleet-level [`LeaseAudit`]s that survive every crash.
+//!
+//! Two parallel audits are kept, differing only in owner key:
+//!
+//! * keyed by `(incarnation, tenant)` — a restarted node's tenants
+//!   audit as *new* owners, so a recovery bug that re-emits pre-crash
+//!   IDs counts as duplicates;
+//! * keyed by `tenant` alone — blind to restarts, so it counts only
+//!   genuine cross-tenant collisions.
+//!
+//! For any ID the incarnation-keyed owner set refines the tenant-keyed
+//! one, hence `dup_incarnation ≥ dup_tenant`, and the difference is
+//! *exactly* the IDs a tenant re-emitted across its own restarts —
+//! the quantity chaos mode hard-fails on (see [`crate::run`]).
+//!
+//! The request *schedulers* ([`Placement`]) reuse the repository's
+//! adversary taxonomy across nodes: uniform rotation (the oblivious
+//! uniform profile), a power-law profile from
+//! [`uuidp_adversary::profile::power_law`], and the adaptive
+//! [`RunHunter`] choosing each next victim from the IDs the fleet
+//! actually returned — the cross-node adaptive game.
+
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+
+use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
+use uuidp_adversary::profile::power_law;
+use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::Arc;
+use uuidp_core::rng::{SeedDomain, SeedTree, Xoshiro256pp};
+use uuidp_service::net::RemoteClient;
+use uuidp_sim::audit::{AuditCounts, LeaseAudit};
+
+/// Tenants must fit under the incarnation tag in the global audit's
+/// owner key.
+pub const INCARNATION_SHIFT: u32 = 40;
+
+/// How lease requests are scheduled across tenants (and therefore
+/// across nodes — tenants are node-pinned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Round-robin over tenants: the uniform demand profile.
+    #[default]
+    Uniform,
+    /// Power-law tenant choice (`α = 1.2` like the stress driver's
+    /// skewed mix), weights from the adversary crate's profile
+    /// machinery.
+    Skewed,
+    /// The adaptive [`RunHunter`] plays across the fleet: single-ID
+    /// requests, each chosen from every ID observed so far.
+    Hunter,
+}
+
+impl Placement {
+    /// Parses a placement name (`uniform | skewed | hunter`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Ok(Placement::Uniform),
+            "skewed" | "zipf" => Ok(Placement::Skewed),
+            "hunter" | "adaptive" => Ok(Placement::Hunter),
+            other => Err(format!(
+                "unknown placement `{other}` (uniform | skewed | hunter)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::Uniform => "uniform",
+            Placement::Skewed => "skewed",
+            Placement::Hunter => "hunter",
+        })
+    }
+}
+
+/// Per-request tenant scheduler for one fleet run. Deterministic given
+/// `(placement, tenants, master seed)` — and for the hunter, the
+/// observed IDs, which are themselves deterministic — so fleet totals
+/// are reproducible and node-count-invariant.
+pub struct Scheduler {
+    tenants: u64,
+    kind: SchedulerKind,
+}
+
+enum SchedulerKind {
+    Uniform,
+    Skewed {
+        /// Prefix-sum CDF over tenant weights.
+        cdf: Vec<f64>,
+        rng: Xoshiro256pp,
+    },
+    Hunter {
+        adversary: Box<dyn AdaptiveAdversary>,
+        histories: Vec<Vec<Id>>,
+        space: IdSpace,
+    },
+}
+
+impl Scheduler {
+    /// A scheduler for `requests` leases over `tenants` tenants.
+    pub fn new(
+        placement: Placement,
+        tenants: u64,
+        requests: u64,
+        space: IdSpace,
+        master_seed: u64,
+    ) -> Scheduler {
+        assert!(tenants >= 1, "at least one tenant");
+        let kind = match placement {
+            Placement::Uniform => SchedulerKind::Uniform,
+            Placement::Skewed => {
+                // The α = 1.2 power-law profile; `power_law` yields the
+                // integer demand profile, used here as sampling weights.
+                let profile = power_law(tenants as usize, (tenants as u128) * 1000, 1.2);
+                let total: u128 = profile.demands().iter().sum();
+                let mut acc = 0.0;
+                let cdf = profile
+                    .demands()
+                    .iter()
+                    .map(|&d| {
+                        acc += d as f64 / total as f64;
+                        acc
+                    })
+                    .collect();
+                SchedulerKind::Skewed {
+                    cdf,
+                    rng: SeedTree::new(master_seed).rng(SeedDomain::Workload),
+                }
+            }
+            Placement::Hunter => {
+                // The hunt needs at least two instances to pit against
+                // each other; with `tenants = 1` a second tenant is
+                // conscripted (it still routes to a valid node).
+                let n = tenants.max(2) as usize;
+                let budget = (requests as u128).max(n as u128);
+                SchedulerKind::Hunter {
+                    adversary: RunHunter::new(n, budget).spawn(master_seed),
+                    histories: Vec::new(),
+                    space,
+                }
+            }
+        };
+        Scheduler { tenants, kind }
+    }
+
+    /// The tenant for request number `submitted`, or `None` when an
+    /// adaptive scheduler stops early.
+    pub fn next(&mut self, submitted: u64) -> Option<u64> {
+        match &mut self.kind {
+            SchedulerKind::Uniform => Some(submitted % self.tenants),
+            SchedulerKind::Skewed { cdf, rng } => {
+                let u = (rng.next_value() >> 11) as f64 / (1u64 << 53) as f64;
+                Some(cdf.partition_point(|&c| c < u).min(cdf.len() - 1) as u64)
+            }
+            SchedulerKind::Hunter {
+                adversary,
+                histories,
+                space,
+            } => {
+                let action = adversary.next_action(&GameView {
+                    space: *space,
+                    histories,
+                    // The global audit runs as the IDs come back; the
+                    // attacker plays its budget out rather than
+                    // stopping at first blood.
+                    collision: false,
+                    total_requests: submitted as u128,
+                });
+                let tenant = match action {
+                    Action::Stop => return None,
+                    Action::Activate => {
+                        histories.push(Vec::new());
+                        histories.len() - 1
+                    }
+                    Action::Request(i) => i,
+                };
+                Some(tenant as u64)
+            }
+        }
+    }
+
+    /// The per-lease ID count this scheduler imposes, if any (the
+    /// hunter plays single-ID requests).
+    pub fn forced_count(&self) -> Option<u128> {
+        match self.kind {
+            SchedulerKind::Hunter { .. } => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Feeds an observed ID back to adaptive schedulers.
+    pub fn observe(&mut self, tenant: u64, id: Id) {
+        if let SchedulerKind::Hunter { histories, .. } = &mut self.kind {
+            if let Some(h) = histories.get_mut(tenant as usize) {
+                h.push(id);
+            }
+        }
+    }
+}
+
+/// The global audit owner key: incarnation tag above the tenant number.
+pub fn owner_key(tenant: u64, incarnation: u32) -> u64 {
+    assert!(
+        tenant < 1 << INCARNATION_SHIFT,
+        "tenant id too wide for incarnation tagging"
+    );
+    ((incarnation as u64) << INCARNATION_SHIFT) | tenant
+}
+
+/// The tenant-affine fleet router (see the module docs).
+pub struct Router {
+    space: IdSpace,
+    clients: Vec<Option<RemoteClient>>,
+    incarnations: Vec<u32>,
+    audit: LeaseAudit,
+    audit_by_tenant: LeaseAudit,
+    issued: u128,
+    leases: u64,
+    errors: u64,
+}
+
+impl Router {
+    /// A router for `nodes` nodes over `space`, auditing globally with
+    /// `audit_stripes` stripes.
+    pub fn new(space: IdSpace, nodes: usize, audit_stripes: usize) -> Router {
+        assert!(nodes >= 1, "at least one node");
+        Router {
+            space,
+            clients: (0..nodes).map(|_| None).collect(),
+            incarnations: vec![0; nodes],
+            audit: LeaseAudit::new(space, audit_stripes),
+            audit_by_tenant: LeaseAudit::new(space, audit_stripes),
+            issued: 0,
+            leases: 0,
+            errors: 0,
+        }
+    }
+
+    /// The node pinned to `tenant`.
+    pub fn node_of(&self, tenant: u64) -> usize {
+        (tenant % self.clients.len() as u64) as usize
+    }
+
+    /// Opens (or replaces) the persistent connection to node `index`.
+    pub fn connect(&mut self, index: usize, addr: SocketAddr) -> io::Result<()> {
+        self.clients[index] = Some(RemoteClient::connect(addr, self.space)?);
+        Ok(())
+    }
+
+    /// Reconnects to a crash-restarted node: fresh connection, and all
+    /// the node's tenants audit under the next incarnation from here
+    /// on (so any overlap with their pre-crash material counts).
+    pub fn reconnect_after_crash(&mut self, index: usize, addr: SocketAddr) -> io::Result<()> {
+        self.incarnations[index] += 1;
+        self.connect(index, addr)
+    }
+
+    /// The incarnation the router currently attributes to node `index`.
+    pub fn incarnation(&self, index: usize) -> u32 {
+        self.incarnations[index]
+    }
+
+    /// Routes one lease to the tenant's node over the persistent
+    /// connection and records the granted arcs in both global audits.
+    pub fn lease(&mut self, tenant: u64, count: u128) -> io::Result<Vec<Arc>> {
+        let node = self.node_of(tenant);
+        let incarnation = self.incarnations[node];
+        let client = self.clients[node]
+            .as_mut()
+            .expect("router must be connected to the tenant's node");
+        let lease = client.lease(tenant, count)?;
+        self.leases += 1;
+        self.issued += lease.granted;
+        self.errors += lease.error.is_some() as u64;
+        let owner = owner_key(tenant, incarnation);
+        for &arc in &lease.arcs {
+            self.audit.record(owner, arc);
+            self.audit_by_tenant.record(tenant, arc);
+        }
+        Ok(lease.arcs)
+    }
+
+    /// Total IDs issued through this router.
+    pub fn issued(&self) -> u128 {
+        self.issued
+    }
+
+    /// Leases routed.
+    pub fn leases(&self) -> u64 {
+        self.leases
+    }
+
+    /// Leases whose grant fell short (generator exhaustion).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// The incarnation-keyed global audit counters (restart-aware).
+    pub fn global_counts(&self) -> AuditCounts {
+        self.audit.counts()
+    }
+
+    /// The tenant-keyed global audit counters (restart-blind: genuine
+    /// cross-tenant duplicates only).
+    pub fn cross_tenant_counts(&self) -> AuditCounts {
+        self.audit_by_tenant.counts()
+    }
+
+    /// IDs a tenant re-emitted across its own restarts — the recovery
+    /// failure metric, provably `global − cross_tenant` (the owner
+    /// refinement argument in the module docs).
+    pub fn recovered_duplicate_ids(&self) -> u128 {
+        self.audit.counts().duplicate_ids - self.audit_by_tenant.counts().duplicate_ids
+    }
+
+    /// Sends `shutdown` over node `index`'s connection, consuming it.
+    /// The node's own summary line is parsed and dropped — the caller
+    /// collects the richer server-side report via
+    /// [`Fleet::join_node`](crate::cluster::Fleet::join_node).
+    pub fn shutdown_node(&mut self, index: usize) -> io::Result<()> {
+        if let Some(client) = self.clients[index].take() {
+            client.shutdown()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_keys_separate_incarnations_and_tenants() {
+        assert_eq!(owner_key(7, 0), 7);
+        assert_ne!(owner_key(7, 1), owner_key(7, 0));
+        assert_ne!(owner_key(7, 1), owner_key(8, 1));
+        assert_eq!(owner_key(7, 1) & ((1 << INCARNATION_SHIFT) - 1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn oversized_tenants_are_rejected() {
+        owner_key(1 << INCARNATION_SHIFT, 0);
+    }
+
+    #[test]
+    fn placement_parses_and_displays() {
+        for (name, want) in [
+            ("uniform", Placement::Uniform),
+            ("skewed", Placement::Skewed),
+            ("zipf", Placement::Skewed),
+            ("hunter", Placement::Hunter),
+            ("adaptive", Placement::Hunter),
+        ] {
+            assert_eq!(Placement::parse(name).unwrap(), want);
+        }
+        assert!(Placement::parse("mesh").is_err());
+        assert_eq!(Placement::Skewed.to_string(), "skewed");
+    }
+
+    #[test]
+    fn uniform_and_skewed_schedules_are_deterministic() {
+        let space = IdSpace::with_bits(32).unwrap();
+        for placement in [Placement::Uniform, Placement::Skewed] {
+            let mut a = Scheduler::new(placement, 6, 100, space, 42);
+            let mut b = Scheduler::new(placement, 6, 100, space, 42);
+            for r in 0..100 {
+                let (x, y) = (a.next(r), b.next(r));
+                assert_eq!(x, y, "{placement} diverged at {r}");
+                assert!(x.unwrap() < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_schedule_actually_skews() {
+        let space = IdSpace::with_bits(32).unwrap();
+        let mut s = Scheduler::new(Placement::Skewed, 8, 4000, space, 7);
+        let mut counts = [0u32; 8];
+        for r in 0..4000 {
+            counts[s.next(r).unwrap() as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[7] * 2,
+            "power law should favor tenant 0: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn hunter_schedule_respects_the_tenant_budget_shape() {
+        let space = IdSpace::with_bits(24).unwrap();
+        let mut s = Scheduler::new(Placement::Hunter, 4, 50, space, 3);
+        assert_eq!(s.forced_count(), Some(1));
+        let mut submitted = 0u64;
+        while submitted < 50 {
+            let Some(tenant) = s.next(submitted) else {
+                break;
+            };
+            assert!(tenant < 4, "hunter chose tenant {tenant} of 4");
+            // Feed a fabricated observation to keep the game moving.
+            s.observe(tenant, Id(submitted as u128 * 17 % (1 << 24)));
+            submitted += 1;
+        }
+        assert!(submitted >= 4, "probe phase must run");
+    }
+}

@@ -1,0 +1,380 @@
+//! The fleet runner: drive a whole cluster through a placement
+//! schedule, optionally crash-restarting nodes along the way, and
+//! aggregate everything into one [`FleetReport`].
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use uuidp_core::rng::{uniform_below, Xoshiro256pp};
+use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
+use uuidp_sim::audit::AuditCounts;
+
+use crate::cluster::Fleet;
+use crate::router::{Placement, Router, Scheduler};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The per-node service template (algorithm, universe, shards,
+    /// audit pipeline, master seed, fault injection). `durability` is
+    /// managed by the fleet — per node, under `state_dir`.
+    pub service: ServiceConfig,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Tenants generating load (pinned to nodes by `tenant % nodes`).
+    pub tenants: u64,
+    /// Lease requests to route.
+    pub requests: u64,
+    /// IDs per lease (the hunter placement overrides this with 1).
+    pub count: u128,
+    /// Cross-node request scheduling.
+    pub placement: Placement,
+    /// Chaos mode: crash-restart a random node every `K` requests.
+    pub kill_every: Option<u64>,
+    /// Write-ahead reservation window for node durability.
+    pub reservation: u128,
+    /// Stripes of the router's global audits.
+    pub audit_stripes: usize,
+    /// Root directory for per-node durable state.
+    pub state_dir: PathBuf,
+}
+
+impl FleetConfig {
+    /// A fleet of `nodes` nodes over `service`, with durable state
+    /// under `state_dir` and modest defaults.
+    pub fn new(service: ServiceConfig, nodes: usize, state_dir: impl Into<PathBuf>) -> Self {
+        FleetConfig {
+            service,
+            nodes,
+            tenants: 8,
+            requests: 1000,
+            count: 64,
+            placement: Placement::Uniform,
+            kill_every: None,
+            reservation: 1024,
+            audit_stripes: 16,
+            state_dir: state_dir.into(),
+        }
+    }
+}
+
+/// One node's end-of-run accounting.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// Crash-restarts this node went through.
+    pub restarts: u32,
+    /// The final incarnation's server-side report. Earlier
+    /// incarnations' reports died in their crashes, which is the
+    /// point: only the router's global audit spans them.
+    pub report: ServiceReport,
+}
+
+/// What one fleet run measured.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Nodes in the fleet.
+    pub nodes: usize,
+    /// Placement schedule that drove the run.
+    pub placement: Placement,
+    /// Leases routed.
+    pub requests: u64,
+    /// Total IDs issued (router-side count; authoritative across
+    /// crashes).
+    pub issued_ids: u128,
+    /// Leases whose grant fell short.
+    pub errors: u64,
+    /// Wall clock from first request to last drain.
+    pub elapsed: Duration,
+    /// Aggregate issue rate through the fleet front door.
+    pub ids_per_sec: f64,
+    /// Crash-restarts performed.
+    pub restarts: u32,
+    /// Incarnation-keyed global audit counters (restart-aware).
+    pub global: AuditCounts,
+    /// IDs issued to more than one *tenant* (restart-blind — genuine
+    /// cross-tenant collisions, e.g. injected same-seed twins).
+    pub cross_tenant_duplicate_ids: u128,
+    /// IDs a tenant re-emitted across its own restarts. Non-zero means
+    /// the durability layer failed; chaos runs hard-fail on it.
+    pub recovered_duplicate_ids: u128,
+    /// All surviving node audits merged ([`AuditReport::merge`] over
+    /// every node's pipeline threads). Note what this *cannot* see:
+    /// duplicates spanning two nodes — that is the router's global
+    /// audit's job, and the gap between the two is the whole reason
+    /// the fleet layer exists.
+    pub merged_nodes: AuditReport,
+    /// Per-node breakdown.
+    pub per_node: Vec<NodeReport>,
+}
+
+impl FleetReport {
+    /// Renders the human-readable summary block.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "nodes:        {} ({} crash-restarts)\nplacement:    {}\n\
+             requests:     {} leases, {} IDs issued, {} errors\n\
+             elapsed:      {:.3}s\nthroughput:   {:.2}M IDs/s\n\
+             global audit: {} IDs recorded, {} duplicate IDs \
+             ({} cross-tenant, {} from recovered nodes)\n\
+             node audits:  {} duplicate IDs across {} pipeline threads \
+             (cross-node duplicates are invisible here)\n",
+            self.nodes,
+            self.restarts,
+            self.placement,
+            self.requests,
+            self.issued_ids,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.ids_per_sec / 1e6,
+            self.global.recorded_ids,
+            self.global.duplicate_ids,
+            self.cross_tenant_duplicate_ids,
+            self.recovered_duplicate_ids,
+            self.merged_nodes.counts.duplicate_ids,
+            self.merged_nodes.per_thread.len(),
+        );
+        for n in &self.per_node {
+            let _ = writeln!(
+                out,
+                "  node {}: {} leases, {} IDs, {} dup (final incarnation; {} restarts)",
+                n.node,
+                n.report.leases,
+                n.report.issued_ids,
+                n.report.audit.counts.duplicate_ids,
+                n.restarts,
+            );
+        }
+        out
+    }
+}
+
+/// Runs one fleet scenario end to end: launch `nodes` durable nodes,
+/// route `requests` leases per the placement schedule (crash-restarting
+/// victims if chaos is on), then shut every node down gracefully and
+/// merge the accounting. On any mid-run error the surviving nodes are
+/// torn down before the error propagates — no leaked accept threads or
+/// listeners in long-lived embedders.
+pub fn run_fleet(config: FleetConfig) -> io::Result<FleetReport> {
+    assert!(
+        config.tenants < 1 << crate::router::INCARNATION_SHIFT,
+        "tenant space too wide for incarnation tagging"
+    );
+    // A zero interval would silently disable chaos while the report
+    // still advertises it — reject instead of misleading.
+    assert!(
+        config.kill_every != Some(0),
+        "kill_every must be at least 1 (None disables chaos)"
+    );
+    let mut fleet = Fleet::launch(
+        config.service.clone(),
+        config.nodes,
+        &config.state_dir,
+        config.reservation,
+    )?;
+    let result = drive_fleet(&mut fleet, &config);
+    if result.is_err() {
+        fleet.teardown();
+    }
+    result
+}
+
+/// The fallible body of [`run_fleet`], against an already-launched
+/// fleet (split out so the caller owns error-path teardown).
+fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetReport> {
+    let space = config.service.space;
+    let mut router = Router::new(space, config.nodes, config.audit_stripes);
+    for i in 0..config.nodes {
+        router.connect(i, fleet.addr(i))?;
+    }
+    let mut scheduler = Scheduler::new(
+        config.placement,
+        config.tenants,
+        config.requests,
+        space,
+        config.service.master_seed,
+    );
+    // The chaos schedule gets its own seed lane so traffic and kill
+    // choices stay independently reproducible.
+    let mut chaos_rng = Xoshiro256pp::new(config.service.master_seed ^ 0xC4A0_5EED);
+    let mut restarts = 0u32;
+
+    let started = Instant::now();
+    let mut submitted = 0u64;
+    while submitted < config.requests {
+        if let Some(k) = config.kill_every {
+            if submitted > 0 && submitted.is_multiple_of(k) {
+                let victim = uniform_below(&mut chaos_rng, config.nodes as u128) as usize;
+                let addr = fleet.crash_restart(victim)?;
+                router.reconnect_after_crash(victim, addr)?;
+                restarts += 1;
+            }
+        }
+        let Some(tenant) = scheduler.next(submitted) else {
+            break;
+        };
+        let count = scheduler.forced_count().unwrap_or(config.count);
+        let arcs = router.lease(tenant, count)?;
+        submitted += 1;
+        if let Some(arc) = arcs.first() {
+            scheduler.observe(tenant, arc.start);
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Graceful teardown: every surviving node drains and reports.
+    let mut per_node = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        router.shutdown_node(i)?;
+        // An error (not a panic) so run_fleet's teardown still reaps
+        // the remaining nodes.
+        let report = fleet.join_node(i).ok_or_else(|| {
+            io::Error::other(format!("node {i} exited without a shutdown report"))
+        })?;
+        per_node.push(NodeReport {
+            node: i,
+            restarts: fleet.nodes()[i].incarnation(),
+            report,
+        });
+    }
+
+    let merged_nodes = AuditReport::merge(
+        per_node
+            .iter()
+            .flat_map(|n| n.report.audit.per_thread.iter().copied())
+            .collect::<Vec<AuditThreadReport>>(),
+    );
+    let issued_ids = router.issued();
+    let global = router.global_counts();
+    debug_assert_eq!(
+        global.recorded_ids, issued_ids,
+        "every issued ID reaches the global audit"
+    );
+    Ok(FleetReport {
+        nodes: config.nodes,
+        placement: config.placement,
+        requests: submitted,
+        issued_ids,
+        errors: router.errors(),
+        elapsed,
+        ids_per_sec: issued_ids as f64 / elapsed.as_secs_f64().max(1e-9),
+        restarts,
+        global,
+        cross_tenant_duplicate_ids: router.cross_tenant_counts().duplicate_ids,
+        recovered_duplicate_ids: router.recovered_duplicate_ids(),
+        merged_nodes,
+        per_node,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_core::algorithms::AlgorithmKind;
+    use uuidp_core::id::IdSpace;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uuidp-fleet-run-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn base(kind: AlgorithmKind, bits: u32, nodes: usize, tag: &str) -> FleetConfig {
+        let service = ServiceConfig::new(kind, IdSpace::with_bits(bits).unwrap());
+        let mut cfg = FleetConfig::new(service, nodes, temp_dir(tag));
+        cfg.requests = 240;
+        cfg.tenants = 6;
+        cfg.count = 32;
+        cfg
+    }
+
+    #[test]
+    fn clean_uniform_run_issues_everything_and_stays_duplicate_free() {
+        let cfg = base(AlgorithmKind::ClusterStar, 44, 3, "clean");
+        let dir = cfg.state_dir.clone();
+        let report = run_fleet(cfg).unwrap();
+        assert_eq!(report.requests, 240);
+        assert_eq!(report.issued_ids, 240 * 32);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.global.recorded_ids, report.issued_ids);
+        assert_eq!(report.global.duplicate_ids, 0);
+        assert_eq!(report.recovered_duplicate_ids, 0);
+        // Every node served something and reported in.
+        assert_eq!(report.per_node.len(), 3);
+        assert!(report.per_node.iter().all(|n| n.report.issued_ids > 0));
+        // Node audits saw every ID too (no cross-node traffic is lost).
+        assert_eq!(
+            report.merged_nodes.counts.recorded_ids, report.issued_ids,
+            "merged node audits must cover the whole fleet's issuance"
+        );
+        let text = report.render();
+        assert!(text.contains("nodes:        3"));
+        assert!(text.contains("global audit:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_node_twins_are_invisible_to_node_audits_but_not_the_router() {
+        // The demonstration the fleet layer exists for: tenants 0 and 1
+        // share a seed but live on different nodes, so no node-local
+        // audit can ever see the duplicates — the global audit must.
+        let mut cfg = base(AlgorithmKind::Cluster, 48, 2, "twins");
+        cfg.service.seed_alias = Some((0, 1));
+        let dir = cfg.state_dir.clone();
+        let report = run_fleet(cfg).unwrap();
+        let per_tenant = 240 / 6;
+        assert_eq!(
+            report.cross_tenant_duplicate_ids,
+            per_tenant as u128 * 32,
+            "every twin-issued ID is a cross-node duplicate"
+        );
+        assert_eq!(
+            report.merged_nodes.counts.duplicate_ids, 0,
+            "node-local audits cannot see cross-node duplicates"
+        );
+        assert_eq!(report.recovered_duplicate_ids, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skewed_and_hunter_placements_route_and_audit_cleanly() {
+        for placement in [Placement::Skewed, Placement::Hunter] {
+            let mut cfg = base(
+                AlgorithmKind::ClusterStar,
+                40,
+                3,
+                &format!("mix-{placement}"),
+            );
+            cfg.placement = placement;
+            cfg.requests = 150;
+            let dir = cfg.state_dir.clone();
+            let report = run_fleet(cfg).unwrap();
+            assert!(report.requests > 0);
+            assert_eq!(report.global.recorded_ids, report.issued_ids);
+            assert_eq!(report.recovered_duplicate_ids, 0, "{placement}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn chaos_restarts_leave_zero_recovered_duplicates() {
+        let mut cfg = base(AlgorithmKind::ClusterStar, 40, 3, "chaos");
+        cfg.kill_every = Some(40);
+        cfg.reservation = 64;
+        let dir = cfg.state_dir.clone();
+        let report = run_fleet(cfg).unwrap();
+        assert!(report.restarts > 0, "chaos must actually restart nodes");
+        assert_eq!(report.issued_ids, 240 * 32);
+        assert_eq!(
+            report.recovered_duplicate_ids, 0,
+            "a recovered node re-emitted a pre-crash ID"
+        );
+        assert_eq!(report.global.recorded_ids, report.issued_ids);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

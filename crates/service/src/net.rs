@@ -88,6 +88,9 @@ impl TcpServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // One reply line per command line: Nagle + delayed ACK
+                // would add ~40ms to every round trip on loopback.
+                let _ = stream.set_nodelay(true);
                 let state = Arc::clone(&accept_state);
                 let report_tx = report_tx.clone();
                 handlers.push(std::thread::spawn(move || {
@@ -124,6 +127,28 @@ impl TcpServer {
     pub fn join(self) -> Option<ServiceReport> {
         let _ = self.accept.join();
         self.report_rx.try_recv().ok()
+    }
+
+    /// Server-side stop, no client involved: severs every live
+    /// connection mid-command, stops the accept loop, and tears the
+    /// service down. Clients see an abrupt EOF, exactly as if the
+    /// process died.
+    ///
+    /// This is the crash lever the fleet chaos harness pulls: callers
+    /// that *discard* the returned report (and never checkpointed)
+    /// keep only what the durability layer's write-ahead records
+    /// captured — the fiction of a power cut, at the persistence
+    /// boundary where it matters. Returns `None` if a client shutdown
+    /// raced this call and won.
+    pub fn halt(self) -> Option<ServiceReport> {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        let service = self.state.service.write().expect("service lock").take();
+        let report = service.map(IdService::shutdown);
+        self.state.sever_all();
+        // Unblock the accept loop, then wait out the handler threads.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept.join();
+        report.or_else(|| self.report_rx.try_recv().ok())
     }
 }
 
@@ -244,6 +269,9 @@ impl RemoteClient {
     /// typed [`Arc`](uuidp_core::interval::Arc)s over this space.
     pub fn connect<A: ToSocketAddrs>(addr: A, space: IdSpace) -> io::Result<RemoteClient> {
         let writer = TcpStream::connect(addr)?;
+        // Command lines are tiny and latency-bound; never batch them
+        // behind Nagle (pairs with the server-side set_nodelay).
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(RemoteClient {
             reader,
@@ -410,6 +438,32 @@ mod tests {
         let closer = RemoteClient::connect(addr, space).unwrap();
         assert_eq!(closer.shutdown().unwrap().issued_ids, 40);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn halt_stops_the_server_without_a_client() {
+        let (server, space) = server(36);
+        let addr = server.local_addr();
+        let mut client = RemoteClient::connect(addr, space).unwrap();
+        client.lease(0, 25).unwrap();
+        // The crash lever: connected clients see EOF, not a summary.
+        let report = server.halt().expect("halt yields the report");
+        assert_eq!(report.issued_ids, 25);
+        let err = client.lease(0, 1).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            "halted server should sever the client, got {err:?}"
+        );
+        // The port is free again: a new server can bind-and-halt cleanly.
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let again = TcpServer::bind(&addr.to_string(), config).expect("rebind after halt");
+        assert!(again.halt().is_some());
     }
 
     #[test]

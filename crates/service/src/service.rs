@@ -39,6 +39,7 @@
 //! [`IdGenerator::next_ids`]: uuidp_core::traits::IdGenerator::next_ids
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,6 +48,7 @@ use uuidp_core::algorithms::AlgorithmKind;
 use uuidp_core::id::IdSpace;
 use uuidp_core::interval::Arc;
 use uuidp_core::lease::Lease;
+use uuidp_core::persist::{self, SnapshotRecord, SnapshotStore};
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::{GeneratorError, IdGenerator};
 use uuidp_sim::audit::{AuditCounts, LeaseAudit, StripePlan};
@@ -58,6 +60,43 @@ use crate::metrics::LatencyHistogram;
 /// overlap between its pre- and post-reset streams (the re-seeded
 /// instance hazard) is then caught like any cross-tenant duplicate.
 const EPOCH_SHIFT: u32 = 40;
+
+/// Durable-state configuration: where tenant snapshots live and how
+/// wide the write-ahead reservation window is.
+///
+/// With durability enabled every worker persists a tenant's
+/// [`SnapshotRecord`] *before* emitting any ID past the tenant's
+/// current reservation frontier, and a tenant whose snapshot exists on
+/// startup is rebuilt with [`uuidp_core::persist::recover`] — restored
+/// to the persisted state, then advanced past the whole reserved
+/// window. A crashed-and-restarted service therefore never re-emits an
+/// ID it may already have handed out; it leaks at most `reservation`
+/// IDs per tenant per crash.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory of per-tenant snapshot files (shared across shards —
+    /// tenants are pinned to one shard, so files have one writer).
+    pub dir: PathBuf,
+    /// Minimum reservation window per persist. Each persist reserves
+    /// `max(reservation, lease count)` IDs; larger windows persist less
+    /// often but leak more IDs per crash.
+    pub reservation: u128,
+    /// Fsync every record before renaming it live (power-loss
+    /// durability; process-crash safety needs only the default
+    /// rename atomicity).
+    pub sync: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with a modest default window.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            reservation: 4096,
+            sync: false,
+        }
+    }
+}
 
 /// Configuration of an [`IdService`].
 #[derive(Debug, Clone)]
@@ -81,6 +120,9 @@ pub struct ServiceConfig {
     /// seed as if it were `victim` — two identically seeded generators,
     /// the guaranteed-collision scenario the audit must always flag.
     pub seed_alias: Option<(u64, u64)>,
+    /// When set, tenant generator state is persisted with the
+    /// write-ahead reservation discipline and recovered on startup.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServiceConfig {
@@ -95,6 +137,7 @@ impl ServiceConfig {
             queue_depth: 1024,
             master_seed: 0x5EED,
             seed_alias: None,
+            durability: None,
         }
     }
 }
@@ -123,6 +166,9 @@ enum ShardMsg {
     Issue { tenant: u64, count: u128 },
     /// Recycle the tenant's generator into a fresh epoch via `reset`.
     Reset { tenant: u64 },
+    /// Persist every durable tenant at its *current* state (reservation
+    /// 0 — an exact-resume checkpoint), then reply.
+    Checkpoint { done: SyncSender<()> },
     /// Reply once every prior message on this shard is processed.
     Barrier { done: SyncSender<()> },
 }
@@ -226,6 +272,11 @@ struct TenantSlot {
     generator: Box<dyn IdGenerator>,
     lease: Lease,
     epoch: u32,
+    /// Write-ahead frontier: the generator may emit up to this count
+    /// without persisting again (0 forces a persist on the next lease).
+    frontier: u128,
+    /// Sequence number of the tenant's last persisted record.
+    seq: u64,
 }
 
 #[derive(Default)]
@@ -247,9 +298,61 @@ pub struct IdService {
 
 impl IdService {
     /// Boots the worker shards and the audit pipeline pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.durability` is set but the chosen algorithm
+    /// has no snapshot support (SetAside, Snowflake), if the snapshot
+    /// directory cannot be created, or if any existing snapshot record
+    /// is unreadable — corruption must surface as a boot error, not a
+    /// mid-traffic worker panic that would wedge a whole shard.
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.shards >= 1, "at least one shard");
         assert!(config.queue_depth >= 1, "channels must hold a message");
+        if let Some(durability) = &config.durability {
+            assert!(
+                config
+                    .kind
+                    .build(config.space)
+                    .spawn(0)
+                    .snapshot()
+                    .is_some(),
+                "durability requires a snapshot-capable algorithm, got {:?}",
+                config.kind
+            );
+            let store = SnapshotStore::open(&durability.dir).expect("snapshot directory");
+            for tenant in store.tenants().expect("snapshot directory listing") {
+                match store.load(tenant) {
+                    Err(e) => panic!(
+                        "refusing to start over a damaged snapshot store: \
+                         tenant {tenant}: {e} (repair or remove the record in {:?})",
+                        durability.dir
+                    ),
+                    Ok(Some(record)) => {
+                        // A record from a different universe or algorithm
+                        // means the state dir belongs to another
+                        // deployment: recovering it would emit IDs
+                        // outside this service's space (wedging the
+                        // audit) or from the wrong permutation family.
+                        assert_eq!(
+                            record.space, config.space,
+                            "snapshot store {:?} was written for universe {}, \
+                             this service is configured for {} (tenant {tenant})",
+                            durability.dir, record.space, config.space
+                        );
+                        assert!(
+                            snapshot_matches_kind(&config.kind, &record.state),
+                            "snapshot store {:?} holds {:?} state for tenant \
+                             {tenant}, incompatible with configured {:?}",
+                            durability.dir,
+                            record.state,
+                            config.kind
+                        );
+                    }
+                    Ok(None) => {}
+                }
+            }
+        }
         let plan = StripePlan::new(config.space, config.audit_stripes);
         // More threads than stripes would idle; clamp rather than panic.
         let audit_threads = config.audit_threads.clamp(1, plan.stripe_count());
@@ -333,21 +436,36 @@ impl IdService {
             .expect("shard alive");
     }
 
-    /// Blocks until every shard has processed all previously submitted
-    /// requests (the audit pipeline may still be draining).
-    pub fn drain(&self) {
+    /// Sends one `make(done)` message to every shard, then waits for
+    /// all acks (fan-out first so shards work in parallel).
+    fn shard_barrier(&self, make: impl Fn(SyncSender<()>) -> ShardMsg) {
         let barriers: Vec<Receiver<()>> = self
             .shard_txs
             .iter()
             .map(|tx| {
                 let (done, rx) = sync_channel(1);
-                tx.send(ShardMsg::Barrier { done }).expect("shard alive");
+                tx.send(make(done)).expect("shard alive");
                 rx
             })
             .collect();
         for rx in barriers {
             rx.recv().expect("shard alive");
         }
+    }
+
+    /// Persists every durable tenant's *current* state as an
+    /// exact-resume checkpoint (reservation 0) and blocks until done.
+    /// A restart after a clean `checkpoint` resumes every stream with
+    /// zero leaked IDs; without one, recovery abandons each tenant's
+    /// open reservation window instead. No-op when durability is off.
+    pub fn checkpoint(&self) {
+        self.shard_barrier(|done| ShardMsg::Checkpoint { done });
+    }
+
+    /// Blocks until every shard has processed all previously submitted
+    /// requests (the audit pipeline may still be draining).
+    pub fn drain(&self) {
+        self.shard_barrier(|done| ShardMsg::Barrier { done });
     }
 
     /// Stops the service: closes the request channels, joins the workers
@@ -379,6 +497,39 @@ impl IdService {
             audit,
             uptime: self.started.elapsed(),
         }
+    }
+}
+
+/// Whether a persisted state could have been produced by an instance of
+/// `kind` — the boot-time guard against pointing a service at another
+/// deployment's state directory. Parameterized kinds must match their
+/// parameters exactly (a Bins(16) record is not a Bins(64) record).
+fn snapshot_matches_kind(kind: &AlgorithmKind, state: &uuidp_core::state::GeneratorState) -> bool {
+    use uuidp_core::state::GeneratorState as S;
+    match (kind, state) {
+        (AlgorithmKind::Random, S::Random { .. }) => true,
+        (AlgorithmKind::Cluster, S::Cluster { .. }) => true,
+        (AlgorithmKind::Bins { k }, S::Bins { k: stored, .. }) => k == stored,
+        // Plain ClusterStar doubles; the ablation entry carries its factor.
+        (AlgorithmKind::ClusterStar, S::ClusterStar { growth, .. }) => *growth == 2,
+        (AlgorithmKind::ClusterStarGrowth { growth }, S::ClusterStar { growth: stored, .. }) => {
+            growth == stored
+        }
+        // Both Bins★ chunk rules share one state shape (chunks/chunk_size
+        // are stored per record).
+        (AlgorithmKind::BinsStar | AlgorithmKind::BinsStarMaxFit, S::BinsStar { .. }) => true,
+        (
+            AlgorithmKind::SessionCounter {
+                session_bits,
+                counter_bits,
+            },
+            S::SessionCounter {
+                session_bits: stored_s,
+                counter_bits: stored_c,
+                ..
+            },
+        ) => session_bits == stored_s && counter_bits == stored_c,
+        _ => false,
     }
 }
 
@@ -432,6 +583,79 @@ impl AuditTap {
     }
 }
 
+/// One shard's durability state: the shared snapshot store plus the
+/// configured minimum reservation window.
+struct Durability {
+    store: SnapshotStore,
+    reservation: u128,
+}
+
+impl Durability {
+    /// Persists `slot`'s current state for `tenant` with the given
+    /// reservation window and advances the slot's frontier/sequence.
+    /// Persistence failures are fatal: continuing to issue without the
+    /// write-ahead record would silently void the recovery guarantee.
+    fn persist(&self, space: IdSpace, tenant: u64, slot: &mut TenantSlot, reservation: u128) {
+        let state = slot
+            .generator
+            .snapshot()
+            .expect("snapshot support checked at startup");
+        slot.seq += 1;
+        self.store
+            .save(
+                tenant,
+                &SnapshotRecord {
+                    seq: slot.seq,
+                    epoch: slot.epoch,
+                    reservation,
+                    space,
+                    state,
+                },
+            )
+            .expect("persist tenant snapshot");
+        // Saturating: a wire-supplied count near u128::MAX must clamp
+        // the frontier, not wrap it below `generated` (which would
+        // silently skip future write-ahead persists).
+        slot.frontier = slot.generator.generated().saturating_add(reservation);
+    }
+}
+
+/// Finds or creates the slot for `tenant`: recovered from the snapshot
+/// store when a record exists (continuing the persisted stream past its
+/// abandoned reservation window), freshly seeded otherwise.
+fn slot_for<'a>(
+    config: &ServiceConfig,
+    roots: &SeedTree,
+    tenants: &'a mut HashMap<u64, TenantSlot>,
+    algorithm: &dyn uuidp_core::traits::Algorithm,
+    durability: Option<&Durability>,
+    tenant: u64,
+) -> &'a mut TenantSlot {
+    tenants.entry(tenant).or_insert_with(|| {
+        let recovered = durability.and_then(|d| {
+            let record = d
+                .store
+                .load(tenant)
+                .expect("unreadable tenant snapshot (corrupt store?)")?;
+            let generator = persist::recover(&record).expect("recover tenant snapshot");
+            Some(TenantSlot {
+                frontier: generator.generated(),
+                generator,
+                lease: Lease::new(config.space),
+                epoch: record.epoch,
+                seq: record.seq,
+            })
+        });
+        recovered.unwrap_or_else(|| TenantSlot {
+            generator: algorithm.spawn(tenant_seed(roots, config, tenant, 0)),
+            lease: Lease::new(config.space),
+            epoch: 0,
+            frontier: 0,
+            seq: 0,
+        })
+    })
+}
+
 fn worker_loop(
     config: ServiceConfig,
     rx: Receiver<ShardMsg>,
@@ -442,6 +666,10 @@ fn worker_loop(
     let roots = SeedTree::new(config.master_seed);
     let mut tenants: HashMap<u64, TenantSlot> = HashMap::new();
     let mut stats = WorkerStats::default();
+    let durability = config.durability.as_ref().map(|d| Durability {
+        store: SnapshotStore::with_sync(&d.dir, d.sync).expect("snapshot directory"),
+        reservation: d.reservation,
+    });
     let mut tap = AuditTap {
         batches: vec![Vec::new(); taps.len()],
         taps,
@@ -460,6 +688,7 @@ fn worker_loop(
                     &roots,
                     &mut tenants,
                     algorithm.as_ref(),
+                    durability.as_ref(),
                     tenant,
                     count,
                     &mut tap,
@@ -480,6 +709,7 @@ fn worker_loop(
                     &roots,
                     &mut tenants,
                     algorithm.as_ref(),
+                    durability.as_ref(),
                     tenant,
                     count,
                     &mut tap,
@@ -493,7 +723,22 @@ fn worker_loop(
                     slot.generator
                         .reset(tenant_seed(&roots, &config, tenant, slot.epoch));
                     slot.lease.clear();
+                    // A reset opens a new permutation; persist it before
+                    // anything from the new epoch can be emitted, or a
+                    // crash would recover the pre-reset stream while
+                    // post-reset IDs are already in the wild.
+                    if let Some(d) = &durability {
+                        d.persist(config.space, tenant, slot, 0);
+                    }
                 }
+            }
+            ShardMsg::Checkpoint { done } => {
+                if let Some(d) = &durability {
+                    for (&tenant, slot) in tenants.iter_mut() {
+                        d.persist(config.space, tenant, slot, 0);
+                    }
+                }
+                let _ = done.send(());
             }
             ShardMsg::Barrier { done } => {
                 let _ = done.send(());
@@ -508,12 +753,17 @@ fn worker_loop(
 /// own them, account latency. A reply copy of the arcs is built only
 /// when `want_arcs` is set (the synchronous lease path) — the
 /// fire-and-forget path allocates nothing beyond the audit batches.
+///
+/// With durability on, the write-ahead rule runs first: if this lease
+/// would emit past the tenant's reservation frontier, a fresh record is
+/// persisted *before* any ID leaves the generator.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     config: &ServiceConfig,
     roots: &SeedTree,
     tenants: &mut HashMap<u64, TenantSlot>,
     algorithm: &dyn uuidp_core::traits::Algorithm,
+    durability: Option<&Durability>,
     tenant: u64,
     count: u128,
     tap: &mut AuditTap,
@@ -521,11 +771,15 @@ fn serve(
     want_arcs: bool,
 ) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>) {
     let t0 = Instant::now();
-    let slot = tenants.entry(tenant).or_insert_with(|| TenantSlot {
-        generator: algorithm.spawn(tenant_seed(roots, config, tenant, 0)),
-        lease: Lease::new(config.space),
-        epoch: 0,
-    });
+    let slot = slot_for(config, roots, tenants, algorithm, durability, tenant);
+    if let Some(d) = durability {
+        // Saturating: the protocol accepts arbitrary u128 counts, and a
+        // wrapped sum here would skip exactly the persist the recovery
+        // guarantee depends on.
+        if slot.generator.generated().saturating_add(count) > slot.frontier {
+            d.persist(config.space, tenant, slot, count.max(d.reservation));
+        }
+    }
     let error = slot.lease.fill(slot.generator.as_mut(), count).err();
     let granted = slot.lease.granted();
     if granted > 0 {
@@ -835,6 +1089,218 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.errors, 1);
         assert_eq!(report.issued_ids, 16);
+    }
+
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uuidp-service-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Expands a reply into scalar IDs (durability tests use small leases).
+    fn lease_ids(service: &IdService, tenant: u64, count: u128) -> Vec<Id> {
+        let reply = service.lease(tenant, count);
+        assert!(reply.error.is_none());
+        ids_of(&reply, service.space())
+    }
+
+    #[test]
+    fn crash_restart_with_durability_never_reissues_an_id() {
+        // Run 1 "crashes": it persisted write-ahead records during
+        // operation but never checkpoints its final state. Run 2 must
+        // recover past everything run 1 can have emitted.
+        let dir = temp_state_dir("crash");
+        for kind in [
+            AlgorithmKind::Cluster,
+            AlgorithmKind::ClusterStar,
+            AlgorithmKind::BinsStar,
+            AlgorithmKind::Bins { k: 64 },
+            AlgorithmKind::Random,
+        ] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = config(kind.clone(), 20); // m = 2^20: reuse is *likely* if unsafe
+            cfg.durability = Some(DurabilityConfig {
+                dir: dir.clone(),
+                reservation: 128,
+                sync: false,
+            });
+            cfg.shards = 2;
+            let service = IdService::start(cfg.clone());
+            let mut first_run: HashMap<u64, std::collections::HashSet<Id>> = HashMap::new();
+            for round in 0..6u128 {
+                for tenant in 0..4u64 {
+                    first_run.entry(tenant).or_default().extend(lease_ids(
+                        &service,
+                        tenant,
+                        16 + round * 7,
+                    ));
+                }
+            }
+            drop(service.shutdown()); // no checkpoint: the crash fiction
+
+            // The guarantee is per instance: a recovered tenant never
+            // repeats *its own* pre-crash IDs. (Distinct tenants still
+            // collide at the algorithm's inherent rate — that is the
+            // paper's subject, and the audit's job, not recovery's.)
+            let service = IdService::start(cfg);
+            for tenant in 0..4u64 {
+                for id in lease_ids(&service, tenant, 300) {
+                    assert!(
+                        !first_run[&tenant].contains(&id),
+                        "{kind:?}: tenant {tenant} re-issued {id} after restart"
+                    );
+                }
+            }
+            drop(service.shutdown());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_makes_the_restart_resume_exactly() {
+        let dir = temp_state_dir("checkpoint");
+        let mut cfg = config(AlgorithmKind::ClusterStar, 32);
+        cfg.durability = Some(DurabilityConfig {
+            dir: dir.clone(),
+            reservation: 1024,
+            sync: false,
+        });
+        let space = cfg.space;
+        let service = IdService::start(cfg.clone());
+        let issued = lease_ids(&service, 5, 777);
+        service.checkpoint();
+        drop(service.shutdown());
+
+        // The restarted tenant continues the same permutation with no
+        // gap: its next IDs are exactly what the original seed's stream
+        // says positions 777.. are.
+        let service = IdService::start(cfg.clone());
+        let resumed = lease_ids(&service, 5, 100);
+        drop(service.shutdown());
+        let alg = cfg.kind.build(space);
+        let roots = SeedTree::new(cfg.master_seed);
+        let mut reference = alg.spawn(roots.trial(0).seed(SeedDomain::Instance(5)));
+        for _ in 0..777 {
+            reference.next_id().unwrap();
+        }
+        for (i, id) in resumed.iter().enumerate() {
+            assert_eq!(*id, reference.next_id().unwrap(), "resume diverged at {i}");
+        }
+        assert_eq!(issued.len(), 777);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_epochs_survive_a_restart() {
+        // Epoch 1 is persisted at reset time, so a crash after the reset
+        // recovers the *new* stream (and its epoch), not the old one.
+        let dir = temp_state_dir("reset-epoch");
+        let mut cfg = config(AlgorithmKind::Cluster, 24);
+        cfg.shards = 1;
+        cfg.durability = Some(DurabilityConfig {
+            dir: dir.clone(),
+            reservation: 64,
+            sync: false,
+        });
+        let service = IdService::start(cfg.clone());
+        lease_ids(&service, 0, 50);
+        service.reset_tenant(0);
+        let post_reset = lease_ids(&service, 0, 40);
+        drop(service.shutdown());
+
+        let service = IdService::start(cfg.clone());
+        let recovered = lease_ids(&service, 0, 40);
+        drop(service.shutdown());
+        // The recovered stream continues epoch 1's permutation past its
+        // reservation window: the post-reset persist recorded the fresh
+        // state, the first post-reset lease reserved max(40, 64) = 64
+        // from it, so recovery resumes at position 64.
+        let alg = cfg.kind.build(cfg.space);
+        let roots = SeedTree::new(cfg.master_seed);
+        let mut epoch1 = alg.spawn(roots.trial(1).seed(SeedDomain::Instance(0)));
+        epoch1.skip(64).unwrap();
+        assert_eq!(recovered[0], epoch1.next_id().unwrap());
+        assert!(recovered.iter().all(|id| !post_reset.contains(id)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "was written for universe")]
+    fn foreign_universe_snapshots_are_rejected_at_boot() {
+        // Rebinding a state dir to a different --bits must fail fast:
+        // recovering 2^40-universe generators into a 2^20 service would
+        // emit IDs outside the audit's space.
+        let dir = temp_state_dir("foreign-universe");
+        let mut cfg = config(AlgorithmKind::Cluster, 40);
+        cfg.durability = Some(DurabilityConfig::new(&dir));
+        let service = IdService::start(cfg);
+        service.lease(0, 10);
+        drop(service.shutdown());
+        let mut cfg = config(AlgorithmKind::Cluster, 20);
+        cfg.durability = Some(DurabilityConfig::new(&dir));
+        let _ = IdService::start(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with configured")]
+    fn foreign_algorithm_snapshots_are_rejected_at_boot() {
+        let dir = temp_state_dir("foreign-algorithm");
+        let mut cfg = config(AlgorithmKind::Cluster, 32);
+        cfg.durability = Some(DurabilityConfig::new(&dir));
+        let service = IdService::start(cfg);
+        service.lease(0, 10);
+        drop(service.shutdown());
+        let mut cfg = config(AlgorithmKind::BinsStar, 32);
+        cfg.durability = Some(DurabilityConfig::new(&dir));
+        let _ = IdService::start(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "damaged snapshot store")]
+    fn corrupt_snapshot_records_fail_at_boot_not_mid_traffic() {
+        // A bad record must stop the service from booting — not panic a
+        // shard worker at first-lease time and wedge the whole shard.
+        let dir = temp_state_dir("corrupt-boot");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tenant-3.snap"), b"not a snapshot").unwrap();
+        let mut cfg = config(AlgorithmKind::Cluster, 20);
+        cfg.durability = Some(DurabilityConfig::new(&dir));
+        let _ = IdService::start(cfg);
+    }
+
+    #[test]
+    fn absurd_lease_counts_do_not_wrap_the_frontier() {
+        // The wire accepts arbitrary u128 counts; the write-ahead
+        // arithmetic must saturate, persist, and grant the partial
+        // lease instead of wrapping past the frontier check.
+        let dir = temp_state_dir("huge-count");
+        let mut cfg = config(AlgorithmKind::Cluster, 10); // m = 1024
+        cfg.shards = 1;
+        cfg.durability = Some(DurabilityConfig {
+            dir: dir.clone(),
+            reservation: 64,
+            sync: false,
+        });
+        let service = IdService::start(cfg.clone());
+        let reply = service.lease(0, u128::MAX);
+        assert_eq!(reply.granted, 1024, "whole universe granted");
+        assert!(reply.error.is_some(), "exhaustion surfaced");
+        drop(service.shutdown());
+        // Recovery after the monster lease still refuses to re-emit.
+        let service = IdService::start(cfg);
+        let reply = service.lease(0, 10);
+        assert_eq!(reply.granted, 0, "tenant is exhausted, not recycled");
+        drop(service.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot-capable")]
+    fn durability_rejects_snapshotless_algorithms() {
+        let mut cfg = config(AlgorithmKind::SetAside { i: 4, j: 20 }, 16);
+        cfg.durability = Some(DurabilityConfig::new(temp_state_dir("reject")));
+        let _ = IdService::start(cfg);
     }
 
     #[test]

@@ -24,10 +24,22 @@
 //! the audit totals are interleaving-invariant, the two transports must
 //! report identical issued/duplicate counts for the same seed and mix.
 //!
+//! Remote runs can fan the client side out: with `remote_workers > 1`
+//! the driver keeps a pool of worker threads, **each owning one
+//! persistent connection for the whole run** ([`PooledRemoteTarget`]).
+//! Tenants are pinned to pool workers (`tenant % workers`), so every
+//! tenant's requests stay FIFO on one connection and the totals remain
+//! bit-identical to the single-connection and in-process paths. Against
+//! the thread-per-connection server this bounds the server's thread
+//! count at `workers` for the entire run — connection reuse instead of
+//! connection churn.
+//!
 //! [`RunHunter`]: uuidp_adversary::run_hunter::RunHunter
 
 use std::fmt;
 use std::io;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use uuidp_adversary::adaptive::{Action, AdversarySpec, GameView};
@@ -98,6 +110,10 @@ pub struct StressConfig {
     pub count: u128,
     /// Traffic shape.
     pub mix: TrafficMix,
+    /// Client-side pool width for remote runs: worker threads, each
+    /// with one persistent connection reused for the whole run. `1`
+    /// keeps the classic single-connection driver.
+    pub remote_workers: usize,
 }
 
 impl StressConfig {
@@ -110,6 +126,7 @@ impl StressConfig {
             requests,
             count,
             mix: TrafficMix::Uniform,
+            remote_workers: 1,
         }
     }
 }
@@ -281,6 +298,174 @@ impl StressTarget for RemoteTarget {
     }
 }
 
+/// One unit of work routed to a pool worker.
+enum PoolMsg {
+    /// Synchronous lease; the worker ships the granted arcs back.
+    Lease {
+        tenant: u64,
+        count: u128,
+        reply: SyncSender<Vec<Arc>>,
+    },
+    /// Lease-shaped load; the worker reads and drops the reply.
+    Issue { tenant: u64, count: u128 },
+    /// Ack once every prior message on this worker is fully replied.
+    Barrier { done: SyncSender<()> },
+    /// Issue a protocol-level drain on this worker's connection.
+    Drain { done: SyncSender<()> },
+}
+
+/// The connection-reuse socket target: `workers` threads, each holding
+/// one persistent [`RemoteClient`] for the entire run. Requests are
+/// pinned to workers by `tenant % workers`, preserving each tenant's
+/// request order (and therefore the run's deterministic totals) while
+/// the server sees a fixed, small set of long-lived connections
+/// instead of per-phase or per-request churn.
+pub struct PooledRemoteTarget {
+    space: IdSpace,
+    txs: Vec<SyncSender<PoolMsg>>,
+    workers: Vec<JoinHandle<RemoteClient>>,
+}
+
+/// A pool worker: drains its queue over its one persistent connection,
+/// then hands the still-open connection back for the shutdown step.
+fn pool_worker(mut client: RemoteClient, rx: Receiver<PoolMsg>) -> RemoteClient {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            PoolMsg::Lease {
+                tenant,
+                count,
+                reply,
+            } => {
+                let arcs = client
+                    .lease(tenant, count)
+                    .expect("pooled stress lease i/o")
+                    .arcs;
+                let _ = reply.send(arcs);
+            }
+            PoolMsg::Issue { tenant, count } => {
+                // The reply is read (keeping the stream in sync) and
+                // dropped, like the single-connection issue path.
+                let _ = client
+                    .lease(tenant, count)
+                    .expect("pooled stress issue i/o");
+            }
+            PoolMsg::Barrier { done } => {
+                let _ = done.send(());
+            }
+            PoolMsg::Drain { done } => {
+                client.drain().expect("pooled stress drain i/o");
+                let _ = done.send(());
+            }
+        }
+    }
+    client
+}
+
+impl PooledRemoteTarget {
+    /// Opens `workers ≥ 1` persistent connections to the front-end at
+    /// `addr` and starts the pool.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        space: IdSpace,
+        workers: usize,
+    ) -> io::Result<PooledRemoteTarget> {
+        let workers = workers.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let client = RemoteClient::connect(addr, space)?;
+            let (tx, rx) = sync_channel::<PoolMsg>(1024);
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || pool_worker(client, rx)));
+        }
+        Ok(PooledRemoteTarget {
+            space,
+            txs,
+            workers: handles,
+        })
+    }
+
+    /// Pool width.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn tx_of(&self, tenant: u64) -> &SyncSender<PoolMsg> {
+        &self.txs[(tenant % self.txs.len() as u64) as usize]
+    }
+
+    /// Acks from every worker once all previously routed messages have
+    /// been fully served (each worker reads every reply before taking
+    /// its next message, so an ack implies server-side completion).
+    fn barrier_all(&self) {
+        let barriers: Vec<Receiver<()>> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (done, rx) = sync_channel(1);
+                tx.send(PoolMsg::Barrier { done })
+                    .expect("pool worker alive");
+                rx
+            })
+            .collect();
+        for rx in barriers {
+            rx.recv().expect("pool worker alive");
+        }
+    }
+}
+
+impl StressTarget for PooledRemoteTarget {
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
+        let (reply, rx) = sync_channel(1);
+        self.tx_of(tenant)
+            .send(PoolMsg::Lease {
+                tenant,
+                count,
+                reply,
+            })
+            .expect("pool worker alive");
+        rx.recv().expect("pool worker replies")
+    }
+
+    fn issue(&mut self, tenant: u64, count: u128) {
+        self.tx_of(tenant)
+            .send(PoolMsg::Issue { tenant, count })
+            .expect("pool worker alive");
+    }
+
+    fn drain(&mut self) {
+        // Local barrier first (all pooled requests fully replied), then
+        // one protocol drain so the contract matches the other targets.
+        self.barrier_all();
+        let (done, rx) = sync_channel(1);
+        self.txs[0]
+            .send(PoolMsg::Drain { done })
+            .expect("pool worker alive");
+        rx.recv().expect("pool worker drains");
+    }
+
+    fn finish(self) -> TargetReport {
+        drop(self.txs); // workers exit their loops and return their clients
+        let mut clients: Vec<RemoteClient> = self
+            .workers
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect();
+        let closer = clients.remove(0);
+        for client in clients {
+            let _ = client.quit();
+        }
+        closer
+            .shutdown()
+            .expect("pooled stress shutdown i/o")
+            .into()
+    }
+}
+
 /// What one stress run measured.
 #[derive(Debug)]
 pub struct StressReport {
@@ -363,11 +548,21 @@ pub fn run_stress(config: StressConfig) -> StressReport {
 /// Runs one stress phase over a loopback TCP server: the service is
 /// fronted by a [`TcpServer`] on an ephemeral port and every request —
 /// including the shutdown that yields the report — travels through the
-/// [`RemoteClient`] socket path.
+/// [`RemoteClient`] socket path. With `remote_workers > 1` the client
+/// side is the persistent-connection pool ([`PooledRemoteTarget`]).
 pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
     let server = TcpServer::bind("127.0.0.1:0", config.service.clone())?;
-    let target = RemoteTarget::connect(server.local_addr(), config.service.space)?;
-    let report = run_stress_with(target, config);
+    let report = if config.remote_workers > 1 {
+        let target = PooledRemoteTarget::connect(
+            server.local_addr(),
+            config.service.space,
+            config.remote_workers,
+        )?;
+        run_stress_with(target, config)
+    } else {
+        let target = RemoteTarget::connect(server.local_addr(), config.service.space)?;
+        run_stress_with(target, config)
+    };
     // Join the server threads; the driver-side report already carries
     // the (identical) totals parsed off the wire.
     let _ = server.join();
@@ -556,6 +751,53 @@ mod tests {
             report.audit.counts.duplicate_ids,
             report.issued_ids / tenants
         );
+    }
+
+    #[test]
+    fn pooled_remote_transport_reproduces_in_process_totals() {
+        // Connection reuse must be invisible in the numbers: for every
+        // pool width the audit totals equal the in-process run's (the
+        // tenant→worker pinning keeps each tenant's stream FIFO).
+        let make = || {
+            let mut cfg = base(AlgorithmKind::ClusterStar, 40);
+            cfg.mix = TrafficMix::Skewed;
+            cfg.requests = 200;
+            cfg.service.seed_alias = Some((0, 5)); // live duplicate counter
+            cfg
+        };
+        let local = run_stress(make());
+        assert!(local.audit.counts.collided(), "twins must collide");
+        for workers in [2usize, 4] {
+            let mut cfg = make();
+            cfg.remote_workers = workers;
+            let pooled = run_stress_remote(cfg).expect("pooled loopback stress");
+            assert_eq!(
+                (
+                    local.issued_ids,
+                    local.audit.counts.duplicate_ids,
+                    local.audit.counts.recorded_ids,
+                ),
+                (
+                    pooled.issued_ids,
+                    pooled.audit.counts.duplicate_ids,
+                    pooled.audit.counts.recorded_ids,
+                ),
+                "{workers} pool workers changed the totals"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_hunter_mix_observes_arcs_through_the_pool() {
+        let mut cfg = base(AlgorithmKind::Cluster, 20);
+        cfg.mix = TrafficMix::Hunter;
+        cfg.tenants = 4;
+        cfg.requests = 120;
+        cfg.remote_workers = 3;
+        let report = run_stress_remote(cfg).expect("pooled hunter stress");
+        assert!(report.requests >= 4, "probe phase never ran");
+        assert_eq!(report.issued_ids, report.requests as u128);
+        assert_eq!(report.audit.counts.recorded_ids, report.issued_ids);
     }
 
     #[test]

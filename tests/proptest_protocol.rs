@@ -1,0 +1,173 @@
+//! Protocol robustness: the `uuidp_service::protocol` parsers — both
+//! the server's command parser and the client's reply parsers — must
+//! return typed errors, never panic, on arbitrary byte soup, and on
+//! systematically garbled (truncated / bit-flipped) versions of every
+//! valid line. Valid lines must round-trip exactly.
+
+use proptest::prelude::*;
+
+use uuidp::core::id::{Id, IdSpace};
+use uuidp::core::interval::Arc;
+use uuidp::service::metrics::LatencyHistogram;
+use uuidp::service::protocol::{
+    parse_lease_line, parse_summary, render_lease, render_summary, Command,
+};
+use uuidp::service::service::{AuditReport, LeaseReply, ServiceReport};
+use uuidp::sim::audit::AuditCounts;
+
+fn space() -> IdSpace {
+    IdSpace::with_bits(20).unwrap()
+}
+
+/// Feeds one line to every parser; the only acceptable outcomes are
+/// `Ok`/`Err` — a panic fails the test by unwinding.
+fn all_parsers_survive(line: &str) {
+    let _ = Command::parse(line);
+    let _ = parse_lease_line(line, space());
+    let _ = parse_summary(line);
+}
+
+/// A syntactically valid lease reply built from fuzzed fields.
+fn lease_line(tenant: u64, granted: u128, arcs: &[(u128, u128)]) -> String {
+    let s = space();
+    render_lease(&LeaseReply {
+        tenant,
+        arcs: arcs
+            .iter()
+            .map(|&(start, len)| Arc::new(s, Id(start), len))
+            .collect(),
+        granted,
+        error: None,
+    })
+}
+
+/// A syntactically valid shutdown summary built from fuzzed counters.
+fn summary_line(issued: u128, leases: u64, dup: u128, lag: u64) -> String {
+    let mut latency = LatencyHistogram::new();
+    latency.record_ns(lag.max(1));
+    render_summary(&ServiceReport {
+        issued_ids: issued,
+        leases,
+        errors: leases / 7,
+        latency,
+        audit: AuditReport {
+            counts: AuditCounts {
+                duplicate_ids: dup,
+                flagged_records: leases / 3,
+                recorded_ids: issued,
+                recorded_arcs: leases,
+            },
+            max_lag: std::time::Duration::from_nanos(lag),
+            mean_lag_ns: lag as f64 / 2.0,
+            records: leases,
+            per_thread: vec![],
+        },
+        uptime: std::time::Duration::from_millis(5),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_any_parser(
+        bytes in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        // Lossy UTF-8 of raw bytes: control characters, invalid
+        // sequences, embedded '=' and '+' and digits all occur.
+        let raw: Vec<u8> = bytes.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let line = String::from_utf8_lossy(&raw);
+        all_parsers_survive(&line);
+        // Also with the grammar's own framing glued on.
+        all_parsers_survive(&format!("lease {line}"));
+        all_parsers_survive(&format!("bye {line}"));
+        all_parsers_survive(&format!("lease tenant=1 granted=5 arcs={line}"));
+    }
+
+    #[test]
+    fn truncated_and_flipped_valid_lines_error_not_panic(
+        tenant in any::<u64>(),
+        start in 0u128..(1 << 20),
+        len_raw in any::<u128>(),
+        cut_raw in any::<u64>(),
+        flip_raw in any::<u64>(),
+        issued in any::<u128>(),
+        lag in any::<u64>(),
+    ) {
+        let len = 1 + len_raw % (1 << 10);
+        let wrapped_start = (1 << 20) - 1; // wrap-around arc, too
+        for line in [
+            lease_line(tenant, len, &[(start, len)]),
+            lease_line(tenant, len + 2, &[(start, len), (wrapped_start, 2)]),
+            summary_line(issued, (issued % 10_000) as u64, issued / 3, lag),
+        ] {
+            // Truncation at every fuzzed cut point (on a char boundary).
+            let cut = (cut_raw as usize) % (line.len() + 1);
+            let cut = (0..=cut).rev().find(|&c| line.is_char_boundary(c)).unwrap();
+            all_parsers_survive(&line[..cut]);
+            // A one-byte corruption somewhere in the line.
+            let mut garbled = line.clone().into_bytes();
+            let at = (flip_raw as usize) % garbled.len();
+            garbled[at] = garbled[at].wrapping_add(1 + (flip_raw % 96) as u8);
+            all_parsers_survive(&String::from_utf8_lossy(&garbled));
+        }
+    }
+
+    #[test]
+    fn valid_lease_lines_round_trip_exactly(
+        tenant in any::<u64>(),
+        arcs in prop::collection::vec((0u128..(1 << 20), 1u128..(1 << 12)), 0..6),
+    ) {
+        let line = lease_line(tenant, arcs.iter().map(|a| a.1).sum(), &arcs);
+        let wire = parse_lease_line(&line, space()).expect("valid line must parse");
+        prop_assert_eq!(wire.tenant, tenant);
+        prop_assert_eq!(wire.arcs.len(), arcs.len());
+        for (parsed, &(start, len)) in wire.arcs.iter().zip(&arcs) {
+            prop_assert_eq!(parsed.start.value(), start);
+            prop_assert_eq!(parsed.len, len);
+        }
+    }
+
+    #[test]
+    fn valid_summaries_round_trip_exactly(
+        issued in any::<u128>(),
+        leases in any::<u64>(),
+        dup in any::<u128>(),
+        lag in any::<u64>(),
+    ) {
+        let line = summary_line(issued, leases, dup, lag);
+        let wire = parse_summary(&line).expect("valid summary must parse");
+        prop_assert_eq!(wire.issued_ids, issued);
+        prop_assert_eq!(wire.leases, leases);
+        prop_assert_eq!(wire.duplicate_ids, dup);
+        prop_assert_eq!(wire.max_lag_ns, lag as u128);
+    }
+}
+
+/// The classic attack lines, pinned explicitly (no randomness).
+#[test]
+fn hostile_classics_get_typed_errors() {
+    for line in [
+        "lease",                              // missing fields
+        "lease 1",                            // still missing
+        "lease 99999999999999999999999999 5", // u64 overflow
+        "reset -3",                           // sign
+        "lease tenant=1 granted=x arcs=",     // non-numeric reply
+        "lease tenant=1 granted=5 arcs=1+",   // dangling arc
+        "lease tenant=1 granted=5 arcs=+5",   // dangling start
+        "lease tenant=1 granted=5 arcs=0+0",  // empty arc
+        "lease tenant=1 granted=5 arcs=9999999999999999999999999999999999999999+1",
+        "bye",                   // summary with nothing
+        "bye issued=1 leases=2", // summary too short
+        "bye issued=1 bogus=7",  // unknown field
+        "shutdown now please",   // trailing junk
+    ] {
+        all_parsers_survive(line);
+        assert!(
+            Command::parse(line).is_err()
+                || parse_lease_line(line, space()).is_err()
+                || parse_summary(line).is_err(),
+            "`{line}` should fail at least one parser"
+        );
+    }
+}
