@@ -551,6 +551,119 @@ pub fn bench_fleet_issue() -> PerfResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Baseline 6 (PR 5): the v1 text wire — per-line parsing and one
+// connection per concurrent client — vs protocol v2's binary frames
+// and multiplexing.
+// ---------------------------------------------------------------------
+
+/// Pure codec cost: encoding + decoding one lease reply as a v2 binary
+/// frame vs rendering + parsing the equivalent v1 text line. Same lease
+/// shape (4 arcs) on both sides; no sockets, so this isolates exactly
+/// what the wire format change buys per message. Cost unit: ns per
+/// reply encode+decode.
+pub fn bench_frame_codec_vs_text() -> PerfResult {
+    use uuidp_client::frame::{decode_frame, encode_frame, FrameBody};
+    use uuidp_service::protocol::{parse_lease_line, render_lease};
+    use uuidp_service::service::LeaseReply;
+    let space = IdSpace::with_bits(64).unwrap();
+    let arcs: Vec<Arc> = (0..4u128)
+        .map(|i| Arc::new(space, Id(i * (1 << 40) + 12345), 1 << 16))
+        .collect();
+    let reply = LeaseReply {
+        tenant: 42,
+        granted: 4 << 16,
+        arcs: arcs.clone(),
+        error: None,
+        halted: false,
+    };
+    let body = FrameBody::LeaseResp {
+        tenant: 42,
+        granted: 4 << 16,
+        arcs: arcs.iter().map(|a| (a.start.value(), a.len)).collect(),
+        error: None,
+    };
+    let new_cost = time_ns(|| {
+        let bytes = encode_frame(7, &body);
+        std::hint::black_box(decode_frame(&bytes).unwrap().unwrap());
+    });
+    let baseline_cost = time_ns(|| {
+        let line = render_lease(&reply);
+        std::hint::black_box(parse_lease_line(&line, space).unwrap());
+    });
+    PerfResult {
+        name: "wire_codec_v2_frame_vs_v1_text_4arc_lease".into(),
+        unit: "ns/reply",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// End-to-end lease round trip over loopback: a persistent v2 binary
+/// client vs a persistent v1 text client against the same negotiating
+/// server. Cost unit: ns per leased round trip.
+pub fn bench_remote_roundtrip_v2_vs_v1() -> PerfResult {
+    use uuidp_client::Client;
+    use uuidp_service::net::{RemoteClient, TcpServer};
+    let space = IdSpace::with_bits(48).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let mut tenant = 0u64;
+    let v2 = Client::connect(addr, space).expect("v2 client");
+    let new_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        std::hint::black_box(v2.lease(tenant, 32).expect("v2 lease").granted);
+    });
+    let mut v1 = RemoteClient::connect(addr, space).expect("v1 client");
+    let baseline_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        std::hint::black_box(v1.lease(tenant, 32).expect("v1 lease").granted);
+    });
+    let _ = v2.shutdown();
+    let _ = v1.quit();
+    let _ = server.join();
+    PerfResult {
+        name: "remote_lease_roundtrip_v2_frames_vs_v1_text".into(),
+        unit: "ns/lease",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Full-lifecycle remote stress ns/ID for one pooled client shape.
+fn pooled_stress_ns_per_id(protocol: uuidp_client::ProtoVersion, workers: usize) -> f64 {
+    let space = IdSpace::with_bits(48).unwrap();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|i| {
+            let mut service = ServiceConfig::new(AlgorithmKind::Cluster, space);
+            service.master_seed = 0x9E7 + i;
+            let mut cfg = StressConfig::new(service, 8, 2048, 128);
+            cfg.remote_workers = workers;
+            cfg.protocol = protocol;
+            let report =
+                uuidp_service::stress::run_stress_remote(cfg).expect("bench remote stress");
+            report.elapsed.as_nanos() as f64 / report.issued_ids as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2]
+}
+
+/// The multiplexing headline: the same 4-worker pooled stress run over
+/// **one multiplexed v2 connection** vs **four v1 connections** — equal
+/// client parallelism and throughput shape, 4× fewer sockets (and,
+/// server-side, zero per-connection threads vs four). Cost unit: ns per
+/// issued ID, full lifecycle; connection counts are in the name.
+pub fn bench_multiplexed_vs_pooled_connections() -> PerfResult {
+    PerfResult {
+        name: "stress_4workers_v2_mux_1conn_vs_v1_pool_4conns".into(),
+        unit: "ns/id",
+        new_cost: pooled_stress_ns_per_id(uuidp_client::ProtoVersion::V2, 4),
+        baseline_cost: pooled_stress_ns_per_id(uuidp_client::ProtoVersion::V1, 4),
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -563,6 +676,9 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_audit_pipeline(),
         bench_remote_connection_reuse(),
         bench_fleet_issue(),
+        bench_frame_codec_vs_text(),
+        bench_remote_roundtrip_v2_vs_v1(),
+        bench_multiplexed_vs_pooled_connections(),
     ]
 }
 

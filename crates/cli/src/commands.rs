@@ -13,9 +13,10 @@ use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{SplitMix64, Xoshiro256pp};
 use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
 
+use uuidp_client::ProtoVersion;
 use uuidp_fleet::router::Placement;
 use uuidp_fleet::run::{run_fleet, FleetConfig, FleetReport};
-use uuidp_service::net::TcpServer;
+use uuidp_service::net::{ServerOptions, TcpServer};
 use uuidp_service::protocol::{render_lease, Command};
 use uuidp_service::service::{IdService, ServiceConfig, ServiceReport};
 use uuidp_service::stress::{
@@ -226,6 +227,11 @@ pub struct ServeOpts {
     /// (e.g. `127.0.0.1:7821`; port 0 binds an ephemeral port) instead
     /// of stdin.
     pub listen: Option<String>,
+    /// Wire protocols the TCP listener accepts: `v2` (default)
+    /// negotiates per connection and serves both v1 text and v2 binary
+    /// clients; `v1` is a legacy-only listener that rejects v2 hellos.
+    /// Only meaningful with `--listen`.
+    pub protocol: Option<String>,
 }
 
 /// Runs `uuidp serve`: the line protocol (see [`uuidp_service::protocol`])
@@ -252,6 +258,15 @@ pub fn serve(
     let space =
         IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
     let kind = parse_algorithm_kind(&opts.algorithm, space)?;
+    let protocol = match &opts.protocol {
+        None => None,
+        Some(p) => Some(ProtoVersion::parse(p).map_err(ParseError)?),
+    };
+    if protocol.is_some() && opts.listen.is_none() {
+        return Err(ParseError(
+            "--protocol only applies with --listen (stdin serve has no wire to version)".into(),
+        ));
+    }
     let mut config = ServiceConfig::new(kind, space);
     config.shards = opts.shards.max(1);
     config.audit_stripes = opts.audit_stripes.max(1);
@@ -260,8 +275,12 @@ pub fn serve(
     let io_err = |e: std::io::Error| ParseError(format!("i/o error: {e}"));
 
     if let Some(addr) = &opts.listen {
-        let server =
-            TcpServer::bind(addr, config).map_err(|e| ParseError(format!("bind {addr}: {e}")))?;
+        let options = ServerOptions {
+            accept_v2: protocol != Some(ProtoVersion::V1),
+            ..ServerOptions::default()
+        };
+        let server = TcpServer::bind_with(addr, config, options)
+            .map_err(|e| ParseError(format!("bind {addr}: {e}")))?;
         writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
         out.flush().map_err(io_err)?;
         let report = server
@@ -346,6 +365,9 @@ pub struct StressOpts {
     /// Client-side connection pool width for `--remote` runs: worker
     /// threads, each reusing one persistent connection all run.
     pub remote_workers: usize,
+    /// Wire protocol for `--remote` runs (`v1 | v2`). Under v2 the
+    /// whole worker pool multiplexes a single connection.
+    pub protocol: String,
 }
 
 impl StressOpts {
@@ -365,6 +387,7 @@ impl StressOpts {
             seed: 0x57E5,
             remote: false,
             remote_workers: 1,
+            protocol: "v1".into(),
         }
     }
 }
@@ -396,27 +419,43 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
         }
     };
 
+    let protocol = ProtoVersion::parse(&opts.protocol).map_err(ParseError)?;
+    if opts.remote_workers == 0 {
+        return Err(ParseError(
+            "--remote-workers must be at least 1 (a pool of zero workers would hang)".into(),
+        ));
+    }
     if opts.remote_workers > 1 && !opts.remote {
         return Err(ParseError(
             "--remote-workers only applies with --remote (the in-process path has no connections to pool)"
                 .into(),
         ));
     }
+    if protocol == ProtoVersion::V2 && !opts.remote {
+        return Err(ParseError(
+            "--protocol v2 only applies with --remote (the in-process path has no wire to version)"
+                .into(),
+        ));
+    }
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
-    cfg.remote_workers = opts.remote_workers.max(1);
+    cfg.remote_workers = opts.remote_workers;
+    cfg.protocol = protocol;
+    let transport = if opts.remote && cfg.remote_workers > 1 && protocol == ProtoVersion::V2 {
+        format!(" (loopback TCP transport, protocol {protocol}, pooled workers multiplexing one connection)")
+    } else if opts.remote && cfg.remote_workers > 1 {
+        format!(" (loopback TCP transport, protocol {protocol}, pooled connections)")
+    } else if opts.remote {
+        format!(" (loopback TCP transport, protocol {protocol})")
+    } else {
+        String::new()
+    };
     let main = run(cfg.clone())?;
     let mut out = format!(
         "# stress: {} over m = 2^{}{}\n\n{}",
         opts.algorithm,
         opts.bits,
-        if opts.remote && cfg.remote_workers > 1 {
-            " (loopback TCP transport, pooled connections)"
-        } else if opts.remote {
-            " (loopback TCP transport)"
-        } else {
-            ""
-        },
+        transport,
         main.render()
     );
 
@@ -493,6 +532,8 @@ pub struct FleetOpts {
     /// Durable state root; a per-run temp directory (cleaned up
     /// afterwards) when unset.
     pub state_dir: Option<String>,
+    /// Wire protocol the router dials every node with (`v1 | v2`).
+    pub protocol: String,
 }
 
 impl FleetOpts {
@@ -513,6 +554,7 @@ impl FleetOpts {
             kill_every: None,
             reservation: 256,
             state_dir: None,
+            protocol: "v1".into(),
         }
     }
 }
@@ -527,6 +569,7 @@ pub fn fleet(opts: &FleetOpts) -> Result<String, ParseError> {
         IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
     let kind = parse_algorithm_kind(&opts.algorithm, space)?;
     let placement = Placement::parse(&opts.placement).map_err(ParseError)?;
+    let protocol = ProtoVersion::parse(&opts.protocol).map_err(ParseError)?;
     if opts.kill_every == Some(0) {
         return Err(ParseError(
             "--kill-every must be at least 1 (omit the flag to disable chaos)".into(),
@@ -549,7 +592,7 @@ pub fn fleet(opts: &FleetOpts) -> Result<String, ParseError> {
             true,
         ),
     };
-    let result = fleet_phases(opts, kind, space, placement, &state_root);
+    let result = fleet_phases(opts, kind, space, placement, protocol, &state_root);
     if ephemeral {
         let _ = std::fs::remove_dir_all(&state_root);
     }
@@ -561,6 +604,7 @@ fn fleet_phases(
     kind: uuidp_core::algorithms::AlgorithmKind,
     space: IdSpace,
     placement: Placement,
+    protocol: ProtoVersion,
     state_root: &std::path::Path,
 ) -> Result<String, ParseError> {
     let mut service = ServiceConfig::new(kind, space);
@@ -591,12 +635,14 @@ fn fleet_phases(
     cfg.kill_every = opts.kill_every;
     cfg.reservation = opts.reservation.max(1);
     cfg.audit_stripes = opts.audit_stripes.max(1);
+    cfg.protocol = protocol;
     let main = run(cfg.clone(), "main")?;
     let mut out = format!(
-        "# fleet: {} over m = 2^{}, {} nodes{}\n\n{}",
+        "# fleet: {} over m = 2^{}, {} nodes, protocol {}{}\n\n{}",
         opts.algorithm,
         opts.bits,
         opts.nodes,
+        protocol,
         match opts.kill_every {
             Some(k) => format!(" (chaos: kill every {k} requests)"),
             None => String::new(),
@@ -818,6 +864,7 @@ mod tests {
             audit_threads: 1,
             seed: 9,
             listen: None,
+            protocol: None,
         }
     }
 
@@ -1025,5 +1072,105 @@ mod tests {
             ..StressOpts::trials_small("cluster")
         };
         assert!(stress(&opts).is_err());
+    }
+
+    #[test]
+    fn stress_remote_protocol_v2_replays_over_the_mux() {
+        // The v2 smoke: the framed transport with a pooled client side
+        // (all workers multiplexing one connection) still validates the
+        // injected-twin audit phase.
+        let opts = StressOpts {
+            requests: 120,
+            remote: true,
+            remote_workers: 3,
+            protocol: "v2".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("protocol v2"), "{out}");
+        assert!(out.contains("multiplexing one connection"), "{out}");
+        assert!(out.contains("validation:  ok"));
+    }
+
+    #[test]
+    fn stress_rejects_zero_remote_workers() {
+        let opts = StressOpts {
+            remote: true,
+            remote_workers: 0,
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--remote-workers"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_v2_without_remote() {
+        let opts = StressOpts {
+            protocol: "v2".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--protocol v2"), "{}", err.0);
+        assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_and_fleet_reject_unknown_protocols() {
+        let opts = StressOpts {
+            remote: true,
+            protocol: "v3".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("unknown protocol `v3`"), "{}", err.0);
+        let opts = FleetOpts {
+            protocol: "binary".into(),
+            ..FleetOpts::trials_small("cluster")
+        };
+        let err = fleet(&opts).unwrap_err();
+        assert!(err.0.contains("unknown protocol `binary`"), "{}", err.0);
+    }
+
+    #[test]
+    fn serve_rejects_protocol_without_listen() {
+        let opts = ServeOpts {
+            protocol: Some("v2".into()),
+            ..serve_opts("cluster", 32)
+        };
+        let mut input = &b""[..];
+        let mut output = Vec::new();
+        let err = serve(&opts, &mut input, &mut output).unwrap_err();
+        assert!(err.0.contains("--listen"), "{}", err.0);
+    }
+
+    #[test]
+    fn fleet_smoke_over_protocol_v2_validates_the_global_audit() {
+        let opts = FleetOpts {
+            requests: 120,
+            protocol: "v2".into(),
+            ..FleetOpts::trials_small("cluster")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("protocol v2"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
+    }
+
+    #[test]
+    fn fleet_chaos_over_protocol_v2_stays_duplicate_free() {
+        let opts = FleetOpts {
+            requests: 90,
+            kill_every: Some(15),
+            reservation: 64,
+            protocol: "v2".into(),
+            ..FleetOpts::trials_small("cluster*")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("chaos: kill every 15"), "{out}");
+        assert!(
+            !out.contains("(0 crash-restarts)"),
+            "chaos must restart: {out}"
+        );
+        assert!(out.contains("0 from recovered nodes"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
     }
 }

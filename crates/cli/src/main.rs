@@ -9,8 +9,10 @@
 //! uuidp serve --algorithm cluster --bits 64 --listen 127.0.0.1:7821 --audit-threads 4
 //! uuidp stress --algorithm "bins*" --bits 48 --tenants 32 --requests 100000 --count 512
 //! uuidp stress --algorithm cluster --trials-small --remote --remote-workers 4
+//! uuidp stress --algorithm cluster --trials-small --remote --protocol v2 --remote-workers 4
 //! uuidp fleet --algorithm cluster --nodes 5 --tenants 20 --requests 20000 --placement skewed
 //! uuidp fleet --trials-small --nodes 3 --kill-every 2
+//! uuidp fleet --trials-small --protocol v2
 //! uuidp doctor
 //! ```
 
@@ -67,14 +69,15 @@ fn print_usage() {
          \x20 uuidp diagram  --algorithm SPEC [-m N=20] [--requests N=8] [--seed N]\n\
          \x20 uuidp serve    --algorithm SPEC [--bits N=64] [--shards N=2] [--audit-stripes N=16]\n\
          \x20                [--audit-threads N=1] [--seed N] [--listen ADDR (TCP, e.g. 127.0.0.1:7821)]\n\
+         \x20                [--protocol v1|v2 (v1 = legacy text-only listener; default v2 negotiates both)]\n\
          \x20 uuidp stress   --algorithm SPEC [--bits N=48] [--shards N=2] [--tenants N=8] [--requests N=20000]\n\
          \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--audit-threads N=1]\n\
          \x20                [--seed N] [--trials-small] [--remote (loopback TCP transport)]\n\
-         \x20                [--remote-workers N=1 (persistent-connection pool width)]\n\
+         \x20                [--remote-workers N=1 (pool width)] [--protocol v1|v2 (v2 multiplexes one conn)]\n\
          \x20 uuidp fleet    --algorithm SPEC [--bits N=48] [--nodes N=3] [--tenants N=6] [--requests N=600]\n\
          \x20                [--count N=32] [--placement uniform|skewed|hunter] [--shards N=2]\n\
          \x20                [--audit-threads N=1] [--seed N] [--kill-every K (chaos restarts)]\n\
-         \x20                [--reservation N=256] [--state-dir DIR] [--trials-small]\n\
+         \x20                [--reservation N=256] [--state-dir DIR] [--trials-small] [--protocol v1|v2]\n\
          \x20 uuidp doctor\n\
          \n\
          algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
@@ -172,6 +175,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         audit_threads: f.parse(&["--audit-threads"], 1usize)?,
         seed: f.parse(&["--seed", "-s"], 0x5EEDu64)?,
         listen: f.get(&["--listen"]).map(str::to_string),
+        protocol: f.get(&["--protocol"]).map(str::to_string),
     };
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
@@ -200,6 +204,7 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             seed: 0x57E5,
             remote: false,
             remote_workers: 1,
+            protocol: "v1".into(),
         }
     };
     let algorithm = match f.get(&["--algorithm", "-a"]) {
@@ -223,6 +228,10 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
         seed: f.parse(&["--seed", "-s"], defaults.seed)?,
         remote: f.has("--remote") || defaults.remote,
         remote_workers: f.parse(&["--remote-workers"], defaults.remote_workers)?,
+        protocol: f
+            .get(&["--protocol"])
+            .unwrap_or(defaults.protocol.as_str())
+            .to_string(),
     };
     stress(&opts).map_err(|e| e.0)
 }
@@ -264,6 +273,10 @@ fn run_fleet_cmd(args: &[String]) -> Result<String, String> {
         kill_every: f.parse_opt(&["--kill-every"])?,
         reservation: f.parse(&["--reservation"], defaults.reservation)?,
         state_dir: f.get(&["--state-dir"]).map(str::to_string),
+        protocol: f
+            .get(&["--protocol"])
+            .unwrap_or(defaults.protocol.as_str())
+            .to_string(),
     };
     fleet(&opts).map_err(|e| e.0)
 }

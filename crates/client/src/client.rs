@@ -1,0 +1,359 @@
+//! The multiplexing v2 client (see the crate docs for the picture):
+//! a shared writer handle plus one reader demux thread per connection,
+//! with replies routed to callers by correlation id.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc as StdArc, Mutex};
+
+use uuidp_core::id::{Id, IdSpace};
+use uuidp_core::interval::Arc;
+
+use crate::frame::{read_frame, write_frame, FrameBody, VERSION};
+use crate::{Lease, Summary};
+
+/// A reply as the demux delivers it: the typed body, or the text of a
+/// correlated server `Error` frame.
+type Reply = Result<FrameBody, String>;
+
+/// Either the live map of waiting requests, or the reason the
+/// connection died (every later request fails fast with it).
+enum Pending {
+    Live(HashMap<u64, SyncSender<Reply>>),
+    Dead(String),
+}
+
+struct Inner {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<Pending>,
+    next_corr: AtomicU64,
+    space: IdSpace,
+}
+
+impl Inner {
+    /// Marks the connection dead and wakes every waiting request (their
+    /// reply senders are dropped with the map).
+    fn die(&self, reason: String) {
+        let mut pending = self.pending.lock().expect("pending lock");
+        if matches!(*pending, Pending::Live(_)) {
+            *pending = Pending::Dead(reason);
+        }
+    }
+}
+
+/// The user-facing ownership layer: the reader thread holds its own
+/// `Arc<Inner>`, so `Inner`'s refcount alone can never tell when the
+/// *callers* are gone — this wrapper can. When the last [`Client`]
+/// clone drops, the socket is shut down, which unblocks the reader and
+/// lets the whole connection wind down (the server sees EOF, like a v1
+/// `quit`).
+struct Handle {
+    inner: StdArc<Inner>,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.inner.writer.lock() {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        self.inner.die("client dropped".into());
+    }
+}
+
+/// A connection to a v2-speaking `TcpServer`, shared by cloning.
+///
+/// Every method is `&self` and thread-safe: clones (and threads) issue
+/// requests concurrently over the one underlying connection, each
+/// parked on its own correlation id until the reader demux thread
+/// delivers its reply. Dropping the last clone closes the connection
+/// (the server sees EOF, like a v1 `quit`).
+#[derive(Clone)]
+pub struct Client {
+    handle: StdArc<Handle>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("space", &self.handle.inner.space)
+            .finish_non_exhaustive()
+    }
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn closed_err(reason: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        format!("connection closed: {reason}"),
+    )
+}
+
+impl Client {
+    /// Connects to `addr` and performs the v2 handshake. `space` must
+    /// match the server's universe — unlike v1, the handshake checks
+    /// this up front and fails with a typed error on mismatch.
+    pub fn connect<A: ToSocketAddrs>(addr: A, space: IdSpace) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Frames are small and latency-bound; never batch them behind
+        // Nagle (pairs with the server-side set_nodelay).
+        stream.set_nodelay(true)?;
+        write_frame(
+            &mut stream,
+            0,
+            &FrameBody::Hello {
+                version: VERSION,
+                space: space.size(),
+            },
+        )?;
+        // The handshake is the one synchronous read on the caller's
+        // thread; after it, the reader demux owns the read half.
+        match read_frame(&mut stream)?.body {
+            FrameBody::HelloOk { version, space: m } => {
+                if version != VERSION {
+                    return Err(proto_err(format!(
+                        "server negotiated unsupported protocol version {version}"
+                    )));
+                }
+                if m != space.size() {
+                    return Err(proto_err(format!(
+                        "server universe is {m}, client was built for {}",
+                        space.size()
+                    )));
+                }
+            }
+            FrameBody::Error { message } => {
+                return Err(proto_err(format!("server rejected handshake: {message}")))
+            }
+            other => {
+                return Err(proto_err(format!(
+                    "expected hello-ok, got {} frame",
+                    other.name()
+                )))
+            }
+        }
+        let inner = StdArc::new(Inner {
+            writer: Mutex::new(stream.try_clone()?),
+            pending: Mutex::new(Pending::Live(HashMap::new())),
+            next_corr: AtomicU64::new(1),
+            space,
+        });
+        let reader_inner = StdArc::clone(&inner);
+        std::thread::spawn(move || reader_demux(stream, reader_inner));
+        Ok(Client {
+            handle: StdArc::new(Handle { inner }),
+        })
+    }
+
+    /// The universe this client types arcs over.
+    pub fn space(&self) -> IdSpace {
+        self.handle.inner.space
+    }
+
+    /// Registers a fresh correlation id and its reply slot. Fails fast
+    /// if the connection already died.
+    fn register(&self) -> io::Result<(u64, std::sync::mpsc::Receiver<Reply>)> {
+        let corr = self.handle.inner.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(1);
+        match &mut *self.handle.inner.pending.lock().expect("pending lock") {
+            Pending::Live(map) => {
+                map.insert(corr, tx);
+            }
+            Pending::Dead(reason) => return Err(closed_err(reason)),
+        }
+        Ok((corr, rx))
+    }
+
+    /// Writes one request frame (whole frame, one `write_all`, under
+    /// the writer lock — frames from concurrent clones never interleave
+    /// mid-frame).
+    fn send(&self, corr: u64, body: &FrameBody) -> io::Result<()> {
+        let result = {
+            let mut writer = self.handle.inner.writer.lock().expect("writer lock");
+            write_frame(&mut *writer, corr, body)
+        };
+        if let Err(e) = &result {
+            self.handle.inner.die(format!("write failed: {e}"));
+        }
+        result
+    }
+
+    /// One multiplexed round trip: register, send, park until the demux
+    /// delivers this correlation id's reply.
+    fn request(&self, body: FrameBody) -> io::Result<FrameBody> {
+        let (corr, rx) = self.register()?;
+        self.send(corr, &body)?;
+        match rx.recv() {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(message)) => Err(proto_err(format!("server error: {message}"))),
+            // Sender dropped: the reader died (EOF, sever, corrupt
+            // stream) between our send and the reply.
+            Err(_) => {
+                let reason = match &*self.handle.inner.pending.lock().expect("pending lock") {
+                    Pending::Dead(reason) => reason.clone(),
+                    Pending::Live(_) => "reply channel dropped".into(),
+                };
+                Err(closed_err(&reason))
+            }
+        }
+    }
+
+    /// Leases `count` IDs for `tenant`.
+    pub fn lease(&self, tenant: u64, count: u128) -> io::Result<Lease> {
+        match self.request(FrameBody::LeaseReq { tenant, count })? {
+            FrameBody::LeaseResp {
+                tenant,
+                granted,
+                arcs,
+                error,
+            } => {
+                let space = self.handle.inner.space;
+                let mut typed = Vec::with_capacity(arcs.len());
+                for (start, len) in arcs {
+                    // Validate before constructing: `Arc::new` asserts,
+                    // and a server/universe mismatch must surface as an
+                    // error, not a panic.
+                    if start >= space.size() || len < 1 || len > space.size() {
+                        return Err(proto_err(format!(
+                            "arc {start}+{len} does not fit universe {space}"
+                        )));
+                    }
+                    typed.push(Arc::new(space, Id(start), len));
+                }
+                Ok(Lease {
+                    tenant,
+                    granted,
+                    arcs: typed,
+                    error,
+                })
+            }
+            other => Err(proto_err(format!(
+                "expected lease-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Recycles `tenant`'s generator into a fresh epoch.
+    pub fn reset(&self, tenant: u64) -> io::Result<()> {
+        match self.request(FrameBody::ResetReq { tenant })? {
+            FrameBody::ResetResp { tenant: echoed } if echoed == tenant => Ok(()),
+            other => Err(proto_err(format!(
+                "expected reset-resp for tenant {tenant}, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Blocks until the server has processed every request submitted
+    /// before this one (across all connections and clones).
+    pub fn drain(&self) -> io::Result<()> {
+        match self.request(FrameBody::DrainReq)? {
+            FrameBody::DrainResp => Ok(()),
+            other => Err(proto_err(format!(
+                "expected drain-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// A live service summary: totals as of every request processed so
+    /// far, without stopping anything. (v1 only ever reports totals as
+    /// the service's dying words.)
+    pub fn summary(&self) -> io::Result<Summary> {
+        match self.request(FrameBody::SummaryReq)? {
+            FrameBody::SummaryResp(summary) => Ok(summary),
+            other => Err(proto_err(format!(
+                "expected summary-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Stops the whole server and returns its final summary. Sibling
+    /// clones and connections are severed.
+    pub fn shutdown(self) -> io::Result<Summary> {
+        match self.request(FrameBody::ShutdownReq)? {
+            FrameBody::SummaryResp(summary) => Ok(summary),
+            other => Err(proto_err(format!(
+                "expected summary-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Kills the server abruptly — the remote crash lever. No summary
+    /// comes back; success is the connection dying under us. What
+    /// survives on the server is whatever its durability layer
+    /// persisted write-ahead.
+    pub fn halt(self) -> io::Result<()> {
+        let (_corr, rx) = self.register()?;
+        // HaltReq itself is uncorrelated (there is no reply to route);
+        // the registered id just parks us until the demux observes the
+        // connection die.
+        self.send(0, &FrameBody::HaltReq)?;
+        match rx.recv() {
+            Err(_) => Ok(()), // severed, as intended
+            Ok(Ok(other)) => Err(proto_err(format!(
+                "halt expected silence, got {} frame",
+                other.name()
+            ))),
+            Ok(Err(message)) => Err(proto_err(format!("server error: {message}"))),
+        }
+    }
+}
+
+/// The reader demux: decodes frames off the read half and hands each to
+/// the request that registered its correlation id. Runs until EOF or a
+/// fatal stream error, then wakes everyone with the reason.
+fn reader_demux(stream: TcpStream, inner: StdArc<Inner>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame_reason(&mut reader) {
+            Ok(frame) => {
+                if frame.corr == 0 {
+                    // Connection-level error (or stray chatter): fatal.
+                    let reason = match frame.body {
+                        FrameBody::Error { message } => message,
+                        other => format!("unexpected uncorrelated {} frame", other.name()),
+                    };
+                    inner.die(reason);
+                    return;
+                }
+                let slot = match &mut *inner.pending.lock().expect("pending lock") {
+                    Pending::Live(map) => map.remove(&frame.corr),
+                    Pending::Dead(_) => return,
+                };
+                if let Some(tx) = slot {
+                    let reply = match frame.body {
+                        FrameBody::Error { message } => Err(message),
+                        body => Ok(body),
+                    };
+                    let _ = tx.send(reply);
+                }
+                // No waiter: a reply for a request the caller gave up
+                // on — dropped on the floor by design.
+            }
+            Err(reason) => {
+                inner.die(reason);
+                return;
+            }
+        }
+    }
+}
+
+/// [`read_frame`] with the error folded to the demux's reason string.
+fn read_frame_reason(r: &mut impl Read) -> Result<crate::frame::Frame, String> {
+    read_frame(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            "server closed the connection".into()
+        } else {
+            e.to_string()
+        }
+    })
+}

@@ -1,0 +1,148 @@
+//! # uuidp-client — the typed, multiplexing service client
+//!
+//! The transport-owning client API for the `uuidp` ID service, and the
+//! home of **wire protocol v2**: length-prefixed binary frames (magic /
+//! version / length / payload / FNV-1a checksum, the same codec
+//! discipline as `uuidp_core::persist`) with per-request **correlation
+//! ids**, so one TCP connection can carry interleaved requests from
+//! many threads and tenants at once.
+//!
+//! ```text
+//!   threads          Client (Clone)                    server
+//!  ────────┐     ┌──────────────────┐
+//!   lease ─┼──►  │ writer (mutex)   │ ──frames──►  negotiated v2 conn
+//!   drain ─┤     │ pending: corr→tx │
+//!   lease ─┘     └──────────────────┘
+//!                  ▲        reader demux thread
+//!                  └─── replies routed by correlation id ◄──frames──
+//! ```
+//!
+//! * [`Client::connect`] dials the server, performs the version
+//!   handshake (`Hello`/`HelloOk` — the server also validates that
+//!   client and server agree on the ID universe, which the v1 text
+//!   protocol could never check), and spawns the reader.
+//! * [`Client`] is `Clone + Send + Sync`: clones share one connection.
+//!   Each request registers a correlation id, writes one frame under
+//!   the writer lock, and parks on its own reply channel; the reader
+//!   demux thread routes every incoming frame to the request that asked
+//!   for it. `N` worker threads need `N` connections under the v1 line
+//!   protocol — under v2 they need one.
+//! * Typed surface: [`Client::lease`] → [`Lease`], [`Client::summary`] /
+//!   [`Client::shutdown`] → [`Summary`], plus [`Client::reset`],
+//!   [`Client::drain`], and [`Client::halt`] (the remote crash lever).
+//!
+//! The frame grammar itself lives in [`frame`]; servers reuse it from
+//! there. [`ProtoVersion`] is the workspace-wide `--protocol v1|v2`
+//! selector.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use uuidp_core::interval::Arc;
+
+pub mod frame;
+
+mod client;
+
+pub use client::Client;
+
+/// Which wire protocol a client-side consumer speaks: the v1 text line
+/// protocol or the v2 binary framed protocol. Servers negotiate per
+/// connection and serve both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoVersion {
+    /// The newline-framed text protocol (`lease 7 100` → one reply
+    /// line), one request in flight per connection.
+    #[default]
+    V1,
+    /// Length-prefixed binary frames with correlation ids; one
+    /// connection multiplexes any number of in-flight requests.
+    V2,
+}
+
+impl ProtoVersion {
+    /// Parses a protocol name (`v1 | v2`, bare digits accepted).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "v1" | "1" => Ok(ProtoVersion::V1),
+            "v2" | "2" => Ok(ProtoVersion::V2),
+            other => Err(format!("unknown protocol `{other}` (v1 | v2)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProtoVersion::V1 => "v1",
+            ProtoVersion::V2 => "v2",
+        })
+    }
+}
+
+/// A served lease, as seen by a client: the typed twin of the service's
+/// `LeaseReply`, with the server's generator error carried as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The tenant the lease was served for.
+    pub tenant: u64,
+    /// Total IDs granted.
+    pub granted: u128,
+    /// Granted arcs in emission order.
+    pub arcs: Vec<Arc>,
+    /// Generator error text, if the grant fell short.
+    pub error: Option<String>,
+}
+
+/// A service summary as it crosses the wire: the aggregate totals of a
+/// `ServiceReport`. Per-thread audit detail stays server-side; the wire
+/// carries the merged view. Served live by [`Client::summary`] and as
+/// the final word by [`Client::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total IDs issued.
+    pub issued_ids: u128,
+    /// Leases served.
+    pub leases: u64,
+    /// Leases that hit a generator error.
+    pub errors: u64,
+    /// Median per-lease issue cost, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-lease issue cost, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean per-lease issue cost, nanoseconds.
+    pub mean_ns: f64,
+    /// Cross-owner duplicate IDs found by the audit.
+    pub duplicate_ids: u128,
+    /// Audit records that overlapped foreign material on arrival.
+    pub flagged_records: u64,
+    /// Total IDs recorded by the audit.
+    pub recorded_ids: u128,
+    /// Total segments recorded by the audit.
+    pub recorded_arcs: u64,
+    /// Routed lease batches the audit processed.
+    pub records: u64,
+    /// Worst tap-to-audit lag, nanoseconds.
+    pub max_lag_ns: u128,
+    /// Mean tap-to-audit lag, nanoseconds.
+    pub mean_lag_ns: f64,
+    /// Audit pipeline threads that produced the merged totals.
+    pub audit_threads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_versions_parse_and_display() {
+        assert_eq!(ProtoVersion::parse("v1").unwrap(), ProtoVersion::V1);
+        assert_eq!(ProtoVersion::parse("V2").unwrap(), ProtoVersion::V2);
+        assert_eq!(ProtoVersion::parse("1").unwrap(), ProtoVersion::V1);
+        assert_eq!(ProtoVersion::parse("2").unwrap(), ProtoVersion::V2);
+        assert!(ProtoVersion::parse("v3").is_err());
+        assert!(ProtoVersion::parse("").is_err());
+        assert_eq!(ProtoVersion::V2.to_string(), "v2");
+        assert_eq!(ProtoVersion::default(), ProtoVersion::V1);
+    }
+}

@@ -67,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algorithms;
+pub mod codec;
 pub mod diagram;
 pub mod id;
 pub mod interval;

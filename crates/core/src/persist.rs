@@ -47,15 +47,21 @@
 //! ```
 //!
 //! All integers are little-endian; variable-length sequences carry a
-//! `u64` count prefix. Records are written to a temporary file and
-//! atomically renamed into place, so a torn write leaves the previous
-//! record intact; any corruption (truncation, bit flips, unknown
-//! versions) is reported as a typed [`PersistError`], never a panic.
+//! `u64` count prefix (the shared [`codec`](crate::codec) vocabulary —
+//! the same primitives the `uuidp-client` wire frames are built from).
+//! Records are written to a temporary file and atomically renamed into
+//! place, so a torn write leaves the previous record intact; any
+//! corruption (truncation, bit flips, unknown versions) is reported as
+//! a typed [`PersistError`], never a panic.
 
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use crate::codec::{
+    fnv1a, put_opt_pair, put_opt_u128, put_pair_seq, put_rng, put_u128, put_u128_seq, put_u32,
+    put_u64, CodecError, Cursor,
+};
 use crate::id::IdSpace;
 use crate::state::{restore, GeneratorState, StateError};
 use crate::traits::IdGenerator;
@@ -126,157 +132,11 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// FNV-1a over `bytes` (the format's integrity check; collisions are a
-/// corruption-detection concern, not an adversarial one).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// Payload codec
-// ---------------------------------------------------------------------
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u128(out: &mut Vec<u8>, v: u128) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_rng(out: &mut Vec<u8>, rng: &[u64; 4]) {
-    for &w in rng {
-        put_u64(out, w);
-    }
-}
-
-fn put_u128_seq(out: &mut Vec<u8>, seq: &[u128]) {
-    put_u64(out, seq.len() as u64);
-    for &v in seq {
-        put_u128(out, v);
-    }
-}
-
-fn put_pair_seq(out: &mut Vec<u8>, seq: &[(u128, u128)]) {
-    put_u64(out, seq.len() as u64);
-    for &(a, b) in seq {
-        put_u128(out, a);
-        put_u128(out, b);
-    }
-}
-
-fn put_opt_u128(out: &mut Vec<u8>, v: &Option<u128>) {
-    match v {
-        None => out.push(0),
-        Some(v) => {
-            out.push(1);
-            put_u128(out, *v);
-        }
-    }
-}
-
-fn put_opt_pair(out: &mut Vec<u8>, v: &Option<(u128, u128)>) {
-    match v {
-        None => out.push(0),
-        Some((a, b)) => {
-            out.push(1);
-            put_u128(out, *a);
-            put_u128(out, *b);
-        }
-    }
-}
-
-/// Bounded-read cursor over a decoded payload.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        let end = self.at.checked_add(n).ok_or(PersistError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(PersistError::Truncated);
-        }
-        let slice = &self.bytes[self.at..end];
-        self.at = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, PersistError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn u128(&mut self) -> Result<u128, PersistError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
-    }
-
-    fn rng(&mut self) -> Result<[u64; 4], PersistError> {
-        Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
-    }
-
-    fn seq_len(&mut self) -> Result<usize, PersistError> {
-        let len = self.u64()?;
-        // A length prefix can never exceed the remaining bytes, and each
-        // element is at least one byte — reject absurd counts before
-        // they turn into huge pre-allocations.
-        if len as usize > self.bytes.len().saturating_sub(self.at) {
-            return Err(PersistError::Truncated);
-        }
-        Ok(len as usize)
-    }
-
-    fn u128_seq(&mut self) -> Result<Vec<u128>, PersistError> {
-        let len = self.seq_len()?;
-        (0..len).map(|_| self.u128()).collect()
-    }
-
-    fn pair_seq(&mut self) -> Result<Vec<(u128, u128)>, PersistError> {
-        let len = self.seq_len()?;
-        (0..len).map(|_| Ok((self.u128()?, self.u128()?))).collect()
-    }
-
-    fn opt_u128(&mut self) -> Result<Option<u128>, PersistError> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.u128()?)),
-            t => Err(PersistError::Corrupt(format!("bad option tag {t}"))),
-        }
-    }
-
-    fn opt_pair(&mut self) -> Result<Option<(u128, u128)>, PersistError> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some((self.u128()?, self.u128()?))),
-            t => Err(PersistError::Corrupt(format!("bad option tag {t}"))),
-        }
-    }
-
-    fn finish(self) -> Result<(), PersistError> {
-        if self.at == self.bytes.len() {
-            Ok(())
-        } else {
-            Err(PersistError::Corrupt(format!(
-                "{} trailing payload bytes",
-                self.bytes.len() - self.at
-            )))
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => PersistError::Truncated,
+            CodecError::Corrupt(msg) => PersistError::Corrupt(msg),
         }
     }
 }
@@ -449,7 +309,7 @@ pub fn encode_record(record: &SnapshotRecord) -> Vec<u8> {
 /// Parses bytes produced by [`encode_record`], validating magic,
 /// version, length, and checksum before touching the payload.
 pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, PersistError> {
-    let mut c = Cursor { bytes, at: 0 };
+    let mut c = Cursor::new(bytes);
     if c.take(8)? != MAGIC {
         return Err(PersistError::BadMagic);
     }
@@ -461,7 +321,8 @@ pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, PersistError> {
     // the integer maximum must come back as Truncated, not overflow
     // (never-panic is this module's contract).
     let payload_len = c.u64()?;
-    let body_end = (c.at as u64)
+    let body_start = c.position();
+    let body_end = (body_start as u64)
         .checked_add(payload_len)
         .ok_or(PersistError::Truncated)?;
     if body_end.checked_add(8) != Some(bytes.len() as u64) {
@@ -472,10 +333,7 @@ pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, PersistError> {
     if fnv1a(&bytes[..body_end]) != stored {
         return Err(PersistError::ChecksumMismatch);
     }
-    let mut c = Cursor {
-        bytes: &bytes[c.at..body_end],
-        at: 0,
-    };
+    let mut c = Cursor::new(&bytes[body_start..body_end]);
     let seq = c.u64()?;
     let epoch = c.u32()?;
     let reservation = c.u128()?;

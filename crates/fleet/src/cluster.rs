@@ -106,6 +106,7 @@ impl Fleet {
             dir: dir.to_path_buf(),
             reservation: self.reservation,
             sync: false,
+            halt_after_persists: None,
         });
         config
     }

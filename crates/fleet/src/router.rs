@@ -43,10 +43,11 @@ use std::net::SocketAddr;
 use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
 use uuidp_adversary::profile::power_law;
 use uuidp_adversary::run_hunter::RunHunter;
+use uuidp_client::ProtoVersion;
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
 use uuidp_core::rng::{SeedDomain, SeedTree, Xoshiro256pp};
-use uuidp_service::net::RemoteClient;
+use uuidp_service::net::DialedClient;
 use uuidp_sim::audit::{AuditCounts, LeaseAudit};
 
 /// Tenants must fit under the incarnation tag in the global audit's
@@ -230,7 +231,8 @@ pub fn owner_key(tenant: u64, incarnation: u32) -> u64 {
 /// The tenant-affine fleet router (see the module docs).
 pub struct Router {
     space: IdSpace,
-    clients: Vec<Option<RemoteClient>>,
+    protocol: ProtoVersion,
+    clients: Vec<Option<DialedClient>>,
     incarnations: Vec<u32>,
     audit: LeaseAudit,
     audit_by_tenant: LeaseAudit,
@@ -241,11 +243,19 @@ pub struct Router {
 
 impl Router {
     /// A router for `nodes` nodes over `space`, auditing globally with
-    /// `audit_stripes` stripes.
-    pub fn new(space: IdSpace, nodes: usize, audit_stripes: usize) -> Router {
+    /// `audit_stripes` stripes and speaking `protocol` to every node
+    /// (v1: one line-protocol connection per node; v2: one multiplexed
+    /// framed connection per node).
+    pub fn new(
+        space: IdSpace,
+        nodes: usize,
+        audit_stripes: usize,
+        protocol: ProtoVersion,
+    ) -> Router {
         assert!(nodes >= 1, "at least one node");
         Router {
             space,
+            protocol,
             clients: (0..nodes).map(|_| None).collect(),
             incarnations: vec![0; nodes],
             audit: LeaseAudit::new(space, audit_stripes),
@@ -263,8 +273,13 @@ impl Router {
 
     /// Opens (or replaces) the persistent connection to node `index`.
     pub fn connect(&mut self, index: usize, addr: SocketAddr) -> io::Result<()> {
-        self.clients[index] = Some(RemoteClient::connect(addr, self.space)?);
+        self.clients[index] = Some(DialedClient::connect(addr, self.space, self.protocol)?);
         Ok(())
+    }
+
+    /// The wire protocol this router dials nodes with.
+    pub fn protocol(&self) -> ProtoVersion {
+        self.protocol
     }
 
     /// Reconnects to a crash-restarted node: fresh connection, and all

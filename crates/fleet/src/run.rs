@@ -7,6 +7,7 @@ use std::io;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use uuidp_client::ProtoVersion;
 use uuidp_core::rng::{uniform_below, Xoshiro256pp};
 use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
 use uuidp_sim::audit::AuditCounts;
@@ -37,6 +38,9 @@ pub struct FleetConfig {
     pub reservation: u128,
     /// Stripes of the router's global audits.
     pub audit_stripes: usize,
+    /// Wire protocol the router speaks to every node (the nodes
+    /// negotiate per connection, so mixed-protocol fleets are fine).
+    pub protocol: ProtoVersion,
     /// Root directory for per-node durable state.
     pub state_dir: PathBuf,
 }
@@ -55,6 +59,7 @@ impl FleetConfig {
             kill_every: None,
             reservation: 1024,
             audit_stripes: 16,
+            protocol: ProtoVersion::V1,
             state_dir: state_dir.into(),
         }
     }
@@ -186,7 +191,7 @@ pub fn run_fleet(config: FleetConfig) -> io::Result<FleetReport> {
 /// fleet (split out so the caller owns error-path teardown).
 fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetReport> {
     let space = config.service.space;
-    let mut router = Router::new(space, config.nodes, config.audit_stripes);
+    let mut router = Router::new(space, config.nodes, config.audit_stripes, config.protocol);
     for i in 0..config.nodes {
         router.connect(i, fleet.addr(i))?;
     }
@@ -359,6 +364,40 @@ mod tests {
             assert_eq!(report.recovered_duplicate_ids, 0, "{placement}");
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn protocol_v2_fleet_matches_v1_totals_and_survives_chaos() {
+        // The cross-protocol fleet differential: the same scenario
+        // routed over v1 text connections and v2 multiplexed framed
+        // connections must produce bit-identical global audit totals —
+        // and under chaos, v2 recovery must stay duplicate-free too.
+        let run_with = |proto: ProtoVersion, chaos: bool, tag: &str| {
+            let mut cfg = base(AlgorithmKind::ClusterStar, 40, 3, tag);
+            cfg.protocol = proto;
+            cfg.service.seed_alias = Some((0, 1)); // live duplicate counter
+            if chaos {
+                cfg.kill_every = Some(40);
+                cfg.reservation = 64;
+            }
+            let dir = cfg.state_dir.clone();
+            let report = run_fleet(cfg).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+        let v1 = run_with(ProtoVersion::V1, false, "diff-v1");
+        let v2 = run_with(ProtoVersion::V2, false, "diff-v2");
+        assert_eq!(v1.issued_ids, v2.issued_ids);
+        assert_eq!(v1.global.duplicate_ids, v2.global.duplicate_ids);
+        assert!(v2.global.duplicate_ids > 0, "twins must collide");
+        assert_eq!(v1.cross_tenant_duplicate_ids, v2.cross_tenant_duplicate_ids);
+        let chaotic = run_with(ProtoVersion::V2, true, "chaos-v2");
+        assert!(chaotic.restarts > 0, "chaos must actually restart nodes");
+        assert_eq!(
+            chaotic.recovered_duplicate_ids, 0,
+            "v2 recovery re-emitted pre-crash IDs"
+        );
+        assert_eq!(chaotic.global.recorded_ids, chaotic.issued_ids);
     }
 
     #[test]

@@ -21,13 +21,18 @@
 //!   interleaving-invariant totals (bit-identical for every `(shards,
 //!   audit_stripes, audit_threads)` combination), and reporting
 //!   per-thread lag so a straggling stripe subset is visible.
-//! * [`protocol`] — the newline-framed line protocol (`lease` / `reset`
-//!   / `drain` / `quit` / `shutdown`) with both the server-side
-//!   renderers and the client-side parsers.
-//! * [`net`] — [`net::TcpServer`]: the thread-per-connection TCP
-//!   front-end speaking that protocol over [`std::net::TcpListener`]
-//!   with graceful client-initiated shutdown, and [`net::RemoteClient`],
-//!   the blocking client.
+//! * [`protocol`] — the v1 newline-framed line protocol (`lease` /
+//!   `reset` / `drain` / `quit` / `shutdown`) with both the server-side
+//!   renderers and the client-side parsers; its wire types are the same
+//!   typed `uuidp_client` structs the v2 binary client returns.
+//! * [`net`] — [`net::TcpServer`]: the TCP front-end, **negotiating the
+//!   wire protocol per connection**: v1 text clients get the classic
+//!   thread-per-connection line loop; v2 binary-frame clients
+//!   (`uuidp_client::Client`) are served with no per-connection thread
+//!   at all — a nonblocking demux reads every v2 connection and a
+//!   fixed, tenant-keyed worker pool executes requests by correlation
+//!   id. Plus [`net::RemoteClient`] (the blocking v1 client) and
+//!   [`net::DialedClient`] (either protocol behind one surface).
 //! * [`stress`] — [`stress::run_stress`]: replays deterministic traffic
 //!   mixes (uniform, Zipf-skewed, flood, and the `adversary` crate's
 //!   adaptive RunHunter playing through the front door) and reports
@@ -58,7 +63,7 @@ pub mod stress;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::metrics::LatencyHistogram;
-    pub use crate::net::{RemoteClient, TcpServer};
+    pub use crate::net::{DialedClient, RemoteClient, ServerOptions, TcpServer};
     pub use crate::protocol::{Command, WireLease, WireSummary};
     pub use crate::service::{
         AuditReport, AuditThreadReport, IdService, LeaseReply, ServiceConfig, ServiceReport,

@@ -1,39 +1,88 @@
-//! TCP front-end for the ID service, plus the matching client.
+//! TCP front-end for the ID service, plus the matching clients.
 //!
-//! [`TcpServer`] grows the `uuidp serve` line protocol from a
-//! process-local loop into a real network daemon: a
-//! [`std::net::TcpListener`] with one handler thread per connection, all
-//! connections multiplexed onto one shared [`IdService`] (the service's
-//! own shard channels already serialize per-tenant work, so concurrent
-//! connections need no extra locking beyond the shared handle).
+//! [`TcpServer`] speaks **both wire protocols** and negotiates per
+//! connection on the first byte: v1 text lines (the `uuidp serve`
+//! grammar, handled exactly as before — one blocking handler thread per
+//! connection) and **protocol v2**, the `uuidp_client` binary framed
+//! protocol, which is served without any per-connection thread at all:
 //!
-//! Shutdown is graceful and client-initiated: the `shutdown` command
-//! stops the accept loop, drains and joins the service (waiting out
-//! every in-flight lease), replies with the one-line summary of
-//! [`render_summary`], and unblocks every other connection. The summary
-//! a client parses and the [`ServiceReport`] the server process keeps
-//! describe the same shutdown, so driver-side and server-side accounting
-//! can be compared exactly — that is what the remote stress differential
-//! test pins.
+//! ```text
+//!   accept ──► demux thread (nonblocking reads over every v2 conn)
+//!                 │  sniff first byte: 0x00 ⇒ v2, else hand off to a
+//!                 │  v1 line-protocol handler thread
+//!                 │  complete frames, dispatched by kind:
+//!                 ├── lease/reset ──► worker pool (tenant-keyed queues)
+//!                 └── drain/summary/shutdown/halt ──► control thread
+//!                        each reply frame carries its request's
+//!                        correlation id back over the conn's writer
+//! ```
 //!
-//! [`RemoteClient`] is the client half: newline-framed commands out,
-//! one reply line back per command, typed back into [`WireLease`] /
-//! [`WireSummary`] via the [`protocol`](crate::protocol) parsers.
+//! The v2 accept path closes the ROADMAP's thread-per-connection item:
+//! however many v2 connections are open, the server runs one demux
+//! thread plus a fixed pool of `v2_workers` execution threads. Requests
+//! are routed to pool workers by `tenant % workers`, so each tenant's
+//! requests stay FIFO end to end (the determinism the differential
+//! tests pin), while different tenants' requests from one multiplexed
+//! connection are served concurrently. Drain/summary/shutdown run on a
+//! dedicated control thread that first barriers the pool — "everything
+//! submitted before me" keeps its v1 meaning.
+//!
+//! Shutdown is graceful and client-initiated in either protocol, and
+//! the numbers can never diverge: both the v1 `bye` line and the v2
+//! summary frame are projected from the same [`ServiceReport`] by
+//! [`wire_summary`]. [`TcpServer::halt`] remains the in-process crash
+//! lever, and the v2 `halt` frame is its remote twin; both discard the
+//! report and sever every connection mid-command. The durability
+//! layer's `halt_after_persists` hook arrives here too: a lease reply
+//! flagged `halted` makes the server die *instead of replying* —
+//! a crash dropped exactly between the write-ahead persist and the
+//! reply, which no external kill can aim that precisely.
+//!
+//! [`RemoteClient`] is the v1 client half: newline-framed commands out,
+//! one reply line back per command. [`DialedClient`] wraps it together
+//! with the v2 [`Client`](uuidp_client::Client) behind one protocol-
+//! agnostic surface, so consumers (stress driver, fleet router, CLI)
+//! select a protocol with a flag instead of a code path.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use uuidp_client::frame::{self, FrameBody};
+use uuidp_client::{Client, ProtoVersion};
 use uuidp_core::id::IdSpace;
 
 use crate::protocol::{
-    parse_lease_line, parse_summary, render_lease, render_summary, Command, WireLease, WireSummary,
+    parse_lease_line, parse_summary, render_lease, render_summary, wire_summary, Command,
+    WireLease, WireSummary,
 };
-use crate::service::{IdService, ServiceConfig, ServiceReport};
+use crate::service::{IdService, LeaseReply, ServiceConfig, ServiceReport};
+
+/// Front-end options, beyond the service's own configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Accept v2 binary-frame connections (v1 text always works). Off,
+    /// the listener is a legacy-only front-end: a v2 hello is answered
+    /// with a fatal error frame.
+    pub accept_v2: bool,
+    /// Execution threads in the shared v2 worker pool. Requests are
+    /// pinned to workers by `tenant % v2_workers`.
+    pub v2_workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            accept_v2: true,
+            v2_workers: 4,
+        }
+    }
+}
 
 /// Shared state of a running [`TcpServer`].
 struct ServerState {
@@ -48,6 +97,8 @@ struct ServerState {
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Connection id source.
     next_conn: AtomicU64,
+    /// The service's universe — validated against every v2 hello.
+    space: IdSpace,
 }
 
 impl ServerState {
@@ -57,53 +108,153 @@ impl ServerState {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
     }
+
+    /// Registers a connection's write half, returning its id — and
+    /// closes the register/sever race: a shutdown that drained `conns`
+    /// *before* this insert set `stopping` *before* draining, so the
+    /// check below catches exactly the registrations the drain missed.
+    /// Returns `None` (connection severed) when the server is stopping.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        if let Ok(registered) = stream.try_clone() {
+            self.conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_id, registered);
+        }
+        if self.stopping.load(Ordering::SeqCst) {
+            self.deregister(conn_id);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return None;
+        }
+        Some(conn_id)
+    }
+
+    fn deregister(&self, conn_id: u64) {
+        self.conns.lock().expect("conns lock").remove(&conn_id);
+    }
+}
+
+/// Kills the server from inside: stop accepting, tear the service down
+/// **discarding its report**, sever every live connection mid-command,
+/// and wake the accept loop. This is the shared crash fiction behind
+/// [`TcpServer::halt`], the v2 `halt` frame, and the
+/// `halt_after_persists` hook — clients see an abrupt EOF, and what
+/// survives is only what the durability layer persisted write-ahead.
+fn crash_server(state: &ServerState, local_addr: SocketAddr) {
+    state.stopping.store(true, Ordering::SeqCst);
+    let service = state.service.write().expect("service lock").take();
+    if let Some(service) = service {
+        drop(service.shutdown());
+    }
+    state.sever_all();
+    let _ = TcpStream::connect(local_addr);
 }
 
 /// A running TCP front-end over one [`IdService`].
 pub struct TcpServer {
     local_addr: SocketAddr,
     accept: JoinHandle<()>,
+    demux: JoinHandle<()>,
+    control: JoinHandle<()>,
+    pool: Vec<JoinHandle<()>>,
     report_rx: Receiver<ServiceReport>,
     state: Arc<ServerState>,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), boots
-    /// the service, and starts accepting connections.
+    /// the service, and starts accepting connections with default
+    /// [`ServerOptions`] (both protocols, a small v2 pool).
     pub fn bind(addr: &str, config: ServiceConfig) -> io::Result<TcpServer> {
+        TcpServer::bind_with(addr, config, ServerOptions::default())
+    }
+
+    /// [`bind`](TcpServer::bind) with explicit front-end options.
+    pub fn bind_with(
+        addr: &str,
+        config: ServiceConfig,
+        options: ServerOptions,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let space = config.space;
         let state = Arc::new(ServerState {
             service: RwLock::new(Some(IdService::start(config))),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            space,
         });
         let (report_tx, report_rx) = sync_channel::<ServiceReport>(1);
+
+        // The shared v2 worker pool: tenant-keyed queues, fixed width.
+        let workers = options.v2_workers.max(1);
+        let mut pool_txs = Vec::with_capacity(workers);
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel::<PoolJob>(1024);
+            pool_txs.push(tx);
+            let state = Arc::clone(&state);
+            pool.push(std::thread::spawn(move || {
+                pool_worker(state, rx, local_addr)
+            }));
+        }
+        // The v2 control lane (drain / summary / shutdown / halt).
+        let (ctrl_tx, ctrl_rx) = sync_channel::<CtrlJob>(64);
+        let control = {
+            let state = Arc::clone(&state);
+            let pool_txs = pool_txs.clone();
+            let report_tx = report_tx.clone();
+            std::thread::spawn(move || {
+                control_worker(state, ctrl_rx, pool_txs, report_tx, local_addr)
+            })
+        };
+        // The demux: sniffs every new connection, owns all v2 reads.
+        let (register_tx, register_rx) = channel::<TcpStream>();
+        let demux = {
+            let state = Arc::clone(&state);
+            let report_tx = report_tx.clone();
+            let accept_v2 = options.accept_v2;
+            std::thread::spawn(move || {
+                demux_loop(
+                    state,
+                    register_rx,
+                    pool_txs,
+                    ctrl_tx,
+                    accept_v2,
+                    report_tx,
+                    local_addr,
+                )
+            })
+        };
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || {
-            let mut handlers = Vec::new();
             for stream in listener.incoming() {
                 if accept_state.stopping.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                // One reply line per command line: Nagle + delayed ACK
+                // One reply per command either way: Nagle + delayed ACK
                 // would add ~40ms to every round trip on loopback.
                 let _ = stream.set_nodelay(true);
-                let state = Arc::clone(&accept_state);
-                let report_tx = report_tx.clone();
-                handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, state, report_tx, local_addr);
-                }));
-            }
-            for h in handlers {
-                let _ = h.join();
+                // The demux reads everything nonblocking until a
+                // connection proves to be v1 and is handed back to a
+                // blocking handler thread.
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                if register_tx.send(stream).is_err() {
+                    break; // demux is gone; the server is coming down
+                }
             }
         });
         Ok(TcpServer {
             local_addr,
             accept,
+            demux,
+            control,
+            pool,
             report_rx,
             state,
         })
@@ -115,18 +266,28 @@ impl TcpServer {
     }
 
     /// Currently registered (live) connections — departed clients are
-    /// deregistered by their handler, so this does not grow with
-    /// connection churn.
+    /// deregistered by their handler (v1) or the demux (v2), so this
+    /// does not grow with connection churn.
     pub fn live_connections(&self) -> usize {
         self.state.conns.lock().expect("conns lock").len()
     }
 
-    /// Blocks until a client issues `shutdown`, then returns the
-    /// server-side [`ServiceReport`] (`None` only if the accept loop
-    /// died without a shutdown, which a well-formed run never does).
-    pub fn join(self) -> Option<ServiceReport> {
+    fn join_threads(self) -> Receiver<ServiceReport> {
         let _ = self.accept.join();
-        self.report_rx.try_recv().ok()
+        let _ = self.demux.join();
+        let _ = self.control.join();
+        for handle in self.pool {
+            let _ = handle.join();
+        }
+        self.report_rx
+    }
+
+    /// Blocks until a client issues `shutdown` (over either protocol),
+    /// then returns the server-side [`ServiceReport`] (`None` only if
+    /// the accept loop died without a shutdown, which a well-formed run
+    /// never does).
+    pub fn join(self) -> Option<ServiceReport> {
+        self.join_threads().try_recv().ok()
     }
 
     /// Server-side stop, no client involved: severs every live
@@ -145,58 +306,585 @@ impl TcpServer {
         let service = self.state.service.write().expect("service lock").take();
         let report = service.map(IdService::shutdown);
         self.state.sever_all();
-        // Unblock the accept loop, then wait out the handler threads.
+        // Unblock the accept loop, then wait out every server thread.
         let _ = TcpStream::connect(self.local_addr);
-        let _ = self.accept.join();
-        report.or_else(|| self.report_rx.try_recv().ok())
+        let report_rx = self.join_threads();
+        report.or_else(|| report_rx.try_recv().ok())
     }
 }
 
-/// One connection: read command lines, reply per line, until quit,
-/// shutdown, disconnect, or server stop.
-fn handle_connection(
+// ---------------------------------------------------------------------
+// The v2 serving machinery: demux + pool + control.
+// ---------------------------------------------------------------------
+
+/// The shared half of one v2 connection: its registry id and the write
+/// half every replying thread goes through. Frames are written whole
+/// under the lock, so replies from different pool workers never
+/// interleave mid-frame.
+struct V2Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl V2Conn {
+    /// Writes one whole frame. The socket is nonblocking (O_NONBLOCK is
+    /// a property of the file description the demux's read half shares,
+    /// so the write half cannot be switched back), which means a full
+    /// send buffer surfaces as `WouldBlock` mid-frame — and a torn
+    /// frame would desynchronize the whole binary stream. So this loops
+    /// until every byte is out, yielding (then briefly sleeping) while
+    /// the peer drains; the per-connection writer lock makes the stall
+    /// back-pressure exactly the senders targeting this connection.
+    fn send(&self, corr: u64, body: &FrameBody) -> io::Result<()> {
+        let bytes = frame::encode_frame(corr, body);
+        let mut writer = self.writer.lock().expect("conn writer lock");
+        let mut at = 0;
+        let mut stalls = 0u32;
+        while at < bytes.len() {
+            match writer.write(&bytes[at..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    at += n;
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    stalls = stalls.saturating_add(1);
+                    if stalls < 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn send_error(&self, corr: u64, message: impl Into<String>) {
+        let _ = self.send(
+            corr,
+            &FrameBody::Error {
+                message: message.into(),
+            },
+        );
+    }
+}
+
+/// Work routed to the tenant-keyed pool.
+enum PoolJob {
+    Lease {
+        conn: Arc<V2Conn>,
+        corr: u64,
+        tenant: u64,
+        count: u128,
+    },
+    Reset {
+        conn: Arc<V2Conn>,
+        corr: u64,
+        tenant: u64,
+    },
+    /// Ack once every prior job on this worker is fully served.
+    Barrier { done: SyncSender<()> },
+}
+
+/// Work routed to the control lane.
+enum CtrlJob {
+    Drain { conn: Arc<V2Conn>, corr: u64 },
+    Summary { conn: Arc<V2Conn>, corr: u64 },
+    Shutdown { conn: Arc<V2Conn>, corr: u64 },
+    Halt,
+}
+
+/// Arcs that fit one v2 lease-reply frame: the fixed fields plus 32
+/// bytes per arc must stay under [`frame::MAX_PAYLOAD`], or the encoder
+/// would emit a frame the peer must reject as corrupt.
+const MAX_REPLY_ARCS: usize = (frame::MAX_PAYLOAD as usize - 64) / 32;
+
+fn lease_resp(reply: &LeaseReply) -> FrameBody {
+    // A grant fragmented into more arcs than one frame can carry (only
+    // the Random algorithm's point-per-ID leases get near this) must
+    // become a *typed* error the client can read — never an over-cap
+    // frame that kills the connection as a framing violation.
+    if reply.arcs.len() > MAX_REPLY_ARCS {
+        return FrameBody::Error {
+            message: format!(
+                "lease fragmented into {} arcs, more than one v2 frame carries \
+                 (max {MAX_REPLY_ARCS}); request fewer IDs per lease",
+                reply.arcs.len()
+            ),
+        };
+    }
+    FrameBody::LeaseResp {
+        tenant: reply.tenant,
+        granted: reply.granted,
+        arcs: reply
+            .arcs
+            .iter()
+            .map(|a| (a.start.value(), a.len))
+            .collect(),
+        error: reply.error.as_ref().map(|e| e.to_string()),
+    }
+}
+
+/// One pool worker: executes tenant-keyed jobs against the shared
+/// service, writing each reply frame straight to its connection.
+fn pool_worker(state: Arc<ServerState>, rx: Receiver<PoolJob>, local_addr: SocketAddr) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            PoolJob::Lease {
+                conn,
+                corr,
+                tenant,
+                count,
+            } => {
+                let reply = state
+                    .service
+                    .read()
+                    .expect("service lock")
+                    .as_ref()
+                    .map(|service| service.lease(tenant, count));
+                match reply {
+                    // The halt_after_persists hook fired: die between
+                    // the write-ahead persist and the reply.
+                    Some(reply) if reply.halted => crash_server(&state, local_addr),
+                    Some(reply) => {
+                        let _ = conn.send(corr, &lease_resp(&reply));
+                    }
+                    None => conn.send_error(corr, "shutting down"),
+                }
+            }
+            PoolJob::Reset { conn, corr, tenant } => {
+                let served = {
+                    let service = state.service.read().expect("service lock");
+                    service.as_ref().map(|s| s.reset_tenant(tenant)).is_some()
+                };
+                if served {
+                    let _ = conn.send(corr, &FrameBody::ResetResp { tenant });
+                } else {
+                    conn.send_error(corr, "shutting down");
+                }
+            }
+            PoolJob::Barrier { done } => {
+                let _ = done.send(());
+            }
+        }
+    }
+}
+
+/// Acks from every pool worker once all previously routed jobs are
+/// fully served (each worker replies before taking its next job).
+fn pool_barrier(pool_txs: &[SyncSender<PoolJob>]) {
+    let barriers: Vec<Receiver<()>> = pool_txs
+        .iter()
+        .map(|tx| {
+            let (done, rx) = sync_channel(1);
+            // A closed queue means the pool is already gone (server
+            // coming down); nothing left to wait for on that worker.
+            let _ = tx.send(PoolJob::Barrier { done });
+            rx
+        })
+        .collect();
+    for rx in barriers {
+        let _ = rx.recv();
+    }
+}
+
+/// The control lane: pool-barriered drain/summary, graceful shutdown,
+/// and the remote crash lever. One thread, so these serializing
+/// operations cannot deadlock each other on the pool barrier.
+fn control_worker(
+    state: Arc<ServerState>,
+    rx: Receiver<CtrlJob>,
+    pool_txs: Vec<SyncSender<PoolJob>>,
+    report_tx: SyncSender<ServiceReport>,
+    local_addr: SocketAddr,
+) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            CtrlJob::Drain { conn, corr } => {
+                // "Everything submitted before me": queued pool jobs
+                // first, then the service's own shard barrier.
+                pool_barrier(&pool_txs);
+                let drained = {
+                    let service = state.service.read().expect("service lock");
+                    service.as_ref().map(|s| s.drain()).is_some()
+                };
+                if drained {
+                    let _ = conn.send(corr, &FrameBody::DrainResp);
+                } else {
+                    conn.send_error(corr, "shutting down");
+                }
+            }
+            CtrlJob::Summary { conn, corr } => {
+                pool_barrier(&pool_txs);
+                let report = {
+                    let service = state.service.read().expect("service lock");
+                    service.as_ref().map(|s| s.summary())
+                };
+                match report {
+                    Some(report) => {
+                        let _ = conn.send(corr, &FrameBody::SummaryResp(wire_summary(&report)));
+                    }
+                    None => conn.send_error(corr, "shutting down"),
+                }
+            }
+            CtrlJob::Shutdown { conn, corr } => {
+                state.stopping.store(true, Ordering::SeqCst);
+                // Serve what the pool already holds, then take the
+                // service (the write lock waits out in-flight leases).
+                pool_barrier(&pool_txs);
+                let service = state.service.write().expect("service lock").take();
+                match service {
+                    Some(service) => {
+                        let report = service.shutdown();
+                        let _ = conn.send(corr, &FrameBody::SummaryResp(wire_summary(&report)));
+                        let _ = report_tx.send(report);
+                        // Unblock sibling connections and the accept loop.
+                        state.sever_all();
+                        let _ = TcpStream::connect(local_addr);
+                        return;
+                    }
+                    None => conn.send_error(corr, "shutting down"),
+                }
+            }
+            CtrlJob::Halt => {
+                crash_server(&state, local_addr);
+                return;
+            }
+        }
+    }
+}
+
+/// One connection as the demux tracks it.
+struct DemuxConn {
+    conn_id: u64,
     stream: TcpStream,
+    shared: Arc<V2Conn>,
+    buf: Vec<u8>,
+    /// First byte seen and judged to be v2.
+    sniffed: bool,
+    /// Handshake frame validated and answered.
+    hello_done: bool,
+}
+
+/// What a pump pass decided about one connection.
+enum ConnFate {
+    Keep,
+    /// Deregister and drop (EOF, error, or protocol violation).
+    Remove,
+    /// First byte says v1: hand the buffered bytes + socket to a
+    /// blocking line-protocol handler thread.
+    HandOffV1(Vec<u8>),
+}
+
+/// The v2 demux: every open v2 (or not-yet-sniffed) connection lives
+/// here, read nonblocking in a rotation — no thread per connection.
+/// Complete frames are dispatched to the pool/control lanes; v1
+/// connections are detected on their first byte and handed off. The
+/// loop spins with `yield` while traffic flows and backs off to short
+/// sleeps when everything is quiet.
+#[allow(clippy::too_many_arguments)]
+fn demux_loop(
+    state: Arc<ServerState>,
+    register_rx: Receiver<TcpStream>,
+    pool_txs: Vec<SyncSender<PoolJob>>,
+    ctrl_tx: SyncSender<CtrlJob>,
+    accept_v2: bool,
+    report_tx: SyncSender<ServiceReport>,
+    local_addr: SocketAddr,
+) {
+    let mut conns: Vec<DemuxConn> = Vec::new();
+    let mut v1_handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut scratch = [0u8; 16384];
+    let mut idle_passes = 0u32;
+    while !state.stopping.load(Ordering::SeqCst) {
+        let mut progress = false;
+        // Adopt newly accepted connections.
+        while let Ok(stream) = register_rx.try_recv() {
+            progress = true;
+            let Some(conn_id) = state.register(&stream) else {
+                continue; // racing a shutdown; already severed
+            };
+            let Ok(writer) = stream.try_clone() else {
+                state.deregister(conn_id);
+                continue;
+            };
+            conns.push(DemuxConn {
+                conn_id,
+                stream,
+                shared: Arc::new(V2Conn {
+                    writer: Mutex::new(writer),
+                }),
+                buf: Vec::new(),
+                sniffed: false,
+                hello_done: false,
+            });
+        }
+        // Pump every connection.
+        let mut i = 0;
+        while i < conns.len() {
+            let (fate, moved) = pump_conn(
+                &mut conns[i],
+                &mut scratch,
+                &state,
+                &pool_txs,
+                &ctrl_tx,
+                accept_v2,
+            );
+            progress |= moved;
+            match fate {
+                ConnFate::Keep => i += 1,
+                ConnFate::Remove => {
+                    let conn = conns.swap_remove(i);
+                    state.deregister(conn.conn_id);
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    progress = true;
+                }
+                ConnFate::HandOffV1(prefix) => {
+                    let conn = conns.swap_remove(i);
+                    // Back to blocking: the v1 handler thread owns it now.
+                    let _ = conn.stream.set_nonblocking(false);
+                    let state = Arc::clone(&state);
+                    let report_tx = report_tx.clone();
+                    v1_handlers.push(std::thread::spawn(move || {
+                        handle_v1_connection(
+                            conn.stream,
+                            conn.conn_id,
+                            prefix,
+                            state,
+                            report_tx,
+                            local_addr,
+                        );
+                    }));
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            idle_passes = 0;
+        } else {
+            // Hot traffic keeps the loop spinning (yield keeps the
+            // single-core CI container fair); quiet periods back off to
+            // sleeps so an idle server costs ~nothing.
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    // Server is coming down. Do NOT sever the sockets here: the demux
+    // races the stop paths, and the shutdown requester's summary frame
+    // may still be in flight from the control thread — an early
+    // shutdown(2) would turn it into a broken pipe. Dropping our read
+    // fds is safe (registry entries and reply handles keep each socket
+    // alive); the final sever is sever_all's job, which every stop path
+    // performs after the last reply is written.
+    drop(conns);
+    for handle in v1_handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Reads whatever one connection has, sniffs/parses, dispatches. The
+/// bool is "made progress" (bytes moved), for the demux's backoff.
+fn pump_conn(
+    conn: &mut DemuxConn,
+    scratch: &mut [u8],
+    state: &ServerState,
+    pool_txs: &[SyncSender<PoolJob>],
+    ctrl_tx: &SyncSender<CtrlJob>,
+    accept_v2: bool,
+) -> (ConnFate, bool) {
+    let mut progress = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return (ConnFate::Remove, true),
+            Ok(n) => {
+                progress = true;
+                conn.buf.extend_from_slice(&scratch[..n]);
+                if !conn.sniffed {
+                    if conn.buf[0] != frame::MAGIC[0] {
+                        // A text byte: this is a v1 client.
+                        return (ConnFate::HandOffV1(std::mem::take(&mut conn.buf)), true);
+                    }
+                    conn.sniffed = true;
+                    if !accept_v2 {
+                        conn.shared
+                            .send_error(0, "protocol v2 is disabled on this listener");
+                        return (ConnFate::Remove, true);
+                    }
+                }
+                // Drain complete frames off the buffer.
+                loop {
+                    match frame::decode_frame(&conn.buf) {
+                        Ok(None) => break,
+                        Ok(Some((f, used))) => {
+                            conn.buf.drain(..used);
+                            if !dispatch_frame(conn, f, state, pool_txs, ctrl_tx) {
+                                return (ConnFate::Remove, true);
+                            }
+                        }
+                        Err(e) => {
+                            // Framing errors are connection-fatal: a
+                            // binary stream cannot be resynchronized.
+                            conn.shared.send_error(0, e.to_string());
+                            return (ConnFate::Remove, true);
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (ConnFate::Keep, progress),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return (ConnFate::Remove, true),
+        }
+    }
+}
+
+/// Routes one decoded frame. `false` severs the connection.
+fn dispatch_frame(
+    conn: &mut DemuxConn,
+    f: frame::Frame,
+    state: &ServerState,
+    pool_txs: &[SyncSender<PoolJob>],
+    ctrl_tx: &SyncSender<CtrlJob>,
+) -> bool {
+    if !conn.hello_done {
+        // Version negotiation: the first frame must be a hello naming a
+        // version and universe this server serves.
+        return match f.body {
+            FrameBody::Hello { version, space } => {
+                if version != frame::VERSION {
+                    conn.shared.send_error(
+                        0,
+                        format!(
+                            "unsupported protocol version {version} (this server speaks {})",
+                            frame::VERSION
+                        ),
+                    );
+                    false
+                } else if space != state.space.size() {
+                    conn.shared.send_error(
+                        0,
+                        format!(
+                            "universe mismatch: server is {}, client asked for {space}",
+                            state.space.size()
+                        ),
+                    );
+                    false
+                } else {
+                    conn.hello_done = true;
+                    conn.shared
+                        .send(
+                            0,
+                            &FrameBody::HelloOk {
+                                version: frame::VERSION,
+                                space: state.space.size(),
+                            },
+                        )
+                        .is_ok()
+                }
+            }
+            other => {
+                conn.shared
+                    .send_error(0, format!("expected hello, got {} frame", other.name()));
+                false
+            }
+        };
+    }
+    let corr = f.corr;
+    match f.body {
+        FrameBody::LeaseReq { tenant, count } => {
+            let worker = (tenant % pool_txs.len() as u64) as usize;
+            let _ = pool_txs[worker].send(PoolJob::Lease {
+                conn: Arc::clone(&conn.shared),
+                corr,
+                tenant,
+                count,
+            });
+            true
+        }
+        FrameBody::ResetReq { tenant } => {
+            let worker = (tenant % pool_txs.len() as u64) as usize;
+            let _ = pool_txs[worker].send(PoolJob::Reset {
+                conn: Arc::clone(&conn.shared),
+                corr,
+                tenant,
+            });
+            true
+        }
+        FrameBody::DrainReq => {
+            let _ = ctrl_tx.send(CtrlJob::Drain {
+                conn: Arc::clone(&conn.shared),
+                corr,
+            });
+            true
+        }
+        FrameBody::SummaryReq => {
+            let _ = ctrl_tx.send(CtrlJob::Summary {
+                conn: Arc::clone(&conn.shared),
+                corr,
+            });
+            true
+        }
+        FrameBody::ShutdownReq => {
+            let _ = ctrl_tx.send(CtrlJob::Shutdown {
+                conn: Arc::clone(&conn.shared),
+                corr,
+            });
+            true
+        }
+        FrameBody::HaltReq => {
+            let _ = ctrl_tx.send(CtrlJob::Halt);
+            true
+        }
+        other => {
+            conn.shared.send_error(
+                0,
+                format!("unexpected {} frame from a client", other.name()),
+            );
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The v1 line-protocol path (handed off by the demux after the sniff).
+// ---------------------------------------------------------------------
+
+/// One v1 connection: read command lines, reply per line, until quit,
+/// shutdown, disconnect, or server stop. `prefix` is whatever the
+/// demux read before deciding this was a text client.
+fn handle_v1_connection(
+    stream: TcpStream,
+    conn_id: u64,
+    prefix: Vec<u8>,
     state: Arc<ServerState>,
     report_tx: SyncSender<ServiceReport>,
     local_addr: SocketAddr,
 ) {
     let Ok(mut out) = stream.try_clone() else {
+        state.deregister(conn_id);
         return;
     };
-    let conn_id = state.next_conn.fetch_add(1, Ordering::SeqCst);
-    if let Ok(registered) = stream.try_clone() {
-        state
-            .conns
-            .lock()
-            .expect("conns lock")
-            .insert(conn_id, registered);
-    }
-    // Close the register/sever race: a shutdown that drained `conns`
-    // *before* the insert above set `stopping` *before* draining, so
-    // this check catches exactly the registrations the drain missed —
-    // otherwise this handler's blocked read would hang the accept
-    // thread's join forever.
-    if state.stopping.load(Ordering::SeqCst) {
-        state.conns.lock().expect("conns lock").remove(&conn_id);
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        return;
-    }
-    run_connection(stream, &mut out, &state, &report_tx, local_addr);
+    let reader = BufReader::new(io::Cursor::new(prefix).chain(stream));
+    run_connection(reader, &mut out, &state, &report_tx, local_addr);
     // Deregister so long-lived servers don't accumulate one dup'd fd
     // per departed client. (After a shutdown drain this is a no-op.)
-    state.conns.lock().expect("conns lock").remove(&conn_id);
+    state.deregister(conn_id);
 }
 
-/// The per-connection command loop (split out so the caller can pair
+/// The per-connection v1 command loop (split out so the caller can pair
 /// registration with guaranteed deregistration).
-fn run_connection(
-    stream: TcpStream,
+fn run_connection<R: BufRead>(
+    reader: R,
     out: &mut TcpStream,
     state: &ServerState,
     report_tx: &SyncSender<ServiceReport>,
     local_addr: SocketAddr,
 ) {
-    let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
         let reply = match Command::parse(&line) {
@@ -204,8 +892,20 @@ fn run_connection(
             Ok(None) => continue,
             Ok(Some(Command::Quit)) => break,
             Ok(Some(Command::Lease { tenant, count })) => {
-                match state.service.read().expect("service lock").as_ref() {
-                    Some(service) => render_lease(&service.lease(tenant, count)),
+                let reply = state
+                    .service
+                    .read()
+                    .expect("service lock")
+                    .as_ref()
+                    .map(|service| service.lease(tenant, count));
+                match reply {
+                    // The halt_after_persists hook: die instead of
+                    // replying (see the module docs).
+                    Some(reply) if reply.halted => {
+                        crash_server(state, local_addr);
+                        return;
+                    }
+                    Some(reply) => render_lease(&reply),
                     None => "error: shutting down".into(),
                 }
             }
@@ -251,8 +951,12 @@ fn run_connection(
     }
 }
 
-/// A blocking line-protocol client for a [`TcpServer`] (or any process
-/// speaking the `uuidp serve` grammar).
+// ---------------------------------------------------------------------
+// Clients.
+// ---------------------------------------------------------------------
+
+/// A blocking v1 line-protocol client for a [`TcpServer`] (or any
+/// process speaking the `uuidp serve` grammar).
 pub struct RemoteClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -332,6 +1036,77 @@ impl RemoteClient {
     }
 }
 
+/// One client, either protocol: the v1 [`RemoteClient`] and the v2
+/// multiplexing [`Client`] behind a protocol-agnostic surface, so
+/// consumers select a wire protocol with a [`ProtoVersion`] flag. Both
+/// arms return the same typed [`WireLease`] / [`WireSummary`].
+pub enum DialedClient {
+    /// The v1 text line protocol.
+    V1(RemoteClient),
+    /// The v2 binary framed protocol (multiplexing-capable).
+    V2(Client),
+}
+
+impl DialedClient {
+    /// Connects to `addr` speaking `proto`.
+    pub fn connect(addr: SocketAddr, space: IdSpace, proto: ProtoVersion) -> io::Result<Self> {
+        Ok(match proto {
+            ProtoVersion::V1 => DialedClient::V1(RemoteClient::connect(addr, space)?),
+            ProtoVersion::V2 => DialedClient::V2(Client::connect(addr, space)?),
+        })
+    }
+
+    /// Which protocol this client speaks.
+    pub fn protocol(&self) -> ProtoVersion {
+        match self {
+            DialedClient::V1(_) => ProtoVersion::V1,
+            DialedClient::V2(_) => ProtoVersion::V2,
+        }
+    }
+
+    /// Leases `count` IDs for `tenant`.
+    pub fn lease(&mut self, tenant: u64, count: u128) -> io::Result<WireLease> {
+        match self {
+            DialedClient::V1(c) => c.lease(tenant, count),
+            DialedClient::V2(c) => c.lease(tenant, count),
+        }
+    }
+
+    /// Recycles `tenant`'s generator into a fresh epoch.
+    pub fn reset(&mut self, tenant: u64) -> io::Result<()> {
+        match self {
+            DialedClient::V1(c) => c.reset(tenant),
+            DialedClient::V2(c) => c.reset(tenant),
+        }
+    }
+
+    /// Blocks until the server has processed every prior request.
+    pub fn drain(&mut self) -> io::Result<()> {
+        match self {
+            DialedClient::V1(c) => c.drain(),
+            DialedClient::V2(c) => c.drain(),
+        }
+    }
+
+    /// Closes this connection; the server keeps running. (For a v2
+    /// clone this drops one handle; the connection closes with the
+    /// last.)
+    pub fn quit(self) -> io::Result<()> {
+        match self {
+            DialedClient::V1(c) => c.quit(),
+            DialedClient::V2(_) => Ok(()),
+        }
+    }
+
+    /// Stops the whole server and returns its final summary.
+    pub fn shutdown(self) -> io::Result<WireSummary> {
+        match self {
+            DialedClient::V1(c) => c.shutdown(),
+            DialedClient::V2(c) => c.shutdown(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +1147,118 @@ mod tests {
             report.audit.counts.duplicate_ids, summary.duplicate_ids,
             "wire summary diverged from the server report"
         );
+    }
+
+    #[test]
+    fn v2_client_speaks_the_whole_surface() {
+        let (server, space) = server(40);
+        let client = Client::connect(server.local_addr(), space).unwrap();
+        let lease = client.lease(3, 100).unwrap();
+        assert_eq!(lease.tenant, 3);
+        assert_eq!(lease.granted, 100);
+        assert_eq!(lease.arcs.iter().map(|a| a.len).sum::<u128>(), 100);
+        client.reset(3).unwrap();
+        assert_eq!(client.lease(3, 50).unwrap().granted, 50);
+        client.drain().unwrap();
+        // The live summary sees everything served so far…
+        let live = client.summary().unwrap();
+        assert_eq!(live.issued_ids, 150);
+        assert_eq!(live.leases, 2);
+        assert_eq!(
+            live.recorded_ids, 150,
+            "drained service must have a caught-up audit"
+        );
+        // …and the shutdown summary is the same story, finalized.
+        let summary = client.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, 150);
+        assert_eq!(summary.errors, 0);
+        let report = server.join().expect("server report");
+        assert_eq!(report.issued_ids, 150);
+    }
+
+    #[test]
+    fn v2_multiplexes_interleaved_tenants_over_one_connection() {
+        let (server, space) = server(44);
+        let addr = server.local_addr();
+        let client = Client::connect(addr, space).unwrap();
+        assert_eq!(server.live_connections(), 1);
+        let workers: Vec<_> = (0..6u64)
+            .map(|tenant| {
+                let client = client.clone();
+                std::thread::spawn(move || {
+                    let mut total = 0u128;
+                    for round in 0..20u128 {
+                        total += client.lease(tenant, 16 + round).unwrap().granted;
+                    }
+                    total
+                })
+            })
+            .collect();
+        let issued: u128 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        // Still exactly one connection carried all six tenants.
+        assert_eq!(server.live_connections(), 1, "multiplexing leaked conns");
+        client.drain().unwrap();
+        let summary = client.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, issued);
+        assert_eq!(summary.leases, 120);
+        assert_eq!(summary.duplicate_ids, 0, "independent tenants collided");
+        assert!(server.join().is_some());
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_clients_share_one_server() {
+        // The negotiation acceptance scenario: a v1 text client and a
+        // v2 binary client served by the same TcpServer, their traffic
+        // audited into one consistent total.
+        let (server, space) = server(44);
+        let addr = server.local_addr();
+        let mut v1 = RemoteClient::connect(addr, space).unwrap();
+        let v2 = Client::connect(addr, space).unwrap();
+        let mut issued = 0u128;
+        for round in 0..10u128 {
+            issued += v1.lease(0, 10 + round).unwrap().granted;
+            issued += v2.lease(1, 20 + round).unwrap().granted;
+        }
+        // Both protocols see the same live totals.
+        v2.drain().unwrap();
+        let live = v2.summary().unwrap();
+        assert_eq!(live.issued_ids, issued);
+        assert_eq!(live.leases, 20);
+        assert_eq!(live.recorded_ids, issued);
+        // A v1 shutdown finalizes for everyone.
+        let summary = v1.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, issued);
+        assert_eq!(summary.duplicate_ids, 0);
+        let report = server.join().expect("server report");
+        assert_eq!(report.issued_ids, issued);
+    }
+
+    #[test]
+    fn v2_handshake_rejects_universe_mismatch_with_a_typed_error() {
+        let (server, _space) = server(40);
+        let wrong = IdSpace::with_bits(20).unwrap();
+        let err = Client::connect(server.local_addr(), wrong).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("universe mismatch"), "got: {err}");
+        assert!(server.halt().is_some());
+    }
+
+    #[test]
+    fn v2_can_be_disabled_leaving_a_legacy_listener() {
+        let space = IdSpace::with_bits(40).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let options = ServerOptions {
+            accept_v2: false,
+            v2_workers: 2,
+        };
+        let server = TcpServer::bind_with("127.0.0.1:0", config, options).unwrap();
+        let err = Client::connect(server.local_addr(), space).unwrap_err();
+        assert!(err.to_string().contains("disabled"), "got: {err}");
+        // v1 still works fine.
+        let mut v1 = RemoteClient::connect(server.local_addr(), space).unwrap();
+        assert_eq!(v1.lease(0, 7).unwrap().granted, 7);
+        v1.shutdown().unwrap();
+        server.join().unwrap();
     }
 
     #[test]
@@ -416,10 +1303,28 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_v2_frames_sever_the_connection_not_the_server() {
+        let (server, space) = server(32);
+        let addr = server.local_addr();
+        // A raw socket that leads with the v2 magic then turns to soup.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut garbage = frame::MAGIC.to_vec();
+        garbage.extend_from_slice(&[0xFF; 64]);
+        raw.write_all(&garbage).unwrap();
+        let mut reply = Vec::new();
+        let _ = raw.read_to_end(&mut reply); // server severs after the error frame
+                                             // The server is still healthy for well-formed clients.
+        let client = Client::connect(addr, space).unwrap();
+        assert_eq!(client.lease(0, 5).unwrap().granted, 5);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
     fn departed_connections_are_deregistered() {
         // Churning clients must not accumulate registered fds: after
         // every client quits, the live-connection registry drains back
-        // to zero (the handler deregisters on exit).
+        // to zero (v1 handlers and the v2 demux both deregister).
         let (server, space) = server(32);
         let addr = server.local_addr();
         for tenant in 0..5u64 {
@@ -427,7 +1332,12 @@ mod tests {
             assert_eq!(client.lease(tenant, 8).unwrap().granted, 8);
             client.quit().unwrap();
         }
-        // Handlers deregister asynchronously after the quit line.
+        for tenant in 0..5u64 {
+            let client = Client::connect(addr, space).unwrap();
+            assert_eq!(client.lease(tenant, 8).unwrap().granted, 8);
+            drop(client); // EOF: the demux reaps it
+        }
+        // Handlers deregister asynchronously after the quit/EOF.
         for _ in 0..200 {
             if server.live_connections() == 0 {
                 break;
@@ -436,7 +1346,7 @@ mod tests {
         }
         assert_eq!(server.live_connections(), 0, "fd registry leaked");
         let closer = RemoteClient::connect(addr, space).unwrap();
-        assert_eq!(closer.shutdown().unwrap().issued_ids, 40);
+        assert_eq!(closer.shutdown().unwrap().issued_ids, 80);
         server.join().unwrap();
     }
 
@@ -467,17 +1377,107 @@ mod tests {
     }
 
     #[test]
+    fn remote_halt_is_the_crash_lever_over_the_wire() {
+        let (server, space) = server(36);
+        let addr = server.local_addr();
+        let client = Client::connect(addr, space).unwrap();
+        assert_eq!(client.lease(0, 25).unwrap().granted, 25);
+        let watcher = Client::connect(addr, space).unwrap();
+        client.halt().unwrap();
+        // Siblings are severed, no summary anywhere, and join() has no
+        // report to hand back — exactly like an in-process halt.
+        let err = watcher.lease(0, 1).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            "remote halt should sever siblings, got {err:?}"
+        );
+        assert!(server.join().is_none(), "halt must not produce a report");
+    }
+
+    #[test]
     fn sibling_connections_are_unblocked_by_shutdown() {
         let (server, space) = server(36);
         let addr = server.local_addr();
         let idle = RemoteClient::connect(addr, space).unwrap();
+        let idle_v2 = Client::connect(addr, space).unwrap();
         let mut active = RemoteClient::connect(addr, space).unwrap();
         active.lease(0, 10).unwrap();
         active.shutdown().unwrap();
-        // The idle connection was severed server-side; the server joins
-        // without waiting on it, and the idle client sees EOF.
-        let report = server.join().expect("report despite idle sibling");
+        // The idle connections were severed server-side; the server
+        // joins without waiting on them.
+        let report = server.join().expect("report despite idle siblings");
         assert_eq!(report.issued_ids, 10);
         drop(idle);
+        drop(idle_v2);
+    }
+
+    #[test]
+    fn oversized_lease_replies_become_typed_errors_not_corrupt_frames() {
+        let space = IdSpace::with_bits(64).unwrap();
+        let arc = uuidp_core::interval::Arc::new(space, uuidp_core::id::Id(0), 1);
+        let huge = LeaseReply {
+            tenant: 1,
+            arcs: vec![arc; MAX_REPLY_ARCS + 1],
+            granted: (MAX_REPLY_ARCS + 1) as u128,
+            error: None,
+            halted: false,
+        };
+        match lease_resp(&huge) {
+            FrameBody::Error { message } => assert!(message.contains("arcs"), "{message}"),
+            other => panic!("expected an error frame, got {}", other.name()),
+        }
+        // A heavily fragmented but frame-sized reply still encodes to a
+        // decodable frame.
+        let ok = LeaseReply {
+            tenant: 1,
+            arcs: vec![arc; 10_000],
+            granted: 10_000,
+            error: None,
+            halted: false,
+        };
+        let bytes = frame::encode_frame(3, &lease_resp(&ok));
+        assert!(frame::decode_frame(&bytes).unwrap().is_some());
+    }
+
+    #[test]
+    fn point_fragmented_random_leases_cross_the_v2_wire() {
+        // The Random algorithm leases one arc per ID — the worst-case
+        // reply shape for the framed protocol.
+        let space = IdSpace::with_bits(24).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Random, space);
+        let server = TcpServer::bind("127.0.0.1:0", config).unwrap();
+        let client = Client::connect(server.local_addr(), space).unwrap();
+        let lease = client.lease(0, 3000).unwrap();
+        assert_eq!(lease.granted, 3000);
+        assert!(
+            lease.arcs.len() >= 2900,
+            "random leases should fragment per ID, got {} arcs",
+            lease.arcs.len()
+        );
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dialed_client_serves_both_protocols_identically() {
+        for proto in [ProtoVersion::V1, ProtoVersion::V2] {
+            let (server, space) = server(40);
+            let mut client = DialedClient::connect(server.local_addr(), space, proto).unwrap();
+            assert_eq!(client.protocol(), proto);
+            let lease = client.lease(5, 64).unwrap();
+            assert_eq!(lease.granted, 64, "{proto}");
+            client.reset(5).unwrap();
+            client.drain().unwrap();
+            let summary = client.shutdown().unwrap();
+            assert_eq!(summary.issued_ids, 64, "{proto}");
+            assert_eq!(summary.leases, 1, "{proto}");
+            server.join().unwrap();
+        }
     }
 }

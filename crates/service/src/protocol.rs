@@ -94,19 +94,11 @@ pub fn render_lease(reply: &LeaseReply) -> String {
     out
 }
 
-/// A lease reply as reconstructed on the client side of the wire. The
-/// server's typed `GeneratorError` travels as its display text.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireLease {
-    /// The tenant the lease was served for.
-    pub tenant: u64,
-    /// Total IDs granted.
-    pub granted: u128,
-    /// Granted arcs in emission order.
-    pub arcs: Vec<Arc>,
-    /// Generator error text, if the grant fell short.
-    pub error: Option<String>,
-}
+/// A lease reply as reconstructed on the client side of the wire — the
+/// same typed [`uuidp_client::Lease`] the v2 binary client returns, so
+/// consumers are protocol-agnostic. The server's typed `GeneratorError`
+/// travels as its display text either way.
+pub type WireLease = uuidp_client::Lease;
 
 /// Parses a [`render_lease`] line back into its parts.
 pub fn parse_lease_line(line: &str, space: IdSpace) -> Result<WireLease, String> {
@@ -155,64 +147,58 @@ pub fn parse_lease_line(line: &str, space: IdSpace) -> Result<WireLease, String>
     })
 }
 
-/// The shutdown summary as it crosses the wire: the aggregate totals of
-/// a [`ServiceReport`]. Per-thread audit detail stays server-side; the
-/// wire carries the merged view (which is why an [`AuditReport`]
+/// A service summary as it crosses the wire: the aggregate totals of a
+/// [`ServiceReport`] — the same typed [`uuidp_client::Summary`] the v2
+/// binary client returns. Per-thread audit detail stays server-side;
+/// the wire carries the merged view (which is why an [`AuditReport`]
 /// rebuilt from this has an empty `per_thread`).
 ///
 /// [`AuditReport`]: crate::service::AuditReport
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WireSummary {
-    /// Total IDs issued.
-    pub issued_ids: u128,
-    /// Leases served.
-    pub leases: u64,
-    /// Leases that hit a generator error.
-    pub errors: u64,
-    /// Median per-lease issue cost, nanoseconds.
-    pub p50_ns: f64,
-    /// 99th-percentile per-lease issue cost, nanoseconds.
-    pub p99_ns: f64,
-    /// Mean per-lease issue cost, nanoseconds.
-    pub mean_ns: f64,
-    /// Cross-owner duplicate IDs found by the audit.
-    pub duplicate_ids: u128,
-    /// Audit records that overlapped foreign material on arrival.
-    pub flagged_records: u64,
-    /// Total IDs recorded by the audit.
-    pub recorded_ids: u128,
-    /// Total segments recorded by the audit.
-    pub recorded_arcs: u64,
-    /// Routed lease batches the audit processed.
-    pub records: u64,
-    /// Worst tap-to-audit lag, nanoseconds.
-    pub max_lag_ns: u128,
-    /// Mean tap-to-audit lag, nanoseconds.
-    pub mean_lag_ns: f64,
-    /// Audit pipeline threads that produced the merged totals.
-    pub audit_threads: usize,
+pub type WireSummary = uuidp_client::Summary;
+
+/// Projects a [`ServiceReport`] onto its wire summary — the one place
+/// the numbers are chosen, so the v1 `bye` line and the v2 summary
+/// frame can never disagree about the same shutdown.
+pub fn wire_summary(report: &ServiceReport) -> WireSummary {
+    WireSummary {
+        issued_ids: report.issued_ids,
+        leases: report.leases,
+        errors: report.errors,
+        p50_ns: report.latency.quantile_ns(0.50),
+        p99_ns: report.latency.quantile_ns(0.99),
+        mean_ns: report.latency.mean_ns(),
+        duplicate_ids: report.audit.counts.duplicate_ids,
+        flagged_records: report.audit.counts.flagged_records,
+        recorded_ids: report.audit.counts.recorded_ids,
+        recorded_arcs: report.audit.counts.recorded_arcs,
+        records: report.audit.records,
+        max_lag_ns: report.audit.max_lag.as_nanos(),
+        mean_lag_ns: report.audit.mean_lag_ns,
+        audit_threads: report.audit.per_thread.len(),
+    }
 }
 
 /// Renders the one-line `bye …` shutdown summary.
 pub fn render_summary(report: &ServiceReport) -> String {
+    let s = wire_summary(report);
     format!(
         "bye issued={} leases={} errors={} p50_ns={:.1} p99_ns={:.1} mean_ns={:.1} \
          dup={} flagged={} rec_ids={} rec_arcs={} records={} max_lag_ns={} \
          mean_lag_ns={:.1} audit_threads={}",
-        report.issued_ids,
-        report.leases,
-        report.errors,
-        report.latency.quantile_ns(0.50),
-        report.latency.quantile_ns(0.99),
-        report.latency.mean_ns(),
-        report.audit.counts.duplicate_ids,
-        report.audit.counts.flagged_records,
-        report.audit.counts.recorded_ids,
-        report.audit.counts.recorded_arcs,
-        report.audit.records,
-        report.audit.max_lag.as_nanos(),
-        report.audit.mean_lag_ns,
-        report.audit.per_thread.len(),
+        s.issued_ids,
+        s.leases,
+        s.errors,
+        s.p50_ns,
+        s.p99_ns,
+        s.mean_ns,
+        s.duplicate_ids,
+        s.flagged_records,
+        s.recorded_ids,
+        s.recorded_arcs,
+        s.records,
+        s.max_lag_ns,
+        s.mean_lag_ns,
+        s.audit_threads,
     )
 }
 
@@ -318,6 +304,7 @@ mod tests {
             arcs: vec![Arc::new(s, Id(100), 50), Arc::new(s, Id(4000), 7)],
             granted: 57,
             error: None,
+            halted: false,
         };
         let line = render_lease(&reply);
         let wire = parse_lease_line(&line, s).unwrap();
@@ -335,6 +322,7 @@ mod tests {
             arcs: vec![],
             granted: 0,
             error: Some(uuidp_core::traits::GeneratorError::Exhausted { generated: 16 }),
+            halted: false,
         };
         let line = render_lease(&reply);
         let wire = parse_lease_line(&line, s).unwrap();

@@ -40,6 +40,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -85,6 +86,14 @@ pub struct DurabilityConfig {
     /// durability; process-crash safety needs only the default
     /// rename atomicity).
     pub sync: bool,
+    /// Crash-injection test hook: when the `N`th write-ahead persist
+    /// (counted across all shards) lands, the lease that triggered it
+    /// comes back with [`LeaseReply::halted`] set — and a `TcpServer`
+    /// seeing that flag suppresses the reply and kills the whole node,
+    /// simulating a crash in the exact window the in-process halt can
+    /// never hit: *after* the write-ahead record, *before* the reply.
+    /// In-process consumers ignore the flag. `None` disables the hook.
+    pub halt_after_persists: Option<u64>,
 }
 
 impl DurabilityConfig {
@@ -94,6 +103,7 @@ impl DurabilityConfig {
             dir: dir.into(),
             reservation: 4096,
             sync: false,
+            halt_after_persists: None,
         }
     }
 }
@@ -153,6 +163,13 @@ pub struct LeaseReply {
     pub granted: u128,
     /// The generator error, if the grant fell short of the request.
     pub error: Option<GeneratorError>,
+    /// Crash-injection marker: this lease tripped
+    /// [`DurabilityConfig::halt_after_persists`]. The IDs *were* issued
+    /// and the write-ahead record *was* persisted; a `TcpServer` seeing
+    /// this suppresses the reply and halts the node, so the client
+    /// observes a crash between persist and reply. In-process callers
+    /// ignore it.
+    pub halted: bool,
 }
 
 enum ShardMsg {
@@ -171,16 +188,30 @@ enum ShardMsg {
     Checkpoint { done: SyncSender<()> },
     /// Reply once every prior message on this shard is processed.
     Barrier { done: SyncSender<()> },
+    /// Reply with a copy of this shard's running accounting. Doubles as
+    /// a barrier: the snapshot covers every prior message, and every
+    /// audit record for those messages has already been routed.
+    Stats { reply: SyncSender<WorkerStats> },
 }
 
-/// One routed batch of audit material: the pieces of one lease that fall
-/// in the stripes owned by a single audit thread, pre-cut by the shared
-/// [`StripePlan`] so the audit records them with no further routing.
-struct AuditMsg {
-    owner: u64,
-    /// Non-wrapping `[lo, hi)` segments, each inside one owned stripe.
-    segments: Vec<(u128, u128)>,
-    sent: Instant,
+/// One message into an audit pipeline thread.
+enum AuditMsg {
+    /// One routed batch of audit material: the pieces of one lease that
+    /// fall in the stripes owned by a single audit thread, pre-cut by
+    /// the shared [`StripePlan`] so the audit records them with no
+    /// further routing.
+    Record {
+        owner: u64,
+        /// Non-wrapping `[lo, hi)` segments, each inside one owned stripe.
+        segments: Vec<(u128, u128)>,
+        sent: Instant,
+    },
+    /// Reply with a snapshot of this thread's counters so far. Because
+    /// the channel is FIFO, a probe enqueued after a set of records
+    /// observes all of them.
+    Probe {
+        reply: SyncSender<AuditThreadReport>,
+    },
 }
 
 /// What one audit pipeline thread measured: its stripe subset's counters
@@ -279,7 +310,7 @@ struct TenantSlot {
     seq: u64,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct WorkerStats {
     issued_ids: u128,
     leases: u64,
@@ -292,6 +323,9 @@ pub struct IdService {
     space: IdSpace,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<WorkerStats>>,
+    /// Probe taps into the audit pipeline (the workers hold the record
+    /// taps); dropped at shutdown so the audit threads can exit.
+    audit_txs: Vec<SyncSender<AuditMsg>>,
     audit: Vec<JoinHandle<AuditThreadReport>>,
     started: Instant,
 }
@@ -366,6 +400,9 @@ impl IdService {
             audit.push(std::thread::spawn(move || audit_loop(space, stripes, rx)));
         }
 
+        // One write-ahead persist counter across all shards drives the
+        // `halt_after_persists` crash-injection hook.
+        let persists = std::sync::Arc::new(AtomicU64::new(0));
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
@@ -373,13 +410,19 @@ impl IdService {
             shard_txs.push(tx);
             let cfg = config.clone();
             let taps = audit_txs.clone();
-            workers.push(std::thread::spawn(move || worker_loop(cfg, rx, taps, plan)));
+            let persists = std::sync::Arc::clone(&persists);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(cfg, rx, taps, plan, persists)
+            }));
         }
-        drop(audit_txs); // workers hold the only taps: audit exits when they do
+        // The service keeps its own tap clones for summary probes; they
+        // are dropped at shutdown, after the workers', so the audit
+        // threads exit exactly when both record and probe taps are gone.
         IdService {
             space: config.space,
             shard_txs,
             workers,
+            audit_txs,
             audit,
             started: Instant::now(),
         }
@@ -468,6 +511,63 @@ impl IdService {
         self.shard_barrier(|done| ShardMsg::Barrier { done });
     }
 
+    /// A live snapshot of the service's accounting — the same shape as
+    /// the shutdown report, without stopping anything.
+    ///
+    /// The snapshot is *consistent*: the `Stats` round trip to every
+    /// shard is itself a barrier (each shard answers after serving all
+    /// prior requests and routing their audit records), and only then
+    /// are the audit threads probed — FIFO channels put each probe
+    /// behind every record those leases produced. So for a quiesced
+    /// service, `recorded_ids` equals `issued_ids` exactly; under live
+    /// traffic the snapshot covers at least everything submitted before
+    /// the call.
+    pub fn summary(&self) -> ServiceReport {
+        let stats: Vec<Receiver<WorkerStats>> = self
+            .shard_txs
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = sync_channel(1);
+                tx.send(ShardMsg::Stats { reply }).expect("shard alive");
+                rx
+            })
+            .collect();
+        let mut issued_ids = 0u128;
+        let mut leases = 0u64;
+        let mut errors = 0u64;
+        let mut latency = LatencyHistogram::new();
+        for rx in stats {
+            let s = rx.recv().expect("shard alive");
+            issued_ids += s.issued_ids;
+            leases += s.leases;
+            errors += s.errors;
+            latency.merge(&s.latency);
+        }
+        let probes: Vec<Receiver<AuditThreadReport>> = self
+            .audit_txs
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = sync_channel(1);
+                tx.send(AuditMsg::Probe { reply }).expect("audit alive");
+                rx
+            })
+            .collect();
+        let audit = AuditReport::merge(
+            probes
+                .into_iter()
+                .map(|rx| rx.recv().expect("audit alive"))
+                .collect(),
+        );
+        ServiceReport {
+            issued_ids,
+            leases,
+            errors,
+            latency,
+            audit,
+            uptime: self.started.elapsed(),
+        }
+    }
+
     /// Stops the service: closes the request channels, joins the workers
     /// and the audit pipeline, and aggregates their accounting.
     pub fn shutdown(self) -> ServiceReport {
@@ -483,6 +583,9 @@ impl IdService {
             errors += stats.errors;
             latency.merge(&stats.latency);
         }
+        // The workers' record taps are gone; dropping the probe taps
+        // lets the audit threads run dry and exit.
+        drop(self.audit_txs);
         let audit = AuditReport::merge(
             self.audit
                 .into_iter()
@@ -574,7 +677,7 @@ impl AuditTap {
             if batch.is_empty() {
                 continue;
             }
-            let _ = self.taps[t].send(AuditMsg {
+            let _ = self.taps[t].send(AuditMsg::Record {
                 owner,
                 segments: std::mem::take(batch),
                 sent,
@@ -584,10 +687,13 @@ impl AuditTap {
 }
 
 /// One shard's durability state: the shared snapshot store plus the
-/// configured minimum reservation window.
+/// configured minimum reservation window and the cross-shard
+/// write-ahead persist counter behind the crash-injection hook.
 struct Durability {
     store: SnapshotStore,
     reservation: u128,
+    persists: std::sync::Arc<AtomicU64>,
+    halt_after: Option<u64>,
 }
 
 impl Durability {
@@ -617,6 +723,13 @@ impl Durability {
         // the frontier, not wrap it below `generated` (which would
         // silently skip future write-ahead persists).
         slot.frontier = slot.generator.generated().saturating_add(reservation);
+    }
+
+    /// Counts one write-ahead persist toward the crash-injection hook;
+    /// `true` means this is the persist the node must "die" after.
+    fn note_write_ahead(&self) -> bool {
+        let n = self.persists.fetch_add(1, Ordering::SeqCst) + 1;
+        self.halt_after == Some(n)
     }
 }
 
@@ -661,6 +774,7 @@ fn worker_loop(
     rx: Receiver<ShardMsg>,
     taps: Vec<SyncSender<AuditMsg>>,
     plan: StripePlan,
+    persists: std::sync::Arc<AtomicU64>,
 ) -> WorkerStats {
     let algorithm = config.kind.build(config.space);
     let roots = SeedTree::new(config.master_seed);
@@ -669,6 +783,8 @@ fn worker_loop(
     let durability = config.durability.as_ref().map(|d| Durability {
         store: SnapshotStore::with_sync(&d.dir, d.sync).expect("snapshot directory"),
         reservation: d.reservation,
+        persists,
+        halt_after: d.halt_after_persists,
     });
     let mut tap = AuditTap {
         batches: vec![Vec::new(); taps.len()],
@@ -683,7 +799,7 @@ fn worker_loop(
                 count,
                 reply,
             } => {
-                let (granted, error, arcs) = serve(
+                let (granted, error, arcs, halted) = serve(
                     &config,
                     &roots,
                     &mut tenants,
@@ -701,6 +817,7 @@ fn worker_loop(
                     arcs: arcs.unwrap_or_default(),
                     granted,
                     error,
+                    halted,
                 });
             }
             ShardMsg::Issue { tenant, count } => {
@@ -743,6 +860,9 @@ fn worker_loop(
             ShardMsg::Barrier { done } => {
                 let _ = done.send(());
             }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(stats.clone());
+            }
         }
     }
     stats
@@ -756,7 +876,12 @@ fn worker_loop(
 ///
 /// With durability on, the write-ahead rule runs first: if this lease
 /// would emit past the tenant's reservation frontier, a fresh record is
-/// persisted *before* any ID leaves the generator.
+/// persisted *before* any ID leaves the generator. The returned flag is
+/// the crash-injection hook: `true` means this lease's write-ahead
+/// persist was the configured `halt_after_persists`-th one, and the
+/// node should now die *without replying* — note that the fill still
+/// runs first, so the "possibly in the wild" IDs recovery must skip
+/// really were emitted.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     config: &ServiceConfig,
@@ -769,15 +894,17 @@ fn serve(
     tap: &mut AuditTap,
     stats: &mut WorkerStats,
     want_arcs: bool,
-) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>) {
+) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>, bool) {
     let t0 = Instant::now();
     let slot = slot_for(config, roots, tenants, algorithm, durability, tenant);
+    let mut halted = false;
     if let Some(d) = durability {
         // Saturating: the protocol accepts arbitrary u128 counts, and a
         // wrapped sum here would skip exactly the persist the recovery
         // guarantee depends on.
         if slot.generator.generated().saturating_add(count) > slot.frontier {
             d.persist(config.space, tenant, slot, count.max(d.reservation));
+            halted = d.note_write_ahead();
         }
     }
     let error = slot.lease.fill(slot.generator.as_mut(), count).err();
@@ -791,7 +918,7 @@ fn serve(
     stats.errors += error.is_some() as u64;
     // The client copy is off the issue-latency clock.
     let arcs = want_arcs.then(|| slot.lease.arcs().to_vec());
-    (granted, error, arcs)
+    (granted, error, arcs, halted)
 }
 
 /// One audit pipeline thread. It allocates the full stripe array (empty
@@ -803,21 +930,7 @@ fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditTh
     let mut max_lag = Duration::ZERO;
     let mut lag_sum_ns = 0u128;
     let mut records = 0u64;
-    while let Ok(AuditMsg {
-        owner,
-        segments,
-        sent,
-    }) = rx.recv()
-    {
-        let lag = sent.elapsed();
-        max_lag = max_lag.max(lag);
-        lag_sum_ns += lag.as_nanos();
-        records += 1;
-        for (lo, hi) in segments {
-            audit.record_clipped(owner, lo, hi);
-        }
-    }
-    AuditThreadReport {
+    let report = |audit: &LeaseAudit, max_lag, lag_sum_ns: u128, records: u64| AuditThreadReport {
         counts: audit.counts(),
         max_lag,
         mean_lag_ns: if records == 0 {
@@ -826,7 +939,28 @@ fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditTh
             lag_sum_ns as f64 / records as f64
         },
         records,
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            AuditMsg::Record {
+                owner,
+                segments,
+                sent,
+            } => {
+                let lag = sent.elapsed();
+                max_lag = max_lag.max(lag);
+                lag_sum_ns += lag.as_nanos();
+                records += 1;
+                for (lo, hi) in segments {
+                    audit.record_clipped(owner, lo, hi);
+                }
+            }
+            AuditMsg::Probe { reply } => {
+                let _ = reply.send(report(&audit, max_lag, lag_sum_ns, records));
+            }
+        }
     }
+    report(&audit, max_lag, lag_sum_ns, records)
 }
 
 #[cfg(test)]
@@ -1124,6 +1258,7 @@ mod tests {
                 dir: dir.clone(),
                 reservation: 128,
                 sync: false,
+                halt_after_persists: None,
             });
             cfg.shards = 2;
             let service = IdService::start(cfg.clone());
@@ -1165,6 +1300,7 @@ mod tests {
             dir: dir.clone(),
             reservation: 1024,
             sync: false,
+            halt_after_persists: None,
         });
         let space = cfg.space;
         let service = IdService::start(cfg.clone());
@@ -1202,6 +1338,7 @@ mod tests {
             dir: dir.clone(),
             reservation: 64,
             sync: false,
+            halt_after_persists: None,
         });
         let service = IdService::start(cfg.clone());
         lease_ids(&service, 0, 50);
@@ -1281,6 +1418,7 @@ mod tests {
             dir: dir.clone(),
             reservation: 64,
             sync: false,
+            halt_after_persists: None,
         });
         let service = IdService::start(cfg.clone());
         let reply = service.lease(0, u128::MAX);

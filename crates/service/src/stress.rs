@@ -48,7 +48,9 @@ use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 
-use crate::net::{RemoteClient, TcpServer};
+use uuidp_client::ProtoVersion;
+
+use crate::net::{DialedClient, TcpServer};
 use crate::protocol::WireSummary;
 use crate::service::{AuditReport, IdService, ServiceConfig, ServiceReport};
 
@@ -114,6 +116,10 @@ pub struct StressConfig {
     /// with one persistent connection reused for the whole run. `1`
     /// keeps the classic single-connection driver.
     pub remote_workers: usize,
+    /// Which wire protocol remote runs speak: the v1 text line protocol
+    /// (one connection per pool worker) or the v2 binary framed
+    /// protocol, where the whole pool **multiplexes one connection**.
+    pub protocol: ProtoVersion,
 }
 
 impl StressConfig {
@@ -127,6 +133,7 @@ impl StressConfig {
             count,
             mix: TrafficMix::Uniform,
             remote_workers: 1,
+            protocol: ProtoVersion::V1,
         }
     }
 }
@@ -247,19 +254,24 @@ impl StressTarget for LocalTarget {
     }
 }
 
-/// The socket target: a [`RemoteClient`] driving a TCP front-end. The
-/// report comes from the parsed wire summary, so the whole client code
-/// path — not just the traffic — is exercised.
+/// The socket target: one [`DialedClient`] (either protocol) driving a
+/// TCP front-end. The report comes from the wire summary, so the whole
+/// client code path — not just the traffic — is exercised.
 pub struct RemoteTarget {
-    client: RemoteClient,
+    client: DialedClient,
     space: IdSpace,
 }
 
 impl RemoteTarget {
-    /// Connects to a front-end serving `space` at `addr`.
-    pub fn connect(addr: std::net::SocketAddr, space: IdSpace) -> io::Result<RemoteTarget> {
+    /// Connects to a front-end serving `space` at `addr`, speaking
+    /// `protocol`.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        space: IdSpace,
+        protocol: ProtoVersion,
+    ) -> io::Result<RemoteTarget> {
         Ok(RemoteTarget {
-            client: RemoteClient::connect(addr, space)?,
+            client: DialedClient::connect(addr, space, protocol)?,
             space,
         })
     }
@@ -278,8 +290,8 @@ impl StressTarget for RemoteTarget {
     }
 
     fn issue(&mut self, tenant: u64, count: u128) {
-        // Same line protocol; the reply is read (keeping the stream in
-        // sync) and dropped.
+        // Same wire path as a lease; the reply is read (keeping the
+        // request/reply accounting in sync) and dropped.
         let _ = self
             .client
             .lease(tenant, count)
@@ -315,20 +327,26 @@ enum PoolMsg {
 }
 
 /// The connection-reuse socket target: `workers` threads, each holding
-/// one persistent [`RemoteClient`] for the entire run. Requests are
+/// one persistent [`DialedClient`] for the entire run. Requests are
 /// pinned to workers by `tenant % workers`, preserving each tenant's
 /// request order (and therefore the run's deterministic totals) while
 /// the server sees a fixed, small set of long-lived connections
 /// instead of per-phase or per-request churn.
+///
+/// Under protocol v2 the pool goes one better: every worker holds a
+/// clone of **one multiplexed connection**, so the server sees a single
+/// connection carrying the whole pool's concurrent traffic — `workers`×
+/// fewer sockets at the same request parallelism.
 pub struct PooledRemoteTarget {
     space: IdSpace,
     txs: Vec<SyncSender<PoolMsg>>,
-    workers: Vec<JoinHandle<RemoteClient>>,
+    workers: Vec<JoinHandle<DialedClient>>,
 }
 
-/// A pool worker: drains its queue over its one persistent connection,
-/// then hands the still-open connection back for the shutdown step.
-fn pool_worker(mut client: RemoteClient, rx: Receiver<PoolMsg>) -> RemoteClient {
+/// A pool worker: drains its queue over its one persistent connection
+/// (or connection clone), then hands the still-open client back for the
+/// shutdown step.
+fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> DialedClient {
     while let Ok(msg) = rx.recv() {
         match msg {
             PoolMsg::Lease {
@@ -362,18 +380,27 @@ fn pool_worker(mut client: RemoteClient, rx: Receiver<PoolMsg>) -> RemoteClient 
 }
 
 impl PooledRemoteTarget {
-    /// Opens `workers ≥ 1` persistent connections to the front-end at
-    /// `addr` and starts the pool.
+    /// Starts a pool of `workers ≥ 1` threads against the front-end at
+    /// `addr`: one persistent v1 connection per worker, or `workers`
+    /// clones of a single multiplexed v2 connection.
     pub fn connect(
         addr: std::net::SocketAddr,
         space: IdSpace,
         workers: usize,
+        protocol: ProtoVersion,
     ) -> io::Result<PooledRemoteTarget> {
         let workers = workers.max(1);
+        let shared = match protocol {
+            ProtoVersion::V1 => None,
+            ProtoVersion::V2 => Some(uuidp_client::Client::connect(addr, space)?),
+        };
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let client = RemoteClient::connect(addr, space)?;
+            let client = match &shared {
+                None => DialedClient::connect(addr, space, ProtoVersion::V1)?,
+                Some(mux) => DialedClient::V2(mux.clone()),
+            };
             let (tx, rx) = sync_channel::<PoolMsg>(1024);
             txs.push(tx);
             handles.push(std::thread::spawn(move || pool_worker(client, rx)));
@@ -450,7 +477,7 @@ impl StressTarget for PooledRemoteTarget {
 
     fn finish(self) -> TargetReport {
         drop(self.txs); // workers exit their loops and return their clients
-        let mut clients: Vec<RemoteClient> = self
+        let mut clients: Vec<DialedClient> = self
             .workers
             .into_iter()
             .map(|h| h.join().expect("pool worker panicked"))
@@ -557,10 +584,12 @@ pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
             server.local_addr(),
             config.service.space,
             config.remote_workers,
+            config.protocol,
         )?;
         run_stress_with(target, config)
     } else {
-        let target = RemoteTarget::connect(server.local_addr(), config.service.space)?;
+        let target =
+            RemoteTarget::connect(server.local_addr(), config.service.space, config.protocol)?;
         run_stress_with(target, config)
     };
     // Join the server threads; the driver-side report already carries
@@ -785,6 +814,54 @@ mod tests {
                 "{workers} pool workers changed the totals"
             );
         }
+    }
+
+    #[test]
+    fn v2_transport_reproduces_in_process_totals_single_and_pooled() {
+        // The protocol-v2 differential: the binary framed transport —
+        // single multiplexed connection or a pool of clones of one —
+        // must reproduce the in-process audit totals bit-exactly.
+        let make = || {
+            let mut cfg = base(AlgorithmKind::ClusterStar, 40);
+            cfg.mix = TrafficMix::Skewed;
+            cfg.requests = 200;
+            cfg.service.seed_alias = Some((0, 5)); // live duplicate counter
+            cfg
+        };
+        let local = run_stress(make());
+        assert!(local.audit.counts.collided(), "twins must collide");
+        for workers in [1usize, 3] {
+            let mut cfg = make();
+            cfg.protocol = ProtoVersion::V2;
+            cfg.remote_workers = workers;
+            let remote = run_stress_remote(cfg).expect("v2 loopback stress");
+            assert_eq!(
+                (
+                    local.issued_ids,
+                    local.audit.counts.duplicate_ids,
+                    local.audit.counts.recorded_ids,
+                ),
+                (
+                    remote.issued_ids,
+                    remote.audit.counts.duplicate_ids,
+                    remote.audit.counts.recorded_ids,
+                ),
+                "protocol v2 with {workers} pool workers changed the totals"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_hunter_mix_observes_arcs_over_the_mux() {
+        let mut cfg = base(AlgorithmKind::Cluster, 20);
+        cfg.mix = TrafficMix::Hunter;
+        cfg.tenants = 4;
+        cfg.requests = 120;
+        cfg.protocol = ProtoVersion::V2;
+        let report = run_stress_remote(cfg).expect("v2 hunter stress");
+        assert!(report.requests >= 4, "probe phase never ran");
+        assert_eq!(report.issued_ids, report.requests as u128);
+        assert_eq!(report.audit.counts.recorded_ids, report.issued_ids);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 pub use uuidp_adversary as adversary;
 pub use uuidp_analysis as analysis;
+pub use uuidp_client as client;
 pub use uuidp_core as core;
 pub use uuidp_fleet as fleet;
 pub use uuidp_kvstore as kvstore;

@@ -157,6 +157,55 @@ fn remote_stress_reproduces_in_process_audit_totals() {
     }
 }
 
+proptest! {
+    // Remote runs are whole client/server lifecycles, so a handful of
+    // random scenarios is the budget; each one sweeps the full
+    // {v1, v2} × {shards, audit_threads} grid.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn duplicate_ids_are_bit_identical_across_protocols_and_concurrency(
+        seed in any::<u64>(),
+        tenants in 3u64..7,
+        count in 8u128..48,
+    ) {
+        use uuidp::client::ProtoVersion;
+        let mut reference: Option<(u64, u128, u64, u128, u128, u64)> = None;
+        for proto in [ProtoVersion::V1, ProtoVersion::V2] {
+            for &shards in &[1usize, 3] {
+                for &audit_threads in &[1usize, 4] {
+                    let mut service = ServiceConfig::new(
+                        AlgorithmKind::ClusterStar,
+                        IdSpace::with_bits(40).unwrap(),
+                    );
+                    service.shards = shards;
+                    service.audit_threads = audit_threads;
+                    service.master_seed = seed;
+                    // Twins keep the duplicate counter non-trivial.
+                    service.seed_alias = Some((0, tenants - 1));
+                    let mut cfg = StressConfig::new(service, tenants, 120, count);
+                    cfg.mix = TrafficMix::Skewed;
+                    cfg.protocol = proto;
+                    let report = run_stress_remote(cfg).expect("loopback stress");
+                    prop_assert!(
+                        report.audit.counts.duplicate_ids > 0,
+                        "twins must collide"
+                    );
+                    let got = invariant_totals(&report);
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(r) => prop_assert_eq!(
+                            *r, got,
+                            "{} x {} shards x {} audit threads diverged",
+                            proto, shards, audit_threads
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn remote_hunter_mix_observes_real_arcs_over_the_wire() {
     // The adaptive attacker needs the arcs echoed back through the

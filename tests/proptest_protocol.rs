@@ -1,11 +1,19 @@
-//! Protocol robustness: the `uuidp_service::protocol` parsers — both
-//! the server's command parser and the client's reply parsers — must
-//! return typed errors, never panic, on arbitrary byte soup, and on
-//! systematically garbled (truncated / bit-flipped) versions of every
-//! valid line. Valid lines must round-trip exactly.
+//! Protocol robustness, both wire generations:
+//!
+//! * the v1 `uuidp_service::protocol` parsers — the server's command
+//!   parser and the client's reply parsers — must return typed errors,
+//!   never panic, on arbitrary byte soup and on systematically garbled
+//!   (truncated / bit-flipped) versions of every valid line, and valid
+//!   lines must round-trip exactly;
+//! * the v2 `uuidp_client::frame` codec must round-trip every frame
+//!   bit-exactly, report prefixes as incomplete, and reject byte soup,
+//!   truncations, and bit flips with typed errors — never a panic and
+//!   never a silent wrong decode.
 
 use proptest::prelude::*;
 
+use uuidp::client::frame::{decode_frame, encode_frame, FrameBody};
+use uuidp::client::Summary;
 use uuidp::core::id::{Id, IdSpace};
 use uuidp::core::interval::Arc;
 use uuidp::service::metrics::LatencyHistogram;
@@ -38,6 +46,7 @@ fn lease_line(tenant: u64, granted: u128, arcs: &[(u128, u128)]) -> String {
             .collect(),
         granted,
         error: None,
+        halted: false,
     })
 }
 
@@ -141,6 +150,107 @@ proptest! {
         prop_assert_eq!(wire.leases, leases);
         prop_assert_eq!(wire.duplicate_ids, dup);
         prop_assert_eq!(wire.max_lag_ns, lag as u128);
+    }
+}
+
+/// A v2 frame body built from fuzzed fields, cycling through the
+/// request/response kinds that carry payloads.
+fn fuzzed_body(pick: u64, tenant: u64, count: u128, arcs: &[(u128, u128)]) -> FrameBody {
+    match pick % 6 {
+        0 => FrameBody::LeaseReq { tenant, count },
+        1 => FrameBody::LeaseResp {
+            tenant,
+            granted: count,
+            arcs: arcs.to_vec(),
+            error: tenant
+                .is_multiple_of(2)
+                .then(|| format!("exhausted after {count}")),
+        },
+        2 => FrameBody::ResetReq { tenant },
+        3 => FrameBody::Error {
+            message: format!("tenant {tenant} went missing"),
+        },
+        4 => FrameBody::Hello {
+            version: 2,
+            space: count,
+        },
+        _ => FrameBody::SummaryResp(Summary {
+            issued_ids: count,
+            leases: tenant,
+            errors: tenant / 3,
+            p50_ns: count as f64 * 0.5,
+            p99_ns: count as f64,
+            mean_ns: count as f64 * 0.75,
+            duplicate_ids: count / 7,
+            flagged_records: tenant / 5,
+            recorded_ids: count,
+            recorded_arcs: tenant,
+            records: tenant,
+            max_lag_ns: count,
+            mean_lag_ns: count as f64 / 2.0,
+            audit_threads: (tenant % 9) as usize,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn v2_frames_round_trip_bit_exactly(
+        pick in any::<u64>(),
+        corr in any::<u64>(),
+        tenant in any::<u64>(),
+        count in any::<u128>(),
+        arcs in prop::collection::vec((any::<u128>(), any::<u128>()), 0..8),
+    ) {
+        let body = fuzzed_body(pick, tenant, count, &arcs);
+        let bytes = encode_frame(corr, &body);
+        let (frame, used) = decode_frame(&bytes)
+            .expect("valid frame must decode")
+            .expect("complete frame must not read as a prefix");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(frame.corr, corr);
+        prop_assert_eq!(frame.body, body);
+    }
+
+    #[test]
+    fn v2_decoder_survives_byte_soup_truncation_and_bit_flips(
+        words in prop::collection::vec(any::<u64>(), 0..40),
+        pick in any::<u64>(),
+        corr in any::<u64>(),
+        tenant in any::<u64>(),
+        count in any::<u128>(),
+        cut_raw in any::<u64>(),
+        flip_raw in any::<u64>(),
+    ) {
+        // Raw soup: decode must return, never panic or over-allocate.
+        let soup: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let _ = decode_frame(&soup);
+        // Soup glued behind a valid magic, too.
+        let mut magicked = uuidp::client::frame::MAGIC.to_vec();
+        magicked.extend_from_slice(&soup);
+        let _ = decode_frame(&magicked);
+
+        let bytes = encode_frame(corr, &fuzzed_body(pick, tenant, count, &[(count, tenant as u128)]));
+        // Every truncation is "incomplete" or a typed error.
+        let cut = (cut_raw as usize) % bytes.len();
+        prop_assert!(
+            !matches!(decode_frame(&bytes[..cut]), Ok(Some(_))),
+            "a truncated frame decoded as complete"
+        );
+        // A bit flip anywhere must never yield the original frame as a
+        // silent wrong decode: the checksum catches payload/header
+        // damage, the magic check catches the prefix.
+        let at = (flip_raw as usize) % bytes.len();
+        let mut garbled = bytes.clone();
+        garbled[at] ^= 1 << (flip_raw % 8) as u8;
+        if garbled[at] != bytes[at] {
+            match decode_frame(&garbled) {
+                Err(_) | Ok(None) => {}
+                Ok(Some(_)) => prop_assert!(false, "bit flip at {} accepted", at),
+            }
+        }
     }
 }
 
