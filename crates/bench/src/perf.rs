@@ -664,6 +664,87 @@ pub fn bench_multiplexed_vs_pooled_connections() -> PerfResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Baseline 7 (PR 6): the adversarial network layer — what a fault-free
+// chaos proxy costs on the hot path, and what a fixed fault mix does to
+// the tail.
+// ---------------------------------------------------------------------
+
+/// Proxy passthrough overhead: v2 lease round trips through a
+/// `ChaosProxy` configured with the `none` spec (pure byte forwarding,
+/// no faults, no shaping) vs the same client dialing the server
+/// directly. The delta is the price of having the chaos layer in the
+/// path at all — two extra socket hops and the proxy's copy loop.
+/// Cost unit: ns per leased round trip.
+pub fn bench_chaos_proxy_passthrough() -> PerfResult {
+    use uuidp_client::Client;
+    use uuidp_netchaos::{ChaosProxy, ChaosSpec};
+    use uuidp_service::net::TcpServer;
+    let space = IdSpace::with_bits(48).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let proxy = ChaosProxy::launch(addr, ChaosSpec::none(), 0).expect("launch proxy");
+    let mut tenant = 0u64;
+    let proxied = Client::connect(proxy.addr(), space).expect("proxied client");
+    let new_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        std::hint::black_box(proxied.lease(tenant, 32).expect("proxied lease").granted);
+    });
+    drop(proxied);
+    let direct = Client::connect(addr, space).expect("direct client");
+    let baseline_cost = time_ns(|| {
+        tenant = (tenant + 1) % 64;
+        std::hint::black_box(direct.lease(tenant, 32).expect("direct lease").granted);
+    });
+    let _ = direct.shutdown();
+    proxy.shutdown();
+    let _ = server.join();
+    PerfResult {
+        name: "remote_lease_v2_through_passthrough_proxy_vs_direct".into(),
+        unit: "ns/lease",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Full-lifecycle remote stress p99.9 tail, microseconds, for one
+/// chaos shape (median of three runs).
+fn stress_tail_p999_us(chaos: Option<uuidp_netchaos::ChaosSpec>) -> f64 {
+    let space = IdSpace::with_bits(48).unwrap();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|i| {
+            let mut service = ServiceConfig::new(AlgorithmKind::Cluster, space);
+            service.master_seed = 0xC405 + i;
+            let mut cfg = StressConfig::new(service, 8, 1024, 128);
+            cfg.remote_workers = 3;
+            cfg.protocol = uuidp_client::ProtoVersion::V2;
+            cfg.chaos = chaos;
+            cfg.chaos_seed = 0xC405;
+            let report = uuidp_service::stress::run_stress_remote(cfg).expect("bench chaos stress");
+            report.p999_us
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    samples[samples.len() / 2]
+}
+
+/// Tail latency under a fixed fault mix: the p99.9 issue tail of a
+/// 3-worker v2 stress run through the `small` chaos preset (seed
+/// 0xC405 — partitions, stream cuts, frame corruption, injected
+/// latency) vs the identical run on a clean network. The "speedup"
+/// reads as the tail *amplification* the retry/backoff path absorbs
+/// while the audit stays duplicate-free; well under 1.0× is the honest
+/// expectation. Cost unit: µs at p99.9, full lifecycle.
+pub fn bench_chaos_tail_latency() -> PerfResult {
+    PerfResult {
+        name: "stress_v2_p999_tail_chaos_small_vs_clean".into(),
+        unit: "us/p999",
+        new_cost: stress_tail_p999_us(Some(uuidp_netchaos::ChaosSpec::small())),
+        baseline_cost: stress_tail_p999_us(None),
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -679,6 +760,8 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_frame_codec_vs_text(),
         bench_remote_roundtrip_v2_vs_v1(),
         bench_multiplexed_vs_pooled_connections(),
+        bench_chaos_proxy_passthrough(),
+        bench_chaos_tail_latency(),
     ]
 }
 

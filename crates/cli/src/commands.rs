@@ -16,6 +16,7 @@ use uuidp_sim::montecarlo::{estimate_oblivious, TrialConfig};
 use uuidp_client::ProtoVersion;
 use uuidp_fleet::router::Placement;
 use uuidp_fleet::run::{run_fleet, FleetConfig, FleetReport};
+use uuidp_netchaos::ChaosSpec;
 use uuidp_service::net::{ServerOptions, TcpServer};
 use uuidp_service::protocol::{render_lease, Command};
 use uuidp_service::service::{IdService, ServiceConfig, ServiceReport};
@@ -368,6 +369,14 @@ pub struct StressOpts {
     /// Wire protocol for `--remote` runs (`v1 | v2`). Under v2 the
     /// whole worker pool multiplexes a single connection.
     pub protocol: String,
+    /// Chaos spec for `--remote` runs: a deterministic fault-injecting
+    /// proxy sits between the client pool and the server (see
+    /// `uuidp_netchaos::ChaosSpec` for the grammar, e.g.
+    /// `small` or `heavy,latency_us:200`).
+    pub chaos: Option<String>,
+    /// Seed for the chaos fault schedule; the same seed reproduces the
+    /// identical schedule bit for bit.
+    pub chaos_seed: u64,
 }
 
 impl StressOpts {
@@ -388,6 +397,8 @@ impl StressOpts {
             remote: false,
             remote_workers: 1,
             protocol: "v1".into(),
+            chaos: None,
+            chaos_seed: 0,
         }
     }
 }
@@ -437,11 +448,23 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
                 .into(),
         ));
     }
+    let chaos = match &opts.chaos {
+        None => None,
+        Some(s) => Some(ChaosSpec::parse(s).map_err(|e| ParseError(format!("bad --chaos: {e}")))?),
+    };
+    if chaos.is_some() && !opts.remote {
+        return Err(ParseError(
+            "--chaos only applies with --remote (the in-process path has no network to break)"
+                .into(),
+        ));
+    }
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
     cfg.remote_workers = opts.remote_workers;
     cfg.protocol = protocol;
-    let transport = if opts.remote && cfg.remote_workers > 1 && protocol == ProtoVersion::V2 {
+    cfg.chaos = chaos;
+    cfg.chaos_seed = opts.chaos_seed;
+    let mut transport = if opts.remote && cfg.remote_workers > 1 && protocol == ProtoVersion::V2 {
         format!(" (loopback TCP transport, protocol {protocol}, pooled workers multiplexing one connection)")
     } else if opts.remote && cfg.remote_workers > 1 {
         format!(" (loopback TCP transport, protocol {protocol}, pooled connections)")
@@ -450,6 +473,9 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
     } else {
         String::new()
     };
+    if let Some(spec) = &cfg.chaos {
+        transport.push_str(&format!(" [chaos `{spec}` seed {:#x}]", opts.chaos_seed));
+    }
     let main = run(cfg.clone())?;
     let mut out = format!(
         "# stress: {} over m = 2^{}{}\n\n{}",
@@ -465,6 +491,10 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
     // `per_tenant × count` duplicate IDs (zero false negatives).
     let mut check = cfg;
     check.mix = TrafficMix::Uniform;
+    // The twin-stream count is exact only on a clean network: a dropped
+    // or truncated request would shorten one twin's stream and turn the
+    // gate into noise, so validation always runs chaos-free.
+    check.chaos = None;
     check.tenants = check.tenants.max(2);
     let per_tenant = (check.requests.clamp(16, 512) / check.tenants).max(1);
     check.requests = per_tenant * check.tenants;
@@ -534,6 +564,12 @@ pub struct FleetOpts {
     pub state_dir: Option<String>,
     /// Wire protocol the router dials every node with (`v1 | v2`).
     pub protocol: String,
+    /// Chaos spec: every node gets its own deterministic fault-injecting
+    /// proxy derived from `--chaos-seed` (see `uuidp_netchaos::ChaosSpec`
+    /// for the grammar). Composes with `--kill-every`.
+    pub chaos: Option<String>,
+    /// Seed for the per-node chaos fault schedules.
+    pub chaos_seed: u64,
 }
 
 impl FleetOpts {
@@ -555,6 +591,8 @@ impl FleetOpts {
             reservation: 256,
             state_dir: None,
             protocol: "v1".into(),
+            chaos: None,
+            chaos_seed: 0,
         }
     }
 }
@@ -636,15 +674,24 @@ fn fleet_phases(
     cfg.reservation = opts.reservation.max(1);
     cfg.audit_stripes = opts.audit_stripes.max(1);
     cfg.protocol = protocol;
+    cfg.chaos = match &opts.chaos {
+        None => None,
+        Some(s) => Some(ChaosSpec::parse(s).map_err(|e| ParseError(format!("bad --chaos: {e}")))?),
+    };
+    cfg.chaos_seed = opts.chaos_seed;
     let main = run(cfg.clone(), "main")?;
     let mut out = format!(
-        "# fleet: {} over m = 2^{}, {} nodes, protocol {}{}\n\n{}",
+        "# fleet: {} over m = 2^{}, {} nodes, protocol {}{}{}\n\n{}",
         opts.algorithm,
         opts.bits,
         opts.nodes,
         protocol,
         match opts.kill_every {
             Some(k) => format!(" (chaos: kill every {k} requests)"),
+            None => String::new(),
+        },
+        match &opts.chaos {
+            Some(s) => format!(" [chaos `{s}` seed {:#x}]", opts.chaos_seed),
             None => String::new(),
         },
         main.render()
@@ -657,6 +704,7 @@ fn fleet_phases(
     let mut check = cfg;
     check.placement = Placement::Uniform;
     check.kill_every = None;
+    check.chaos = None;
     check.tenants = check.tenants.max(2);
     let per_tenant = (check.requests.clamp(16, 512) / check.tenants).max(1);
     check.requests = per_tenant * check.tenants;
@@ -1112,6 +1160,73 @@ mod tests {
         let err = stress(&opts).unwrap_err();
         assert!(err.0.contains("--protocol v2"), "{}", err.0);
         assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_chaos_without_remote() {
+        let opts = StressOpts {
+            chaos: Some("small".into()),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--chaos"), "{}", err.0);
+        assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_and_fleet_reject_bad_chaos_specs() {
+        let opts = StressOpts {
+            remote: true,
+            chaos: Some("tsunami".into()),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("bad --chaos"), "{}", err.0);
+        let opts = FleetOpts {
+            chaos: Some("drop:1001".into()),
+            ..FleetOpts::trials_small("cluster")
+        };
+        let err = fleet(&opts).unwrap_err();
+        assert!(err.0.contains("bad --chaos"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_chaos_run_reports_slo_and_still_validates() {
+        // The chaos phase degrades gracefully (SLO section, fault
+        // counters); the validation twin phase then runs chaos-free so
+        // the exact-count audit gate stays exact.
+        let opts = StressOpts {
+            requests: 150,
+            remote: true,
+            remote_workers: 2,
+            protocol: "v2".into(),
+            chaos: Some("small".into()),
+            chaos_seed: 0xC405,
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("[chaos `"), "{out}");
+        assert!(out.contains("slo:"), "{out}");
+        assert!(out.contains("schedule fingerprint"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
+    }
+
+    #[test]
+    fn fleet_chaos_proxies_compose_with_kill_every_and_stay_duplicate_free() {
+        let opts = FleetOpts {
+            requests: 90,
+            kill_every: Some(30),
+            reservation: 64,
+            protocol: "v2".into(),
+            chaos: Some("small".into()),
+            chaos_seed: 0xF417,
+            ..FleetOpts::trials_small("cluster*")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("[chaos `"), "{out}");
+        assert!(out.contains("slo:"), "{out}");
+        assert!(out.contains("0 from recovered nodes"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
     }
 
     #[test]

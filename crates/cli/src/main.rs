@@ -10,9 +10,11 @@
 //! uuidp stress --algorithm "bins*" --bits 48 --tenants 32 --requests 100000 --count 512
 //! uuidp stress --algorithm cluster --trials-small --remote --remote-workers 4
 //! uuidp stress --algorithm cluster --trials-small --remote --protocol v2 --remote-workers 4
+//! uuidp stress --algorithm cluster --trials-small --remote --protocol v2 --chaos small --chaos-seed 7
 //! uuidp fleet --algorithm cluster --nodes 5 --tenants 20 --requests 20000 --placement skewed
 //! uuidp fleet --trials-small --nodes 3 --kill-every 2
 //! uuidp fleet --trials-small --protocol v2
+//! uuidp fleet --trials-small --protocol v2 --chaos small --chaos-seed 7 --kill-every 60
 //! uuidp doctor
 //! ```
 
@@ -74,10 +76,16 @@ fn print_usage() {
          \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--audit-threads N=1]\n\
          \x20                [--seed N] [--trials-small] [--remote (loopback TCP transport)]\n\
          \x20                [--remote-workers N=1 (pool width)] [--protocol v1|v2 (v2 multiplexes one conn)]\n\
+         \x20                [--chaos SPEC (fault-injecting proxy; needs --remote)] [--chaos-seed N=0]\n\
          \x20 uuidp fleet    --algorithm SPEC [--bits N=48] [--nodes N=3] [--tenants N=6] [--requests N=600]\n\
          \x20                [--count N=32] [--placement uniform|skewed|hunter] [--shards N=2]\n\
          \x20                [--audit-threads N=1] [--seed N] [--kill-every K (chaos restarts)]\n\
          \x20                [--reservation N=256] [--state-dir DIR] [--trials-small] [--protocol v1|v2]\n\
+         \x20                [--chaos SPEC (per-node fault proxies)] [--chaos-seed N=0]\n\
+         \n\
+         chaos SPECs: none | small | heavy, each extendable with key:value pairs —\n\
+         \x20 refuse/drop/trunc/corrupt (per-mille rates), latency_us, jitter_us, throttle\n\
+         \x20 e.g. --chaos \"small,latency_us:200,corrupt:5\" (same --chaos-seed ⇒ same schedule)\n\
          \x20 uuidp doctor\n\
          \n\
          algorithm SPECs: random | cluster | bins:K | cluster* | cluster*:G | bins* | bins*:maxfit | session:S,C"
@@ -205,6 +213,8 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             remote: false,
             remote_workers: 1,
             protocol: "v1".into(),
+            chaos: None,
+            chaos_seed: 0,
         }
     };
     let algorithm = match f.get(&["--algorithm", "-a"]) {
@@ -232,6 +242,8 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             .get(&["--protocol"])
             .unwrap_or(defaults.protocol.as_str())
             .to_string(),
+        chaos: f.get(&["--chaos"]).map(str::to_string),
+        chaos_seed: f.parse(&["--chaos-seed"], 0u64)?,
     };
     stress(&opts).map_err(|e| e.0)
 }
@@ -277,6 +289,8 @@ fn run_fleet_cmd(args: &[String]) -> Result<String, String> {
             .get(&["--protocol"])
             .unwrap_or(defaults.protocol.as_str())
             .to_string(),
+        chaos: f.get(&["--chaos"]).map(str::to_string),
+        chaos_seed: f.parse(&["--chaos-seed"], 0u64)?,
     };
     fleet(&opts).map_err(|e| e.0)
 }

@@ -6,14 +6,43 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
 use std::sync::{Arc as StdArc, Mutex};
+use std::time::Duration;
 
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
 
+use crate::error::{broken, ErrorClass};
 use crate::frame::{read_frame, write_frame, FrameBody, VERSION};
 use crate::{Lease, Summary};
+
+/// Connection-shaping knobs for [`Client::connect_with`].
+///
+/// The defaults reproduce the historical behavior on the request path
+/// (block until the demux answers) but bound the *handshake*: a peer
+/// that accepts the TCP connection and then never speaks can stall the
+/// dial, and nothing legitimate takes the server 10 s to say hello.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Bound on establishing the TCP connection (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on the `Hello`/`HelloOk` exchange (`None` = wait forever).
+    pub handshake_timeout: Option<Duration>,
+    /// Bound on each request's reply (`None` = wait forever). A timed
+    /// out lease is **lease-in-doubt**: the server may have issued it.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: None,
+            handshake_timeout: Some(Duration::from_secs(10)),
+            request_timeout: None,
+        }
+    }
+}
 
 /// A reply as the demux delivers it: the typed body, or the text of a
 /// correlated server `Error` frame.
@@ -31,6 +60,7 @@ struct Inner {
     pending: Mutex<Pending>,
     next_corr: AtomicU64,
     space: IdSpace,
+    request_timeout: Option<Duration>,
 }
 
 impl Inner {
@@ -87,19 +117,46 @@ fn proto_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn closed_err(reason: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::UnexpectedEof,
-        format!("connection closed: {reason}"),
-    )
-}
-
 impl Client {
     /// Connects to `addr` and performs the v2 handshake. `space` must
     /// match the server's universe — unlike v1, the handshake checks
     /// this up front and fails with a typed error on mismatch.
     pub fn connect<A: ToSocketAddrs>(addr: A, space: IdSpace) -> io::Result<Client> {
-        let mut stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, space, ClientOptions::default())
+    }
+
+    /// [`Client::connect`] with explicit connect / handshake / request
+    /// timeouts — the chaos-tolerant dial.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        space: IdSpace,
+        options: ClientOptions,
+    ) -> io::Result<Client> {
+        let mut stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(bound) => {
+                // `connect_timeout` needs resolved addresses; try each.
+                let mut last = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, bound) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::AddrNotAvailable, "no addresses")
+                        }))
+                    }
+                }
+            }
+        };
         // Frames are small and latency-bound; never batch them behind
         // Nagle (pairs with the server-side set_nodelay).
         stream.set_nodelay(true)?;
@@ -112,8 +169,22 @@ impl Client {
             },
         )?;
         // The handshake is the one synchronous read on the caller's
-        // thread; after it, the reader demux owns the read half.
-        match read_frame(&mut stream)?.body {
+        // thread; after it, the reader demux owns the read half. A
+        // stalled accept/hello must not hang the caller forever, so
+        // the read is bounded while the handshake lasts.
+        stream.set_read_timeout(options.handshake_timeout)?;
+        let hello = read_frame(&mut stream).map_err(|e| {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                broken("handshake timed out", ErrorClass::RetrySafe)
+            } else {
+                e
+            }
+        })?;
+        stream.set_read_timeout(None)?;
+        match hello.body {
             FrameBody::HelloOk { version, space: m } => {
                 if version != VERSION {
                     return Err(proto_err(format!(
@@ -142,6 +213,7 @@ impl Client {
             pending: Mutex::new(Pending::Live(HashMap::new())),
             next_corr: AtomicU64::new(1),
             space,
+            request_timeout: options.request_timeout,
         });
         let reader_inner = StdArc::clone(&inner);
         std::thread::spawn(move || reader_demux(stream, reader_inner));
@@ -164,9 +236,18 @@ impl Client {
             Pending::Live(map) => {
                 map.insert(corr, tx);
             }
-            Pending::Dead(reason) => return Err(closed_err(reason)),
+            // Dead before the request ever left: plainly retry-safe.
+            Pending::Dead(reason) => return Err(broken(reason.clone(), ErrorClass::RetrySafe)),
         }
         Ok((corr, rx))
+    }
+
+    /// Forgets a registered correlation id (timed-out request): any
+    /// late reply is dropped on the floor by the demux.
+    fn unregister(&self, corr: u64) {
+        if let Pending::Live(map) = &mut *self.handle.inner.pending.lock().expect("pending lock") {
+            map.remove(&corr);
+        }
     }
 
     /// Writes one request frame (whole frame, one `write_all`, under
@@ -177,10 +258,15 @@ impl Client {
             let mut writer = self.handle.inner.writer.lock().expect("writer lock");
             write_frame(&mut *writer, corr, body)
         };
-        if let Err(e) = &result {
-            self.handle.inner.die(format!("write failed: {e}"));
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.handle.inner.die(format!("write failed: {e}"));
+                // A failed `write_all` means the frame went out torn at
+                // best; the server's checksum discards it unprocessed.
+                Err(broken(format!("write failed: {e}"), ErrorClass::RetrySafe))
+            }
         }
-        result
     }
 
     /// One multiplexed round trip: register, send, park until the demux
@@ -188,17 +274,33 @@ impl Client {
     fn request(&self, body: FrameBody) -> io::Result<FrameBody> {
         let (corr, rx) = self.register()?;
         self.send(corr, &body)?;
-        match rx.recv() {
+        let received = match self.handle.inner.request_timeout {
+            None => rx.recv().map_err(|_| None),
+            Some(bound) => match rx.recv_timeout(bound) {
+                Ok(reply) => Ok(reply),
+                Err(RecvTimeoutError::Disconnected) => Err(None),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.unregister(corr);
+                    Err(Some(bound))
+                }
+            },
+        };
+        match received {
             Ok(Ok(reply)) => Ok(reply),
             Ok(Err(message)) => Err(proto_err(format!("server error: {message}"))),
-            // Sender dropped: the reader died (EOF, sever, corrupt
-            // stream) between our send and the reply.
-            Err(_) => {
+            // The request left the building, the reply never arrived:
+            // whether it timed out or the reader died (EOF, sever,
+            // corrupt stream), the server may have processed it.
+            Err(Some(bound)) => Err(broken(
+                format!("request timed out after {bound:?}"),
+                ErrorClass::LeaseInDoubt,
+            )),
+            Err(None) => {
                 let reason = match &*self.handle.inner.pending.lock().expect("pending lock") {
                     Pending::Dead(reason) => reason.clone(),
                     Pending::Live(_) => "reply channel dropped".into(),
                 };
-                Err(closed_err(&reason))
+                Err(broken(reason, ErrorClass::LeaseInDoubt))
             }
         }
     }

@@ -1,0 +1,245 @@
+//! Typed connection errors and retry classification.
+//!
+//! Under an adversarial network every failure forces one question on
+//! the caller: *may this request be retried?* The answer depends on
+//! whether the request can have reached the server:
+//!
+//! * the write never completed → the server saw at most a torn frame,
+//!   which its checksum discipline discards — **retry-safe**;
+//! * the write completed but the reply was lost (connection severed,
+//!   corrupt reply frame, timeout) → the server may have issued the
+//!   lease — **lease-in-doubt**. Retrying is still *correct* for this
+//!   service (the generator never re-emits an ID, so a retried lease
+//!   yields fresh IDs and the lost ones merely leak — the paper's
+//!   discipline is leak-not-duplicate), but the caller must account the
+//!   abandoned lease as leaked, never re-derive IDs from it;
+//! * the two ends disagree about the protocol itself → **fatal**,
+//!   retrying the same bytes cannot help.
+//!
+//! [`BrokenConnection`] carries that classification inside an
+//! `io::Error` (downcast via [`broken_connection`]), so every existing
+//! `io::Result` surface stays intact while chaos-aware callers can
+//! route on it. [`RetryPolicy`] is the matching deterministic
+//! exponential-backoff schedule: jitter is derived from a seed, so a
+//! replayed chaos run waits the same nanoseconds in the same places.
+
+use std::io;
+use std::time::Duration;
+
+use uuidp_core::rng::SplitMix64;
+
+/// How a failed request relates to server-side effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The request cannot have been processed; retry freely.
+    RetrySafe,
+    /// The request may have been processed and the reply lost. A lease
+    /// retried after this must be treated as *fresh* (the abandoned
+    /// grant leaks server-side); never re-derive IDs from the original.
+    LeaseInDoubt,
+    /// Protocol-level disagreement; retrying the same request is
+    /// pointless.
+    Fatal,
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorClass::RetrySafe => "retry-safe",
+            ErrorClass::LeaseInDoubt => "lease-in-doubt",
+            ErrorClass::Fatal => "fatal",
+        })
+    }
+}
+
+/// The typed payload of a connection-death `io::Error`: why the
+/// connection is gone and whether the in-flight request may have been
+/// processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenConnection {
+    /// Human-readable cause (demux death reason, write error, timeout).
+    pub reason: String,
+    /// Retry classification for the request that observed this error.
+    pub class: ErrorClass,
+}
+
+impl std::fmt::Display for BrokenConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "connection broken ({}): {}", self.class, self.reason)
+    }
+}
+
+impl std::error::Error for BrokenConnection {}
+
+impl BrokenConnection {
+    /// Wraps this classification into an `io::Error` that downcasts
+    /// back via [`broken_connection`].
+    pub fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::UnexpectedEof, self)
+    }
+}
+
+/// Builds a typed broken-connection error.
+pub fn broken(reason: impl Into<String>, class: ErrorClass) -> io::Error {
+    BrokenConnection {
+        reason: reason.into(),
+        class,
+    }
+    .into_io()
+}
+
+/// Recovers the typed [`BrokenConnection`] from an `io::Error`, if it
+/// carries one.
+pub fn broken_connection(err: &io::Error) -> Option<&BrokenConnection> {
+    err.get_ref()?.downcast_ref::<BrokenConnection>()
+}
+
+/// Classifies any `io::Error` a client call can return.
+///
+/// Typed [`BrokenConnection`] errors carry their own class; everything
+/// else falls back on the `ErrorKind`: dial-phase failures (refused /
+/// unreachable / timed out before a request existed) are retry-safe,
+/// data-phase severs are lease-in-doubt (the conservative reading —
+/// absent the typed payload we cannot know whether the write landed),
+/// and `InvalidData` (protocol violations) is fatal.
+pub fn classify(err: &io::Error) -> ErrorClass {
+    if let Some(b) = broken_connection(err) {
+        return b.class;
+    }
+    match err.kind() {
+        io::ErrorKind::ConnectionRefused
+        | io::ErrorKind::AddrNotAvailable
+        | io::ErrorKind::AddrInUse
+        | io::ErrorKind::NotConnected => ErrorClass::RetrySafe,
+        io::ErrorKind::InvalidData | io::ErrorKind::InvalidInput | io::ErrorKind::Unsupported => {
+            ErrorClass::Fatal
+        }
+        _ => ErrorClass::LeaseInDoubt,
+    }
+}
+
+/// Deterministic exponential backoff with seeded jitter.
+///
+/// `delay(attempt)` grows `base · 2^attempt`, capped at `max`, plus a
+/// jitter drawn from a [`SplitMix64`] keyed on `(seed, attempt)` — two
+/// runs with the same seed back off identically, so a replayed chaos
+/// schedule replays its timing decisions too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts after the first try (0 = never retry).
+    pub max_retries: u32,
+    /// First-retry base delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Jitter fraction of the computed delay, in per-mille (0..=1000).
+    pub jitter_per_mille: u16,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(250),
+            jitter_per_mille: 500,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base_ns = self.base.as_nanos().max(1) as u64;
+        let exp = base_ns.saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX));
+        let capped = exp.min(self.max.as_nanos().min(u64::MAX as u128) as u64);
+        let jitter_bound = capped / 1000 * self.jitter_per_mille.min(1000) as u64;
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            SplitMix64::new(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .next_value()
+                % jitter_bound
+        };
+        Duration::from_nanos(capped.saturating_add(jitter))
+    }
+
+    /// Whether retry number `attempt` (0-based) is allowed.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broken_connection_round_trips_through_io_error() {
+        let err = broken("reply lost", ErrorClass::LeaseInDoubt);
+        let b = broken_connection(&err).expect("typed payload");
+        assert_eq!(b.class, ErrorClass::LeaseInDoubt);
+        assert_eq!(b.reason, "reply lost");
+        assert_eq!(classify(&err), ErrorClass::LeaseInDoubt);
+        assert!(err.to_string().contains("lease-in-doubt"));
+    }
+
+    #[test]
+    fn kind_fallback_classification() {
+        let refused = io::Error::new(io::ErrorKind::ConnectionRefused, "nope");
+        assert_eq!(classify(&refused), ErrorClass::RetrySafe);
+        let invalid = io::Error::new(io::ErrorKind::InvalidData, "bad frame");
+        assert_eq!(classify(&invalid), ErrorClass::Fatal);
+        let reset = io::Error::new(io::ErrorKind::ConnectionReset, "rst");
+        assert_eq!(classify(&reset), ErrorClass::LeaseInDoubt);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone_to_the_cap() {
+        let p = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let q = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..8 {
+            assert_eq!(p.delay(attempt), q.delay(attempt), "attempt {attempt}");
+        }
+        // Exponential part dominates: attempt 4 waits longer than 0.
+        assert!(p.delay(4) > p.delay(0));
+        // Capped: never more than max + max jitter.
+        for attempt in 0..40 {
+            assert!(p.delay(attempt) <= p.max + p.max);
+        }
+        let other = RetryPolicy {
+            seed: 43,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(p.delay(3), other.delay(3), "jitter must follow the seed");
+    }
+
+    #[test]
+    fn retry_budget_is_respected() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+        assert!(!RetryPolicy::none().allows(0));
+    }
+}

@@ -25,7 +25,7 @@
 //! | 7 | `DrainReq` | c→s | — |
 //! | 8 | `DrainResp` | s→c | — |
 //! | 9 | `SummaryReq` | c→s | — |
-//! | 10 | `SummaryResp` | s→c | the 14 [`Summary`] fields (f64s as bit patterns) |
+//! | 10 | `SummaryResp` | s→c | the 15 [`Summary`] fields (f64s as bit patterns) |
 //! | 11 | `ShutdownReq` | c→s | — (reply is a `SummaryResp`, then close) |
 //! | 12 | `HaltReq` | c→s | — (no reply: the server dies abruptly) |
 //!
@@ -232,6 +232,7 @@ fn encode_summary(out: &mut Vec<u8>, s: &Summary) {
     put_u64(out, s.errors);
     put_f64(out, s.p50_ns);
     put_f64(out, s.p99_ns);
+    put_f64(out, s.p999_ns);
     put_f64(out, s.mean_ns);
     put_u128(out, s.duplicate_ids);
     put_u64(out, s.flagged_records);
@@ -250,6 +251,7 @@ fn decode_summary(c: &mut Cursor<'_>) -> Result<Summary, CodecError> {
         errors: c.u64()?,
         p50_ns: c.f64()?,
         p99_ns: c.f64()?,
+        p999_ns: c.f64()?,
         mean_ns: c.f64()?,
         duplicate_ids: c.u128()?,
         flagged_records: c.u64()?,
@@ -461,6 +463,7 @@ mod tests {
                 errors: 1,
                 p50_ns: 1000.5,
                 p99_ns: 3000.25,
+                p999_ns: 4000.75,
                 mean_ns: 1500.125,
                 duplicate_ids: 11,
                 flagged_records: 2,

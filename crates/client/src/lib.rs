@@ -43,8 +43,10 @@ use uuidp_core::interval::Arc;
 pub mod frame;
 
 mod client;
+mod error;
 
-pub use client::Client;
+pub use client::{Client, ClientOptions};
+pub use error::{broken, broken_connection, classify, BrokenConnection, ErrorClass, RetryPolicy};
 
 /// Which wire protocol a client-side consumer speaks: the v1 text line
 /// protocol or the v2 binary framed protocol. Servers negotiate per
@@ -110,6 +112,9 @@ pub struct Summary {
     pub p50_ns: f64,
     /// 99th-percentile per-lease issue cost, nanoseconds.
     pub p99_ns: f64,
+    /// 99.9th-percentile per-lease issue cost, nanoseconds — the tail
+    /// the SLO section watches under chaos.
+    pub p999_ns: f64,
     /// Mean per-lease issue cost, nanoseconds.
     pub mean_ns: f64,
     /// Cross-owner duplicate IDs found by the audit.

@@ -39,14 +39,16 @@
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
 use uuidp_adversary::profile::power_law;
 use uuidp_adversary::run_hunter::RunHunter;
-use uuidp_client::ProtoVersion;
+use uuidp_client::{classify, ErrorClass, ProtoVersion, RetryPolicy};
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
 use uuidp_core::rng::{SeedDomain, SeedTree, Xoshiro256pp};
+use uuidp_service::metrics::{FaultCounters, LatencyHistogram};
 use uuidp_service::net::DialedClient;
 use uuidp_sim::audit::{AuditCounts, LeaseAudit};
 
@@ -228,12 +230,69 @@ pub fn owner_key(tenant: u64, incarnation: u32) -> u64 {
     ((incarnation as u64) << INCARNATION_SHIFT) | tenant
 }
 
+/// A node's health as the router sees it.
+///
+/// `Healthy → Suspect` on the first failure, `Suspect → Down` after
+/// [`DOWN_AFTER`] consecutive failures, and any state `→ Healthy` the
+/// moment a request (which doubles as the recovery probe — every
+/// attempt against a disconnected node redials it first) succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    /// The last request succeeded.
+    #[default]
+    Healthy,
+    /// At least one recent failure; the node is being probed by the
+    /// very requests routed to it.
+    Suspect,
+    /// [`DOWN_AFTER`] or more consecutive failures. Still probed — a
+    /// node is never written off, only its error budget is.
+    Down,
+}
+
+impl fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Suspect => "suspect",
+            NodeHealth::Down => "down",
+        })
+    }
+}
+
+/// Consecutive failures that demote a suspect node to down.
+pub const DOWN_AFTER: u32 = 3;
+
+/// The router's view of one node: where it listens, the persistent
+/// connection (if live), and the health bookkeeping.
+struct NodeLink {
+    addr: Option<SocketAddr>,
+    client: Option<DialedClient>,
+    incarnation: u32,
+    health: NodeHealth,
+    consecutive_failures: u32,
+}
+
+impl NodeLink {
+    fn new() -> NodeLink {
+        NodeLink {
+            addr: None,
+            client: None,
+            incarnation: 0,
+            health: NodeHealth::Healthy,
+            consecutive_failures: 0,
+        }
+    }
+}
+
 /// The tenant-affine fleet router (see the module docs).
 pub struct Router {
     space: IdSpace,
     protocol: ProtoVersion,
-    clients: Vec<Option<DialedClient>>,
-    incarnations: Vec<u32>,
+    links: Vec<NodeLink>,
+    policy: RetryPolicy,
+    dial_timeout: Option<Duration>,
+    faults: FaultCounters,
+    latency: LatencyHistogram,
     audit: LeaseAudit,
     audit_by_tenant: LeaseAudit,
     issued: u128,
@@ -256,8 +315,11 @@ impl Router {
         Router {
             space,
             protocol,
-            clients: (0..nodes).map(|_| None).collect(),
-            incarnations: vec![0; nodes],
+            links: (0..nodes).map(|_| NodeLink::new()).collect(),
+            policy: RetryPolicy::none(),
+            dial_timeout: None,
+            faults: FaultCounters::default(),
+            latency: LatencyHistogram::new(),
             audit: LeaseAudit::new(space, audit_stripes),
             audit_by_tenant: LeaseAudit::new(space, audit_stripes),
             issued: 0,
@@ -268,13 +330,45 @@ impl Router {
 
     /// The node pinned to `tenant`.
     pub fn node_of(&self, tenant: u64) -> usize {
-        (tenant % self.clients.len() as u64) as usize
+        (tenant % self.links.len() as u64) as usize
+    }
+
+    /// Installs the retry schedule for node failures. The default is
+    /// [`RetryPolicy::none`] — fail fast, the right behavior when the
+    /// network is supposed to be clean and an error means a bug.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Bounds every dial and reply read (`None` = block forever). Set
+    /// this whenever a chaos proxy sits on the path.
+    pub fn set_dial_timeout(&mut self, timeout: Option<Duration>) {
+        self.dial_timeout = timeout;
     }
 
     /// Opens (or replaces) the persistent connection to node `index`.
     pub fn connect(&mut self, index: usize, addr: SocketAddr) -> io::Result<()> {
-        self.clients[index] = Some(DialedClient::connect(addr, self.space, self.protocol)?);
-        Ok(())
+        self.links[index].addr = Some(addr);
+        match DialedClient::connect_with(addr, self.space, self.protocol, self.dial_timeout) {
+            Ok(client) => {
+                let link = &mut self.links[index];
+                link.client = Some(client);
+                link.health = NodeHealth::Healthy;
+                link.consecutive_failures = 0;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Records node `index`'s address without dialing: the first
+    /// request routed there probes it. This is how a router starts
+    /// against a chaotic network, where even the first dial may be
+    /// inside a partition window.
+    pub fn set_addr(&mut self, index: usize, addr: SocketAddr) {
+        let link = &mut self.links[index];
+        link.addr = Some(addr);
+        link.client = None;
     }
 
     /// The wire protocol this router dials nodes with.
@@ -286,33 +380,125 @@ impl Router {
     /// the node's tenants audit under the next incarnation from here
     /// on (so any overlap with their pre-crash material counts).
     pub fn reconnect_after_crash(&mut self, index: usize, addr: SocketAddr) -> io::Result<()> {
-        self.incarnations[index] += 1;
+        self.links[index].incarnation += 1;
         self.connect(index, addr)
+    }
+
+    /// The crash acknowledgement for proxied topologies, where the
+    /// node's *proxy* address is stable across the restart: bumps the
+    /// incarnation and drops the (dead) connection — dropping a v2
+    /// client fails its pending waiters with a typed broken-connection
+    /// error, so in-flight work is drained, never stranded. The next
+    /// request to the node redials through the stored address.
+    pub fn mark_restarted(&mut self, index: usize) {
+        let link = &mut self.links[index];
+        link.incarnation += 1;
+        link.client = None;
+        link.health = NodeHealth::Suspect;
     }
 
     /// The incarnation the router currently attributes to node `index`.
     pub fn incarnation(&self, index: usize) -> u32 {
-        self.incarnations[index]
+        self.links[index].incarnation
+    }
+
+    /// Node `index`'s health as of the last request routed to it.
+    pub fn health(&self, index: usize) -> NodeHealth {
+        self.links[index].health
+    }
+
+    /// The per-fault-class ledger of everything [`Router::lease`]
+    /// absorbed (all-zero under a clean network).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// Client-side lease latency through this router (includes retry
+    /// and backoff time — the latency a caller actually experienced).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// One lease attempt against node `index`, redialing first if the
+    /// connection is down (the probe half of probed recovery).
+    fn try_lease_once(
+        &mut self,
+        node: usize,
+        tenant: u64,
+        count: u128,
+    ) -> io::Result<uuidp_service::protocol::WireLease> {
+        if self.links[node].client.is_none() {
+            let addr = self.links[node].addr.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    format!("router has no address for node {node}"),
+                )
+            })?;
+            let client =
+                DialedClient::connect_with(addr, self.space, self.protocol, self.dial_timeout)?;
+            self.links[node].client = Some(client);
+            self.faults.reconnects += 1;
+        }
+        self.links[node]
+            .client
+            .as_mut()
+            .expect("just dialed")
+            .lease(tenant, count)
     }
 
     /// Routes one lease to the tenant's node over the persistent
     /// connection and records the granted arcs in both global audits.
+    ///
+    /// Failures are classified and retried under the installed
+    /// [`RetryPolicy`] — always against the tenant's *own* node. There
+    /// is no cross-node failover, by design: every node derives the
+    /// same per-tenant streams from the shared master seed, so serving
+    /// a tenant from a second node would manufacture the exact
+    /// duplicates this whole system exists to prevent. A lost reply
+    /// means the granted IDs leak; a retry gets fresh ones
+    /// (leak-not-duplicate, pinned by the global audit).
     pub fn lease(&mut self, tenant: u64, count: u128) -> io::Result<Vec<Arc>> {
         let node = self.node_of(tenant);
-        let incarnation = self.incarnations[node];
-        let client = self.clients[node]
-            .as_mut()
-            .expect("router must be connected to the tenant's node");
-        let lease = client.lease(tenant, count)?;
-        self.leases += 1;
-        self.issued += lease.granted;
-        self.errors += lease.error.is_some() as u64;
-        let owner = owner_key(tenant, incarnation);
-        for &arc in &lease.arcs {
-            self.audit.record(owner, arc);
-            self.audit_by_tenant.record(tenant, arc);
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_lease_once(node, tenant, count) {
+                Ok(lease) => {
+                    let link = &mut self.links[node];
+                    link.health = NodeHealth::Healthy;
+                    link.consecutive_failures = 0;
+                    self.latency.record(started.elapsed());
+                    self.leases += 1;
+                    self.issued += lease.granted;
+                    self.errors += lease.error.is_some() as u64;
+                    let owner = owner_key(tenant, link.incarnation);
+                    for &arc in &lease.arcs {
+                        self.audit.record(owner, arc);
+                        self.audit_by_tenant.record(tenant, arc);
+                    }
+                    return Ok(lease.arcs);
+                }
+                Err(e) => {
+                    self.faults.observe(&e);
+                    let link = &mut self.links[node];
+                    link.client = None; // poisoned either way
+                    link.consecutive_failures += 1;
+                    link.health = if link.consecutive_failures >= DOWN_AFTER {
+                        NodeHealth::Down
+                    } else {
+                        NodeHealth::Suspect
+                    };
+                    let fatal = classify(&e) == ErrorClass::Fatal;
+                    if fatal || !self.policy.allows(attempt) {
+                        self.faults.exhausted += 1;
+                        return Err(e);
+                    }
+                    self.faults.retries += 1;
+                    std::thread::sleep(self.policy.delay(attempt));
+                    attempt += 1;
+                }
+            }
         }
-        Ok(lease.arcs)
     }
 
     /// Total IDs issued through this router.
@@ -352,17 +538,89 @@ impl Router {
     /// The node's own summary line is parsed and dropped — the caller
     /// collects the richer server-side report via
     /// [`Fleet::join_node`](crate::cluster::Fleet::join_node).
+    ///
+    /// Like [`Router::lease`], the shutdown survives a poisoned
+    /// connection: on failure a fresh connection is dialed (up to the
+    /// retry budget) so the run's accounting is never lost to a fault
+    /// that was scheduled mid-teardown.
     pub fn shutdown_node(&mut self, index: usize) -> io::Result<()> {
-        if let Some(client) = self.clients[index].take() {
-            client.shutdown()?;
+        let mut client = self.links[index].client.take();
+        if client.is_none() && self.links[index].addr.is_none() {
+            return Ok(()); // never connected, nothing to shut down
         }
-        Ok(())
+        let mut attempt = 0u32;
+        loop {
+            let result = match client.take() {
+                Some(c) => c.shutdown().map(|_| ()),
+                None => {
+                    let addr = self.links[index].addr.expect("checked above");
+                    DialedClient::connect_with(addr, self.space, self.protocol, self.dial_timeout)
+                        .and_then(|c| c.shutdown())
+                        .map(|_| ())
+                }
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.faults.observe(&e);
+                    if !self.policy.allows(attempt) {
+                        self.faults.exhausted += 1;
+                        return Err(e);
+                    }
+                    self.faults.retries += 1;
+                    std::thread::sleep(self.policy.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uuidp_core::algorithms::AlgorithmKind;
+    use uuidp_service::net::TcpServer;
+    use uuidp_service::service::ServiceConfig;
+
+    #[test]
+    fn health_walks_suspect_to_down_and_recovers_on_success() {
+        let space = IdSpace::with_bits(40).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let server = TcpServer::bind("127.0.0.1:0", config.clone()).unwrap();
+        let mut router = Router::new(space, 1, 4, ProtoVersion::V2);
+        router.set_retry_policy(RetryPolicy {
+            max_retries: 1,
+            base: Duration::from_micros(100),
+            max: Duration::from_micros(200),
+            ..RetryPolicy::default()
+        });
+        router.connect(0, server.local_addr()).unwrap();
+        assert_eq!(router.health(0), NodeHealth::Healthy);
+        assert_eq!(router.lease(0, 10).unwrap().len(), 1);
+
+        // Kill the node; every lease now burns 1 try + 1 retry = 2
+        // consecutive failures, so the second lease crosses DOWN_AFTER.
+        let halted = server.halt();
+        assert!(halted.is_some());
+        assert!(router.lease(0, 10).is_err());
+        assert_eq!(router.health(0), NodeHealth::Suspect);
+        assert!(router.lease(0, 10).is_err());
+        assert_eq!(router.health(0), NodeHealth::Down);
+        let faults = router.fault_counters();
+        assert!(faults.failed_attempts() >= 4, "{faults:?}");
+        assert_eq!(faults.exhausted, 2);
+
+        // A successor node comes up; the next request probes it back to
+        // healthy without an explicit connect call.
+        let server2 = TcpServer::bind("127.0.0.1:0", config).unwrap();
+        router.set_addr(0, server2.local_addr());
+        assert_eq!(router.lease(0, 10).unwrap().len(), 1);
+        assert_eq!(router.health(0), NodeHealth::Healthy);
+        assert!(router.latency().count() >= 2);
+        router.shutdown_node(0).unwrap();
+        assert!(server2.join().is_some());
+    }
 
     #[test]
     fn owner_keys_separate_incarnations_and_tenants() {

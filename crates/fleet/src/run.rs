@@ -7,13 +7,28 @@ use std::io;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use uuidp_client::ProtoVersion;
+use uuidp_client::{ProtoVersion, RetryPolicy};
+use uuidp_core::codec::fnv1a;
 use uuidp_core::rng::{uniform_below, Xoshiro256pp};
+use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
+use uuidp_service::metrics::FaultCounters;
 use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
 use uuidp_sim::audit::AuditCounts;
 
 use crate::cluster::Fleet;
 use crate::router::{Placement, Router, Scheduler};
+
+/// Per-request bound on every router dial/read when chaos is on.
+const CHAOS_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connection plans covered by each node's schedule fingerprint (a
+/// fixed count, so the pin depends only on the spec and seed).
+const FINGERPRINT_CONNS: u64 = 64;
+
+/// The seed lane for node `index`'s chaos proxy.
+fn node_chaos_seed(chaos_seed: u64, index: usize) -> u64 {
+    chaos_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// Configuration of one fleet run.
 #[derive(Debug, Clone)]
@@ -34,6 +49,13 @@ pub struct FleetConfig {
     pub placement: Placement,
     /// Chaos mode: crash-restart a random node every `K` requests.
     pub kill_every: Option<u64>,
+    /// Adversarial-network mode: when set, every node gets a
+    /// [`ChaosProxy`] built from this spec in front of it, the router
+    /// dials the proxies, and node failures are retried (same node
+    /// only) instead of failing the run.
+    pub chaos: Option<ChaosSpec>,
+    /// Seed for the proxies' fault schedules and the retry jitter.
+    pub chaos_seed: u64,
     /// Write-ahead reservation window for node durability.
     pub reservation: u128,
     /// Stripes of the router's global audits.
@@ -57,6 +79,8 @@ impl FleetConfig {
             count: 64,
             placement: Placement::Uniform,
             kill_every: None,
+            chaos: None,
+            chaos_seed: 0,
             reservation: 1024,
             audit_stripes: 16,
             protocol: ProtoVersion::V1,
@@ -96,6 +120,17 @@ pub struct FleetReport {
     pub elapsed: Duration,
     /// Aggregate issue rate through the fleet front door.
     pub ids_per_sec: f64,
+    /// Median client-side lease latency through the router,
+    /// microseconds (includes retry and backoff time).
+    pub p50_us: f64,
+    /// 99th-percentile client-side lease latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile client-side lease latency, microseconds.
+    pub p999_us: f64,
+    /// The router's per-fault-class ledger (all-zero without chaos).
+    pub faults: FaultCounters,
+    /// The adversarial-network stamp, when proxies were interposed.
+    pub chaos: Option<FleetChaosReport>,
     /// Crash-restarts performed.
     pub restarts: u32,
     /// Incarnation-keyed global audit counters (restart-aware).
@@ -116,6 +151,21 @@ pub struct FleetReport {
     pub per_node: Vec<NodeReport>,
 }
 
+/// What the fleet's chaos proxies did, stamped into the report.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetChaosReport {
+    /// The fault intensities every proxy was built from.
+    pub spec: ChaosSpec,
+    /// The seed the per-node schedules were derived from.
+    pub seed: u64,
+    /// FNV-1a over each node's [`schedule_fingerprint`] (first
+    /// [`FINGERPRINT_CONNS`] plans) — a pure function of
+    /// `(spec, seed, nodes)`, identical on every same-seed rerun.
+    pub fingerprint: u64,
+    /// What the proxies injected, summed across nodes.
+    pub injected: FaultCounts,
+}
+
 impl FleetReport {
     /// Renders the human-readable summary block.
     pub fn render(&self) -> String {
@@ -123,6 +173,7 @@ impl FleetReport {
             "nodes:        {} ({} crash-restarts)\nplacement:    {}\n\
              requests:     {} leases, {} IDs issued, {} errors\n\
              elapsed:      {:.3}s\nthroughput:   {:.2}M IDs/s\n\
+             lease p50:    {:.2} us (client-side, p99 {:.2} us, p999 {:.2} us)\n\
              global audit: {} IDs recorded, {} duplicate IDs \
              ({} cross-tenant, {} from recovered nodes)\n\
              node audits:  {} duplicate IDs across {} pipeline threads \
@@ -135,6 +186,9 @@ impl FleetReport {
             self.errors,
             self.elapsed.as_secs_f64(),
             self.ids_per_sec / 1e6,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
             self.global.recorded_ids,
             self.global.duplicate_ids,
             self.cross_tenant_duplicate_ids,
@@ -152,6 +206,28 @@ impl FleetReport {
                 n.report.audit.counts.duplicate_ids,
                 n.restarts,
             );
+        }
+        if let Some(chaos) = &self.chaos {
+            let _ = writeln!(
+                out,
+                "chaos:        spec `{}`, seed {}, schedule fingerprint {:016x}\n  injected:     \
+                 {} conns: {} refused, {} req-drops, {} reply-truncs, {} reply-corrupts, \
+                 {} resealed, {} upstream-failures",
+                chaos.spec,
+                chaos.seed,
+                chaos.fingerprint,
+                chaos.injected.connections,
+                chaos.injected.refused,
+                chaos.injected.dropped_requests,
+                chaos.injected.truncated_replies,
+                chaos.injected.corrupted_replies,
+                chaos.injected.resealed_replies,
+                chaos.injected.upstream_failures,
+            );
+        }
+        if self.chaos.is_some() || self.faults != FaultCounters::default() {
+            out.push_str(&self.faults.render_slo(self.requests));
+            out.push('\n');
         }
         out
     }
@@ -192,8 +268,31 @@ pub fn run_fleet(config: FleetConfig) -> io::Result<FleetReport> {
 fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetReport> {
     let space = config.service.space;
     let mut router = Router::new(space, config.nodes, config.audit_stripes, config.protocol);
+    // Adversarial-network mode: one deterministic proxy per node, the
+    // router dials the proxies, and failures are retried (same node —
+    // tenant affinity is what keeps retries duplicate-free).
+    let proxies: Vec<ChaosProxy> = match config.chaos {
+        Some(spec) => {
+            router.set_dial_timeout(Some(CHAOS_TIMEOUT));
+            router.set_retry_policy(RetryPolicy {
+                seed: config.chaos_seed,
+                ..RetryPolicy::default()
+            });
+            (0..config.nodes)
+                .map(|i| {
+                    ChaosProxy::launch(fleet.addr(i), spec, node_chaos_seed(config.chaos_seed, i))
+                })
+                .collect::<io::Result<_>>()?
+        }
+        None => Vec::new(),
+    };
     for i in 0..config.nodes {
-        router.connect(i, fleet.addr(i))?;
+        match proxies.get(i) {
+            // Lazy under chaos: the first request probes (even the
+            // initial dial can land in a partition window).
+            Some(proxy) => router.set_addr(i, proxy.addr()),
+            None => router.connect(i, fleet.addr(i))?,
+        }
     }
     let mut scheduler = Scheduler::new(
         config.placement,
@@ -202,7 +301,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         space,
         config.service.master_seed,
     );
-    // The chaos schedule gets its own seed lane so traffic and kill
+    // The kill schedule gets its own seed lane so traffic and kill
     // choices stay independently reproducible.
     let mut chaos_rng = Xoshiro256pp::new(config.service.master_seed ^ 0xC4A0_5EED);
     let mut restarts = 0u32;
@@ -214,7 +313,15 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
             if submitted > 0 && submitted.is_multiple_of(k) {
                 let victim = uniform_below(&mut chaos_rng, config.nodes as u128) as usize;
                 let addr = fleet.crash_restart(victim)?;
-                router.reconnect_after_crash(victim, addr)?;
+                match proxies.get(victim) {
+                    // The proxy's listen address is stable: point it at
+                    // the successor and let the next request reconnect.
+                    Some(proxy) => {
+                        proxy.retarget(addr);
+                        router.mark_restarted(victim);
+                    }
+                    None => router.reconnect_after_crash(victim, addr)?,
+                }
                 restarts += 1;
             }
         }
@@ -222,15 +329,33 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
             break;
         };
         let count = scheduler.forced_count().unwrap_or(config.count);
-        let arcs = router.lease(tenant, count)?;
-        submitted += 1;
-        if let Some(arc) = arcs.first() {
-            scheduler.observe(tenant, arc.start);
+        match router.lease(tenant, count) {
+            Ok(arcs) => {
+                if let Some(arc) = arcs.first() {
+                    scheduler.observe(tenant, arc.start);
+                }
+            }
+            // Under chaos an exhausted retry budget abandons the
+            // request (counted against the SLO) instead of failing the
+            // run; on a supposedly clean network it is a real bug.
+            Err(e) if config.chaos.is_some() => {
+                let _ = e;
+            }
+            Err(e) => return Err(e),
         }
+        submitted += 1;
     }
     let elapsed = started.elapsed();
 
-    // Graceful teardown: every surviving node drains and reports.
+    // Graceful teardown: every surviving node drains and reports. The
+    // proxies go passthrough first so the accounting can't be a
+    // casualty of a fault scheduled mid-shutdown — and each node gets a
+    // fresh (clean) connection rather than one carrying an unfired
+    // fault plan.
+    for (i, proxy) in proxies.iter().enumerate() {
+        proxy.set_passthrough(true);
+        router.set_addr(i, proxy.addr());
+    }
     let mut per_node = Vec::with_capacity(config.nodes);
     for i in 0..config.nodes {
         router.shutdown_node(i)?;
@@ -258,6 +383,25 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         global.recorded_ids, issued_ids,
         "every issued ID reaches the global audit"
     );
+    let chaos = config.chaos.map(|spec| {
+        let mut injected = FaultCounts::default();
+        let mut pin_bytes = Vec::with_capacity(proxies.len() * 8);
+        for (i, proxy) in proxies.iter().enumerate() {
+            injected.merge(&proxy.counts());
+            let node_pin = schedule_fingerprint(
+                &spec,
+                node_chaos_seed(config.chaos_seed, i),
+                FINGERPRINT_CONNS,
+            );
+            pin_bytes.extend_from_slice(&node_pin.to_le_bytes());
+        }
+        FleetChaosReport {
+            spec,
+            seed: config.chaos_seed,
+            fingerprint: fnv1a(&pin_bytes),
+            injected,
+        }
+    });
     Ok(FleetReport {
         nodes: config.nodes,
         placement: config.placement,
@@ -266,6 +410,11 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         errors: router.errors(),
         elapsed,
         ids_per_sec: issued_ids as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: router.latency().quantile_ns(0.50) / 1e3,
+        p99_us: router.latency().quantile_ns(0.99) / 1e3,
+        p999_us: router.latency().quantile_ns(0.999) / 1e3,
+        faults: router.fault_counters(),
+        chaos,
         restarts,
         global,
         cross_tenant_duplicate_ids: router.cross_tenant_counts().duplicate_ids,
@@ -398,6 +547,52 @@ mod tests {
             "v2 recovery re-emitted pre-crash IDs"
         );
         assert_eq!(chaotic.global.recorded_ids, chaotic.issued_ids);
+    }
+
+    #[test]
+    fn adversarial_network_fleet_stays_duplicate_free_and_stamps_its_schedule() {
+        // The PR's acceptance scenario: 3 nodes over v2, partitions +
+        // latency + torn frames + corrupted replies from the proxies,
+        // AND --kill-every crash-restarts — the run completes, the
+        // global audit is duplicate-free, and the same seed re-stamps
+        // the same schedule fingerprint.
+        let run = |seed: u64, tag: &str| {
+            let mut cfg = base(AlgorithmKind::ClusterStar, 44, 3, tag);
+            cfg.protocol = ProtoVersion::V2;
+            cfg.chaos = Some(uuidp_netchaos::ChaosSpec::small());
+            cfg.chaos_seed = seed;
+            cfg.kill_every = Some(60);
+            cfg.reservation = 64;
+            let dir = cfg.state_dir.clone();
+            let report = run_fleet(cfg).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+        let report = run(0xFEED, "netchaos-a");
+        assert_eq!(report.requests, 240);
+        assert!(report.restarts > 0, "kill-every must fire");
+        assert_eq!(report.global.duplicate_ids, 0, "chaos duplicated an ID");
+        assert_eq!(report.recovered_duplicate_ids, 0);
+        assert_eq!(
+            report.global.recorded_ids, report.issued_ids,
+            "router audit lost issued IDs"
+        );
+        let chaos = report.chaos.expect("chaos stamp");
+        let text = report.render();
+        assert!(text.contains("chaos:"), "{text}");
+        assert!(text.contains("slo:"), "{text}");
+        // Replayability: the same seed pins the same schedule, another
+        // seed diverges.
+        let again = run(0xFEED, "netchaos-b");
+        assert_eq!(
+            chaos.fingerprint,
+            again.chaos.expect("chaos stamp").fingerprint
+        );
+        let other = run(0xBEEF, "netchaos-c");
+        assert_ne!(
+            chaos.fingerprint,
+            other.chaos.expect("chaos stamp").fingerprint
+        );
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! The proxy runtime: executes [`ConnPlan`]s against live sockets.
+//!
+//! One accept thread hands each inbound connection its plan (seeded, or
+//! scripted for tests), dials the upstream, and spawns two pump threads
+//! — request direction and reply direction — that forward bytes while
+//! applying the plan: byte-exact cuts, byte-exact flips, latency, and
+//! chunked slow-peer writes. All timing here shapes *when* bytes move,
+//! never *which* bytes move, so the damage is replayable.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use uuidp_client::frame::{HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN};
+use uuidp_core::codec::fnv1a;
+
+use crate::{ChaosSpec, ConnPlan, Fault};
+
+/// How often blocked pumps wake to check for shutdown/sever.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Stall between chunked writes in slow-peer (throttle) mode.
+const THROTTLE_STALL: Duration = Duration::from_micros(50);
+
+/// Bound on dialing the upstream on behalf of a client.
+const UPSTREAM_DIAL: Duration = Duration::from_secs(2);
+
+/// Injected-fault totals, as observed by the proxy itself (the
+/// client-side view of the same events lives in the stress/fleet
+/// fault-class counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Connections accepted (including refused ones).
+    pub connections: u64,
+    /// Connections refused at accept (partition windows).
+    pub refused: u64,
+    /// Request streams cut mid-frame.
+    pub dropped_requests: u64,
+    /// Reply streams cut mid-frame.
+    pub truncated_replies: u64,
+    /// Checksum-breaking reply flips injected.
+    pub corrupted_replies: u64,
+    /// Checksum-preserving reply rewrites injected.
+    pub resealed_replies: u64,
+    /// Connections that failed because the upstream was unreachable.
+    pub upstream_failures: u64,
+}
+
+impl FaultCounts {
+    /// Total mid-stream faults actually injected.
+    pub fn injected(&self) -> u64 {
+        self.refused
+            + self.dropped_requests
+            + self.truncated_replies
+            + self.corrupted_replies
+            + self.resealed_replies
+    }
+
+    /// Folds `other` into `self` (multi-proxy aggregation — one proxy
+    /// per fleet node).
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.connections += other.connections;
+        self.refused += other.refused;
+        self.dropped_requests += other.dropped_requests;
+        self.truncated_replies += other.truncated_replies;
+        self.corrupted_replies += other.corrupted_replies;
+        self.resealed_replies += other.resealed_replies;
+        self.upstream_failures += other.upstream_failures;
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    dropped_requests: AtomicU64,
+    truncated_replies: AtomicU64,
+    corrupted_replies: AtomicU64,
+    resealed_replies: AtomicU64,
+    upstream_failures: AtomicU64,
+}
+
+enum Plans {
+    Seeded { spec: ChaosSpec, seed: u64 },
+    Scripted(Vec<ConnPlan>),
+}
+
+struct Shared {
+    upstream: Mutex<SocketAddr>,
+    plans: Plans,
+    passthrough: AtomicBool,
+    stop: AtomicBool,
+    tally: Tally,
+}
+
+impl Shared {
+    fn plan_for(&self, conn: u64) -> ConnPlan {
+        if self.passthrough.load(Ordering::Acquire) {
+            return ConnPlan::passthrough(conn);
+        }
+        match &self.plans {
+            Plans::Seeded { spec, seed } => ConnPlan::derive(spec, *seed, conn),
+            Plans::Scripted(plans) => plans
+                .get(conn as usize)
+                .copied()
+                .unwrap_or_else(|| ConnPlan::passthrough(conn)),
+        }
+    }
+}
+
+/// A running chaos proxy: a loopback listener forwarding to one
+/// upstream address under a deterministic fault schedule.
+pub struct ChaosProxy {
+    local: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a fresh loopback port and starts proxying to `upstream`
+    /// under `spec`'s fault schedule, seeded by `seed`.
+    pub fn launch(upstream: SocketAddr, spec: ChaosSpec, seed: u64) -> io::Result<ChaosProxy> {
+        ChaosProxy::launch_inner(upstream, Plans::Seeded { spec, seed })
+    }
+
+    /// [`ChaosProxy::launch`] with an explicit per-connection script
+    /// instead of a seeded schedule — connection `i` gets `plans[i]`,
+    /// anything beyond the script is passthrough. For tests that need a
+    /// precise fault on a precise connection.
+    pub fn launch_scripted(upstream: SocketAddr, plans: Vec<ConnPlan>) -> io::Result<ChaosProxy> {
+        ChaosProxy::launch_inner(upstream, Plans::Scripted(plans))
+    }
+
+    fn launch_inner(upstream: SocketAddr, plans: Plans) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            upstream: Mutex::new(upstream),
+            plans,
+            passthrough: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            tally: Tally::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(ChaosProxy {
+            local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should dial instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Repoints the proxy at a new upstream address (a crash-restarted
+    /// node comes back on a fresh port). Existing connections keep
+    /// their old upstream; new ones dial the new.
+    pub fn retarget(&self, upstream: SocketAddr) {
+        *self.shared.upstream.lock().expect("upstream lock") = upstream;
+    }
+
+    /// Suppresses (or re-enables) all faults for *new* connections.
+    /// Validation phases run through the proxy in passthrough mode so
+    /// their exact-count gates stay exact.
+    pub fn set_passthrough(&self, on: bool) {
+        self.shared.passthrough.store(on, Ordering::Release);
+    }
+
+    /// A snapshot of the injected-fault totals.
+    pub fn counts(&self) -> FaultCounts {
+        let t = &self.shared.tally;
+        FaultCounts {
+            connections: t.connections.load(Ordering::Relaxed),
+            refused: t.refused.load(Ordering::Relaxed),
+            dropped_requests: t.dropped_requests.load(Ordering::Relaxed),
+            truncated_replies: t.truncated_replies.load(Ordering::Relaxed),
+            corrupted_replies: t.corrupted_replies.load(Ordering::Relaxed),
+            resealed_replies: t.resealed_replies.load(Ordering::Relaxed),
+            upstream_failures: t.upstream_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and winds down the pumps.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = shared.tally.connections.fetch_add(1, Ordering::Relaxed);
+                let plan = shared.plan_for(conn);
+                if plan.refuse {
+                    shared.tally.refused.fetch_add(1, Ordering::Relaxed);
+                    // Accept-then-close: the dialer's handshake dies
+                    // immediately, as inside a partition window.
+                    drop(client);
+                    continue;
+                }
+                let conn_shared = Arc::clone(&shared);
+                thread::spawn(move || serve_connection(client, plan, conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL / 4),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn serve_connection(client: TcpStream, plan: ConnPlan, shared: Arc<Shared>) {
+    let upstream_addr = *shared.upstream.lock().expect("upstream lock");
+    let upstream = match TcpStream::connect_timeout(&upstream_addr, UPSTREAM_DIAL) {
+        Ok(s) => s,
+        Err(_) => {
+            shared
+                .tally
+                .upstream_failures
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    let sever = Arc::new(AtomicBool::new(false));
+    let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    let req_shared = Arc::clone(&shared);
+    let req_sever = Arc::clone(&sever);
+    let request =
+        thread::spawn(move || pump(client, u2, Direction::Request, plan, req_sever, req_shared));
+    pump(upstream, c2, Direction::Reply, plan, sever, shared);
+    let _ = request.join();
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// client → server bytes.
+    Request,
+    /// server → client bytes.
+    Reply,
+}
+
+/// Forwards `src` to `dst`, applying the plan's faults for `dir`.
+/// Severs both sockets (in both pumps, via the shared flag) when the
+/// stream ends, errors, or a cut fires.
+fn pump(
+    src: TcpStream,
+    mut dst: TcpStream,
+    dir: Direction,
+    plan: ConnPlan,
+    sever: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    let mut src = src;
+    let _ = src.set_read_timeout(Some(POLL));
+
+    // Split the plan's single fault into this direction's triggers.
+    let mut cut_at: Option<u64> = None;
+    let mut flip: Option<(u64, u8)> = None;
+    let mut resealer: Option<Resealer> = None;
+    match (dir, plan.fault) {
+        (Direction::Request, Some(Fault::DropRequestAt { offset })) => cut_at = Some(offset),
+        (Direction::Reply, Some(Fault::TruncateReplyAt { offset })) => cut_at = Some(offset),
+        (Direction::Reply, Some(Fault::CorruptReplyAt { offset, mask })) => {
+            flip = Some((offset, mask))
+        }
+        (Direction::Reply, Some(Fault::CorruptReplyFrame { frame, byte, mask })) => {
+            resealer = Some(Resealer::new(frame, byte, mask))
+        }
+        _ => {}
+    }
+
+    let mut buf = [0u8; 4096];
+    let mut forwarded: u64 = 0;
+    let mut slept = plan.latency_ns == 0;
+    loop {
+        if sever.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        if !slept {
+            thread::sleep(Duration::from_nanos(plan.latency_ns));
+            slept = true;
+        }
+        let mut data = buf[..n].to_vec();
+
+        // Checksum-breaking flip: damage the scheduled byte in place.
+        if let Some((offset, mask)) = flip {
+            if offset >= forwarded && offset < forwarded + n as u64 {
+                data[(offset - forwarded) as usize] ^= mask;
+                shared
+                    .tally
+                    .corrupted_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                flip = None;
+            }
+        }
+
+        // Checksum-preserving rewrite: reassemble frames, re-seal one.
+        let mut out = if let Some(r) = &mut resealer {
+            let mut o = Vec::with_capacity(data.len());
+            if r.push(&data, &mut o) {
+                shared
+                    .tally
+                    .resealed_replies
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            o
+        } else {
+            data
+        };
+
+        // Byte-exact cut: forward the prefix, then sever both ways.
+        let mut cut = false;
+        if let Some(at) = cut_at {
+            if forwarded + n as u64 > at {
+                out.truncate(at.saturating_sub(forwarded) as usize);
+                cut = true;
+            }
+        }
+        forwarded += n as u64;
+
+        if write_chunked(&mut dst, &out, plan.chunk).is_err() {
+            break;
+        }
+        if cut {
+            let counter = match dir {
+                Direction::Request => &shared.tally.dropped_requests,
+                Direction::Reply => &shared.tally.truncated_replies,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+    }
+    sever.store(true, Ordering::Release);
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// Writes `data` in at-most-`chunk`-byte slices, stalling between
+/// slices when throttled — the slow-peer fiction.
+fn write_chunked(dst: &mut TcpStream, data: &[u8], chunk: u32) -> io::Result<()> {
+    if chunk == u32::MAX || data.len() <= chunk as usize {
+        return dst.write_all(data);
+    }
+    for piece in data.chunks(chunk.max(1) as usize) {
+        dst.write_all(piece)?;
+        thread::sleep(THROTTLE_STALL);
+    }
+    Ok(())
+}
+
+/// Frame-aware reply rewriter for checksum-preserving corruption:
+/// reassembles v2 frames, flips one payload byte of the target frame,
+/// recomputes the FNV-1a trailer, and releases frames downstream.
+/// Degrades to raw passthrough the moment the stream stops looking
+/// like v2 frames.
+struct Resealer {
+    target: u64,
+    byte: u64,
+    mask: u8,
+    acc: Vec<u8>,
+    seen: u64,
+    done: bool,
+}
+
+impl Resealer {
+    fn new(target: u64, byte: u64, mask: u8) -> Resealer {
+        Resealer {
+            target,
+            byte,
+            mask,
+            acc: Vec::new(),
+            seen: 0,
+            done: false,
+        }
+    }
+
+    /// Feeds bytes in; appends releasable bytes to `out`. Returns true
+    /// if the rewrite fired during this push.
+    fn push(&mut self, data: &[u8], out: &mut Vec<u8>) -> bool {
+        if self.done {
+            out.extend_from_slice(data);
+            return false;
+        }
+        self.acc.extend_from_slice(data);
+        let mut fired = false;
+        while !self.done {
+            if self.acc.len() < HEADER_LEN {
+                return fired;
+            }
+            let sane = self.acc[..4] == MAGIC;
+            let payload_len =
+                u32::from_le_bytes(self.acc[13..17].try_into().expect("4 header bytes"));
+            if !sane || payload_len > MAX_PAYLOAD {
+                // Not a healthy v2 stream: stop pretending to parse it.
+                self.done = true;
+                break;
+            }
+            let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+            if self.acc.len() < total {
+                return fired;
+            }
+            if self.seen == self.target && payload_len > 0 {
+                let at = HEADER_LEN + (self.byte % payload_len as u64) as usize;
+                self.acc[at] ^= self.mask;
+                let body_end = HEADER_LEN + payload_len as usize;
+                let seal = fnv1a(&self.acc[..body_end]).to_le_bytes();
+                self.acc[body_end..total].copy_from_slice(&seal);
+                fired = true;
+                self.done = true;
+            }
+            out.extend_from_slice(&self.acc[..total]);
+            self.acc.drain(..total);
+            self.seen += 1;
+        }
+        // Degraded or finished: flush whatever is buffered, raw.
+        out.append(&mut self.acc);
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_client::frame::{decode_frame, encode_frame, FrameBody};
+
+    /// A minimal upstream that writes `reply` to every connection after
+    /// reading at least one byte, then waits for EOF.
+    fn byte_server(reply: Vec<u8>) -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            while let Ok((mut sock, _)) = listener.accept() {
+                let reply = reply.clone();
+                thread::spawn(move || {
+                    let mut first = [0u8; 1];
+                    if sock.read(&mut first).map(|n| n == 0).unwrap_or(true) {
+                        return;
+                    }
+                    let _ = sock.write_all(&reply);
+                    let mut sink = [0u8; 256];
+                    while matches!(sock.read(&mut sink), Ok(n) if n > 0) {}
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn read_to_end_lossy(sock: &mut TcpStream) -> Vec<u8> {
+        let mut got = Vec::new();
+        let _ = sock.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 1024];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn passthrough_is_byte_faithful() {
+        let reply: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        let (upstream, _server) = byte_server(reply.clone());
+        let proxy = ChaosProxy::launch(upstream, ChaosSpec::none(), 1).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        sock.write_all(b"x").expect("poke");
+        let got = read_to_end_lossy(&mut sock);
+        assert_eq!(got, reply, "passthrough must not reshape the stream");
+        assert_eq!(proxy.counts().injected(), 0);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn refused_connections_die_at_the_handshake() {
+        let (upstream, _server) = byte_server(vec![7; 16]);
+        let plan = ConnPlan {
+            refuse: true,
+            ..ConnPlan::passthrough(0)
+        };
+        let proxy = ChaosProxy::launch_scripted(upstream, vec![plan]).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        let _ = sock.write_all(b"x");
+        let got = read_to_end_lossy(&mut sock);
+        assert!(got.is_empty(), "a refused connection must carry no bytes");
+        assert_eq!(proxy.counts().refused, 1);
+        // The next connection (beyond the script) passes through.
+        let mut again = TcpStream::connect(proxy.addr()).expect("dial 2");
+        again.write_all(b"x").expect("poke");
+        assert_eq!(read_to_end_lossy(&mut again).len(), 16);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn truncation_cuts_the_reply_at_the_exact_byte() {
+        let reply: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let (upstream, _server) = byte_server(reply.clone());
+        let plan = ConnPlan {
+            fault: Some(Fault::TruncateReplyAt { offset: 437 }),
+            ..ConnPlan::passthrough(0)
+        };
+        let proxy = ChaosProxy::launch_scripted(upstream, vec![plan]).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        sock.write_all(b"x").expect("poke");
+        let got = read_to_end_lossy(&mut sock);
+        assert_eq!(got, reply[..437], "cut must land on the scheduled byte");
+        assert_eq!(proxy.counts().truncated_replies, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn corruption_flips_the_exact_scheduled_byte() {
+        let reply: Vec<u8> = vec![0u8; 600];
+        let (upstream, _server) = byte_server(reply.clone());
+        let plan = ConnPlan {
+            fault: Some(Fault::CorruptReplyAt {
+                offset: 123,
+                mask: 0x20,
+            }),
+            ..ConnPlan::passthrough(0)
+        };
+        let proxy = ChaosProxy::launch_scripted(upstream, vec![plan]).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        sock.write_all(b"x").expect("poke");
+        let got = read_to_end_lossy(&mut sock);
+        assert_eq!(got.len(), reply.len());
+        let mut expected = reply.clone();
+        expected[123] ^= 0x20;
+        assert_eq!(got, expected, "exactly one byte differs, at the offset");
+        assert_eq!(proxy.counts().corrupted_replies, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn request_drop_cuts_the_upstream_view_mid_frame() {
+        // The upstream echoes back exactly what it received, so the
+        // echoed length reveals what crossed the cut.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let upstream = listener.local_addr().expect("addr");
+        let _server = thread::spawn(move || {
+            if let Ok((mut sock, _)) = listener.accept() {
+                let got = read_to_end_lossy(&mut sock);
+                let _ = sock.write_all(&got);
+            }
+        });
+        let plan = ConnPlan {
+            fault: Some(Fault::DropRequestAt { offset: 10 }),
+            ..ConnPlan::passthrough(0)
+        };
+        let proxy = ChaosProxy::launch_scripted(upstream, vec![plan]).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        let _ = sock.write_all(&[0xAB; 64]);
+        let got = read_to_end_lossy(&mut sock);
+        // The server saw at most 10 bytes; the sever may also have cut
+        // its echo — never more than the scheduled prefix.
+        assert!(
+            got.len() <= 10,
+            "server processed {} bytes past the cut",
+            got.len()
+        );
+        assert_eq!(proxy.counts().dropped_requests, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn resealed_corruption_passes_the_checksum_but_changes_the_frame() {
+        // Two real v2 frames; the plan re-seals frame 1.
+        let f0 = encode_frame(1, &FrameBody::ResetResp { tenant: 5 });
+        let f1 = encode_frame(
+            2,
+            &FrameBody::LeaseResp {
+                tenant: 9,
+                granted: 64,
+                arcs: vec![(1000, 64)],
+                error: None,
+            },
+        );
+        let mut reply = f0.clone();
+        reply.extend_from_slice(&f1);
+        let (upstream, _server) = byte_server(reply);
+        let plan = ConnPlan {
+            fault: Some(Fault::CorruptReplyFrame {
+                frame: 1,
+                byte: 11,
+                mask: 0x04,
+            }),
+            ..ConnPlan::passthrough(0)
+        };
+        let proxy = ChaosProxy::launch_scripted(upstream, vec![plan]).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        sock.write_all(b"x").expect("poke");
+        let got = read_to_end_lossy(&mut sock);
+        // Frame 0 is untouched.
+        let (frame0, used0) = decode_frame(&got)
+            .expect("frame 0 decodes")
+            .expect("complete");
+        assert_eq!(frame0.body, FrameBody::ResetResp { tenant: 5 });
+        assert_eq!(&got[..used0], &f0[..]);
+        // Frame 1 still DECODES — the checksum was re-sealed — but is
+        // not the frame the server sent. Only the audit could tell.
+        let (frame1, used1) = decode_frame(&got[used0..])
+            .expect("resealed frame must still pass the checksum")
+            .expect("complete");
+        assert_eq!(used0 + used1, got.len());
+        assert_ne!(
+            encode_frame(frame1.corr, &frame1.body),
+            f1,
+            "the resealed frame must differ from the original"
+        );
+        assert_eq!(proxy.counts().resealed_replies, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn retarget_moves_new_connections_to_the_new_upstream() {
+        let (up_a, _sa) = byte_server(vec![b'a'; 8]);
+        let (up_b, _sb) = byte_server(vec![b'b'; 8]);
+        let proxy = ChaosProxy::launch(up_a, ChaosSpec::none(), 3).expect("proxy");
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+        sock.write_all(b"x").expect("poke");
+        assert_eq!(read_to_end_lossy(&mut sock), vec![b'a'; 8]);
+        proxy.retarget(up_b);
+        let mut sock = TcpStream::connect(proxy.addr()).expect("dial 2");
+        sock.write_all(b"x").expect("poke");
+        assert_eq!(read_to_end_lossy(&mut sock), vec![b'b'; 8]);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn passthrough_mode_suppresses_a_hostile_schedule() {
+        let (upstream, _server) = byte_server(vec![9; 512]);
+        // Every connection would be refused — unless passthrough.
+        let spec = ChaosSpec {
+            refuse_per_mille: 1000,
+            ..ChaosSpec::none()
+        };
+        let proxy = ChaosProxy::launch(upstream, spec, 11).expect("proxy");
+        proxy.set_passthrough(true);
+        for _ in 0..4 {
+            let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+            sock.write_all(b"x").expect("poke");
+            assert_eq!(read_to_end_lossy(&mut sock).len(), 512);
+        }
+        assert_eq!(proxy.counts().refused, 0);
+        proxy.shutdown();
+    }
+}

@@ -1,0 +1,223 @@
+//! The chaos spec grammar: fault intensities as data.
+//!
+//! A spec is either a preset name (`none` | `small` | `heavy`) or a
+//! comma-separated list of `key:value` pairs, optionally starting from
+//! a preset that the pairs then override:
+//!
+//! ```text
+//! small,corrupt:80,latency_us:200
+//! refuse:40,drop:60,trunc:40,throttle:256
+//! ```
+//!
+//! | key | unit | meaning |
+//! |-----|------|---------|
+//! | `refuse`     | ‰ per connection | accept-then-close (partition window) |
+//! | `drop`       | ‰ per connection | cut the request stream at a scheduled byte |
+//! | `trunc`      | ‰ per connection | cut the reply stream at a scheduled byte |
+//! | `corrupt`    | ‰ per connection | checksum-breaking reply bit-flip |
+//! | `fix`        | ‰ per connection | checksum-preserving reply bit-flip (test-only; **not** in any preset) |
+//! | `latency_us` | µs | fixed delay injected per connection direction |
+//! | `jitter_us`  | µs | upper bound of the seeded random extra delay |
+//! | `throttle`   | bytes | slow-peer mode: forward at most this many bytes per write (0 = off) |
+//!
+//! `drop + trunc + corrupt + fix` must stay ≤ 1000‰: a connection draws
+//! one mid-stream fault at most.
+
+/// Fault intensities for a [`crate::ChaosProxy`]. All-zero means pure
+/// passthrough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSpec {
+    /// Per-mille of connections refused at accept (partition window).
+    pub refuse_per_mille: u16,
+    /// Per-mille of connections whose request stream is cut mid-frame.
+    pub drop_per_mille: u16,
+    /// Per-mille of connections whose reply stream is cut mid-frame.
+    pub trunc_per_mille: u16,
+    /// Per-mille of connections with a checksum-breaking reply flip.
+    pub corrupt_per_mille: u16,
+    /// Per-mille of connections with a checksum-preserving reply flip.
+    /// Undetectable by the transport — only the audit can catch what
+    /// this does to a lease. Test-only; never set by a preset.
+    pub fix_per_mille: u16,
+    /// Fixed injected latency per connection direction, microseconds.
+    pub latency_us: u64,
+    /// Seeded jitter bound added to the fixed latency, microseconds.
+    pub jitter_us: u64,
+    /// Slow-peer byte-throttling: max bytes forwarded per write
+    /// (0 = unthrottled).
+    pub throttle: u32,
+}
+
+impl ChaosSpec {
+    /// The passthrough spec: no faults, no shaping.
+    pub fn none() -> Self {
+        ChaosSpec::default()
+    }
+
+    /// The CI-sized preset: every fault class at mild intensity, small
+    /// enough that a retrying client always gets through.
+    pub fn small() -> Self {
+        ChaosSpec {
+            refuse_per_mille: 40,
+            drop_per_mille: 60,
+            trunc_per_mille: 40,
+            corrupt_per_mille: 40,
+            fix_per_mille: 0,
+            latency_us: 50,
+            jitter_us: 200,
+            throttle: 0,
+        }
+    }
+
+    /// The stress-the-retry-path preset.
+    pub fn heavy() -> Self {
+        ChaosSpec {
+            refuse_per_mille: 120,
+            drop_per_mille: 150,
+            trunc_per_mille: 100,
+            corrupt_per_mille: 100,
+            fix_per_mille: 0,
+            latency_us: 100,
+            jitter_us: 500,
+            throttle: 256,
+        }
+    }
+
+    /// Whether this spec injects anything at all.
+    pub fn is_passthrough(&self) -> bool {
+        *self == ChaosSpec::default()
+    }
+
+    /// Parses the spec grammar (see the module docs).
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        let mut spec = ChaosSpec::none();
+        for (i, token) in s.split(',').enumerate() {
+            let token = token.trim();
+            if token.is_empty() {
+                return Err("empty chaos spec token".into());
+            }
+            match token {
+                "none" | "small" | "heavy" if i == 0 => {
+                    spec = match token {
+                        "none" => ChaosSpec::none(),
+                        "small" => ChaosSpec::small(),
+                        _ => ChaosSpec::heavy(),
+                    };
+                    continue;
+                }
+                "none" | "small" | "heavy" => {
+                    return Err(format!("preset `{token}` must come first in a chaos spec"));
+                }
+                _ => {}
+            }
+            let (key, value) = token
+                .split_once(':')
+                .ok_or_else(|| format!("chaos token `{token}` is not `key:value` or a preset"))?;
+            let parse_mille = |v: &str| -> Result<u16, String> {
+                let n: u16 = v
+                    .parse()
+                    .map_err(|_| format!("chaos `{key}` wants an integer, got `{v}`"))?;
+                if n > 1000 {
+                    return Err(format!("chaos `{key}:{n}` exceeds 1000 per mille"));
+                }
+                Ok(n)
+            };
+            match key {
+                "refuse" => spec.refuse_per_mille = parse_mille(value)?,
+                "drop" => spec.drop_per_mille = parse_mille(value)?,
+                "trunc" => spec.trunc_per_mille = parse_mille(value)?,
+                "corrupt" => spec.corrupt_per_mille = parse_mille(value)?,
+                "fix" => spec.fix_per_mille = parse_mille(value)?,
+                "latency_us" => {
+                    spec.latency_us = value.parse().map_err(|_| {
+                        format!("chaos `latency_us` wants an integer, got `{value}`")
+                    })?
+                }
+                "jitter_us" => {
+                    spec.jitter_us = value
+                        .parse()
+                        .map_err(|_| format!("chaos `jitter_us` wants an integer, got `{value}`"))?
+                }
+                "throttle" => {
+                    spec.throttle = value
+                        .parse()
+                        .map_err(|_| format!("chaos `throttle` wants an integer, got `{value}`"))?
+                }
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        let midstream = spec.drop_per_mille as u32
+            + spec.trunc_per_mille as u32
+            + spec.corrupt_per_mille as u32
+            + spec.fix_per_mille as u32;
+        if midstream > 1000 {
+            return Err(format!(
+                "drop+trunc+corrupt+fix = {midstream} per mille exceeds 1000"
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+impl std::fmt::Display for ChaosSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_passthrough() {
+            return f.write_str("none");
+        }
+        write!(
+            f,
+            "refuse:{},drop:{},trunc:{},corrupt:{},fix:{},latency_us:{},jitter_us:{},throttle:{}",
+            self.refuse_per_mille,
+            self.drop_per_mille,
+            self.trunc_per_mille,
+            self.corrupt_per_mille,
+            self.fix_per_mille,
+            self.latency_us,
+            self.jitter_us,
+            self.throttle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_round_trip() {
+        assert_eq!(ChaosSpec::parse("none").unwrap(), ChaosSpec::none());
+        assert_eq!(ChaosSpec::parse("small").unwrap(), ChaosSpec::small());
+        assert_eq!(ChaosSpec::parse("heavy").unwrap(), ChaosSpec::heavy());
+        let spec = ChaosSpec::parse("small,corrupt:80,latency_us:200").unwrap();
+        assert_eq!(spec.corrupt_per_mille, 80);
+        assert_eq!(spec.latency_us, 200);
+        assert_eq!(spec.refuse_per_mille, ChaosSpec::small().refuse_per_mille);
+        // Display output re-parses to the same spec.
+        let echoed = ChaosSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(echoed, spec);
+        assert_eq!(ChaosSpec::none().to_string(), "none");
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "bogus",
+            "drop",
+            "drop:",
+            "drop:abc",
+            "drop:1001",
+            "drop:600,trunc:600", // over the one-fault budget
+            "small,heavy",        // preset not first
+            "drop:10,small",
+        ] {
+            assert!(ChaosSpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn presets_never_use_checksum_preserving_corruption() {
+        assert_eq!(ChaosSpec::small().fix_per_mille, 0);
+        assert_eq!(ChaosSpec::heavy().fix_per_mille, 0);
+    }
+}

@@ -109,6 +109,98 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-fault-class outcome counters for a chaos-exposed driver: every
+/// failed attempt is classified by what it implies about server-side
+/// effects (see `uuidp_client::ErrorClass`) and every recovery action
+/// is counted, so the report can say not just *how many* requests
+/// suffered but *how* they suffered and what it cost to absorb them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Attempts that failed before the request could have been
+    /// processed (refused dials, failed handshakes, torn writes).
+    pub retry_safe: u64,
+    /// Attempts whose reply was lost after the request may have been
+    /// processed — each one is a potential leaked lease.
+    pub lease_in_doubt: u64,
+    /// Protocol-level failures where retrying the same bytes is
+    /// pointless.
+    pub fatal: u64,
+    /// Retries actually performed (every one a recovered attempt).
+    pub retries: u64,
+    /// Reconnections performed (connection replaced mid-run).
+    pub reconnects: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub exhausted: u64,
+}
+
+impl FaultCounters {
+    /// Classifies `err` and bumps the matching class counter.
+    pub fn observe(&mut self, err: &std::io::Error) {
+        match uuidp_client::classify(err) {
+            uuidp_client::ErrorClass::RetrySafe => self.retry_safe += 1,
+            uuidp_client::ErrorClass::LeaseInDoubt => self.lease_in_doubt += 1,
+            uuidp_client::ErrorClass::Fatal => self.fatal += 1,
+        }
+    }
+
+    /// Total failed attempts across all classes.
+    pub fn failed_attempts(&self) -> u64 {
+        self.retry_safe + self.lease_in_doubt + self.fatal
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.retry_safe += other.retry_safe;
+        self.lease_in_doubt += other.lease_in_doubt;
+        self.fatal += other.fatal;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.exhausted += other.exhausted;
+    }
+
+    /// Renders the SLO / error-budget section shared by the stress and
+    /// fleet reports: availability against a 99.9% success objective,
+    /// with the per-fault-class breakdown underneath.
+    ///
+    /// `requests` is the number of *logical* requests the driver
+    /// submitted; a request that succeeded on retry still counts as
+    /// served — that is the whole point of graceful degradation.
+    pub fn render_slo(&self, requests: u64) -> String {
+        use std::fmt::Write as _;
+        let served = requests.saturating_sub(self.exhausted);
+        let success_pm = if requests == 0 {
+            1000.0
+        } else {
+            served as f64 / requests as f64 * 1000.0
+        };
+        // The 99.9% objective expressed as an error budget of failed
+        // requests; consumed = abandoned requests against it.
+        let budget = requests as f64 * 0.001;
+        let consumed = if budget == 0.0 {
+            0.0
+        } else {
+            self.exhausted as f64 / budget * 100.0
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  slo:         {served}/{requests} served ({:.2}‰), error budget (99.9%) {consumed:.0}% consumed",
+            success_pm
+        );
+        let _ = writeln!(
+            out,
+            "  fault-class: retry-safe {} | lease-in-doubt {} | fatal {}",
+            self.retry_safe, self.lease_in_doubt, self.fatal
+        );
+        let _ = write!(
+            out,
+            "  recovery:    {} retries, {} reconnects, {} abandoned",
+            self.retries, self.reconnects, self.exhausted
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +218,36 @@ mod tests {
         assert!(p99 >= 65_536.0, "p99 = {p99}");
         assert!(h.mean_ns() > 0.0);
         assert_eq!(h.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn fault_counters_classify_and_merge() {
+        let mut c = FaultCounters::default();
+        c.observe(&std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "refused",
+        ));
+        c.observe(&uuidp_client::broken(
+            "reply lost",
+            uuidp_client::ErrorClass::LeaseInDoubt,
+        ));
+        c.observe(&std::io::Error::new(std::io::ErrorKind::InvalidData, "bad"));
+        assert_eq!(c.retry_safe, 1);
+        assert_eq!(c.lease_in_doubt, 1);
+        assert_eq!(c.fatal, 1);
+        assert_eq!(c.failed_attempts(), 3);
+        let mut d = FaultCounters {
+            retries: 5,
+            exhausted: 1,
+            ..FaultCounters::default()
+        };
+        d.merge(&c);
+        assert_eq!(d.failed_attempts(), 3);
+        assert_eq!(d.retries, 5);
+        let slo = d.render_slo(1000);
+        assert!(slo.contains("999/1000"), "{slo}");
+        assert!(slo.contains("lease-in-doubt 1"), "{slo}");
+        assert!(slo.contains("5 retries"), "{slo}");
     }
 
     #[test]

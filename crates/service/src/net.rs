@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use uuidp_client::frame::{self, FrameBody};
-use uuidp_client::{Client, ProtoVersion};
+use uuidp_client::{Client, ClientOptions, ProtoVersion};
 use uuidp_core::id::IdSpace;
 
 use crate::protocol::{
@@ -972,10 +972,25 @@ impl RemoteClient {
     /// the wire carries arc start/len pairs, and the client rebuilds
     /// typed [`Arc`](uuidp_core::interval::Arc)s over this space.
     pub fn connect<A: ToSocketAddrs>(addr: A, space: IdSpace) -> io::Result<RemoteClient> {
+        RemoteClient::connect_with(addr, space, None)
+    }
+
+    /// Like [`RemoteClient::connect`], but every reply read is bounded
+    /// by `read_timeout` (`None` = block forever). A stalled or
+    /// partitioned server then surfaces as a timed-out [`io::Error`]
+    /// instead of hanging the caller; because v1 is strictly
+    /// request/reply, a timed-out read leaves the request's fate
+    /// unknown (lease-in-doubt) and the connection must be replaced.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        space: IdSpace,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<RemoteClient> {
         let writer = TcpStream::connect(addr)?;
         // Command lines are tiny and latency-bound; never batch them
         // behind Nagle (pairs with the server-side set_nodelay).
         writer.set_nodelay(true)?;
+        writer.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(RemoteClient {
             reader,
@@ -988,11 +1003,26 @@ impl RemoteClient {
     fn roundtrip(&mut self, command: &str) -> io::Result<String> {
         writeln!(self.writer, "{command}")?;
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        match self.reader.read_line(&mut line) {
+            // A bounded read that expired: the command was sent, its
+            // reply never came — classify as lease-in-doubt so a chaos
+            // driver knows not to blindly replay it.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(uuidp_client::broken(
+                    "v1 reply read timed out",
+                    uuidp_client::ErrorClass::LeaseInDoubt,
+                ));
+            }
+            Err(e) => return Err(e),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(_) => {}
         }
         Ok(line.trim_end().to_string())
     }
@@ -1053,6 +1083,31 @@ impl DialedClient {
         Ok(match proto {
             ProtoVersion::V1 => DialedClient::V1(RemoteClient::connect(addr, space)?),
             ProtoVersion::V2 => DialedClient::V2(Client::connect(addr, space)?),
+        })
+    }
+
+    /// Connects to `addr` speaking `proto` with every blocking phase
+    /// bounded by `timeout`: the dial, the v2 handshake, and each
+    /// request's reply read (v1 maps the same bound onto its socket
+    /// read timeout). `None` keeps the unbounded [`DialedClient::connect`]
+    /// behavior. This is the dial used when a chaos proxy sits between
+    /// the client and the server — nothing may hang forever.
+    pub fn connect_with(
+        addr: SocketAddr,
+        space: IdSpace,
+        proto: ProtoVersion,
+        timeout: Option<Duration>,
+    ) -> io::Result<Self> {
+        Ok(match proto {
+            ProtoVersion::V1 => DialedClient::V1(RemoteClient::connect_with(addr, space, timeout)?),
+            ProtoVersion::V2 => {
+                let options = ClientOptions {
+                    connect_timeout: timeout,
+                    handshake_timeout: timeout.or(ClientOptions::default().handshake_timeout),
+                    request_timeout: timeout,
+                };
+                DialedClient::V2(Client::connect_with(addr, space, options)?)
+            }
         })
     }
 
@@ -1231,6 +1286,22 @@ mod tests {
         assert_eq!(summary.duplicate_ids, 0);
         let report = server.join().expect("server report");
         assert_eq!(report.issued_ids, issued);
+    }
+
+    #[test]
+    fn v1_read_timeout_turns_a_stalled_server_into_a_typed_error() {
+        // A listener that accepts and then never says anything — the
+        // pathological peer a partition window produces.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let space = IdSpace::with_bits(40).unwrap();
+        let mut client =
+            RemoteClient::connect_with(addr, space, Some(Duration::from_millis(50))).unwrap();
+        let err = client.lease(0, 10).unwrap_err();
+        let broken = uuidp_client::broken_connection(&err).expect("typed broken-connection error");
+        assert_eq!(broken.class, uuidp_client::ErrorClass::LeaseInDoubt);
+        drop(hold.join().unwrap());
     }
 
     #[test]

@@ -166,6 +166,7 @@ pub fn wire_summary(report: &ServiceReport) -> WireSummary {
         errors: report.errors,
         p50_ns: report.latency.quantile_ns(0.50),
         p99_ns: report.latency.quantile_ns(0.99),
+        p999_ns: report.latency.quantile_ns(0.999),
         mean_ns: report.latency.mean_ns(),
         duplicate_ids: report.audit.counts.duplicate_ids,
         flagged_records: report.audit.counts.flagged_records,
@@ -182,14 +183,15 @@ pub fn wire_summary(report: &ServiceReport) -> WireSummary {
 pub fn render_summary(report: &ServiceReport) -> String {
     let s = wire_summary(report);
     format!(
-        "bye issued={} leases={} errors={} p50_ns={:.1} p99_ns={:.1} mean_ns={:.1} \
-         dup={} flagged={} rec_ids={} rec_arcs={} records={} max_lag_ns={} \
+        "bye issued={} leases={} errors={} p50_ns={:.1} p99_ns={:.1} p999_ns={:.1} \
+         mean_ns={:.1} dup={} flagged={} rec_ids={} rec_arcs={} records={} max_lag_ns={} \
          mean_lag_ns={:.1} audit_threads={}",
         s.issued_ids,
         s.leases,
         s.errors,
         s.p50_ns,
         s.p99_ns,
+        s.p999_ns,
         s.mean_ns,
         s.duplicate_ids,
         s.flagged_records,
@@ -213,6 +215,7 @@ pub fn parse_summary(line: &str) -> Result<WireSummary, String> {
         errors: 0,
         p50_ns: 0.0,
         p99_ns: 0.0,
+        p999_ns: 0.0,
         mean_ns: 0.0,
         duplicate_ids: 0,
         flagged_records: 0,
@@ -236,6 +239,7 @@ pub fn parse_summary(line: &str) -> Result<WireSummary, String> {
             "errors" => summary.errors = value.parse().map_err(|_| bad(key))?,
             "p50_ns" => summary.p50_ns = value.parse().map_err(|_| bad(key))?,
             "p99_ns" => summary.p99_ns = value.parse().map_err(|_| bad(key))?,
+            "p999_ns" => summary.p999_ns = value.parse().map_err(|_| bad(key))?,
             "mean_ns" => summary.mean_ns = value.parse().map_err(|_| bad(key))?,
             "dup" => summary.duplicate_ids = value.parse().map_err(|_| bad(key))?,
             "flagged" => summary.flagged_records = value.parse().map_err(|_| bad(key))?,
@@ -248,8 +252,8 @@ pub fn parse_summary(line: &str) -> Result<WireSummary, String> {
             other => return Err(format!("unknown summary field `{other}`")),
         }
     }
-    if seen < 14 {
-        return Err(format!("summary has {seen} of 14 fields: `{line}`"));
+    if seen < 15 {
+        return Err(format!("summary has {seen} of 15 fields: `{line}`"));
     }
     Ok(summary)
 }

@@ -34,11 +34,22 @@
 //! count at `workers` for the entire run — connection reuse instead of
 //! connection churn.
 //!
+//! Chaos runs ([`StressConfig::chaos`]) interpose a deterministic
+//! [`ChaosProxy`] between the client pool and the server and swap the
+//! fail-fast targets for a retrying one ([`ChaosRemoteTarget`]): every
+//! request failure is classified (retry-safe / lease-in-doubt / fatal),
+//! retried under a seeded [`RetryPolicy`], and accounted into the
+//! report's SLO section. The shutdown that yields the authoritative
+//! totals travels over the proxy in passthrough mode, so the report
+//! itself is never a casualty of the faults it describes.
+//!
 //! [`RunHunter`]: uuidp_adversary::run_hunter::RunHunter
 
 use std::fmt;
 use std::io;
+use std::net::SocketAddr;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc as SyncArc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,11 +59,25 @@ use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
 use uuidp_core::rng::{SeedDomain, SeedTree};
 
-use uuidp_client::ProtoVersion;
+use uuidp_client::{ProtoVersion, RetryPolicy};
+use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
 
+use crate::metrics::FaultCounters;
 use crate::net::{DialedClient, TcpServer};
 use crate::protocol::WireSummary;
 use crate::service::{AuditReport, IdService, ServiceConfig, ServiceReport};
+
+/// Per-request bound for every blocking client phase in a chaos run:
+/// long enough that a throttled-but-alive peer gets through, short
+/// enough that a truncated reply cannot hang the driver.
+const CHAOS_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How many connection plans the report's schedule fingerprint covers.
+/// Fixed (rather than "however many connections this run happened to
+/// make") so the pin is a pure function of `(spec, seed)` and two runs
+/// of the same seed print the same fingerprint even when retry timing
+/// differs.
+const FINGERPRINT_CONNS: u64 = 64;
 
 /// The request-mix shapes the driver can replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +145,14 @@ pub struct StressConfig {
     /// (one connection per pool worker) or the v2 binary framed
     /// protocol, where the whole pool **multiplexes one connection**.
     pub protocol: ProtoVersion,
+    /// Fault schedule for remote runs: when set, a [`ChaosProxy`] built
+    /// from this spec and [`StressConfig::chaos_seed`] sits between the
+    /// clients and the server, and the driver switches to classified
+    /// retries instead of failing fast. Ignored by in-process runs.
+    pub chaos: Option<ChaosSpec>,
+    /// Seed for the chaos schedule *and* the retry jitter; the same
+    /// seed replays the same fault schedule bit-for-bit.
+    pub chaos_seed: u64,
 }
 
 impl StressConfig {
@@ -134,6 +167,8 @@ impl StressConfig {
             mix: TrafficMix::Uniform,
             remote_workers: 1,
             protocol: ProtoVersion::V1,
+            chaos: None,
+            chaos_seed: 0,
         }
     }
 }
@@ -173,8 +208,13 @@ pub struct TargetReport {
     pub p50_ns: f64,
     /// 99th-percentile per-lease issue cost, nanoseconds.
     pub p99_ns: f64,
+    /// 99.9th-percentile per-lease issue cost, nanoseconds — the tail
+    /// the SLO section watches under chaos.
+    pub p999_ns: f64,
     /// Mean per-lease issue cost, nanoseconds.
     pub mean_ns: f64,
+    /// Client-side fault classification (all-zero outside chaos runs).
+    pub faults: FaultCounters,
     /// The audit pipeline's findings.
     pub audit: AuditReport,
 }
@@ -187,7 +227,9 @@ impl From<ServiceReport> for TargetReport {
             errors: report.errors,
             p50_ns: report.latency.quantile_ns(0.50),
             p99_ns: report.latency.quantile_ns(0.99),
+            p999_ns: report.latency.quantile_ns(0.999),
             mean_ns: report.latency.mean_ns(),
+            faults: FaultCounters::default(),
             audit: report.audit,
         }
     }
@@ -201,7 +243,9 @@ impl From<WireSummary> for TargetReport {
             errors: summary.errors,
             p50_ns: summary.p50_ns,
             p99_ns: summary.p99_ns,
+            p999_ns: summary.p999_ns,
             mean_ns: summary.mean_ns,
+            faults: FaultCounters::default(),
             audit: AuditReport {
                 counts: uuidp_sim::audit::AuditCounts {
                     duplicate_ids: summary.duplicate_ids,
@@ -493,6 +537,252 @@ impl StressTarget for PooledRemoteTarget {
     }
 }
 
+/// A [`DialedClient`] wrapped in classified retries: every failure is
+/// observed into a [`FaultCounters`], the (possibly poisoned)
+/// connection is replaced, and the request is retried under the seeded
+/// [`RetryPolicy`] until it succeeds or the budget is exhausted.
+///
+/// Retrying a lease-in-doubt failure is deliberate and *correct* for
+/// this service: the generator never re-emits an ID, so the retried
+/// lease yields fresh IDs and the abandoned grant merely leaks
+/// server-side — leak-not-duplicate, pinned by the global audit.
+struct ResilientClient {
+    addr: SocketAddr,
+    space: IdSpace,
+    protocol: ProtoVersion,
+    policy: RetryPolicy,
+    client: Option<DialedClient>,
+    ever_connected: bool,
+    faults: FaultCounters,
+}
+
+impl ResilientClient {
+    fn new(addr: SocketAddr, space: IdSpace, protocol: ProtoVersion, policy: RetryPolicy) -> Self {
+        ResilientClient {
+            addr,
+            space,
+            protocol,
+            policy,
+            client: None,
+            ever_connected: false,
+            faults: FaultCounters::default(),
+        }
+    }
+
+    fn client(&mut self) -> io::Result<&mut DialedClient> {
+        if self.client.is_none() {
+            let dialed = DialedClient::connect_with(
+                self.addr,
+                self.space,
+                self.protocol,
+                Some(CHAOS_TIMEOUT),
+            )?;
+            if self.ever_connected {
+                self.faults.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.client = Some(dialed);
+        }
+        Ok(self.client.as_mut().expect("just dialed"))
+    }
+
+    /// Runs `f` against a live connection, retrying per the policy.
+    /// Returns `None` when the retry budget is exhausted (the request
+    /// is abandoned and counted against the error budget).
+    fn attempt<T>(&mut self, f: impl Fn(&mut DialedClient) -> io::Result<T>) -> Option<T> {
+        for attempt in 0.. {
+            let result = self.client().and_then(&f);
+            match result {
+                Ok(v) => return Some(v),
+                Err(e) => {
+                    self.faults.observe(&e);
+                    // Any failure poisons the connection (a timed-out
+                    // request's late reply must never be read as the
+                    // next request's answer): replace it.
+                    self.client = None;
+                    if self.policy.allows(attempt) {
+                        self.faults.retries += 1;
+                        std::thread::sleep(self.policy.delay(attempt));
+                    } else {
+                        self.faults.exhausted += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        unreachable!("the retry loop returns from within")
+    }
+}
+
+/// A resilient pool worker: like [`pool_worker`], but failures are
+/// classified, retried, and counted instead of panicking. Hands its
+/// fault ledger back when the queue closes.
+fn resilient_pool_worker(mut client: ResilientClient, rx: Receiver<PoolMsg>) -> FaultCounters {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            PoolMsg::Lease {
+                tenant,
+                count,
+                reply,
+            } => {
+                let arcs = client
+                    .attempt(|c| c.lease(tenant, count))
+                    .map(|lease| lease.arcs)
+                    .unwrap_or_default();
+                let _ = reply.send(arcs);
+            }
+            PoolMsg::Issue { tenant, count } => {
+                let _ = client.attempt(|c| c.lease(tenant, count));
+            }
+            PoolMsg::Barrier { done } => {
+                let _ = done.send(());
+            }
+            PoolMsg::Drain { done } => {
+                let _ = client.attempt(|c| c.drain());
+                let _ = done.send(());
+            }
+        }
+    }
+    client.faults
+}
+
+/// The chaos socket target: a pool of [`ResilientClient`] workers
+/// talking through a shared [`ChaosProxy`]. Unlike
+/// [`PooledRemoteTarget`], every worker owns an independent connection
+/// even under protocol v2 — a severed mux must not take the whole pool
+/// down with it.
+pub struct ChaosRemoteTarget {
+    space: IdSpace,
+    protocol: ProtoVersion,
+    proxy: SyncArc<ChaosProxy>,
+    txs: Vec<SyncSender<PoolMsg>>,
+    workers: Vec<JoinHandle<FaultCounters>>,
+}
+
+impl ChaosRemoteTarget {
+    /// Starts `workers ≥ 1` resilient workers dialing through `proxy`.
+    /// Connections are lazy — the first request dials (and the dial
+    /// itself is inside the retry loop, so a refused connection window
+    /// is survivable).
+    pub fn connect(
+        proxy: SyncArc<ChaosProxy>,
+        space: IdSpace,
+        workers: usize,
+        protocol: ProtoVersion,
+        policy: RetryPolicy,
+    ) -> ChaosRemoteTarget {
+        let workers = workers.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            // Distinct jitter streams per worker, still seed-determined.
+            let policy = RetryPolicy {
+                seed: policy.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..policy
+            };
+            let client = ResilientClient::new(proxy.addr(), space, protocol, policy);
+            let (tx, rx) = sync_channel::<PoolMsg>(1024);
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                resilient_pool_worker(client, rx)
+            }));
+        }
+        ChaosRemoteTarget {
+            space,
+            protocol,
+            proxy,
+            txs,
+            workers: handles,
+        }
+    }
+
+    fn tx_of(&self, tenant: u64) -> &SyncSender<PoolMsg> {
+        &self.txs[(tenant % self.txs.len() as u64) as usize]
+    }
+}
+
+impl StressTarget for ChaosRemoteTarget {
+    fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
+        let (reply, rx) = sync_channel(1);
+        self.tx_of(tenant)
+            .send(PoolMsg::Lease {
+                tenant,
+                count,
+                reply,
+            })
+            .expect("chaos pool worker alive");
+        rx.recv().expect("chaos pool worker replies")
+    }
+
+    fn issue(&mut self, tenant: u64, count: u128) {
+        self.tx_of(tenant)
+            .send(PoolMsg::Issue { tenant, count })
+            .expect("chaos pool worker alive");
+    }
+
+    fn drain(&mut self) {
+        let barriers: Vec<Receiver<()>> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (done, rx) = sync_channel(1);
+                tx.send(PoolMsg::Barrier { done })
+                    .expect("chaos pool worker alive");
+                rx
+            })
+            .collect();
+        for rx in barriers {
+            rx.recv().expect("chaos pool worker alive");
+        }
+        let (done, rx) = sync_channel(1);
+        self.txs[0]
+            .send(PoolMsg::Drain { done })
+            .expect("chaos pool worker alive");
+        rx.recv().expect("chaos pool worker drains");
+    }
+
+    fn finish(self) -> TargetReport {
+        // The report must survive the chaos that produced it: flip the
+        // proxy to passthrough so the shutdown travels a clean path
+        // (new connections are unscheduled from here on).
+        self.proxy.set_passthrough(true);
+        drop(self.txs); // workers exit and hand back their ledgers
+        let mut faults = FaultCounters::default();
+        for handle in self.workers {
+            faults.merge(&handle.join().expect("chaos pool worker panicked"));
+        }
+        let mut last_err: Option<io::Error> = None;
+        for _ in 0..10 {
+            let attempt = DialedClient::connect_with(
+                self.proxy.addr(),
+                self.space,
+                self.protocol,
+                Some(CHAOS_TIMEOUT),
+            )
+            .and_then(|client| client.shutdown());
+            match attempt {
+                Ok(summary) => {
+                    let mut report = TargetReport::from(summary);
+                    report.faults = faults;
+                    return report;
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        panic!(
+            "shutdown over a passthrough proxy kept failing: {:?}",
+            last_err
+        );
+    }
+}
+
 /// What one stress run measured.
 #[derive(Debug)]
 pub struct StressReport {
@@ -512,12 +802,34 @@ pub struct StressReport {
     pub p50_us: f64,
     /// 99th-percentile per-lease issue cost, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile per-lease issue cost, microseconds.
+    pub p999_us: f64,
     /// Mean per-lease issue cost, microseconds.
     pub mean_us: f64,
     /// Leases that hit a generator error.
     pub errors: u64,
+    /// Client-side fault classification and recovery accounting
+    /// (all-zero outside chaos runs).
+    pub faults: FaultCounters,
+    /// The chaos stamp, when this run injected faults.
+    pub chaos: Option<ChaosReport>,
     /// The audit pipeline's findings (lag, duplicates).
     pub audit: AuditReport,
+}
+
+/// What a chaos run did to the wire, stamped into the report.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosReport {
+    /// The fault intensities that scheduled this run.
+    pub spec: ChaosSpec,
+    /// The seed the schedule (and retry jitter) was derived from.
+    pub seed: u64,
+    /// [`schedule_fingerprint`] over the first [`FINGERPRINT_CONNS`]
+    /// connection plans — a pure function of `(spec, seed)`, so two
+    /// runs of the same seed print the same pin.
+    pub fingerprint: u64,
+    /// What the proxy actually injected.
+    pub injected: FaultCounts,
 }
 
 impl StressReport {
@@ -526,7 +838,7 @@ impl StressReport {
         let mut out = format!(
             "mix:         {}\nshards:      {}\nrequests:    {} leases, {} IDs issued\n\
              elapsed:     {:.3}s\nthroughput:  {:.2}M IDs/s\n\
-             issue p50:   {:.2} us\nissue p99:   {:.2} us\nissue mean:  {:.2} us\n\
+             issue p50:   {:.2} us\nissue p99:   {:.2} us\nissue p999:  {:.2} us\nissue mean:  {:.2} us\n\
              errors:      {}\naudit:       {} arcs, {} duplicate IDs, {} flagged leases\n\
              audit lag:   max {:.2} ms, mean {:.3} ms\n",
             self.mix,
@@ -537,6 +849,7 @@ impl StressReport {
             self.ids_per_sec / 1e6,
             self.p50_us,
             self.p99_us,
+            self.p999_us,
             self.mean_us,
             self.errors,
             self.audit.counts.recorded_arcs,
@@ -562,6 +875,27 @@ impl StressReport {
                 lags.join(", ")
             ));
         }
+        if let Some(chaos) = &self.chaos {
+            out.push_str(&format!(
+                "chaos:       spec `{}`, seed {}, schedule fingerprint {:016x}\n  injected:    \
+                 {} conns: {} refused, {} req-drops, {} reply-truncs, {} reply-corrupts, \
+                 {} resealed, {} upstream-failures\n",
+                chaos.spec,
+                chaos.seed,
+                chaos.fingerprint,
+                chaos.injected.connections,
+                chaos.injected.refused,
+                chaos.injected.dropped_requests,
+                chaos.injected.truncated_replies,
+                chaos.injected.corrupted_replies,
+                chaos.injected.resealed_replies,
+                chaos.injected.upstream_failures,
+            ));
+        }
+        if self.chaos.is_some() || self.faults != FaultCounters::default() {
+            out.push_str(&self.faults.render_slo(self.requests));
+            out.push('\n');
+        }
         out
     }
 }
@@ -579,6 +913,29 @@ pub fn run_stress(config: StressConfig) -> StressReport {
 /// side is the persistent-connection pool ([`PooledRemoteTarget`]).
 pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
     let server = TcpServer::bind("127.0.0.1:0", config.service.clone())?;
+    if let Some(spec) = config.chaos {
+        let seed = config.chaos_seed;
+        let proxy = SyncArc::new(ChaosProxy::launch(server.local_addr(), spec, seed)?);
+        let target = ChaosRemoteTarget::connect(
+            SyncArc::clone(&proxy),
+            config.service.space,
+            config.remote_workers,
+            config.protocol,
+            RetryPolicy {
+                seed,
+                ..RetryPolicy::default()
+            },
+        );
+        let mut report = run_stress_with(target, config);
+        report.chaos = Some(ChaosReport {
+            spec,
+            seed,
+            fingerprint: schedule_fingerprint(&spec, seed, FINGERPRINT_CONNS),
+            injected: proxy.counts(),
+        });
+        let _ = server.join();
+        return Ok(report);
+    }
     let report = if config.remote_workers > 1 {
         let target = PooledRemoteTarget::connect(
             server.local_addr(),
@@ -622,8 +979,11 @@ pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> 
         ids_per_sec,
         p50_us: report.p50_ns / 1e3,
         p99_us: report.p99_ns / 1e3,
+        p999_us: report.p999_ns / 1e3,
         mean_us: report.mean_ns / 1e3,
         errors: report.errors,
+        faults: report.faults,
+        chaos: None,
         audit: report.audit,
     }
 }
@@ -898,6 +1258,61 @@ mod tests {
         let text = report.render();
         assert!(text.contains("throughput"));
         assert!(text.contains("issue p99"));
+        assert!(text.contains("issue p999"));
         assert!(text.contains("audit lag"));
+    }
+
+    #[test]
+    fn chaos_run_degrades_gracefully_and_never_duplicates() {
+        // The tentpole invariant: under partitions, torn frames, and
+        // corrupted replies, the retrying driver completes the run with
+        // zero audit duplicates — lost leases leak, they never replay.
+        let mut cfg = base(AlgorithmKind::Cluster, 48);
+        cfg.requests = 300;
+        cfg.remote_workers = 3;
+        cfg.protocol = ProtoVersion::V2;
+        cfg.chaos = Some(ChaosSpec::heavy());
+        cfg.chaos_seed = 0xC4A05;
+        let report = run_stress_remote(cfg).expect("chaos stress run");
+        assert_eq!(report.requests, 300);
+        assert_eq!(
+            report.audit.counts.duplicate_ids, 0,
+            "chaos must leak, never duplicate"
+        );
+        let chaos = report.chaos.expect("chaos stamp");
+        assert!(
+            chaos.injected.injected() > 0,
+            "the heavy preset injected nothing: {:?}",
+            chaos.injected
+        );
+        assert!(
+            report.faults.failed_attempts() > 0,
+            "no client ever observed a fault"
+        );
+        let text = report.render();
+        assert!(text.contains("slo:"), "{text}");
+        assert!(text.contains("fault-class:"), "{text}");
+        assert!(text.contains("chaos:"), "{text}");
+    }
+
+    #[test]
+    fn chaos_schedule_fingerprint_is_seed_stable() {
+        // Two runs of the same seed stamp the same schedule pin; a
+        // different seed diverges.
+        let run = |seed: u64| {
+            let mut cfg = base(AlgorithmKind::Cluster, 48);
+            cfg.requests = 60;
+            cfg.remote_workers = 2;
+            cfg.protocol = ProtoVersion::V2;
+            cfg.chaos = Some(ChaosSpec::small());
+            cfg.chaos_seed = seed;
+            run_stress_remote(cfg)
+                .expect("chaos stress run")
+                .chaos
+                .expect("chaos stamp")
+                .fingerprint
+        };
+        assert_eq!(run(7), run(7), "same seed must re-print the same pin");
+        assert_ne!(run(7), run(8), "different seeds must diverge");
     }
 }

@@ -13,5 +13,6 @@ pub use uuidp_client as client;
 pub use uuidp_core as core;
 pub use uuidp_fleet as fleet;
 pub use uuidp_kvstore as kvstore;
+pub use uuidp_netchaos as netchaos;
 pub use uuidp_service as service;
 pub use uuidp_sim as sim;

@@ -12,8 +12,10 @@
 
 use proptest::prelude::*;
 
-use uuidp::client::frame::{decode_frame, encode_frame, FrameBody};
-use uuidp::client::Summary;
+use uuidp::client::frame::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameBody, VERSION,
+};
+use uuidp::client::{Client, ClientOptions, Summary};
 use uuidp::core::id::{Id, IdSpace};
 use uuidp::core::interval::Arc;
 use uuidp::service::metrics::LatencyHistogram;
@@ -180,6 +182,7 @@ fn fuzzed_body(pick: u64, tenant: u64, count: u128, arcs: &[(u128, u128)]) -> Fr
             errors: tenant / 3,
             p50_ns: count as f64 * 0.5,
             p99_ns: count as f64,
+            p999_ns: count as f64 * 1.25,
             mean_ns: count as f64 * 0.75,
             duplicate_ids: count / 7,
             flagged_records: tenant / 5,
@@ -251,6 +254,136 @@ proptest! {
                 Ok(Some(_)) => prop_assert!(false, "bit flip at {} accepted", at),
             }
         }
+    }
+}
+
+/// A hostile v2 server for the live-connection property below: speaks a
+/// valid handshake, serves `good` complete leases, then injects one
+/// mid-stream fault and hangs up. Runs on its own thread; panics here
+/// surface as test failures when the listener side misbehaves, but the
+/// property under test is the *client's* behavior.
+fn hostile_server(
+    listener: std::net::TcpListener,
+    good: u64,
+    fault: u8,
+    flip: u64,
+) -> std::thread::JoinHandle<()> {
+    use std::io::Write as _;
+    std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let hello = read_frame(&mut conn).expect("client hello");
+        let FrameBody::Hello { space: m, .. } = hello.body else {
+            panic!("first frame must be a hello");
+        };
+        write_frame(
+            &mut conn,
+            hello.corr,
+            &FrameBody::HelloOk {
+                version: VERSION,
+                space: m,
+            },
+        )
+        .expect("hello-ok");
+        let mut served = 0;
+        loop {
+            let req = match read_frame(&mut conn) {
+                Ok(f) => f,
+                Err(_) => return, // client gave up first — fine
+            };
+            let FrameBody::LeaseReq { tenant, count } = req.body else {
+                return;
+            };
+            let body = FrameBody::LeaseResp {
+                tenant,
+                granted: count,
+                arcs: vec![(0, count)],
+                error: None,
+            };
+            if served < good {
+                write_frame(&mut conn, req.corr, &body).expect("good lease");
+                served += 1;
+                continue;
+            }
+            // The adversarial move, in place of the awaited reply.
+            match fault % 4 {
+                0 => {
+                    // Non-magic byte soup where a frame should start.
+                    let _ = conn.write_all(&[0xDE; 64]);
+                }
+                1 => {
+                    // A valid frame cut mid-payload, then EOF.
+                    let bytes = encode_frame(req.corr, &body);
+                    let _ = conn.write_all(&bytes[..bytes.len() / 2]);
+                }
+                2 => {
+                    // A checksum-breaking bit flip inside the payload.
+                    let mut bytes = encode_frame(req.corr, &body);
+                    let at = 17 + (flip as usize) % (bytes.len() - 17 - 8);
+                    bytes[at] ^= 1 << (flip % 8) as u8;
+                    let _ = conn.write_all(&bytes);
+                }
+                _ => {} // plain EOF mid-request
+            }
+            return; // drop the connection
+        }
+    })
+}
+
+/// One case of the live-connection property: every pre-fault lease
+/// arrives complete, the faulted request surfaces a typed error (never
+/// a panic, never a partially-delivered lease), and every later request
+/// fails fast instead of hanging. A plain fn so the `proptest!` body
+/// stays within the macro's expansion budget.
+fn live_adversary_case(good: u64, fault: u8, flip: u64, tenant: u64, count: u128) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = hostile_server(listener, good, fault, flip);
+    let client = Client::connect_with(
+        addr,
+        space(),
+        ClientOptions {
+            // Bounds the worst case so a regression hangs the test run
+            // for seconds, not forever.
+            request_timeout: Some(std::time::Duration::from_secs(10)),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("handshake is served cleanly");
+    for _ in 0..good {
+        let lease = client
+            .lease(tenant, count)
+            .expect("pre-fault leases are clean");
+        assert_eq!(lease.granted, count);
+        assert_eq!(lease.arcs.iter().map(|a| a.len).sum::<u128>(), count);
+        assert!(lease.error.is_none());
+    }
+    // The faulted request: an error, never a partial lease.
+    let hit = client.lease(tenant, count);
+    assert!(hit.is_err(), "mid-stream fault delivered a lease: {hit:?}");
+    // The connection is dead; later requests fail fast, not hang.
+    let start = std::time::Instant::now();
+    assert!(client.lease(tenant, count).is_err());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "post-fault request should fail fast"
+    );
+    server.join().expect("hostile server exits cleanly");
+}
+
+proptest! {
+    // Each case stands up a real TCP pair; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Mid-stream adversarial sequences on a LIVE connection.
+    #[test]
+    fn live_v2_connection_survives_midstream_adversaries(
+        good in 0u64..3,
+        fault in 0u8..4,
+        flip in any::<u64>(),
+        tenant in any::<u64>(),
+        count in 1u128..512,
+    ) {
+        live_adversary_case(good, fault, flip, tenant, count);
     }
 }
 
