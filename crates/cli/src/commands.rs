@@ -233,6 +233,9 @@ pub struct ServeOpts {
     /// clients; `v1` is a legacy-only listener that rejects v2 hellos.
     /// Only meaningful with `--listen`.
     pub protocol: Option<String>,
+    /// Expose the metric registry for scraping (v1 `metrics` command
+    /// and v2 metrics frames). Only meaningful with `--listen`.
+    pub metrics: bool,
 }
 
 /// Runs `uuidp serve`: the line protocol (see [`uuidp_service::protocol`])
@@ -268,6 +271,11 @@ pub fn serve(
             "--protocol only applies with --listen (stdin serve has no wire to version)".into(),
         ));
     }
+    if opts.metrics && opts.listen.is_none() {
+        return Err(ParseError(
+            "--metrics only applies with --listen (stdin serve has no scrape surface)".into(),
+        ));
+    }
     let mut config = ServiceConfig::new(kind, space);
     config.shards = opts.shards.max(1);
     config.audit_stripes = opts.audit_stripes.max(1);
@@ -278,11 +286,19 @@ pub fn serve(
     if let Some(addr) = &opts.listen {
         let options = ServerOptions {
             accept_v2: protocol != Some(ProtoVersion::V1),
+            metrics: opts.metrics,
             ..ServerOptions::default()
         };
         let server = TcpServer::bind_with(addr, config, options)
             .map_err(|e| ParseError(format!("bind {addr}: {e}")))?;
         writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
+        if opts.metrics {
+            writeln!(
+                out,
+                "metrics exposition enabled (v1 `metrics` command, v2 metrics frames)"
+            )
+            .map_err(io_err)?;
+        }
         out.flush().map_err(io_err)?;
         let report = server
             .join()
@@ -313,6 +329,13 @@ pub fn serve(
             Ok(Some(Command::Lease { tenant, count })) => {
                 let reply = service.lease(tenant, count);
                 writeln!(out, "{}", render_lease(&reply)).map_err(io_err)?;
+            }
+            // Always answered on stdin: `--metrics` gates the *network*
+            // scrape surface, and a local pipe needs no such gate.
+            Ok(Some(Command::Metrics)) => {
+                write!(out, "{}", service.registry().snapshot().render_prometheus())
+                    .map_err(io_err)?;
+                writeln!(out, "# EOF").map_err(io_err)?;
             }
         }
     }
@@ -377,6 +400,10 @@ pub struct StressOpts {
     /// Seed for the chaos fault schedule; the same seed reproduces the
     /// identical schedule bit for bit.
     pub chaos_seed: u64,
+    /// Run a live metrics scraper beside the load (`--remote` only): a
+    /// dedicated v1 connection scrapes the registry throughout the run,
+    /// asserting required families stay present and monotone.
+    pub scrape: bool,
 }
 
 impl StressOpts {
@@ -399,6 +426,7 @@ impl StressOpts {
             protocol: "v1".into(),
             chaos: None,
             chaos_seed: 0,
+            scrape: false,
         }
     }
 }
@@ -458,12 +486,19 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
                 .into(),
         ));
     }
+    if opts.scrape && !opts.remote {
+        return Err(ParseError(
+            "--scrape only applies with --remote (the in-process path has no wire to scrape)"
+                .into(),
+        ));
+    }
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
     cfg.remote_workers = opts.remote_workers;
     cfg.protocol = protocol;
     cfg.chaos = chaos;
     cfg.chaos_seed = opts.chaos_seed;
+    cfg.scrape = opts.scrape;
     let mut transport = if opts.remote && cfg.remote_workers > 1 && protocol == ProtoVersion::V2 {
         format!(" (loopback TCP transport, protocol {protocol}, pooled workers multiplexing one connection)")
     } else if opts.remote && cfg.remote_workers > 1 {
@@ -570,6 +605,10 @@ pub struct FleetOpts {
     pub chaos: Option<String>,
     /// Seed for the per-node chaos fault schedules.
     pub chaos_seed: u64,
+    /// Scrape every node's metric registry over the wire mid-run and
+    /// at the end, asserting required families stay present and
+    /// monotone per stable incarnation.
+    pub scrape: bool,
 }
 
 impl FleetOpts {
@@ -593,6 +632,7 @@ impl FleetOpts {
             protocol: "v1".into(),
             chaos: None,
             chaos_seed: 0,
+            scrape: false,
         }
     }
 }
@@ -679,6 +719,7 @@ fn fleet_phases(
         Some(s) => Some(ChaosSpec::parse(s).map_err(|e| ParseError(format!("bad --chaos: {e}")))?),
     };
     cfg.chaos_seed = opts.chaos_seed;
+    cfg.scrape = opts.scrape;
     let main = run(cfg.clone(), "main")?;
     let mut out = format!(
         "# fleet: {} over m = 2^{}, {} nodes, protocol {}{}{}\n\n{}",
@@ -913,6 +954,7 @@ mod tests {
             seed: 9,
             listen: None,
             protocol: None,
+            metrics: false,
         }
     }
 
@@ -1256,6 +1298,56 @@ mod tests {
         let mut output = Vec::new();
         let err = serve(&opts, &mut input, &mut output).unwrap_err();
         assert!(err.0.contains("--listen"), "{}", err.0);
+    }
+
+    #[test]
+    fn serve_rejects_metrics_without_listen() {
+        let opts = ServeOpts {
+            metrics: true,
+            ..serve_opts("cluster", 32)
+        };
+        let mut input = &b""[..];
+        let mut output = Vec::new();
+        let err = serve(&opts, &mut input, &mut output).unwrap_err();
+        assert!(err.0.contains("--metrics"), "{}", err.0);
+        assert!(err.0.contains("--listen"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_scrape_without_remote() {
+        let opts = StressOpts {
+            scrape: true,
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--scrape"), "{}", err.0);
+        assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_remote_scrape_reports_live_scrapes() {
+        let opts = StressOpts {
+            requests: 120,
+            remote: true,
+            remote_workers: 2,
+            scrape: true,
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("live scrapes"), "{out}");
+        assert!(out.contains("validation:  ok"));
+    }
+
+    #[test]
+    fn fleet_scrape_reports_the_metrics_line() {
+        let opts = FleetOpts {
+            requests: 120,
+            scrape: true,
+            ..FleetOpts::trials_small("cluster")
+        };
+        let out = fleet(&opts).unwrap();
+        assert!(out.contains("nodes scraped"), "{out}");
+        assert!(out.contains("validation:  ok"), "{out}");
     }
 
     #[test]

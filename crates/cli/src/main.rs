@@ -72,16 +72,19 @@ fn print_usage() {
          \x20 uuidp serve    --algorithm SPEC [--bits N=64] [--shards N=2] [--audit-stripes N=16]\n\
          \x20                [--audit-threads N=1] [--seed N] [--listen ADDR (TCP, e.g. 127.0.0.1:7821)]\n\
          \x20                [--protocol v1|v2 (v1 = legacy text-only listener; default v2 negotiates both)]\n\
+         \x20                [--metrics (expose the scrape surface; needs --listen)]\n\
          \x20 uuidp stress   --algorithm SPEC [--bits N=48] [--shards N=2] [--tenants N=8] [--requests N=20000]\n\
          \x20                [--count N=256] [--mix uniform|skewed|flood|hunter] [--audit-threads N=1]\n\
          \x20                [--seed N] [--trials-small] [--remote (loopback TCP transport)]\n\
          \x20                [--remote-workers N=1 (pool width)] [--protocol v1|v2 (v2 multiplexes one conn)]\n\
          \x20                [--chaos SPEC (fault-injecting proxy; needs --remote)] [--chaos-seed N=0]\n\
+         \x20                [--scrape (live metrics scraper beside the load; needs --remote)]\n\
          \x20 uuidp fleet    --algorithm SPEC [--bits N=48] [--nodes N=3] [--tenants N=6] [--requests N=600]\n\
          \x20                [--count N=32] [--placement uniform|skewed|hunter] [--shards N=2]\n\
          \x20                [--audit-threads N=1] [--seed N] [--kill-every K (chaos restarts)]\n\
          \x20                [--reservation N=256] [--state-dir DIR] [--trials-small] [--protocol v1|v2]\n\
          \x20                [--chaos SPEC (per-node fault proxies)] [--chaos-seed N=0]\n\
+         \x20                [--scrape (scrape every node's registry mid-run and at the end)]\n\
          \n\
          chaos SPECs: none | small | heavy, each extendable with key:value pairs —\n\
          \x20 refuse/drop/trunc/corrupt (per-mille rates), latency_us, jitter_us, throttle\n\
@@ -184,6 +187,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         seed: f.parse(&["--seed", "-s"], 0x5EEDu64)?,
         listen: f.get(&["--listen"]).map(str::to_string),
         protocol: f.get(&["--protocol"]).map(str::to_string),
+        metrics: f.has("--metrics"),
     };
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
@@ -215,6 +219,7 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             protocol: "v1".into(),
             chaos: None,
             chaos_seed: 0,
+            scrape: false,
         }
     };
     let algorithm = match f.get(&["--algorithm", "-a"]) {
@@ -244,6 +249,7 @@ fn run_stress_cmd(args: &[String]) -> Result<String, String> {
             .to_string(),
         chaos: f.get(&["--chaos"]).map(str::to_string),
         chaos_seed: f.parse(&["--chaos-seed"], 0u64)?,
+        scrape: f.has("--scrape"),
     };
     stress(&opts).map_err(|e| e.0)
 }
@@ -291,6 +297,7 @@ fn run_fleet_cmd(args: &[String]) -> Result<String, String> {
             .to_string(),
         chaos: f.get(&["--chaos"]).map(str::to_string),
         chaos_seed: f.parse(&["--chaos-seed"], 0u64)?,
+        scrape: f.has("--scrape"),
     };
     fleet(&opts).map_err(|e| e.0)
 }

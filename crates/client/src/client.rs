@@ -377,6 +377,20 @@ impl Client {
         }
     }
 
+    /// A live metrics scrape: the server's observability registry as a
+    /// Prometheus-style text exposition (the same families the v1
+    /// `metrics` command renders). Parse scalars back out with
+    /// `uuidp_obs::parse_exposition`.
+    pub fn metrics(&self) -> io::Result<String> {
+        match self.request(FrameBody::MetricsReq)? {
+            FrameBody::MetricsResp { text } => Ok(text),
+            other => Err(proto_err(format!(
+                "expected metrics-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
     /// Stops the whole server and returns its final summary. Sibling
     /// clones and connections are severed.
     pub fn shutdown(self) -> io::Result<Summary> {

@@ -28,6 +28,8 @@
 //! | 10 | `SummaryResp` | s→c | the 15 [`Summary`] fields (f64s as bit patterns) |
 //! | 11 | `ShutdownReq` | c→s | — (reply is a `SummaryResp`, then close) |
 //! | 12 | `HaltReq` | c→s | — (no reply: the server dies abruptly) |
+//! | 13 | `MetricsReq` | c→s | — |
+//! | 14 | `MetricsResp` | s→c | Prometheus-style text exposition (string) |
 //!
 //! The correlation id is what buys multiplexing: requests carry a
 //! client-chosen `corr`, replies echo it, and nothing requires replies
@@ -145,6 +147,13 @@ pub enum FrameBody {
     /// Kill the server abruptly (crash fiction): no reply, the
     /// connection is severed.
     HaltReq,
+    /// Ask for a metrics-registry scrape.
+    MetricsReq,
+    /// A metrics scrape: the Prometheus-style text exposition.
+    MetricsResp {
+        /// The rendered exposition.
+        text: String,
+    },
 }
 
 impl FrameBody {
@@ -163,6 +172,8 @@ impl FrameBody {
             FrameBody::SummaryResp(_) => 10,
             FrameBody::ShutdownReq => 11,
             FrameBody::HaltReq => 12,
+            FrameBody::MetricsReq => 13,
+            FrameBody::MetricsResp { .. } => 14,
         }
     }
 
@@ -182,6 +193,8 @@ impl FrameBody {
             FrameBody::SummaryResp(_) => "summary-resp",
             FrameBody::ShutdownReq => "shutdown-req",
             FrameBody::HaltReq => "halt-req",
+            FrameBody::MetricsReq => "metrics-req",
+            FrameBody::MetricsResp { .. } => "metrics-resp",
         }
     }
 }
@@ -290,11 +303,13 @@ fn encode_payload(out: &mut Vec<u8>, body: &FrameBody) {
             put_u64(out, *tenant);
         }
         FrameBody::SummaryResp(summary) => encode_summary(out, summary),
+        FrameBody::MetricsResp { text } => put_str(out, text),
         FrameBody::DrainReq
         | FrameBody::DrainResp
         | FrameBody::SummaryReq
         | FrameBody::ShutdownReq
-        | FrameBody::HaltReq => {}
+        | FrameBody::HaltReq
+        | FrameBody::MetricsReq => {}
     }
 }
 
@@ -328,6 +343,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<FrameBody, FrameError> {
         10 => FrameBody::SummaryResp(decode_summary(&mut c)?),
         11 => FrameBody::ShutdownReq,
         12 => FrameBody::HaltReq,
+        13 => FrameBody::MetricsReq,
+        14 => FrameBody::MetricsResp { text: c.str()? },
         k => return Err(FrameError::UnknownKind(k)),
     };
     c.finish()?;
@@ -476,6 +493,10 @@ mod tests {
             }),
             FrameBody::ShutdownReq,
             FrameBody::HaltReq,
+            FrameBody::MetricsReq,
+            FrameBody::MetricsResp {
+                text: "# TYPE uuidp_leases_total counter\nuuidp_leases_total 5\n".into(),
+            },
         ]
     }
 

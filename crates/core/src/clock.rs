@@ -1,0 +1,40 @@
+//! A process-wide monotonic nanosecond clock for trace timestamps.
+//!
+//! Every observability event in the stack is stamped with
+//! [`monotonic_ns`]: nanoseconds since the first call in this process.
+//! Using one shared epoch (instead of per-subsystem `Instant`s) makes
+//! timestamps from the client, server demux, workers, and audit
+//! directly comparable, so an assembled corr-id span reads as one
+//! causal timeline. The value is timing — it varies run to run and is
+//! deliberately excluded from twin-comparison; everything else in the
+//! telemetry path is deterministic.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since this process first asked for the time.
+/// Monotone, never panics, saturates at `u64::MAX` (~584 years).
+pub fn monotonic_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now()
+        .duration_since(epoch)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_shared() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a, "monotonic clock went backwards: {a} -> {b}");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let c = monotonic_ns();
+        assert!(c > a, "clock must advance across a sleep");
+    }
+}

@@ -54,6 +54,8 @@
 //! * [`traits`] — [`traits::IdGenerator`] / [`traits::Algorithm`];
 //! * [`lease`] — reusable bulk-lease buffers over
 //!   [`traits::IdGenerator::next_ids`] (service/kvstore batching);
+//! * [`clock`] — the process-wide monotonic nanosecond clock stamping
+//!   observability events;
 //! * [`algorithms`] — the five paper algorithms plus practical baselines;
 //! * [`state`] — snapshot/restore for exact crash-resume;
 //! * [`persist`] — versioned, checksummed on-disk snapshots with the
@@ -67,6 +69,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algorithms;
+pub mod clock;
 pub mod codec;
 pub mod diagram;
 pub mod id;

@@ -21,7 +21,9 @@
 use std::io;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use uuidp_obs::{Registry, TraceRecorder};
 use uuidp_service::net::TcpServer;
 use uuidp_service::service::{DurabilityConfig, ServiceConfig, ServiceReport};
 
@@ -58,6 +60,20 @@ impl FleetNode {
     /// The node's durable state directory.
     pub fn state_dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The live incarnation's metric registry, if the node is up.
+    /// Crash-restarts boot a fresh registry: in-memory counters die in
+    /// the power cut with everything else, so handles must be re-taken
+    /// after [`Fleet::restart`].
+    pub fn registry(&self) -> Option<Arc<Registry>> {
+        self.server.as_ref().map(TcpServer::registry)
+    }
+
+    /// The live incarnation's trace recorder, if the node is up (same
+    /// restart caveat as [`FleetNode::registry`]).
+    pub fn trace(&self) -> Option<Arc<TraceRecorder>> {
+        self.server.as_ref().map(TcpServer::trace)
     }
 }
 

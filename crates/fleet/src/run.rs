@@ -2,6 +2,7 @@
 //! schedule, optionally crash-restarting nodes along the way, and
 //! aggregate everything into one [`FleetReport`].
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::PathBuf;
@@ -9,10 +10,14 @@ use std::time::{Duration, Instant};
 
 use uuidp_client::{ProtoVersion, RetryPolicy};
 use uuidp_core::codec::fnv1a;
+use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{uniform_below, Xoshiro256pp};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
+use uuidp_obs::parse_exposition;
 use uuidp_service::metrics::FaultCounters;
+use uuidp_service::net::RemoteClient;
 use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
+use uuidp_service::stress::REQUIRED_FAMILIES;
 use uuidp_sim::audit::AuditCounts;
 
 use crate::cluster::Fleet;
@@ -28,6 +33,33 @@ const FINGERPRINT_CONNS: u64 = 64;
 /// The seed lane for node `index`'s chaos proxy.
 fn node_chaos_seed(chaos_seed: u64, index: usize) -> u64 {
     chaos_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Points node `index`'s chaos proxy at the node's *current*
+/// incarnation's registry and trace recorder, so the proxy's
+/// `uuidp_netchaos_*` counters show up in that node's scrapes. Called
+/// at launch and re-called after every crash-restart (the successor
+/// boots a fresh registry).
+fn attach_node_obs(fleet: &Fleet, proxy: &ChaosProxy, index: usize) {
+    let node = &fleet.nodes()[index];
+    if let (Some(registry), Some(trace)) = (node.registry(), node.trace()) {
+        proxy.attach_obs(&registry, trace);
+    }
+}
+
+/// One direct (proxy-bypassing) exposition scrape of node `index`,
+/// asserting every required family is present.
+fn scrape_node(fleet: &Fleet, index: usize, space: IdSpace) -> io::Result<BTreeMap<String, f64>> {
+    let mut client = RemoteClient::connect(fleet.addr(index), space)?;
+    let families = parse_exposition(&client.metrics()?);
+    client.quit()?;
+    for family in REQUIRED_FAMILIES {
+        assert!(
+            families.contains_key(*family),
+            "node {index} scrape is missing required family `{family}`"
+        );
+    }
+    Ok(families)
 }
 
 /// Configuration of one fleet run.
@@ -63,6 +95,11 @@ pub struct FleetConfig {
     /// Wire protocol the router speaks to every node (the nodes
     /// negotiate per connection, so mixed-protocol fleets are fine).
     pub protocol: ProtoVersion,
+    /// Scrape every node's metric registry over the wire — once at the
+    /// halfway mark and once after the last drain — asserting the
+    /// required families are present and `_total`/`_count` families
+    /// never move backwards on a stable incarnation.
+    pub scrape: bool,
     /// Root directory for per-node durable state.
     pub state_dir: PathBuf,
 }
@@ -84,6 +121,7 @@ impl FleetConfig {
             reservation: 1024,
             audit_stripes: 16,
             protocol: ProtoVersion::V1,
+            scrape: false,
             state_dir: state_dir.into(),
         }
     }
@@ -131,6 +169,8 @@ pub struct FleetReport {
     pub faults: FaultCounters,
     /// The adversarial-network stamp, when proxies were interposed.
     pub chaos: Option<FleetChaosReport>,
+    /// Per-node wire scrapes of the metric registries, when enabled.
+    pub metrics: Option<FleetMetricsReport>,
     /// Crash-restarts performed.
     pub restarts: u32,
     /// Incarnation-keyed global audit counters (restart-aware).
@@ -164,6 +204,19 @@ pub struct FleetChaosReport {
     pub fingerprint: u64,
     /// What the proxies injected, summed across nodes.
     pub injected: FaultCounts,
+}
+
+/// Per-node wire scrapes of the fleet's metric registries.
+#[derive(Debug, Clone)]
+pub struct FleetMetricsReport {
+    /// Mid-run scrapes that completed (one per node, taken while the
+    /// load loop paused at the halfway mark).
+    pub mid_scrapes: usize,
+    /// End-of-run exposition families per node, flattened by
+    /// [`parse_exposition`]. These are the *final incarnation's*
+    /// registries: a crash-restart boots a fresh registry, so on
+    /// restarted nodes the totals cover post-recovery traffic only.
+    pub per_node: Vec<BTreeMap<String, f64>>,
 }
 
 impl FleetReport {
@@ -205,6 +258,20 @@ impl FleetReport {
                 n.report.issued_ids,
                 n.report.audit.counts.duplicate_ids,
                 n.restarts,
+            );
+        }
+        if let Some(metrics) = &self.metrics {
+            let issued: f64 = metrics
+                .per_node
+                .iter()
+                .filter_map(|f| f.get("uuidp_ids_issued_total"))
+                .sum();
+            let _ = writeln!(
+                out,
+                "metrics:      {} nodes scraped ({} mid-run), {} IDs on final-incarnation registries",
+                metrics.per_node.len(),
+                metrics.mid_scrapes,
+                issued,
             );
         }
         if let Some(chaos) = &self.chaos {
@@ -286,6 +353,12 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         }
         None => Vec::new(),
     };
+    // Each proxy mirrors its fault tally into its node's registry, so
+    // node scrapes expose `uuidp_netchaos_*` next to the service's own
+    // families (attached before any traffic can reach the proxy).
+    for (i, proxy) in proxies.iter().enumerate() {
+        attach_node_obs(fleet, proxy, i);
+    }
     for i in 0..config.nodes {
         match proxies.get(i) {
             // Lazy under chaos: the first request probes (even the
@@ -308,7 +381,19 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
 
     let started = Instant::now();
     let mut submitted = 0u64;
+    // Mid-run scrape state: `(incarnation, families)` per node, taken
+    // while the load loop pauses at the halfway mark.
+    let mid_scrape_at = config.requests / 2;
+    let mut mid: Vec<(u32, BTreeMap<String, f64>)> = Vec::new();
     while submitted < config.requests {
+        if config.scrape && submitted == mid_scrape_at && mid.is_empty() {
+            for i in 0..config.nodes {
+                mid.push((
+                    fleet.nodes()[i].incarnation(),
+                    scrape_node(fleet, i, space)?,
+                ));
+            }
+        }
         if let Some(k) = config.kill_every {
             if submitted > 0 && submitted.is_multiple_of(k) {
                 let victim = uniform_below(&mut chaos_rng, config.nodes as u128) as usize;
@@ -318,6 +403,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
                     // the successor and let the next request reconnect.
                     Some(proxy) => {
                         proxy.retarget(addr);
+                        attach_node_obs(fleet, proxy, victim);
                         router.mark_restarted(victim);
                     }
                     None => router.reconnect_after_crash(victim, addr)?,
@@ -356,6 +442,35 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         proxy.set_passthrough(true);
         router.set_addr(i, proxy.addr());
     }
+    // Final scrape, before the nodes drain: every `_total`/`_count`
+    // family must be at or above its mid-run reading — unless the node
+    // crash-restarted in between, which lawfully resets its registry.
+    let metrics = if config.scrape {
+        let mut scraped = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let families = scrape_node(fleet, i, space)?;
+            if let Some((incarnation, earlier)) = mid.get(i) {
+                if *incarnation == fleet.nodes()[i].incarnation() {
+                    for (name, value) in earlier {
+                        if name.ends_with("_total") || name.ends_with("_count") {
+                            let now = families.get(name).copied().unwrap_or(-1.0);
+                            assert!(
+                                now >= *value,
+                                "node {i} family `{name}` went backwards: {value} -> {now}"
+                            );
+                        }
+                    }
+                }
+            }
+            scraped.push(families);
+        }
+        Some(FleetMetricsReport {
+            mid_scrapes: mid.len(),
+            per_node: scraped,
+        })
+    } else {
+        None
+    };
     let mut per_node = Vec::with_capacity(config.nodes);
     for i in 0..config.nodes {
         router.shutdown_node(i)?;
@@ -415,6 +530,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         p999_us: router.latency().quantile_ns(0.999) / 1e3,
         faults: router.fault_counters(),
         chaos,
+        metrics,
         restarts,
         global,
         cross_tenant_duplicate_ids: router.cross_tenant_counts().duplicate_ids,
@@ -593,6 +709,62 @@ mod tests {
             chaos.fingerprint,
             other.chaos.expect("chaos stamp").fingerprint
         );
+    }
+
+    #[test]
+    fn scraped_fleet_exports_required_families_on_every_node() {
+        let mut cfg = base(AlgorithmKind::ClusterStar, 44, 3, "scrape");
+        cfg.scrape = true;
+        let dir = cfg.state_dir.clone();
+        let report = run_fleet(cfg).unwrap();
+        let metrics = report.metrics.as_ref().expect("scrape report");
+        assert_eq!(metrics.per_node.len(), 3);
+        assert_eq!(
+            metrics.mid_scrapes, 3,
+            "the halfway scrape must cover every node"
+        );
+        // No restarts, so the final-incarnation registries cover the
+        // whole run: their summed counter equals the router's count.
+        let issued: f64 = metrics
+            .per_node
+            .iter()
+            .map(|f| f["uuidp_ids_issued_total"])
+            .sum();
+        assert_eq!(
+            issued, report.issued_ids as f64,
+            "registry totals must match the router's authoritative count"
+        );
+        assert!(report.render().contains("metrics:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_fleet_scrapes_expose_netchaos_counters_per_node() {
+        let mut cfg = base(AlgorithmKind::ClusterStar, 44, 3, "scrape-chaos");
+        cfg.protocol = ProtoVersion::V2;
+        cfg.chaos = Some(uuidp_netchaos::ChaosSpec::small());
+        cfg.chaos_seed = 0x0B5;
+        cfg.scrape = true;
+        let dir = cfg.state_dir.clone();
+        let report = run_fleet(cfg).unwrap();
+        let metrics = report.metrics.as_ref().expect("scrape report");
+        for (i, families) in metrics.per_node.iter().enumerate() {
+            let conns = families
+                .get("uuidp_netchaos_connections_total")
+                .copied()
+                .unwrap_or(0.0);
+            assert!(conns > 0.0, "node {i}'s registry never saw its proxy");
+        }
+        // The scrape predates the shutdown round-trips, so the mirror
+        // can only lag the proxies' final tallies — never exceed them.
+        let chaos = report.chaos.expect("chaos stamp");
+        let scraped: f64 = metrics
+            .per_node
+            .iter()
+            .map(|f| f["uuidp_netchaos_connections_total"])
+            .sum();
+        assert!(scraped <= chaos.injected.connections as f64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

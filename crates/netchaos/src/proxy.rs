@@ -10,12 +10,14 @@
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use uuidp_client::frame::{HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN};
+use uuidp_core::clock;
 use uuidp_core::codec::fnv1a;
+use uuidp_obs::{Counter, Registry, Stage, TraceRecorder};
 
 use crate::{ChaosSpec, ConnPlan, Fault};
 
@@ -83,6 +85,23 @@ struct Tally {
     upstream_failures: AtomicU64,
 }
 
+/// Live mirror of the tally into an attached metric registry: every
+/// injected fault bumps both its atomic tally slot (the proxy's own
+/// ground truth, always on) and the matching `uuidp_netchaos_*`
+/// counter, so a mid-run scrape sees the injected-fault totals next to
+/// the service's own counters — and an end-of-run check can assert the
+/// two views are *equal*, pinning the whole export path.
+struct ObsMirror {
+    connections: Arc<Counter>,
+    refused: Arc<Counter>,
+    dropped_requests: Arc<Counter>,
+    truncated_replies: Arc<Counter>,
+    corrupted_replies: Arc<Counter>,
+    resealed_replies: Arc<Counter>,
+    upstream_failures: Arc<Counter>,
+    trace: Arc<TraceRecorder>,
+}
+
 enum Plans {
     Seeded { spec: ChaosSpec, seed: u64 },
     Scripted(Vec<ConnPlan>),
@@ -94,9 +113,28 @@ struct Shared {
     passthrough: AtomicBool,
     stop: AtomicBool,
     tally: Tally,
+    obs: RwLock<Option<ObsMirror>>,
 }
 
 impl Shared {
+    /// Bumps one mirrored counter, if a registry is attached. Fault
+    /// sites fire at most a few times per connection, so the read lock
+    /// here is nowhere near the byte-pumping hot path.
+    fn obs_bump(&self, pick: fn(&ObsMirror) -> &Counter) {
+        if let Some(m) = self.obs.read().expect("obs lock").as_ref() {
+            pick(m).inc();
+        }
+    }
+
+    /// Stamps a proxy-stage trace event, if a recorder is attached.
+    /// The proxy works below frame parsing, so events carry corr 0
+    /// (connection-level) with the connection number as detail context.
+    fn obs_trace(&self, detail: &'static str) {
+        if let Some(m) = self.obs.read().expect("obs lock").as_ref() {
+            m.trace
+                .record(0, 0, Stage::ProxyConn, detail, clock::monotonic_ns());
+        }
+    }
     fn plan_for(&self, conn: u64) -> ConnPlan {
         if self.passthrough.load(Ordering::Acquire) {
             return ConnPlan::passthrough(conn);
@@ -144,6 +182,7 @@ impl ChaosProxy {
             passthrough: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             tally: Tally::default(),
+            obs: RwLock::new(None),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = thread::spawn(move || accept_loop(listener, accept_shared));
@@ -171,6 +210,29 @@ impl ChaosProxy {
     /// their exact-count gates stay exact.
     pub fn set_passthrough(&self, on: bool) {
         self.shared.passthrough.store(on, Ordering::Release);
+    }
+
+    /// Attaches a metric registry (and trace recorder) to this proxy:
+    /// from now on every injected fault bumps a `uuidp_netchaos_*`
+    /// counter alongside its internal tally, and each accepted or
+    /// refused connection stamps a `proxy-conn` trace event. Attach
+    /// *before* driving traffic — faults injected earlier stay in
+    /// [`ChaosProxy::counts`] only. The registry is typically the
+    /// served node's own (via `TcpServer::registry()`), so one scrape
+    /// shows injected ground truth next to the service's view of the
+    /// damage.
+    pub fn attach_obs(&self, registry: &Registry, trace: Arc<TraceRecorder>) {
+        let mirror = ObsMirror {
+            connections: registry.counter("uuidp_netchaos_connections_total"),
+            refused: registry.counter("uuidp_netchaos_refused_total"),
+            dropped_requests: registry.counter("uuidp_netchaos_dropped_requests_total"),
+            truncated_replies: registry.counter("uuidp_netchaos_truncated_replies_total"),
+            corrupted_replies: registry.counter("uuidp_netchaos_corrupted_replies_total"),
+            resealed_replies: registry.counter("uuidp_netchaos_resealed_replies_total"),
+            upstream_failures: registry.counter("uuidp_netchaos_upstream_failures_total"),
+            trace,
+        };
+        *self.shared.obs.write().expect("obs lock") = Some(mirror);
     }
 
     /// A snapshot of the injected-fault totals.
@@ -214,14 +276,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((client, _)) => {
                 let conn = shared.tally.connections.fetch_add(1, Ordering::Relaxed);
+                shared.obs_bump(|m| &m.connections);
                 let plan = shared.plan_for(conn);
                 if plan.refuse {
                     shared.tally.refused.fetch_add(1, Ordering::Relaxed);
+                    shared.obs_bump(|m| &m.refused);
+                    shared.obs_trace("refuse");
                     // Accept-then-close: the dialer's handshake dies
                     // immediately, as inside a partition window.
                     drop(client);
                     continue;
                 }
+                shared.obs_trace("accept");
                 let conn_shared = Arc::clone(&shared);
                 thread::spawn(move || serve_connection(client, plan, conn_shared));
             }
@@ -240,6 +306,7 @@ fn serve_connection(client: TcpStream, plan: ConnPlan, shared: Arc<Shared>) {
                 .tally
                 .upstream_failures
                 .fetch_add(1, Ordering::Relaxed);
+            shared.obs_bump(|m| &m.upstream_failures);
             let _ = client.shutdown(Shutdown::Both);
             return;
         }
@@ -332,6 +399,7 @@ fn pump(
                     .tally
                     .corrupted_replies
                     .fetch_add(1, Ordering::Relaxed);
+                shared.obs_bump(|m| &m.corrupted_replies);
                 flip = None;
             }
         }
@@ -344,6 +412,7 @@ fn pump(
                     .tally
                     .resealed_replies
                     .fetch_add(1, Ordering::Relaxed);
+                shared.obs_bump(|m| &m.resealed_replies);
             }
             o
         } else {
@@ -369,6 +438,10 @@ fn pump(
                 Direction::Reply => &shared.tally.truncated_replies,
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            shared.obs_bump(match dir {
+                Direction::Request => |m: &ObsMirror| &m.dropped_requests,
+                Direction::Reply => |m: &ObsMirror| &m.truncated_replies,
+            });
             break;
         }
     }
@@ -650,6 +723,64 @@ mod tests {
             "the resealed frame must differ from the original"
         );
         assert_eq!(proxy.counts().resealed_replies, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn attached_registry_mirrors_the_fault_tally_exactly() {
+        let reply: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let (upstream, _server) = byte_server(reply);
+        let plans = vec![
+            ConnPlan {
+                refuse: true,
+                ..ConnPlan::passthrough(0)
+            },
+            ConnPlan {
+                fault: Some(Fault::TruncateReplyAt { offset: 100 }),
+                ..ConnPlan::passthrough(1)
+            },
+            ConnPlan::passthrough(2),
+        ];
+        let proxy = ChaosProxy::launch_scripted(upstream, plans).expect("proxy");
+        let registry = Registry::new();
+        let trace = Arc::new(TraceRecorder::new(64));
+        proxy.attach_obs(&registry, Arc::clone(&trace));
+        for _ in 0..3 {
+            let mut sock = TcpStream::connect(proxy.addr()).expect("dial");
+            let _ = sock.write_all(b"x");
+            let _ = read_to_end_lossy(&mut sock);
+        }
+        // Pumps deregister asynchronously; wait for the counts to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while proxy.counts().truncated_replies == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let counts = proxy.counts();
+        assert_eq!(counts.refused, 1);
+        assert_eq!(counts.truncated_replies, 1);
+        let snap = registry.snapshot();
+        // The mirrored counters agree with the proxy's own tally — the
+        // equality the chaos smoke asserts against the scrape.
+        assert_eq!(
+            snap.scalar("uuidp_netchaos_connections_total"),
+            Some(counts.connections as f64)
+        );
+        assert_eq!(snap.scalar("uuidp_netchaos_refused_total"), Some(1.0));
+        assert_eq!(
+            snap.scalar("uuidp_netchaos_truncated_replies_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            snap.scalar("uuidp_netchaos_dropped_requests_total"),
+            Some(0.0)
+        );
+        // Every connection stamped a proxy-conn trace event.
+        let stamps = trace
+            .events()
+            .iter()
+            .filter(|e| e.stage == Stage::ProxyConn)
+            .count();
+        assert_eq!(stamps, 3, "one proxy-conn stamp per connection");
         proxy.shutdown();
     }
 

@@ -1,0 +1,127 @@
+//! The crash flight recorder: postmortem dumps of the last-N trace
+//! events plus a full registry snapshot.
+//!
+//! On any twin-validation failure, audit duplicate, or node crash, the
+//! owning layer calls [`dump_flight`] with the node's state dir. The
+//! dump is a plain-text file named `flight-<reason>-<n>.log` (n picked
+//! by probing for the first unused slot, so repeated crashes in one
+//! dir never clobber each other):
+//!
+//! ```text
+//! uuidp flight recorder
+//! reason: audit-duplicate
+//! == registry snapshot ==
+//! <Prometheus text exposition>
+//! == last events ==
+//! seq=12 corr=3 tenant=7 stage=worker-persist detail=wa at_ns=91844
+//! ...
+//! == span timeline ==
+//! span corr=3
+//!   +        0ns client-send    tenant=7 lease
+//!   ...
+//! ```
+//!
+//! The span timeline focuses on `focus_corr` when the caller knows
+//! which lease triggered the failure, else on the most recent non-zero
+//! correlation id retained — "what was the service doing when it
+//! died", assembled causally.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::registry::Snapshot;
+use crate::trace::TraceRecorder;
+
+/// How many trailing events a dump includes.
+const LAST_EVENTS: usize = 256;
+
+/// Writes a flight-recorder dump into `dir`, returning the file path.
+/// `reason` becomes part of the filename (keep it to a short slug:
+/// `audit-duplicate`, `halt`, `twin-mismatch`). Creates `dir` if
+/// needed.
+pub fn dump_flight(
+    dir: &Path,
+    reason: &str,
+    snapshot: &Snapshot,
+    trace: &TraceRecorder,
+    focus_corr: Option<u64>,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = (0..)
+        .map(|n| dir.join(format!("flight-{reason}-{n}.log")))
+        .find(|p| !p.exists())
+        .expect("unbounded probe always finds a free slot");
+    let mut out = fs::File::create(&path)?;
+    writeln!(out, "uuidp flight recorder")?;
+    writeln!(out, "reason: {reason}")?;
+    writeln!(out, "== registry snapshot ==")?;
+    out.write_all(snapshot.render_prometheus().as_bytes())?;
+    writeln!(out, "== last events ==")?;
+    for e in trace.last_events(LAST_EVENTS) {
+        writeln!(
+            out,
+            "seq={} corr={} tenant={} stage={} detail={} at_ns={}",
+            e.seq,
+            e.corr,
+            e.tenant,
+            e.stage.name(),
+            e.detail,
+            e.at_ns,
+        )?;
+    }
+    writeln!(out, "== span timeline ==")?;
+    let focus = focus_corr.or_else(|| trace.last_corr());
+    match focus {
+        Some(corr) => {
+            let line = trace.timeline(corr);
+            if line.is_empty() {
+                writeln!(out, "(no events retained for corr={corr})")?;
+            } else {
+                out.write_all(line.as_bytes())?;
+            }
+        }
+        None => writeln!(out, "(no correlated events retained)")?,
+    }
+    out.sync_all()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::trace::Stage;
+
+    #[test]
+    fn dumps_are_numbered_and_carry_snapshot_events_and_timeline() {
+        let dir = std::env::temp_dir().join(format!(
+            "uuidp-obs-flight-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let r = Registry::new();
+        r.counter("uuidp_leases_total").add(3);
+        let t = TraceRecorder::new(32);
+        t.record(9, 4, Stage::ClientSend, "lease", 10);
+        t.record(9, 4, Stage::WorkerPersist, "wa", 20);
+        t.record(9, 4, Stage::ReplySent, "lease", 30);
+
+        let p0 = dump_flight(&dir, "halt", &r.snapshot(), &t, Some(9)).expect("dump 0");
+        let p1 = dump_flight(&dir, "halt", &r.snapshot(), &t, None).expect("dump 1");
+        assert_ne!(p0, p1, "second dump must not clobber the first");
+        assert!(p0.file_name().unwrap().to_str().unwrap() == "flight-halt-0.log");
+        assert!(p1.file_name().unwrap().to_str().unwrap() == "flight-halt-1.log");
+
+        let text = fs::read_to_string(&p0).expect("read dump");
+        assert!(text.contains("reason: halt"), "{text}");
+        assert!(text.contains("uuidp_leases_total 3"), "{text}");
+        assert!(text.contains("stage=worker-persist"), "{text}");
+        assert!(text.contains("span corr=9"), "{text}");
+        // Focusless dump falls back to the last non-zero corr (also 9).
+        let text1 = fs::read_to_string(&p1).expect("read dump 1");
+        assert!(text1.contains("span corr=9"), "{text1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

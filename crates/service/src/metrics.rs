@@ -6,108 +6,17 @@
 //! and quantiles are read back with sub-bucket linear interpolation,
 //! which is plenty of resolution for p50/p99 reporting where the answer
 //! spans decades, not percent.
+//!
+//! The histogram itself now lives in [`uuidp_obs`] (as
+//! [`uuidp_obs::Histogram`], with an atomic sibling for shared
+//! recording) so the whole stack shares one streaming implementation;
+//! this module re-exports it under its historical service-side name and
+//! keeps the driver-facing [`FaultCounters`] / SLO rendering.
 
-use std::time::Duration;
-
-/// Power-of-two-bucketed nanosecond histogram.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    /// `buckets[i]` counts samples with `floor(log2(ns)) == i` (bucket 0
-    /// also holds `ns == 0`).
-    buckets: [u64; 64],
-    count: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; 64],
-            count: 0,
-            sum_ns: 0,
-            max_ns: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one sample of `ns` nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        let bucket = (63u32.saturating_sub(ns.leading_zeros())) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Records one sampled [`Duration`].
-    pub fn record(&mut self, elapsed: Duration) {
-        self.record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Folds `other` into `self` (shutdown-time aggregation).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean cost in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded sample in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, linearly
-    /// interpolated within the containing power-of-two bucket. Returns 0
-    /// when empty.
-    pub fn quantile_ns(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            if (seen + c) as f64 >= rank {
-                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
-                let hi = if i >= 63 {
-                    self.max_ns as f64
-                } else {
-                    (1u128 << (i + 1)) as f64
-                };
-                let into = (rank - seen as f64) / c as f64;
-                return lo + (hi - lo) * into;
-            }
-            seen += c;
-        }
-        self.max_ns as f64
-    }
-}
+/// Power-of-two-bucketed nanosecond histogram — the shared streaming
+/// implementation from the observability core, re-exported under its
+/// historical service name.
+pub use uuidp_obs::Histogram as LatencyHistogram;
 
 /// Per-fault-class outcome counters for a chaos-exposed driver: every
 /// failed attempt is classified by what it implies about server-side
@@ -260,5 +169,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_ns(), 1000);
+    }
+
+    #[test]
+    fn empty_window_percentiles_are_finite_zeros() {
+        // A chaos-heavy run can end with zero recorded samples; every
+        // derived number must stay finite (no NaN in reports).
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0.0, "q={q}");
+        }
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_windows_never_produce_nan() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(4096);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!(v.is_finite(), "q={q} -> {v}");
+            assert!((4096.0..=8192.0).contains(&v), "q={q} -> {v}");
+        }
+        assert!((h.mean_ns() - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_rendering_survives_zero_request_windows() {
+        // `requests == 0` (every connect refused before a single
+        // logical request) must not divide by zero.
+        let c = FaultCounters {
+            retry_safe: 5,
+            exhausted: 0,
+            ..FaultCounters::default()
+        };
+        let slo = c.render_slo(0);
+        assert!(slo.contains("0/0 served"), "{slo}");
+        assert!(!slo.contains("NaN") && !slo.contains("inf"), "{slo}");
+        // And an all-abandoned window stays finite too.
+        let c = FaultCounters {
+            exhausted: 3,
+            ..FaultCounters::default()
+        };
+        let slo = c.render_slo(3);
+        assert!(slo.contains("0/3 served"), "{slo}");
+        assert!(!slo.contains("NaN") && !slo.contains("inf"), "{slo}");
     }
 }

@@ -55,7 +55,9 @@ use std::time::Duration;
 
 use uuidp_client::frame::{self, FrameBody};
 use uuidp_client::{Client, ClientOptions, ProtoVersion};
+use uuidp_core::clock;
 use uuidp_core::id::IdSpace;
+use uuidp_obs::{Registry, Stage, TraceRecorder};
 
 use crate::protocol::{
     parse_lease_line, parse_summary, render_lease, render_summary, wire_summary, Command,
@@ -73,6 +75,11 @@ pub struct ServerOptions {
     /// Execution threads in the shared v2 worker pool. Requests are
     /// pinned to workers by `tenant % v2_workers`.
     pub v2_workers: usize,
+    /// Serve metric scrapes (the v1 `metrics` command and the v2
+    /// metrics frame). Off, a scrape gets a typed error reply and the
+    /// connection stays up — the registry still records either way,
+    /// this only gates the *export* surface.
+    pub metrics: bool,
 }
 
 impl Default for ServerOptions {
@@ -80,6 +87,7 @@ impl Default for ServerOptions {
         ServerOptions {
             accept_v2: true,
             v2_workers: 4,
+            metrics: true,
         }
     }
 }
@@ -99,6 +107,15 @@ struct ServerState {
     next_conn: AtomicU64,
     /// The service's universe — validated against every v2 hello.
     space: IdSpace,
+    /// The service's metric registry, kept alongside the `RwLock`ed
+    /// service so scrapes never contend with the lease path (reading
+    /// counters is lock-free; only snapshot assembly walks the map).
+    registry: Arc<Registry>,
+    /// The service's trace recorder, for the front-end's own lifecycle
+    /// stamps (server-demux, reply-sent).
+    trace: Arc<TraceRecorder>,
+    /// Whether scrapes are served (see [`ServerOptions::metrics`]).
+    metrics: bool,
 }
 
 impl ServerState {
@@ -141,10 +158,21 @@ impl ServerState {
 /// [`TcpServer::halt`], the v2 `halt` frame, and the
 /// `halt_after_persists` hook — clients see an abrupt EOF, and what
 /// survives is only what the durability layer persisted write-ahead.
-fn crash_server(state: &ServerState, local_addr: SocketAddr) {
+///
+/// When the service has a durable state dir, the flight recorder dumps
+/// its last events + a registry snapshot there first (`reason` names
+/// the crash path, `focus_corr` the in-flight request if known), so a
+/// post-mortem can see the causal timeline that led into the crash.
+fn crash_server(
+    state: &ServerState,
+    local_addr: SocketAddr,
+    reason: &str,
+    focus_corr: Option<u64>,
+) {
     state.stopping.store(true, Ordering::SeqCst);
     let service = state.service.write().expect("service lock").take();
     if let Some(service) = service {
+        service.dump_flight(reason, focus_corr);
         drop(service.shutdown());
     }
     state.sever_all();
@@ -179,12 +207,18 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let space = config.space;
+        let service = IdService::start(config);
+        let registry = service.registry();
+        let trace = service.trace();
         let state = Arc::new(ServerState {
-            service: RwLock::new(Some(IdService::start(config))),
+            service: RwLock::new(Some(service)),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             space,
+            registry,
+            trace,
+            metrics: options.metrics,
         });
         let (report_tx, report_rx) = sync_channel::<ServiceReport>(1);
 
@@ -272,6 +306,20 @@ impl TcpServer {
         self.state.conns.lock().expect("conns lock").len()
     }
 
+    /// The service's metric registry — in-process drivers (stress,
+    /// fleet, tests) read counters here without a wire scrape.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.state.registry)
+    }
+
+    /// The service's trace recorder — in-process drivers stamp
+    /// client-side lifecycle stages (client-send, client-recv) into the
+    /// same ring the server stamps, so assembled timelines span both
+    /// halves of the exchange.
+    pub fn trace(&self) -> Arc<TraceRecorder> {
+        Arc::clone(&self.state.trace)
+    }
+
     fn join_threads(self) -> Receiver<ServiceReport> {
         let _ = self.accept.join();
         let _ = self.demux.join();
@@ -304,7 +352,13 @@ impl TcpServer {
     pub fn halt(self) -> Option<ServiceReport> {
         self.state.stopping.store(true, Ordering::SeqCst);
         let service = self.state.service.write().expect("service lock").take();
-        let report = service.map(IdService::shutdown);
+        let report = service.map(|service| {
+            // A halt is a staged crash: leave the post-mortem (last
+            // trace events + registry snapshot) in the state dir, the
+            // same evidence a real power cut would be diagnosed from.
+            service.dump_flight("halt", None);
+            service.shutdown()
+        });
         self.state.sever_all();
         // Unblock the accept loop, then wait out every server thread.
         let _ = TcpStream::connect(self.local_addr);
@@ -443,13 +497,24 @@ fn pool_worker(state: Arc<ServerState>, rx: Receiver<PoolJob>, local_addr: Socke
                     .read()
                     .expect("service lock")
                     .as_ref()
-                    .map(|service| service.lease(tenant, count));
+                    .map(|service| service.lease_traced(tenant, count, corr));
                 match reply {
                     // The halt_after_persists hook fired: die between
-                    // the write-ahead persist and the reply.
-                    Some(reply) if reply.halted => crash_server(&state, local_addr),
+                    // the write-ahead persist and the reply — and leave
+                    // the flight dump focused on the lease that was cut
+                    // off mid-exchange.
+                    Some(reply) if reply.halted => {
+                        crash_server(&state, local_addr, "halt-after-persists", Some(corr))
+                    }
                     Some(reply) => {
                         let _ = conn.send(corr, &lease_resp(&reply));
+                        state.trace.record(
+                            corr,
+                            tenant,
+                            Stage::ReplySent,
+                            "lease-resp",
+                            clock::monotonic_ns(),
+                        );
                     }
                     None => conn.send_error(corr, "shutting down"),
                 }
@@ -549,7 +614,7 @@ fn control_worker(
                 }
             }
             CtrlJob::Halt => {
-                crash_server(&state, local_addr);
+                crash_server(&state, local_addr, "halt", None);
                 return;
             }
         }
@@ -797,6 +862,13 @@ fn dispatch_frame(
     let corr = f.corr;
     match f.body {
         FrameBody::LeaseReq { tenant, count } => {
+            state.trace.record(
+                corr,
+                tenant,
+                Stage::ServerDemux,
+                "lease-req",
+                clock::monotonic_ns(),
+            );
             let worker = (tenant % pool_txs.len() as u64) as usize;
             let _ = pool_txs[worker].send(PoolJob::Lease {
                 conn: Arc::clone(&conn.shared),
@@ -805,6 +877,20 @@ fn dispatch_frame(
                 count,
             });
             true
+        }
+        FrameBody::MetricsReq => {
+            // Answered inline on the demux thread: a scrape reads the
+            // registry lock-free and must never queue behind leases.
+            if state.metrics {
+                let text = state.registry.snapshot().render_prometheus();
+                conn.shared
+                    .send(corr, &FrameBody::MetricsResp { text })
+                    .is_ok()
+            } else {
+                conn.shared
+                    .send_error(corr, "metrics are disabled on this listener");
+                true
+            }
         }
         FrameBody::ResetReq { tenant } => {
             let worker = (tenant % pool_txs.len() as u64) as usize;
@@ -902,7 +988,7 @@ fn run_connection<R: BufRead>(
                     // The halt_after_persists hook: die instead of
                     // replying (see the module docs).
                     Some(reply) if reply.halted => {
-                        crash_server(state, local_addr);
+                        crash_server(state, local_addr, "halt-after-persists", None);
                         return;
                     }
                     Some(reply) => render_lease(&reply),
@@ -925,6 +1011,17 @@ fn run_connection<R: BufRead>(
                         "drained".into()
                     }
                     None => "error: shutting down".into(),
+                }
+            }
+            Ok(Some(Command::Metrics)) => {
+                if state.metrics {
+                    // The one multi-line reply in the grammar: the
+                    // exposition, then a `# EOF` sentinel line so a
+                    // line-at-a-time client knows where it ends.
+                    let text = state.registry.snapshot().render_prometheus();
+                    format!("{text}# EOF")
+                } else {
+                    "error: metrics are disabled on this listener".into()
                 }
             }
             Ok(Some(Command::Shutdown)) => {
@@ -1053,6 +1150,36 @@ impl RemoteClient {
         }
     }
 
+    /// Scrapes the server's metric registry: the v1 `metrics` command,
+    /// whose reply is Prometheus text exposition terminated by a
+    /// `# EOF` sentinel line (stripped from the returned text).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        writeln!(self.writer, "metrics")?;
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Err(e) => return Err(e),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-scrape",
+                    ));
+                }
+                Ok(_) => {}
+            }
+            let trimmed = line.trim_end();
+            if trimmed == "# EOF" {
+                return Ok(text);
+            }
+            if text.is_empty() && trimmed.starts_with("error:") {
+                return Err(proto_err(trimmed.to_string()));
+            }
+            text.push_str(trimmed);
+            text.push('\n');
+        }
+    }
+
     /// Closes this connection; the server keeps running.
     pub fn quit(mut self) -> io::Result<()> {
         writeln!(self.writer, "quit")?;
@@ -1140,6 +1267,15 @@ impl DialedClient {
         match self {
             DialedClient::V1(c) => c.drain(),
             DialedClient::V2(c) => c.drain(),
+        }
+    }
+
+    /// Scrapes the server's metric registry (Prometheus text
+    /// exposition) over whichever protocol this client speaks.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self {
+            DialedClient::V1(c) => c.metrics(),
+            DialedClient::V2(c) => c.metrics(),
         }
     }
 
@@ -1321,6 +1457,7 @@ mod tests {
         let options = ServerOptions {
             accept_v2: false,
             v2_workers: 2,
+            ..ServerOptions::default()
         };
         let server = TcpServer::bind_with("127.0.0.1:0", config, options).unwrap();
         let err = Client::connect(server.local_addr(), space).unwrap_err();
@@ -1532,6 +1669,56 @@ mod tests {
             lease.arcs.len()
         );
         client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_scrape_works_over_both_protocols() {
+        for proto in [ProtoVersion::V1, ProtoVersion::V2] {
+            let (server, space) = server(40);
+            let mut client = DialedClient::connect(server.local_addr(), space, proto).unwrap();
+            assert_eq!(client.lease(2, 64).unwrap().granted, 64, "{proto}");
+            let text = client.metrics().unwrap();
+            let families = uuidp_obs::parse_exposition(&text);
+            assert_eq!(
+                families.get("uuidp_ids_issued_total"),
+                Some(&64.0),
+                "{proto}: {text}"
+            );
+            assert_eq!(families.get("uuidp_leases_total"), Some(&1.0), "{proto}");
+            assert!(
+                families.contains_key("uuidp_lease_latency_ns_count"),
+                "{proto}: histogram family missing from scrape:\n{text}"
+            );
+            // Scrapes are monotone: more work, bigger counters.
+            assert_eq!(client.lease(2, 36).unwrap().granted, 36, "{proto}");
+            let again = uuidp_obs::parse_exposition(&client.metrics().unwrap());
+            assert_eq!(again.get("uuidp_ids_issued_total"), Some(&100.0), "{proto}");
+            client.shutdown().unwrap();
+            server.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_surface_reports_typed_errors_on_both_protocols() {
+        let space = IdSpace::with_bits(40).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let options = ServerOptions {
+            metrics: false,
+            ..ServerOptions::default()
+        };
+        let server = TcpServer::bind_with("127.0.0.1:0", config, options).unwrap();
+        let addr = server.local_addr();
+        let mut v1 = RemoteClient::connect(addr, space).unwrap();
+        let err = v1.metrics().unwrap_err();
+        assert!(err.to_string().contains("disabled"), "got: {err}");
+        let v2 = Client::connect(addr, space).unwrap();
+        let err = v2.metrics().unwrap_err();
+        assert!(err.to_string().contains("disabled"), "got: {err}");
+        // Both connections survived the refusal.
+        assert_eq!(v1.lease(0, 5).unwrap().granted, 5);
+        assert_eq!(v2.lease(1, 5).unwrap().granted, 5);
+        v1.shutdown().unwrap();
         server.join().unwrap();
     }
 

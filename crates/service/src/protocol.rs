@@ -11,6 +11,7 @@
 //! | `<tenant> <count>` or `lease <tenant> <count>` | lease `count` IDs for `tenant` | `lease tenant=T granted=G arcs=S+L,S+L[ error=E]` |
 //! | `reset <tenant>` | recycle the tenant's generator into a new epoch | `reset tenant=T` |
 //! | `drain` | block until all prior requests are processed | `drained` |
+//! | `metrics` | scrape the registry (Prometheus text exposition) | multi-line exposition, terminated by `# EOF` |
 //! | `quit` / `exit` | close this connection (EOF works too) | — |
 //! | `shutdown` | stop the whole service, report totals | `bye issued=… dup=…` (see [`render_summary`]) |
 //!
@@ -42,6 +43,11 @@ pub enum Command {
     },
     /// Block until every previously submitted request is processed.
     Drain,
+    /// Scrape the metric registry: the reply is a multi-line
+    /// Prometheus-style text exposition terminated by a `# EOF` line
+    /// (the only multi-line reply in the v1 grammar, so the sentinel
+    /// is what lets a line-at-a-time client find the end).
+    Metrics,
     /// Close this connection; the service keeps running.
     Quit,
     /// Stop the whole service and reply with the shutdown summary.
@@ -58,6 +64,7 @@ impl Command {
             ["quit" | "exit"] => Ok(Some(Command::Quit)),
             ["shutdown"] => Ok(Some(Command::Shutdown)),
             ["drain"] => Ok(Some(Command::Drain)),
+            ["metrics"] => Ok(Some(Command::Metrics)),
             ["reset", tenant] => match tenant.parse::<u64>() {
                 Ok(tenant) => Ok(Some(Command::Reset { tenant })),
                 Err(_) => Err(format!("bad tenant `{tenant}`")),
@@ -69,7 +76,7 @@ impl Command {
                 }
             }
             _ => Err(
-                "expected `[lease] <tenant> <count>` | `reset <tenant>` | `drain` | `quit` | `shutdown`"
+                "expected `[lease] <tenant> <count>` | `reset <tenant>` | `drain` | `metrics` | `quit` | `shutdown`"
                     .into(),
             ),
         }
@@ -292,6 +299,7 @@ mod tests {
             Some(Command::Reset { tenant: 3 })
         );
         assert_eq!(Command::parse("drain").unwrap(), Some(Command::Drain));
+        assert_eq!(Command::parse("metrics").unwrap(), Some(Command::Metrics));
         assert_eq!(Command::parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(Command::parse("exit").unwrap(), Some(Command::Quit));
         assert_eq!(Command::parse("shutdown").unwrap(), Some(Command::Shutdown));

@@ -46,15 +46,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use uuidp_core::algorithms::AlgorithmKind;
+use uuidp_core::clock;
 use uuidp_core::id::IdSpace;
 use uuidp_core::interval::Arc;
 use uuidp_core::lease::Lease;
 use uuidp_core::persist::{self, SnapshotRecord, SnapshotStore};
 use uuidp_core::rng::{SeedDomain, SeedTree};
 use uuidp_core::traits::{GeneratorError, IdGenerator};
+use uuidp_obs::{AtomicHistogram, Counter, Gauge, Registry, Stage, TraceRecorder};
 use uuidp_sim::audit::{AuditCounts, LeaseAudit, StripePlan};
 
 use crate::metrics::LatencyHistogram;
+
+/// Events the service-wide trace recorder retains (split across its
+/// per-thread ring shards).
+const TRACE_CAPACITY: usize = 4096;
 
 /// Tenants and epochs are packed into one audit owner key, so a tenant
 /// recycled via [`IdService::reset_tenant`] is audited as a *new* owner —
@@ -133,6 +139,11 @@ pub struct ServiceConfig {
     /// When set, tenant generator state is persisted with the
     /// write-ahead reservation discipline and recovered on startup.
     pub durability: Option<DurabilityConfig>,
+    /// Whether the corr-id trace recorder retains events. The metric
+    /// registry is always live (it is a handful of relaxed atomics);
+    /// turning this off swaps the recorder for a no-op — the
+    /// compiled-in-but-idle configuration the overhead benchmark pins.
+    pub obs_trace: bool,
 }
 
 impl ServiceConfig {
@@ -148,6 +159,7 @@ impl ServiceConfig {
             master_seed: 0x5EED,
             seed_alias: None,
             durability: None,
+            obs_trace: true,
         }
     }
 }
@@ -173,10 +185,12 @@ pub struct LeaseReply {
 }
 
 enum ShardMsg {
-    /// Serve a lease and reply with its arcs.
+    /// Serve a lease and reply with its arcs. `corr` is the wire
+    /// correlation id for trace spans (0 = uncorrelated/in-process).
     Lease {
         tenant: u64,
         count: u128,
+        corr: u64,
         reply: SyncSender<LeaseReply>,
     },
     /// Serve a lease, fire-and-forget (stress traffic).
@@ -205,6 +219,9 @@ enum AuditMsg {
         /// Non-wrapping `[lo, hi)` segments, each inside one owned stripe.
         segments: Vec<(u128, u128)>,
         sent: Instant,
+        /// Wire correlation id of the lease that produced this batch
+        /// (0 = in-process traffic), for trace spans.
+        corr: u64,
     },
     /// Reply with a snapshot of this thread's counters so far. Because
     /// the channel is FIFO, a probe enqueued after a set of records
@@ -328,6 +345,11 @@ pub struct IdService {
     audit_txs: Vec<SyncSender<AuditMsg>>,
     audit: Vec<JoinHandle<AuditThreadReport>>,
     started: Instant,
+    registry: std::sync::Arc<Registry>,
+    trace: std::sync::Arc<TraceRecorder>,
+    /// Where flight-recorder dumps land (the durability state dir);
+    /// `None` disables crash/duplicate dumps.
+    flight_dir: Option<PathBuf>,
 }
 
 impl IdService {
@@ -387,6 +409,12 @@ impl IdService {
                 }
             }
         }
+        let registry = std::sync::Arc::new(Registry::new());
+        let trace = std::sync::Arc::new(if config.obs_trace {
+            TraceRecorder::new(TRACE_CAPACITY)
+        } else {
+            TraceRecorder::off()
+        });
         let plan = StripePlan::new(config.space, config.audit_stripes);
         // More threads than stripes would idle; clamp rather than panic.
         let audit_threads = config.audit_threads.clamp(1, plan.stripe_count());
@@ -397,7 +425,14 @@ impl IdService {
             audit_txs.push(tx);
             let space = config.space;
             let stripes = config.audit_stripes;
-            audit.push(std::thread::spawn(move || audit_loop(space, stripes, rx)));
+            let obs = AuditObs {
+                records: registry.counter("uuidp_audit_records_total"),
+                duplicate_ids: registry.gauge("uuidp_audit_duplicate_ids"),
+                trace: std::sync::Arc::clone(&trace),
+            };
+            audit.push(std::thread::spawn(move || {
+                audit_loop(space, stripes, rx, obs)
+            }));
         }
 
         // One write-ahead persist counter across all shards drives the
@@ -411,8 +446,9 @@ impl IdService {
             let cfg = config.clone();
             let taps = audit_txs.clone();
             let persists = std::sync::Arc::clone(&persists);
+            let obs = WorkerObs::new(&registry, std::sync::Arc::clone(&trace));
             workers.push(std::thread::spawn(move || {
-                worker_loop(cfg, rx, taps, plan, persists)
+                worker_loop(cfg, rx, taps, plan, persists, obs)
             }));
         }
         // The service keeps its own tap clones for summary probes; they
@@ -425,7 +461,45 @@ impl IdService {
             audit_txs,
             audit,
             started: Instant::now(),
+            registry,
+            trace,
+            flight_dir: config.durability.as_ref().map(|d| d.dir.clone()),
         }
+    }
+
+    /// The service's metric registry. Front-ends (the TCP server, the
+    /// stress driver) register their own families here too, so one
+    /// scrape covers the whole node.
+    pub fn registry(&self) -> std::sync::Arc<Registry> {
+        std::sync::Arc::clone(&self.registry)
+    }
+
+    /// The service's corr-id trace recorder (a no-op recorder when
+    /// [`ServiceConfig::obs_trace`] is off).
+    pub fn trace(&self) -> std::sync::Arc<TraceRecorder> {
+        std::sync::Arc::clone(&self.trace)
+    }
+
+    /// Where this service's flight-recorder dumps land, if anywhere.
+    pub fn flight_dir(&self) -> Option<&PathBuf> {
+        self.flight_dir.as_ref()
+    }
+
+    /// Dumps a flight-recorder file (registry snapshot + recent trace
+    /// events + the focus span's timeline) into the durability state
+    /// dir. Returns the dump path, or `None` when the service has no
+    /// state dir or the write failed (a postmortem aid must never take
+    /// the service down with it).
+    pub fn dump_flight(&self, reason: &str, focus_corr: Option<u64>) -> Option<PathBuf> {
+        let dir = self.flight_dir.as_ref()?;
+        uuidp_obs::dump_flight(
+            dir,
+            reason,
+            &self.registry.snapshot(),
+            &self.trace,
+            focus_corr,
+        )
+        .ok()
     }
 
     /// The service's ID universe.
@@ -449,11 +523,19 @@ impl IdService {
 
     /// Synchronously leases `count` IDs for `tenant`.
     pub fn lease(&self, tenant: u64, count: u128) -> LeaseReply {
+        self.lease_traced(tenant, count, 0)
+    }
+
+    /// [`IdService::lease`] carrying the wire correlation id, so the
+    /// worker/audit trace events join the request's span. In-process
+    /// callers use `corr = 0` (via [`IdService::lease`]).
+    pub fn lease_traced(&self, tenant: u64, count: u128, corr: u64) -> LeaseReply {
         let (reply, rx) = sync_channel(1);
         self.shard_of(tenant)
             .send(ShardMsg::Lease {
                 tenant,
                 count,
+                corr,
                 reply,
             })
             .expect("shard alive");
@@ -592,6 +674,20 @@ impl IdService {
                 .map(|h| h.join().expect("audit panicked"))
                 .collect(),
         );
+        // An audit that found duplicates is exactly the postmortem the
+        // flight recorder exists for: dump before the evidence dies
+        // with the process.
+        if audit.counts.duplicate_ids > 0 {
+            if let Some(dir) = &self.flight_dir {
+                let _ = uuidp_obs::dump_flight(
+                    dir,
+                    "audit-duplicate",
+                    &self.registry.snapshot(),
+                    &self.trace,
+                    None,
+                );
+            }
+        }
         ServiceReport {
             issued_ids,
             leases,
@@ -652,6 +748,39 @@ fn tenant_seed(roots: &SeedTree, config: &ServiceConfig, tenant: u64, epoch: u32
         .seed(SeedDomain::Instance(effective))
 }
 
+/// One worker's shared metric/trace handles: registered once at
+/// startup, bumped with relaxed atomics on the hot path. Every counter
+/// here is a pure fold of the request script (never of timing), so
+/// same-seed twin runs reproduce them bit-identically.
+struct WorkerObs {
+    leases: std::sync::Arc<Counter>,
+    issued: std::sync::Arc<Counter>,
+    errors: std::sync::Arc<Counter>,
+    persists: std::sync::Arc<Counter>,
+    latency: std::sync::Arc<AtomicHistogram>,
+    trace: std::sync::Arc<TraceRecorder>,
+}
+
+impl WorkerObs {
+    fn new(registry: &Registry, trace: std::sync::Arc<TraceRecorder>) -> WorkerObs {
+        WorkerObs {
+            leases: registry.counter("uuidp_leases_total"),
+            issued: registry.counter("uuidp_ids_issued_total"),
+            errors: registry.counter("uuidp_lease_errors_total"),
+            persists: registry.counter("uuidp_persists_total"),
+            latency: registry.histogram("uuidp_lease_latency_ns"),
+            trace,
+        }
+    }
+}
+
+/// One audit thread's metric/trace handles.
+struct AuditObs {
+    records: std::sync::Arc<Counter>,
+    duplicate_ids: std::sync::Arc<Gauge>,
+    trace: std::sync::Arc<TraceRecorder>,
+}
+
 /// One shard's routing state: the audit taps plus the shared stripe
 /// geometry and a reusable per-thread segment batch buffer.
 struct AuditTap {
@@ -665,7 +794,7 @@ struct AuditTap {
 impl AuditTap {
     /// Cuts the lease's arcs along the stripe plan and ships each audit
     /// thread the pieces of the stripes it owns (skipping empty batches).
-    fn send(&mut self, owner: u64, arcs: &[Arc]) {
+    fn send(&mut self, owner: u64, arcs: &[Arc], corr: u64) {
         let threads = self.taps.len();
         for &arc in arcs {
             self.plan.split(arc, &mut |stripe, lo, hi| {
@@ -681,6 +810,7 @@ impl AuditTap {
                 owner,
                 segments: std::mem::take(batch),
                 sent,
+                corr,
             });
         }
     }
@@ -775,6 +905,7 @@ fn worker_loop(
     taps: Vec<SyncSender<AuditMsg>>,
     plan: StripePlan,
     persists: std::sync::Arc<AtomicU64>,
+    obs: WorkerObs,
 ) -> WorkerStats {
     let algorithm = config.kind.build(config.space);
     let roots = SeedTree::new(config.master_seed);
@@ -797,6 +928,7 @@ fn worker_loop(
             ShardMsg::Lease {
                 tenant,
                 count,
+                corr,
                 reply,
             } => {
                 let (granted, error, arcs, halted) = serve(
@@ -807,8 +939,10 @@ fn worker_loop(
                     durability.as_ref(),
                     tenant,
                     count,
+                    corr,
                     &mut tap,
                     &mut stats,
+                    &obs,
                     true,
                 );
                 // Client delivery is off the issue-latency clock.
@@ -829,8 +963,10 @@ fn worker_loop(
                     durability.as_ref(),
                     tenant,
                     count,
+                    0,
                     &mut tap,
                     &mut stats,
+                    &obs,
                     false,
                 );
             }
@@ -891,8 +1027,10 @@ fn serve(
     durability: Option<&Durability>,
     tenant: u64,
     count: u128,
+    corr: u64,
     tap: &mut AuditTap,
     stats: &mut WorkerStats,
+    obs: &WorkerObs,
     want_arcs: bool,
 ) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>, bool) {
     let t0 = Instant::now();
@@ -905,17 +1043,51 @@ fn serve(
         if slot.generator.generated().saturating_add(count) > slot.frontier {
             d.persist(config.space, tenant, slot, count.max(d.reservation));
             halted = d.note_write_ahead();
+            obs.persists.inc();
+            obs.trace.record(
+                corr,
+                tenant,
+                Stage::WorkerPersist,
+                if halted {
+                    "write-ahead (halt hook)"
+                } else {
+                    "write-ahead"
+                },
+                clock::monotonic_ns(),
+            );
         }
     }
     let error = slot.lease.fill(slot.generator.as_mut(), count).err();
     let granted = slot.lease.granted();
     if granted > 0 {
-        tap.send(owner_key(tenant, slot.epoch), slot.lease.arcs());
+        tap.send(owner_key(tenant, slot.epoch), slot.lease.arcs(), corr);
+    }
+    // Per-lease happy-path stamps only for real (wire) correlation
+    // ids: corr-0 emissions cannot join a span — they'd collapse into
+    // one shared timeline — so recording them only evicts the events
+    // the flight recorder exists to keep (persists, duplicates,
+    // connection milestones). Skipping them also keeps the batched
+    // in-process issue path off the clock and the ring entirely.
+    if corr != 0 && obs.trace.sampled(corr) {
+        obs.trace.record(
+            corr,
+            tenant,
+            Stage::WorkerEmit,
+            "lease",
+            clock::monotonic_ns(),
+        );
     }
     stats.latency.record(t0.elapsed());
     stats.issued_ids += granted;
     stats.leases += 1;
     stats.errors += error.is_some() as u64;
+    obs.latency
+        .record_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    obs.leases.inc();
+    obs.issued.add(granted.min(u64::MAX as u128) as u64);
+    if error.is_some() {
+        obs.errors.inc();
+    }
     // The client copy is off the issue-latency clock.
     let arcs = want_arcs.then(|| slot.lease.arcs().to_vec());
     (granted, error, arcs, halted)
@@ -925,7 +1097,12 @@ fn serve(
 /// stripes are a few machine words each) but only ever receives pieces
 /// of the stripes it owns, so the per-thread working sets stay disjoint
 /// and the merged counters are interleaving-invariant.
-fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditThreadReport {
+fn audit_loop(
+    space: IdSpace,
+    stripes: usize,
+    rx: Receiver<AuditMsg>,
+    obs: AuditObs,
+) -> AuditThreadReport {
     let mut audit = LeaseAudit::new(space, stripes);
     let mut max_lag = Duration::ZERO;
     let mut lag_sum_ns = 0u128;
@@ -946,13 +1123,42 @@ fn audit_loop(space: IdSpace, stripes: usize, rx: Receiver<AuditMsg>) -> AuditTh
                 owner,
                 segments,
                 sent,
+                corr,
             } => {
                 let lag = sent.elapsed();
                 max_lag = max_lag.max(lag);
                 lag_sum_ns += lag.as_nanos();
                 records += 1;
+                let before = audit.counts().duplicate_ids;
                 for (lo, hi) in segments {
                     audit.record_clipped(owner, lo, hi);
+                }
+                obs.records.inc();
+                let dups = audit.counts().duplicate_ids;
+                if dups != before {
+                    // The gauge is a cross-thread sum of each thread's
+                    // stripe-subset total; move it by this batch's delta.
+                    obs.duplicate_ids
+                        .add((dups - before).min(i64::MAX as u128) as i64);
+                    obs.trace.record(
+                        corr,
+                        owner,
+                        Stage::AuditRecord,
+                        "duplicate",
+                        clock::monotonic_ns(),
+                    );
+                } else if corr != 0 && obs.trace.sampled(corr) {
+                    // Clean audit legs stamp only for wire corrs, like
+                    // the worker-emit stamp: a corr-0 "clean" is ring
+                    // spam. Duplicates above always record — they are
+                    // exactly what the ring is for.
+                    obs.trace.record(
+                        corr,
+                        owner,
+                        Stage::AuditRecord,
+                        "clean",
+                        clock::monotonic_ns(),
+                    );
                 }
             }
             AuditMsg::Probe { reply } => {

@@ -63,7 +63,7 @@ use uuidp_client::{ProtoVersion, RetryPolicy};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
 
 use crate::metrics::FaultCounters;
-use crate::net::{DialedClient, TcpServer};
+use crate::net::{DialedClient, RemoteClient, TcpServer};
 use crate::protocol::WireSummary;
 use crate::service::{AuditReport, IdService, ServiceConfig, ServiceReport};
 
@@ -153,6 +153,12 @@ pub struct StressConfig {
     /// Seed for the chaos schedule *and* the retry jitter; the same
     /// seed replays the same fault schedule bit-for-bit.
     pub chaos_seed: u64,
+    /// Scrape the metric registry during remote runs: a sidecar thread
+    /// scrapes the server over its own v1 connection while load flows
+    /// (asserting the required families are present and every counter
+    /// is monotone scrape-over-scrape), and the report gains the final
+    /// server-side family values. Ignored by in-process runs.
+    pub scrape: bool,
 }
 
 impl StressConfig {
@@ -169,8 +175,74 @@ impl StressConfig {
             protocol: ProtoVersion::V1,
             chaos: None,
             chaos_seed: 0,
+            scrape: false,
         }
     }
+}
+
+/// Metric families every scrape of a live service must expose — the
+/// registry registers them all at service start, so their absence means
+/// the export path is broken, not that the counter is still zero.
+pub const REQUIRED_FAMILIES: &[&str] = &[
+    "uuidp_leases_total",
+    "uuidp_ids_issued_total",
+    "uuidp_lease_errors_total",
+    "uuidp_audit_records_total",
+    "uuidp_lease_latency_ns_count",
+];
+
+/// What the scrape sidecar (and the final server-side snapshot)
+/// observed during a `scrape`-enabled remote run.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Over-the-wire scrapes completed while the run was live (the
+    /// sidecar keeps scraping until the shutdown severs it).
+    pub scrapes: u64,
+    /// Final authoritative family values, read from the server-side
+    /// registry after the run — flattened the way
+    /// [`uuidp_obs::parse_exposition`] flattens an exposition.
+    pub families: std::collections::BTreeMap<String, f64>,
+}
+
+/// The scrape sidecar: one dedicated v1 connection hammering `metrics`
+/// while the run is live. Every scrape asserts the [`REQUIRED_FAMILIES`]
+/// are present and that no counter family went backwards — the
+/// monotonicity half of the export-surface contract. Ends (returning
+/// the scrape count) when the shutdown severs its connection.
+fn spawn_wire_scraper(addr: SocketAddr, space: IdSpace) -> JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut scrapes = 0u64;
+        let mut last: std::collections::BTreeMap<String, f64> = Default::default();
+        let Ok(mut client) = RemoteClient::connect_with(addr, space, Some(CHAOS_TIMEOUT)) else {
+            return 0; // raced the shutdown before the first scrape
+        };
+        loop {
+            let text = match client.metrics() {
+                Ok(t) => t,
+                Err(_) => return scrapes, // severed: the run is over
+            };
+            let families = uuidp_obs::parse_exposition(&text);
+            for name in REQUIRED_FAMILIES {
+                assert!(
+                    families.contains_key(*name),
+                    "scrape missing required family {name}:\n{text}"
+                );
+            }
+            for (name, value) in &families {
+                if name.ends_with("_total") || name.ends_with("_count") {
+                    if let Some(prev) = last.get(name) {
+                        assert!(
+                            value >= prev,
+                            "metric family {name} went backwards across scrapes: {prev} -> {value}"
+                        );
+                    }
+                }
+            }
+            last = families;
+            scrapes += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    })
 }
 
 /// Anything a stress mix can be replayed against: the in-process
@@ -815,6 +887,9 @@ pub struct StressReport {
     pub chaos: Option<ChaosReport>,
     /// The audit pipeline's findings (lag, duplicates).
     pub audit: AuditReport,
+    /// The scrape sidecar's accounting plus the final server-side
+    /// registry families (only for `scrape`-enabled remote runs).
+    pub metrics: Option<MetricsReport>,
 }
 
 /// What a chaos run did to the wire, stamped into the report.
@@ -896,7 +971,41 @@ impl StressReport {
             out.push_str(&self.faults.render_slo(self.requests));
             out.push('\n');
         }
+        if let Some(metrics) = &self.metrics {
+            out.push_str(&format!(
+                "metrics:     {} live scrapes, {} families exported\n",
+                metrics.scrapes,
+                metrics.families.len()
+            ));
+            if let Some(agrees) = self.chaos_mirror_agrees() {
+                out.push_str(if agrees {
+                    "chaos mirror: registry counters agree with injected ground truth\n"
+                } else {
+                    "chaos mirror: registry counters DISAGREE with injected ground truth\n"
+                });
+            }
+        }
         out
+    }
+
+    /// Whether the scraped `uuidp_netchaos_*` counters equal the chaos
+    /// proxy's own injected-fault tally — the ground-truth equality the
+    /// chaos smoke gates on. `None` unless the run had both `chaos` and
+    /// `scrape` enabled.
+    pub fn chaos_mirror_agrees(&self) -> Option<bool> {
+        let chaos = self.chaos.as_ref()?;
+        let metrics = self.metrics.as_ref()?;
+        let of = |name: &str| metrics.families.get(name).copied().unwrap_or(-1.0);
+        let i = &chaos.injected;
+        Some(
+            of("uuidp_netchaos_connections_total") == i.connections as f64
+                && of("uuidp_netchaos_refused_total") == i.refused as f64
+                && of("uuidp_netchaos_dropped_requests_total") == i.dropped_requests as f64
+                && of("uuidp_netchaos_truncated_replies_total") == i.truncated_replies as f64
+                && of("uuidp_netchaos_corrupted_replies_total") == i.corrupted_replies as f64
+                && of("uuidp_netchaos_resealed_replies_total") == i.resealed_replies as f64
+                && of("uuidp_netchaos_upstream_failures_total") == i.upstream_failures as f64,
+        )
     }
 }
 
@@ -913,9 +1022,25 @@ pub fn run_stress(config: StressConfig) -> StressReport {
 /// side is the persistent-connection pool ([`PooledRemoteTarget`]).
 pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
     let server = TcpServer::bind("127.0.0.1:0", config.service.clone())?;
+    let registry = server.registry();
+    // The scrape sidecar dials the server directly (not through any
+    // chaos proxy): the export surface is probed while load flows, but
+    // scrapes themselves must never be casualties of the schedule.
+    let scraper = config
+        .scrape
+        .then(|| spawn_wire_scraper(server.local_addr(), config.service.space));
+    let finish_metrics = |scraper: Option<JoinHandle<u64>>| {
+        scraper.map(|handle| MetricsReport {
+            scrapes: handle.join().expect("wire scraper panicked"),
+            families: uuidp_obs::parse_exposition(&registry.snapshot().render_prometheus()),
+        })
+    };
     if let Some(spec) = config.chaos {
         let seed = config.chaos_seed;
         let proxy = SyncArc::new(ChaosProxy::launch(server.local_addr(), spec, seed)?);
+        // Mirror every injected fault into the node's own registry, so
+        // the scrape shows ground truth next to the service's counters.
+        proxy.attach_obs(&registry, server.trace());
         let target = ChaosRemoteTarget::connect(
             SyncArc::clone(&proxy),
             config.service.space,
@@ -933,10 +1058,11 @@ pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
             fingerprint: schedule_fingerprint(&spec, seed, FINGERPRINT_CONNS),
             injected: proxy.counts(),
         });
+        report.metrics = finish_metrics(scraper);
         let _ = server.join();
         return Ok(report);
     }
-    let report = if config.remote_workers > 1 {
+    let mut report = if config.remote_workers > 1 {
         let target = PooledRemoteTarget::connect(
             server.local_addr(),
             config.service.space,
@@ -949,6 +1075,7 @@ pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
             RemoteTarget::connect(server.local_addr(), config.service.space, config.protocol)?;
         run_stress_with(target, config)
     };
+    report.metrics = finish_metrics(scraper);
     // Join the server threads; the driver-side report already carries
     // the (identical) totals parsed off the wire.
     let _ = server.join();
@@ -985,6 +1112,7 @@ pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> 
         faults: report.faults,
         chaos: None,
         audit: report.audit,
+        metrics: None,
     }
 }
 
@@ -1293,6 +1421,66 @@ mod tests {
         assert!(text.contains("slo:"), "{text}");
         assert!(text.contains("fault-class:"), "{text}");
         assert!(text.contains("chaos:"), "{text}");
+    }
+
+    #[test]
+    fn scraped_run_sees_required_families_live_and_final_totals_exact() {
+        let mut cfg = base(AlgorithmKind::Cluster, 48);
+        cfg.remote_workers = 2;
+        cfg.scrape = true;
+        let report = run_stress_remote(cfg).expect("scraped loopback stress");
+        let metrics = report
+            .metrics
+            .clone()
+            .expect("scrape-enabled run carries metrics");
+        assert!(
+            metrics.scrapes >= 1,
+            "the sidecar never completed a live scrape"
+        );
+        // The final server-side registry agrees exactly with the wire
+        // summary the run reported.
+        assert_eq!(
+            metrics.families.get("uuidp_ids_issued_total"),
+            Some(&(report.issued_ids as f64)),
+        );
+        assert_eq!(
+            metrics.families.get("uuidp_leases_total"),
+            Some(&(report.requests as f64)),
+        );
+        assert_eq!(
+            metrics.families.get("uuidp_audit_records_total"),
+            Some(&(report.audit.records as f64)),
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("live scrapes"), "{rendered}");
+    }
+
+    #[test]
+    fn chaos_registry_mirror_equals_injected_ground_truth() {
+        // The injected-fault counters exported by the registry must be
+        // *equal* to the proxy's own tally — the scrape-vs-schedule
+        // ground-truth gate the chaos smoke runs in CI.
+        let mut cfg = base(AlgorithmKind::Cluster, 48);
+        cfg.requests = 200;
+        cfg.remote_workers = 3;
+        cfg.protocol = ProtoVersion::V2;
+        cfg.chaos = Some(ChaosSpec::heavy());
+        cfg.chaos_seed = 0xB0B0;
+        cfg.scrape = true;
+        let report = run_stress_remote(cfg).expect("chaos stress run");
+        let chaos = report.chaos.expect("chaos stamp");
+        assert!(chaos.injected.injected() > 0, "nothing was injected");
+        assert_eq!(
+            report.chaos_mirror_agrees(),
+            Some(true),
+            "registry mirror diverged from the proxy tally: {:?} vs {:?}",
+            report.metrics.as_ref().map(|m| &m.families),
+            chaos.injected,
+        );
+        assert!(
+            report.render().contains("registry counters agree"),
+            "render must surface the mirror agreement"
+        );
     }
 
     #[test]

@@ -14,5 +14,6 @@ pub use uuidp_core as core;
 pub use uuidp_fleet as fleet;
 pub use uuidp_kvstore as kvstore;
 pub use uuidp_netchaos as netchaos;
+pub use uuidp_obs as obs;
 pub use uuidp_service as service;
 pub use uuidp_sim as sim;

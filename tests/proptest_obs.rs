@@ -1,0 +1,117 @@
+//! Property tests for the observability core: the mergeability
+//! invariants the registry's constant-memory design rests on.
+//!
+//! * **Histogram merge is order-invariant** — per-shard histograms
+//!   merged in any order, or built from any interleaving of the same
+//!   samples, land on bit-identical buckets, counts, sums, and maxima.
+//!   This is what makes per-shard recording legal: the exported totals
+//!   cannot depend on thread scheduling.
+//! * **Exposition round-trips** — every scalar a snapshot renders is
+//!   recovered exactly by `parse_exposition`, so scrapers see the
+//!   registry's true values, not an approximation.
+
+use proptest::prelude::*;
+use uuidp::obs::{parse_exposition, Histogram, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_merge_is_order_invariant(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        cut_pick in any::<u32>(),
+    ) {
+        // One histogram fed everything in order...
+        let mut serial = Histogram::new();
+        for &s in &samples {
+            serial.record_ns(s);
+        }
+        // ...versus two shards fed a split of the same samples, merged
+        // in both orders.
+        let cut = cut_pick as usize % (samples.len() + 1);
+        let (left, right) = samples.split_at(cut);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &s in left {
+            a.record_ns(s);
+        }
+        for &s in right {
+            b.record_ns(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        for merged in [&ab, &ba] {
+            prop_assert_eq!(merged.buckets(), serial.buckets());
+            prop_assert_eq!(merged.count(), serial.count());
+            prop_assert_eq!(merged.sum_ns(), serial.sum_ns());
+            prop_assert_eq!(merged.max_ns(), serial.max_ns());
+        }
+    }
+
+    #[test]
+    fn interleaving_never_changes_the_merged_totals(
+        samples in prop::collection::vec(any::<u64>(), 1..100),
+        lanes in prop::collection::vec(any::<u32>(), 1..100),
+    ) {
+        // Deal the same sample stream across four lanes two different
+        // ways: by the fuzzed lane schedule, and round-robin. The
+        // merged result must not notice.
+        let deal = |assign: &dyn Fn(usize) -> usize| {
+            let mut shards = [
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ];
+            for (i, &s) in samples.iter().enumerate() {
+                shards[assign(i)].record_ns(s);
+            }
+            let mut total = Histogram::new();
+            for shard in &shards {
+                total.merge(shard);
+            }
+            total
+        };
+        let fuzzed = deal(&|i| lanes[i % lanes.len()] as usize % 4);
+        let round_robin = deal(&|i| i % 4);
+        prop_assert_eq!(fuzzed.buckets(), round_robin.buckets());
+        prop_assert_eq!(fuzzed.count(), round_robin.count());
+        prop_assert_eq!(fuzzed.sum_ns(), round_robin.sum_ns());
+        prop_assert_eq!(fuzzed.max_ns(), round_robin.max_ns());
+    }
+
+    #[test]
+    fn exposition_round_trips_every_scalar(
+        counts in prop::collection::vec(any::<u32>(), 1..6),
+        gauge_raw in any::<u32>(),
+        latencies in prop::collection::vec(any::<u32>(), 0..50),
+    ) {
+        let registry = Registry::new();
+        for (i, &n) in counts.iter().enumerate() {
+            registry.counter(&format!("uuidp_test_c{i}_total")).add(n as u64);
+        }
+        // Centered so negative gauge values get exercised too.
+        let gauge = gauge_raw as i64 - i64::from(u32::MAX / 2);
+        registry.gauge("uuidp_test_depth").set(gauge);
+        let hist = registry.histogram("uuidp_test_latency_ns");
+        for &ns in &latencies {
+            hist.record_ns(ns as u64);
+        }
+
+        let snapshot = registry.snapshot();
+        let families = parse_exposition(&snapshot.render_prometheus());
+        for (i, &n) in counts.iter().enumerate() {
+            prop_assert_eq!(families[&format!("uuidp_test_c{i}_total")], n as f64);
+        }
+        prop_assert_eq!(families["uuidp_test_depth"], gauge as f64);
+        prop_assert_eq!(
+            families["uuidp_test_latency_ns_count"],
+            latencies.len() as f64
+        );
+        let sum: u128 = latencies.iter().map(|&n| n as u128).sum();
+        prop_assert_eq!(families["uuidp_test_latency_ns_sum"], sum as f64);
+    }
+}

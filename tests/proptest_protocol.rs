@@ -158,7 +158,7 @@ proptest! {
 /// A v2 frame body built from fuzzed fields, cycling through the
 /// request/response kinds that carry payloads.
 fn fuzzed_body(pick: u64, tenant: u64, count: u128, arcs: &[(u128, u128)]) -> FrameBody {
-    match pick % 6 {
+    match pick % 8 {
         0 => FrameBody::LeaseReq { tenant, count },
         1 => FrameBody::LeaseResp {
             tenant,
@@ -175,6 +175,16 @@ fn fuzzed_body(pick: u64, tenant: u64, count: u128, arcs: &[(u128, u128)]) -> Fr
         4 => FrameBody::Hello {
             version: 2,
             space: count,
+        },
+        5 => FrameBody::MetricsReq,
+        6 => FrameBody::MetricsResp {
+            // Multi-line Prometheus-ish text: exposition payloads are
+            // free-form on the wire, so newlines and `#` comments must
+            // survive the codec bit-exactly.
+            text: format!(
+                "# TYPE uuidp_leases_total counter\nuuidp_leases_total {tenant}\n\
+                 uuidp_ids_issued_total {count}\n# EOF\n"
+            ),
         },
         _ => FrameBody::SummaryResp(Summary {
             issued_ids: count,
