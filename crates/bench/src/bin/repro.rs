@@ -19,7 +19,7 @@ use uuidp_bench::experiments::{registry, Ctx};
 use uuidp_bench::perf;
 
 /// The stacked-PR index stamped into bench JSON artifacts.
-const PR_NUMBER: u32 = 7;
+const PR_NUMBER: u32 = 8;
 
 fn run_bench_json(path: &str) -> ExitCode {
     eprintln!("measuring hot paths (optimized vs reference baselines)...");
@@ -51,6 +51,20 @@ fn main() -> ExitCode {
     let mut list_only = false;
 
     let mut args = std::env::args().skip(1).peekable();
+    // Hidden helper mode for the reactor idle bench: hold N idle v2
+    // connections in THIS process (its own fd budget — setrlimit is
+    // often denied in containers) until the parent closes our stdin.
+    if args.peek().map(String::as_str) == Some("hold-conns") {
+        args.next();
+        let addr = args
+            .next()
+            .unwrap_or_else(|| usage("hold-conns needs ADDR N"));
+        let n = args
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage("hold-conns needs a numeric N"));
+        return perf::hold_conns_main(&addr, n);
+    }
     if args.peek().map(String::as_str) == Some("bench-json") {
         args.next();
         let path = args

@@ -856,6 +856,231 @@ pub fn bench_lease_under_scrape_load() -> PerfResult {
     }
 }
 
+/// `n` raw v2 connections with completed hellos, held open (idle) by
+/// the caller.
+fn open_idle_v2_conns(
+    addr: std::net::SocketAddr,
+    space: IdSpace,
+    n: usize,
+) -> Vec<std::net::TcpStream> {
+    use uuidp_client::frame::{self, FrameBody};
+    (0..n)
+        .map(|i| {
+            let mut stream =
+                std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("dial conn {i}: {e}"));
+            stream.set_nodelay(true).expect("nodelay");
+            frame::write_frame(
+                &mut stream,
+                0,
+                &FrameBody::Hello {
+                    version: frame::VERSION,
+                    space: space.size(),
+                },
+            )
+            .expect("hello");
+            let hello = frame::read_frame(&mut stream).expect("hello-ok");
+            assert!(matches!(hello.body, FrameBody::HelloOk { .. }));
+            stream
+        })
+        .collect()
+}
+
+/// Child-process half of the idle bench, behind the repro binary's
+/// hidden `hold-conns ADDR N` mode: opens `n` idle v2 connections
+/// against `addr`, prints `ready`, and holds them until stdin reaches
+/// EOF (the parent dropping the pipe). Client sockets live in child
+/// processes because containers routinely deny `setrlimit`, so a
+/// single process cannot hold both halves of 10k+ loopback pairs
+/// within a ~20k fd budget — but each side separately fits.
+pub fn hold_conns_main(addr: &str, n: usize) -> std::process::ExitCode {
+    use std::io::Write as _;
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hold-conns: bad address {addr}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let space = IdSpace::with_bits(48).unwrap();
+    let held = open_idle_v2_conns(addr, space, n);
+    println!("ready");
+    let _ = std::io::stdout().flush();
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    drop(held);
+    std::process::ExitCode::SUCCESS
+}
+
+/// Spawns `repro hold-conns` children collectively holding `total` idle
+/// v2 connections, ≤5000 per child, and waits until every child reports
+/// its connections are up. `None` when the current executable is not
+/// the repro binary (the only one with the mode).
+fn spawn_conn_holders(
+    addr: std::net::SocketAddr,
+    total: usize,
+) -> Option<Vec<std::process::Child>> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_string_lossy().into_owned();
+    if !stem.starts_with("repro") {
+        return None;
+    }
+    const PER_CHILD: usize = 5_000;
+    let mut children = Vec::new();
+    let mut left = total;
+    while left > 0 {
+        let n = left.min(PER_CHILD);
+        left -= n;
+        let child = std::process::Command::new(&exe)
+            .arg("hold-conns")
+            .arg(addr.to_string())
+            .arg(n.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .ok()?;
+        children.push(child);
+    }
+    for child in &mut children {
+        let mut line = String::new();
+        let mut reader = std::io::BufReader::new(child.stdout.as_mut()?);
+        reader.read_line(&mut line).ok()?;
+        if line.trim() != "ready" {
+            return None;
+        }
+    }
+    Some(children)
+}
+
+/// The PR 8 headline: what parked v2 connections cost. `new` is the
+/// epoll reactor's wakeups per second holding 10,000 idle connections —
+/// effectively zero, the thread sleeps in `epoll_wait` until a byte
+/// arrives. `baseline` is the portable poll-rotation fallback holding a
+/// tenth of the connections, which must keep waking to re-scan its
+/// sockets. Actual connection counts are in the name. The client
+/// sockets are held by `hold-conns` child processes so the fd budget
+/// bounds only the server side; without that mode (or enough fds) the
+/// bench scales down in-process. Cost unit: reactor wakeups per idle
+/// second.
+pub fn bench_reactor_idle_wakeups() -> PerfResult {
+    use uuidp_service::net::{RemoteClient, ServerOptions, TcpServer};
+    use uuidp_service::reactor::{raise_nofile, NetBackend};
+    let space = IdSpace::with_bits(48).unwrap();
+    // Try for headroom anyway — some hosts do let root raise it.
+    let limit = raise_nofile(65_536).unwrap_or(1_024).max(1_024);
+    let epoll_conns = if NetBackend::epoll_compiled() {
+        // Server-side fds only (accepted sockets); children hold the
+        // dialing half. In-process fallback needs both halves.
+        ((limit.saturating_sub(512)) as usize).min(10_000)
+    } else {
+        256 // rotation-only build: keep the headline side honest but small
+    };
+    let poll_conns = (epoll_conns / 10).max(64);
+    let measure = |backend: NetBackend, conns: usize| -> f64 {
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let options = ServerOptions {
+            backend,
+            ..ServerOptions::default()
+        };
+        let server = TcpServer::bind_with("127.0.0.1:0", config, options).expect("bind loopback");
+        let mut holders = spawn_conn_holders(server.local_addr(), conns);
+        let held = if holders.is_none() {
+            let inproc = conns.min((limit.saturating_sub(512) / 3) as usize);
+            open_idle_v2_conns(server.local_addr(), space, inproc)
+        } else {
+            Vec::new()
+        };
+        let wakeups = server.registry().counter("uuidp_net_wakeups_total");
+        let before = wakeups.get();
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let woke = (wakeups.get() - before) as f64;
+        drop(held);
+        if let Some(children) = holders.as_mut() {
+            for child in children.iter_mut() {
+                drop(child.stdin.take()); // EOF: release the connections
+                let _ = child.wait();
+            }
+        }
+        let ctl = RemoteClient::connect(server.local_addr(), space).expect("control conn");
+        let _ = ctl.shutdown();
+        let _ = server.join();
+        woke
+    };
+    let backend_new = if NetBackend::epoll_compiled() {
+        NetBackend::Epoll
+    } else {
+        NetBackend::Poll
+    };
+    // Floor at 0.5 wakeups/s: an idle epoll reactor genuinely reads 0,
+    // and a zero cost would render as an infinite speedup in the JSON.
+    let new_cost = measure(backend_new, epoll_conns).max(0.5);
+    let baseline_cost = measure(NetBackend::Poll, poll_conns).max(0.5);
+    PerfResult {
+        name: format!(
+            "reactor_idle_wakeups_per_s_{backend_new}_{epoll_conns}conns_vs_poll_{poll_conns}conns"
+        ),
+        unit: "wakeups/s",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// Vectored reply flushing: how many queued replies the reactor retires
+/// per write syscall when a pipelined client keeps whole batches in
+/// flight. `new` is the measured syscalls per reply (the reciprocal of
+/// the server's `uuidp_net_replies_per_syscall` mean) under 256-deep
+/// pipelining; `baseline` is the old demux's locked write-per-reply:
+/// exactly one syscall each. Cost unit: write syscalls per reply.
+pub fn bench_reactor_replies_per_syscall() -> PerfResult {
+    use std::io::Write as _;
+    use uuidp_client::frame::{self, FrameBody};
+    use uuidp_service::net::{RemoteClient, TcpServer};
+    let space = IdSpace::with_bits(48).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let mut stream = open_idle_v2_conns(server.local_addr(), space, 1)
+        .pop()
+        .expect("one conn");
+    let mut corr = 0u64;
+    for _ in 0..64 {
+        let mut batch = Vec::new();
+        for _ in 0..256 {
+            corr += 1;
+            batch.extend_from_slice(&frame::encode_frame(
+                corr,
+                &FrameBody::LeaseReq {
+                    tenant: corr % 8,
+                    count: 1,
+                },
+            ));
+        }
+        stream.write_all(&batch).expect("batch write");
+        for _ in 0..256 {
+            let reply = frame::read_frame(&mut stream).expect("reply");
+            assert!(matches!(reply.body, FrameBody::LeaseResp { .. }));
+        }
+    }
+    let hist = server
+        .registry()
+        .histogram("uuidp_net_replies_per_syscall")
+        .snapshot();
+    let replies_per_syscall = if hist.count() > 0 {
+        hist.mean_ns()
+    } else {
+        1.0
+    };
+    drop(stream);
+    let ctl = RemoteClient::connect(server.local_addr(), space).expect("control conn");
+    let _ = ctl.shutdown();
+    let _ = server.join();
+    PerfResult {
+        name: "reactor_vectored_flush_syscalls_per_reply_vs_write_per_reply".into(),
+        unit: "syscalls/reply",
+        new_cost: 1.0 / replies_per_syscall.max(1.0),
+        baseline_cost: 1.0,
+    }
+}
+
 /// Runs the whole suite.
 pub fn run_all() -> Vec<PerfResult> {
     vec![
@@ -875,6 +1100,8 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_chaos_tail_latency(),
         bench_obs_overhead(),
         bench_lease_under_scrape_load(),
+        bench_reactor_idle_wakeups(),
+        bench_reactor_replies_per_syscall(),
     ]
 }
 

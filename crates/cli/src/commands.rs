@@ -19,6 +19,7 @@ use uuidp_fleet::run::{run_fleet, FleetConfig, FleetReport};
 use uuidp_netchaos::ChaosSpec;
 use uuidp_service::net::{ServerOptions, TcpServer};
 use uuidp_service::protocol::{render_lease, Command};
+use uuidp_service::reactor::NetBackend;
 use uuidp_service::service::{IdService, ServiceConfig, ServiceReport};
 use uuidp_service::stress::{
     run_stress, run_stress_remote, StressConfig, StressReport, TrafficMix,
@@ -236,6 +237,10 @@ pub struct ServeOpts {
     /// Expose the metric registry for scraping (v1 `metrics` command
     /// and v2 metrics frames). Only meaningful with `--listen`.
     pub metrics: bool,
+    /// Readiness backend for the TCP reactor (`auto | epoll | poll`).
+    /// `auto` picks epoll where compiled in; `poll` forces the portable
+    /// rotation fallback. Only meaningful with `--listen`.
+    pub net_backend: String,
 }
 
 /// Runs `uuidp serve`: the line protocol (see [`uuidp_service::protocol`])
@@ -276,6 +281,15 @@ pub fn serve(
             "--metrics only applies with --listen (stdin serve has no scrape surface)".into(),
         ));
     }
+    let backend: NetBackend = opts
+        .net_backend
+        .parse()
+        .map_err(|e| ParseError(format!("bad --net-backend: {e}")))?;
+    if backend != NetBackend::Auto && opts.listen.is_none() {
+        return Err(ParseError(
+            "--net-backend only applies with --listen (stdin serve has no reactor)".into(),
+        ));
+    }
     let mut config = ServiceConfig::new(kind, space);
     config.shards = opts.shards.max(1);
     config.audit_stripes = opts.audit_stripes.max(1);
@@ -287,6 +301,7 @@ pub fn serve(
         let options = ServerOptions {
             accept_v2: protocol != Some(ProtoVersion::V1),
             metrics: opts.metrics,
+            backend,
             ..ServerOptions::default()
         };
         let server = TcpServer::bind_with(addr, config, options)
@@ -404,6 +419,10 @@ pub struct StressOpts {
     /// dedicated v1 connection scrapes the registry throughout the run,
     /// asserting required families stay present and monotone.
     pub scrape: bool,
+    /// Readiness backend for the `--remote` server's reactor
+    /// (`auto | epoll | poll`); `poll` forces the portable rotation
+    /// fallback so CI can smoke it.
+    pub net_backend: String,
 }
 
 impl StressOpts {
@@ -427,6 +446,7 @@ impl StressOpts {
             chaos: None,
             chaos_seed: 0,
             scrape: false,
+            net_backend: "auto".into(),
         }
     }
 }
@@ -492,6 +512,15 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
                 .into(),
         ));
     }
+    let net_backend: NetBackend = opts
+        .net_backend
+        .parse()
+        .map_err(|e| ParseError(format!("bad --net-backend: {e}")))?;
+    if net_backend != NetBackend::Auto && !opts.remote {
+        return Err(ParseError(
+            "--net-backend only applies with --remote (the in-process path has no reactor)".into(),
+        ));
+    }
     let mut cfg = StressConfig::new(service, opts.tenants, opts.requests, opts.count);
     cfg.mix = mix;
     cfg.remote_workers = opts.remote_workers;
@@ -499,6 +528,7 @@ pub fn stress(opts: &StressOpts) -> Result<String, ParseError> {
     cfg.chaos = chaos;
     cfg.chaos_seed = opts.chaos_seed;
     cfg.scrape = opts.scrape;
+    cfg.net_backend = net_backend;
     let mut transport = if opts.remote && cfg.remote_workers > 1 && protocol == ProtoVersion::V2 {
         format!(" (loopback TCP transport, protocol {protocol}, pooled workers multiplexing one connection)")
     } else if opts.remote && cfg.remote_workers > 1 {
@@ -955,6 +985,7 @@ mod tests {
             listen: None,
             protocol: None,
             metrics: false,
+            net_backend: "auto".into(),
         }
     }
 
@@ -1322,6 +1353,41 @@ mod tests {
         let err = stress(&opts).unwrap_err();
         assert!(err.0.contains("--scrape"), "{}", err.0);
         assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_net_backend_without_remote() {
+        let opts = StressOpts {
+            net_backend: "poll".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("--net-backend"), "{}", err.0);
+        assert!(err.0.contains("--remote"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_rejects_unknown_net_backend() {
+        let opts = StressOpts {
+            remote: true,
+            net_backend: "kqueue".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let err = stress(&opts).unwrap_err();
+        assert!(err.0.contains("kqueue"), "{}", err.0);
+    }
+
+    #[test]
+    fn stress_remote_runs_on_the_poll_backend() {
+        let opts = StressOpts {
+            requests: 200,
+            remote: true,
+            protocol: "v2".into(),
+            net_backend: "poll".into(),
+            ..StressOpts::trials_small("cluster")
+        };
+        let out = stress(&opts).unwrap();
+        assert!(out.contains("validation:  ok"), "{out}");
     }
 
     #[test]

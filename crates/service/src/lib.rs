@@ -57,14 +57,19 @@
 pub mod metrics;
 pub mod net;
 pub mod protocol;
+pub mod reactor;
+pub mod reassembly;
 pub mod service;
 pub mod stress;
+#[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+pub mod sys;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::metrics::LatencyHistogram;
     pub use crate::net::{DialedClient, RemoteClient, ServerOptions, TcpServer};
     pub use crate::protocol::{Command, WireLease, WireSummary};
+    pub use crate::reactor::NetBackend;
     pub use crate::service::{
         AuditReport, AuditThreadReport, IdService, LeaseReply, ServiceConfig, ServiceReport,
     };

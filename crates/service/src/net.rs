@@ -7,25 +7,33 @@
 //! protocol, which is served without any per-connection thread at all:
 //!
 //! ```text
-//!   accept ──► demux thread (nonblocking reads over every v2 conn)
+//!   accept ──► reactor thread (readiness-driven; owns every v2 conn)
 //!                 │  sniff first byte: 0x00 ⇒ v2, else hand off to a
 //!                 │  v1 line-protocol handler thread
 //!                 │  complete frames, dispatched by kind:
 //!                 ├── lease/reset ──► worker pool (tenant-keyed queues)
 //!                 └── drain/summary/shutdown/halt ──► control thread
-//!                        each reply frame carries its request's
-//!                        correlation id back over the conn's writer
+//!                        reply frames are *queued* back to the reactor
+//!                        and flushed with vectored writes on write
+//!                        readiness, correlation ids intact
 //! ```
 //!
 //! The v2 accept path closes the ROADMAP's thread-per-connection item:
-//! however many v2 connections are open, the server runs one demux
-//! thread plus a fixed pool of `v2_workers` execution threads. Requests
-//! are routed to pool workers by `tenant % workers`, so each tenant's
+//! however many v2 connections are open, the server runs one reactor
+//! thread plus a fixed pool of `v2_workers` execution threads. The
+//! reactor ([`crate::reactor`]) takes readiness from epoll on Linux
+//! (raw syscalls, see [`crate::sys`]) or from a portable poll rotation
+//! elsewhere — [`ServerOptions::backend`] picks, and an idle epoll
+//! server costs ~zero CPU regardless of connection count. Requests are
+//! routed to pool workers by `tenant % workers`, so each tenant's
 //! requests stay FIFO end to end (the determinism the differential
 //! tests pin), while different tenants' requests from one multiplexed
 //! connection are served concurrently. Drain/summary/shutdown run on a
 //! dedicated control thread that first barriers the pool — "everything
-//! submitted before me" keeps its v1 meaning.
+//! submitted before me" keeps its v1 meaning. Workers never block on a
+//! slow peer: replies queue on the owning connection inside the
+//! reactor, and a peer that stops reading is eventually severed
+//! (backpressure by disconnect, not by stalling a shared thread).
 //!
 //! Shutdown is graceful and client-initiated in either protocol, and
 //! the numbers can never diverge: both the v1 `bye` line and the v2
@@ -63,6 +71,7 @@ use crate::protocol::{
     parse_lease_line, parse_summary, render_lease, render_summary, wire_summary, Command,
     WireLease, WireSummary,
 };
+use crate::reactor::{NetBackend, Poller, Reactor, ReactorCmd, ReactorHandle, ReactorSeed};
 use crate::service::{IdService, LeaseReply, ServiceConfig, ServiceReport};
 
 /// Front-end options, beyond the service's own configuration.
@@ -80,6 +89,9 @@ pub struct ServerOptions {
     /// connection stays up — the registry still records either way,
     /// this only gates the *export* surface.
     pub metrics: bool,
+    /// Readiness backend for the reactor ([`NetBackend::Auto`] resolves
+    /// to epoll where compiled in, the poll rotation elsewhere).
+    pub backend: NetBackend,
 }
 
 impl Default for ServerOptions {
@@ -88,57 +100,70 @@ impl Default for ServerOptions {
             accept_v2: true,
             v2_workers: 4,
             metrics: true,
+            backend: NetBackend::Auto,
         }
     }
 }
 
 /// Shared state of a running [`TcpServer`].
-struct ServerState {
+pub(crate) struct ServerState {
     /// The service; taken (→ `None`) by whichever connection shuts down.
-    service: RwLock<Option<IdService>>,
+    pub(crate) service: RwLock<Option<IdService>>,
     /// Set before the accept loop is woken for the last time.
-    stopping: AtomicBool,
-    /// Write halves of every *live* connection, keyed by connection id
-    /// so a finished handler can deregister its own entry (otherwise
-    /// churning clients would leak one fd each until shutdown). Shutdown
-    /// severs whatever is registered to unblock blocked readers.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) stopping: AtomicBool,
+    /// Every *live* connection, keyed by connection id so a finished
+    /// handler can deregister its own entry (otherwise churning clients
+    /// would leak an entry each until shutdown). The value is a write
+    /// half **only for blocking v1 handlers** — shutdown must sever
+    /// those to unblock their reads. Reactor-owned connections are
+    /// counted as `None`: the reactor severs its own sockets on stop,
+    /// and cloning a second fd per connection here would double the
+    /// server's fd cost (10k idle conns → 20k fds, an EMFILE wall).
+    pub(crate) conns: Mutex<HashMap<u64, Option<TcpStream>>>,
     /// Connection id source.
-    next_conn: AtomicU64,
+    pub(crate) next_conn: AtomicU64,
     /// The service's universe — validated against every v2 hello.
-    space: IdSpace,
+    pub(crate) space: IdSpace,
     /// The service's metric registry, kept alongside the `RwLock`ed
     /// service so scrapes never contend with the lease path (reading
     /// counters is lock-free; only snapshot assembly walks the map).
-    registry: Arc<Registry>,
+    pub(crate) registry: Arc<Registry>,
     /// The service's trace recorder, for the front-end's own lifecycle
     /// stamps (server-demux, reply-sent).
-    trace: Arc<TraceRecorder>,
+    pub(crate) trace: Arc<TraceRecorder>,
     /// Whether scrapes are served (see [`ServerOptions::metrics`]).
-    metrics: bool,
+    pub(crate) metrics: bool,
+    /// Command surface into the reactor thread (stop paths use it to
+    /// bring the reactor down with the sockets).
+    pub(crate) reactor: ReactorHandle,
+    /// The resolved readiness backend ("epoll" or "poll").
+    pub(crate) backend: &'static str,
 }
 
 impl ServerState {
-    /// Severs every registered connection (shutdown-time unblocking).
-    fn sever_all(&self) {
+    /// Severs every registered connection (shutdown-time unblocking)
+    /// and stops the reactor with them — every stop path funnels
+    /// through here, and a reactor without sockets has nothing left to
+    /// wait on.
+    pub(crate) fn sever_all(&self) {
+        self.reactor.stop();
         for (_, conn) in self.conns.lock().expect("conns lock").drain() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            if let Some(conn) = conn {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 
-    /// Registers a connection's write half, returning its id — and
+    /// Registers a reactor-owned connection, returning its id — and
     /// closes the register/sever race: a shutdown that drained `conns`
     /// *before* this insert set `stopping` *before* draining, so the
     /// check below catches exactly the registrations the drain missed.
     /// Returns `None` (connection severed) when the server is stopping.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
+    /// No fd is cloned here: the reactor severs its own sockets on
+    /// stop, so the entry only counts the connection.
+    pub(crate) fn register(&self, stream: &TcpStream) -> Option<u64> {
         let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
-        if let Ok(registered) = stream.try_clone() {
-            self.conns
-                .lock()
-                .expect("conns lock")
-                .insert(conn_id, registered);
-        }
+        self.conns.lock().expect("conns lock").insert(conn_id, None);
         if self.stopping.load(Ordering::SeqCst) {
             self.deregister(conn_id);
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -147,7 +172,28 @@ impl ServerState {
         Some(conn_id)
     }
 
-    fn deregister(&self, conn_id: u64) {
+    /// Upgrades a registered connection to a severable entry before its
+    /// blocking v1 handler takes over — once the socket leaves the
+    /// readiness set, only a stored write half can unblock its reads at
+    /// shutdown. Same race discipline as [`ServerState::register`]:
+    /// returns `false` (connection severed) when the server is
+    /// stopping, and the caller must not spawn the handler.
+    pub(crate) fn promote_v1(&self, conn_id: u64, stream: &TcpStream) -> bool {
+        if let Ok(write_half) = stream.try_clone() {
+            self.conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_id, Some(write_half));
+        }
+        if self.stopping.load(Ordering::SeqCst) {
+            self.deregister(conn_id);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn deregister(&self, conn_id: u64) {
         self.conns.lock().expect("conns lock").remove(&conn_id);
     }
 }
@@ -183,7 +229,7 @@ fn crash_server(
 pub struct TcpServer {
     local_addr: SocketAddr,
     accept: JoinHandle<()>,
-    demux: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     control: JoinHandle<()>,
     pool: Vec<JoinHandle<()>>,
     report_rx: Receiver<ServiceReport>,
@@ -206,6 +252,12 @@ impl TcpServer {
     ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // The readiness backend resolves here so an explicit `Epoll`
+        // request fails the bind (typed) where it is not compiled in.
+        let poller = Poller::new(options.backend)?;
+        let backend = poller.name();
+        let (cmd_tx, cmd_rx) = channel::<ReactorCmd>();
+        let reactor_handle = ReactorHandle::new(cmd_tx, poller.waker());
         let space = config.space;
         let service = IdService::start(config);
         let registry = service.registry();
@@ -219,6 +271,8 @@ impl TcpServer {
             registry,
             trace,
             metrics: options.metrics,
+            reactor: reactor_handle.clone(),
+            backend,
         });
         let (report_tx, report_rx) = sync_channel::<ServiceReport>(1);
 
@@ -244,23 +298,24 @@ impl TcpServer {
                 control_worker(state, ctrl_rx, pool_txs, report_tx, local_addr)
             })
         };
-        // The demux: sniffs every new connection, owns all v2 reads.
-        let (register_tx, register_rx) = channel::<TcpStream>();
-        let demux = {
-            let state = Arc::clone(&state);
-            let report_tx = report_tx.clone();
-            let accept_v2 = options.accept_v2;
-            std::thread::spawn(move || {
-                demux_loop(
-                    state,
-                    register_rx,
-                    pool_txs,
-                    ctrl_tx,
-                    accept_v2,
-                    report_tx,
-                    local_addr,
-                )
-            })
+        // The reactor: sniffs every new connection, owns all v2 I/O.
+        let reactor = {
+            let seed = ReactorSeed {
+                state: Arc::clone(&state),
+                poller,
+                cmd_rx,
+                handle: reactor_handle.clone(),
+                pool_txs,
+                ctrl_tx,
+                accept_v2: options.accept_v2,
+                report_tx: report_tx.clone(),
+                local_addr,
+            };
+            // Built on this thread so its metric families are registered
+            // before `bind_with` returns — a scraper that races the
+            // reactor's first pass still sees `uuidp_net_wakeups_total`.
+            let reactor = Reactor::new(seed);
+            std::thread::spawn(move || reactor.run())
         };
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || {
@@ -268,25 +323,34 @@ impl TcpServer {
                 if accept_state.stopping.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // EMFILE/ENFILE or a transient accept failure:
+                        // retrying instantly pegs a core without
+                        // freeing the fds the retry needs.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
                 // One reply per command either way: Nagle + delayed ACK
                 // would add ~40ms to every round trip on loopback.
                 let _ = stream.set_nodelay(true);
-                // The demux reads everything nonblocking until a
+                // The reactor reads everything nonblocking until a
                 // connection proves to be v1 and is handed back to a
                 // blocking handler thread.
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-                if register_tx.send(stream).is_err() {
-                    break; // demux is gone; the server is coming down
+                if !reactor_handle.adopt(stream) {
+                    break; // reactor is gone; the server is coming down
                 }
             }
         });
         Ok(TcpServer {
             local_addr,
             accept,
-            demux,
+            reactor,
             control,
             pool,
             report_rx,
@@ -320,9 +384,15 @@ impl TcpServer {
         Arc::clone(&self.state.trace)
     }
 
+    /// The readiness backend the reactor resolved to: `"epoll"` or
+    /// `"poll"` (tests and benches gate wakeup assertions on this).
+    pub fn net_backend(&self) -> &'static str {
+        self.state.backend
+    }
+
     fn join_threads(self) -> Receiver<ServiceReport> {
         let _ = self.accept.join();
-        let _ = self.demux.join();
+        let _ = self.reactor.join();
         let _ = self.control.join();
         for handle in self.pool {
             let _ = handle.join();
@@ -371,51 +441,57 @@ impl TcpServer {
 // The v2 serving machinery: demux + pool + control.
 // ---------------------------------------------------------------------
 
-/// The shared half of one v2 connection: its registry id and the write
-/// half every replying thread goes through. Frames are written whole
-/// under the lock, so replies from different pool workers never
-/// interleave mid-frame.
-struct V2Conn {
-    writer: Mutex<TcpStream>,
+/// The shared half of one v2 connection: its registry id and a handle
+/// to the reactor that owns the socket. A send *queues* the encoded
+/// frame on the connection's reply queue — it never touches the socket
+/// and never blocks, so a slow peer backpressures only its own queue
+/// (severed at the reactor's cap), not the pool worker that served it.
+/// The old implementation held a per-connection writer lock and
+/// spin/slept through `WouldBlock`, stalling a whole worker behind one
+/// unread socket.
+pub(crate) struct V2Conn {
+    conn_id: u64,
+    reactor: ReactorHandle,
 }
 
 impl V2Conn {
-    /// Writes one whole frame. The socket is nonblocking (O_NONBLOCK is
-    /// a property of the file description the demux's read half shares,
-    /// so the write half cannot be switched back), which means a full
-    /// send buffer surfaces as `WouldBlock` mid-frame — and a torn
-    /// frame would desynchronize the whole binary stream. So this loops
-    /// until every byte is out, yielding (then briefly sleeping) while
-    /// the peer drains; the per-connection writer lock makes the stall
-    /// back-pressure exactly the senders targeting this connection.
-    fn send(&self, corr: u64, body: &FrameBody) -> io::Result<()> {
-        let bytes = frame::encode_frame(corr, body);
-        let mut writer = self.writer.lock().expect("conn writer lock");
-        let mut at = 0;
-        let mut stalls = 0u32;
-        while at < bytes.len() {
-            match writer.write(&bytes[at..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => {
-                    at += n;
-                    stalls = 0;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    stalls = stalls.saturating_add(1);
-                    if stalls < 64 {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
+    pub(crate) fn new(conn_id: u64, reactor: ReactorHandle) -> V2Conn {
+        V2Conn { conn_id, reactor }
     }
 
-    fn send_error(&self, corr: u64, message: impl Into<String>) {
+    /// Queues one whole reply frame (flushed by the reactor on write
+    /// readiness). Frames are queued whole, so replies from different
+    /// pool workers never interleave mid-frame. Errs only when the
+    /// reactor is already gone.
+    pub(crate) fn send(&self, corr: u64, body: &FrameBody) -> io::Result<()> {
+        self.reactor
+            .reply(self.conn_id, frame::encode_frame(corr, body), None)
+    }
+
+    /// Like [`send`](V2Conn::send), but blocks (bounded by `timeout`)
+    /// until the frame has fully reached the socket. The shutdown path
+    /// uses this for its final summary: sockets are severed right
+    /// after, and an unflushed summary would turn the graceful protocol
+    /// exit into a broken pipe.
+    pub(crate) fn send_flushed(
+        &self,
+        corr: u64,
+        body: &FrameBody,
+        timeout: Duration,
+    ) -> io::Result<()> {
+        let (done, rx) = sync_channel::<io::Result<()>>(1);
+        self.reactor
+            .reply(self.conn_id, frame::encode_frame(corr, body), Some(done))?;
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "reply flush timed out",
+            )),
+        }
+    }
+
+    pub(crate) fn send_error(&self, corr: u64, message: impl Into<String>) {
         let _ = self.send(
             corr,
             &FrameBody::Error {
@@ -426,7 +502,7 @@ impl V2Conn {
 }
 
 /// Work routed to the tenant-keyed pool.
-enum PoolJob {
+pub(crate) enum PoolJob {
     Lease {
         conn: Arc<V2Conn>,
         corr: u64,
@@ -443,7 +519,7 @@ enum PoolJob {
 }
 
 /// Work routed to the control lane.
-enum CtrlJob {
+pub(crate) enum CtrlJob {
     Drain { conn: Arc<V2Conn>, corr: u64 },
     Summary { conn: Arc<V2Conn>, corr: u64 },
     Shutdown { conn: Arc<V2Conn>, corr: u64 },
@@ -603,7 +679,15 @@ fn control_worker(
                 match service {
                     Some(service) => {
                         let report = service.shutdown();
-                        let _ = conn.send(corr, &FrameBody::SummaryResp(wire_summary(&report)));
+                        // Wait for the summary to actually reach the
+                        // socket: sever_all is about to cut every
+                        // connection, and the requester must read its
+                        // final summary before the FIN.
+                        let _ = conn.send_flushed(
+                            corr,
+                            &FrameBody::SummaryResp(wire_summary(&report)),
+                            Duration::from_secs(5),
+                        );
                         let _ = report_tx.send(report);
                         // Unblock sibling connections and the accept loop.
                         state.sever_all();
@@ -621,242 +705,72 @@ fn control_worker(
     }
 }
 
-/// One connection as the demux tracks it.
-struct DemuxConn {
-    conn_id: u64,
-    stream: TcpStream,
-    shared: Arc<V2Conn>,
-    buf: Vec<u8>,
-    /// First byte seen and judged to be v2.
-    sniffed: bool,
-    /// Handshake frame validated and answered.
-    hello_done: bool,
-}
-
-/// What a pump pass decided about one connection.
-enum ConnFate {
+/// What [`dispatch_frame`] decided about the connection that sent the
+/// frame.
+pub(crate) enum Disposition {
+    /// Keep serving the connection.
     Keep,
-    /// Deregister and drop (EOF, error, or protocol violation).
-    Remove,
-    /// First byte says v1: hand the buffered bytes + socket to a
-    /// blocking line-protocol handler thread.
-    HandOffV1(Vec<u8>),
+    /// Sever it — after best-effort delivery of `farewell` (correlation
+    /// id + message, encoded into a fatal error frame by the reactor),
+    /// so protocol violations still get their diagnostic before EOF.
+    /// Queued replies are forfeit.
+    Sever {
+        /// The farewell error to write, if any.
+        farewell: Option<(u64, String)>,
+    },
 }
 
-/// The v2 demux: every open v2 (or not-yet-sniffed) connection lives
-/// here, read nonblocking in a rotation — no thread per connection.
-/// Complete frames are dispatched to the pool/control lanes; v1
-/// connections are detected on their first byte and handed off. The
-/// loop spins with `yield` while traffic flows and backs off to short
-/// sleeps when everything is quiet.
-#[allow(clippy::too_many_arguments)]
-fn demux_loop(
-    state: Arc<ServerState>,
-    register_rx: Receiver<TcpStream>,
-    pool_txs: Vec<SyncSender<PoolJob>>,
-    ctrl_tx: SyncSender<CtrlJob>,
-    accept_v2: bool,
-    report_tx: SyncSender<ServiceReport>,
-    local_addr: SocketAddr,
-) {
-    let mut conns: Vec<DemuxConn> = Vec::new();
-    let mut v1_handlers: Vec<JoinHandle<()>> = Vec::new();
-    let mut scratch = [0u8; 16384];
-    let mut idle_passes = 0u32;
-    while !state.stopping.load(Ordering::SeqCst) {
-        let mut progress = false;
-        // Adopt newly accepted connections.
-        while let Ok(stream) = register_rx.try_recv() {
-            progress = true;
-            let Some(conn_id) = state.register(&stream) else {
-                continue; // racing a shutdown; already severed
-            };
-            let Ok(writer) = stream.try_clone() else {
-                state.deregister(conn_id);
-                continue;
-            };
-            conns.push(DemuxConn {
-                conn_id,
-                stream,
-                shared: Arc::new(V2Conn {
-                    writer: Mutex::new(writer),
-                }),
-                buf: Vec::new(),
-                sniffed: false,
-                hello_done: false,
-            });
-        }
-        // Pump every connection.
-        let mut i = 0;
-        while i < conns.len() {
-            let (fate, moved) = pump_conn(
-                &mut conns[i],
-                &mut scratch,
-                &state,
-                &pool_txs,
-                &ctrl_tx,
-                accept_v2,
-            );
-            progress |= moved;
-            match fate {
-                ConnFate::Keep => i += 1,
-                ConnFate::Remove => {
-                    let conn = conns.swap_remove(i);
-                    state.deregister(conn.conn_id);
-                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                    progress = true;
-                }
-                ConnFate::HandOffV1(prefix) => {
-                    let conn = conns.swap_remove(i);
-                    // Back to blocking: the v1 handler thread owns it now.
-                    let _ = conn.stream.set_nonblocking(false);
-                    let state = Arc::clone(&state);
-                    let report_tx = report_tx.clone();
-                    v1_handlers.push(std::thread::spawn(move || {
-                        handle_v1_connection(
-                            conn.stream,
-                            conn.conn_id,
-                            prefix,
-                            state,
-                            report_tx,
-                            local_addr,
-                        );
-                    }));
-                    progress = true;
-                }
-            }
-        }
-        if progress {
-            idle_passes = 0;
-        } else {
-            // Hot traffic keeps the loop spinning (yield keeps the
-            // single-core CI container fair); quiet periods back off to
-            // sleeps so an idle server costs ~nothing.
-            idle_passes = idle_passes.saturating_add(1);
-            if idle_passes < 64 {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        }
-    }
-    // Server is coming down. Do NOT sever the sockets here: the demux
-    // races the stop paths, and the shutdown requester's summary frame
-    // may still be in flight from the control thread — an early
-    // shutdown(2) would turn it into a broken pipe. Dropping our read
-    // fds is safe (registry entries and reply handles keep each socket
-    // alive); the final sever is sever_all's job, which every stop path
-    // performs after the last reply is written.
-    drop(conns);
-    for handle in v1_handlers {
-        let _ = handle.join();
+fn sever_with(corr: u64, message: String) -> Disposition {
+    Disposition::Sever {
+        farewell: Some((corr, message)),
     }
 }
 
-/// Reads whatever one connection has, sniffs/parses, dispatches. The
-/// bool is "made progress" (bytes moved), for the demux's backoff.
-fn pump_conn(
-    conn: &mut DemuxConn,
-    scratch: &mut [u8],
-    state: &ServerState,
-    pool_txs: &[SyncSender<PoolJob>],
-    ctrl_tx: &SyncSender<CtrlJob>,
-    accept_v2: bool,
-) -> (ConnFate, bool) {
-    let mut progress = false;
-    loop {
-        match conn.stream.read(scratch) {
-            Ok(0) => return (ConnFate::Remove, true),
-            Ok(n) => {
-                progress = true;
-                conn.buf.extend_from_slice(&scratch[..n]);
-                if !conn.sniffed {
-                    if conn.buf[0] != frame::MAGIC[0] {
-                        // A text byte: this is a v1 client.
-                        return (ConnFate::HandOffV1(std::mem::take(&mut conn.buf)), true);
-                    }
-                    conn.sniffed = true;
-                    if !accept_v2 {
-                        conn.shared
-                            .send_error(0, "protocol v2 is disabled on this listener");
-                        return (ConnFate::Remove, true);
-                    }
-                }
-                // Drain complete frames off the buffer.
-                loop {
-                    match frame::decode_frame(&conn.buf) {
-                        Ok(None) => break,
-                        Ok(Some((f, used))) => {
-                            conn.buf.drain(..used);
-                            if !dispatch_frame(conn, f, state, pool_txs, ctrl_tx) {
-                                return (ConnFate::Remove, true);
-                            }
-                        }
-                        Err(e) => {
-                            // Framing errors are connection-fatal: a
-                            // binary stream cannot be resynchronized.
-                            conn.shared.send_error(0, e.to_string());
-                            return (ConnFate::Remove, true);
-                        }
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (ConnFate::Keep, progress),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return (ConnFate::Remove, true),
-        }
-    }
-}
-
-/// Routes one decoded frame. `false` severs the connection.
-fn dispatch_frame(
-    conn: &mut DemuxConn,
+/// Routes one decoded frame (called from the reactor's pump).
+pub(crate) fn dispatch_frame(
+    shared: &Arc<V2Conn>,
+    hello_done: &mut bool,
     f: frame::Frame,
     state: &ServerState,
     pool_txs: &[SyncSender<PoolJob>],
     ctrl_tx: &SyncSender<CtrlJob>,
-) -> bool {
-    if !conn.hello_done {
+) -> Disposition {
+    if !*hello_done {
         // Version negotiation: the first frame must be a hello naming a
         // version and universe this server serves.
         return match f.body {
             FrameBody::Hello { version, space } => {
                 if version != frame::VERSION {
-                    conn.shared.send_error(
+                    sever_with(
                         0,
                         format!(
                             "unsupported protocol version {version} (this server speaks {})",
                             frame::VERSION
                         ),
-                    );
-                    false
+                    )
                 } else if space != state.space.size() {
-                    conn.shared.send_error(
+                    sever_with(
                         0,
                         format!(
                             "universe mismatch: server is {}, client asked for {space}",
                             state.space.size()
                         ),
-                    );
-                    false
+                    )
                 } else {
-                    conn.hello_done = true;
-                    conn.shared
-                        .send(
-                            0,
-                            &FrameBody::HelloOk {
-                                version: frame::VERSION,
-                                space: state.space.size(),
-                            },
-                        )
-                        .is_ok()
+                    *hello_done = true;
+                    match shared.send(
+                        0,
+                        &FrameBody::HelloOk {
+                            version: frame::VERSION,
+                            space: state.space.size(),
+                        },
+                    ) {
+                        Ok(()) => Disposition::Keep,
+                        Err(_) => Disposition::Sever { farewell: None },
+                    }
                 }
             }
-            other => {
-                conn.shared
-                    .send_error(0, format!("expected hello, got {} frame", other.name()));
-                false
-            }
+            other => sever_with(0, format!("expected hello, got {} frame", other.name())),
         };
     }
     let corr = f.corr;
@@ -871,68 +785,62 @@ fn dispatch_frame(
             );
             let worker = (tenant % pool_txs.len() as u64) as usize;
             let _ = pool_txs[worker].send(PoolJob::Lease {
-                conn: Arc::clone(&conn.shared),
+                conn: Arc::clone(shared),
                 corr,
                 tenant,
                 count,
             });
-            true
+            Disposition::Keep
         }
         FrameBody::MetricsReq => {
-            // Answered inline on the demux thread: a scrape reads the
+            // Rendered inline on the reactor thread: a scrape reads the
             // registry lock-free and must never queue behind leases.
             if state.metrics {
                 let text = state.registry.snapshot().render_prometheus();
-                conn.shared
-                    .send(corr, &FrameBody::MetricsResp { text })
-                    .is_ok()
+                let _ = shared.send(corr, &FrameBody::MetricsResp { text });
             } else {
-                conn.shared
-                    .send_error(corr, "metrics are disabled on this listener");
-                true
+                shared.send_error(corr, "metrics are disabled on this listener");
             }
+            Disposition::Keep
         }
         FrameBody::ResetReq { tenant } => {
             let worker = (tenant % pool_txs.len() as u64) as usize;
             let _ = pool_txs[worker].send(PoolJob::Reset {
-                conn: Arc::clone(&conn.shared),
+                conn: Arc::clone(shared),
                 corr,
                 tenant,
             });
-            true
+            Disposition::Keep
         }
         FrameBody::DrainReq => {
             let _ = ctrl_tx.send(CtrlJob::Drain {
-                conn: Arc::clone(&conn.shared),
+                conn: Arc::clone(shared),
                 corr,
             });
-            true
+            Disposition::Keep
         }
         FrameBody::SummaryReq => {
             let _ = ctrl_tx.send(CtrlJob::Summary {
-                conn: Arc::clone(&conn.shared),
+                conn: Arc::clone(shared),
                 corr,
             });
-            true
+            Disposition::Keep
         }
         FrameBody::ShutdownReq => {
             let _ = ctrl_tx.send(CtrlJob::Shutdown {
-                conn: Arc::clone(&conn.shared),
+                conn: Arc::clone(shared),
                 corr,
             });
-            true
+            Disposition::Keep
         }
         FrameBody::HaltReq => {
             let _ = ctrl_tx.send(CtrlJob::Halt);
-            true
+            Disposition::Keep
         }
-        other => {
-            conn.shared.send_error(
-                0,
-                format!("unexpected {} frame from a client", other.name()),
-            );
-            false
-        }
+        other => sever_with(
+            0,
+            format!("unexpected {} frame from a client", other.name()),
+        ),
     }
 }
 
@@ -943,7 +851,7 @@ fn dispatch_frame(
 /// One v1 connection: read command lines, reply per line, until quit,
 /// shutdown, disconnect, or server stop. `prefix` is whatever the
 /// demux read before deciding this was a text client.
-fn handle_v1_connection(
+pub(crate) fn handle_v1_connection(
     stream: TcpStream,
     conn_id: u64,
     prefix: Vec<u8>,
@@ -1735,6 +1643,163 @@ mod tests {
             let summary = client.shutdown().unwrap();
             assert_eq!(summary.issued_ids, 64, "{proto}");
             assert_eq!(summary.leases, 1, "{proto}");
+            server.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn v1_handler_threads_are_reaped_between_connections() {
+        // Regression: the old demux pushed one JoinHandle per v1
+        // connection and only joined them at shutdown — a slow leak on
+        // any long-lived server with v1 churn. The reactor reaps
+        // finished handlers every pass, so the live count must return
+        // to zero while the server keeps serving.
+        let (server, space) = server(40);
+        let registry = server.registry();
+        for tenant in 0..16 {
+            let mut client = RemoteClient::connect(server.local_addr(), space).unwrap();
+            assert_eq!(client.lease(tenant, 10).unwrap().granted, 10);
+            client.quit().unwrap();
+        }
+        let live = registry.gauge("uuidp_net_v1_handlers_live");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while live.get() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} v1 handler threads still alive after every client quit",
+                live.get()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // The server is still fully alive after all that churn.
+        let last = RemoteClient::connect(server.local_addr(), space).unwrap();
+        last.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn flooding_v2_peer_does_not_starve_its_siblings() {
+        // Regression: the old pump read one connection until
+        // WouldBlock, so a firehosing peer monopolized the demux
+        // thread. The reactor caps bytes and frames per connection per
+        // pass; a latency probe sharing the reactor with a flooder
+        // must still see bounded round trips.
+        let (server, space) = server(40);
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        // The flooder: a raw v2 socket blasting pipelined single-ID
+        // leases, replies discarded by a second thread so the server
+        // never has to apply backpressure.
+        let mut flood = TcpStream::connect(addr).unwrap();
+        flood.set_nodelay(true).unwrap();
+        frame::write_frame(
+            &mut flood,
+            0,
+            &FrameBody::Hello {
+                version: frame::VERSION,
+                space: space.size(),
+            },
+        )
+        .unwrap();
+        let hello = frame::read_frame(&mut flood).unwrap();
+        assert!(matches!(hello.body, FrameBody::HelloOk { .. }));
+        let flood_ctl = flood.try_clone().unwrap();
+        let mut sink = flood.try_clone().unwrap();
+        let drain_stop = Arc::clone(&stop);
+        let drain = std::thread::spawn(move || {
+            while !drain_stop.load(Ordering::SeqCst) && frame::read_frame(&mut sink).is_ok() {}
+        });
+        let write_stop = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut corr = 1u64;
+            while !write_stop.load(Ordering::SeqCst) {
+                let mut batch = Vec::new();
+                for _ in 0..64 {
+                    batch.extend_from_slice(&frame::encode_frame(
+                        corr,
+                        &FrameBody::LeaseReq {
+                            tenant: 0,
+                            count: 1,
+                        },
+                    ));
+                    corr += 1;
+                }
+                if flood.write_all(&batch).is_err() {
+                    break;
+                }
+            }
+        });
+        // The probe: an ordinary v2 client on another tenant (another
+        // pool worker too), timing full round trips under the flood.
+        let probe = Client::connect(addr, space).unwrap();
+        let mut worst = Duration::ZERO;
+        for _ in 0..100 {
+            let start = std::time::Instant::now();
+            assert_eq!(probe.lease(97, 1).unwrap().granted, 1);
+            worst = worst.max(start.elapsed());
+        }
+        stop.store(true, Ordering::SeqCst);
+        let _ = flood_ctl.shutdown(std::net::Shutdown::Both);
+        writer.join().unwrap();
+        drain.join().unwrap();
+        assert!(
+            worst < Duration::from_millis(500),
+            "probe starved behind the flooder: worst lease took {worst:?}"
+        );
+        let ctl = RemoteClient::connect(addr, space).unwrap();
+        ctl.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn rotation_backend_serves_both_protocols() {
+        // The portable fallback (and the `poll-fallback` build's only
+        // backend) must carry real traffic, not just compile.
+        let space = IdSpace::with_bits(40).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+        let options = ServerOptions {
+            backend: NetBackend::Poll,
+            ..ServerOptions::default()
+        };
+        let server = TcpServer::bind_with("127.0.0.1:0", config, options).unwrap();
+        assert_eq!(server.net_backend(), "poll");
+        let v2 = Client::connect(server.local_addr(), space).unwrap();
+        assert_eq!(v2.lease(3, 100).unwrap().granted, 100);
+        let mut v1 = RemoteClient::connect(server.local_addr(), space).unwrap();
+        assert_eq!(v1.lease(4, 50).unwrap().granted, 50);
+        drop(v2);
+        let summary = v1.shutdown().unwrap();
+        assert_eq!(summary.issued_ids, 150);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn auto_backend_resolves_to_the_compiled_poller() {
+        let (server, space) = server(40);
+        let expected = if NetBackend::epoll_compiled() {
+            "epoll"
+        } else {
+            "poll"
+        };
+        assert_eq!(server.net_backend(), expected);
+        let client = RemoteClient::connect(server.local_addr(), space).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_bounded_clients_work_against_the_reactor() {
+        // `connect_with(.., Some(timeout))` bounds every reply read;
+        // the reactor's queued replies must land well inside it on
+        // both protocols.
+        for proto in [ProtoVersion::V1, ProtoVersion::V2] {
+            let (server, space) = server(40);
+            let timeout = Some(Duration::from_secs(5));
+            let mut client =
+                DialedClient::connect_with(server.local_addr(), space, proto, timeout).unwrap();
+            assert_eq!(client.lease(7, 32).unwrap().granted, 32, "{proto}");
+            let summary = client.shutdown().unwrap();
+            assert_eq!(summary.issued_ids, 32, "{proto}");
             server.join().unwrap();
         }
     }

@@ -1,0 +1,1000 @@
+//! The readiness-driven v2 I/O core.
+//!
+//! One reactor thread owns **all** v2 connection state (the single-
+//! actor ownership shape of holochain's `kitsune_p2p` event loops):
+//! sockets, reassembly buffers, and per-connection reply queues all
+//! live here, and every other thread talks to the reactor exclusively
+//! through [`ReactorCmd`] messages — the accept loop adopts new
+//! connections, pool/control workers queue reply frames, stop paths
+//! send [`ReactorCmd::Stop`]. No locks guard connection state because
+//! nothing else can reach it.
+//!
+//! Readiness comes from one of two interchangeable [`Poller`] backends:
+//!
+//! * **epoll** (Linux, default): level-triggered `epoll_wait` via the
+//!   raw-syscall [`crate::sys`] module, with an `eventfd` waker so
+//!   command senders can interrupt an indefinite block. An idle server
+//!   — however many thousands of connections it holds — makes **zero**
+//!   wakeups until a socket or command stirs.
+//! * **poll rotation** (the `poll-fallback` feature, and every
+//!   non-Linux target): the previous demux shape — treat every
+//!   connection as ready each pass, yield while traffic flows, back
+//!   off to 200µs sleeps when quiet. Portable, but idle cost scales
+//!   with connection count.
+//!
+//! Reads are capped per connection per pass (bytes *and* dispatched
+//! frames), so a firehosing peer cannot starve its siblings: leftover
+//! socket bytes re-report under level-triggered readiness, and
+//! leftover *decoded-but-buffered* frames park the connection in the
+//! reactor's backlog, which is pumped again on the next pass with a
+//! zero timeout. Replies never block a pool worker: they queue on the
+//! owning connection and are flushed with **vectored writes** on write
+//! readiness, so a batch of replies to one multiplexing client retires
+//! in one syscall (`uuidp_net_replies_per_syscall` histograms exactly
+//! that ratio). A peer that stops reading accumulates queued replies
+//! until [`MAX_OUT_QUEUE`] and is then severed — queued-reply
+//! backpressure replaces the old lock-held spin/sleep send.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+#[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+use std::os::fd::AsRawFd;
+
+use uuidp_client::frame;
+use uuidp_obs::{AtomicHistogram, Counter, Gauge};
+
+use crate::net::{
+    dispatch_frame, handle_v1_connection, CtrlJob, Disposition, PoolJob, ServerState, V2Conn,
+};
+use crate::reassembly::{BufPool, ReadBuf};
+use crate::service::ServiceReport;
+#[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+use crate::sys;
+
+/// Socket bytes one connection may read per pump pass.
+const READ_CAP: usize = 64 * 1024;
+/// Frames one connection may dispatch per pump pass.
+const FRAME_CAP: usize = 128;
+/// Queued-reply bytes after which a non-reading peer is severed.
+const MAX_OUT_QUEUE: usize = 64 * 1024 * 1024;
+/// Reply buffers coalesced into one vectored write.
+const MAX_IOV: usize = 64;
+/// Poll timeout while finished v1 handler threads await reaping.
+const V1_REAP_MS: i32 = 100;
+/// The poller token reserved for the epoll waker's eventfd.
+#[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Which readiness backend a server runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetBackend {
+    /// epoll when compiled in (Linux without `poll-fallback`),
+    /// otherwise the poll rotation.
+    Auto,
+    /// epoll, failing `bind` where it is not compiled in.
+    Epoll,
+    /// The portable poll rotation, everywhere.
+    Poll,
+}
+
+impl NetBackend {
+    /// Whether the epoll backend exists in this build.
+    pub fn epoll_compiled() -> bool {
+        cfg!(all(target_os = "linux", not(feature = "poll-fallback")))
+    }
+}
+
+impl std::str::FromStr for NetBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(NetBackend::Auto),
+            "epoll" => Ok(NetBackend::Epoll),
+            "poll" => Ok(NetBackend::Poll),
+            other => Err(format!(
+                "unknown net backend `{other}` (expected auto, epoll, or poll)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for NetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NetBackend::Auto => "auto",
+            NetBackend::Epoll => "epoll",
+            NetBackend::Poll => "poll",
+        })
+    }
+}
+
+/// Raises this process's open-file soft limit toward `target` (the
+/// 10k-connection bench needs ~3 fds per connection). Returns the
+/// resulting limit, or `None` where unsupported (non-Linux builds and
+/// the `poll-fallback` feature, which compile out the syscall surface).
+pub fn raise_nofile(target: u64) -> Option<u64> {
+    #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+    {
+        sys::raise_nofile(target).ok()
+    }
+    #[cfg(not(all(target_os = "linux", not(feature = "poll-fallback"))))]
+    {
+        let _ = target;
+        None
+    }
+}
+
+/// Wakes a possibly blocked reactor from another thread. The epoll
+/// backend blocks in `epoll_wait`, so the waker is an eventfd
+/// registered like any other fd; the rotation backend sleeps in short
+/// slices and checks the flag between them.
+pub(crate) struct Waker {
+    flag: AtomicBool,
+    #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+    efd: Option<sys::EventFd>,
+}
+
+impl Waker {
+    fn flag_only() -> Waker {
+        Waker {
+            flag: AtomicBool::new(false),
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            efd: None,
+        }
+    }
+
+    pub(crate) fn wake(&self) {
+        self.flag.store(true, Ordering::Release);
+        #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+        if let Some(efd) = &self.efd {
+            efd.signal();
+        }
+    }
+
+    /// Consumes a pending wake, returning whether one was set.
+    fn take(&self) -> bool {
+        self.flag.swap(false, Ordering::Acquire)
+    }
+}
+
+/// Commands into the reactor thread. This is the *entire* write surface
+/// other threads have over connection state.
+pub(crate) enum ReactorCmd {
+    /// A freshly accepted (nonblocking, nodelay) socket to own.
+    Adopt(TcpStream),
+    /// One encoded frame to queue on `conn_id`'s reply queue. `done`
+    /// (used by the shutdown path) is signalled when the frame has
+    /// fully reached the socket — or with an error if it cannot.
+    Reply {
+        conn_id: u64,
+        bytes: Vec<u8>,
+        done: Option<SyncSender<io::Result<()>>>,
+    },
+    /// Drop everything and exit (the stop paths' abrupt sever).
+    Stop,
+}
+
+/// A cloneable handle over the reactor's command channel + waker.
+#[derive(Clone)]
+pub(crate) struct ReactorHandle {
+    tx: Sender<ReactorCmd>,
+    waker: Arc<Waker>,
+}
+
+impl ReactorHandle {
+    pub(crate) fn new(tx: Sender<ReactorCmd>, waker: Arc<Waker>) -> ReactorHandle {
+        ReactorHandle { tx, waker }
+    }
+
+    /// Hands a new connection to the reactor. `false` when the reactor
+    /// is gone (the server is coming down).
+    pub(crate) fn adopt(&self, stream: TcpStream) -> bool {
+        let ok = self.tx.send(ReactorCmd::Adopt(stream)).is_ok();
+        self.waker.wake();
+        ok
+    }
+
+    /// Queues one encoded reply frame for `conn_id`.
+    pub(crate) fn reply(
+        &self,
+        conn_id: u64,
+        bytes: Vec<u8>,
+        done: Option<SyncSender<io::Result<()>>>,
+    ) -> io::Result<()> {
+        self.tx
+            .send(ReactorCmd::Reply {
+                conn_id,
+                bytes,
+                done,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "reactor is gone"))?;
+        self.waker.wake();
+        Ok(())
+    }
+
+    /// Tells the reactor to drop everything and exit.
+    pub(crate) fn stop(&self) {
+        let _ = self.tx.send(ReactorCmd::Stop);
+        self.waker.wake();
+    }
+}
+
+/// One readiness report.
+struct Event {
+    token: u64,
+    readable: bool,
+    writable: bool,
+}
+
+enum PollerImpl {
+    #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+    Epoll {
+        ep: sys::Epoll,
+        buf: Vec<sys::EpollEvent>,
+    },
+    Rotation {
+        tokens: Vec<u64>,
+        idle_passes: u32,
+    },
+}
+
+/// The readiness source, either backend behind one registration and
+/// wait surface.
+pub(crate) struct Poller {
+    imp: PollerImpl,
+    waker: Arc<Waker>,
+}
+
+impl Poller {
+    /// Builds the poller (and its waker) for `backend`.
+    pub(crate) fn new(backend: NetBackend) -> io::Result<Poller> {
+        let rotation = || Poller {
+            imp: PollerImpl::Rotation {
+                tokens: Vec::new(),
+                idle_passes: 0,
+            },
+            waker: Arc::new(Waker::flag_only()),
+        };
+        match backend {
+            NetBackend::Poll => Ok(rotation()),
+            NetBackend::Auto | NetBackend::Epoll => {
+                #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+                {
+                    let ep = sys::Epoll::new()?;
+                    let efd = sys::EventFd::new()?;
+                    ep.add(efd.raw(), WAKER_TOKEN, false)?;
+                    Ok(Poller {
+                        imp: PollerImpl::Epoll {
+                            ep,
+                            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+                        },
+                        waker: Arc::new(Waker {
+                            flag: AtomicBool::new(false),
+                            efd: Some(efd),
+                        }),
+                    })
+                }
+                #[cfg(not(all(target_os = "linux", not(feature = "poll-fallback"))))]
+                {
+                    match backend {
+                        NetBackend::Auto => Ok(rotation()),
+                        _ => Err(io::Error::new(
+                            io::ErrorKind::Unsupported,
+                            "the epoll backend is not compiled into this build \
+                             (non-Linux target or the poll-fallback feature)",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The resolved backend, for logs/tests/benches.
+    pub(crate) fn name(&self) -> &'static str {
+        match self.imp {
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            PollerImpl::Epoll { .. } => "epoll",
+            PollerImpl::Rotation { .. } => "poll",
+        }
+    }
+
+    pub(crate) fn waker(&self) -> Arc<Waker> {
+        Arc::clone(&self.waker)
+    }
+
+    fn register(&mut self, stream: &TcpStream, token: u64) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            PollerImpl::Epoll { ep, .. } => ep.add(stream.as_raw_fd(), token, false),
+            PollerImpl::Rotation { tokens, .. } => {
+                let _ = stream;
+                tokens.push(token);
+                Ok(())
+            }
+        }
+    }
+
+    /// Toggles write interest (a no-op for the rotation, which reports
+    /// every connection writable each pass).
+    fn set_writable(&mut self, stream: &TcpStream, token: u64, writable: bool) {
+        match &mut self.imp {
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            PollerImpl::Epoll { ep, .. } => {
+                let _ = ep.modify(stream.as_raw_fd(), token, writable);
+            }
+            PollerImpl::Rotation { .. } => {
+                let _ = (stream, token, writable);
+            }
+        }
+    }
+
+    fn deregister(&mut self, stream: &TcpStream, token: u64) {
+        match &mut self.imp {
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            PollerImpl::Epoll { ep, .. } => {
+                let _ = ep.del(stream.as_raw_fd());
+                let _ = token;
+            }
+            PollerImpl::Rotation { tokens, .. } => {
+                let _ = stream;
+                tokens.retain(|t| *t != token);
+            }
+        }
+    }
+
+    /// Blocks (bounded by `timeout_ms`; `-1` = forever) for readiness,
+    /// filling `out`. The epoll arm translates kernel events — errors
+    /// and hangups count as readable so the pump observes the failure;
+    /// the rotation arm reports every registered token read+write
+    /// ready, yielding while passes are productive (`timeout_ms == 0`)
+    /// and backing off to 200µs sleep slices — waker-interruptible —
+    /// when idle.
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) {
+        out.clear();
+        match &mut self.imp {
+            #[cfg(all(target_os = "linux", not(feature = "poll-fallback")))]
+            PollerImpl::Epoll { ep, buf } => {
+                let n = ep.wait(buf, timeout_ms).unwrap_or(0);
+                for ev in buf.iter().take(n) {
+                    let bits = { ev.events };
+                    let token = { ev.data };
+                    if token == WAKER_TOKEN {
+                        if let Some(efd) = &self.waker.efd {
+                            efd.drain();
+                        }
+                        self.waker.take();
+                        continue;
+                    }
+                    out.push(Event {
+                        token,
+                        readable: bits
+                            & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP)
+                            != 0,
+                        writable: bits & sys::EPOLLOUT != 0,
+                    });
+                }
+            }
+            PollerImpl::Rotation {
+                tokens,
+                idle_passes,
+            } => {
+                if timeout_ms == 0 {
+                    *idle_passes = 0;
+                    std::thread::yield_now();
+                } else {
+                    // One backoff slice per wait: the reactor calls
+                    // again immediately, so quiet periods settle into a
+                    // 200µs cadence — the cost the epoll backend (and
+                    // BENCH_PR8) measures against.
+                    *idle_passes = idle_passes.saturating_add(1);
+                    if !self.waker.take() {
+                        if *idle_passes < 64 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                }
+                self.waker.take();
+                for token in tokens.iter() {
+                    out.push(Event {
+                        token: *token,
+                        readable: true,
+                        writable: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One queued reply frame (plus the flush ack the shutdown path uses).
+struct OutFrame {
+    bytes: Vec<u8>,
+    at: usize,
+    done: Option<SyncSender<io::Result<()>>>,
+}
+
+/// One connection, as the reactor owns it.
+struct NetConn {
+    conn_id: u64,
+    stream: TcpStream,
+    shared: Arc<V2Conn>,
+    /// Reassembly buffer; `None` while nothing is pending (the buffer
+    /// lives in the pool between partial frames).
+    rbuf: Option<ReadBuf>,
+    out: VecDeque<OutFrame>,
+    out_bytes: usize,
+    /// First byte seen and judged to be v2.
+    sniffed: bool,
+    hello_done: bool,
+    /// Write interest currently armed with the poller.
+    write_interest: bool,
+    /// Pass number this connection was last pumped on (dedupes the
+    /// readable-event and backlog pump sources).
+    pumped_pass: u64,
+    /// Has queued replies not yet flushed this pass.
+    dirty: bool,
+}
+
+/// What one pump pass decided about a connection.
+enum Fate {
+    Keep {
+        backlog: bool,
+    },
+    /// Sever — after best-effort writing `farewell` (a pre-encoded
+    /// fatal error frame), so protocol violations still get their
+    /// diagnostic before EOF.
+    Remove {
+        farewell: Option<Vec<u8>>,
+    },
+    /// First byte says v1: hand socket + buffered prefix to a blocking
+    /// line-protocol handler thread.
+    HandOffV1(Vec<u8>),
+}
+
+/// Everything `bind_with` wires into the reactor thread.
+pub(crate) struct ReactorSeed {
+    pub state: Arc<ServerState>,
+    pub poller: Poller,
+    pub cmd_rx: Receiver<ReactorCmd>,
+    pub handle: ReactorHandle,
+    pub pool_txs: Vec<SyncSender<PoolJob>>,
+    pub ctrl_tx: SyncSender<CtrlJob>,
+    pub accept_v2: bool,
+    pub report_tx: SyncSender<ServiceReport>,
+    pub local_addr: std::net::SocketAddr,
+}
+
+/// The reactor: see the module docs for the full shape.
+pub(crate) struct Reactor {
+    state: Arc<ServerState>,
+    poller: Poller,
+    cmd_rx: Receiver<ReactorCmd>,
+    handle: ReactorHandle,
+    pool_txs: Vec<SyncSender<PoolJob>>,
+    ctrl_tx: SyncSender<CtrlJob>,
+    accept_v2: bool,
+    report_tx: SyncSender<ServiceReport>,
+    local_addr: std::net::SocketAddr,
+    conns: HashMap<u64, NetConn>,
+    /// Connections holding complete-but-undispatched frames (hit the
+    /// per-pass frame cap); pumped again next pass with a 0 timeout.
+    backlog: Vec<u64>,
+    /// Connections with replies queued this pass, to flush.
+    dirty: Vec<u64>,
+    pool: BufPool,
+    scratch: Vec<u8>,
+    v1_handlers: Vec<JoinHandle<()>>,
+    pass: u64,
+    wakeups: Arc<Counter>,
+    replies_per_syscall: Arc<AtomicHistogram>,
+    v1_live: Arc<Gauge>,
+}
+
+impl Reactor {
+    pub(crate) fn new(seed: ReactorSeed) -> Reactor {
+        let registry = &seed.state.registry;
+        let wakeups = registry.counter("uuidp_net_wakeups_total");
+        let replies_per_syscall = registry.histogram("uuidp_net_replies_per_syscall");
+        let v1_live = registry.gauge("uuidp_net_v1_handlers_live");
+        Reactor {
+            state: seed.state,
+            poller: seed.poller,
+            cmd_rx: seed.cmd_rx,
+            handle: seed.handle,
+            pool_txs: seed.pool_txs,
+            ctrl_tx: seed.ctrl_tx,
+            accept_v2: seed.accept_v2,
+            report_tx: seed.report_tx,
+            local_addr: seed.local_addr,
+            conns: HashMap::new(),
+            backlog: Vec::new(),
+            dirty: Vec::new(),
+            pool: BufPool::new(),
+            scratch: vec![0u8; 16 * 1024],
+            v1_handlers: Vec::new(),
+            pass: 0,
+            wakeups,
+            replies_per_syscall,
+            v1_live,
+        }
+    }
+
+    /// The reactor thread's main loop.
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = if !self.backlog.is_empty() {
+                0 // parked frames to dispatch: come straight back
+            } else if !self.v1_handlers.is_empty() {
+                V1_REAP_MS // finished v1 handlers want reaping
+            } else {
+                -1 // idle: block until a socket or a command stirs
+            };
+            self.poller.wait(&mut events, timeout);
+            self.wakeups.inc();
+            self.pass += 1;
+            if self.drain_cmds() {
+                break;
+            }
+            self.reap_v1();
+            // Pump: readiness first, then the parked backlog.
+            let parked = std::mem::take(&mut self.backlog);
+            for ev in &events {
+                if ev.readable {
+                    self.pump(ev.token);
+                }
+            }
+            for conn_id in parked {
+                let already = self
+                    .conns
+                    .get(&conn_id)
+                    .is_none_or(|c| c.pumped_pass == self.pass);
+                if !already {
+                    self.pump(conn_id);
+                }
+            }
+            // Replies dispatched above (hello-ok, metrics, errors) and
+            // anything pool workers finished meanwhile.
+            if self.drain_cmds() {
+                break;
+            }
+            // Flush: write-ready connections, then freshly dirty ones.
+            for ev in &events {
+                if ev.writable {
+                    self.flush(ev.token);
+                }
+            }
+            let dirty = std::mem::take(&mut self.dirty);
+            for conn_id in dirty {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.dirty = false;
+                }
+                self.flush(conn_id);
+            }
+        }
+        self.finish();
+    }
+
+    /// Applies queued commands; `true` means Stop was seen.
+    fn drain_cmds(&mut self) -> bool {
+        let mut stop = false;
+        while let Ok(cmd) = self.cmd_rx.try_recv() {
+            match cmd {
+                ReactorCmd::Adopt(stream) => self.adopt(stream),
+                ReactorCmd::Reply {
+                    conn_id,
+                    bytes,
+                    done,
+                } => self.queue_reply(conn_id, bytes, done),
+                ReactorCmd::Stop => stop = true,
+            }
+        }
+        stop
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let Some(conn_id) = self.state.register(&stream) else {
+            return; // racing a shutdown; already severed
+        };
+        if self.poller.register(&stream, conn_id).is_err() {
+            self.state.deregister(conn_id);
+            return;
+        }
+        let shared = Arc::new(V2Conn::new(conn_id, self.handle.clone()));
+        self.conns.insert(
+            conn_id,
+            NetConn {
+                conn_id,
+                stream,
+                shared,
+                rbuf: None,
+                out: VecDeque::new(),
+                out_bytes: 0,
+                sniffed: false,
+                hello_done: false,
+                write_interest: false,
+                pumped_pass: 0,
+                dirty: false,
+            },
+        );
+    }
+
+    fn queue_reply(
+        &mut self,
+        conn_id: u64,
+        bytes: Vec<u8>,
+        done: Option<SyncSender<io::Result<()>>>,
+    ) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            // The connection died before its reply was written — the
+            // same race a crash mid-reply produces.
+            if let Some(done) = done {
+                let _ = done.send(Err(io::ErrorKind::BrokenPipe.into()));
+            }
+            return;
+        };
+        conn.out_bytes += bytes.len();
+        conn.out.push_back(OutFrame { bytes, at: 0, done });
+        if conn.out_bytes > MAX_OUT_QUEUE {
+            // The peer stopped reading long ago: backpressure by sever,
+            // not by blocking a worker thread.
+            self.remove(conn_id);
+            return;
+        }
+        if !conn.dirty {
+            conn.dirty = true;
+            self.dirty.push(conn_id);
+        }
+    }
+
+    /// Reaps finished v1 handler threads (the old demux held every
+    /// JoinHandle until shutdown — one leak per v1 connection).
+    fn reap_v1(&mut self) {
+        if self.v1_handlers.is_empty() {
+            return;
+        }
+        self.v1_handlers.retain(|h| !h.is_finished());
+        self.v1_live.set(self.v1_handlers.len() as i64);
+    }
+
+    fn pump(&mut self, conn_id: u64) {
+        let Some(mut conn) = self.conns.remove(&conn_id) else {
+            return;
+        };
+        conn.pumped_pass = self.pass;
+        match self.pump_inner(&mut conn) {
+            Fate::Keep { backlog } => {
+                if backlog {
+                    self.backlog.push(conn_id);
+                }
+                self.conns.insert(conn_id, conn);
+            }
+            Fate::Remove { farewell } => {
+                if let Some(bytes) = farewell {
+                    write_farewell(&conn.stream, &bytes);
+                }
+                self.dispose(conn);
+            }
+            Fate::HandOffV1(prefix) => self.handoff_v1(conn, prefix),
+        }
+    }
+
+    fn pump_inner(&mut self, conn: &mut NetConn) -> Fate {
+        let mut read_bytes = 0usize;
+        let mut closed = false;
+        while read_bytes < READ_CAP {
+            let want = (READ_CAP - read_bytes).min(self.scratch.len());
+            match (&conn.stream).read(&mut self.scratch[..want]) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    read_bytes += n;
+                    if !conn.sniffed {
+                        // First bytes ever: negotiate the protocol.
+                        if self.scratch[0] != frame::MAGIC[0] {
+                            return Fate::HandOffV1(self.scratch[..n].to_vec());
+                        }
+                        conn.sniffed = true;
+                        if !self.accept_v2 {
+                            return Fate::Remove {
+                                farewell: Some(error_frame(
+                                    0,
+                                    "protocol v2 is disabled on this listener",
+                                )),
+                            };
+                        }
+                    }
+                    let pool = &mut self.pool;
+                    let rbuf = conn.rbuf.get_or_insert_with(|| pool.get());
+                    rbuf.extend(&self.scratch[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        // Dispatch complete frames, capped per pass — unless the peer
+        // is gone, in which case whatever it pipelined before closing
+        // still deserves dispatch (nobody is left to starve).
+        let mut frames = 0usize;
+        if let Some(rbuf) = conn.rbuf.as_mut() {
+            while closed || frames < FRAME_CAP {
+                match frame::decode_frame(rbuf.pending()) {
+                    Ok(None) => break,
+                    Ok(Some((f, used))) => {
+                        rbuf.consume(used);
+                        frames += 1;
+                        match dispatch_frame(
+                            &conn.shared,
+                            &mut conn.hello_done,
+                            f,
+                            &self.state,
+                            &self.pool_txs,
+                            &self.ctrl_tx,
+                        ) {
+                            Disposition::Keep => {}
+                            Disposition::Sever { farewell } => {
+                                return Fate::Remove {
+                                    farewell: farewell
+                                        .map(|(corr, message)| error_frame(corr, &message)),
+                                };
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Framing errors are connection-fatal: a binary
+                        // stream cannot be resynchronized.
+                        return Fate::Remove {
+                            farewell: Some(error_frame(0, &e.to_string())),
+                        };
+                    }
+                }
+            }
+            let backlog = !closed && has_complete_frame(rbuf.pending());
+            rbuf.compact();
+            if rbuf.is_empty() {
+                if let Some(rbuf) = conn.rbuf.take() {
+                    self.pool.put(rbuf);
+                }
+            }
+            if closed {
+                return Fate::Remove { farewell: None };
+            }
+            return Fate::Keep { backlog };
+        }
+        if closed {
+            Fate::Remove { farewell: None }
+        } else {
+            Fate::Keep { backlog: false }
+        }
+    }
+
+    /// Flushes one connection's reply queue with vectored writes.
+    fn flush(&mut self, conn_id: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            while !conn.out.is_empty() {
+                let mut iovs: Vec<io::IoSlice<'_>> =
+                    Vec::with_capacity(conn.out.len().min(MAX_IOV));
+                for (i, frame) in conn.out.iter().take(MAX_IOV).enumerate() {
+                    let at = if i == 0 { frame.at } else { 0 };
+                    iovs.push(io::IoSlice::new(&frame.bytes[at..]));
+                }
+                match (&conn.stream).write_vectored(&iovs) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(mut n) => {
+                        conn.out_bytes -= n;
+                        let mut retired = 0u64;
+                        while n > 0 {
+                            let front = conn.out.front_mut().expect("retiring written bytes");
+                            let left = front.bytes.len() - front.at;
+                            if n >= left {
+                                n -= left;
+                                if let Some(done) = conn.out.pop_front().and_then(|f| f.done) {
+                                    let _ = done.send(Ok(()));
+                                }
+                                retired += 1;
+                            } else {
+                                front.at += n;
+                                n = 0;
+                            }
+                        }
+                        // How many whole replies this one syscall moved:
+                        // the batching ratio the vectored flush exists
+                        // for (the old path was one write per reply).
+                        self.replies_per_syscall.record_ns(retired);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.remove(conn_id);
+            return;
+        }
+        // Arm write interest only while bytes wait (otherwise a mostly
+        // idle connection would wake the reactor on every pass).
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let want = !conn.out.is_empty();
+        if want != conn.write_interest {
+            conn.write_interest = want;
+            self.poller.set_writable(&conn.stream, conn_id, want);
+        }
+    }
+
+    /// Removes and disposes one connection.
+    fn remove(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            self.dispose(conn);
+        }
+    }
+
+    fn dispose(&mut self, conn: NetConn) {
+        self.poller.deregister(&conn.stream, conn.conn_id);
+        self.state.deregister(conn.conn_id);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        for frame in conn.out {
+            if let Some(done) = frame.done {
+                let _ = done.send(Err(io::ErrorKind::BrokenPipe.into()));
+            }
+        }
+        if let Some(rbuf) = conn.rbuf {
+            self.pool.put(rbuf);
+        }
+    }
+
+    /// Hands a sniffed-as-v1 connection to a blocking handler thread.
+    fn handoff_v1(&mut self, conn: NetConn, prefix: Vec<u8>) {
+        self.poller.deregister(&conn.stream, conn.conn_id);
+        // Blocking reads can only be unblocked by a stored write half —
+        // store one (and bail if a shutdown races the promotion).
+        if !self.state.promote_v1(conn.conn_id, &conn.stream) {
+            if let Some(rbuf) = conn.rbuf {
+                self.pool.put(rbuf);
+            }
+            return;
+        }
+        // Back to blocking: the v1 handler thread owns it now.
+        let _ = conn.stream.set_nonblocking(false);
+        let state = Arc::clone(&self.state);
+        let report_tx = self.report_tx.clone();
+        let local_addr = self.local_addr;
+        let conn_id = conn.conn_id;
+        let stream = conn.stream;
+        self.v1_handlers.push(std::thread::spawn(move || {
+            handle_v1_connection(stream, conn_id, prefix, state, report_tx, local_addr);
+        }));
+        self.v1_live.set(self.v1_handlers.len() as i64);
+    }
+
+    /// The abrupt exit every stop path funnels into: pending flush acks
+    /// fail, connections drop (the stop path already severed the
+    /// registered write halves), v1 handlers are joined out.
+    fn finish(mut self) {
+        let conns: Vec<NetConn> = self.conns.drain().map(|(_, c)| c).collect();
+        for conn in conns {
+            self.dispose(conn);
+        }
+        for handle in self.v1_handlers.drain(..) {
+            let _ = handle.join();
+        }
+        self.v1_live.set(0);
+    }
+}
+
+fn error_frame(corr: u64, message: &str) -> Vec<u8> {
+    frame::encode_frame(
+        corr,
+        &frame::FrameBody::Error {
+            message: message.into(),
+        },
+    )
+}
+
+/// Best-effort synchronous write of a farewell error frame to a
+/// connection that is about to be severed (its queue is forfeit, but a
+/// protocol-violation diagnostic must still reach the peer). Bounded:
+/// error frames are tiny, so a send buffer with no room for one means
+/// the peer was not reading anyway.
+fn write_farewell(stream: &TcpStream, bytes: &[u8]) {
+    let mut at = 0;
+    let mut stalls = 0u32;
+    while at < bytes.len() && stalls < 500 {
+        match (&*stream).write(&bytes[at..]) {
+            Ok(0) => return,
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                stalls += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Whether `pending` holds at least one complete frame (or a header so
+/// corrupt the decoder will fault it, which also deserves a pump).
+/// Header-only peek — no payload decode, no checksum.
+fn has_complete_frame(pending: &[u8]) -> bool {
+    if pending.len() < frame::HEADER_LEN {
+        return false;
+    }
+    let len = u32::from_le_bytes([pending[13], pending[14], pending[15], pending[16]]);
+    if len > frame::MAX_PAYLOAD {
+        return true; // decode_frame will sever it
+    }
+    pending.len() >= frame::HEADER_LEN + len as usize + frame::TRAILER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_parse_and_render() {
+        for (s, b) in [
+            ("auto", NetBackend::Auto),
+            ("epoll", NetBackend::Epoll),
+            ("poll", NetBackend::Poll),
+        ] {
+            assert_eq!(s.parse::<NetBackend>().unwrap(), b);
+            assert_eq!(b.to_string(), s);
+        }
+        assert!("select".parse::<NetBackend>().is_err());
+    }
+
+    #[test]
+    fn poller_resolution_matches_the_build() {
+        let auto = Poller::new(NetBackend::Auto).unwrap();
+        if NetBackend::epoll_compiled() {
+            assert_eq!(auto.name(), "epoll");
+            assert_eq!(Poller::new(NetBackend::Epoll).unwrap().name(), "epoll");
+        } else {
+            assert_eq!(auto.name(), "poll");
+            assert!(Poller::new(NetBackend::Epoll).is_err());
+        }
+        assert_eq!(Poller::new(NetBackend::Poll).unwrap().name(), "poll");
+    }
+
+    #[test]
+    fn complete_frame_peek_agrees_with_the_decoder() {
+        let bytes = frame::encode_frame(9, &frame::FrameBody::DrainReq);
+        for cut in 0..bytes.len() {
+            let complete = has_complete_frame(&bytes[..cut]);
+            assert!(!complete, "prefix of {cut} bytes is not a whole frame");
+        }
+        assert!(has_complete_frame(&bytes));
+        // A corrupt over-cap length still reports pump-worthy.
+        let mut corrupt = bytes.clone();
+        corrupt[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(has_complete_frame(&corrupt));
+    }
+}

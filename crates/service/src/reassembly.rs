@@ -1,0 +1,219 @@
+//! Frame reassembly buffers for the reactor.
+//!
+//! The old demux called `Vec::drain(..used)` once per decoded frame —
+//! a head-of-buffer memmove whose cost is quadratic when one read
+//! delivers many small frames (the dense-frame test below pins the
+//! fix). [`ReadBuf`] instead consumes decoded bytes with an **offset
+//! cursor** and compacts the survivors to the front **once per pump
+//! pass** (the `pod-ui` framer idiom): however many frames a pass
+//! decodes, at most one memmove of the undecoded tail happens.
+//!
+//! [`BufPool`] recycles drained buffers so steady-state reads allocate
+//! nothing: most v2 traffic decodes straight out of the reactor's
+//! shared scratch, and only partial tails ever touch a pooled buffer.
+//! The pool is owned by the single reactor thread — no locks.
+
+/// A reassembly buffer: bytes in at the back, frames consumed from the
+/// front via a cursor, one compaction per pass.
+#[derive(Default)]
+pub struct ReadBuf {
+    data: Vec<u8>,
+    start: usize,
+    /// Total bytes ever moved by compaction — the linearity odometer
+    /// the dense-frame regression test reads.
+    moved: u64,
+}
+
+impl ReadBuf {
+    /// An empty buffer.
+    pub fn new() -> ReadBuf {
+        ReadBuf::default()
+    }
+
+    /// Appends freshly read bytes behind whatever is pending.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// The not-yet-consumed bytes (decode frames from the front).
+    pub fn pending(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    /// Marks `n` pending bytes consumed — cursor advance only, no
+    /// memmove.
+    pub fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.data.len());
+    }
+
+    /// Moves the pending tail to the front, reclaiming consumed space.
+    /// Called once per pump pass, never per frame.
+    pub fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        let tail = self.data.len() - self.start;
+        self.data.copy_within(self.start.., 0);
+        self.data.truncate(tail);
+        self.moved += tail as u64;
+        self.start = 0;
+    }
+
+    /// True when no bytes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.data.len()
+    }
+
+    /// Bytes ever moved by compaction (see the dense-frame test).
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved
+    }
+
+    /// The heap footprint this buffer retains.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    fn reset(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+}
+
+/// A free-list of drained [`ReadBuf`]s, owned by the reactor thread.
+/// Bounded in count and in per-buffer retained capacity so one burst of
+/// huge frames cannot pin memory forever.
+pub struct BufPool {
+    free: Vec<ReadBuf>,
+}
+
+/// Buffers kept on the free list.
+const MAX_POOLED: usize = 64;
+/// A drained buffer whose allocation grew past this is dropped instead
+/// of pooled (a 16 MiB max-payload frame must not live on as ballast).
+const MAX_RETAINED_CAPACITY: usize = 256 * 1024;
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool { free: Vec::new() }
+    }
+
+    /// A recycled buffer if one is free, else a fresh one.
+    pub fn get(&mut self) -> ReadBuf {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained buffer to the free list (or drops it if it is
+    /// oversized or the list is full).
+    pub fn put(&mut self, mut buf: ReadBuf) {
+        buf.reset();
+        if buf.capacity() <= MAX_RETAINED_CAPACITY && self.free.len() < MAX_POOLED {
+            self.free.push(buf);
+        }
+    }
+
+    /// Free-listed buffers (observability for tests).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uuidp_client::frame::{self, FrameBody};
+
+    #[test]
+    fn cursor_consume_then_compact_preserves_the_stream() {
+        let mut buf = ReadBuf::new();
+        buf.extend(b"aaaabbbbcccc");
+        assert_eq!(buf.pending(), b"aaaabbbbcccc");
+        buf.consume(4);
+        assert_eq!(buf.pending(), b"bbbbcccc");
+        buf.compact();
+        assert_eq!(buf.pending(), b"bbbbcccc");
+        buf.extend(b"dd");
+        buf.consume(8);
+        assert_eq!(buf.pending(), b"dd");
+        buf.consume(2);
+        assert!(buf.is_empty());
+        buf.compact();
+        assert_eq!(buf.pending(), b"");
+    }
+
+    #[test]
+    fn dense_frames_decode_with_linear_memmove_cost() {
+        // The satellite regression: one read delivering thousands of
+        // tiny frames. The old drain-per-frame demux moved
+        // O(frames² × frame_len) bytes; the cursor + one compaction
+        // moves at most the undecoded tail — here, zero.
+        let one = frame::encode_frame(1, &FrameBody::DrainReq);
+        let frame_len = one.len();
+        let n = 4096usize;
+        let mut buf = ReadBuf::new();
+        for corr in 0..n as u64 {
+            buf.extend(&frame::encode_frame(corr, &FrameBody::DrainReq));
+        }
+        let mut decoded = 0usize;
+        while let Ok(Some((f, used))) = frame::decode_frame(buf.pending()) {
+            assert_eq!(f.corr, decoded as u64);
+            buf.consume(used);
+            decoded += 1;
+        }
+        buf.compact();
+        assert_eq!(decoded, n);
+        assert!(buf.is_empty());
+        // Quadratic behavior would have moved ~ n²/2 × frame_len bytes
+        // (≈ 200 MB here); the cursor moves none, and even a partial
+        // tail would bound it by one frame.
+        assert!(
+            buf.moved_bytes() <= (frame_len * n) as u64,
+            "memmove cost is super-linear: moved {} bytes for {} frames",
+            buf.moved_bytes(),
+            n
+        );
+        assert_eq!(buf.moved_bytes(), 0, "fully drained pass moves nothing");
+    }
+
+    #[test]
+    fn split_frames_reassemble_across_extends() {
+        let bytes = frame::encode_frame(42, &FrameBody::SummaryReq);
+        let mut buf = ReadBuf::new();
+        for chunk in bytes.chunks(3) {
+            if let Ok(Some(_)) = frame::decode_frame(buf.pending()) {
+                panic!("decoded before the frame was complete");
+            }
+            buf.extend(chunk);
+        }
+        let (f, used) = frame::decode_frame(buf.pending()).unwrap().unwrap();
+        assert_eq!(f.corr, 42);
+        buf.consume(used);
+        buf.compact();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_but_drops_oversized_buffers() {
+        let mut pool = BufPool::new();
+        let mut small = pool.get();
+        small.extend(&[0u8; 128]);
+        pool.put(small);
+        assert_eq!(pool.pooled(), 1);
+        let reused = pool.get();
+        assert_eq!(pool.pooled(), 0);
+        assert!(reused.is_empty(), "pooled buffers come back drained");
+        assert!(reused.capacity() >= 128, "allocation was recycled");
+        let mut huge = ReadBuf::new();
+        huge.extend(&vec![0u8; MAX_RETAINED_CAPACITY + 1]);
+        pool.put(huge);
+        assert_eq!(pool.pooled(), 0, "oversized buffer must not be pooled");
+    }
+}

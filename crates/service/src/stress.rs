@@ -63,8 +63,9 @@ use uuidp_client::{ProtoVersion, RetryPolicy};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
 
 use crate::metrics::FaultCounters;
-use crate::net::{DialedClient, RemoteClient, TcpServer};
+use crate::net::{DialedClient, RemoteClient, ServerOptions, TcpServer};
 use crate::protocol::WireSummary;
+use crate::reactor::NetBackend;
 use crate::service::{AuditReport, IdService, ServiceConfig, ServiceReport};
 
 /// Per-request bound for every blocking client phase in a chaos run:
@@ -159,6 +160,11 @@ pub struct StressConfig {
     /// is monotone scrape-over-scrape), and the report gains the final
     /// server-side family values. Ignored by in-process runs.
     pub scrape: bool,
+    /// Which readiness backend the remote run's server uses (see
+    /// [`NetBackend`]): `Auto` picks epoll where compiled in, `Poll`
+    /// forces the portable rotation fallback so CI can exercise it.
+    /// Ignored by in-process runs.
+    pub net_backend: NetBackend,
 }
 
 impl StressConfig {
@@ -176,6 +182,7 @@ impl StressConfig {
             chaos: None,
             chaos_seed: 0,
             scrape: false,
+            net_backend: NetBackend::Auto,
         }
     }
 }
@@ -189,6 +196,7 @@ pub const REQUIRED_FAMILIES: &[&str] = &[
     "uuidp_lease_errors_total",
     "uuidp_audit_records_total",
     "uuidp_lease_latency_ns_count",
+    "uuidp_net_wakeups_total",
 ];
 
 /// What the scrape sidecar (and the final server-side snapshot)
@@ -1021,7 +1029,14 @@ pub fn run_stress(config: StressConfig) -> StressReport {
 /// [`RemoteClient`] socket path. With `remote_workers > 1` the client
 /// side is the persistent-connection pool ([`PooledRemoteTarget`]).
 pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
-    let server = TcpServer::bind("127.0.0.1:0", config.service.clone())?;
+    let server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        config.service.clone(),
+        ServerOptions {
+            backend: config.net_backend,
+            ..ServerOptions::default()
+        },
+    )?;
     let registry = server.registry();
     // The scrape sidecar dials the server directly (not through any
     // chaos proxy): the export surface is probed while load flows, but

@@ -220,3 +220,80 @@ fn remote_hunter_mix_observes_real_arcs_over_the_wire() {
     assert_eq!(report.issued_ids, report.requests as u128);
     assert_eq!(report.audit.counts.recorded_ids, report.issued_ids);
 }
+
+#[test]
+fn idle_v2_connections_cost_near_zero_wakeups() {
+    // PR 8's reactor promise: parked v2 connections are free. A soak of
+    // 256 idle connections must (a) leave the epoll reactor asleep —
+    // the wakeup counter barely moves over two idle seconds, where the
+    // poll-rotation fallback would spin thousands of passes — and
+    // (b) leave every connection fully alive afterwards.
+    use std::net::TcpStream;
+    use uuidp::client::frame::{self, FrameBody};
+    use uuidp::service::net::{RemoteClient, TcpServer};
+
+    let space = IdSpace::with_bits(40).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let registry = server.registry();
+    let wakeups = registry.counter("uuidp_net_wakeups_total");
+
+    let mut conns = Vec::new();
+    for _ in 0..256 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        frame::write_frame(
+            &mut stream,
+            0,
+            &FrameBody::Hello {
+                version: frame::VERSION,
+                space: space.size(),
+            },
+        )
+        .unwrap();
+        let hello = frame::read_frame(&mut stream).unwrap();
+        assert!(matches!(hello.body, FrameBody::HelloOk { .. }));
+        conns.push(stream);
+    }
+
+    let before = wakeups.get();
+    std::thread::sleep(std::time::Duration::from_secs(2));
+    let woke = wakeups.get() - before;
+    if server.net_backend() == "epoll" {
+        // The rotation fallback burns ~5000 passes/s at this backoff;
+        // a sleeping epoll reactor wakes for nothing at all.
+        assert!(
+            woke < 500,
+            "epoll reactor woke {woke} times over an idle 2s soak"
+        );
+    }
+
+    // Liveness: every soaked connection still leases.
+    for (i, stream) in conns.iter_mut().enumerate() {
+        let corr = 1 + i as u64;
+        frame::write_frame(
+            stream,
+            corr,
+            &FrameBody::LeaseReq {
+                tenant: (i % 8) as u64,
+                count: 1,
+            },
+        )
+        .unwrap();
+        let reply = frame::read_frame(stream).unwrap();
+        assert_eq!(reply.corr, corr);
+        match reply.body {
+            FrameBody::LeaseResp { granted, error, .. } => {
+                assert_eq!(granted, 1, "conn {i}");
+                assert!(error.is_none(), "conn {i}");
+            }
+            other => panic!("conn {i}: unexpected reply {other:?}"),
+        }
+    }
+    drop(conns);
+
+    let ctl = RemoteClient::connect(server.local_addr(), space).unwrap();
+    let summary = ctl.shutdown().unwrap();
+    assert_eq!(summary.issued_ids, 256);
+    server.join().unwrap();
+}
