@@ -19,7 +19,7 @@ use uuidp_bench::experiments::{registry, Ctx};
 use uuidp_bench::perf;
 
 /// The stacked-PR index stamped into bench JSON artifacts.
-const PR_NUMBER: u32 = 8;
+const PR_NUMBER: u32 = 9;
 
 fn run_bench_json(path: &str) -> ExitCode {
     eprintln!("measuring hot paths (optimized vs reference baselines)...");

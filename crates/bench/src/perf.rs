@@ -856,6 +856,95 @@ pub fn bench_lease_under_scrape_load() -> PerfResult {
     }
 }
 
+/// The PR 9 time-series price: folding an already-parsed snapshot into
+/// the constant-memory window ring (counter deltas, gauge last-values,
+/// histogram delta merge) plus a windowed-rate query, vs parsing the
+/// exposition text that precedes it in every scrape pipeline. Ingest
+/// riding well under the parse it is downstream of means the dashboard
+/// aggregation adds nothing material to a scrape's cost — and the ring
+/// never grows, so tick one million costs what tick one did. Cost
+/// unit: ns per scrape tick.
+pub fn bench_timeseries_ingest() -> PerfResult {
+    use uuidp_obs::{Registry, Snapshot, TimeSeries};
+    // A realistic family mix: the service's own counters, a reactor
+    // gauge, and a well-populated latency histogram.
+    let registry = Registry::new();
+    registry.counter("uuidp_leases_total").add(10_000);
+    registry.counter("uuidp_ids_issued_total").add(2_560_000);
+    registry.counter("uuidp_lease_errors_total").add(3);
+    registry.counter("uuidp_audit_records_total").add(10_000);
+    registry.gauge("uuidp_net_out_queue_bytes").set(4096);
+    let hist = registry.histogram("uuidp_lease_latency_ns");
+    let mut rng = Xoshiro256pp::new(9);
+    for _ in 0..4096 {
+        hist.record_ns(uniform_below(&mut rng, 1 << 24) as u64);
+    }
+    let text = registry.snapshot().render_prometheus();
+    let snap = Snapshot::parse_prometheus(&text);
+    let mut series = TimeSeries::new(1, 64);
+    let mut tick = 0u64;
+    let new_cost = time_ns(|| {
+        tick += 1;
+        series.ingest(tick, &snap);
+        std::hint::black_box(series.rate("uuidp_ids_issued_total", 1));
+    });
+    let baseline_cost = time_ns(|| {
+        std::hint::black_box(Snapshot::parse_prometheus(&text).metrics.len());
+    });
+    PerfResult {
+        name: "obs_timeseries_ingest_vs_exposition_parse".into(),
+        unit: "ns/tick",
+        new_cost,
+        baseline_cost,
+    }
+}
+
+/// The dashboard's poll price: one full `uuidp top` cycle — a v2
+/// metrics round trip, exposition parse, window ingest, and the
+/// windowed ids/s + p50/p99/p999 queries — vs the bare metrics round
+/// trip alone. The delta is everything `top` adds on top of the wire
+/// scrape it cannot avoid; `--once` is exactly two of these polls.
+/// Cost unit: ns per poll.
+pub fn bench_top_poll_cost() -> PerfResult {
+    use uuidp_client::Client;
+    use uuidp_obs::{Snapshot, TimeSeries};
+    use uuidp_service::net::TcpServer;
+    let space = IdSpace::with_bits(48).unwrap();
+    let config = ServiceConfig::new(AlgorithmKind::Cluster, space);
+    let server = TcpServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let client = Client::connect(addr, space).expect("v2 client");
+    // Populate the histogram and counters the poll reads back.
+    for tenant in 0..32u64 {
+        client.lease(tenant, 256).expect("warm lease");
+    }
+    let mut series = TimeSeries::new(1, 64);
+    let mut tick = 0u64;
+    let new_cost = time_ns(|| {
+        tick += 1;
+        let text = client.metrics().expect("scrape");
+        let snap = Snapshot::parse_prometheus(&text);
+        series.ingest(tick, &snap);
+        std::hint::black_box((
+            series.rate("uuidp_ids_issued_total", 1),
+            series.quantile_ns("uuidp_lease_latency_ns", 8, 0.50),
+            series.quantile_ns("uuidp_lease_latency_ns", 8, 0.99),
+            series.quantile_ns("uuidp_lease_latency_ns", 8, 0.999),
+        ));
+    });
+    let baseline_cost = time_ns(|| {
+        std::hint::black_box(client.metrics().expect("bare scrape").len());
+    });
+    let _ = client.shutdown();
+    let _ = server.join();
+    PerfResult {
+        name: "top_poll_full_cycle_vs_bare_metrics_roundtrip".into(),
+        unit: "ns/poll",
+        new_cost,
+        baseline_cost,
+    }
+}
+
 /// `n` raw v2 connections with completed hellos, held open (idle) by
 /// the caller.
 fn open_idle_v2_conns(
@@ -1100,6 +1189,8 @@ pub fn run_all() -> Vec<PerfResult> {
         bench_chaos_tail_latency(),
         bench_obs_overhead(),
         bench_lease_under_scrape_load(),
+        bench_timeseries_ingest(),
+        bench_top_poll_cost(),
         bench_reactor_idle_wakeups(),
         bench_reactor_replies_per_syscall(),
     ]

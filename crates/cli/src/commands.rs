@@ -4,6 +4,8 @@
 //! `Result<String>` (the rendered output), so the whole surface is unit
 //! tested without process spawning.
 
+use std::fmt::Write as _;
+
 use uuidp_adversary::profile::DemandProfile;
 use uuidp_analysis::exact::{cluster_union_bounds, random_exact};
 use uuidp_analysis::planning::{self, Scheme};
@@ -809,6 +811,291 @@ fn fleet_phases(
     Ok(out)
 }
 
+/// Options for `uuidp top`.
+#[derive(Debug, Clone)]
+pub struct TopOpts {
+    /// Comma-separated node addresses to watch (`HOST:PORT[,HOST:PORT...]`).
+    pub connect: String,
+    /// Universe width in bits (must match the servers').
+    pub bits: u32,
+    /// Wire protocol for the metric fetches (`v1 | v2`).
+    pub protocol: String,
+    /// Milliseconds between polls (one time-series window per poll).
+    pub interval_ms: u64,
+    /// Take exactly two polls one interval apart and emit one
+    /// machine-readable JSON snapshot instead of the live dashboard.
+    pub once: bool,
+    /// Ring capacity: polls of history each node's series retains.
+    pub windows: usize,
+}
+
+/// One watched node: a persistent metrics connection (redialed after
+/// any failure), its windowed series, and its burn-rate evaluator.
+struct TopNode {
+    addr: std::net::SocketAddr,
+    label: String,
+    client: Option<uuidp_service::net::DialedClient>,
+    series: uuidp_obs::TimeSeries,
+    alerts: uuidp_obs::BurnRateAlerts,
+    last: Option<uuidp_obs::Snapshot>,
+    healthy: bool,
+    scrape_errors: u64,
+}
+
+impl TopNode {
+    fn new(addr: std::net::SocketAddr, windows: usize) -> TopNode {
+        TopNode {
+            addr,
+            label: addr.to_string(),
+            client: None,
+            series: uuidp_obs::TimeSeries::new(1, windows.max(2)),
+            alerts: uuidp_obs::BurnRateAlerts::new(vec![uuidp_obs::AlertRule::availability()]),
+            last: None,
+            healthy: false,
+            scrape_errors: 0,
+        }
+    }
+
+    /// One poll: scrape, ingest at `tick`, feed the alert evaluator
+    /// with the window's `(lease errors, leases)` delta. A failed
+    /// scrape drops the connection (redialed next tick), marks the
+    /// node down, and counts — it never kills the dashboard.
+    fn poll(&mut self, tick: u64, space: IdSpace, proto: ProtoVersion) {
+        let text = (|| -> std::io::Result<String> {
+            if self.client.is_none() {
+                self.client = Some(uuidp_service::net::DialedClient::connect_with(
+                    self.addr,
+                    space,
+                    proto,
+                    Some(std::time::Duration::from_secs(2)),
+                )?);
+            }
+            self.client.as_mut().expect("dialed above").metrics()
+        })();
+        match text {
+            Ok(text) => {
+                let snap = uuidp_obs::Snapshot::parse_prometheus(&text);
+                self.series.ingest(tick, &snap);
+                let bad = self.window_counter(tick, "uuidp_lease_errors_total");
+                let total = self.window_counter(tick, "uuidp_leases_total");
+                self.alerts.observe(bad, total);
+                self.last = Some(snap);
+                self.healthy = true;
+            }
+            Err(_) => {
+                self.client = None;
+                self.healthy = false;
+                self.scrape_errors += 1;
+            }
+        }
+    }
+
+    fn window_counter(&self, tick: u64, family: &str) -> u64 {
+        self.series.window_at(tick).map_or(0, |w| w.counter(family))
+    }
+
+    fn cumulative(&self, family: &str) -> f64 {
+        self.last
+            .as_ref()
+            .and_then(|s| s.scalar(family))
+            .unwrap_or(0.0)
+    }
+
+    /// The display row, with per-tick rates scaled to per-second.
+    fn stats(&self, per_sec: f64) -> TopRow {
+        let q = |q: f64| {
+            self.series
+                .quantile_ns("uuidp_lease_latency_ns", 8, q)
+                .unwrap_or(0.0)
+        };
+        TopRow {
+            label: self.label.clone(),
+            healthy: self.healthy,
+            ids_per_sec: self.series.rate("uuidp_ids_issued_total", 1) * per_sec,
+            p50_ns: q(0.50),
+            p99_ns: q(0.99),
+            p999_ns: q(0.999),
+            audit_backlog: (self.cumulative("uuidp_leases_total")
+                - self.cumulative("uuidp_audit_records_total")) as i64,
+            wakeups_per_sec: self.series.rate("uuidp_net_wakeups_total", 1) * per_sec,
+            alerts: self.alerts.firing_rules(),
+            spark: self.series.sparkline("uuidp_ids_issued_total", 32),
+            scrape_errors: self.scrape_errors,
+        }
+    }
+}
+
+/// One rendered dashboard row (pure data, so the renderers are unit
+/// testable without sockets).
+struct TopRow {
+    label: String,
+    healthy: bool,
+    ids_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    p999_ns: f64,
+    audit_backlog: i64,
+    wakeups_per_sec: f64,
+    alerts: Vec<&'static str>,
+    spark: String,
+    scrape_errors: u64,
+}
+
+/// The live dashboard frame: plain ANSI (clear + home is prepended by
+/// the loop, not baked in here), fixed columns, one sparkline of
+/// issue-rate history per node.
+fn render_top_frame(rows: &[TopRow], tick: u64, interval_ms: u64) -> String {
+    let mut out = format!(
+        "uuidp top — {} node{}, {} ms interval, tick {}  (q + Enter quits)\n\n\
+         {:<22} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10}  {:<6} alerts\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" },
+        interval_ms,
+        tick,
+        "node",
+        "ids/s",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "backlog",
+        "wakeups/s",
+        "health",
+    );
+    for row in rows {
+        let alerts = if row.alerts.is_empty() {
+            "none".to_string()
+        } else {
+            row.alerts.join(",")
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>9} {:>10.0}  {:<6} {}",
+            row.label,
+            row.ids_per_sec,
+            row.p50_ns / 1e3,
+            row.p99_ns / 1e3,
+            row.p999_ns / 1e3,
+            row.audit_backlog,
+            row.wakeups_per_sec,
+            if row.healthy { "up" } else { "DOWN" },
+            alerts,
+        );
+        let _ = writeln!(out, "{:<22} ids/s {}", "", row.spark);
+    }
+    out
+}
+
+/// The `--once` snapshot: one JSON object per run, hand-assembled (the
+/// repo takes no serialization dependency) and stable enough for CI to
+/// grep `"ids_per_sec":`.
+fn render_top_json(rows: &[TopRow], interval_ms: u64) -> String {
+    let mut out = format!("{{\"interval_ms\":{interval_ms},\"nodes\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let alerts: Vec<String> = row.alerts.iter().map(|a| format!("\"{a}\"")).collect();
+        let _ = write!(
+            out,
+            "{{\"addr\":\"{}\",\"healthy\":{},\"ids_per_sec\":{:.3},\
+             \"p50_ns\":{:.0},\"p99_ns\":{:.0},\"p999_ns\":{:.0},\
+             \"audit_backlog\":{},\"wakeups_per_sec\":{:.3},\
+             \"scrape_errors\":{},\"alerts\":[{}]}}",
+            row.label,
+            row.healthy,
+            row.ids_per_sec,
+            row.p50_ns,
+            row.p99_ns,
+            row.p999_ns,
+            row.audit_backlog,
+            row.wakeups_per_sec,
+            row.scrape_errors,
+            alerts.join(","),
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Runs `uuidp top`: a live plain-ANSI dashboard over one or more
+/// node addresses — per-node issue rate, windowed latency quantiles,
+/// audit backlog, reactor wakeups, health, firing burn-rate alerts,
+/// and an issue-rate sparkline — polling every `--interval-ms`. With
+/// `--once`, takes two polls one interval apart and returns a single
+/// machine-readable JSON snapshot (the CI smoke path). Works against
+/// `uuidp serve --listen --metrics`, `uuidp stress --remote --scrape`
+/// servers, and fleet nodes alike: anything that answers `metrics`.
+pub fn top(opts: &TopOpts) -> Result<String, ParseError> {
+    let space =
+        IdSpace::with_bits(opts.bits).map_err(|e| ParseError(format!("bad --bits: {e}")))?;
+    let proto = ProtoVersion::parse(&opts.protocol).map_err(ParseError)?;
+    let interval_ms = opts.interval_ms.max(10);
+    let per_sec = 1000.0 / interval_ms as f64;
+    let mut nodes: Vec<TopNode> = Vec::new();
+    for part in opts.connect.split(',').filter(|s| !s.trim().is_empty()) {
+        let addr = part
+            .trim()
+            .parse()
+            .map_err(|e| ParseError(format!("bad --connect address `{part}`: {e}")))?;
+        nodes.push(TopNode::new(addr, opts.windows.max(2)));
+    }
+    if nodes.is_empty() {
+        return Err(ParseError("--connect needs at least one HOST:PORT".into()));
+    }
+    if opts.once {
+        // Two polls bracket one interval, so every rate has a delta.
+        for tick in 0..2u64 {
+            for node in &mut nodes {
+                node.poll(tick, space, proto);
+            }
+            if tick == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+        }
+        let rows: Vec<TopRow> = nodes.iter().map(|n| n.stats(per_sec)).collect();
+        return Ok(render_top_json(&rows, interval_ms));
+    }
+    // Live mode: a line-buffered stdin reader feeds the quit channel
+    // (plain `q` + Enter — no raw-mode dependency), while the main
+    // thread polls, clears, and redraws.
+    let (quit_tx, quit_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => break, // EOF: fall back to Ctrl-C
+                Ok(_) if line.trim() == "q" => {
+                    let _ = quit_tx.send(());
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+    let mut out = std::io::stdout();
+    let mut tick = 0u64;
+    loop {
+        for node in &mut nodes {
+            node.poll(tick, space, proto);
+        }
+        let rows: Vec<TopRow> = nodes.iter().map(|n| n.stats(per_sec)).collect();
+        let frame = render_top_frame(&rows, tick, interval_ms);
+        let _ = std::io::Write::write_all(&mut out, format!("\x1b[2J\x1b[H{frame}").as_bytes());
+        let _ = std::io::Write::flush(&mut out);
+        match quit_rx.recv_timeout(std::time::Duration::from_millis(interval_ms)) {
+            Ok(()) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Reader died (EOF); keep running on the timer alone.
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+        }
+        tick += 1;
+    }
+    Ok(String::new())
+}
+
 fn entropy_seed() -> u64 {
     // OS entropy via rand, folded through SplitMix64. Keeps the CLI's
     // default mode non-deterministic while --seed stays reproducible.
@@ -1413,7 +1700,114 @@ mod tests {
         };
         let out = fleet(&opts).unwrap();
         assert!(out.contains("nodes scraped"), "{out}");
+        assert!(out.contains("series:"), "{out}");
+        assert!(out.contains("cluster fingerprint"), "{out}");
         assert!(out.contains("validation:  ok"), "{out}");
+    }
+
+    #[test]
+    fn top_once_snapshots_a_live_server_as_json() {
+        use uuidp_core::algorithms::AlgorithmKind;
+        let space = IdSpace::with_bits(44).unwrap();
+        let config = ServiceConfig::new(AlgorithmKind::ClusterStar, space);
+        let server = TcpServer::bind("127.0.0.1:0", config).unwrap();
+        let mut client =
+            uuidp_service::net::DialedClient::connect(server.local_addr(), space, ProtoVersion::V2)
+                .unwrap();
+        for tenant in 0..4 {
+            client.lease(tenant, 32).unwrap();
+        }
+        let opts = TopOpts {
+            connect: server.local_addr().to_string(),
+            bits: 44,
+            protocol: "v2".into(),
+            interval_ms: 20,
+            once: true,
+            windows: 8,
+        };
+        let out = top(&opts).unwrap();
+        assert!(out.contains("\"ids_per_sec\":"), "{out}");
+        assert!(out.contains("\"healthy\":true"), "{out}");
+        assert!(out.contains("\"p99_ns\":"), "{out}");
+        assert!(out.contains("\"alerts\":[]"), "{out}");
+        client.shutdown().unwrap();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn top_once_marks_a_dead_address_down_instead_of_failing() {
+        // A node that never answers degrades to DOWN with scrape errors
+        // counted — the dashboard outlives the fleet it watches.
+        let opts = TopOpts {
+            connect: "127.0.0.1:1".into(),
+            bits: 44,
+            protocol: "v2".into(),
+            interval_ms: 10,
+            once: true,
+            windows: 4,
+        };
+        let out = top(&opts).unwrap();
+        assert!(out.contains("\"healthy\":false"), "{out}");
+        assert!(out.contains("\"scrape_errors\":2"), "{out}");
+    }
+
+    #[test]
+    fn top_frame_renders_columns_health_and_sparkline() {
+        let rows = vec![
+            TopRow {
+                label: "127.0.0.1:7821".into(),
+                healthy: true,
+                ids_per_sec: 1234.5,
+                p50_ns: 12_300.0,
+                p99_ns: 45_600.0,
+                p999_ns: 78_900.0,
+                audit_backlog: 12,
+                wakeups_per_sec: 345.0,
+                alerts: vec!["availability-burn"],
+                spark: "▁▃█".into(),
+                scrape_errors: 0,
+            },
+            TopRow {
+                label: "127.0.0.1:7822".into(),
+                healthy: false,
+                ids_per_sec: 0.0,
+                p50_ns: 0.0,
+                p99_ns: 0.0,
+                p999_ns: 0.0,
+                audit_backlog: 0,
+                wakeups_per_sec: 0.0,
+                alerts: Vec::new(),
+                spark: String::new(),
+                scrape_errors: 3,
+            },
+        ];
+        let frame = render_top_frame(&rows, 7, 250);
+        assert!(frame.contains("q + Enter quits"), "{frame}");
+        assert!(frame.contains("availability-burn"), "{frame}");
+        assert!(frame.contains("DOWN"), "{frame}");
+        assert!(frame.contains("▁▃█"), "{frame}");
+        assert!(frame.contains("tick 7"), "{frame}");
+        let json = render_top_json(&rows, 250);
+        assert!(
+            json.contains("\"alerts\":[\"availability-burn\"]"),
+            "{json}"
+        );
+        assert!(json.ends_with("]}\n"), "{json}");
+    }
+
+    #[test]
+    fn top_rejects_empty_and_malformed_connect_lists() {
+        let mut opts = TopOpts {
+            connect: " , ".into(),
+            bits: 44,
+            protocol: "v2".into(),
+            interval_ms: 10,
+            once: true,
+            windows: 4,
+        };
+        assert!(top(&opts).is_err());
+        opts.connect = "not-an-addr".into();
+        assert!(top(&opts).is_err());
     }
 
     #[test]

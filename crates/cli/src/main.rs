@@ -21,8 +21,8 @@
 use std::process::ExitCode;
 
 use uuidp_cli::commands::{
-    diagram, doctor, fleet, generate, plan, serve, simulate, stress, DiagramOpts, FleetOpts,
-    GenerateOpts, PlanOpts, ServeOpts, SimulateOpts, StressOpts,
+    diagram, doctor, fleet, generate, plan, serve, simulate, stress, top, DiagramOpts, FleetOpts,
+    GenerateOpts, PlanOpts, ServeOpts, SimulateOpts, StressOpts, TopOpts,
 };
 use uuidp_cli::IdFormat;
 
@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "serve" => run_serve(rest),
         "stress" => run_stress_cmd(rest),
         "fleet" => run_fleet_cmd(rest),
+        "top" => run_top_cmd(rest),
         "doctor" => doctor().map_err(|e| e.0),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -86,7 +87,13 @@ fn print_usage() {
          \x20                [--audit-threads N=1] [--seed N] [--kill-every K (chaos restarts)]\n\
          \x20                [--reservation N=256] [--state-dir DIR] [--trials-small] [--protocol v1|v2]\n\
          \x20                [--chaos SPEC (per-node fault proxies)] [--chaos-seed N=0]\n\
-         \x20                [--scrape (scrape every node's registry mid-run and at the end)]\n\
+         \x20                [--scrape (scrape every node's registry mid-run and at the end;\n\
+         \x20                 also aggregates windowed time-series + burn-rate alerts into the report)]\n\
+         \x20 uuidp top      --connect ADDR[,ADDR...] [--bits N=48] [--protocol v1|v2=v2]\n\
+         \x20                [--interval-ms N=1000] [--windows N=60 (history ring)]\n\
+         \x20                [--once (two polls, one JSON snapshot — the CI mode)]\n\
+         \x20                live dashboard: ids/s, p50/p99/p999, audit backlog, wakeups,\n\
+         \x20                health, firing alerts, sparkline; quit with q + Enter\n\
          \n\
          chaos SPECs: none | small | heavy, each extendable with key:value pairs —\n\
          \x20 refuse/drop/trunc/corrupt (per-mille rates), latency_us, jitter_us, throttle\n\
@@ -308,6 +315,19 @@ fn run_fleet_cmd(args: &[String]) -> Result<String, String> {
         scrape: f.has("--scrape"),
     };
     fleet(&opts).map_err(|e| e.0)
+}
+
+fn run_top_cmd(args: &[String]) -> Result<String, String> {
+    let f = Flags { args };
+    let opts = TopOpts {
+        connect: f.require(&["--connect"])?.to_string(),
+        bits: f.parse(&["--bits", "-b"], 48u32)?,
+        protocol: f.get(&["--protocol"]).unwrap_or("v2").to_string(),
+        interval_ms: f.parse(&["--interval-ms"], 1000u64)?,
+        once: f.has("--once"),
+        windows: f.parse(&["--windows"], 60usize)?,
+    };
+    top(&opts).map_err(|e| e.0)
 }
 
 fn run_diagram(args: &[String]) -> Result<String, String> {

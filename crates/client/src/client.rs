@@ -272,6 +272,13 @@ impl Client {
     /// One multiplexed round trip: register, send, park until the demux
     /// delivers this correlation id's reply.
     fn request(&self, body: FrameBody) -> io::Result<FrameBody> {
+        self.request_with_corr(body).map(|(body, _)| body)
+    }
+
+    /// [`Client::request`], also surfacing the correlation id the
+    /// request traveled under — the handle tail-latency samplers keep
+    /// so a slow lease's span can be fetched back later.
+    fn request_with_corr(&self, body: FrameBody) -> io::Result<(FrameBody, u64)> {
         let (corr, rx) = self.register()?;
         self.send(corr, &body)?;
         let received = match self.handle.inner.request_timeout {
@@ -286,7 +293,7 @@ impl Client {
             },
         };
         match received {
-            Ok(Ok(reply)) => Ok(reply),
+            Ok(Ok(reply)) => Ok((reply, corr)),
             Ok(Err(message)) => Err(proto_err(format!("server error: {message}"))),
             // The request left the building, the reply never arrived:
             // whether it timed out or the reader died (EOF, sever,
@@ -307,7 +314,15 @@ impl Client {
 
     /// Leases `count` IDs for `tenant`.
     pub fn lease(&self, tenant: u64, count: u128) -> io::Result<Lease> {
-        match self.request(FrameBody::LeaseReq { tenant, count })? {
+        self.lease_with_corr(tenant, count).map(|(lease, _)| lease)
+    }
+
+    /// [`Client::lease`], also returning the correlation id the lease
+    /// traveled under, so a tail sampler can later ask the server for
+    /// this exact request's span via [`Client::timeline`].
+    pub fn lease_with_corr(&self, tenant: u64, count: u128) -> io::Result<(Lease, u64)> {
+        let (reply, corr) = self.request_with_corr(FrameBody::LeaseReq { tenant, count })?;
+        match reply {
             FrameBody::LeaseResp {
                 tenant,
                 granted,
@@ -327,12 +342,15 @@ impl Client {
                     }
                     typed.push(Arc::new(space, Id(start), len));
                 }
-                Ok(Lease {
-                    tenant,
-                    granted,
-                    arcs: typed,
-                    error,
-                })
+                Ok((
+                    Lease {
+                        tenant,
+                        granted,
+                        arcs: typed,
+                        error,
+                    },
+                    corr,
+                ))
             }
             other => Err(proto_err(format!(
                 "expected lease-resp, got {} frame",
@@ -386,6 +404,20 @@ impl Client {
             FrameBody::MetricsResp { text } => Ok(text),
             other => Err(proto_err(format!(
                 "expected metrics-resp, got {} frame",
+                other.name()
+            ))),
+        }
+    }
+
+    /// The server's retained trace span for one correlation id (a prior
+    /// lease's `lease_with_corr` handle), rendered as a causal
+    /// timeline. Empty string when the server's trace ring no longer
+    /// retains (or never sampled) that span.
+    pub fn timeline(&self, corr: u64) -> io::Result<String> {
+        match self.request(FrameBody::TimelineReq { corr })? {
+            FrameBody::TimelineResp { text } => Ok(text),
+            other => Err(proto_err(format!(
+                "expected timeline-resp, got {} frame",
                 other.name()
             ))),
         }

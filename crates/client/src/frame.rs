@@ -30,6 +30,8 @@
 //! | 12 | `HaltReq` | c→s | — (no reply: the server dies abruptly) |
 //! | 13 | `MetricsReq` | c→s | — |
 //! | 14 | `MetricsResp` | s→c | Prometheus-style text exposition (string) |
+//! | 15 | `TimelineReq` | c→s | correlation id to look up (u64) |
+//! | 16 | `TimelineResp` | s→c | rendered span timeline (string; empty = not retained) |
 //!
 //! The correlation id is what buys multiplexing: requests carry a
 //! client-chosen `corr`, replies echo it, and nothing requires replies
@@ -154,6 +156,19 @@ pub enum FrameBody {
         /// The rendered exposition.
         text: String,
     },
+    /// Ask for the retained trace span of one correlation id. The
+    /// *frame's* own `corr` is the request/reply correlation as usual;
+    /// the queried id travels in the payload.
+    TimelineReq {
+        /// Correlation id whose span events are wanted.
+        corr: u64,
+    },
+    /// A span timeline: [`TraceRecorder::timeline`] output for the
+    /// queried id — empty when the ring no longer retains it.
+    TimelineResp {
+        /// The rendered causal timeline.
+        text: String,
+    },
 }
 
 impl FrameBody {
@@ -174,6 +189,8 @@ impl FrameBody {
             FrameBody::HaltReq => 12,
             FrameBody::MetricsReq => 13,
             FrameBody::MetricsResp { .. } => 14,
+            FrameBody::TimelineReq { .. } => 15,
+            FrameBody::TimelineResp { .. } => 16,
         }
     }
 
@@ -195,6 +212,8 @@ impl FrameBody {
             FrameBody::HaltReq => "halt-req",
             FrameBody::MetricsReq => "metrics-req",
             FrameBody::MetricsResp { .. } => "metrics-resp",
+            FrameBody::TimelineReq { .. } => "timeline-req",
+            FrameBody::TimelineResp { .. } => "timeline-resp",
         }
     }
 }
@@ -303,7 +322,8 @@ fn encode_payload(out: &mut Vec<u8>, body: &FrameBody) {
             put_u64(out, *tenant);
         }
         FrameBody::SummaryResp(summary) => encode_summary(out, summary),
-        FrameBody::MetricsResp { text } => put_str(out, text),
+        FrameBody::MetricsResp { text } | FrameBody::TimelineResp { text } => put_str(out, text),
+        FrameBody::TimelineReq { corr } => put_u64(out, *corr),
         FrameBody::DrainReq
         | FrameBody::DrainResp
         | FrameBody::SummaryReq
@@ -345,6 +365,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<FrameBody, FrameError> {
         12 => FrameBody::HaltReq,
         13 => FrameBody::MetricsReq,
         14 => FrameBody::MetricsResp { text: c.str()? },
+        15 => FrameBody::TimelineReq { corr: c.u64()? },
+        16 => FrameBody::TimelineResp { text: c.str()? },
         k => return Err(FrameError::UnknownKind(k)),
     };
     c.finish()?;
@@ -496,6 +518,10 @@ mod tests {
             FrameBody::MetricsReq,
             FrameBody::MetricsResp {
                 text: "# TYPE uuidp_leases_total counter\nuuidp_leases_total 5\n".into(),
+            },
+            FrameBody::TimelineReq { corr: 99 },
+            FrameBody::TimelineResp {
+                text: "span corr=99\n  +0ns client-send tenant=7 lease\n".into(),
             },
         ]
     }

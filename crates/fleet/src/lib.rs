@@ -31,7 +31,10 @@
 //! * [`router`] — tenant-affine placement, persistent connections, the
 //!   cross-node request schedulers (reusing the `uuidp-adversary`
 //!   strategies), and the crash-surviving **global collision audit**;
-//! * [`run`] — the end-to-end runner and [`run::FleetReport`].
+//! * [`run`] — the end-to-end runner and [`run::FleetReport`];
+//! * [`series`] — per-`(node, incarnation)` time-series aggregation,
+//!   the merged cluster windows and their same-seed fingerprint, and
+//!   the multi-window burn-rate alert evaluators.
 //!
 //! The headline guarantees, pinned by the crate's tests and the
 //! repository's integration suite:
@@ -53,10 +56,12 @@
 pub mod cluster;
 pub mod router;
 pub mod run;
+pub mod series;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::cluster::{Fleet, FleetNode};
     pub use crate::router::{owner_key, Placement, Router, Scheduler};
     pub use crate::run::{run_fleet, FleetConfig, FleetReport, NodeReport};
+    pub use crate::series::FleetSeries;
 }

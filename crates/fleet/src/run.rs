@@ -13,7 +13,7 @@ use uuidp_core::codec::fnv1a;
 use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{uniform_below, Xoshiro256pp};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
-use uuidp_obs::parse_exposition;
+use uuidp_obs::{parse_exposition, AlertTransition, Snapshot, Stage};
 use uuidp_service::metrics::FaultCounters;
 use uuidp_service::net::RemoteClient;
 use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
@@ -22,6 +22,7 @@ use uuidp_sim::audit::AuditCounts;
 
 use crate::cluster::Fleet;
 use crate::router::{Placement, Router, Scheduler};
+use crate::series::FleetSeries;
 
 /// Per-request bound on every router dial/read when chaos is on.
 const CHAOS_TIMEOUT: Duration = Duration::from_secs(5);
@@ -60,6 +61,55 @@ fn scrape_node(fleet: &Fleet, index: usize, space: IdSpace) -> io::Result<BTreeM
         );
     }
     Ok(families)
+}
+
+/// One direct typed scrape of node `index` for time-series ingestion.
+fn scrape_node_snapshot(fleet: &Fleet, index: usize, space: IdSpace) -> io::Result<Snapshot> {
+    let mut client = RemoteClient::connect(fleet.addr(index), space)?;
+    let snap = Snapshot::parse_prometheus(&client.metrics()?);
+    client.quit()?;
+    Ok(snap)
+}
+
+/// One fleet-series aggregation tick: scrape every node (a failed
+/// scrape degrades that node for the tick instead of aborting), feed
+/// the evaluators, and fan the resulting alert transitions out — each
+/// live node's registry gains `uuidp_alert_transitions_total` /
+/// `uuidp_alerts_firing` and its trace ring is stamped with a
+/// [`Stage::Alert`] event, so a crash's flight-recorder dump carries
+/// the alert history that preceded it.
+fn series_tick(
+    fleet: &Fleet,
+    series: &mut FleetSeries,
+    space: IdSpace,
+    tick: u64,
+    bad: u64,
+    total: u64,
+) -> Vec<AlertTransition> {
+    let scrapes: Vec<Option<(u32, Snapshot)>> = (0..fleet.node_count())
+        .map(|i| {
+            scrape_node_snapshot(fleet, i, space)
+                .ok()
+                .map(|snap| (fleet.nodes()[i].incarnation(), snap))
+        })
+        .collect();
+    let fired = series.tick(tick, &scrapes, bad, total);
+    let firing = series.firing_rules().len() as i64;
+    for node in fleet.nodes() {
+        let (Some(registry), Some(trace)) = (node.registry(), node.trace()) else {
+            continue;
+        };
+        registry.gauge("uuidp_alerts_firing").set(firing);
+        let transitions = registry.counter("uuidp_alert_transitions_total");
+        for t in &fired {
+            transitions.inc();
+            // Window index as the timestamp: the trace ring's clock is
+            // whatever the recorder is handed, and the window index is
+            // the only deterministic time the fleet has.
+            trace.record(0, 0, Stage::Alert, t.detail, tick);
+        }
+    }
+    fired
 }
 
 /// Configuration of one fleet run.
@@ -171,6 +221,9 @@ pub struct FleetReport {
     pub chaos: Option<FleetChaosReport>,
     /// Per-node wire scrapes of the metric registries, when enabled.
     pub metrics: Option<FleetMetricsReport>,
+    /// Windowed time-series aggregation and burn-rate alert history,
+    /// when scraping was enabled.
+    pub series: Option<FleetSeriesReport>,
     /// Crash-restarts performed.
     pub restarts: u32,
     /// Incarnation-keyed global audit counters (restart-aware).
@@ -204,6 +257,35 @@ pub struct FleetChaosReport {
     pub fingerprint: u64,
     /// What the proxies injected, summed across nodes.
     pub injected: FaultCounts,
+}
+
+/// The fleet's windowed time-series aggregation, summarized.
+#[derive(Debug, Clone)]
+pub struct FleetSeriesReport {
+    /// Aggregation ticks taken (one merged cluster window each).
+    pub windows: u64,
+    /// Requests per window — the tick width; request-count windows keep
+    /// a seeded run's window boundaries identical across reruns.
+    pub width_requests: u64,
+    /// Distinct `(node, incarnation)` series opened. Greater than the
+    /// node count exactly when crash-restarts landed mid-run: a
+    /// restarted node's counters start over under a fresh key, so the
+    /// cluster rate dips but never goes negative.
+    pub incarnation_series: usize,
+    /// In-place counter resets the clamp absorbed (expected 0 — the
+    /// incarnation keying catches restarts first).
+    pub resets: u64,
+    /// FNV-1a over every merged cluster window's deterministic counter
+    /// families ([`crate::series::CLUSTER_FAMILIES`]): two same-seed
+    /// runs print the same pin.
+    pub cluster_fingerprint: u64,
+    /// Scrapes that failed and degraded their node's series for the
+    /// tick (also exported as `uuidp_fleet_scrape_errors_total`).
+    pub scrape_errors: u64,
+    /// Every burn-rate alert transition, in firing order.
+    pub transitions: Vec<AlertTransition>,
+    /// Rules still firing at shutdown.
+    pub firing: Vec<&'static str>,
 }
 
 /// Per-node wire scrapes of the fleet's metric registries.
@@ -273,6 +355,37 @@ impl FleetReport {
                 metrics.mid_scrapes,
                 issued,
             );
+        }
+        if let Some(series) = &self.series {
+            let _ = writeln!(
+                out,
+                "series:       {} windows × {} requests, {} node-incarnation series, \
+                 {} resets, cluster fingerprint {:016x}",
+                series.windows,
+                series.width_requests,
+                series.incarnation_series,
+                series.resets,
+                series.cluster_fingerprint,
+            );
+            if series.scrape_errors > 0 {
+                let _ = writeln!(
+                    out,
+                    "scrape errors: {} (degraded ticks, run kept going)",
+                    series.scrape_errors
+                );
+            }
+            for t in &series.transitions {
+                let _ = writeln!(out, "{}", t.render());
+            }
+            if series.firing.is_empty() {
+                out.push_str("alerts at shutdown: none firing\n");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "alerts at shutdown: {} firing",
+                    series.firing.join(", ")
+                );
+            }
         }
         if let Some(chaos) = &self.chaos {
             let _ = writeln!(
@@ -385,6 +498,15 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
     // while the load loop pauses at the halfway mark.
     let mid_scrape_at = config.requests / 2;
     let mut mid: Vec<(u32, BTreeMap<String, f64>)> = Vec::new();
+    // Time-series aggregation ticks by *request count*, not wall clock:
+    // a seeded rerun crosses every window boundary at the same request,
+    // so the cluster fingerprint and alert sequence replay exactly.
+    let mut series = config.scrape.then(|| FleetSeries::new(config.requests));
+    let width = series.as_ref().map_or(u64::MAX, |s| s.width_requests());
+    let mut next_tick_at = width;
+    let mut ticks = 0u64;
+    let mut ticked_bad = 0u64;
+    let mut ticked_submitted = 0u64;
     while submitted < config.requests {
         if config.scrape && submitted == mid_scrape_at && mid.is_empty() {
             for i in 0..config.nodes {
@@ -430,6 +552,42 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
             Err(e) => return Err(e),
         }
         submitted += 1;
+        if let Some(s) = series.as_mut() {
+            if submitted >= next_tick_at || submitted == config.requests {
+                // "Bad" for the availability burn is a request the
+                // router gave up on: an exhausted retry budget (the
+                // only way a submission fails to land under chaos).
+                let bad = router.fault_counters().exhausted + router.errors();
+                series_tick(
+                    fleet,
+                    s,
+                    space,
+                    ticks,
+                    bad - ticked_bad,
+                    submitted - ticked_submitted,
+                );
+                ticked_bad = bad;
+                ticked_submitted = submitted;
+                ticks += 1;
+                next_tick_at = submitted + width;
+            }
+        }
+    }
+    // An early scheduler exit (e.g. an exhausted hunter budget) can
+    // leave a partial window unticked — flush it so the series covers
+    // every submission.
+    if let Some(s) = series.as_mut() {
+        if submitted > ticked_submitted {
+            let bad = router.fault_counters().exhausted + router.errors();
+            series_tick(
+                fleet,
+                s,
+                space,
+                ticks,
+                bad - ticked_bad,
+                submitted - ticked_submitted,
+            );
+        }
     }
     let elapsed = started.elapsed();
 
@@ -517,6 +675,16 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
             injected,
         }
     });
+    let series = series.map(|s| FleetSeriesReport {
+        windows: s.ticks(),
+        width_requests: s.width_requests(),
+        incarnation_series: s.incarnation_series(),
+        resets: s.resets(),
+        cluster_fingerprint: s.fingerprint(),
+        scrape_errors: s.scrape_errors(),
+        transitions: s.transitions().to_vec(),
+        firing: s.firing_rules(),
+    });
     Ok(FleetReport {
         nodes: config.nodes,
         placement: config.placement,
@@ -531,6 +699,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
         faults: router.fault_counters(),
         chaos,
         metrics,
+        series,
         restarts,
         global,
         cross_tenant_duplicate_ids: router.cross_tenant_counts().duplicate_ids,
@@ -765,6 +934,49 @@ mod tests {
             .sum();
         assert!(scraped <= chaos.injected.connections as f64);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_seed_chaos_fleet_replays_alert_sequence_and_cluster_fingerprint() {
+        // The PR's acceptance scenario: a scraped chaos fleet with
+        // crash-restarts, run twice with one seed, must reproduce the
+        // exact alert-transition sequence and cluster-series pin —
+        // request-count windows and a sequential driver leave no room
+        // for the wall clock to leak in.
+        let run = |tag: &str| {
+            let mut cfg = base(AlgorithmKind::ClusterStar, 44, 3, tag);
+            cfg.protocol = ProtoVersion::V2;
+            // Hostile enough that some retry budgets exhaust — the
+            // availability burn must actually transition, or the
+            // determinism claim compares two empty lists.
+            cfg.chaos =
+                Some(uuidp_netchaos::ChaosSpec::parse("small,refuse:900,drop:600").unwrap());
+            cfg.chaos_seed = 0xA1E7;
+            cfg.kill_every = Some(60);
+            cfg.reservation = 64;
+            cfg.scrape = true;
+            let dir = cfg.state_dir.clone();
+            let report = run_fleet(cfg).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+        let a = run("series-a");
+        let b = run("series-b");
+        let series_a = a.series.as_ref().expect("series report");
+        let series_b = b.series.as_ref().expect("series report");
+        assert_eq!(series_a.cluster_fingerprint, series_b.cluster_fingerprint);
+        let lines =
+            |s: &FleetSeriesReport| s.transitions.iter().map(|t| t.render()).collect::<Vec<_>>();
+        assert!(!lines(series_a).is_empty(), "no alert ever transitioned");
+        assert_eq!(lines(series_a), lines(series_b));
+        // Kills landed, so restarted nodes opened fresh incarnation
+        // series — and the reset clamp never had to fire.
+        assert!(a.restarts > 0);
+        assert!(series_a.incarnation_series > 3);
+        assert_eq!(series_a.resets, 0);
+        assert_eq!(series_a.windows, 16);
+        let text = a.render();
+        assert!(text.contains("cluster fingerprint"), "{text}");
     }
 
     #[test]

@@ -21,11 +21,27 @@
 //!   last-N events plus a registry snapshot land in the node's state
 //!   dir as `flight-<reason>-<n>.log` for postmortems.
 //!
+//! PR 9 grows the snapshot layer into a monitoring system:
+//!
+//! * **[`TimeSeries`]** — a constant-memory ring of fixed-width
+//!   [`Window`]s fed from registry snapshots: per-window counter
+//!   deltas (with counter-reset detection, so restarts dip rather
+//!   than go negative), gauge last-values, and delta histograms, all
+//!   merging order-invariantly into cluster series.
+//! * **[`BurnRateAlerts`]** — deterministic multi-window burn-rate
+//!   evaluation ([`AlertRule`] fast/slow lookback pairs) whose
+//!   [`AlertTransition`]s export as a metric family and stamp into
+//!   the trace ring ([`Stage::Alert`]).
+//! * **[`TailSampler`]** — bounded worst-K lease sampling whose
+//!   retained corr ids get full timelines fetched over the wire.
+//!
 //! Export surfaces: [`Snapshot::render_prometheus`] (text exposition,
 //! served by the service's v1 `metrics` command and v2 metrics frame)
 //! and [`Snapshot::render_json`] (consumed by `repro bench-json`).
 //! [`parse_exposition`] reads the text form back for monotonicity
-//! checks in smoke tests.
+//! checks in smoke tests; [`Snapshot::parse_prometheus`] reconstructs
+//! a *typed* snapshot (histogram buckets included) for time-series
+//! ingestion by `uuidp top` and the fleet aggregator.
 //!
 //! Determinism note: nothing in this crate reads a clock. Histogram
 //! *values* are timing and therefore vary run-to-run, but every
@@ -36,12 +52,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alert;
 pub mod flight;
 pub mod registry;
+pub mod tail;
+pub mod timeseries;
 pub mod trace;
 
+pub use alert::{AlertRule, AlertState, AlertTransition, BurnRateAlerts};
 pub use flight::dump_flight;
 pub use registry::{
     parse_exposition, AtomicHistogram, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot,
 };
+pub use tail::{SlowLease, TailSampler};
+pub use timeseries::{TimeSeries, Window};
 pub use trace::{Stage, TraceEvent, TraceRecorder};

@@ -154,6 +154,59 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Reassembles a histogram from exposition parts (per-bucket
+    /// counts, total count, and summed nanoseconds). The wire
+    /// exposition does not carry `max_ns`, so the reassembled maximum
+    /// is the upper bound of the highest occupied bucket — an honest
+    /// over-estimate that keeps dashboard quantiles meaningful.
+    pub fn from_parts(buckets: [u64; 64], count: u64, sum_ns: u128) -> Histogram {
+        let max_ns = buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| {
+                if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                }
+            })
+            .unwrap_or(0);
+        Histogram {
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+        }
+    }
+
+    /// The per-window difference `self − earlier`, for time-series
+    /// ingestion of cumulative histogram snapshots: bucket counts,
+    /// `count`, and `sum_ns` subtract (saturating), `max_ns` keeps the
+    /// later reading (a cumulative snapshot cannot say *when* its max
+    /// landed, so the window inherits the series max — an upper bound).
+    ///
+    /// A snapshot whose `count` went **backwards** is a counter reset
+    /// (the process restarted and began a fresh histogram): the whole
+    /// later reading is returned as the delta — fresh-from-zero, so an
+    /// ingested rate can dip but never go negative.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        if self.count < earlier.count {
+            return self.clone();
+        }
+        let mut delta = Histogram::new();
+        for (d, (now, then)) in delta
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *d = now.saturating_sub(*then);
+        }
+        delta.count = self.count - earlier.count;
+        delta.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        delta.max_ns = self.max_ns;
+        delta
+    }
+
     /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, linearly
     /// interpolated within the containing power-of-two bucket. Returns
     /// 0 when empty; a single-sample histogram reports that sample's
@@ -397,6 +450,115 @@ impl Snapshot {
             }
         }
         out
+    }
+
+    /// Parses a [`Snapshot::render_prometheus`] exposition back into a
+    /// typed snapshot, reconstructing histogram buckets from the
+    /// cumulative `_bucket{le="2^N"}` series. This is the ingestion
+    /// path for `uuidp top` and the fleet time-series aggregator, which
+    /// see remote registries only through the metrics wire frame.
+    /// Unparseable lines are skipped; a histogram missing its `_count`
+    /// sample is dropped rather than guessed at.
+    pub fn parse_prometheus(text: &str) -> Snapshot {
+        #[derive(Default)]
+        struct HistParts {
+            buckets: Vec<(usize, u64)>, // (bucket index, cumulative count)
+            sum_ns: Option<u128>,
+            count: Option<u64>,
+        }
+        let mut kinds: BTreeMap<String, &str> = BTreeMap::new();
+        let mut scalars: BTreeMap<String, i128> = BTreeMap::new();
+        let mut hists: BTreeMap<String, HistParts> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, kind)) = rest.rsplit_once(' ') {
+                    let kind = match kind {
+                        "counter" => "counter",
+                        "gauge" => "gauge",
+                        "histogram" => "histogram",
+                        _ => continue,
+                    };
+                    kinds.insert(name.to_string(), kind);
+                    if kind == "histogram" {
+                        hists.entry(name.to_string()).or_default();
+                    }
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            if let Some((base, labels)) = series.split_once('{') {
+                // `name_bucket{le="2^N"} cumulative` — +Inf is implied
+                // by the _count sample, so only exponent buckets load.
+                let (Some(name), Some(exp)) = (
+                    base.strip_suffix("_bucket"),
+                    labels
+                        .strip_prefix("le=\"2^")
+                        .and_then(|l| l.strip_suffix("\"}")),
+                ) else {
+                    continue;
+                };
+                let (Ok(exp), Ok(cumulative)) = (exp.parse::<usize>(), value.parse::<u64>()) else {
+                    continue;
+                };
+                if (1..=64).contains(&exp) {
+                    hists
+                        .entry(name.to_string())
+                        .or_default()
+                        .buckets
+                        .push((exp - 1, cumulative));
+                }
+                continue;
+            }
+            if let Some(name) = series.strip_suffix("_sum") {
+                if hists.contains_key(name) {
+                    if let Ok(v) = value.parse::<u128>() {
+                        hists.get_mut(name).unwrap().sum_ns = Some(v);
+                    }
+                    continue;
+                }
+            }
+            if let Some(name) = series.strip_suffix("_count") {
+                if hists.contains_key(name) {
+                    if let Ok(v) = value.parse::<u64>() {
+                        hists.get_mut(name).unwrap().count = Some(v);
+                    }
+                    continue;
+                }
+            }
+            if let Ok(v) = value.parse::<i128>() {
+                scalars.insert(series.to_string(), v);
+            }
+        }
+        let mut metrics = BTreeMap::new();
+        for (name, parts) in hists {
+            let Some(count) = parts.count else { continue };
+            let mut buckets = [0u64; 64];
+            let mut ordered = parts.buckets;
+            ordered.sort_unstable();
+            let mut prev = 0u64;
+            for (idx, cumulative) in ordered {
+                buckets[idx] = cumulative.saturating_sub(prev);
+                prev = cumulative;
+            }
+            let h = Histogram::from_parts(buckets, count, parts.sum_ns.unwrap_or(0));
+            metrics.insert(name, MetricValue::Histogram(Box::new(h)));
+        }
+        for (name, v) in scalars {
+            let value = match kinds.get(&name).copied() {
+                Some("gauge") => MetricValue::Gauge(v as i64),
+                // Unannotated scalars default to counters: wire peers
+                // always send TYPE lines, so this only covers tests.
+                _ => MetricValue::Counter(v.max(0) as u64),
+            };
+            metrics.entry(name).or_insert(value);
+        }
+        Snapshot { metrics }
     }
 
     /// JSON object rendering for `repro bench-json` consumers:

@@ -37,6 +37,9 @@ pub enum Stage {
     ReplySent,
     /// Client matched the reply to its pending request.
     ClientRecv,
+    /// A burn-rate alert rule changed state (corr 0, run-level) —
+    /// stamped so flight-recorder dumps carry alert history.
+    Alert,
 }
 
 impl Stage {
@@ -51,6 +54,7 @@ impl Stage {
             Stage::AuditRecord => "audit-record",
             Stage::ReplySent => "reply-sent",
             Stage::ClientRecv => "client-recv",
+            Stage::Alert => "alert",
         }
     }
 }

@@ -803,6 +803,20 @@ pub(crate) fn dispatch_frame(
             }
             Disposition::Keep
         }
+        FrameBody::TimelineReq { corr: wanted } => {
+            // Same inline discipline as a metrics scrape: assembling a
+            // span reads the trace ring, never the service, so it must
+            // not queue behind leases. An evicted/unsampled span is an
+            // empty timeline, not an error — the tail sampler treats
+            // it as "story lost to the ring".
+            if state.metrics {
+                let text = state.trace.timeline(wanted);
+                let _ = shared.send(corr, &FrameBody::TimelineResp { text });
+            } else {
+                shared.send_error(corr, "metrics are disabled on this listener");
+            }
+            Disposition::Keep
+        }
         FrameBody::ResetReq { tenant } => {
             let worker = (tenant % pool_txs.len() as u64) as usize;
             let _ = pool_txs[worker].send(PoolJob::Reset {
@@ -1162,6 +1176,17 @@ impl DialedClient {
         }
     }
 
+    /// [`DialedClient::lease`], also surfacing the correlation id the
+    /// lease traveled under, for tail-latency samplers. The v1 text
+    /// protocol has no correlation ids, so v1 leases report corr 0 —
+    /// sampled, but with no fetchable story.
+    pub fn lease_with_corr(&mut self, tenant: u64, count: u128) -> io::Result<(WireLease, u64)> {
+        match self {
+            DialedClient::V1(c) => c.lease(tenant, count).map(|l| (l, 0)),
+            DialedClient::V2(c) => c.lease_with_corr(tenant, count),
+        }
+    }
+
     /// Recycles `tenant`'s generator into a fresh epoch.
     pub fn reset(&mut self, tenant: u64) -> io::Result<()> {
         match self {
@@ -1184,6 +1209,18 @@ impl DialedClient {
         match self {
             DialedClient::V1(c) => c.metrics(),
             DialedClient::V2(c) => c.metrics(),
+        }
+    }
+
+    /// Fetches the server's retained trace span for one correlation id
+    /// (protocol v2 only — v1 has no correlation ids to look up).
+    pub fn timeline(&mut self, corr: u64) -> io::Result<String> {
+        match self {
+            DialedClient::V1(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "timeline fetch requires protocol v2",
+            )),
+            DialedClient::V2(c) => c.timeline(corr),
         }
     }
 
@@ -1605,6 +1642,32 @@ mod tests {
             client.shutdown().unwrap();
             server.join().unwrap();
         }
+    }
+
+    #[test]
+    fn timeline_fetch_assembles_a_lease_span_over_v2() {
+        let (server, space) = server(40);
+        let mut client =
+            DialedClient::connect(server.local_addr(), space, ProtoVersion::V2).unwrap();
+        let (lease, corr) = client.lease_with_corr(5, 16).unwrap();
+        assert_eq!(lease.granted, 16);
+        assert_ne!(corr, 0, "v2 leases travel under a real corr id");
+        let span = client.timeline(corr).unwrap();
+        assert!(span.contains(&format!("span corr={corr}")), "{span}");
+        assert!(span.contains("server-demux"), "{span}");
+        assert!(span.contains("worker-emit"), "{span}");
+        assert!(span.contains("reply-sent"), "{span}");
+        // An id nothing ever traced comes back as an empty story.
+        assert_eq!(client.timeline(u64::MAX).unwrap(), "");
+        // v1 has no corr ids: the fetch is a typed refusal, and the
+        // lease path still reports corr 0 rather than failing.
+        let mut v1 = DialedClient::connect(server.local_addr(), space, ProtoVersion::V1).unwrap();
+        assert_eq!(v1.lease_with_corr(5, 4).unwrap().1, 0);
+        let err = v1.timeline(1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+        v1.quit().unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap();
     }
 
     #[test]

@@ -497,6 +497,11 @@ pub(crate) struct Reactor {
     wakeups: Arc<Counter>,
     replies_per_syscall: Arc<AtomicHistogram>,
     v1_live: Arc<Gauge>,
+    /// Reply bytes queued across all connections, awaiting flush.
+    out_queue: Arc<Gauge>,
+    /// Connections the reactor severed (backpressure cap, dead write,
+    /// protocol violation) — normal EOFs do not count.
+    severed: Arc<Counter>,
 }
 
 impl Reactor {
@@ -505,6 +510,8 @@ impl Reactor {
         let wakeups = registry.counter("uuidp_net_wakeups_total");
         let replies_per_syscall = registry.histogram("uuidp_net_replies_per_syscall");
         let v1_live = registry.gauge("uuidp_net_v1_handlers_live");
+        let out_queue = registry.gauge("uuidp_net_out_queue_bytes");
+        let severed = registry.counter("uuidp_net_severed_total");
         Reactor {
             state: seed.state,
             poller: seed.poller,
@@ -525,6 +532,8 @@ impl Reactor {
             wakeups,
             replies_per_syscall,
             v1_live,
+            out_queue,
+            severed,
         }
     }
 
@@ -643,8 +652,10 @@ impl Reactor {
             return;
         };
         conn.out_bytes += bytes.len();
+        self.out_queue.add(bytes.len() as i64);
         conn.out.push_back(OutFrame { bytes, at: 0, done });
         if conn.out_bytes > MAX_OUT_QUEUE {
+            self.severed.inc();
             // The peer stopped reading long ago: backpressure by sever,
             // not by blocking a worker thread.
             self.remove(conn_id);
@@ -679,7 +690,11 @@ impl Reactor {
                 self.conns.insert(conn_id, conn);
             }
             Fate::Remove { farewell } => {
+                // A farewell frame means the reactor is severing the
+                // connection over a violation; a bare removal is the
+                // peer's own EOF and does not count as a sever.
                 if let Some(bytes) = farewell {
+                    self.severed.inc();
                     write_farewell(&conn.stream, &bytes);
                 }
                 self.dispose(conn);
@@ -804,6 +819,7 @@ impl Reactor {
                     }
                     Ok(mut n) => {
                         conn.out_bytes -= n;
+                        self.out_queue.add(-(n as i64));
                         let mut retired = 0u64;
                         while n > 0 {
                             let front = conn.out.front_mut().expect("retiring written bytes");
@@ -834,6 +850,8 @@ impl Reactor {
             }
         }
         if dead {
+            // A write to a dead peer is a forced sever, not a clean EOF.
+            self.severed.inc();
             self.remove(conn_id);
             return;
         }
@@ -857,6 +875,7 @@ impl Reactor {
     }
 
     fn dispose(&mut self, conn: NetConn) {
+        self.out_queue.add(-(conn.out_bytes as i64));
         self.poller.deregister(&conn.stream, conn.conn_id);
         self.state.deregister(conn.conn_id);
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);

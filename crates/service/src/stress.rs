@@ -61,6 +61,7 @@ use uuidp_core::rng::{SeedDomain, SeedTree};
 
 use uuidp_client::{ProtoVersion, RetryPolicy};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
+use uuidp_obs::{SlowLease, Snapshot, TailSampler, TimeSeries};
 
 use crate::metrics::FaultCounters;
 use crate::net::{DialedClient, RemoteClient, ServerOptions, TcpServer};
@@ -79,6 +80,10 @@ const CHAOS_TIMEOUT: Duration = Duration::from_secs(5);
 /// of the same seed print the same fingerprint even when retry timing
 /// differs.
 const FINGERPRINT_CONNS: u64 = 64;
+
+/// Worst-K leases each remote run samples end to end; the sampled corr
+/// ids get their span timelines fetched back over the wire post-run.
+const TAIL_SAMPLES: usize = 4;
 
 /// The request-mix shapes the driver can replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -197,6 +202,8 @@ pub const REQUIRED_FAMILIES: &[&str] = &[
     "uuidp_audit_records_total",
     "uuidp_lease_latency_ns_count",
     "uuidp_net_wakeups_total",
+    "uuidp_net_out_queue_bytes",
+    "uuidp_net_severed_total",
 ];
 
 /// What the scrape sidecar (and the final server-side snapshot)
@@ -206,6 +213,12 @@ pub struct MetricsReport {
     /// Over-the-wire scrapes completed while the run was live (the
     /// sidecar keeps scraping until the shutdown severs it).
     pub scrapes: u64,
+    /// Windows the sidecar's time-series ring ingested (one tick per
+    /// scrape — a bounded ring, so long runs retain only the tail).
+    pub windows: u64,
+    /// Peak per-window `uuidp_ids_issued_total` delta across the
+    /// retained windows: the hottest scrape-to-scrape issue burst.
+    pub peak_ids_per_window: u64,
     /// Final authoritative family values, read from the server-side
     /// registry after the run — flattened the way
     /// [`uuidp_obs::parse_exposition`] flattens an exposition.
@@ -215,19 +228,23 @@ pub struct MetricsReport {
 /// The scrape sidecar: one dedicated v1 connection hammering `metrics`
 /// while the run is live. Every scrape asserts the [`REQUIRED_FAMILIES`]
 /// are present and that no counter family went backwards — the
-/// monotonicity half of the export-surface contract. Ends (returning
-/// the scrape count) when the shutdown severs its connection.
-fn spawn_wire_scraper(addr: SocketAddr, space: IdSpace) -> JoinHandle<u64> {
+/// monotonicity half of the export-surface contract — and is ingested
+/// into a bounded [`TimeSeries`] ring (one window per scrape), so the
+/// report can describe the run's shape over time, not just its end
+/// state. Ends (returning the scrape count and the ring) when the
+/// shutdown severs its connection.
+fn spawn_wire_scraper(addr: SocketAddr, space: IdSpace) -> JoinHandle<(u64, TimeSeries)> {
     std::thread::spawn(move || {
         let mut scrapes = 0u64;
+        let mut series = TimeSeries::new(1, 64);
         let mut last: std::collections::BTreeMap<String, f64> = Default::default();
         let Ok(mut client) = RemoteClient::connect_with(addr, space, Some(CHAOS_TIMEOUT)) else {
-            return 0; // raced the shutdown before the first scrape
+            return (0, series); // raced the shutdown before the first scrape
         };
         loop {
             let text = match client.metrics() {
                 Ok(t) => t,
-                Err(_) => return scrapes, // severed: the run is over
+                Err(_) => return (scrapes, series), // severed: the run is over
             };
             let families = uuidp_obs::parse_exposition(&text);
             for name in REQUIRED_FAMILIES {
@@ -247,6 +264,7 @@ fn spawn_wire_scraper(addr: SocketAddr, space: IdSpace) -> JoinHandle<u64> {
                 }
             }
             last = families;
+            series.ingest(scrapes, &Snapshot::parse_prometheus(&text));
             scrapes += 1;
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -297,6 +315,9 @@ pub struct TargetReport {
     pub faults: FaultCounters,
     /// The audit pipeline's findings.
     pub audit: AuditReport,
+    /// Worst sampled end-to-end leases, with wire-fetched span
+    /// timelines where available (remote targets only).
+    pub slow: Vec<SlowLease>,
 }
 
 impl From<ServiceReport> for TargetReport {
@@ -311,6 +332,7 @@ impl From<ServiceReport> for TargetReport {
             mean_ns: report.latency.mean_ns(),
             faults: FaultCounters::default(),
             audit: report.audit,
+            slow: Vec::new(),
         }
     }
 }
@@ -338,6 +360,7 @@ impl From<WireSummary> for TargetReport {
                 records: summary.records,
                 per_thread: Vec::new(), // aggregates only cross the wire
             },
+            slow: Vec::new(),
         }
     }
 }
@@ -378,12 +401,31 @@ impl StressTarget for LocalTarget {
     }
 }
 
+/// Fills in wire-fetched timelines for a sampler's retained leases.
+/// Only v2 samples carry a real corr id; everything else keeps its
+/// empty story (and an evicted span comes back empty too).
+fn fetch_timelines(client: &mut DialedClient, tail: &mut TailSampler) {
+    for s in tail.worst_mut() {
+        if s.corr != 0 {
+            if let Ok(text) = client.timeline(s.corr) {
+                s.timeline = text;
+            }
+        }
+    }
+}
+
+/// Clock-reads one lease's end-to-end cost in nanoseconds.
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// The socket target: one [`DialedClient`] (either protocol) driving a
 /// TCP front-end. The report comes from the wire summary, so the whole
 /// client code path — not just the traffic — is exercised.
 pub struct RemoteTarget {
     client: DialedClient,
     space: IdSpace,
+    tail: TailSampler,
 }
 
 impl RemoteTarget {
@@ -397,6 +439,7 @@ impl RemoteTarget {
         Ok(RemoteTarget {
             client: DialedClient::connect(addr, space, protocol)?,
             space,
+            tail: TailSampler::new(TAIL_SAMPLES, 0),
         })
     }
 }
@@ -407,19 +450,24 @@ impl StressTarget for RemoteTarget {
     }
 
     fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
-        self.client
-            .lease(tenant, count)
-            .expect("remote stress lease i/o")
-            .arcs
+        let started = Instant::now();
+        let (lease, corr) = self
+            .client
+            .lease_with_corr(tenant, count)
+            .expect("remote stress lease i/o");
+        self.tail.offer(corr, tenant, 0, elapsed_ns(started));
+        lease.arcs
     }
 
     fn issue(&mut self, tenant: u64, count: u128) {
         // Same wire path as a lease; the reply is read (keeping the
         // request/reply accounting in sync) and dropped.
-        let _ = self
+        let started = Instant::now();
+        let (_, corr) = self
             .client
-            .lease(tenant, count)
+            .lease_with_corr(tenant, count)
             .expect("remote stress issue i/o");
+        self.tail.offer(corr, tenant, 0, elapsed_ns(started));
     }
 
     fn drain(&mut self) {
@@ -427,10 +475,18 @@ impl StressTarget for RemoteTarget {
     }
 
     fn finish(self) -> TargetReport {
-        self.client
+        let RemoteTarget {
+            mut client,
+            mut tail,
+            ..
+        } = self;
+        fetch_timelines(&mut client, &mut tail);
+        let mut report: TargetReport = client
             .shutdown()
             .expect("remote stress shutdown i/o")
-            .into()
+            .into();
+        report.slow = tail.worst().to_vec();
+        report
     }
 }
 
@@ -464,13 +520,14 @@ enum PoolMsg {
 pub struct PooledRemoteTarget {
     space: IdSpace,
     txs: Vec<SyncSender<PoolMsg>>,
-    workers: Vec<JoinHandle<DialedClient>>,
+    workers: Vec<JoinHandle<(DialedClient, TailSampler)>>,
 }
 
 /// A pool worker: drains its queue over its one persistent connection
 /// (or connection clone), then hands the still-open client back for the
-/// shutdown step.
-fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> DialedClient {
+/// shutdown step along with its worst-lease samples.
+fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> (DialedClient, TailSampler) {
+    let mut tail = TailSampler::new(TAIL_SAMPLES, 0);
     while let Ok(msg) = rx.recv() {
         match msg {
             PoolMsg::Lease {
@@ -478,18 +535,21 @@ fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> DialedClient 
                 count,
                 reply,
             } => {
-                let arcs = client
-                    .lease(tenant, count)
-                    .expect("pooled stress lease i/o")
-                    .arcs;
-                let _ = reply.send(arcs);
+                let started = Instant::now();
+                let (lease, corr) = client
+                    .lease_with_corr(tenant, count)
+                    .expect("pooled stress lease i/o");
+                tail.offer(corr, tenant, 0, elapsed_ns(started));
+                let _ = reply.send(lease.arcs);
             }
             PoolMsg::Issue { tenant, count } => {
                 // The reply is read (keeping the stream in sync) and
                 // dropped, like the single-connection issue path.
-                let _ = client
-                    .lease(tenant, count)
+                let started = Instant::now();
+                let (_, corr) = client
+                    .lease_with_corr(tenant, count)
                     .expect("pooled stress issue i/o");
+                tail.offer(corr, tenant, 0, elapsed_ns(started));
             }
             PoolMsg::Barrier { done } => {
                 let _ = done.send(());
@@ -500,7 +560,7 @@ fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> DialedClient 
             }
         }
     }
-    client
+    (client, tail)
 }
 
 impl PooledRemoteTarget {
@@ -601,19 +661,24 @@ impl StressTarget for PooledRemoteTarget {
 
     fn finish(self) -> TargetReport {
         drop(self.txs); // workers exit their loops and return their clients
-        let mut clients: Vec<DialedClient> = self
-            .workers
-            .into_iter()
-            .map(|h| h.join().expect("pool worker panicked"))
-            .collect();
-        let closer = clients.remove(0);
+        let mut tail = TailSampler::new(TAIL_SAMPLES, 0);
+        let mut clients = Vec::with_capacity(self.workers.len());
+        for handle in self.workers {
+            let (client, worker_tail) = handle.join().expect("pool worker panicked");
+            tail.merge(&worker_tail);
+            clients.push(client);
+        }
+        let mut closer = clients.remove(0);
         for client in clients {
             let _ = client.quit();
         }
-        closer
+        fetch_timelines(&mut closer, &mut tail);
+        let mut report: TargetReport = closer
             .shutdown()
             .expect("pooled stress shutdown i/o")
-            .into()
+            .into();
+        report.slow = tail.worst().to_vec();
+        report
     }
 }
 
@@ -696,8 +761,14 @@ impl ResilientClient {
 
 /// A resilient pool worker: like [`pool_worker`], but failures are
 /// classified, retried, and counted instead of panicking. Hands its
-/// fault ledger back when the queue closes.
-fn resilient_pool_worker(mut client: ResilientClient, rx: Receiver<PoolMsg>) -> FaultCounters {
+/// fault ledger and worst-lease samples back when the queue closes.
+/// Latency here is measured around the whole attempt — retries and
+/// backoff included — because that is what the caller experienced.
+fn resilient_pool_worker(
+    mut client: ResilientClient,
+    rx: Receiver<PoolMsg>,
+) -> (FaultCounters, TailSampler) {
+    let mut tail = TailSampler::new(TAIL_SAMPLES, 0);
     while let Ok(msg) = rx.recv() {
         match msg {
             PoolMsg::Lease {
@@ -705,14 +776,21 @@ fn resilient_pool_worker(mut client: ResilientClient, rx: Receiver<PoolMsg>) -> 
                 count,
                 reply,
             } => {
-                let arcs = client
-                    .attempt(|c| c.lease(tenant, count))
-                    .map(|lease| lease.arcs)
-                    .unwrap_or_default();
+                let started = Instant::now();
+                let arcs = match client.attempt(|c| c.lease_with_corr(tenant, count)) {
+                    Some((lease, corr)) => {
+                        tail.offer(corr, tenant, 0, elapsed_ns(started));
+                        lease.arcs
+                    }
+                    None => Vec::new(),
+                };
                 let _ = reply.send(arcs);
             }
             PoolMsg::Issue { tenant, count } => {
-                let _ = client.attempt(|c| c.lease(tenant, count));
+                let started = Instant::now();
+                if let Some((_, corr)) = client.attempt(|c| c.lease_with_corr(tenant, count)) {
+                    tail.offer(corr, tenant, 0, elapsed_ns(started));
+                }
             }
             PoolMsg::Barrier { done } => {
                 let _ = done.send(());
@@ -723,7 +801,7 @@ fn resilient_pool_worker(mut client: ResilientClient, rx: Receiver<PoolMsg>) -> 
             }
         }
     }
-    client.faults
+    (client.faults, tail)
 }
 
 /// The chaos socket target: a pool of [`ResilientClient`] workers
@@ -736,7 +814,7 @@ pub struct ChaosRemoteTarget {
     protocol: ProtoVersion,
     proxy: SyncArc<ChaosProxy>,
     txs: Vec<SyncSender<PoolMsg>>,
-    workers: Vec<JoinHandle<FaultCounters>>,
+    workers: Vec<JoinHandle<(FaultCounters, TailSampler)>>,
 }
 
 impl ChaosRemoteTarget {
@@ -832,8 +910,11 @@ impl StressTarget for ChaosRemoteTarget {
         self.proxy.set_passthrough(true);
         drop(self.txs); // workers exit and hand back their ledgers
         let mut faults = FaultCounters::default();
+        let mut tail = TailSampler::new(TAIL_SAMPLES, 0);
         for handle in self.workers {
-            faults.merge(&handle.join().expect("chaos pool worker panicked"));
+            let (worker_faults, worker_tail) = handle.join().expect("chaos pool worker panicked");
+            faults.merge(&worker_faults);
+            tail.merge(&worker_tail);
         }
         let mut last_err: Option<io::Error> = None;
         for _ in 0..10 {
@@ -843,11 +924,17 @@ impl StressTarget for ChaosRemoteTarget {
                 self.protocol,
                 Some(CHAOS_TIMEOUT),
             )
-            .and_then(|client| client.shutdown());
+            .and_then(|mut client| {
+                // The proxy is passthrough now, so the timeline fetches
+                // ride the same clean path as the shutdown.
+                fetch_timelines(&mut client, &mut tail);
+                client.shutdown()
+            });
             match attempt {
                 Ok(summary) => {
                     let mut report = TargetReport::from(summary);
                     report.faults = faults;
+                    report.slow = tail.worst().to_vec();
                     return report;
                 }
                 Err(e) => {
@@ -898,6 +985,9 @@ pub struct StressReport {
     /// The scrape sidecar's accounting plus the final server-side
     /// registry families (only for `scrape`-enabled remote runs).
     pub metrics: Option<MetricsReport>,
+    /// The worst leases the run produced, with their end-to-end span
+    /// timelines when the target spoke protocol v2 (empty otherwise).
+    pub slow: Vec<SlowLease>,
 }
 
 /// What a chaos run did to the wire, stamped into the report.
@@ -985,12 +1075,33 @@ impl StressReport {
                 metrics.scrapes,
                 metrics.families.len()
             ));
+            if metrics.windows > 0 {
+                out.push_str(&format!(
+                    "timeseries:  {} windows retained, peak {} IDs/window\n",
+                    metrics.windows, metrics.peak_ids_per_window
+                ));
+            }
             if let Some(agrees) = self.chaos_mirror_agrees() {
                 out.push_str(if agrees {
                     "chaos mirror: registry counters agree with injected ground truth\n"
                 } else {
                     "chaos mirror: registry counters DISAGREE with injected ground truth\n"
                 });
+            }
+        }
+        if !self.slow.is_empty() {
+            out.push_str("slow leases:\n");
+            for lease in self.slow.iter().take(3) {
+                out.push_str(&format!(
+                    "  {:.3} ms corr={} tenant={} node={}\n",
+                    lease.latency_ns as f64 / 1e6,
+                    lease.corr,
+                    lease.tenant,
+                    lease.node,
+                ));
+                for line in lease.timeline.lines() {
+                    out.push_str(&format!("    {}\n", line));
+                }
             }
         }
         out
@@ -1044,10 +1155,19 @@ pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
     let scraper = config
         .scrape
         .then(|| spawn_wire_scraper(server.local_addr(), config.service.space));
-    let finish_metrics = |scraper: Option<JoinHandle<u64>>| {
-        scraper.map(|handle| MetricsReport {
-            scrapes: handle.join().expect("wire scraper panicked"),
-            families: uuidp_obs::parse_exposition(&registry.snapshot().render_prometheus()),
+    let finish_metrics = |scraper: Option<JoinHandle<(u64, TimeSeries)>>| {
+        scraper.map(|handle| {
+            let (scrapes, series) = handle.join().expect("wire scraper panicked");
+            MetricsReport {
+                scrapes,
+                windows: series.len() as u64,
+                peak_ids_per_window: series
+                    .windows()
+                    .map(|w| w.counter("uuidp_ids_issued_total"))
+                    .max()
+                    .unwrap_or(0),
+                families: uuidp_obs::parse_exposition(&registry.snapshot().render_prometheus()),
+            }
         })
     };
     if let Some(spec) = config.chaos {
@@ -1128,6 +1248,7 @@ pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> 
         chaos: None,
         audit: report.audit,
         metrics: None,
+        slow: report.slow,
     }
 }
 
