@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use uuidp_core::id::{Id, IdSpace};
 use uuidp_core::interval::Arc;
+use uuidp_core::lockorder;
 
 use crate::error::{broken, ErrorClass};
 use crate::frame::{read_frame, write_frame, FrameBody, VERSION};
@@ -67,6 +68,7 @@ impl Inner {
     /// Marks the connection dead and wakes every waiting request (their
     /// reply senders are dropped with the map).
     fn die(&self, reason: String) {
+        let _order = lockorder::track("client.pending");
         let mut pending = self.pending.lock().expect("pending lock");
         if matches!(*pending, Pending::Live(_)) {
             *pending = Pending::Dead(reason);
@@ -86,8 +88,11 @@ struct Handle {
 
 impl Drop for Handle {
     fn drop(&mut self) {
-        if let Ok(writer) = self.inner.writer.lock() {
-            let _ = writer.shutdown(std::net::Shutdown::Both);
+        {
+            let _order = lockorder::track("client.writer");
+            if let Ok(writer) = self.inner.writer.lock() {
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+            }
         }
         self.inner.die("client dropped".into());
     }
@@ -232,6 +237,7 @@ impl Client {
     fn register(&self) -> io::Result<(u64, std::sync::mpsc::Receiver<Reply>)> {
         let corr = self.handle.inner.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = sync_channel(1);
+        let _order = lockorder::track("client.pending");
         match &mut *self.handle.inner.pending.lock().expect("pending lock") {
             Pending::Live(map) => {
                 map.insert(corr, tx);
@@ -245,6 +251,7 @@ impl Client {
     /// Forgets a registered correlation id (timed-out request): any
     /// late reply is dropped on the floor by the demux.
     fn unregister(&self, corr: u64) {
+        let _order = lockorder::track("client.pending");
         if let Pending::Live(map) = &mut *self.handle.inner.pending.lock().expect("pending lock") {
             map.remove(&corr);
         }
@@ -255,7 +262,9 @@ impl Client {
     /// mid-frame).
     fn send(&self, corr: u64, body: &FrameBody) -> io::Result<()> {
         let result = {
+            let _order = lockorder::track("client.writer");
             let mut writer = self.handle.inner.writer.lock().expect("writer lock");
+            // lint:allow(lock-blocking): holding the writer lock across this one write_all is the mechanism that keeps concurrent clones' frames from interleaving mid-frame; the reader demux never takes this lock
             write_frame(&mut *writer, corr, body)
         };
         match result {
@@ -303,9 +312,12 @@ impl Client {
                 ErrorClass::LeaseInDoubt,
             )),
             Err(None) => {
-                let reason = match &*self.handle.inner.pending.lock().expect("pending lock") {
-                    Pending::Dead(reason) => reason.clone(),
-                    Pending::Live(_) => "reply channel dropped".into(),
+                let reason = {
+                    let _order = lockorder::track("client.pending");
+                    match &*self.handle.inner.pending.lock().expect("pending lock") {
+                        Pending::Dead(reason) => reason.clone(),
+                        Pending::Live(_) => "reply channel dropped".into(),
+                    }
                 };
                 Err(broken(reason, ErrorClass::LeaseInDoubt))
             }
@@ -473,9 +485,16 @@ fn reader_demux(stream: TcpStream, inner: StdArc<Inner>) {
                     inner.die(reason);
                     return;
                 }
-                let slot = match &mut *inner.pending.lock().expect("pending lock") {
-                    Pending::Live(map) => map.remove(&frame.corr),
-                    Pending::Dead(_) => return,
+                // Scoped so the guard is gone before the reply send: a
+                // match-scrutinee temporary would live across the send,
+                // and the waiter being woken may touch `pending` itself.
+                let slot = {
+                    let _order = lockorder::track("client.pending");
+                    let mut pending = inner.pending.lock().expect("pending lock");
+                    match &mut *pending {
+                        Pending::Live(map) => map.remove(&frame.corr),
+                        Pending::Dead(_) => return,
+                    }
                 };
                 if let Some(tx) = slot {
                     let reply = match frame.body {

@@ -229,6 +229,11 @@ pub enum FrameError {
     ChecksumMismatch,
     /// The frame kind byte is not in the table.
     UnknownKind(u8),
+    /// A fixed header/trailer field ran past the available bytes. The
+    /// public decoders pre-check lengths, so reaching this means an
+    /// internal slicing bug — but it is still a typed error, never a
+    /// panic, because these paths decode attacker-controlled bytes.
+    Truncated,
     /// The payload failed to decode for its kind.
     Payload(CodecError),
 }
@@ -245,6 +250,7 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Truncated => write!(f, "frame header field out of bounds"),
             FrameError::Payload(e) => write!(f, "bad frame payload: {e}"),
         }
     }
@@ -400,17 +406,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
         // An early magic mismatch is reportable before the full header
         // arrives — and is what the version sniff relies on.
         let probe = buf.len().min(MAGIC.len());
-        if buf[..probe] != MAGIC[..probe] {
+        if buf.get(..probe) != Some(&MAGIC[..probe]) {
             return Err(FrameError::BadMagic);
         }
         return Ok(None);
     }
-    if buf[..4] != MAGIC {
+    if buf.get(..4) != Some(&MAGIC[..]) {
         return Err(FrameError::BadMagic);
     }
-    let kind = buf[4];
-    let corr = u64::from_le_bytes(buf[5..13].try_into().unwrap());
-    let payload_len = u32::from_le_bytes(buf[13..17].try_into().unwrap());
+    let kind = *buf.get(4).ok_or(FrameError::Truncated)?;
+    let corr = u64::from_le_bytes(field(buf, 5)?);
+    let payload_len = u32::from_le_bytes(field(buf, 13)?);
     if payload_len > MAX_PAYLOAD {
         return Err(FrameError::Oversized(payload_len));
     }
@@ -419,12 +425,26 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
         return Ok(None);
     }
     let body_end = HEADER_LEN + payload_len as usize;
-    let stored = u64::from_le_bytes(buf[body_end..total].try_into().unwrap());
-    if fnv1a(&buf[..body_end]) != stored {
+    let stored = u64::from_le_bytes(field(buf, body_end)?);
+    let checked = buf.get(..body_end).ok_or(FrameError::Truncated)?;
+    if fnv1a(checked) != stored {
         return Err(FrameError::ChecksumMismatch);
     }
-    let body = decode_payload(kind, &buf[HEADER_LEN..body_end])?;
+    let payload = buf.get(HEADER_LEN..body_end).ok_or(FrameError::Truncated)?;
+    let body = decode_payload(kind, payload)?;
     Ok(Some((Frame { corr, body }, total)))
+}
+
+/// Reads the `N`-byte little-endian field at `at`, as a typed error
+/// instead of a `try_into().unwrap()` slice-to-array panic.
+fn field<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], FrameError> {
+    let slice = at
+        .checked_add(N)
+        .and_then(|end| buf.get(at..end))
+        .ok_or(FrameError::Truncated)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    Ok(out)
 }
 
 fn fatal(e: FrameError) -> io::Error {
@@ -442,10 +462,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     // Validate the fixed part before trusting the length.
-    if header[..4] != MAGIC {
+    if header.get(..4) != Some(&MAGIC[..]) {
         return Err(fatal(FrameError::BadMagic));
     }
-    let payload_len = u32::from_le_bytes(header[13..17].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(field(&header, 13).map_err(fatal)?);
     if payload_len > MAX_PAYLOAD {
         return Err(fatal(FrameError::Oversized(payload_len)));
     }
@@ -459,7 +479,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
             debug_assert_eq!(consumed, whole.len());
             Ok(frame)
         }
-        Ok(None) => unreachable!("a length-complete frame cannot be a prefix"),
+        // The buffer holds exactly header + declared payload + trailer,
+        // so a "valid prefix" verdict cannot happen — but a decode path
+        // reports that as corruption rather than panicking on it.
+        Ok(None) => Err(fatal(FrameError::Truncated)),
         Err(e) => Err(fatal(e)),
     }
 }

@@ -75,6 +75,7 @@ pub mod diagram;
 pub mod id;
 pub mod interval;
 pub mod lease;
+pub mod lockorder;
 pub mod persist;
 pub mod rng;
 pub mod shuffle;

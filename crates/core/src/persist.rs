@@ -329,11 +329,16 @@ pub fn decode_record(bytes: &[u8]) -> Result<SnapshotRecord, PersistError> {
         return Err(PersistError::Truncated);
     }
     let body_end = body_end as usize;
-    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
-    if fnv1a(&bytes[..body_end]) != stored {
+    let mut trailer = Cursor::new(bytes.get(body_end..).ok_or(PersistError::Truncated)?);
+    let stored = trailer.u64()?;
+    let checked = bytes.get(..body_end).ok_or(PersistError::Truncated)?;
+    if fnv1a(checked) != stored {
         return Err(PersistError::ChecksumMismatch);
     }
-    let mut c = Cursor::new(&bytes[body_start..body_end]);
+    let body = bytes
+        .get(body_start..body_end)
+        .ok_or(PersistError::Truncated)?;
+    let mut c = Cursor::new(body);
     let seq = c.u64()?;
     let epoch = c.u32()?;
     let reservation = c.u128()?;

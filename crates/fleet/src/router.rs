@@ -39,7 +39,9 @@
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use uuidp_core::clock;
 
 use uuidp_adversary::adaptive::{Action, AdaptiveAdversary, AdversarySpec, GameView};
 use uuidp_adversary::profile::power_law;
@@ -459,7 +461,7 @@ impl Router {
     /// (leak-not-duplicate, pinned by the global audit).
     pub fn lease(&mut self, tenant: u64, count: u128) -> io::Result<Vec<Arc>> {
         let node = self.node_of(tenant);
-        let started = Instant::now();
+        let started_ns = clock::monotonic_ns();
         let mut attempt = 0u32;
         loop {
             match self.try_lease_once(node, tenant, count) {
@@ -467,7 +469,9 @@ impl Router {
                     let link = &mut self.links[node];
                     link.health = NodeHealth::Healthy;
                     link.consecutive_failures = 0;
-                    self.latency.record(started.elapsed());
+                    self.latency.record(Duration::from_nanos(
+                        clock::monotonic_ns().saturating_sub(started_ns),
+                    ));
                     self.leases += 1;
                     self.issued += lease.granted;
                     self.errors += lease.error.is_some() as u64;

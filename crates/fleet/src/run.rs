@@ -6,18 +6,20 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use uuidp_core::clock;
 
 use uuidp_client::{ProtoVersion, RetryPolicy};
 use uuidp_core::codec::fnv1a;
 use uuidp_core::id::IdSpace;
 use uuidp_core::rng::{uniform_below, Xoshiro256pp};
 use uuidp_netchaos::{schedule_fingerprint, ChaosProxy, ChaosSpec, FaultCounts};
+use uuidp_obs::families::REQUIRED as REQUIRED_FAMILIES;
 use uuidp_obs::{parse_exposition, AlertTransition, Snapshot, Stage};
 use uuidp_service::metrics::FaultCounters;
 use uuidp_service::net::RemoteClient;
 use uuidp_service::service::{AuditReport, AuditThreadReport, ServiceConfig, ServiceReport};
-use uuidp_service::stress::REQUIRED_FAMILIES;
 use uuidp_sim::audit::AuditCounts;
 
 use crate::cluster::Fleet;
@@ -492,7 +494,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
     let mut chaos_rng = Xoshiro256pp::new(config.service.master_seed ^ 0xC4A0_5EED);
     let mut restarts = 0u32;
 
-    let started = Instant::now();
+    let started_ns = clock::monotonic_ns();
     let mut submitted = 0u64;
     // Mid-run scrape state: `(incarnation, families)` per node, taken
     // while the load loop pauses at the halfway mark.
@@ -589,7 +591,7 @@ fn drive_fleet(fleet: &mut Fleet, config: &FleetConfig) -> io::Result<FleetRepor
             );
         }
     }
-    let elapsed = started.elapsed();
+    let elapsed = Duration::from_nanos(clock::monotonic_ns().saturating_sub(started_ns));
 
     // Graceful teardown: every surviving node drains and reports. The
     // proxies go passthrough first so the accounting can't be a

@@ -1,0 +1,192 @@
+//! Diagnostics, rule identities, and the `lint:allow` grammar.
+//!
+//! A finding is suppressed by a comment **on the offending line** (or
+//! the line directly above it):
+//!
+//! ```text
+//! // lint:allow(rule-id): reason the invariant is not violated here
+//! ```
+//!
+//! The reason is mandatory — an allow without one is itself a finding
+//! (`allow-hygiene`), as is an allow naming an unknown rule. Every
+//! allow, used or not, is surfaced by `--list-allows` so reviewers can
+//! audit the full escape-hatch inventory in one place.
+
+use std::fmt;
+
+/// Every rule the analyzer knows. The ids are the public contract:
+/// they appear in diagnostics, in `lint:allow(...)` comments, and in
+/// the README rule table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`-family/unguarded indexing in the
+    /// designated never-panic decode modules.
+    DecodePanic,
+    /// No ambient time or OS randomness outside the whitelist.
+    AmbientTime,
+    /// No blocking call while a lock guard is live.
+    LockBlocking,
+    /// No cycle in the nested lock-acquisition order graph.
+    LockCycle,
+    /// Every `uuidp_*` family literal must be registered, and the
+    /// registered set must cover `obs::families::REQUIRED`.
+    MetricsFamily,
+    /// No crate manifest may path-depend on `shims/` directly.
+    ShimDep,
+    /// `lint:allow` comments must carry a known rule id and a reason.
+    AllowHygiene,
+}
+
+/// All rules, for iteration and id lookup.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::DecodePanic,
+    Rule::AmbientTime,
+    Rule::LockBlocking,
+    Rule::LockCycle,
+    Rule::MetricsFamily,
+    Rule::ShimDep,
+    Rule::AllowHygiene,
+];
+
+impl Rule {
+    /// The stable string id used in diagnostics and allow comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DecodePanic => "decode-panic",
+            Rule::AmbientTime => "ambient-time",
+            Rule::LockBlocking => "lock-blocking",
+            Rule::LockCycle => "lock-cycle",
+            Rule::MetricsFamily => "metrics-family",
+            Rule::ShimDep => "shim-dep",
+            Rule::AllowHygiene => "allow-hygiene",
+        }
+    }
+
+    /// Parses a rule id as written in an allow comment.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What is wrong, in one line.
+    pub message: String,
+    /// How to fix it, in one line.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (fix: {})",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule being allowed, if its id parsed.
+    pub rule: Option<Rule>,
+    /// The raw id text as written.
+    pub rule_text: String,
+    /// The justification after the colon (empty = hygiene finding).
+    pub reason: String,
+    /// Set during resolution: did this allow suppress a finding?
+    pub used: bool,
+}
+
+/// Parses the text of one retained `lint:` comment into an [`Allow`],
+/// plus any hygiene diagnostics it earns. Returns `None` for `lint:`
+/// comments that are not allows (future directives would go here).
+pub fn parse_allow(file: &str, line: u32, text: &str) -> Option<(Allow, Vec<Diagnostic>)> {
+    let rest = text.trim().strip_prefix("lint:allow")?;
+    let mut diags = Vec::new();
+    let (rule_text, reason) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+        Some((id, tail)) => {
+            let reason = tail.trim().strip_prefix(':').unwrap_or("").trim();
+            (id.trim().to_string(), reason.to_string())
+        }
+        None => (String::new(), String::new()),
+    };
+    let rule = Rule::from_id(&rule_text);
+    if rule.is_none() {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: Rule::AllowHygiene,
+            message: format!("lint:allow names unknown rule `{rule_text}`"),
+            hint: "use one of the ids from `uuidp-lint --rules`".into(),
+        });
+    }
+    if reason.is_empty() {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: Rule::AllowHygiene,
+            message: "lint:allow has no reason".into(),
+            hint: "write `// lint:allow(rule-id): why this site is safe`".into(),
+        });
+    }
+    Some((
+        Allow {
+            file: file.to_string(),
+            line,
+            rule,
+            rule_text,
+            reason,
+            used: false,
+        },
+        diags,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_grammar_round_trips() {
+        let (allow, diags) =
+            parse_allow("a.rs", 3, "lint:allow(ambient-time): latency is wall time").unwrap();
+        assert_eq!(allow.rule, Some(Rule::AmbientTime));
+        assert_eq!(allow.reason, "latency is wall time");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_findings() {
+        let (_, diags) = parse_allow("a.rs", 1, "lint:allow(ambient-time)").unwrap();
+        assert_eq!(diags.len(), 1);
+        let (allow, diags) = parse_allow("a.rs", 2, "lint:allow(no-such-rule): because").unwrap();
+        assert!(allow.rule.is_none());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn every_rule_id_parses_back() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(*r));
+        }
+    }
+}

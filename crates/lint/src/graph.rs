@@ -1,0 +1,183 @@
+//! A small directed graph with Tarjan SCC — the cycle detector behind
+//! the lock-ordering rule. (Interval analysis in the Cifuentes style
+//! reduces to the same question for our purposes: a partial order is
+//! violated exactly when a strongly connected component has more than
+//! one node, or a node carries a self-edge.)
+
+use std::collections::BTreeMap;
+
+/// A directed graph over string-named nodes, each edge annotated with
+/// the source site that created it.
+#[derive(Debug, Default)]
+pub struct DiGraph {
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+    /// Adjacency: `edges[from] = [(to, site), ...]`.
+    edges: Vec<Vec<(usize, String)>>,
+}
+
+impl DiGraph {
+    /// An empty graph.
+    pub fn new() -> DiGraph {
+        DiGraph::default()
+    }
+
+    fn node(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Adds edge `from -> to`, remembering `site` (file:line text).
+    pub fn add_edge(&mut self, from: &str, to: &str, site: &str) {
+        let f = self.node(from);
+        let t = self.node(to);
+        if !self.edges[f].iter().any(|(dst, _)| *dst == t) {
+            self.edges[f].push((t, site.to_string()));
+        }
+    }
+
+    /// Every ordering violation: strongly connected components with
+    /// more than one lock, plus single locks with a self-edge. Each
+    /// violation lists its lock names and the edge sites involved.
+    pub fn cycles(&self) -> Vec<Cycle> {
+        let sccs = self.tarjan();
+        let mut out = Vec::new();
+        for scc in sccs {
+            let in_scc = |i: usize| scc.contains(&i);
+            let self_loop = scc.len() == 1 && self.edges[scc[0]].iter().any(|(t, _)| *t == scc[0]);
+            if scc.len() < 2 && !self_loop {
+                continue;
+            }
+            let mut locks: Vec<String> = scc.iter().map(|&i| self.names[i].clone()).collect();
+            locks.sort();
+            let mut sites = Vec::new();
+            for &i in &scc {
+                for (t, site) in &self.edges[i] {
+                    if in_scc(*t) {
+                        sites.push(format!(
+                            "{} -> {} at {}",
+                            self.names[i], self.names[*t], site
+                        ));
+                    }
+                }
+            }
+            sites.sort();
+            out.push(Cycle { locks, sites });
+        }
+        out.sort_by(|a, b| a.locks.cmp(&b.locks));
+        out
+    }
+
+    /// Iterative Tarjan SCC (no recursion: source files can nest
+    /// arbitrarily and this runs inside CI).
+    fn tarjan(&self) -> Vec<Vec<usize>> {
+        let n = self.names.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs = Vec::new();
+        // Explicit DFS frames: (node, next-edge-offset).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            frames.push((start, 0));
+            while let Some(&(v, ei)) = frames.last() {
+                if index[v] == usize::MAX {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&(w, _)) = self.edges[v].get(ei) {
+                    if let Some(top) = frames.last_mut() {
+                        top.1 += 1;
+                    }
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+/// One lock-ordering violation.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// The locks in the cycle, sorted.
+    pub locks: Vec<String>,
+    /// `from -> to at file:line` descriptions of the participating
+    /// edges, sorted.
+    pub sites: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_lock_cycle_is_found() {
+        let mut g = DiGraph::new();
+        g.add_edge("a", "b", "f.rs:1");
+        g.add_edge("b", "a", "f.rs:9");
+        g.add_edge("b", "c", "f.rs:5");
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec!["a", "b"]);
+        assert_eq!(cycles[0].sites.len(), 2);
+    }
+
+    #[test]
+    fn dag_and_self_loop() {
+        let mut g = DiGraph::new();
+        g.add_edge("a", "b", "x");
+        g.add_edge("b", "c", "y");
+        assert!(g.cycles().is_empty());
+        g.add_edge("c", "c", "z");
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec!["c"]);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow() {
+        let mut g = DiGraph::new();
+        for i in 0..10_000 {
+            g.add_edge(&format!("l{i}"), &format!("l{}", i + 1), "deep");
+        }
+        assert!(g.cycles().is_empty());
+        g.add_edge("l10000", "l0", "close");
+        assert_eq!(g.cycles().len(), 1);
+    }
+}

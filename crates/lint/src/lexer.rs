@@ -1,0 +1,449 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The rules need exactly enough syntax to be trustworthy: string and
+//! char literals must not be mistaken for code (a `"x.lock()"` log
+//! message is not an acquisition), comments must be skipped *except*
+//! that `// lint:allow(...)` markers must be collected, raw strings
+//! and nested block comments must not desynchronize the scan, and
+//! lifetimes (`'a`) must not be read as unterminated char literals.
+//! Everything else — expressions, types, items — stays flat: rules
+//! match over the token stream with small pattern windows.
+
+/// What a token is, as coarsely as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `unwrap`, `Instant`, ...).
+    Ident,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). The
+    /// token's `text` is the *content* between the quotes, raw.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) — distinct from `Char` so neither confuses
+    /// the other.
+    Lifetime,
+    /// A numeric literal, suffix included (`0xFF`, `1_000u64`, `1.5`).
+    Number,
+    /// A single punctuation byte (`.`, `(`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse class.
+    pub kind: TokenKind,
+    /// Identifier/literal text; for `Punct`, the single character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// One comment the lexer kept: only `lint:` markers are retained.
+#[derive(Debug, Clone)]
+pub struct LintComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The comment text after `//`, trimmed.
+    pub text: String,
+}
+
+/// A lexed file: the token stream plus retained `lint:` comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments containing a `lint:` marker, in source order.
+    pub lint_comments: Vec<LintComment>,
+}
+
+/// Lexes `source` into tokens. Unknown bytes are skipped rather than
+/// erroring: an analyzer must keep walking whatever it finds.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = source[start..i].trim();
+                if text.contains("lint:") {
+                    out.lint_comments.push(LintComment {
+                        line,
+                        text: text.to_string(),
+                    });
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (content, next, newlines) = scan_string(source, i + 1, false);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (tok, next, newlines) = scan_prefixed_string(source, i, line);
+                out.tokens.push(tok);
+                line += newlines;
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                if is_lifetime_at(bytes, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (content, next, newlines) = scan_char(source, i + 1);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: content,
+                        line,
+                    });
+                    line += newlines;
+                    i = next;
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if is_ident_byte(c) {
+                        i += 1;
+                    } else if c == b'.'
+                        && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && bytes.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        // A decimal point, not a `0..n` range.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                if b.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Is the `'` at `i` a lifetime (rather than a char literal)? A
+/// lifetime is `'` + ident not closed by another `'` right after.
+fn is_lifetime_at(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(first) {
+        return false;
+    }
+    // `'a'` is a char; `'a,` / `'a>` / `'static` are lifetimes.
+    let mut j = i + 2;
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+/// Does `r…` / `b…` at `i` open a raw/byte string (as opposed to a
+/// plain identifier like `result`)?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => match bytes.get(i + 1) {
+            Some(&b'"') | Some(&b'#') => raw_hashes_then_quote(bytes, i + 1),
+            _ => false,
+        },
+        b'b' => match bytes.get(i + 1) {
+            Some(&b'"') | Some(&b'\'') => true,
+            Some(&b'r') => raw_hashes_then_quote(bytes, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From `at`, is there a run of `#`s followed by `"`? (Guards against
+/// treating `r#ident` raw identifiers as raw strings.)
+fn raw_hashes_then_quote(bytes: &[u8], at: usize) -> bool {
+    let mut j = at;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a plain (escaped) string or char body starting just after the
+/// opening quote. Returns (content, index-after-close, newlines seen).
+fn scan_string(source: &str, start: usize, char_mode: bool) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let close = if char_mode { b'\'' } else { b'"' };
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            c if c == close => {
+                return (source[start..i].to_string(), i + 1, newlines);
+            }
+            _ => i += 1,
+        }
+    }
+    (source[start..].to_string(), bytes.len(), newlines)
+}
+
+fn scan_char(source: &str, start: usize) -> (String, usize, u32) {
+    scan_string(source, start, true)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` starting at the
+/// prefix. Returns the token, the index after it, and newlines seen.
+fn scan_prefixed_string(source: &str, at: usize, line: u32) -> (Token, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut i = at;
+    // Skip the r/b/br prefix.
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    if !raw && bytes.get(i) == Some(&b'\'') {
+        let (content, next, newlines) = scan_char(source, i + 1);
+        return (
+            Token {
+                kind: TokenKind::Char,
+                text: content,
+                line,
+            },
+            next,
+            newlines,
+        );
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    let content_start = i;
+    let mut newlines = 0u32;
+    if raw {
+        // Raw strings end at `"` + `#`×hashes, escapes inert.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                newlines += 1;
+                i += 1;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (
+                        Token {
+                            kind: TokenKind::Str,
+                            text: source[content_start..i].to_string(),
+                            line,
+                        },
+                        j,
+                        newlines,
+                    );
+                }
+            }
+            i += 1;
+        }
+        (
+            Token {
+                kind: TokenKind::Str,
+                text: source[content_start..].to_string(),
+                line,
+            },
+            bytes.len(),
+            newlines,
+        )
+    } else {
+        let (content, next, nl) = scan_string(source, content_start, false);
+        (
+            Token {
+                kind: TokenKind::Str,
+                text: content,
+                line,
+            },
+            next,
+            nl,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let src = r##"let x = "a.lock() // not code"; let y = r#"panic!("no")"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.contains("panic!"));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'b' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "b");
+    }
+
+    #[test]
+    fn lint_comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// lint:allow(ambient-time): fixture\nlet b = 2; // plain\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.lint_comments.len(), 1);
+        assert_eq!(lexed.lint_comments[0].line, 2);
+        assert!(lexed.lint_comments[0].text.starts_with("lint:allow"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_ranges() {
+        let src = "/* a /* b */ c */ let z = 0..10;";
+        let toks = lex(src).tokens;
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let ids = idents("let r#fn = 1; let rx = r#\"raw\"#;");
+        assert!(ids.contains(&"fn".to_string()) || ids.contains(&"r".to_string()));
+        let strs: Vec<_> = lex("let rx = r#\"raw\"#;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "raw");
+    }
+}

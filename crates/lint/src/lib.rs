@@ -1,0 +1,343 @@
+//! # uuidp-lint — the workspace's invariants as enforced rules
+//!
+//! A zero-dependency (std-only) static-analysis pass over the
+//! workspace's own Rust source and manifests, in the same no-registry
+//! spirit as `shims/` and `service::sys`. Every correctness anchor
+//! this repo states in prose — never-panic wire decoding,
+//! seed-determinism, the reactor's no-blocking-while-locked
+//! discipline, metrics-family completeness, the shims choke point —
+//! is enforced only dynamically by tests that must happen to exercise
+//! it; this crate turns each into a rule that runs before the tests
+//! do. See [`rules`] for the rule table and [`diag`] for the
+//! `lint:allow` suppression grammar.
+//!
+//! The pipeline: [`walker`] finds files → [`lexer`] tokenizes →
+//! [`source::RustFile`] masks test code and collects allows → per-file
+//! rules run → workspace-level passes (lock-order SCC over the union
+//! graph, metrics-family resolution) → allows are resolved against
+//! findings → [`Report`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diag;
+pub mod graph;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::{Allow, Diagnostic, Rule};
+use graph::DiGraph;
+use rules::metrics::FamilyUse;
+use source::{path_is_test, RustFile};
+
+/// What the analyzer checks and where exceptions live.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files (path substrings) under the never-panic decode contract.
+    pub decode_paths: Vec<String>,
+    /// Path prefixes exempt from the ambient-time rule.
+    pub time_whitelist: Vec<String>,
+    /// The file holding the canonical required-family list; its
+    /// `uuidp_*` literals define the superset obligation.
+    pub families_path: Option<String>,
+}
+
+impl Config {
+    /// The real workspace's configuration — the one CI runs.
+    pub fn workspace() -> Config {
+        Config {
+            decode_paths: vec![
+                "crates/core/src/codec.rs".into(),
+                "crates/core/src/persist.rs".into(),
+                "crates/client/src/frame.rs".into(),
+                "crates/service/src/protocol.rs".into(),
+            ],
+            time_whitelist: vec![
+                // The one sanctioned clock: everything else takes
+                // timestamps from here or as arguments.
+                "crates/core/src/clock.rs".into(),
+                // Benchmarks exist to measure wall time.
+                "crates/bench/".into(),
+                // The CLI edge (live dashboards, serve loops) is
+                // inherently wall-clock-driven.
+                "crates/cli/".into(),
+                // The analyzer itself and the offline shims sit outside
+                // the deterministic fingerprint paths.
+                "crates/lint/".into(),
+                "shims/".into(),
+            ],
+            families_path: Some("crates/obs/src/families.rs".into()),
+        }
+    }
+
+    /// A bare configuration for fixture tests: no decode scope, no
+    /// whitelist, no required list — tests opt paths in explicitly.
+    pub fn bare() -> Config {
+        Config {
+            decode_paths: Vec::new(),
+            time_whitelist: Vec::new(),
+            families_path: None,
+        }
+    }
+}
+
+/// The analyzer: feed it files, then [`Analyzer::finish`].
+pub struct Analyzer {
+    config: Config,
+    diags: Vec<Diagnostic>,
+    allows: Vec<Allow>,
+    lock_graph: DiGraph,
+    family_uses: Vec<FamilyUse>,
+    required: Vec<String>,
+    files_seen: usize,
+}
+
+impl Analyzer {
+    /// A fresh analyzer over `config`.
+    pub fn new(config: Config) -> Analyzer {
+        Analyzer {
+            config,
+            diags: Vec::new(),
+            allows: Vec::new(),
+            lock_graph: DiGraph::new(),
+            family_uses: Vec::new(),
+            required: Vec::new(),
+            files_seen: 0,
+        }
+    }
+
+    /// Analyzes one Rust source file (workspace-relative path).
+    pub fn add_rust(&mut self, rel: &str, source: &str) {
+        self.files_seen += 1;
+        let file = RustFile::parse(rel, source);
+        self.diags.extend(file.allow_diags.iter().cloned());
+        self.allows.extend(file.allows.iter().cloned());
+        if self
+            .config
+            .decode_paths
+            .iter()
+            .any(|p| rel.contains(p.as_str()))
+        {
+            self.diags.extend(rules::panic_free::check(&file));
+        }
+        if !self
+            .config
+            .time_whitelist
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+        {
+            self.diags.extend(rules::ambient_time::check(&file));
+        }
+        let scan = rules::locks::check(&file, crate_of(rel));
+        self.diags.extend(scan.diags);
+        for (from, to, site) in scan.edges {
+            self.lock_graph.add_edge(&from, &to, &site);
+        }
+        if self.config.families_path.as_deref() == Some(rel) {
+            self.required = rules::metrics::scan(&file)
+                .into_iter()
+                .map(|u| u.name)
+                .collect();
+        }
+        self.family_uses.extend(rules::metrics::scan(&file));
+    }
+
+    /// Analyzes one `Cargo.toml` (workspace-relative path).
+    pub fn add_manifest(&mut self, rel: &str, source: &str) {
+        // Shims may reference each other, and fixture manifests exist
+        // to violate the rule on purpose.
+        if rel.starts_with("shims/") || path_is_test(rel) {
+            return;
+        }
+        self.files_seen += 1;
+        let scan = rules::shims::check_manifest(rel, source);
+        self.diags.extend(scan.diags);
+        self.diags.extend(scan.allow_diags);
+        self.allows.extend(scan.allows);
+    }
+
+    /// Runs the workspace-level passes and resolves allows.
+    pub fn finish(mut self) -> Report {
+        for cycle in self.lock_graph.cycles() {
+            // Anchor the diagnostic at the first participating site so
+            // a `lint:allow(lock-cycle)` can live next to real code.
+            let (file, line) = cycle
+                .sites
+                .first()
+                .and_then(|s| s.rsplit_once(" at "))
+                .and_then(|(_, loc)| loc.rsplit_once(':'))
+                .map(|(f, l)| (f.to_string(), l.parse().unwrap_or(1)))
+                .unwrap_or_else(|| ("<workspace>".into(), 1));
+            self.diags.push(Diagnostic {
+                file,
+                line,
+                rule: Rule::LockCycle,
+                message: format!(
+                    "lock-order cycle between {{{}}} ({})",
+                    cycle.locks.join(", "),
+                    cycle.sites.join("; ")
+                ),
+                hint: "pick one global acquisition order and stick to it".into(),
+            });
+        }
+        let required_file = self.config.families_path.clone();
+        self.diags.extend(rules::metrics::finalize(
+            &self.family_uses,
+            &self.required,
+            required_file.as_deref(),
+        ));
+
+        // Resolve suppressions: an allow matches a finding in the same
+        // file, for its rule, on the same line or the line below the
+        // comment. Hygiene findings are never suppressible.
+        let mut kept = Vec::new();
+        for d in self.diags {
+            if d.rule == Rule::AllowHygiene {
+                kept.push(d);
+                continue;
+            }
+            let mut suppressed = false;
+            for a in self.allows.iter_mut() {
+                if a.rule == Some(d.rule)
+                    && a.file == d.file
+                    && (a.line == d.line || a.line + 1 == d.line)
+                {
+                    a.used = true;
+                    suppressed = true;
+                    break;
+                }
+            }
+            if !suppressed {
+                kept.push(d);
+            }
+        }
+        kept.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+        kept.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+        let mut allows = self.allows;
+        allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        Report {
+            diagnostics: kept,
+            allows,
+            files_seen: self.files_seen,
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to (qualifies lock
+/// identities in the order graph).
+fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") | Some("shims") => parts.next().unwrap_or("root"),
+        _ => "root",
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by location.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every `lint:allow` in the workspace, used or not.
+    pub allows: Vec<Allow>,
+    /// Files analyzed.
+    pub files_seen: usize,
+}
+
+impl Report {
+    /// Renders the exhaustive allow inventory (`--list-allows`).
+    pub fn render_allows(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} lint:allow sites\n", self.allows.len()));
+        for a in &self.allows {
+            let status = if a.used { "used" } else { "UNUSED" };
+            out.push_str(&format!(
+                "{}:{}: allow({}) [{status}] — {}\n",
+                a.file,
+                a.line,
+                a.rule.map(Rule::id).unwrap_or(a.rule_text.as_str()),
+                if a.reason.is_empty() {
+                    "<no reason>"
+                } else {
+                    &a.reason
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Walks `root` and analyzes the whole workspace with [`Config`]
+/// `config` (pass [`Config::workspace`] for the real rule set).
+pub fn run(root: &Path, config: Config) -> io::Result<Report> {
+    let mut analyzer = Analyzer::new(config);
+    for found in walker::walk(root)? {
+        let path: PathBuf = root.join(found.rel());
+        let source = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => continue, // non-UTF-8 or vanished mid-walk
+        };
+        match &found {
+            walker::Found::Rust(rel) => analyzer.add_rust(rel, &source),
+            walker::Found::Manifest(rel) => analyzer.add_manifest(rel, &source),
+        }
+    }
+    Ok(analyzer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_suppress_and_are_marked_used() {
+        let mut a = Analyzer::new(Config::bare());
+        a.add_rust(
+            "crates/x/src/lib.rs",
+            "fn f() {\n    // lint:allow(ambient-time): this test fixture needs wall time\n    let t = Instant::now();\n}\n",
+        );
+        let report = a.finish();
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.allows.len(), 1);
+        assert!(report.allows[0].used);
+    }
+
+    #[test]
+    fn unsuppressed_findings_survive() {
+        let mut a = Analyzer::new(Config::bare());
+        a.add_rust("crates/x/src/lib.rs", "fn f() { let t = Instant::now(); }");
+        let report = a.finish();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, Rule::AmbientTime);
+    }
+
+    #[test]
+    fn cross_file_lock_cycle_is_reported() {
+        let mut a = Analyzer::new(Config::bare());
+        a.add_rust(
+            "crates/x/src/a.rs",
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+        );
+        a.add_rust(
+            "crates/x/src/b.rs",
+            "fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }",
+        );
+        let report = a.finish();
+        let cycles: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("x::self.alpha"));
+        assert!(cycles[0].message.contains("x::self.beta"));
+    }
+}

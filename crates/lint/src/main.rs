@@ -1,0 +1,81 @@
+//! The `uuidp-lint` binary: run the workspace analyzer from CI or the
+//! command line.
+//!
+//! ```text
+//! uuidp-lint [--root <dir>] [--deny-warnings] [--list-allows]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny-warnings`),
+//! `1` findings under `--deny-warnings`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_warnings = false;
+    let mut list_allows = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("uuidp-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--list-allows" => list_allows = true,
+            "--help" | "-h" => {
+                println!(
+                    "uuidp-lint: static analysis for the uuidp workspace\n\n\
+                     usage: uuidp-lint [--root <dir>] [--deny-warnings] [--list-allows]\n\n\
+                     --root <dir>      workspace root to analyze (default: .)\n\
+                     --deny-warnings   exit nonzero when any finding survives suppression\n\
+                     --list-allows     print every lint:allow site (used and unused)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("uuidp-lint: unknown flag `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match uuidp_lint::run(&root, uuidp_lint::Config::workspace()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("uuidp-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_allows {
+        print!("{}", report.render_allows());
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let n = report.diagnostics.len();
+    if n == 0 {
+        eprintln!(
+            "uuidp-lint: clean ({} files, {} allows)",
+            report.files_seen,
+            report.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "uuidp-lint: {n} finding{} across {} files",
+            if n == 1 { "" } else { "s" },
+            report.files_seen
+        );
+        if deny_warnings {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

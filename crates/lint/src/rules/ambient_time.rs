@@ -1,0 +1,95 @@
+//! `ambient-time`: outside an explicit whitelist, no module may read
+//! a wall/monotonic clock or OS randomness directly.
+//!
+//! The repo's determinism contract — same seed, bit-identical audit
+//! totals, fingerprints, and alert sequences — survives only because
+//! time enters the system at named places: `core::clock` (the one
+//! shared monotonic epoch), the bench harness, and the CLI edge.
+//! Everything else must take timestamps as arguments or go through
+//! `uuidp_core::clock::monotonic_ns`, so a wall-clock dependence can
+//! never silently creep into a fingerprinted path.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::RustFile;
+
+/// `Type::now`-style sources: `<ident>::now`.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Identifiers that are ambient-entropy sources wherever they appear.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+    "UNIX_EPOCH",
+];
+
+/// Runs the rule over one non-whitelisted file.
+pub fn check(file: &RustFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        if CLOCK_TYPES.contains(&t.text.as_str()) && file.matches(i + 1, &[":", ":", "now"]) {
+            out.push(diag(
+                file,
+                t.line,
+                format!("`{}::now()` outside the ambient-time whitelist", t.text),
+                "stamp with uuidp_core::clock::monotonic_ns() or take the time as an argument"
+                    .into(),
+            ));
+        } else if ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            out.push(diag(
+                file,
+                t.line,
+                format!("`{}` is an OS entropy source", t.text),
+                "derive randomness from the run's seed (Xoshiro256pp) instead".into(),
+            ));
+        }
+    }
+    out
+}
+
+fn diag(file: &RustFile, line: u32, message: String, hint: String) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line,
+        rule: Rule::AmbientTime,
+        message,
+        hint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&RustFile::parse("crates/service/src/service.rs", src))
+    }
+
+    #[test]
+    fn clock_reads_fire_outside_tests() {
+        let d = run("fn f() { let t = Instant::now(); }");
+        assert_eq!(d.len(), 1);
+        let d = run("fn f() { let t = std::time::SystemTime::now(); }");
+        assert_eq!(d.len(), 1);
+        let d = run("#[test]\nfn t() { let t = Instant::now(); }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_fire() {
+        let d = run("fn f() { let mut r = thread_rng(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn monotonic_ns_is_fine() {
+        let d = run("fn f() { let t = uuidp_core::clock::monotonic_ns(); }");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! The rule engine: each rule turns one of the repo's prose
+//! invariants into token-level checks.
+//!
+//! | id | invariant | previously guarded by |
+//! |----|-----------|-----------------------|
+//! | `decode-panic` | decode paths never panic on arbitrary bytes | protocol soup proptests |
+//! | `ambient-time` | seed-determinism: no wall clock / OS randomness outside the whitelist | same-seed twin CI diffs |
+//! | `lock-blocking` | no blocking call while a lock guard is live | (the PR 8 bug class — nothing) |
+//! | `lock-cycle` | nested lock acquisitions form a partial order | (nothing) |
+//! | `metrics-family` | every `uuidp_*` family literal is registered; required set covered | scrape assertions at runtime |
+//! | `shim-dep` | crates reach `shims/` only via `[workspace.dependencies]` | convention |
+
+pub mod ambient_time;
+pub mod locks;
+pub mod metrics;
+pub mod panic_free;
+pub mod shims;

@@ -1,0 +1,161 @@
+//! `decode-panic`: the designated never-panic modules (wire and disk
+//! decode paths) must not contain `unwrap`, `expect`, the `panic!`
+//! macro family, or unguarded indexing in non-test code.
+//!
+//! "Guarded" indexing means the indexed container's length is visibly
+//! consulted in the same file (`x.len()` / `x.get(`): the decode
+//! modules' style is to bounds-check explicitly and then slice. The
+//! `assert!`/`debug_assert!` macros are deliberately *not* flagged —
+//! they document internal invariants and the debug variants vanish
+//! from release decode paths.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::RustFile;
+
+/// Identifiers whose `ident!` form is a panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keyword-ish identifiers that can precede `[` without it being an
+/// index expression (`&mut [u8]`, `impl [T]`...).
+const NON_RECEIVER_IDENTS: &[&str] = &[
+    "mut", "dyn", "ref", "return", "break", "in", "as", "else", "impl", "where", "move", "const",
+];
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &RustFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Ident && !t.is_punct('[') {
+            continue;
+        }
+        let prev_dot = i > 0 && file.tokens[i - 1].is_punct('.');
+        let next_paren = file.tok(i + 1).is_some_and(|n| n.is_punct('('));
+        if prev_dot && next_paren && (t.is_ident("unwrap") || t.is_ident("expect")) {
+            out.push(diag(
+                file,
+                t.line,
+                format!("`.{}()` in a never-panic decode module", t.text),
+                "return a typed CodecError/FrameError instead".into(),
+            ));
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && file.tok(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(diag(
+                file,
+                t.line,
+                format!("`{}!` in a never-panic decode module", t.text),
+                "decode paths must return errors, not panic".into(),
+            ));
+            continue;
+        }
+        if t.is_punct('[') {
+            if let Some(receiver) = index_receiver(file, i) {
+                if !receiver_is_guarded(file, &receiver) {
+                    out.push(diag(
+                        file,
+                        t.line,
+                        format!("indexing `{receiver}[..]` without a visible bounds guard"),
+                        format!("check `{receiver}.len()` first or use `.get(..)`"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If token `i` (a `[`) indexes an expression, the receiver's base
+/// identifier; `None` when the bracket opens a type, attribute, or
+/// array literal.
+fn index_receiver(file: &RustFile, i: usize) -> Option<String> {
+    let prev = file.tok(i.checked_sub(1)?)?;
+    match prev.kind {
+        TokenKind::Ident if !NON_RECEIVER_IDENTS.contains(&prev.text.as_str()) => {
+            Some(prev.text.clone())
+        }
+        // `foo()[i]` / `bar[i][j]` — indexing a call or nested index:
+        // attribute the finding to the nearest earlier identifier.
+        TokenKind::Punct if prev.text == ")" || prev.text == "]" => {
+            let mut j = i - 1;
+            while j > 0 {
+                j -= 1;
+                if file.tokens[j].kind == TokenKind::Ident {
+                    return Some(file.tokens[j].text.clone());
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Does this file visibly consult `base`'s length anywhere in non-test
+/// code (`base.len()` / `base.get(`)?
+fn receiver_is_guarded(file: &RustFile, base: &str) -> bool {
+    (0..file.tokens.len()).any(|j| {
+        !file.is_test(j)
+            && file.tokens[j].is_ident(base)
+            && file.tok(j + 1).is_some_and(|t| t.is_punct('.'))
+            && file
+                .tok(j + 2)
+                .is_some_and(|t| t.is_ident("len") || t.is_ident("get"))
+    })
+}
+
+fn diag(file: &RustFile, line: u32, message: String, hint: String) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line,
+        rule: Rule::DecodePanic,
+        message,
+        hint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&RustFile::parse("crates/core/src/codec.rs", src))
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_fire() {
+        let d = run("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(d.len(), 1);
+        let d = run("fn f() { q.expect(\"nope\"); }");
+        assert_eq!(d.len(), 1);
+        let d = run("fn f() { unreachable!(\"no\") }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn guarded_indexing_and_tests_are_silent() {
+        let d = run("fn f(b: &[u8]) -> u8 { if b.len() > 4 { b[4] } else { 0 } }");
+        assert!(d.is_empty(), "{d:?}");
+        let d = run("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn unguarded_indexing_fires() {
+        let d = run("fn f(b: &[u8]) -> u8 { b[4] }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains('b'));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let d = run("fn f(x: Result<u8, u8>) -> u8 { x.unwrap_or_else(|e| e) }");
+        assert!(d.is_empty());
+    }
+}

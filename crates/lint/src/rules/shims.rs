@@ -1,0 +1,93 @@
+//! `shim-dep`: the offline `shims/` stand-ins are reached exclusively
+//! through `[workspace.dependencies]` in the root manifest. A crate
+//! that path-depends on a shim directly would keep compiling after the
+//! workspace switches back to the real registry crates — exactly the
+//! silent divergence the single-choke-point rule prevents.
+//!
+//! The check is a line-level TOML walk (std-only, like everything
+//! here): inside any `[dependencies]`-flavored section other than the
+//! root `[workspace.dependencies]`, a `shims/` path is a finding.
+//! Manifest lines can be allowed with `# lint:allow(shim-dep): reason`
+//! on the same line or the line above.
+
+use crate::diag::{parse_allow, Allow, Diagnostic, Rule};
+
+/// Result of scanning one manifest.
+#[derive(Debug, Default)]
+pub struct ManifestScan {
+    /// `shim-dep` findings.
+    pub diags: Vec<Diagnostic>,
+    /// `# lint:allow(...)` comments found in the manifest.
+    pub allows: Vec<Allow>,
+    /// Hygiene findings from malformed allows.
+    pub allow_diags: Vec<Diagnostic>,
+}
+
+/// Scans one `Cargo.toml`.
+pub fn check_manifest(rel: &str, source: &str) -> ManifestScan {
+    let mut scan = ManifestScan::default();
+    let mut in_dep_section = false;
+    let mut section_is_workspace = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if let Some(comment) = line.split_once('#').map(|(_, c)| c.trim()) {
+            if comment.contains("lint:") {
+                if let Some((allow, diags)) = parse_allow(rel, line_no, comment) {
+                    scan.allows.push(allow);
+                    scan.allow_diags.extend(diags);
+                }
+            }
+        }
+        if line.starts_with('[') {
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            section_is_workspace = section == "workspace.dependencies";
+            in_dep_section = section.ends_with("dependencies");
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if in_dep_section && !section_is_workspace && line.contains("shims/") {
+            scan.diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: line_no,
+                rule: Rule::ShimDep,
+                message: "crate manifest path-depends on shims/ directly".into(),
+                hint: "use `<name>.workspace = true` so the root manifest stays the only \
+                       place that knows where the dependency lives"
+                    .into(),
+            });
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_shim_path_fires() {
+        let m = "[package]\nname = \"x\"\n[dependencies]\nrand = { path = \"../../shims/rand\" }\n";
+        let scan = check_manifest("crates/x/Cargo.toml", m);
+        assert_eq!(scan.diags.len(), 1);
+        assert_eq!(scan.diags[0].line, 4);
+    }
+
+    #[test]
+    fn workspace_table_and_workspace_true_are_fine() {
+        let root = "[workspace.dependencies]\nrand = { path = \"shims/rand\" }\n";
+        assert!(check_manifest("Cargo.toml", root).diags.is_empty());
+        let leaf = "[dependencies]\nrand.workspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", leaf).diags.is_empty());
+    }
+
+    #[test]
+    fn manifest_allows_parse() {
+        let m = "[dependencies]\n# lint:allow(shim-dep): fixture exercising the rule\nrand = { path = \"../../shims/rand\" }\n";
+        let scan = check_manifest("crates/x/Cargo.toml", m);
+        assert_eq!(scan.allows.len(), 1);
+        assert!(scan.allow_diags.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! A lexed Rust file plus the structure the rules share: which token
+//! ranges are test code, and which lines carry `lint:allow` comments.
+//!
+//! Test code is exempt from the behavioral rules — tests are allowed
+//! to unwrap, read wall clocks, and hold locks across channel calls —
+//! so every rule consults the mask. A token is "test" when it sits
+//! inside an item annotated `#[test]` or `#[cfg(test)]` (module, fn,
+//! impl, or use), or when the whole file lives under a `tests/`,
+//! `benches/`, `examples/`, or `fixtures/` directory.
+
+use crate::diag::{parse_allow, Allow, Diagnostic};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One analyzed Rust source file.
+pub struct RustFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` — token `i` is inside test-only code.
+    pub test_mask: Vec<bool>,
+    /// Parsed `lint:allow` comments.
+    pub allows: Vec<Allow>,
+    /// Hygiene findings from malformed allows.
+    pub allow_diags: Vec<Diagnostic>,
+}
+
+impl RustFile {
+    /// Lexes and structures `source`.
+    pub fn parse(rel: &str, source: &str) -> RustFile {
+        let lexed = lex(source);
+        let whole_file_test = path_is_test(rel);
+        let test_mask = if whole_file_test {
+            vec![true; lexed.tokens.len()]
+        } else {
+            test_mask(&lexed.tokens)
+        };
+        let mut allows = Vec::new();
+        let mut allow_diags = Vec::new();
+        for c in &lexed.lint_comments {
+            if let Some((allow, diags)) = parse_allow(rel, c.line, &c.text) {
+                allows.push(allow);
+                allow_diags.extend(diags);
+            }
+        }
+        RustFile {
+            rel: rel.to_string(),
+            tokens: lexed.tokens,
+            test_mask,
+            allows,
+            allow_diags,
+        }
+    }
+
+    /// The token at `i`, when in range.
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// Is token `i` inside test-only code?
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Does the token window starting at `i` spell out the given
+    /// punctuation/identifier pattern? Pattern entries are single-char
+    /// strings for punctuation and names for identifiers.
+    pub fn matches(&self, i: usize, pattern: &[&str]) -> bool {
+        pattern.iter().enumerate().all(|(k, p)| {
+            self.tok(i + k).is_some_and(|t| match t.kind {
+                TokenKind::Punct => t.text == *p,
+                TokenKind::Ident => t.text == *p,
+                _ => false,
+            })
+        })
+    }
+}
+
+/// Whole-file test classification by path.
+pub fn path_is_test(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+/// Computes the per-token test mask from `#[test]` / `#[cfg(test)]`
+/// attributes: the annotated item (attributes through its closing `}`
+/// or `;`) is marked.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Walk this attribute and any directly following ones, noting
+        // whether any is test-flavored.
+        let mut testish = false;
+        let mut j = i;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+            let mut k = j + 1;
+            if tokens.get(k).is_some_and(|t| t.is_punct('!')) {
+                k += 1; // inner attribute `#![...]` — still skip it
+            }
+            if !tokens.get(k).is_some_and(|t| t.is_punct('[')) {
+                break;
+            }
+            let mut depth = 0i32;
+            let body_start = k;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let attr: Vec<&str> = tokens[body_start..=k.min(tokens.len() - 1)]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let has = |s: &str| attr.contains(&s);
+            if (attr == ["test"] || (has("cfg") && has("test")) || has("proptest")) && !has("not") {
+                testish = true;
+            }
+            j = k + 1;
+        }
+        if !testish {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Mark from the attribute through the annotated item: to the
+        // first `;` before any brace, or through the matching `}`.
+        let mut k = j;
+        let mut depth = 0i32;
+        let mut end = tokens.len();
+        while let Some(t) = tokens.get(k) {
+            if depth == 0 && t.is_punct(';') {
+                end = k + 1;
+                break;
+            }
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = k + 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end).skip(attr_start) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = RustFile::parse("crates/x/src/lib.rs", src);
+        let unwraps: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| (i, f.is_test(i)))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "live unwrap must not be masked");
+        assert!(unwraps[1].1, "test unwrap must be masked");
+        // Code after the module is live again.
+        let live2 = f.tokens.iter().position(|t| t.is_ident("live2")).unwrap();
+        assert!(!f.is_test(live2));
+    }
+
+    #[test]
+    fn test_fns_and_cfg_not_test_behave() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\n#[cfg(not(test))]\nfn live() { b.unwrap(); }\n";
+        let f = RustFile::parse("crates/x/src/lib.rs", src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| f.is_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_all_test() {
+        let f = RustFile::parse("crates/x/tests/it.rs", "fn f() { a.unwrap(); }");
+        assert!(f.test_mask.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,81 @@
+//! Recursive workspace walker (std-only).
+//!
+//! Yields every `.rs` file and every `Cargo.toml` under the root,
+//! skipping build output and VCS metadata. Paths come back
+//! workspace-relative and `/`-separated so diagnostics are stable
+//! across platforms and checkout locations.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `fixtures` is skipped so
+/// deliberately-violating lint fixtures never pollute a real run.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules", "fixtures"];
+
+/// One file the walk found.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Found {
+    /// A Rust source file.
+    Rust(String),
+    /// A crate manifest.
+    Manifest(String),
+}
+
+impl Found {
+    /// The workspace-relative path either way.
+    pub fn rel(&self) -> &str {
+        match self {
+            Found::Rust(p) | Found::Manifest(p) => p,
+        }
+    }
+}
+
+/// Walks `root` and returns every analyzable file, sorted, so runs
+/// are deterministic regardless of directory iteration order.
+pub fn walk(root: &Path) -> io::Result<Vec<Found>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" {
+                out.push(Found::Manifest(relative(root, &path)));
+            } else if name.ends_with(".rs") {
+                out.push(Found::Rust(relative(root, &path)));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let found = walk(root).unwrap();
+        assert!(found.contains(&Found::Rust("src/walker.rs".into())));
+        assert!(found.contains(&Found::Manifest("Cargo.toml".into())));
+    }
+}

@@ -1,0 +1,8 @@
+//! Violates `allow-hygiene`: the allow names a rule id that does not
+//! exist, so it can never suppress anything.
+
+/// Passes the timestamp through.
+pub fn stamp(now_ns: u64) -> u64 {
+    // lint:allow(never-panic): this rule id does not exist
+    now_ns
+}

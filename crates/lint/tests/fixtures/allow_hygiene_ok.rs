@@ -1,0 +1,9 @@
+//! Conforms to `allow-hygiene`: a well-formed allow — known rule id,
+//! real reason — sitting on the line above the finding it suppresses.
+
+/// Stamps "now" from the ambient clock, with a sanctioned exception.
+pub fn stamp() -> u128 {
+    // lint:allow(ambient-time): fixture demonstrating a well-formed suppression
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! Violates `ambient-time`: reads the monotonic clock directly
+//! instead of going through `uuidp_core::clock`.
+
+/// Stamps "now" from the ambient clock.
+pub fn stamp() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

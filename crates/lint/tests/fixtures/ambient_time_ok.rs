@@ -1,0 +1,7 @@
+//! Conforms to `ambient-time`: the timestamp arrives as an argument
+//! (from `uuidp_core::clock::monotonic_ns()` at the caller).
+
+/// Ages an event given the caller-supplied clock reading.
+pub fn age_ns(now_ns: u64, event_ns: u64) -> u64 {
+    now_ns.saturating_sub(event_ns)
+}

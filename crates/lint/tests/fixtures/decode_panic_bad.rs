@@ -1,0 +1,7 @@
+//! Violates `decode-panic`: one `.unwrap()` on a decode path that is
+//! supposed to surface truncation as a typed error.
+
+/// Reads the little-endian length prefix, panicking on short input.
+pub fn decode_len(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf.get(0..4).and_then(|s| s.try_into().ok()).unwrap())
+}

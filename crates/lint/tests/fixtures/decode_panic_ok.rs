@@ -1,0 +1,18 @@
+//! Conforms to `decode-panic`: a typed error and a visible bounds
+//! guard before the slice.
+
+/// Decode failure for the fixture.
+pub enum DecodeError {
+    /// Input shorter than the fixed header.
+    Truncated,
+}
+
+/// Reads the little-endian length prefix or reports truncation.
+pub fn decode_len(buf: &[u8]) -> Result<u32, DecodeError> {
+    if buf.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[..4]);
+    Ok(u32::from_le_bytes(raw))
+}

@@ -1,0 +1,19 @@
+//! Violates `lock-blocking`: a channel send while the state guard is
+//! still live — the PR 8 bug class, reduced.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// Shared state plus a notification channel.
+pub struct Publisher {
+    state: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Publisher {
+    /// Bumps the counter and notifies — while holding the lock.
+    pub fn publish(&self) {
+        let guard = self.state.lock();
+        self.tx.send(1);
+    }
+}

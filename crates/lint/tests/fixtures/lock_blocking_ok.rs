@@ -1,0 +1,22 @@
+//! Conforms to `lock-blocking`: copy what you need out of the guard,
+//! let it die at the end of its scope, then block.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// Shared state plus a notification channel.
+pub struct Publisher {
+    state: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Publisher {
+    /// Bumps the counter, then notifies with no lock held.
+    pub fn publish(&self) {
+        let value = {
+            let guard = self.state.lock();
+            7
+        };
+        self.tx.send(value);
+    }
+}

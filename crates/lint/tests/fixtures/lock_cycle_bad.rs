@@ -1,0 +1,24 @@
+//! Violates `lock-cycle`: two paths acquire the same pair of locks in
+//! opposite orders — the classic AB/BA deadlock shape.
+
+use std::sync::Mutex;
+
+/// Two locks with no agreed acquisition order.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Acquires alpha, then beta.
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+
+    /// Acquires beta, then alpha.
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+    }
+}

@@ -1,0 +1,24 @@
+//! Conforms to `lock-cycle`: every path acquires alpha before beta,
+//! so the order graph has one edge and no cycle.
+
+use std::sync::Mutex;
+
+/// Two locks with a single global acquisition order.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Acquires alpha, then beta.
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+
+    /// Also alpha, then beta.
+    pub fn forward_again(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+    }
+}

@@ -1,0 +1,12 @@
+//! Violates `metrics-family`: the scrape assertion names a family
+//! that no registration site ever creates (a one-letter typo).
+
+/// Installs the fixture's metric families.
+pub fn install(registry: &Registry) {
+    registry.counter("uuidp_fixture_total");
+}
+
+/// Checks a scrape body — against the typo'd family name.
+pub fn scrape_has_fixture(body: &str) -> bool {
+    body.contains("uuidp_fixture_totall")
+}

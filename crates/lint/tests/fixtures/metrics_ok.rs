@@ -1,0 +1,13 @@
+//! Conforms to `metrics-family`: every family named anywhere is
+//! registered, including a histogram's exposition-derived `_count`.
+
+/// Installs the fixture's metric families.
+pub fn install(registry: &Registry) {
+    registry.counter("uuidp_fixture_total");
+    registry.histogram("uuidp_fixture_latency_ns");
+}
+
+/// Checks a scrape body against the registered names.
+pub fn scrape_has_fixture(body: &str) -> bool {
+    body.contains("uuidp_fixture_total") && body.contains("uuidp_fixture_latency_ns_count")
+}

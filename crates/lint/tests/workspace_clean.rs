@@ -1,0 +1,29 @@
+//! The analyzer's dogfood gate: the real workspace must scan clean
+//! under the exact configuration CI runs, and every `lint:allow` on
+//! the books must earn its keep by suppressing something.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_ci_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = uuidp_lint::run(&root, uuidp_lint::Config::workspace()).expect("walk workspace");
+    assert!(
+        report.files_seen > 100,
+        "suspiciously few files analyzed: {}",
+        report.files_seen
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace lint findings:\n{}",
+        rendered.join("\n")
+    );
+    for allow in &report.allows {
+        assert!(
+            allow.used,
+            "unused lint:allow at {}:{} — remove it",
+            allow.file, allow.line
+        );
+    }
+}

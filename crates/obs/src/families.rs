@@ -1,0 +1,50 @@
+//! The canonical metric-family contract: names every live node must
+//! expose.
+//!
+//! This list used to live in `uuidp-service`'s stress driver, with the
+//! fleet runner importing it from there — an observability contract
+//! owned by a test harness. It belongs next to the [`Registry`] that
+//! implements it: the obs crate defines the names, service nodes
+//! register them at bind time, and every consumer (stress scrape
+//! sidecar, fleet per-node assertions, `uuidp-lint`'s `metrics-family`
+//! rule) checks against this one constant.
+//!
+//! Histogram families appear here by their exposition-derived names
+//! (`*_count`): registering the base histogram covers them.
+//!
+//! [`Registry`]: crate::Registry
+
+/// Metric families every scrape of a live service must expose — the
+/// registry registers them all at service start, so their absence means
+/// the export path is broken, not that the counter is still zero.
+pub const REQUIRED: &[&str] = &[
+    "uuidp_leases_total",
+    "uuidp_ids_issued_total",
+    "uuidp_lease_errors_total",
+    "uuidp_audit_records_total",
+    "uuidp_lease_latency_ns_count",
+    "uuidp_net_wakeups_total",
+    "uuidp_net_out_queue_bytes",
+    "uuidp_net_severed_total",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_names_are_well_formed() {
+        for name in REQUIRED {
+            assert!(name.starts_with("uuidp_"), "{name} lacks the uuidp_ prefix");
+            assert!(
+                name.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                "{name} is not snake_case"
+            );
+        }
+        let mut sorted: Vec<_> = REQUIRED.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), REQUIRED.len(), "duplicate family in REQUIRED");
+    }
+}

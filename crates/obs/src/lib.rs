@@ -53,6 +53,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alert;
+pub mod families;
 pub mod flight;
 pub mod registry;
 pub mod tail;

@@ -65,10 +65,7 @@ impl Window {
             *self.gauges.entry(name.clone()).or_insert(0) += v;
         }
         for (name, h) in &other.histograms {
-            self.histograms
-                .entry(name.clone())
-                .or_default()
-                .merge(h);
+            self.histograms.entry(name.clone()).or_default().merge(h);
         }
         self.resets += other.resets;
     }

@@ -65,6 +65,7 @@ use uuidp_client::frame::{self, FrameBody};
 use uuidp_client::{Client, ClientOptions, ProtoVersion};
 use uuidp_core::clock;
 use uuidp_core::id::IdSpace;
+use uuidp_core::lockorder;
 use uuidp_obs::{Registry, Stage, TraceRecorder};
 
 use crate::protocol::{
@@ -147,6 +148,7 @@ impl ServerState {
     /// wait on.
     pub(crate) fn sever_all(&self) {
         self.reactor.stop();
+        let _order = lockorder::track("server.conns");
         for (_, conn) in self.conns.lock().expect("conns lock").drain() {
             if let Some(conn) = conn {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -163,7 +165,10 @@ impl ServerState {
     /// stop, so the entry only counts the connection.
     pub(crate) fn register(&self, stream: &TcpStream) -> Option<u64> {
         let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
-        self.conns.lock().expect("conns lock").insert(conn_id, None);
+        {
+            let _order = lockorder::track("server.conns");
+            self.conns.lock().expect("conns lock").insert(conn_id, None);
+        }
         if self.stopping.load(Ordering::SeqCst) {
             self.deregister(conn_id);
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -180,6 +185,7 @@ impl ServerState {
     /// stopping, and the caller must not spawn the handler.
     pub(crate) fn promote_v1(&self, conn_id: u64, stream: &TcpStream) -> bool {
         if let Ok(write_half) = stream.try_clone() {
+            let _order = lockorder::track("server.conns");
             self.conns
                 .lock()
                 .expect("conns lock")
@@ -194,6 +200,7 @@ impl ServerState {
     }
 
     pub(crate) fn deregister(&self, conn_id: u64) {
+        let _order = lockorder::track("server.conns");
         self.conns.lock().expect("conns lock").remove(&conn_id);
     }
 }
@@ -216,7 +223,10 @@ fn crash_server(
     focus_corr: Option<u64>,
 ) {
     state.stopping.store(true, Ordering::SeqCst);
-    let service = state.service.write().expect("service lock").take();
+    let service = {
+        let _order = lockorder::track("server.service");
+        state.service.write().expect("service lock").take()
+    };
     if let Some(service) = service {
         service.dump_flight(reason, focus_corr);
         drop(service.shutdown());
@@ -421,7 +431,10 @@ impl TcpServer {
     /// raced this call and won.
     pub fn halt(self) -> Option<ServiceReport> {
         self.state.stopping.store(true, Ordering::SeqCst);
-        let service = self.state.service.write().expect("service lock").take();
+        let service = {
+            let _order = lockorder::track("server.service");
+            self.state.service.write().expect("service lock").take()
+        };
         let report = service.map(|service| {
             // A halt is a staged crash: leave the post-mortem (last
             // trace events + registry snapshot) in the state dir, the
@@ -568,12 +581,15 @@ fn pool_worker(state: Arc<ServerState>, rx: Receiver<PoolJob>, local_addr: Socke
                 tenant,
                 count,
             } => {
-                let reply = state
-                    .service
-                    .read()
-                    .expect("service lock")
-                    .as_ref()
-                    .map(|service| service.lease_traced(tenant, count, corr));
+                let reply = {
+                    let _order = lockorder::track("server.service");
+                    state
+                        .service
+                        .read()
+                        .expect("service lock")
+                        .as_ref()
+                        .map(|service| service.lease_traced(tenant, count, corr))
+                };
                 match reply {
                     // The halt_after_persists hook fired: die between
                     // the write-ahead persist and the reply — and leave
@@ -597,6 +613,7 @@ fn pool_worker(state: Arc<ServerState>, rx: Receiver<PoolJob>, local_addr: Socke
             }
             PoolJob::Reset { conn, corr, tenant } => {
                 let served = {
+                    let _order = lockorder::track("server.service");
                     let service = state.service.read().expect("service lock");
                     service.as_ref().map(|s| s.reset_tenant(tenant)).is_some()
                 };
@@ -648,6 +665,7 @@ fn control_worker(
                 // first, then the service's own shard barrier.
                 pool_barrier(&pool_txs);
                 let drained = {
+                    let _order = lockorder::track("server.service");
                     let service = state.service.read().expect("service lock");
                     service.as_ref().map(|s| s.drain()).is_some()
                 };
@@ -660,6 +678,7 @@ fn control_worker(
             CtrlJob::Summary { conn, corr } => {
                 pool_barrier(&pool_txs);
                 let report = {
+                    let _order = lockorder::track("server.service");
                     let service = state.service.read().expect("service lock");
                     service.as_ref().map(|s| s.summary())
                 };
@@ -675,7 +694,10 @@ fn control_worker(
                 // Serve what the pool already holds, then take the
                 // service (the write lock waits out in-flight leases).
                 pool_barrier(&pool_txs);
-                let service = state.service.write().expect("service lock").take();
+                let service = {
+                    let _order = lockorder::track("server.service");
+                    state.service.write().expect("service lock").take()
+                };
                 match service {
                     Some(service) => {
                         let report = service.shutdown();
@@ -900,12 +922,15 @@ fn run_connection<R: BufRead>(
             Ok(None) => continue,
             Ok(Some(Command::Quit)) => break,
             Ok(Some(Command::Lease { tenant, count })) => {
-                let reply = state
-                    .service
-                    .read()
-                    .expect("service lock")
-                    .as_ref()
-                    .map(|service| service.lease(tenant, count));
+                let reply = {
+                    let _order = lockorder::track("server.service");
+                    state
+                        .service
+                        .read()
+                        .expect("service lock")
+                        .as_ref()
+                        .map(|service| service.lease(tenant, count))
+                };
                 match reply {
                     // The halt_after_persists hook: die instead of
                     // replying (see the module docs).
@@ -918,6 +943,7 @@ fn run_connection<R: BufRead>(
                 }
             }
             Ok(Some(Command::Reset { tenant })) => {
+                let _order = lockorder::track("server.service");
                 match state.service.read().expect("service lock").as_ref() {
                     Some(service) => {
                         service.reset_tenant(tenant);
@@ -927,6 +953,7 @@ fn run_connection<R: BufRead>(
                 }
             }
             Ok(Some(Command::Drain)) => {
+                let _order = lockorder::track("server.service");
                 match state.service.read().expect("service lock").as_ref() {
                     Some(service) => {
                         service.drain();
@@ -949,7 +976,10 @@ fn run_connection<R: BufRead>(
             Ok(Some(Command::Shutdown)) => {
                 state.stopping.store(true, Ordering::SeqCst);
                 // The write lock waits out every in-flight request.
-                let service = state.service.write().expect("service lock").take();
+                let service = {
+                    let _order = lockorder::track("server.service");
+                    state.service.write().expect("service lock").take()
+                };
                 match service {
                     Some(service) => {
                         let report = service.shutdown();

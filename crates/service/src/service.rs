@@ -43,7 +43,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uuidp_core::algorithms::AlgorithmKind;
 use uuidp_core::clock;
@@ -218,7 +218,10 @@ enum AuditMsg {
         owner: u64,
         /// Non-wrapping `[lo, hi)` segments, each inside one owned stripe.
         segments: Vec<(u128, u128)>,
-        sent: Instant,
+        /// [`clock::monotonic_ns`] stamp taken at the worker's tap, so
+        /// the audit thread's lag reading shares every other telemetry
+        /// timestamp's epoch.
+        sent_ns: u64,
         /// Wire correlation id of the lease that produced this batch
         /// (0 = in-process traffic), for trace spans.
         corr: u64,
@@ -344,7 +347,8 @@ pub struct IdService {
     /// taps); dropped at shutdown so the audit threads can exit.
     audit_txs: Vec<SyncSender<AuditMsg>>,
     audit: Vec<JoinHandle<AuditThreadReport>>,
-    started: Instant,
+    /// [`clock::monotonic_ns`] stamp at construction, for uptime.
+    started_ns: u64,
     registry: std::sync::Arc<Registry>,
     trace: std::sync::Arc<TraceRecorder>,
     /// Where flight-recorder dumps land (the durability state dir);
@@ -460,7 +464,7 @@ impl IdService {
             workers,
             audit_txs,
             audit,
-            started: Instant::now(),
+            started_ns: clock::monotonic_ns(),
             registry,
             trace,
             flight_dir: config.durability.as_ref().map(|d| d.dir.clone()),
@@ -646,7 +650,7 @@ impl IdService {
             errors,
             latency,
             audit,
-            uptime: self.started.elapsed(),
+            uptime: Duration::from_nanos(clock::monotonic_ns().saturating_sub(self.started_ns)),
         }
     }
 
@@ -694,7 +698,7 @@ impl IdService {
             errors,
             latency,
             audit,
-            uptime: self.started.elapsed(),
+            uptime: Duration::from_nanos(clock::monotonic_ns().saturating_sub(self.started_ns)),
         }
     }
 }
@@ -801,7 +805,7 @@ impl AuditTap {
                 self.batches[stripe % threads].push((lo, hi));
             });
         }
-        let sent = Instant::now();
+        let sent_ns = clock::monotonic_ns();
         for (t, batch) in self.batches.iter_mut().enumerate() {
             if batch.is_empty() {
                 continue;
@@ -809,7 +813,7 @@ impl AuditTap {
             let _ = self.taps[t].send(AuditMsg::Record {
                 owner,
                 segments: std::mem::take(batch),
-                sent,
+                sent_ns,
                 corr,
             });
         }
@@ -1033,7 +1037,7 @@ fn serve(
     obs: &WorkerObs,
     want_arcs: bool,
 ) -> (u128, Option<GeneratorError>, Option<Vec<Arc>>, bool) {
-    let t0 = Instant::now();
+    let t0 = clock::monotonic_ns();
     let slot = slot_for(config, roots, tenants, algorithm, durability, tenant);
     let mut halted = false;
     if let Some(d) = durability {
@@ -1077,12 +1081,12 @@ fn serve(
             clock::monotonic_ns(),
         );
     }
-    stats.latency.record(t0.elapsed());
+    let issue_ns = clock::monotonic_ns().saturating_sub(t0);
+    stats.latency.record(Duration::from_nanos(issue_ns));
     stats.issued_ids += granted;
     stats.leases += 1;
     stats.errors += error.is_some() as u64;
-    obs.latency
-        .record_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    obs.latency.record_ns(issue_ns);
     obs.leases.inc();
     obs.issued.add(granted.min(u64::MAX as u128) as u64);
     if error.is_some() {
@@ -1122,10 +1126,10 @@ fn audit_loop(
             AuditMsg::Record {
                 owner,
                 segments,
-                sent,
+                sent_ns,
                 corr,
             } => {
-                let lag = sent.elapsed();
+                let lag = Duration::from_nanos(clock::monotonic_ns().saturating_sub(sent_ns));
                 max_lag = max_lag.max(lag);
                 lag_sum_ns += lag.as_nanos();
                 records += 1;

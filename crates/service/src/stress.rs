@@ -51,7 +51,9 @@ use std::net::SocketAddr;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc as SyncArc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use uuidp_core::clock;
 
 use uuidp_adversary::adaptive::{Action, AdversarySpec, GameView};
 use uuidp_adversary::run_hunter::RunHunter;
@@ -192,19 +194,10 @@ impl StressConfig {
     }
 }
 
-/// Metric families every scrape of a live service must expose — the
-/// registry registers them all at service start, so their absence means
-/// the export path is broken, not that the counter is still zero.
-pub const REQUIRED_FAMILIES: &[&str] = &[
-    "uuidp_leases_total",
-    "uuidp_ids_issued_total",
-    "uuidp_lease_errors_total",
-    "uuidp_audit_records_total",
-    "uuidp_lease_latency_ns_count",
-    "uuidp_net_wakeups_total",
-    "uuidp_net_out_queue_bytes",
-    "uuidp_net_severed_total",
-];
+/// Metric families every scrape of a live service must expose. The
+/// canonical list lives with the registry ([`uuidp_obs::families`]);
+/// this re-export keeps the stress driver's old path working.
+pub use uuidp_obs::families::REQUIRED as REQUIRED_FAMILIES;
 
 /// What the scrape sidecar (and the final server-side snapshot)
 /// observed during a `scrape`-enabled remote run.
@@ -414,9 +407,11 @@ fn fetch_timelines(client: &mut DialedClient, tail: &mut TailSampler) {
     }
 }
 
-/// Clock-reads one lease's end-to-end cost in nanoseconds.
-fn elapsed_ns(started: Instant) -> u64 {
-    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+/// One lease's end-to-end cost in nanoseconds, from a
+/// [`clock::monotonic_ns`] start stamp — the same epoch every other
+/// telemetry timestamp in the stack uses.
+fn elapsed_ns(started_ns: u64) -> u64 {
+    clock::monotonic_ns().saturating_sub(started_ns)
 }
 
 /// The socket target: one [`DialedClient`] (either protocol) driving a
@@ -450,7 +445,7 @@ impl StressTarget for RemoteTarget {
     }
 
     fn lease_arcs(&mut self, tenant: u64, count: u128) -> Vec<Arc> {
-        let started = Instant::now();
+        let started = clock::monotonic_ns();
         let (lease, corr) = self
             .client
             .lease_with_corr(tenant, count)
@@ -462,7 +457,7 @@ impl StressTarget for RemoteTarget {
     fn issue(&mut self, tenant: u64, count: u128) {
         // Same wire path as a lease; the reply is read (keeping the
         // request/reply accounting in sync) and dropped.
-        let started = Instant::now();
+        let started = clock::monotonic_ns();
         let (_, corr) = self
             .client
             .lease_with_corr(tenant, count)
@@ -535,7 +530,7 @@ fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> (DialedClient
                 count,
                 reply,
             } => {
-                let started = Instant::now();
+                let started = clock::monotonic_ns();
                 let (lease, corr) = client
                     .lease_with_corr(tenant, count)
                     .expect("pooled stress lease i/o");
@@ -545,7 +540,7 @@ fn pool_worker(mut client: DialedClient, rx: Receiver<PoolMsg>) -> (DialedClient
             PoolMsg::Issue { tenant, count } => {
                 // The reply is read (keeping the stream in sync) and
                 // dropped, like the single-connection issue path.
-                let started = Instant::now();
+                let started = clock::monotonic_ns();
                 let (_, corr) = client
                     .lease_with_corr(tenant, count)
                     .expect("pooled stress issue i/o");
@@ -776,7 +771,7 @@ fn resilient_pool_worker(
                 count,
                 reply,
             } => {
-                let started = Instant::now();
+                let started = clock::monotonic_ns();
                 let arcs = match client.attempt(|c| c.lease_with_corr(tenant, count)) {
                     Some((lease, corr)) => {
                         tail.offer(corr, tenant, 0, elapsed_ns(started));
@@ -787,7 +782,7 @@ fn resilient_pool_worker(
                 let _ = reply.send(arcs);
             }
             PoolMsg::Issue { tenant, count } => {
-                let started = Instant::now();
+                let started = clock::monotonic_ns();
                 if let Some((_, corr)) = client.attempt(|c| c.lease_with_corr(tenant, count)) {
                     tail.offer(corr, tenant, 0, elapsed_ns(started));
                 }
@@ -1221,7 +1216,7 @@ pub fn run_stress_remote(config: StressConfig) -> io::Result<StressReport> {
 pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> StressReport {
     let mix = config.mix;
     let shards = config.service.shards;
-    let started = Instant::now();
+    let started = clock::monotonic_ns();
     let submitted = match mix {
         TrafficMix::Uniform => drive_uniform(&mut target, &config),
         TrafficMix::Skewed => drive_skewed(&mut target, &config),
@@ -1229,7 +1224,7 @@ pub fn run_stress_with<T: StressTarget>(mut target: T, config: StressConfig) -> 
         TrafficMix::Hunter => drive_hunter(&mut target, &config),
     };
     target.drain();
-    let elapsed = started.elapsed();
+    let elapsed = Duration::from_nanos(elapsed_ns(started));
     let report = target.finish();
     let ids_per_sec = report.issued_ids as f64 / elapsed.as_secs_f64().max(1e-9);
     StressReport {
